@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation: greedy online inference (Algorithm 1) versus whole-trace
+ * offline inference — the accuracy/timeliness trade-off the paper
+ * flags after Algorithm 1 ("addressing this limitation requires
+ * knowledge about the entire trace ... eavesdropping can only be done
+ * after the user input finishes").
+ */
+
+#include <cstdio>
+
+#include "attack/trace_inference.h"
+#include "bench_util.h"
+
+using namespace gpusc;
+using namespace gpusc::sim_literals;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    const int trials = argc > 1 ? std::atoi(argv[1]) : 150;
+    bench::banner("Ablation (online vs whole-trace)",
+                  "Algorithm 1's greedy choices vs global "
+                  "segmentation, " +
+                      std::to_string(trials) + " texts");
+
+    eval::ExperimentConfig cfg;
+    cfg.seed = 3500;
+    cfg.attackParams.recordTrace = true;
+    // Offline scoring has no correction/app-switch context here.
+    cfg.attackParams.correctionTracking = false;
+    eval::ExperimentRunner runner(cfg, attack::ModelStore::global());
+
+    const attack::TraceInference offline(
+        runner.model(), cfg.attackParams.inference);
+
+    eval::AccuracyStats online, wholeTrace;
+    std::size_t traceCursor = 0;
+    for (int i = 0; i < trials; ++i) {
+        // Type one credential; remember where its trace starts.
+        const auto &fullTrace = runner.eavesdropper().trace();
+        traceCursor = fullTrace.size();
+        workload::CredentialGenerator creds(4000 + std::uint64_t(i));
+        const eval::TrialResult r = runner.runTrial(creds.next(12));
+        online.add(r.truth, r.inferred);
+
+        std::vector<attack::PcChange> slice(
+            fullTrace.begin() + std::ptrdiff_t(traceCursor),
+            fullTrace.end());
+        const auto keys = offline.infer(slice);
+        wholeTrace.add(r.truth,
+                       attack::TraceInference::textFrom(keys));
+    }
+
+    Table table({"inference", "text accuracy", "key-press accuracy",
+                 "available when"});
+    table.addRow({"online (Algorithm 1, greedy)",
+                  Table::pct(online.textAccuracy()),
+                  Table::pct(online.charAccuracy()),
+                  "immediately (<0.1ms/key)"});
+    table.addRow({"whole-trace (offline DP)",
+                  Table::pct(wholeTrace.textAccuracy()),
+                  Table::pct(wholeTrace.charAccuracy()),
+                  "after the input finishes"});
+    table.print();
+    if (wholeTrace.charAccuracy() > online.charAccuracy() + 1e-9) {
+        std::printf("\nThe global segmentation repairs the greedy "
+                    "algorithm's mis-paired splits at the cost of "
+                    "timeliness — the trade-off §5.1 predicts.\n");
+    } else {
+        std::printf("\nOn these traces the greedy algorithm is "
+                    "already (near-)optimal: split pieces arrive in "
+                    "clean adjacent pairs, so the extra knowledge of "
+                    "the whole trace buys little — i.e. the paper's "
+                    "choice of the timely greedy algorithm costs "
+                    "almost no accuracy.\n");
+    }
+    return 0;
+}

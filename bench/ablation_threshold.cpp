@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Ablation: the classification threshold C_th (paper §5.1 sets it to
+ * eliminate false positives). Sweeping a multiplier on the trained
+ * threshold shows the false-positive/false-negative trade-off.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace gpusc;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    const int trials =
+        argc > 1 ? std::atoi(argv[1]) : bench::kTrialsQuick;
+    bench::banner("Ablation (threshold C_th)",
+                  "accuracy vs threshold multiplier, " +
+                      std::to_string(trials) + " texts per row");
+
+    Table table({"C_th multiplier", "text accuracy",
+                 "key-press accuracy", "avg wrong keys/text"});
+    for (double mult : {0.05, 0.25, 1.0, 4.0, 20.0, 100.0}) {
+        eval::ExperimentConfig cfg;
+        cfg.seed = 3300;
+        cfg.modelTransform =
+            [mult](const attack::SignatureModel &m) {
+                attack::SignatureModel out = m;
+                out.setThreshold(m.threshold() * mult);
+                return out;
+            };
+        const eval::AccuracyStats stats =
+            bench::accuracyCell(cfg, trials);
+        table.addRow({Table::num(mult), Table::pct(stats.textAccuracy()),
+                      Table::pct(stats.charAccuracy()),
+                      Table::num(stats.avgErrorsPerText())});
+    }
+    table.print();
+    std::printf("\nToo small: split-repaired and noise-perturbed "
+                "presses are rejected (misses). Too large: noise and "
+                "partial frames classify as keys (false "
+                "positives).\n");
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches.
+ *
+ * Each bench binary regenerates one table or figure of the paper's
+ * evaluation as an aligned text table, using the same experiment
+ * pipeline (offline training -> victim session -> typed credentials ->
+ * eavesdropping -> scoring). Models are cached process-wide so a bench
+ * that sweeps many device configurations trains each one exactly once.
+ */
+
+#ifndef GPUSC_BENCH_BENCH_UTIL_H
+#define GPUSC_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+
+#include "attack/model_store.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace gpusc::bench {
+
+/** Default trial counts (paper: 300 texts per configuration). */
+inline constexpr int kTrialsFull = 300;
+inline constexpr int kTrialsQuick = 120;
+
+/** Run one accuracy cell: n random credentials of length 8-16. */
+inline eval::AccuracyStats
+accuracyCell(const eval::ExperimentConfig &cfg, int trials,
+             std::size_t minLen = 8, std::size_t maxLen = 16)
+{
+    eval::ExperimentRunner runner(cfg, attack::ModelStore::global());
+    return runner.runTrials(trials, minLen, maxLen);
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &id, const std::string &what)
+{
+    std::printf("=== %s: %s ===\n", id.c_str(), what.c_str());
+    std::fflush(stdout);
+}
+
+} // namespace gpusc::bench
+
+#endif // GPUSC_BENCH_BENCH_UTIL_H

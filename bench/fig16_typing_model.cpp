@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 16: key-press durations and inter-press intervals of the five
+ * volunteers — the human-timing model used to emulate key presses in
+ * every accuracy experiment.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "util/stats.h"
+#include "workload/typing_model.h"
+
+using namespace gpusc;
+
+int
+main()
+{
+    setVerbose(false);
+    bench::banner("Figure 16",
+                  "durations and intervals of key presses per "
+                  "volunteer (50 strings of length 8-16 each)");
+
+    Table table({"volunteer", "duration mean", "duration sd",
+                 "interval mean", "interval sd", "interval p10-p90"});
+    Samples pooled;
+    for (std::size_t v = 0; v < workload::volunteerProfiles().size();
+         ++v) {
+        workload::TypingModel model =
+            workload::TypingModel::forVolunteer(v, 100 + v);
+        Samples durations, intervals;
+        // 50 strings x ~12 keys, as in the paper's collection.
+        for (int i = 0; i < 50 * 12; ++i) {
+            durations.add(model.nextDuration().seconds());
+            const double interval = model.nextInterval().seconds();
+            intervals.add(interval);
+            pooled.add(interval);
+        }
+        table.addRow(
+            {model.profile().name,
+             Table::num(durations.mean() * 1e3, 0) + "ms",
+             Table::num(durations.stddev() * 1e3, 0) + "ms",
+             Table::num(intervals.mean() * 1e3, 0) + "ms",
+             Table::num(intervals.stddev() * 1e3, 0) + "ms",
+             Table::num(intervals.quantile(0.1), 2) + "s-" +
+                 Table::num(intervals.quantile(0.9), 2) + "s"});
+    }
+    table.print();
+
+    // The tercile boundaries used by the Fig. 21 speed split.
+    int fast = 0, medium = 0, slow = 0;
+    for (double s : pooled.values()) {
+        if (s < workload::kFastMaxIntervalS)
+            ++fast;
+        else if (s <= workload::kSlowMinIntervalS)
+            ++medium;
+        else
+            ++slow;
+    }
+    const double n = double(pooled.count());
+    std::printf("pooled split: fast %.1f%% | medium %.1f%% | slow "
+                "%.1f%% (paper splits the pool into equal terciles at "
+                "0.24s and 0.4s)\n",
+                100.0 * fast / n, 100.0 * medium / n,
+                100.0 * slow / n);
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 20: inference accuracy across six popular on-screen
+ * keyboards on a OnePlus 8 Pro — different UI geometry means a
+ * different trained model per keyboard, but accuracy stays within a
+ * few percent.
+ */
+
+#include <cstdio>
+
+#include "android/keyboard.h"
+#include "bench_util.h"
+
+using namespace gpusc;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    const int trials =
+        argc > 1 ? std::atoi(argv[1]) : bench::kTrialsQuick;
+    bench::banner("Figure 20", "accuracy per on-screen keyboard (" +
+                                   std::to_string(trials) +
+                                   " texts each)");
+
+    Table table({"keyboard", "text accuracy", "key-press accuracy",
+                 "duplication prob"});
+    double minText = 1.0, maxText = 0.0;
+    for (const auto &kb : android::keyboardNames()) {
+        eval::ExperimentConfig cfg;
+        cfg.device.keyboard = kb;
+        cfg.seed = 2000 + std::hash<std::string>{}(kb) % 89;
+        const eval::AccuracyStats stats =
+            bench::accuracyCell(cfg, trials);
+        minText = std::min(minText, stats.textAccuracy());
+        maxText = std::max(maxText, stats.textAccuracy());
+        table.addRow(
+            {kb, Table::pct(stats.textAccuracy()),
+             Table::pct(stats.charAccuracy()),
+             Table::num(android::keyboardSpec(kb).duplicationProb)});
+    }
+    table.print();
+    std::printf("\nspread across keyboards: %.1f%% (paper: <5%% "
+                "variation)\n",
+                100.0 * (maxText - minText));
+    return 0;
+}

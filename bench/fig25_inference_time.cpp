@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Figure 25 (+ §7.6 overhead numbers): computing time needed for
+ * eavesdropping. Uses google-benchmark to time the classifier on one
+ * observed counter change, then reproduces the paper's histogram over
+ * 3,300 real key-press inferences and reports the model-size claims.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "attack/model_store.h"
+#include "attack/trainer.h"
+#include "bench_util.h"
+#include "util/stats.h"
+
+using namespace gpusc;
+
+namespace {
+
+const attack::SignatureModel &
+model()
+{
+    static const attack::SignatureModel &m = [] {
+        android::DeviceConfig cfg;
+        const attack::OfflineTrainer trainer;
+        return std::cref(
+            attack::ModelStore::global().getOrTrain(cfg, trainer));
+    }();
+    return m;
+}
+
+void
+BM_ClassifyChange(benchmark::State &state)
+{
+    const auto &m = model();
+    gpu::CounterVec delta = m.signatures().front().centroid;
+    for (auto _ : state) {
+        auto match = m.classify(delta);
+        benchmark::DoNotOptimize(match);
+    }
+}
+BENCHMARK(BM_ClassifyChange);
+
+void
+BM_EchoDecode(benchmark::State &state)
+{
+    const auto &m = model();
+    gpu::CounterVec delta = m.echoBase();
+    for (auto _ : state) {
+        auto len = m.decodeEchoLength(delta);
+        benchmark::DoNotOptimize(len);
+    }
+}
+BENCHMARK(BM_EchoDecode);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    bench::banner("Figure 25", "inference latency per key press");
+
+    // End-to-end: run enough credentials to collect ~3,300 key-press
+    // inferences, timing each classification on the host clock.
+    eval::ExperimentConfig cfg;
+    cfg.seed = 2500;
+    eval::ExperimentRunner runner(cfg, attack::ModelStore::global());
+    runner.runTrials(280, 12, 12); // ~3,360 key presses
+    const Samples &lat = runner.eavesdropper().inferenceLatenciesUs();
+
+    Histogram hist(0.0, 30.0, 15);
+    for (double us : lat.values())
+        hist.add(us);
+    std::printf("inference-time histogram over %zu changes "
+                "(microseconds):\n%s",
+                lat.count(), hist.render().c_str());
+    std::printf("p50=%.2fus p95=%.2fus p99=%.2fus max=%.2fus\n",
+                lat.quantile(0.5), lat.quantile(0.95),
+                lat.quantile(0.99), lat.max());
+    std::printf("fraction inferred within 0.1ms: %.2f%% (paper: "
+                ">95%%)\n\n",
+                100.0 * hist.fractionBelow(100.0));
+
+    // §7.6: model sizes.
+    const auto &m = model();
+    const double bytes = double(m.byteSize());
+    std::printf("classification model size: %.2f kB (paper: 3.59 kB "
+                "average)\n",
+                bytes / 1024.0);
+    std::printf("3,000 preloaded models would occupy %.2f MB (paper: "
+                "13.40 MB; Play Store cap 100 MB)\n\n",
+                3000.0 * bytes / (1024.0 * 1024.0));
+
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 26: extra battery consumption of the attack over two hours of
+ * continuous background sampling, on four device models.
+ */
+
+#include <cstdio>
+
+#include "attack/model_store.h"
+#include "attack/trainer.h"
+#include "bench_util.h"
+
+using namespace gpusc;
+using namespace gpusc::sim_literals;
+
+int
+main()
+{
+    setVerbose(false);
+    bench::banner("Figure 26",
+                  "extra battery %% over 2 hours of sampling");
+
+    const char *phones[] = {"lgv30", "oneplus8pro", "pixel2",
+                            "oneplus7pro"};
+    Table table({"device", "30min", "60min", "90min", "120min",
+                 "ioctls issued", "exfil bytes"});
+    for (const char *phone : phones) {
+        android::DeviceConfig cfg;
+        cfg.phone = phone;
+        const attack::OfflineTrainer trainer;
+        const attack::SignatureModel &model =
+            attack::ModelStore::global().getOrTrain(cfg, trainer);
+
+        android::Device dev(cfg);
+        attack::Eavesdropper spy(dev, model);
+        dev.boot();
+        spy.start();
+        dev.launchTargetApp();
+
+        std::vector<std::string> row{android::phoneSpec(phone)
+                                         .marketing};
+        for (int q = 0; q < 4; ++q) {
+            dev.runFor(30_ms * 60000); // 30 minutes
+            row.push_back(
+                Table::num(dev.power().extraBatteryPercent()) + "%");
+        }
+        row.push_back(std::to_string(dev.kgsl().ioctlCount()));
+        row.push_back(std::to_string(spy.exfiltrationBytes()));
+        table.addRow(std::move(row));
+    }
+    table.print();
+    std::printf("\nPaper: at most ~4%% extra battery after two hours; "
+                "older devices with smaller batteries drain "
+                "fastest. Network traffic is results-only — a few "
+                "bytes per key press, never the raw counter stream "
+                "(which would be ~7.9 MB/h at 8 ms sampling).\n");
+    return 0;
+}

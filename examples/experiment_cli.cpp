@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Command-line experiment runner — the public API as a tool.
+ *
+ * Runs an accuracy experiment for any device configuration without
+ * writing code:
+ *
+ *   experiment_cli [--phone P] [--keyboard K] [--app A]
+ *                  [--refresh HZ] [--resolution FHD+|QHD+]
+ *                  [--os N] [--speed slow|medium|fast|mixed]
+ *                  [--cpu-load F] [--gpu-load F] [--interval MS]
+ *                  [--trials N] [--min-len N] [--max-len N]
+ *                  [--typo-prob F] [--seed N] [--list]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "android/keyboard.h"
+#include "android/phone.h"
+#include "eval/experiment.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+using namespace gpusc;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --phone <id>        victim phone (default oneplus8pro)\n"
+        "  --keyboard <name>   on-screen keyboard (default gboard)\n"
+        "  --app <name>        target app (default chase)\n"
+        "  --refresh <hz>      60 or 120 (default: phone default)\n"
+        "  --resolution <r>    FHD+ or QHD+ (default: phone default)\n"
+        "  --os <version>      Android major version\n"
+        "  --speed <band>      slow|medium|fast|mixed\n"
+        "  --cpu-load <f>      concurrent CPU load 0..1\n"
+        "  --gpu-load <f>      concurrent GPU load 0..1\n"
+        "  --interval <ms>     counter sampling interval (default 8)\n"
+        "  --trials <n>        credentials to type (default 100)\n"
+        "  --min-len/--max-len credential lengths (default 8/16)\n"
+        "  --typo-prob <f>     correction behaviour (default 0)\n"
+        "  --seed <n>          RNG seed (default 1)\n"
+        "  --list              print known phones/keyboards/apps\n",
+        argv0);
+}
+
+void
+listRegistries()
+{
+    std::printf("phones   :");
+    for (const auto &id : android::phoneIds())
+        std::printf(" %s", id.c_str());
+    std::printf("\nkeyboards:");
+    for (const auto &name : android::keyboardNames())
+        std::printf(" %s", name.c_str());
+    std::printf("\napps     :");
+    for (const auto &name : android::nativeAppNames())
+        std::printf(" %s", name.c_str());
+    for (const auto &name : android::webAppNames())
+        std::printf(" %s", name.c_str());
+    std::printf(" pnc\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    eval::ExperimentConfig cfg;
+    int trials = 100;
+    std::size_t minLen = 8, maxLen = 16;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg == "--list") {
+            listRegistries();
+            return 0;
+        } else if (arg == "--phone") {
+            cfg.device.phone = value();
+        } else if (arg == "--keyboard") {
+            cfg.device.keyboard = value();
+        } else if (arg == "--app") {
+            cfg.device.app = value();
+        } else if (arg == "--refresh") {
+            cfg.device.refreshHz = std::atoi(value());
+        } else if (arg == "--resolution") {
+            cfg.device.resolution = value();
+        } else if (arg == "--os") {
+            cfg.device.osVersion = std::atoi(value());
+        } else if (arg == "--speed") {
+            const std::string band = value();
+            if (band == "slow")
+                cfg.speed = workload::TypingSpeed::Slow;
+            else if (band == "medium")
+                cfg.speed = workload::TypingSpeed::Medium;
+            else if (band == "fast")
+                cfg.speed = workload::TypingSpeed::Fast;
+            else if (band == "mixed")
+                cfg.speed = workload::TypingSpeed::Mixed;
+            else
+                fatal("unknown speed band '%s'", band.c_str());
+        } else if (arg == "--cpu-load") {
+            cfg.cpuLoad = std::atof(value());
+        } else if (arg == "--gpu-load") {
+            cfg.gpuLoad = std::atof(value());
+        } else if (arg == "--interval") {
+            cfg.attackParams.samplingInterval =
+                SimTime::fromMs(std::atoi(value()));
+        } else if (arg == "--trials") {
+            trials = std::atoi(value());
+        } else if (arg == "--min-len") {
+            minLen = std::size_t(std::atoi(value()));
+        } else if (arg == "--max-len") {
+            maxLen = std::size_t(std::atoi(value()));
+        } else if (arg == "--typo-prob") {
+            cfg.typoProb = std::atof(value());
+        } else if (arg == "--seed") {
+            cfg.seed = std::uint64_t(std::atoll(value()));
+        } else {
+            usage(argv[0]);
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+
+    eval::ExperimentRunner runner(cfg, attack::ModelStore::global());
+    inform("model: %s (%zu signatures, C_th %.4f)",
+           runner.model().modelKey().c_str(),
+           runner.model().signatures().size(),
+           runner.model().threshold());
+
+    std::vector<eval::TrialResult> results;
+    const eval::AccuracyStats stats =
+        runner.runTrials(trials, minLen, maxLen, &results);
+
+    Table table({"metric", "value"});
+    table.addRow({"trials", std::to_string(stats.trials())});
+    table.addRow({"text accuracy", Table::pct(stats.textAccuracy())});
+    table.addRow(
+        {"key-press accuracy", Table::pct(stats.charAccuracy())});
+    table.addRow(
+        {"avg wrong keys/text", Table::num(stats.avgErrorsPerText())});
+    for (auto g :
+         {workload::CharGroup::Lower, workload::CharGroup::Upper,
+          workload::CharGroup::Number, workload::CharGroup::Symbol}) {
+        table.addRow({workload::charGroupName(g) + " accuracy",
+                      Table::pct(stats.groupAccuracy(g))});
+    }
+    table.print("results");
+
+    int shown = 0;
+    for (const auto &r : results) {
+        if (r.truth != r.inferred && shown++ < 5)
+            std::printf("  miss: truth='%s' inferred='%s'\n",
+                        r.truth.c_str(), r.inferred.c_str());
+    }
+    return 0;
+}

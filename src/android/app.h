@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Target applications and their login screens.
+ *
+ * Each AppSpec describes one of the paper's target apps (Chase, Amex,
+ * Fidelity, Charles Schwab, myFICO, Experian, their Chrome web
+ * variants, and PNC with its animated login used in §9.3). AppSurface
+ * renders the login UI and owns the focused credential field: committed
+ * characters echo as password dots (2 GPU primitives each — the exact
+ * length side channel of §5.3) and the cursor blinks every 0.5 s.
+ */
+
+#ifndef GPUSC_ANDROID_APP_H
+#define GPUSC_ANDROID_APP_H
+
+#include <string>
+#include <vector>
+
+#include "android/display.h"
+#include "android/surface.h"
+#include "util/event_queue.h"
+#include "util/rng.h"
+
+namespace gpusc::android {
+
+/** Static description of a target application's login screen. */
+struct AppSpec
+{
+    std::string name;
+    /** Number of decorative rectangles on the login screen. */
+    int decorRects = 6;
+    /** Brand text rendered as glyphs (part of the static scene). */
+    std::string logoText;
+    /** Vertical position of the credential field (fraction of H). */
+    double fieldYFrac = 0.42;
+    double fieldWidthDp = 300.0;
+    double fieldHeightDp = 28.0;
+    double dotDp = 9.0; ///< password dot size
+    /** Rendered inside Chrome (adds browser chrome to the scene). */
+    bool web = false;
+    /**
+     * Continuous login-screen animation (PNC): periodically redraws a
+     * decorative region, obfuscating the counters (§9.3).
+     */
+    bool loginAnimation = false;
+    SimTime animPeriod = SimTime::fromMs(160);
+    double animAreaFrac = 0.12; ///< animated fraction of screen height
+};
+
+/** Look up a target app by name (fatal on unknown). */
+const AppSpec &appSpec(const std::string &name);
+/** Native target apps of Fig. 19. */
+const std::vector<std::string> &nativeAppNames();
+/** Web targets of Fig. 19 ("chase.com", "schwab.com",
+ *  "experian.com"). */
+const std::vector<std::string> &webAppNames();
+
+/** The login screen of one app, as a composited surface. */
+class AppSurface : public Surface
+{
+  public:
+    AppSurface(EventQueue &eq, const AppSpec &spec,
+               const DisplayConfig &display, int pid,
+               int osVersionTweak = 0, std::uint64_t blinkSeed = 99);
+    ~AppSurface() override;
+
+    void buildScene(gfx::FrameScene &scene) const override;
+
+    const AppSpec &spec() const { return spec_; }
+
+    /** Credential-field rect in screen coordinates. */
+    const gfx::Rect &fieldRect() const { return fieldRect_; }
+
+    // --- Credential field operations (invalidate the field only). ---
+    void appendChar();
+    void deleteChar();
+    void clearText();
+    std::size_t textLength() const { return textLen_; }
+
+    /** Focus starts the 0.5 s cursor blink; unfocus stops it. */
+    void focusField();
+    void unfocusField();
+    bool focused() const { return focused_; }
+
+    /** Begin the PNC-style decor animation (if the spec has one). */
+    void startAnimation();
+    void stopAnimation();
+
+    /** Current cursor rectangle (after the last dot). */
+    gfx::Rect cursorRect() const;
+
+  private:
+    SimTime blinkJitter();
+    void restartBlink();
+    void onCursorBlink();
+    void onAnimTick();
+    gfx::Rect animRect() const;
+
+    EventQueue &eq_;
+    AppSpec spec_;
+    DisplayConfig display_;
+    int osVersionTweak_;
+    gfx::Rect fieldRect_;
+    std::size_t textLen_ = 0;
+    bool focused_ = false;
+    bool cursorOn_ = false;
+    EventId blinkEvent_ = 0;
+    bool animRunning_ = false;
+    EventId animEvent_ = 0;
+    int animPhase_ = 0;
+    Rng blinkRng_;
+};
+
+} // namespace gpusc::android
+
+#endif // GPUSC_ANDROID_APP_H

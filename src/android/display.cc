@@ -1,0 +1,27 @@
+#include "android/display.h"
+
+namespace gpusc::android {
+
+DisplayConfig
+displayFhdPlus(int refreshHz)
+{
+    DisplayConfig c;
+    c.name = "FHD+";
+    c.width = 1080;
+    c.height = 2376;
+    c.refreshHz = refreshHz;
+    return c;
+}
+
+DisplayConfig
+displayQhdPlus(int refreshHz)
+{
+    DisplayConfig c;
+    c.name = "QHD+";
+    c.width = 1440;
+    c.height = 3168;
+    c.refreshHz = refreshHz;
+    return c;
+}
+
+} // namespace gpusc::android

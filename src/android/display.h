@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Display configurations (resolution, refresh rate, UI scale).
+ */
+
+#ifndef GPUSC_ANDROID_DISPLAY_H
+#define GPUSC_ANDROID_DISPLAY_H
+
+#include <string>
+
+#include "util/sim_time.h"
+
+namespace gpusc::android {
+
+/** Static display properties of a device configuration. */
+struct DisplayConfig
+{
+    std::string name;   ///< "FHD+" or "QHD+"
+    int width = 1080;   ///< pixels
+    int height = 2376;  ///< pixels
+    int refreshHz = 60;
+
+    /**
+     * Pixels per density-independent unit. UI metrics below are
+     * expressed in dp and multiplied by this before rasterisation, so
+     * the same keyboard renders with more pixels (and different
+     * counter signatures) on a QHD+ panel.
+     */
+    double
+    uiScale() const
+    {
+        return double(width) / 360.0;
+    }
+
+    /** Scale a dp metric to device pixels. */
+    int
+    dp(double v) const
+    {
+        return int(v * uiScale() + 0.5);
+    }
+
+    SimTime
+    vsyncPeriod() const
+    {
+        return SimTime::fromNs(1000000000LL / refreshHz);
+    }
+
+    int
+    statusBarHeightPx() const
+    {
+        return dp(24);
+    }
+};
+
+/** Canonical FHD+ panel (2376x1080), 60 Hz unless overridden. */
+DisplayConfig displayFhdPlus(int refreshHz = 60);
+/** Canonical QHD+ panel (3168x1440). */
+DisplayConfig displayQhdPlus(int refreshHz = 60);
+
+} // namespace gpusc::android
+
+#endif // GPUSC_ANDROID_DISPLAY_H

@@ -1,0 +1,98 @@
+#include "android/gles.h"
+
+#include "gpu/counters.h"
+#include "kgsl/device.h"
+#include "kgsl/msm_kgsl.h"
+
+namespace gpusc::android::gles {
+
+namespace {
+
+std::string
+groupName(std::uint32_t group)
+{
+    switch (group) {
+      case kgsl::KGSL_PERFCOUNTER_GROUP_CP:
+        return "CP";
+      case kgsl::KGSL_PERFCOUNTER_GROUP_VPC:
+        return "VPC";
+      case kgsl::KGSL_PERFCOUNTER_GROUP_RAS:
+        return "RAS";
+      case kgsl::KGSL_PERFCOUNTER_GROUP_SP:
+        return "SP";
+      case kgsl::KGSL_PERFCOUNTER_GROUP_LRZ:
+        return "LRZ";
+      default:
+        return "GROUP" + std::to_string(group);
+    }
+}
+
+} // namespace
+
+std::vector<std::uint32_t>
+getPerfMonitorCountersAMD(std::uint32_t group)
+{
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t c = 0; c < 64; ++c)
+        if (kgsl::hardwareImplementsCounter(group, c))
+            out.push_back(c);
+    return out;
+}
+
+std::vector<PerfMonitorGroup>
+getPerfMonitorGroupsAMD()
+{
+    std::vector<PerfMonitorGroup> groups;
+    for (std::uint32_t id : {kgsl::KGSL_PERFCOUNTER_GROUP_CP,
+                             kgsl::KGSL_PERFCOUNTER_GROUP_VPC,
+                             kgsl::KGSL_PERFCOUNTER_GROUP_RAS,
+                             kgsl::KGSL_PERFCOUNTER_GROUP_SP,
+                             kgsl::KGSL_PERFCOUNTER_GROUP_LRZ}) {
+        PerfMonitorGroup g;
+        g.id = id;
+        g.name = groupName(id);
+        g.counters = getPerfMonitorCountersAMD(id);
+        groups.push_back(std::move(g));
+    }
+    return groups;
+}
+
+std::string
+getPerfMonitorCounterStringAMD(std::uint32_t group, std::uint32_t counter)
+{
+    if (auto sel = gpu::selectedFromId({group, counter}))
+        return gpu::counterName(*sel);
+    return "PERF_" + groupName(group) + "_COUNTABLE_" +
+           std::to_string(counter);
+}
+
+PerfMonitorAMD::PerfMonitorAMD(gpu::RenderEngine &engine, int pid)
+    : engine_(engine), pid_(pid)
+{
+}
+
+void
+PerfMonitorAMD::begin()
+{
+    baseline_ = engine_.readLocal(pid_);
+    active_ = true;
+}
+
+void
+PerfMonitorAMD::end()
+{
+    if (!active_)
+        return;
+    const gpu::CounterTotals now = engine_.readLocal(pid_);
+    for (std::size_t i = 0; i < now.size(); ++i)
+        result_[i] = now[i] - baseline_[i];
+    active_ = false;
+}
+
+std::uint64_t
+PerfMonitorAMD::counterData(gpu::SelectedCounter counter) const
+{
+    return result_[counter];
+}
+
+} // namespace gpusc::android::gles

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * GL_AMD_performance_monitor-style shim (paper §3.3).
+ *
+ * The attack's setup phase uses this extension to *discover* the
+ * counter groups and countable string identifiers (that is all the
+ * extension is good for here: per the extension's semantics on
+ * Android, counter *values* read through it are local to the calling
+ * application, which is why the attack bypasses it with direct device-
+ * file ioctls for the actual sampling).
+ */
+
+#ifndef GPUSC_ANDROID_GLES_H
+#define GPUSC_ANDROID_GLES_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/counters.h"
+#include "gpu/render_engine.h"
+
+namespace gpusc::android::gles {
+
+/** One enumerable perf-monitor group. */
+struct PerfMonitorGroup
+{
+    std::uint32_t id = 0;
+    std::string name;
+    std::vector<std::uint32_t> counters;
+};
+
+/** glGetPerfMonitorGroupsAMD analogue. */
+std::vector<PerfMonitorGroup> getPerfMonitorGroupsAMD();
+
+/** glGetPerfMonitorCountersAMD analogue. */
+std::vector<std::uint32_t> getPerfMonitorCountersAMD(std::uint32_t group);
+
+/**
+ * glGetPerfMonitorCounterStringAMD analogue: the vendor's string
+ * identifier for (group, counter). Unknown counters get a synthetic
+ * name so iteration never fails.
+ */
+std::string getPerfMonitorCounterStringAMD(std::uint32_t group,
+                                           std::uint32_t counter);
+
+/**
+ * A GL_AMD_performance_monitor *monitor object* as an application sees
+ * it: counter values cover only work submitted by the calling
+ * process's own GL context (paper §3.3 — "can only be used ... to read
+ * the local PC value changes caused by this application itself"). An
+ * eavesdropper that renders nothing therefore learns nothing through
+ * this API, which is why the attack reads the device file instead.
+ */
+class PerfMonitorAMD
+{
+  public:
+    /** @param pid the calling application (its GL context). */
+    PerfMonitorAMD(gpu::RenderEngine &engine, int pid);
+
+    /** glBeginPerfMonitorAMD: snapshot the local baseline. */
+    void begin();
+
+    /** glEndPerfMonitorAMD: close the measurement interval. */
+    void end();
+
+    /**
+     * glGetPerfMonitorCounterDataAMD: the *local* delta of one
+     * selected counter over the last begin/end interval.
+     */
+    std::uint64_t counterData(gpu::SelectedCounter counter) const;
+
+    bool active() const { return active_; }
+
+  private:
+    gpu::RenderEngine &engine_;
+    int pid_;
+    bool active_ = false;
+    gpu::CounterTotals baseline_{};
+    gpu::CounterTotals result_{};
+};
+
+} // namespace gpusc::android::gles
+
+#endif // GPUSC_ANDROID_GLES_H

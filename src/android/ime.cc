@@ -1,0 +1,207 @@
+#include "android/ime.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace gpusc::android {
+
+using namespace gpusc::sim_literals;
+
+namespace {
+
+/** Delay between key release and the popup window being torn down. */
+constexpr SimTime kPopupDismissDelay = 40_ms;
+
+} // namespace
+
+Ime::Ime(EventQueue &eq, KeyboardLayout layout, Rng rng, int pid)
+    : Surface("ime:" + layout.spec().name, layout.surfaceBounds(), pid),
+      eq_(eq), layout_(std::move(layout)), rng_(rng),
+      aliveToken_(std::make_shared<int>(0))
+{
+}
+
+Ime::~Ime() = default;
+
+void
+Ime::buildScene(gfx::FrameScene &scene) const
+{
+    layout_.buildBase(scene, page_);
+    if (popup_)
+        layout_.buildPopup(scene, popup_->key, popup_->scale);
+}
+
+std::vector<const Key *>
+Ime::keysFor(char c) const
+{
+    std::vector<const Key *> seq;
+    if (c == ' ') {
+        if (const Key *k = layout_.findSpecial(page_, KeyCode::Space))
+            seq.push_back(k);
+        return seq;
+    }
+
+    // Already reachable on the current page?
+    if (const Key *k = layout_.findChar(page_, c)) {
+        seq.push_back(k);
+        return seq;
+    }
+
+    const KbPage target = KeyboardLayout::pageForChar(c);
+    KbPage cur = page_;
+    // At most two page switches are ever needed (Symbols -> Upper).
+    for (int hops = 0; hops < 2 && cur != target; ++hops) {
+        const Key *switchKey = nullptr;
+        if (cur == KbPage::Symbols) {
+            switchKey = layout_.findSpecial(cur, KeyCode::Abc);
+            cur = KbPage::Lower;
+        } else if (target == KbPage::Symbols) {
+            switchKey = layout_.findSpecial(cur, KeyCode::Sym);
+            cur = KbPage::Symbols;
+        } else {
+            switchKey = layout_.findSpecial(cur, KeyCode::Shift);
+            cur = cur == KbPage::Lower ? KbPage::Upper : KbPage::Lower;
+        }
+        if (!switchKey)
+            return {};
+        seq.push_back(switchKey);
+    }
+    const Key *k = layout_.findChar(cur, c);
+    if (!k)
+        return {};
+    seq.push_back(k);
+    return seq;
+}
+
+const Key *
+Ime::backspaceKey() const
+{
+    return layout_.findSpecial(
+        page_ == KbPage::Symbols ? KbPage::Symbols : page_,
+        KeyCode::Backspace);
+}
+
+void
+Ime::switchPage(KbPage page, bool oneShotShift)
+{
+    page_ = page;
+    oneShotShift_ = oneShotShift;
+    popup_.reset();
+    invalidate(); // full keyboard redraw with the new labels
+}
+
+void
+Ime::pressKey(const Key &key, SimTime pressDuration)
+{
+    switch (key.code) {
+      case KeyCode::Shift:
+        switchPage(page_ == KbPage::Lower ? KbPage::Upper
+                                          : KbPage::Lower,
+                   page_ == KbPage::Lower);
+        return;
+      case KeyCode::Sym:
+        switchPage(KbPage::Symbols, false);
+        return;
+      case KeyCode::Abc:
+        switchPage(KbPage::Lower, false);
+        return;
+      case KeyCode::Backspace:
+        // No popup on backspace (paper §5.3); the only GPU evidence is
+        // the credential field shrinking by one dot.
+        if (field_)
+            field_->deleteChar();
+        return;
+      case KeyCode::Space:
+        if (field_)
+            field_->appendChar();
+        return;
+      case KeyCode::Enter:
+        return;
+      case KeyCode::Char:
+        break;
+    }
+
+    ++keyPresses_;
+    std::weak_ptr<int> alive = aliveToken_;
+    if (!popupsEnabled_) {
+        // Popups disabled (mitigation §9.1): the press leaves no
+        // keyboard redraw; only the text echo remains.
+        Key pressedQuiet = key;
+        eq_.scheduleAfter(pressDuration, [this, alive, pressedQuiet] {
+            if (!alive.expired())
+                onRelease(pressedQuiet);
+        });
+        return;
+    }
+
+    // 1. Popup window opens: full IME re-render with the popup on top.
+    popup_ = ActivePopup{key, rng_.pick(layout_.spec().animScales)};
+    invalidate();
+
+    // Rich popup animation may re-issue an identical frame next vsync.
+    if (rng_.bernoulli(layout_.spec().duplicationProb)) {
+        eq_.scheduleAfter(layout_.display().vsyncPeriod(),
+                          [this, alive] {
+                              if (!alive.expired() && popup_)
+                                  invalidate();
+                          });
+    }
+
+    // While the key stays held, the popup's animation can re-render
+    // once more much later. Long presses (slow typists) are the ones
+    // that keep the popup up past this point — these late duplicates
+    // fall outside the T_min window and are the paper's residual
+    // duplication errors (§5.1, §7.2).
+    if (rng_.bernoulli(
+            std::min(1.0, layout_.spec().duplicationProb * 2.6))) {
+        const SimTime holdRender =
+            SimTime::fromMs(rng_.uniformInt(120, 360));
+        if (holdRender < pressDuration) {
+            eq_.scheduleAfter(holdRender, [this, alive] {
+                if (!alive.expired() && popup_)
+                    invalidate();
+            });
+        }
+    }
+
+    // 2-3. Commit on release; popup teardown shortly after.
+    Key pressed = key;
+    eq_.scheduleAfter(pressDuration, [this, alive, pressed] {
+        if (!alive.expired())
+            onRelease(pressed);
+    });
+}
+
+void
+Ime::onRelease(Key key)
+{
+    if (field_ && key.code == KeyCode::Char)
+        field_->appendChar();
+    std::weak_ptr<int> alive = aliveToken_;
+    eq_.scheduleAfter(kPopupDismissDelay, [this, alive] {
+        if (!alive.expired())
+            dismissPopup();
+    });
+    if (oneShotShift_ && page_ == KbPage::Upper) {
+        // Auto-unshift after the shifted character: the keyboard
+        // swaps back to lowercase labels (full redraw).
+        eq_.scheduleAfter(kPopupDismissDelay + 1_ms, [this, alive] {
+            if (!alive.expired())
+                switchPage(KbPage::Lower, false);
+        });
+    }
+}
+
+void
+Ime::dismissPopup()
+{
+    if (!popup_)
+        return;
+    const gfx::Rect exposed = layout_.popupMaxRect(popup_->key);
+    popup_.reset();
+    // Only the region the popup covered is re-rendered.
+    invalidate(exposed);
+}
+
+} // namespace gpusc::android

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The input-method editor (on-screen keyboard service).
+ *
+ * Owns the keyboard layout + page state and drives the key-press
+ * lifecycle that generates the three PC value changes of paper Fig. 3:
+ *
+ *   1. press down  -> popup window opens, the IME surface re-renders
+ *                     (the large, key-unique counter change used for
+ *                     classification);
+ *   2. release     -> the character commits, the app's credential
+ *                     field redraws (the small length-encoding change);
+ *   3. ~40 ms later-> the popup window closes and only the exposed
+ *                     region under it redraws (a medium change).
+ *
+ * Rich-animation keyboards re-render an identical popup frame with
+ * probability KeyboardSpec::duplicationProb — the duplication artefact.
+ * Backspace and space produce no popup, matching real keyboards.
+ */
+
+#ifndef GPUSC_ANDROID_IME_H
+#define GPUSC_ANDROID_IME_H
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "android/app.h"
+#include "android/keyboard.h"
+#include "android/surface.h"
+#include "util/event_queue.h"
+#include "util/rng.h"
+
+namespace gpusc::android {
+
+/** The keyboard surface + key-press state machine. */
+class Ime : public Surface
+{
+  public:
+    Ime(EventQueue &eq, KeyboardLayout layout, Rng rng, int pid);
+    ~Ime() override;
+
+    void buildScene(gfx::FrameScene &scene) const override;
+
+    const KeyboardLayout &layout() const { return layout_; }
+    KbPage page() const { return page_; }
+
+    /** Where committed characters and deletions go. */
+    void setTargetField(AppSurface *field) { field_ = field; }
+
+    /** Mitigation §9.1: the user disabled key-press popups. */
+    void setPopupsEnabled(bool on) { popupsEnabled_ = on; }
+    bool popupsEnabled() const { return popupsEnabled_; }
+
+    /**
+     * Keys that must be pressed, in order, to type @p c given the
+     * current page state (may start with Shift/?123/ABC switches).
+     * Empty if the layout cannot type @p c.
+     */
+    std::vector<const Key *> keysFor(char c) const;
+
+    /**
+     * Press @p key now and release it after @p pressDuration.
+     * Schedules all rendering and commit events.
+     */
+    void pressKey(const Key &key, SimTime pressDuration);
+
+    /** Convenience: the backspace key of the current page. */
+    const Key *backspaceKey() const;
+
+    /** True while a popup is on screen. */
+    bool popupActive() const { return popup_.has_value(); }
+
+    /** Total Char-key presses driven through this IME. */
+    std::uint64_t keyPressCount() const { return keyPresses_; }
+
+  private:
+    struct ActivePopup
+    {
+        Key key;
+        double scale;
+    };
+
+    void switchPage(KbPage page, bool oneShotShift);
+    void onRelease(Key key);
+    void dismissPopup();
+
+    EventQueue &eq_;
+    KeyboardLayout layout_;
+    Rng rng_;
+    AppSurface *field_ = nullptr;
+    KbPage page_ = KbPage::Lower;
+    bool popupsEnabled_ = true;
+    bool oneShotShift_ = false;
+    std::optional<ActivePopup> popup_;
+    std::uint64_t keyPresses_ = 0;
+    /** Deferred lambdas hold a weak_ptr to this token; destruction
+     *  invalidates them without tracking individual event ids. */
+    std::shared_ptr<int> aliveToken_;
+};
+
+} // namespace gpusc::android
+
+#endif // GPUSC_ANDROID_IME_H

@@ -1,0 +1,39 @@
+#include "android/input.h"
+
+namespace gpusc::android {
+
+InputInjector::InputInjector(Device &device) : device_(device) {}
+
+bool
+InputInjector::tap(gfx::Point where, SimTime holdFor)
+{
+    ++touches_;
+    if (!device_.ime().visible())
+        return false;
+    const KeyboardLayout &layout = device_.ime().layout();
+    for (const Key &key : layout.keys(device_.ime().page())) {
+        if (key.rect.contains(where)) {
+            device_.ime().pressKey(key, holdFor);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+InputInjector::tapKey(const Key &key, SimTime holdFor)
+{
+    return tap(key.rect.center(), holdFor);
+}
+
+bool
+InputInjector::tapChar(char c, SimTime holdFor)
+{
+    const Key *key =
+        device_.ime().layout().findChar(device_.ime().page(), c);
+    if (!key)
+        return false;
+    return tapKey(*key, holdFor);
+}
+
+} // namespace gpusc::android

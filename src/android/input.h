@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Touch-event injection (the paper's offline bot path, §6/Fig. 15).
+ *
+ * The bot program runs on a rooted attacker device and injects screen
+ * touches through /dev/input/eventX. This module models that path:
+ * synthetic down/up events at screen coordinates are hit-tested
+ * against the current keyboard page and delivered as key presses —
+ * the same route a human finger takes, so the bot exercises exactly
+ * the rendering the attack later observes.
+ */
+
+#ifndef GPUSC_ANDROID_INPUT_H
+#define GPUSC_ANDROID_INPUT_H
+
+#include "android/device.h"
+
+namespace gpusc::android {
+
+/** /dev/input-style touch injector bound to a device. */
+class InputInjector
+{
+  public:
+    explicit InputInjector(Device &device);
+
+    /**
+     * Inject a touch at screen coordinates (down now, up after
+     * @p holdFor). Touches on the keyboard resolve to key presses;
+     * anywhere else is ignored (no other touchable UI is modelled).
+     * @return true if a key was hit.
+     */
+    bool tap(gfx::Point where, SimTime holdFor);
+
+    /** Convenience: tap the centre of @p key. */
+    bool tapKey(const Key &key, SimTime holdFor);
+
+    /**
+     * Tap the key carrying character @p c on the *current* page; the
+     * caller is responsible for page navigation (as the real bot is).
+     * @return true if the character is on the current page.
+     */
+    bool tapChar(char c, SimTime holdFor);
+
+    /** Number of injected events (down+up pairs count once). */
+    std::uint64_t injectedTouches() const { return touches_; }
+
+  private:
+    Device &device_;
+    std::uint64_t touches_ = 0;
+};
+
+} // namespace gpusc::android
+
+#endif // GPUSC_ANDROID_INPUT_H

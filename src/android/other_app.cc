@@ -1,0 +1,61 @@
+#include "android/other_app.h"
+
+namespace gpusc::android {
+
+OtherAppSurface::OtherAppSurface(EventQueue &eq,
+                                 const DisplayConfig &display, Rng rng,
+                                 int pid)
+    : Surface("otherapp",
+              gfx::Rect{0, display.statusBarHeightPx(), display.width,
+                        display.height},
+              pid),
+      eq_(eq), display_(display), rng_(rng),
+      aliveToken_(std::make_shared<int>(0))
+{
+}
+
+OtherAppSurface::~OtherAppSurface() = default;
+
+void
+OtherAppSurface::buildScene(gfx::FrameScene &scene) const
+{
+    scene.add(bounds(), true, gfx::PrimTag::AppContent);
+    // A feed of cards whose vertical offset scrolls with the phase.
+    const int cardH = display_.dp(72);
+    const int gap = display_.dp(10);
+    const int offset = (contentPhase_ * display_.dp(24)) %
+                       (cardH + gap);
+    for (int y = bounds().y0 - offset; y < bounds().y1;
+         y += cardH + gap) {
+        const gfx::Rect card{bounds().x0 + display_.dp(12), y,
+                             bounds().x1 - display_.dp(12), y + cardH};
+        scene.add(card, true, gfx::PrimTag::AppContent);
+        scene.add(card.inset(display_.dp(8)), true,
+                  gfx::PrimTag::AppContent);
+    }
+}
+
+void
+OtherAppSurface::burstFrame(int remaining)
+{
+    ++contentPhase_;
+    invalidate();
+    if (remaining > 1) {
+        std::weak_ptr<int> alive = aliveToken_;
+        eq_.scheduleAfter(display_.vsyncPeriod(),
+                          [this, alive, remaining] {
+                              if (!alive.expired())
+                                  burstFrame(remaining - 1);
+                          });
+    }
+}
+
+void
+OtherAppSurface::interact()
+{
+    if (!visible())
+        return;
+    burstFrame(int(rng_.uniformInt(2, 8)));
+}
+
+} // namespace gpusc::android

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * A generic non-target application the user switches to mid-input
+ * (practical-use sessions, §8). Its interactions (scrolls, taps)
+ * produce GPU work that must not be mistaken for key presses.
+ */
+
+#ifndef GPUSC_ANDROID_OTHER_APP_H
+#define GPUSC_ANDROID_OTHER_APP_H
+
+#include <memory>
+
+#include "android/display.h"
+#include "android/surface.h"
+#include "util/event_queue.h"
+#include "util/rng.h"
+
+namespace gpusc::android {
+
+/** Placeholder foreground app with interactive redraw bursts. */
+class OtherAppSurface : public Surface
+{
+  public:
+    OtherAppSurface(EventQueue &eq, const DisplayConfig &display,
+                    Rng rng, int pid);
+    ~OtherAppSurface() override;
+
+    void buildScene(gfx::FrameScene &scene) const override;
+
+    /**
+     * Simulate one user interaction (tap/scroll): a burst of 2-8
+     * partial redraws over consecutive vsyncs.
+     */
+    void interact();
+
+  private:
+    void burstFrame(int remaining);
+
+    EventQueue &eq_;
+    DisplayConfig display_;
+    Rng rng_;
+    int contentPhase_ = 0;
+    std::shared_ptr<int> aliveToken_;
+};
+
+} // namespace gpusc::android
+
+#endif // GPUSC_ANDROID_OTHER_APP_H

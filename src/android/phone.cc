@@ -1,0 +1,71 @@
+#include "android/phone.h"
+
+#include <map>
+
+#include "util/logging.h"
+
+namespace gpusc::android {
+
+namespace {
+
+PhoneSpec
+makePhone(const std::string &id, const std::string &marketing, int gpu,
+          int os, DisplayConfig display, double batteryMah,
+          double energyScale)
+{
+    PhoneSpec p;
+    p.id = id;
+    p.marketing = marketing;
+    p.adrenoGen = gpu;
+    p.osVersion = os;
+    p.display = display;
+    p.batteryMah = batteryMah;
+    p.samplerEnergyScale = energyScale;
+    return p;
+}
+
+const std::map<std::string, PhoneSpec> &
+table()
+{
+    // §7.5's device matrix. The OnePlus 8 Pro (the paper's workhorse)
+    // supports both FHD+/QHD+ and 60/120 Hz.
+    static const std::map<std::string, PhoneSpec> phones = {
+        {"lgv30", makePhone("lgv30", "LG V30+", 540, 9,
+                            displayFhdPlus(), 3300, 1.35)},
+        {"pixel2", makePhone("pixel2", "Google Pixel 2", 540, 10,
+                             displayFhdPlus(), 2700, 1.30)},
+        {"oneplus7pro", makePhone("oneplus7pro", "OnePlus 7 Pro", 640,
+                                  11, displayQhdPlus(), 4000, 1.10)},
+        {"oneplus8pro", makePhone("oneplus8pro", "OnePlus 8 Pro", 650,
+                                  11, displayFhdPlus(), 4510, 1.00)},
+        {"oneplus9", makePhone("oneplus9", "OnePlus 9", 660, 11,
+                               displayFhdPlus(), 4500, 0.95)},
+        {"s21", makePhone("s21", "Samsung Galaxy S21", 660, 11,
+                          displayFhdPlus(), 4000, 0.98)},
+        {"pixel5", makePhone("pixel5", "Google Pixel 5", 620, 11,
+                             displayFhdPlus(), 4080, 1.05)},
+    };
+    return phones;
+}
+
+} // namespace
+
+const PhoneSpec &
+phoneSpec(const std::string &id)
+{
+    auto it = table().find(id);
+    if (it == table().end())
+        fatal("phoneSpec: unknown phone '%s'", id.c_str());
+    return it->second;
+}
+
+const std::vector<std::string> &
+phoneIds()
+{
+    static const std::vector<std::string> ids = {
+        "lgv30",    "pixel2", "oneplus7pro", "oneplus8pro",
+        "oneplus9", "s21",    "pixel5"};
+    return ids;
+}
+
+} // namespace gpusc::android

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Smartphone model registry — the devices evaluated in §7.5 plus the
+ * artifact's Pixel 5.
+ */
+
+#ifndef GPUSC_ANDROID_PHONE_H
+#define GPUSC_ANDROID_PHONE_H
+
+#include <string>
+#include <vector>
+
+#include "android/display.h"
+
+namespace gpusc::android {
+
+/** Static description of one phone model. */
+struct PhoneSpec
+{
+    std::string id;        ///< registry key, e.g. "oneplus8pro"
+    std::string marketing; ///< e.g. "OnePlus 8 Pro"
+    int adrenoGen = 650;
+    int osVersion = 11; ///< Android major version
+    DisplayConfig display;
+    double batteryMah = 4000.0;
+    /** Relative CPU energy cost of the sampling loop (vendor silicon
+     *  and kernel differences; scales Fig. 26). */
+    double samplerEnergyScale = 1.0;
+};
+
+/** Look up a phone by registry id (fatal on unknown). */
+const PhoneSpec &phoneSpec(const std::string &id);
+
+/** All registered phone ids. */
+const std::vector<std::string> &phoneIds();
+
+} // namespace gpusc::android
+
+#endif // GPUSC_ANDROID_PHONE_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Battery-drain accounting for the attack's overhead (Fig. 26).
+ *
+ * The attack's energy cost comes from the sampler's periodic CPU
+ * wakeups + ioctl round trips and the (tiny) inference work. A linear
+ * energy model per event is adequate to reproduce the *relative* extra
+ * drain the paper reports (<= ~4 % after two hours, device dependent).
+ */
+
+#ifndef GPUSC_ANDROID_POWER_H
+#define GPUSC_ANDROID_POWER_H
+
+#include <cstdint>
+
+#include "android/phone.h"
+
+namespace gpusc::android {
+
+/** Per-device energy model for the attack's overhead. */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const PhoneSpec &phone);
+
+    /** Account one sampler wakeup (timer + ioctl syscall). */
+    void addSamplerWakeups(std::uint64_t n) { wakeups_ += n; }
+
+    /** Account one classifier inference. */
+    void addInferences(std::uint64_t n) { inferences_ += n; }
+
+    /** Extra charge consumed so far, mAh. */
+    double extraMah() const;
+
+    /** Extra battery percentage consumed so far. */
+    double extraBatteryPercent() const;
+
+  private:
+    const PhoneSpec &phone_;
+    std::uint64_t wakeups_ = 0;
+    std::uint64_t inferences_ = 0;
+};
+
+} // namespace gpusc::android
+
+#endif // GPUSC_ANDROID_POWER_H

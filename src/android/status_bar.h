@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Status bar surface: clock, signal icons, notification icons.
+ *
+ * Notification arrivals and (rare) clock redraws are the "system
+ * noise" counter changes the paper's classification threshold has to
+ * reject (§5.1). Arrivals follow a Poisson process.
+ */
+
+#ifndef GPUSC_ANDROID_STATUS_BAR_H
+#define GPUSC_ANDROID_STATUS_BAR_H
+
+#include "android/display.h"
+#include "android/surface.h"
+#include "util/event_queue.h"
+#include "util/rng.h"
+
+namespace gpusc::android {
+
+/** The always-on-top status bar. */
+class StatusBar : public Surface
+{
+  public:
+    StatusBar(EventQueue &eq, const DisplayConfig &display, Rng rng);
+    ~StatusBar() override;
+
+    void buildScene(gfx::FrameScene &scene) const override;
+
+    /**
+     * Start random notification arrivals with the given mean
+     * inter-arrival time (exponential). Zero/negative disables.
+     */
+    void startNotifications(SimTime meanInterval);
+    void stopNotifications();
+
+    /** Post one notification right now (icon appears, bar redraws). */
+    void postNotification();
+
+    int notificationCount() const { return notifications_; }
+
+  private:
+    void scheduleNext();
+
+    EventQueue &eq_;
+    DisplayConfig display_;
+    Rng rng_;
+    int notifications_ = 0;
+    SimTime meanInterval_;
+    EventId pending_ = 0;
+};
+
+} // namespace gpusc::android
+
+#endif // GPUSC_ANDROID_STATUS_BAR_H

@@ -1,0 +1,37 @@
+#include "android/surface.h"
+
+namespace gpusc::android {
+
+Surface::Surface(std::string name, gfx::Rect bounds, int ownerPid)
+    : name_(std::move(name)), bounds_(bounds), ownerPid_(ownerPid)
+{
+}
+
+void
+Surface::invalidate(const gfx::Rect &r)
+{
+    if (!visible_)
+        return;
+    damage_ = damage_.unite(r.intersect(bounds_));
+}
+
+gfx::Rect
+Surface::takeDamage()
+{
+    gfx::Rect d = damage_;
+    damage_ = gfx::Rect{};
+    return d;
+}
+
+void
+Surface::setVisible(bool v)
+{
+    if (visible_ == v)
+        return;
+    visible_ = v;
+    damage_ = gfx::Rect{};
+    if (v)
+        invalidate();
+}
+
+} // namespace gpusc::android

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A window-system surface with damage tracking.
+ *
+ * Each surface owns its pixel content and re-renders only invalidated
+ * regions — Android's partial-invalidation model. That damage-driven
+ * re-rendering is the root of the side channel: the GPU does work (and
+ * bumps counters) exactly when, and in proportion to how, the screen
+ * content changes.
+ */
+
+#ifndef GPUSC_ANDROID_SURFACE_H
+#define GPUSC_ANDROID_SURFACE_H
+
+#include <string>
+
+#include "gfx/scene.h"
+
+namespace gpusc::android {
+
+/** Base class for everything that renders (apps, IME, status bar). */
+class Surface
+{
+  public:
+    Surface(std::string name, gfx::Rect bounds, int ownerPid);
+    virtual ~Surface() = default;
+
+    Surface(const Surface &) = delete;
+    Surface &operator=(const Surface &) = delete;
+
+    /**
+     * Push this surface's *entire* content into @p scene back-to-front;
+     * FrameScene::add clips against the damage rect, so implementations
+     * need no clipping logic of their own.
+     */
+    virtual void buildScene(gfx::FrameScene &scene) const = 0;
+
+    /** Invalidate the whole surface. */
+    void invalidate() { invalidate(bounds_); }
+
+    /** Invalidate a region (clipped to the surface bounds). */
+    void invalidate(const gfx::Rect &r);
+
+    /** @return accumulated damage and reset it to empty. */
+    gfx::Rect takeDamage();
+
+    bool hasDamage() const { return !damage_.empty(); }
+
+    const gfx::Rect &bounds() const { return bounds_; }
+    const std::string &name() const { return name_; }
+    int ownerPid() const { return ownerPid_; }
+
+    bool visible() const { return visible_; }
+    /** Showing a surface invalidates it fully; hiding drops damage. */
+    void setVisible(bool v);
+
+  private:
+    std::string name_;
+    gfx::Rect bounds_;
+    int ownerPid_;
+    gfx::Rect damage_;
+    bool visible_ = true;
+};
+
+} // namespace gpusc::android
+
+#endif // GPUSC_ANDROID_SURFACE_H

@@ -1,0 +1,56 @@
+#include "attack/app_switch_detector.h"
+
+namespace gpusc::attack {
+
+AppSwitchDetector::AppSwitchDetector(Params params) : params_(params) {}
+
+void
+AppSwitchDetector::onChange(const PcChange &change)
+{
+    // A long quiet gap ends any active suppression before this change
+    // is considered.
+    if (suppressed_ && change.time - lastChange_ > params_.quietResume) {
+        suppressed_ = false;
+        recent_.clear();
+    }
+    // Maintain the chain of changes whose consecutive gaps are below
+    // the burst threshold.
+    if (!recent_.empty() &&
+        change.time - recent_.back() > params_.burstGap)
+        recent_.clear();
+    recent_.push_back(change.time);
+    if (int(recent_.size()) >= params_.burstCount) {
+        if (!suppressed_)
+            ++bursts_;
+        suppressed_ = true;
+    }
+    lastChange_ = change.time;
+}
+
+void
+AppSwitchDetector::onClassified(const Label &label, SimTime time)
+{
+    // Any signature acceptance — a keyboard page redraw or a key
+    // popup — means the keyboard is rendering in the target app
+    // again; the overview animation and other apps never match the
+    // trained signatures.
+    (void)label;
+    (void)time;
+    if (suppressed_) {
+        suppressed_ = false;
+        recent_.clear();
+    }
+}
+
+bool
+AppSwitchDetector::suppressed(SimTime now) const
+{
+    if (!suppressed_)
+        return false;
+    // Long silence also ends suppression (the switch animation and the
+    // other app's activity are over); onChange makes this permanent on
+    // the next event.
+    return now - lastChange_ <= params_.quietResume;
+}
+
+} // namespace gpusc::attack

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Application-switch detection (paper §5.2, Fig. 13).
+ *
+ * The app-overview animation produces a dense burst of large counter
+ * changes with inter-arrival gaps far below human typing (<50 ms).
+ * While such a burst (or its aftermath) is active, key inference is
+ * suppressed; it resumes when the keyboard's full redraw is recognised
+ * (a PAGE:* classification — the keyboard reappearing in the target
+ * app) or after a long quiet period.
+ */
+
+#ifndef GPUSC_ATTACK_APP_SWITCH_DETECTOR_H
+#define GPUSC_ATTACK_APP_SWITCH_DETECTOR_H
+
+#include <deque>
+
+#include "attack/change_detector.h"
+#include "attack/signature.h"
+#include "util/sim_time.h"
+
+namespace gpusc::attack {
+
+/** Burst-based suppression state machine. */
+class AppSwitchDetector
+{
+  public:
+    struct Params
+    {
+        /** Max gap between changes belonging to one burst. */
+        SimTime burstGap = SimTime::fromMs(50);
+        /** Changes within burstGap chains needed to call it a burst.
+         *  Transition animations produce 10-20 such changes; normal
+         *  typing maxes out around 4 (split pieces + a duplicated
+         *  popup frame). */
+        int burstCount = 7;
+        /** Quiet time that ends suppression without a PAGE resume. */
+        SimTime quietResume = SimTime::fromMs(800);
+    };
+
+    AppSwitchDetector() : AppSwitchDetector(Params{}) {}
+    explicit AppSwitchDetector(Params params);
+
+    /** Feed every change (before classification). */
+    void onChange(const PcChange &change);
+
+    /** Feed every accepted classification (after onChange). Any
+     *  accepted signature match means the keyboard is rendering in
+     *  the target app again, so suppression ends. */
+    void onClassified(const Label &label, SimTime time);
+
+    /** True while inference output should be discarded. */
+    bool suppressed(SimTime now) const;
+
+    std::uint64_t burstsDetected() const { return bursts_; }
+
+  private:
+    Params params_;
+    std::deque<SimTime> recent_;
+    bool suppressed_ = false;
+    SimTime lastChange_ = SimTime::fromSeconds(-1e6);
+    std::uint64_t bursts_ = 0;
+};
+
+} // namespace gpusc::attack
+
+#endif // GPUSC_ATTACK_APP_SWITCH_DETECTOR_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Turns the sampler's cumulative counter readings into change events
+ * (paper Fig. 11's "PC value changes"). A change is any reading whose
+ * totals differ from the previous reading; consecutive changes from
+ * one long render job are the *split* artefact repaired downstream.
+ */
+
+#ifndef GPUSC_ATTACK_CHANGE_DETECTOR_H
+#define GPUSC_ATTACK_CHANGE_DETECTOR_H
+
+#include <optional>
+
+#include "attack/sampler.h"
+#include "gpu/counters.h"
+
+namespace gpusc::attack {
+
+/** One observed counter-value change. */
+struct PcChange
+{
+    SimTime time;
+    gpu::CounterVec delta{};
+};
+
+/** Differences consecutive readings. */
+class ChangeDetector
+{
+  public:
+    /** @return a change if this reading differs from the previous. */
+    std::optional<PcChange>
+    onReading(const Reading &r)
+    {
+        if (!havePrev_) {
+            prev_ = r.totals;
+            havePrev_ = true;
+            return std::nullopt;
+        }
+        PcChange c;
+        c.time = r.time;
+        bool any = false;
+        for (std::size_t i = 0; i < r.totals.size(); ++i) {
+            c.delta[i] = std::int64_t(r.totals[i] - prev_[i]);
+            any = any || c.delta[i] != 0;
+        }
+        prev_ = r.totals;
+        if (!any)
+            return std::nullopt;
+        return c;
+    }
+
+    void
+    reset()
+    {
+        havePrev_ = false;
+    }
+
+  private:
+    gpu::CounterTotals prev_{};
+    bool havePrev_ = false;
+};
+
+} // namespace gpusc::attack
+
+#endif // GPUSC_ATTACK_CHANGE_DETECTOR_H

@@ -1,0 +1,23 @@
+#include "attack/correction_tracker.h"
+
+namespace gpusc::attack {
+
+CorrectionTracker::CorrectionTracker(const SignatureModel &model)
+    : model_(model)
+{
+}
+
+std::optional<int>
+CorrectionTracker::decodeFieldLength(const PcChange &change) const
+{
+    // Cheap pre-filter: field redraws are small; popup shows and app
+    // redraws are far above the trained cutoff.
+    if (model_.echoCutoff() <= 0.0 ||
+        double(gpu::l1Norm(change.delta)) > model_.echoCutoff())
+        return std::nullopt;
+    // Echo-line decode (§5.3): the residual test rejects cursor
+    // blinks, popup dismissals, notifications etc.
+    return model_.decodeEchoLength(change.delta);
+}
+
+} // namespace gpusc::attack

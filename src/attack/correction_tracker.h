@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Input-correction (backspace) detection, paper §5.3 / Fig. 14.
+ *
+ * Backspace raises no popup; its only GPU trace is the credential
+ * field redrawing with one dot fewer — the visible-primitive counter
+ * moves by exactly -2. Cursor blinking also moves the field's counter
+ * by ±2 but alternates strictly (off/on/off/...) on a 0.5 s clock, so
+ * two consecutive "-2" field events (or a single "-4") betray a
+ * deletion. Field events are recognised by their small magnitude
+ * (below the trained echo-band cutoff).
+ */
+
+#ifndef GPUSC_ATTACK_CORRECTION_TRACKER_H
+#define GPUSC_ATTACK_CORRECTION_TRACKER_H
+
+#include <functional>
+#include <optional>
+
+#include "attack/change_detector.h"
+#include "attack/signature.h"
+
+namespace gpusc::attack {
+
+/** Decodes credential-field redraws into absolute text lengths. */
+class CorrectionTracker
+{
+  public:
+    explicit CorrectionTracker(const SignatureModel &model);
+
+    /**
+     * Inspect a change that was NOT classified as a key press.
+     * @return the absolute field length if the change is a field
+     * redraw on the trained echo line, else nullopt (blink, popup
+     * dismissal, notification, foreign work, ...).
+     */
+    std::optional<int> decodeFieldLength(const PcChange &change) const;
+
+    void noteDeletions(int n) { deletions_ += std::uint64_t(n); }
+    std::uint64_t deletionsDetected() const { return deletions_; }
+
+  private:
+    const SignatureModel &model_;
+    std::uint64_t deletions_ = 0;
+};
+
+} // namespace gpusc::attack
+
+#endif // GPUSC_ATTACK_CORRECTION_TRACKER_H

@@ -1,0 +1,231 @@
+#include "attack/eavesdropper.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/logging.h"
+
+namespace gpusc::attack {
+
+using namespace gpusc::sim_literals;
+
+Eavesdropper::Eavesdropper(android::Device &device,
+                           const SignatureModel &model)
+    : Eavesdropper(device, model, Params{})
+{
+}
+
+Eavesdropper::Eavesdropper(android::Device &device,
+                           const SignatureModel &model, Params params)
+    : device_(device), params_(params)
+{
+    sampler_ = std::make_unique<PcSampler>(
+        device_.kgsl(), device_.attackerContext(), device_.eq(),
+        params_.samplingInterval);
+    sampler_->setListener([this](const Reading &r) { onReading(r); });
+    adoptModel(model);
+}
+
+Eavesdropper::Eavesdropper(android::Device &device,
+                           const ModelStore &store, Params params)
+    : device_(device), params_(params), store_(&store)
+{
+    sampler_ = std::make_unique<PcSampler>(
+        device_.kgsl(), device_.attackerContext(), device_.eq(),
+        params_.samplingInterval);
+    sampler_->setListener([this](const Reading &r) { onReading(r); });
+}
+
+Eavesdropper::~Eavesdropper() = default;
+
+void
+Eavesdropper::adoptModel(const SignatureModel &model)
+{
+    model_ = &model;
+    inference_ =
+        std::make_unique<OnlineInference>(model, params_.inference);
+    correction_ = std::make_unique<CorrectionTracker>(model);
+    inference_->setNoiseListener([this](const PcChange &c) {
+        if (!params_.correctionTracking || !correction_)
+            return;
+        const auto len = correction_->decodeFieldLength(c);
+        if (!len)
+            return;
+        // A *shrunken* field length means backspace deletions
+        // (§5.3): typing echoes confirm the running length, while
+        // backspace runs produce no popups and only shrink it. A
+        // single-step shrink right after an inferred key press is
+        // ambiguous (a duplicated popup frame inflated the estimate),
+        // so only multi-step shrinks pass inside that window.
+        const bool afterKey =
+            c.time - inference_->lastInferredTime() <
+            SimTime::fromMs(300);
+        // A very large drop is the field being cleared (navigating
+        // away / trial reset), not a backspace run — re-anchor only.
+        if (*len < bufferLen_ && bufferLen_ - *len <= 8 &&
+            !(afterKey && *len + 1 == bufferLen_)) {
+            const int deletions = std::min(bufferLen_ - *len, 8);
+            correction_->noteDeletions(deletions);
+            for (int i = 0; i < deletions; ++i)
+                events_.push_back(
+                    {StolenEvent::Kind::Deletion, 0, c.time});
+            bufferLen_ = *len;
+        } else {
+            // Track the decoded level (appends are accounted for by
+            // popup inference, but the decode re-anchors drift).
+            bufferLen_ = *len;
+        }
+        maxFieldLen_ = std::max(maxFieldLen_, *len);
+    });
+}
+
+bool
+Eavesdropper::start()
+{
+    return sampler_->start();
+}
+
+void
+Eavesdropper::stop()
+{
+    sampler_->stop();
+}
+
+void
+Eavesdropper::setWakeupJitter(std::function<SimTime()> fn)
+{
+    sampler_->setWakeupJitter(std::move(fn));
+}
+
+void
+Eavesdropper::onReading(const Reading &r)
+{
+    device_.power().addSamplerWakeups(1);
+    if (auto change = changes_.onReading(r))
+        onChange(*change);
+}
+
+bool
+Eavesdropper::tryRecognize(const PcChange &c)
+{
+    // Device recognition: buffer sizeable changes and pick the model
+    // whose signature table explains them best.
+    recognitionBuffer_.push_back(c);
+    if (recognitionBuffer_.size() < 6)
+        return false;
+    const SignatureModel *best = nullptr;
+    double bestScore = 0.0;
+    for (const auto &[key, m] : store_->all()) {
+        double score = 0.0;
+        int accepted = 0;
+        for (const PcChange &b : recognitionBuffer_) {
+            const auto match = m.classify(b.delta);
+            if (match.accepted(m.threshold())) {
+                ++accepted;
+                score += 1.0 / (1.0 + match.distance);
+            }
+        }
+        score += double(accepted);
+        if (!best || score > bestScore) {
+            best = &m;
+            bestScore = score;
+        }
+    }
+    if (!best)
+        return false;
+    adoptModel(*best);
+    inform("Eavesdropper: recognised configuration %s",
+           best->modelKey().c_str());
+    // Replay buffered changes through the adopted pipeline.
+    std::vector<PcChange> buffered;
+    buffered.swap(recognitionBuffer_);
+    for (const PcChange &b : buffered)
+        onChange(b);
+    return true;
+}
+
+void
+Eavesdropper::onChange(const PcChange &c)
+{
+    if (!model_) {
+        tryRecognize(c);
+        return;
+    }
+
+    if (params_.recordTrace)
+        trace_.push_back(c);
+
+    if (params_.appSwitchDetection)
+        switchDetector_.onChange(c);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto key = inference_->onChange(c);
+    const auto t1 = std::chrono::steady_clock::now();
+    latencies_.add(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+    device_.power().addInferences(1);
+
+    if (!key)
+        return;
+
+    if (params_.appSwitchDetection) {
+        switchDetector_.onClassified(key->label, key->time);
+        if (switchDetector_.suppressed(c.time))
+            return;
+    }
+
+    if (isPageLabel(key->label)) {
+        events_.push_back({StolenEvent::Kind::Page, 0, key->time});
+    } else if (key->label.size() == 1) {
+        events_.push_back(
+            {StolenEvent::Kind::Char, key->label[0], key->time});
+        ++bufferLen_;
+    } else {
+        warn("Eavesdropper: unexpected label '%s'",
+             key->label.c_str());
+    }
+}
+
+std::string
+Eavesdropper::inferredTextBetween(SimTime t0, SimTime t1) const
+{
+    std::string out;
+    for (const StolenEvent &e : events_) {
+        if (e.time < t0 || e.time > t1)
+            continue;
+        switch (e.kind) {
+          case StolenEvent::Kind::Char:
+            out.push_back(e.ch);
+            break;
+          case StolenEvent::Kind::Deletion:
+            if (!out.empty())
+                out.pop_back();
+            break;
+          case StolenEvent::Kind::Page:
+            break;
+        }
+    }
+    return out;
+}
+
+std::size_t
+Eavesdropper::exfiltrationBytes() const
+{
+    return events_.size() * 5;
+}
+
+std::size_t
+Eavesdropper::rawCounterBytes() const
+{
+    return std::size_t(sampler_->readCount()) *
+           gpu::kNumSelectedCounters * sizeof(std::uint64_t);
+}
+
+std::string
+Eavesdropper::inferredText() const
+{
+    return inferredTextBetween(SimTime::fromSeconds(-1e9),
+                               SimTime::max());
+}
+
+} // namespace gpusc::attack

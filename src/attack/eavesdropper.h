@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The complete attacking application (Online Phase, paper Fig. 4):
+ * a background service that samples the GPU counters through the KGSL
+ * device file, recognises the device configuration, infers key
+ * presses with Algorithm 1, suppresses app-switch intervals, tracks
+ * backspace corrections, and reconstructs the typed credential.
+ */
+
+#ifndef GPUSC_ATTACK_EAVESDROPPER_H
+#define GPUSC_ATTACK_EAVESDROPPER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "android/device.h"
+#include "attack/app_switch_detector.h"
+#include "attack/change_detector.h"
+#include "attack/correction_tracker.h"
+#include "attack/model_store.h"
+#include "attack/online_inference.h"
+#include "attack/sampler.h"
+#include "util/stats.h"
+
+namespace gpusc::attack {
+
+/** One entry of the eavesdropping output stream. */
+struct StolenEvent
+{
+    enum class Kind
+    {
+        Char,     ///< a printable character was typed
+        Page,     ///< the keyboard switched page
+        Deletion, ///< a backspace removed the previous character
+    };
+    Kind kind;
+    char ch = 0; ///< for Kind::Char
+    SimTime time;
+};
+
+/** The attacking application. */
+class Eavesdropper
+{
+  public:
+    struct Params
+    {
+        /** Counter sampling interval (§4 default: 8 ms). */
+        SimTime samplingInterval = SimTime::fromMs(8);
+        /** Algorithm 1 knobs. */
+        OnlineInference::Params inference{};
+        /** Disable components for ablation studies. */
+        bool appSwitchDetection = true;
+        bool correctionTracking = true;
+        /** Keep the raw change trace (offline-inference studies). */
+        bool recordTrace = false;
+    };
+
+    /** Attach with a known model (trained for this device config). */
+    Eavesdropper(android::Device &device, const SignatureModel &model);
+    Eavesdropper(android::Device &device, const SignatureModel &model,
+                 Params params);
+
+    /**
+     * Attach with a preloaded model store: the device configuration
+     * is recognised from the first counter changes (Fig. 4's "device
+     * recognition" step).
+     */
+    Eavesdropper(android::Device &device, const ModelStore &store,
+                 Params params);
+
+    ~Eavesdropper();
+
+    /** Start the background service. False if the kernel denies the
+     *  counter ioctls (RBAC mitigation). */
+    bool start();
+    void stop();
+
+    /** Extra wakeup latency source (CPU contention, §7.3). */
+    void setWakeupJitter(std::function<SimTime()> fn);
+
+    /** Everything stolen so far. */
+    const std::vector<StolenEvent> &events() const { return events_; }
+
+    /** Reconstructed text over the whole run (deletions applied). */
+    std::string inferredText() const;
+
+    /** Reconstructed text from events within [t0, t1]. */
+    std::string inferredTextBetween(SimTime t0, SimTime t1) const;
+
+    /**
+     * Current credential-field length decoded from the echo channel.
+     * Works even when popups are disabled (§9.1's residual leak: the
+     * text length remains inferable).
+     */
+    int inferredFieldLength() const { return bufferLen_; }
+    /** Longest field length ever observed (the credential's length). */
+    int maxObservedFieldLength() const { return maxFieldLen_; }
+
+    /**
+     * Bytes needed to send the loot home (paper Fig. 4 "send back
+     * inferred key presses"; §7.6 claims negligible network traffic —
+     * only *results* leave the device, never raw counter streams).
+     * Encoding: 1 event byte + 4 timestamp bytes per stolen event.
+     */
+    std::size_t exfiltrationBytes() const;
+    /** Raw bytes the sampler observed (for the traffic comparison). */
+    std::size_t rawCounterBytes() const;
+
+    /** Model actually in use (after recognition, if any). */
+    const SignatureModel *activeModel() const { return model_; }
+
+    /** Host-measured per-change inference latency, microseconds
+     *  (Fig. 25). */
+    const Samples &inferenceLatenciesUs() const { return latencies_; }
+
+    const OnlineInference *inference() const { return inference_.get(); }
+    const PcSampler &sampler() const { return *sampler_; }
+    const AppSwitchDetector &switchDetector() const
+    {
+        return switchDetector_;
+    }
+    const CorrectionTracker *correctionTracker() const
+    {
+        return correction_.get();
+    }
+    /** Raw change trace (only when Params::recordTrace). */
+    const std::vector<PcChange> &trace() const { return trace_; }
+    int lastErrno() const { return sampler_->lastErrno(); }
+
+  private:
+    void onReading(const Reading &r);
+    void onChange(const PcChange &c);
+    bool tryRecognize(const PcChange &c);
+    void adoptModel(const SignatureModel &model);
+
+    android::Device &device_;
+    Params params_;
+    const ModelStore *store_ = nullptr;
+    const SignatureModel *model_ = nullptr;
+    std::unique_ptr<PcSampler> sampler_;
+    ChangeDetector changes_;
+    std::unique_ptr<OnlineInference> inference_;
+    AppSwitchDetector switchDetector_;
+    std::unique_ptr<CorrectionTracker> correction_;
+    std::vector<StolenEvent> events_;
+    Samples latencies_;
+    std::vector<PcChange> recognitionBuffer_;
+    std::vector<PcChange> trace_;
+    /** Running estimate of the credential field's length. */
+    int bufferLen_ = 0;
+    int maxFieldLen_ = 0;
+};
+
+} // namespace gpusc::attack
+
+#endif // GPUSC_ATTACK_EAVESDROPPER_H

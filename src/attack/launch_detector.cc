@@ -1,0 +1,70 @@
+#include "attack/launch_detector.h"
+
+namespace gpusc::attack {
+
+LaunchDetector::LaunchDetector(android::Device &device,
+                               std::set<std::string> targetApps,
+                               Params params)
+    : device_(device), targets_(std::move(targetApps)),
+      params_(params), rng_(params.seed),
+      aliveToken_(std::make_shared<int>(0))
+{
+}
+
+LaunchDetector::~LaunchDetector() = default;
+
+void
+LaunchDetector::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    poll();
+}
+
+void
+LaunchDetector::stop()
+{
+    running_ = false;
+}
+
+void
+LaunchDetector::poll()
+{
+    if (!running_)
+        return;
+
+    const bool targetNow =
+        device_.inTargetApp() &&
+        targets_.contains(device_.config().app);
+
+    if (targetNow && !inForeground_ && !missedThisSession_) {
+        // A fresh foreground session of a target app: the procfs
+        // classifier recognises it with the published accuracy; a
+        // missed session stays missed until the app leaves.
+        if (rng_.bernoulli(params_.detectionRate)) {
+            inForeground_ = true;
+            ++detected_;
+            if (onLaunch_)
+                onLaunch_(device_.config().app);
+        } else {
+            missedThisSession_ = true;
+            ++missed_;
+        }
+    } else if (!targetNow) {
+        missedThisSession_ = false;
+        if (inForeground_) {
+            inForeground_ = false;
+            if (onExit_)
+                onExit_();
+        }
+    }
+
+    std::weak_ptr<int> alive = aliveToken_;
+    device_.eq().scheduleAfter(params_.pollInterval, [this, alive] {
+        if (!alive.expired())
+            poll();
+    });
+}
+
+} // namespace gpusc::attack

@@ -1,0 +1,136 @@
+#include "attack/model_store.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace gpusc::attack {
+
+void
+ModelStore::put(SignatureModel model)
+{
+    const std::string key = model.modelKey();
+    models_.insert_or_assign(key, std::move(model));
+}
+
+const SignatureModel *
+ModelStore::find(const std::string &key) const
+{
+    auto it = models_.find(key);
+    return it == models_.end() ? nullptr : &it->second;
+}
+
+const SignatureModel &
+ModelStore::getOrTrain(const android::DeviceConfig &cfg,
+                       const OfflineTrainer &trainer)
+{
+    // Key derivation must match Device::modelKey(); build a throwaway
+    // device only to compute it cheaply? Constructing a Device is
+    // cheap (no simulation run), so use it directly.
+    const std::string key = android::Device(cfg).modelKey();
+    auto it = models_.find(key);
+    if (it != models_.end())
+        return it->second;
+    inform("ModelStore: training model for %s", key.c_str());
+    SignatureModel m = trainer.train(cfg);
+    return models_.emplace(key, std::move(m)).first->second;
+}
+
+std::vector<std::string>
+ModelStore::keys() const
+{
+    std::vector<std::string> out;
+    for (const auto &[k, v] : models_)
+        out.push_back(k);
+    return out;
+}
+
+std::size_t
+ModelStore::totalByteSize() const
+{
+    std::size_t n = 0;
+    for (const auto &[k, m] : models_)
+        n += m.byteSize();
+    return n;
+}
+
+std::vector<std::uint8_t>
+ModelStore::serialize() const
+{
+    std::vector<std::uint8_t> out;
+    const std::uint32_t count = std::uint32_t(models_.size());
+    const auto *cp = reinterpret_cast<const std::uint8_t *>(&count);
+    out.insert(out.end(), cp, cp + sizeof(count));
+    for (const auto &[k, m] : models_) {
+        const std::vector<std::uint8_t> blob = m.serialize();
+        const std::uint32_t len = std::uint32_t(blob.size());
+        const auto *lp = reinterpret_cast<const std::uint8_t *>(&len);
+        out.insert(out.end(), lp, lp + sizeof(len));
+        out.insert(out.end(), blob.begin(), blob.end());
+    }
+    return out;
+}
+
+ModelStore
+ModelStore::deserialize(const std::vector<std::uint8_t> &blob)
+{
+    ModelStore store;
+    std::size_t pos = 0;
+    auto need = [&](std::size_t n) {
+        if (pos + n > blob.size())
+            fatal("ModelStore::deserialize: truncated blob");
+    };
+    need(4);
+    std::uint32_t count;
+    std::memcpy(&count, blob.data() + pos, 4);
+    pos += 4;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        need(4);
+        std::uint32_t len;
+        std::memcpy(&len, blob.data() + pos, 4);
+        pos += 4;
+        need(len);
+        store.put(
+            SignatureModel::deserialize(blob.data() + pos, len));
+        pos += len;
+    }
+    return store;
+}
+
+bool
+ModelStore::saveToFile(const std::string &path) const
+{
+    FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    const std::vector<std::uint8_t> blob = serialize();
+    const bool ok =
+        std::fwrite(blob.data(), 1, blob.size(), f) == blob.size();
+    std::fclose(f);
+    return ok;
+}
+
+ModelStore
+ModelStore::loadFromFile(const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("ModelStore: cannot open '%s'", path.c_str());
+    std::vector<std::uint8_t> blob;
+    std::uint8_t buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        blob.insert(blob.end(), buf, buf + n);
+    std::fclose(f);
+    return deserialize(blob);
+}
+
+ModelStore &
+ModelStore::global()
+{
+    static ModelStore store;
+    return store;
+}
+
+} // namespace gpusc::attack

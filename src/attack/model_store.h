@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Store of preloaded per-configuration signature models (the attack
+ * APK ships thousands of these; §7.6 sizes them at ~3.6 kB each).
+ * Also memoises training so experiment campaigns train each device
+ * configuration only once.
+ */
+
+#ifndef GPUSC_ATTACK_MODEL_STORE_H
+#define GPUSC_ATTACK_MODEL_STORE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "android/device.h"
+#include "attack/signature.h"
+#include "attack/trainer.h"
+
+namespace gpusc::attack {
+
+/** Keyed collection of signature models. */
+class ModelStore
+{
+  public:
+    /** Add (or replace) a model under its own key. */
+    void put(SignatureModel model);
+
+    /** @return the model for @p key, or nullptr. */
+    const SignatureModel *find(const std::string &key) const;
+
+    /**
+     * Return the model for the configuration, training it via the
+     * offline phase if the store does not have it yet.
+     */
+    const SignatureModel &getOrTrain(const android::DeviceConfig &cfg,
+                                     const OfflineTrainer &trainer);
+
+    std::size_t size() const { return models_.size(); }
+    std::vector<std::string> keys() const;
+    const std::map<std::string, SignatureModel> &all() const
+    {
+        return models_;
+    }
+
+    /** Total serialised size of all models, bytes. */
+    std::size_t totalByteSize() const;
+
+    /** Serialise the whole store / load it back. */
+    std::vector<std::uint8_t> serialize() const;
+    static ModelStore deserialize(
+        const std::vector<std::uint8_t> &blob);
+
+    /** File round trip (the preloaded asset in the APK). */
+    bool saveToFile(const std::string &path) const;
+    static ModelStore loadFromFile(const std::string &path);
+
+    /**
+     * The process-wide store used by benches/tests so each device
+     * configuration is trained at most once per process.
+     */
+    static ModelStore &global();
+
+  private:
+    std::map<std::string, SignatureModel> models_;
+};
+
+} // namespace gpusc::attack
+
+#endif // GPUSC_ATTACK_MODEL_STORE_H

@@ -1,0 +1,61 @@
+#include "attack/online_inference.h"
+
+namespace gpusc::attack {
+
+OnlineInference::OnlineInference(const SignatureModel &model,
+                                 Params params)
+    : model_(model), params_(params)
+{
+}
+
+std::optional<InferredKey>
+OnlineInference::onChange(const PcChange &change)
+{
+    // Step 0: duplication filter. A human cannot press two keys
+    // within T_min, so a change right after an inferred press is the
+    // popup animation re-rendering, not a new key.
+    if (dupFilter_ && change.time - lastInferred_ < params_.tmin) {
+        ++dupDrops_;
+        return std::nullopt;
+    }
+
+    // Step 1: direct classification.
+    const SignatureModel::Match direct =
+        model_.classifyRobust(change.delta);
+    if (direct.accepted(model_.threshold())) {
+        lastInferred_ = change.time;
+        prevUnmatched_.reset();
+        ++inferred_;
+        return InferredKey{direct.sig->label, change.time,
+                           direct.distance};
+    }
+
+    // Step 2: split repair — the GPU was mid-frame at the previous
+    // read, so this change plus the previous unmatched one may be the
+    // two halves of a single frame's delta.
+    if (splitRepair_ && prevUnmatched_ &&
+        change.time - prevUnmatched_->time <= params_.combineWindow) {
+        using gpu::operator+;
+        const gpu::CounterVec combined =
+            prevUnmatched_->delta + change.delta;
+        const SignatureModel::Match m = model_.classifyRobust(combined);
+        if (m.accepted(model_.threshold())) {
+            const SimTime at = prevUnmatched_->time;
+            lastInferred_ = change.time;
+            prevUnmatched_.reset();
+            ++inferred_;
+            ++splitCombines_;
+            return InferredKey{m.sig->label, at, m.distance};
+        }
+    }
+
+    // Step 3: system noise; remember it as a potential left split
+    // piece.
+    ++noise_;
+    prevUnmatched_ = change;
+    if (noiseListener_)
+        noiseListener_(change);
+    return std::nullopt;
+}
+
+} // namespace gpusc::attack

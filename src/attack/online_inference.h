@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The paper's online key-press inference (Algorithm 1 + the T_min
+ * duplication filter of §5.1).
+ *
+ * For each observed change O at time t:
+ *   0. if a key press was already inferred within T_min (75 ms, the
+ *      shortest plausible human inter-press gap), drop O — this kills
+ *      popup-animation duplications;
+ *   1. classify O against the signature model; distance <= C_th means
+ *      a key press;
+ *   2. otherwise try combining O with the immediately preceding
+ *      unmatched change (split repair) and classify the sum;
+ *   3. otherwise O is system noise (it is remembered as the candidate
+ *      left piece of a future split).
+ */
+
+#ifndef GPUSC_ATTACK_ONLINE_INFERENCE_H
+#define GPUSC_ATTACK_ONLINE_INFERENCE_H
+
+#include <functional>
+#include <optional>
+
+#include "attack/change_detector.h"
+#include "attack/signature.h"
+#include "util/sim_time.h"
+
+namespace gpusc::attack {
+
+/** A key press recovered from the counter stream. */
+struct InferredKey
+{
+    Label label;
+    SimTime time;
+    double distance = 0.0;
+};
+
+/** Online classification state machine (Algorithm 1). */
+class OnlineInference
+{
+  public:
+    struct Params
+    {
+        /** Shortest plausible gap between two human key presses. */
+        SimTime tmin = SimTime::fromMs(75);
+        /** Max gap between two changes that may be one split frame. */
+        SimTime combineWindow = SimTime::fromMs(25);
+    };
+
+    OnlineInference(const SignatureModel &model, Params params);
+
+    /** Feed one change; maybe emit an inferred key press. */
+    std::optional<InferredKey> onChange(const PcChange &change);
+
+    /** Changes rejected as noise flow here (correction tracking). */
+    void setNoiseListener(std::function<void(const PcChange &)> fn)
+    {
+        noiseListener_ = std::move(fn);
+    }
+
+    /** Disable step 2 (ablation: no split repair). */
+    void setSplitRepairEnabled(bool on) { splitRepair_ = on; }
+    /** Disable step 0 (ablation: no duplication filter). */
+    void setDuplicationFilterEnabled(bool on) { dupFilter_ = on; }
+
+    SimTime lastInferredTime() const { return lastInferred_; }
+
+    // Diagnostics.
+    std::uint64_t inferredCount() const { return inferred_; }
+    std::uint64_t duplicationDrops() const { return dupDrops_; }
+    std::uint64_t splitCombines() const { return splitCombines_; }
+    std::uint64_t noiseCount() const { return noise_; }
+
+    const SignatureModel &model() const { return model_; }
+
+  private:
+    const SignatureModel &model_;
+    Params params_;
+    bool splitRepair_ = true;
+    bool dupFilter_ = true;
+    std::function<void(const PcChange &)> noiseListener_;
+    std::optional<PcChange> prevUnmatched_;
+    SimTime lastInferred_ = SimTime::fromSeconds(-1e6);
+    std::uint64_t inferred_ = 0;
+    std::uint64_t dupDrops_ = 0;
+    std::uint64_t splitCombines_ = 0;
+    std::uint64_t noise_ = 0;
+};
+
+} // namespace gpusc::attack
+
+#endif // GPUSC_ATTACK_ONLINE_INFERENCE_H

@@ -1,0 +1,112 @@
+#include "attack/sampler.h"
+
+#include "kgsl/msm_kgsl.h"
+
+namespace gpusc::attack {
+
+int
+openAndReserveCounters(kgsl::KgslDevice &dev,
+                       const kgsl::ProcessContext &proc)
+{
+    const int fd = dev.open(proc);
+    if (fd < 0)
+        return fd;
+    for (std::size_t i = 0; i < gpu::kNumSelectedCounters; ++i) {
+        const gpu::CounterId id =
+            gpu::counterId(gpu::SelectedCounter(i));
+        kgsl::kgsl_perfcounter_get get;
+        get.groupid = id.group;
+        get.countable = id.countable;
+        const int rc =
+            dev.ioctl(fd, kgsl::IOCTL_KGSL_PERFCOUNTER_GET, &get);
+        if (rc != 0) {
+            dev.close(fd);
+            return rc;
+        }
+    }
+    return fd;
+}
+
+bool
+PcSampler::readOnce(kgsl::KgslDevice &dev, int fd,
+                    gpu::CounterTotals &out)
+{
+    kgsl::kgsl_perfcounter_read_group
+        entries[gpu::kNumSelectedCounters];
+    for (std::size_t i = 0; i < gpu::kNumSelectedCounters; ++i) {
+        const gpu::CounterId id =
+            gpu::counterId(gpu::SelectedCounter(i));
+        entries[i].groupid = id.group;
+        entries[i].countable = id.countable;
+    }
+    kgsl::kgsl_perfcounter_read req;
+    req.reads = entries;
+    req.count = gpu::kNumSelectedCounters;
+    if (dev.ioctl(fd, kgsl::IOCTL_KGSL_PERFCOUNTER_READ, &req) != 0)
+        return false;
+    for (std::size_t i = 0; i < gpu::kNumSelectedCounters; ++i)
+        out[i] = entries[i].value;
+    return true;
+}
+
+PcSampler::PcSampler(kgsl::KgslDevice &dev, kgsl::ProcessContext proc,
+                     EventQueue &eq, SimTime interval)
+    : dev_(dev), proc_(proc), eq_(eq), interval_(interval),
+      aliveToken_(std::make_shared<int>(0))
+{
+}
+
+PcSampler::~PcSampler()
+{
+    stop();
+}
+
+bool
+PcSampler::start()
+{
+    if (running_)
+        return true;
+    const int fd = openAndReserveCounters(dev_, proc_);
+    if (fd < 0) {
+        lastErrno_ = -fd;
+        return false;
+    }
+    fd_ = fd;
+    running_ = true;
+    tick();
+    return true;
+}
+
+void
+PcSampler::stop()
+{
+    if (fd_ >= 0) {
+        dev_.close(fd_);
+        fd_ = -1;
+    }
+    running_ = false;
+}
+
+void
+PcSampler::tick()
+{
+    if (!running_)
+        return;
+    Reading r;
+    r.time = eq_.now();
+    if (readOnce(dev_, fd_, r.totals)) {
+        ++reads_;
+        if (listener_)
+            listener_(r);
+    }
+    SimTime next = interval_;
+    if (wakeupJitter_)
+        next += wakeupJitter_();
+    std::weak_ptr<int> alive = aliveToken_;
+    eq_.scheduleAfter(next, [this, alive] {
+        if (!alive.expired())
+            tick();
+    });
+}
+
+} // namespace gpusc::attack

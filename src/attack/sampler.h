@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The attack's periodic performance-counter sampler.
+ *
+ * Replays the paper's Fig. 10 flow through the simulated device file:
+ * open /dev/kgsl-3d0, reserve the 11 selected countables with
+ * IOCTL_KGSL_PERFCOUNTER_GET, then blockread them all on a fixed
+ * interval (default 8 ms) with IOCTL_KGSL_PERFCOUNTER_READ. Wakeups
+ * can be jittered by a caller-supplied delay source to model CPU
+ * contention (§7.3).
+ */
+
+#ifndef GPUSC_ATTACK_SAMPLER_H
+#define GPUSC_ATTACK_SAMPLER_H
+
+#include <functional>
+#include <memory>
+
+#include "gpu/counters.h"
+#include "kgsl/device.h"
+#include "util/event_queue.h"
+
+namespace gpusc::attack {
+
+/** One sampler tick's observation. */
+struct Reading
+{
+    SimTime time;
+    gpu::CounterTotals totals{};
+};
+
+/** Periodic PC reader over the KGSL ioctl interface. */
+class PcSampler
+{
+  public:
+    PcSampler(kgsl::KgslDevice &dev, kgsl::ProcessContext proc,
+              EventQueue &eq, SimTime interval);
+    ~PcSampler();
+
+    PcSampler(const PcSampler &) = delete;
+    PcSampler &operator=(const PcSampler &) = delete;
+
+    /** Called with every completed reading. */
+    void setListener(std::function<void(const Reading &)> fn)
+    {
+        listener_ = std::move(fn);
+    }
+
+    /** Extra wakeup latency source (CPU-load model). */
+    void setWakeupJitter(std::function<SimTime()> fn)
+    {
+        wakeupJitter_ = std::move(fn);
+    }
+
+    /**
+     * Open the device file and reserve the counters.
+     * @return true on success; false (with lastErrno set) if the
+     * security policy denies the attack — the RBAC mitigation path.
+     */
+    bool start();
+
+    /** Stop sampling and close the descriptor. */
+    void stop();
+
+    bool running() const { return running_; }
+    SimTime interval() const { return interval_; }
+    std::uint64_t readCount() const { return reads_; }
+    int lastErrno() const { return lastErrno_; }
+
+    /** Synchronous single read (used by the offline trainer's bot). */
+    static bool readOnce(kgsl::KgslDevice &dev, int fd,
+                         gpu::CounterTotals &out);
+
+  private:
+    void tick();
+
+    kgsl::KgslDevice &dev_;
+    kgsl::ProcessContext proc_;
+    EventQueue &eq_;
+    SimTime interval_;
+    std::function<void(const Reading &)> listener_;
+    std::function<SimTime()> wakeupJitter_;
+    int fd_ = -1;
+    bool running_ = false;
+    std::uint64_t reads_ = 0;
+    int lastErrno_ = 0;
+    std::shared_ptr<int> aliveToken_;
+};
+
+/**
+ * Open the device and reserve the 11 selected counters.
+ * @return the fd, or a negative errno.
+ */
+int openAndReserveCounters(kgsl::KgslDevice &dev,
+                           const kgsl::ProcessContext &proc);
+
+} // namespace gpusc::attack
+
+#endif // GPUSC_ATTACK_SAMPLER_H

@@ -1,0 +1,256 @@
+#include "attack/signature.h"
+
+#include <cmath>
+#include <optional>
+#include <cstring>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace gpusc::attack {
+
+Label
+pageLabel(int page)
+{
+    static const char *names[] = {"lower", "upper", "symbols"};
+    if (page < 0 || page > 2)
+        panic("pageLabel: bad page %d", page);
+    return std::string("PAGE:") + names[page];
+}
+
+bool
+isPageLabel(const Label &label)
+{
+    return label.rfind("PAGE:", 0) == 0;
+}
+
+void
+SignatureModel::addSignature(LabelSignature sig)
+{
+    sigs_.push_back(std::move(sig));
+}
+
+SignatureModel::Match
+SignatureModel::classify(const gpu::CounterVec &delta) const
+{
+    Match best;
+    best.distance = std::numeric_limits<double>::infinity();
+    for (const LabelSignature &sig : sigs_) {
+        double s = 0.0;
+        for (std::size_t d = 0; d < delta.size(); ++d) {
+            const double diff =
+                double(delta[d] - sig.centroid[d]) * scale_[d];
+            s += diff * diff;
+        }
+        const double dist = std::sqrt(s);
+        if (dist < best.distance) {
+            best.distance = dist;
+            best.sig = &sig;
+        }
+    }
+    return best;
+}
+
+SignatureModel::Match
+SignatureModel::classifyRobust(const gpu::CounterVec &delta) const
+{
+    Match best = classify(delta);
+    for (const gpu::CounterVec &blink : blinkVariants_) {
+        using gpu::operator-;
+        const Match m = classify(delta - blink);
+        if (m.distance < best.distance)
+            best = m;
+    }
+    return best;
+}
+
+std::optional<Label>
+SignatureModel::accept(const gpu::CounterVec &delta) const
+{
+    const Match m = classify(delta);
+    if (m.accepted(threshold_))
+        return m.sig->label;
+    return std::nullopt;
+}
+
+double
+SignatureModel::minInterClassDistance() const
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < sigs_.size(); ++i) {
+        for (std::size_t j = i + 1; j < sigs_.size(); ++j) {
+            double s = 0.0;
+            for (std::size_t d = 0; d < gpu::kNumSelectedCounters;
+                 ++d) {
+                const double diff =
+                    double(sigs_[i].centroid[d] - sigs_[j].centroid[d]) *
+                    scale_[d];
+                s += diff * diff;
+            }
+            best = std::min(best, std::sqrt(s));
+        }
+    }
+    return best;
+}
+
+bool
+SignatureModel::hasEchoModel() const
+{
+    return echoTol_ > 0.0 && !gpu::isZero(echoInc_);
+}
+
+std::optional<int>
+SignatureModel::decodeEchoLength(const gpu::CounterVec &delta,
+                                 double *residualOut) const
+{
+    if (!hasEchoModel())
+        return std::nullopt;
+    // Least-squares projection of (delta - base) onto the increment
+    // direction in the model's normalised space.
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t d = 0; d < delta.size(); ++d) {
+        const double inc = double(echoInc_[d]) * scale_[d];
+        const double rel =
+            double(delta[d] - echoBase_[d]) * scale_[d];
+        num += rel * inc;
+        den += inc * inc;
+    }
+    if (den <= 0.0)
+        return std::nullopt;
+    const int k = std::max(0, int(std::lround(num / den)));
+    double res = 0.0;
+    for (std::size_t d = 0; d < delta.size(); ++d) {
+        const double fit =
+            double(echoBase_[d] + k * echoInc_[d]) * scale_[d];
+        const double diff = double(delta[d]) * scale_[d] - fit;
+        res += diff * diff;
+    }
+    if (residualOut)
+        *residualOut = std::sqrt(res);
+    if (std::sqrt(res) > echoTol_)
+        return std::nullopt;
+    return k;
+}
+
+namespace {
+
+template <typename T>
+void
+put(std::vector<std::uint8_t> &out, const T &v)
+{
+    const auto *p = reinterpret_cast<const std::uint8_t *>(&v);
+    out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T
+take(const std::uint8_t *&p, const std::uint8_t *end)
+{
+    if (p + sizeof(T) > end)
+        fatal("SignatureModel::deserialize: truncated model blob");
+    T v;
+    std::memcpy(&v, p, sizeof(T));
+    p += sizeof(T);
+    return v;
+}
+
+constexpr std::uint32_t kMagic = 0x47535047; // "GPSG"
+
+} // namespace
+
+std::vector<std::uint8_t>
+SignatureModel::serialize() const
+{
+    std::vector<std::uint8_t> out;
+    put(out, kMagic);
+    put(out, std::uint16_t(modelKey_.size()));
+    out.insert(out.end(), modelKey_.begin(), modelKey_.end());
+    put(out, float(threshold_));
+    put(out, float(echoCutoff_));
+    put(out, float(echoTol_));
+    for (std::int64_t v : echoBase_)
+        put(out, std::int32_t(v));
+    for (std::int64_t v : echoInc_)
+        put(out, std::int32_t(v));
+    for (double s : scale_)
+        put(out, float(s));
+    put(out, std::uint8_t(blinkVariants_.size()));
+    for (const gpu::CounterVec &b : blinkVariants_)
+        for (std::int64_t v : b)
+            put(out, std::int32_t(v));
+    put(out, std::uint16_t(sigs_.size()));
+    for (const LabelSignature &sig : sigs_) {
+        put(out, std::uint8_t(sig.label.size()));
+        out.insert(out.end(), sig.label.begin(), sig.label.end());
+        // Centroids fit comfortably in 32 bits per counter.
+        for (std::int64_t v : sig.centroid)
+            put(out, std::int32_t(v));
+    }
+    return out;
+}
+
+std::size_t
+SignatureModel::byteSize() const
+{
+    return serialize().size();
+}
+
+SignatureModel
+SignatureModel::deserialize(const std::uint8_t *data, std::size_t size)
+{
+    const std::uint8_t *p = data;
+    const std::uint8_t *end = data + size;
+    SignatureModel m;
+    if (take<std::uint32_t>(p, end) != kMagic)
+        fatal("SignatureModel::deserialize: bad magic");
+    const auto keyLen = take<std::uint16_t>(p, end);
+    if (p + keyLen > end)
+        fatal("SignatureModel::deserialize: truncated key");
+    m.modelKey_.assign(reinterpret_cast<const char *>(p), keyLen);
+    p += keyLen;
+    m.threshold_ = take<float>(p, end);
+    m.echoCutoff_ = take<float>(p, end);
+    m.echoTol_ = take<float>(p, end);
+    for (std::int64_t &v : m.echoBase_)
+        v = take<std::int32_t>(p, end);
+    for (std::int64_t &v : m.echoInc_)
+        v = take<std::int32_t>(p, end);
+    for (double &s : m.scale_)
+        s = take<float>(p, end);
+    const auto nBlink = take<std::uint8_t>(p, end);
+    for (std::uint8_t i = 0; i < nBlink; ++i) {
+        gpu::CounterVec b{};
+        for (std::int64_t &v : b)
+            v = take<std::int32_t>(p, end);
+        m.blinkVariants_.push_back(b);
+    }
+    const auto n = take<std::uint16_t>(p, end);
+    for (std::uint16_t i = 0; i < n; ++i) {
+        LabelSignature sig;
+        const auto len = take<std::uint8_t>(p, end);
+        if (p + len > end)
+            fatal("SignatureModel::deserialize: truncated label");
+        sig.label.assign(reinterpret_cast<const char *>(p), len);
+        p += len;
+        for (std::int64_t &v : sig.centroid)
+            v = take<std::int32_t>(p, end);
+        m.sigs_.push_back(std::move(sig));
+    }
+    return m;
+}
+
+bool
+SignatureModel::operator==(const SignatureModel &other) const
+{
+    if (modelKey_ != other.modelKey_ ||
+        sigs_.size() != other.sigs_.size())
+        return false;
+    for (std::size_t i = 0; i < sigs_.size(); ++i)
+        if (sigs_[i].label != other.sigs_[i].label ||
+            sigs_[i].centroid != other.sigs_[i].centroid)
+            return false;
+    return true;
+}
+
+} // namespace gpusc::attack

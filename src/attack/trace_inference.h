@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Whole-trace (offline) key inference — the accuracy/timeliness
+ * trade-off the paper raises after Algorithm 1.
+ *
+ * Algorithm 1 is greedy: it combines two consecutive changes into a
+ * key "whenever possible", which can mis-pair split pieces. With the
+ * *entire* trace available (eavesdropping scored after the input
+ * finished), a dynamic program can choose the globally best
+ * segmentation: each observed change is either noise, a key press by
+ * itself, or one half of a split pair — maximising the number of
+ * accepted keys and breaking ties by total classification distance.
+ */
+
+#ifndef GPUSC_ATTACK_TRACE_INFERENCE_H
+#define GPUSC_ATTACK_TRACE_INFERENCE_H
+
+#include <vector>
+
+#include "attack/online_inference.h"
+
+namespace gpusc::attack {
+
+/** Offline, whole-trace counterpart of OnlineInference. */
+class TraceInference
+{
+  public:
+    TraceInference(const SignatureModel &model,
+                   OnlineInference::Params params);
+
+    /**
+     * Infer key presses from a complete change trace.
+     * Changes must be in time order.
+     */
+    std::vector<InferredKey>
+    infer(const std::vector<PcChange> &changes) const;
+
+    /** Concatenate the non-page labels of @p keys into text. */
+    static std::string textFrom(const std::vector<InferredKey> &keys);
+
+  private:
+    const SignatureModel &model_;
+    OnlineInference::Params params_;
+};
+
+} // namespace gpusc::attack
+
+#endif // GPUSC_ATTACK_TRACE_INFERENCE_H

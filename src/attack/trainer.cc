@@ -1,0 +1,529 @@
+#include "attack/trainer.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "android/input.h"
+#include "attack/sampler.h"
+#include "util/logging.h"
+
+namespace gpusc::attack {
+
+using namespace gpusc::sim_literals;
+using android::KbPage;
+using android::Key;
+using android::KeyCode;
+
+namespace {
+
+/** Bot-side helper driving one device through capture cycles. */
+class TrainingBot
+{
+  public:
+    TrainingBot(android::Device &dev, int fd,
+                const OfflineTrainer::Params &params)
+        : dev_(dev), fd_(fd), params_(params), injector_(dev)
+    {
+    }
+
+    gpu::CounterTotals
+    read()
+    {
+        gpu::CounterTotals t{};
+        if (!PcSampler::readOnce(dev_.kgsl(), fd_, t))
+            fatal("TrainingBot: counter read failed");
+        return t;
+    }
+
+    /**
+     * Wait until the counters stop moving (UI fully settled). The
+     * stability window must exceed one vsync period: an invalidation
+     * that has not rendered yet is invisible to the counters, and a
+     * shorter window would let it merge into the next captured frame.
+     */
+    void
+    settle()
+    {
+        gpu::CounterTotals last = read();
+        int stable = 0;
+        for (int i = 0; i < 1500 && stable < 24; ++i) {
+            dev_.runFor(1_ms);
+            const gpu::CounterTotals cur = read();
+            if (cur == last) {
+                ++stable;
+            } else {
+                stable = 0;
+                last = cur;
+            }
+        }
+    }
+
+    /**
+     * Wait for the next counter change and accumulate it until the
+     * counters hold still for 3 ms (merging split pieces of one
+     * frame, stopping before the next vsync can add another frame).
+     * @return the change, or a zero vector on timeout.
+     */
+    gpu::CounterVec
+    captureNextChange(int timeoutMs = 80)
+    {
+        const gpu::CounterTotals base = read();
+        gpu::CounterTotals cur = base;
+        int waited = 0;
+        while (cur == base && waited < timeoutMs) {
+            dev_.runFor(1_ms);
+            cur = read();
+            ++waited;
+        }
+        gpu::CounterVec delta{};
+        if (cur == base)
+            return delta; // timeout
+        gpu::CounterTotals last = cur;
+        int stable = 0;
+        while (stable < 3) {
+            dev_.runFor(1_ms);
+            cur = read();
+            if (cur == last) {
+                ++stable;
+            } else {
+                stable = 0;
+                last = cur;
+            }
+        }
+        for (std::size_t i = 0; i < delta.size(); ++i)
+            delta[i] = std::int64_t(last[i] - base[i]);
+        return delta;
+    }
+
+    /** Steer the IME onto @p page with injected touches. */
+    void
+    navigateTo(KbPage page)
+    {
+        for (int hop = 0; hop < 4 && dev_.ime().page() != page;
+             ++hop) {
+            const KbPage cur = dev_.ime().page();
+            KeyCode need;
+            if (cur == KbPage::Symbols)
+                need = KeyCode::Abc;
+            else if (page == KbPage::Symbols)
+                need = KeyCode::Sym;
+            else
+                need = KeyCode::Shift;
+            const Key *k = dev_.ime().layout().findSpecial(cur, need);
+            if (!k)
+                fatal("TrainingBot: page-switch key missing");
+            injector_.tapKey(*k, 90_ms);
+            dev_.runFor(200_ms);
+            settle();
+        }
+        if (dev_.ime().page() != page)
+            fatal("TrainingBot: failed to reach keyboard page %d",
+                  int(page));
+    }
+
+    /** Inject a touch on @p key through the /dev/input path. */
+    void
+    press(const Key &key, SimTime duration)
+    {
+        injector_.tapKey(key, duration);
+    }
+
+    /** Capture one popup-show sample (and the trailing echo). */
+    void
+    sampleKey(const Key &key, gpu::CounterVec &sigOut,
+              gpu::CounterVec &echoOut, bool &echoValid)
+    {
+        settle();
+        press(key, params_.pressDuration);
+        sigOut = captureNextChange();
+        // The next change after the popup show is either the popup
+        // animation's duplicate frame (same magnitude) or the text
+        // echo (small); skip duplicates.
+        echoValid = false;
+        const std::int64_t sigL1 = gpu::l1Norm(sigOut);
+        for (int attempt = 0; attempt < 3; ++attempt) {
+            const gpu::CounterVec next = captureNextChange(160);
+            if (gpu::isZero(next))
+                break;
+            const std::int64_t l1 = gpu::l1Norm(next);
+            // The field echo redraw is roughly a tenth of the popup
+            // show; cursor blinks are thousands of times smaller and
+            // popup dismissals a few times smaller. Only accept the
+            // echo-sized change.
+            if (l1 > sigL1 / 20 && l1 < sigL1 / 4) {
+                echoOut = next;
+                echoValid = true;
+                break;
+            }
+        }
+        dev_.runFor(260_ms); // flush popup dismissal / auto-unshift
+        settle();
+    }
+
+  private:
+    android::Device &dev_;
+    int fd_;
+    const OfflineTrainer::Params &params_;
+    android::InputInjector injector_;
+};
+
+} // namespace
+
+SignatureModel
+OfflineTrainer::train(const android::DeviceConfig &victimCfg) const
+{
+    // The bot owns the device: no notifications, deterministic seed.
+    android::DeviceConfig cfg = victimCfg;
+    cfg.notificationMeanInterval = SimTime();
+    cfg.seed = victimCfg.seed ^ 0x7261696e65724aULL;
+    android::Device dev(cfg);
+    dev.boot();
+    dev.launchTargetApp();
+    dev.runFor(500_ms);
+
+    // The bot runs in Termux on a rooted device (paper §6); it still
+    // reads counters through the same device-file interface.
+    const kgsl::ProcessContext botCtx{999, "shell"};
+    const int fd = openAndReserveCounters(dev.kgsl(), botCtx);
+    if (fd < 0)
+        fatal("OfflineTrainer: cannot open %s (errno %d)",
+              kgsl::KgslDevice::path(), -fd);
+
+    TrainingBot bot(dev, fd, params_);
+
+    // Measure the cursor-blink change at several cursor positions:
+    // with the field focused and the bot idle, the small periodic
+    // changes are blink toggles. The cursor's horizontal position
+    // (hence its tile alignment) depends on the text length, so
+    // variants are sampled at a few lengths. They serve two purposes:
+    // subtraction candidates for classifyRobust(), and a floor under
+    // C_th for the residual alignment mismatch.
+    std::vector<gpu::CounterVec> blinkSamples;
+    auto captureBlinks = [&](int count) {
+        for (int i = 0; i < count; ++i) {
+            const gpu::CounterVec b = bot.captureNextChange(700);
+            if (!gpu::isZero(b) && gpu::l1Norm(b) < 5000)
+                blinkSamples.push_back(b);
+        }
+    };
+    captureBlinks(2);
+    {
+        const Key *seed =
+            dev.ime().layout().findChar(KbPage::Lower, 'a');
+        for (int round = 0; round < 3; ++round) {
+            bot.press(*seed, params_.pressDuration);
+            dev.runFor(400_ms);
+            bot.settle();
+            captureBlinks(2);
+        }
+        dev.app().clearText();
+        dev.runFor(200_ms);
+        bot.settle();
+    }
+
+    std::map<Label, std::vector<gpu::CounterVec>> samples;
+    struct EchoRecord
+    {
+        gpu::CounterVec delta;
+        int epoch;
+        int pressIdx;
+        int textLen; ///< committed characters at capture time
+    };
+    std::vector<EchoRecord> echoes;
+    int pressesSinceClear = 0;
+    int clearEpoch = 0;
+    int pressIdx = 0;
+
+    // --- Page-switch labels: capture the full-page redraw deltas.
+    for (int rep = 0; rep < params_.repetitions; ++rep) {
+        bot.navigateTo(KbPage::Lower);
+        for (KbPage page : {KbPage::Upper, KbPage::Symbols}) {
+            bot.navigateTo(page == KbPage::Symbols ? KbPage::Lower
+                                                   : KbPage::Lower);
+            bot.settle();
+            const Key *k = dev.ime().layout().findSpecial(
+                KbPage::Lower, page == KbPage::Upper ? KeyCode::Shift
+                                                     : KeyCode::Sym);
+            bot.press(*k, 90_ms);
+            samples[pageLabel(int(page))].push_back(
+                bot.captureNextChange());
+            dev.runFor(150_ms);
+            // Return to Lower (capturing the PAGE:lower sample).
+            bot.settle();
+            const Key *back = dev.ime().layout().findSpecial(
+                page, page == KbPage::Upper ? KeyCode::Shift
+                                            : KeyCode::Abc);
+            bot.press(*back, 90_ms);
+            samples[pageLabel(int(KbPage::Lower))].push_back(
+                bot.captureNextChange());
+            dev.runFor(150_ms);
+        }
+    }
+
+    // --- Character labels, page by page.
+    std::set<char> trained;
+    int textLen = 0;
+    for (KbPage page :
+         {KbPage::Lower, KbPage::Upper, KbPage::Symbols}) {
+        for (const Key &key : dev.ime().layout().keys(page)) {
+            if (key.code != KeyCode::Char || key.ch == ' ' ||
+                trained.contains(key.ch))
+                continue;
+            trained.insert(key.ch);
+            for (int rep = 0; rep < params_.repetitions; ++rep) {
+                bot.navigateTo(page);
+                if (pressesSinceClear >= 12) {
+                    dev.app().clearText();
+                    pressesSinceClear = 0;
+                    textLen = 0;
+                    ++clearEpoch;
+                }
+                gpu::CounterVec sig{}, echo{};
+                bool echoValid = false;
+                bot.sampleKey(key, sig, echo, echoValid);
+                ++pressesSinceClear;
+                if (gpu::isZero(sig)) {
+                    warn("OfflineTrainer: empty sample for '%c'",
+                         key.ch);
+                    continue;
+                }
+                if (std::getenv("GPUSC_TRAINER_DEBUG") &&
+                    (key.ch == 'a' || key.ch == 'w')) {
+                    warn("sample '%c' rep %d: prim=%lld part=%lld "
+                         "pix=%lld cyc=%lld full=%lld",
+                         key.ch, rep,
+                         (long long)sig[gpu::LRZ_VISIBLE_PRIM_AFTER_LRZ],
+                         (long long)sig[gpu::LRZ_PARTIAL_8X8_TILES],
+                         (long long)sig[gpu::LRZ_VISIBLE_PIXEL_AFTER_LRZ],
+                         (long long)sig[gpu::RAS_SUPERTILE_ACTIVE_CYCLES],
+                         (long long)sig[gpu::LRZ_FULL_8X8_TILES]);
+                }
+                samples[Label(1, key.ch)].push_back(sig);
+                ++pressIdx;
+                ++textLen; // the press committed one character
+                if (echoValid)
+                    echoes.push_back(
+                        {echo, clearEpoch, pressIdx, textLen});
+            }
+        }
+    }
+
+    dev.kgsl().close(fd);
+
+    // --- Distil the model.
+    SignatureModel model;
+    model.setModelKey(dev.modelKey());
+
+    // Per-dimension scale: inverse mean magnitude across all samples.
+    std::array<double, gpu::kNumSelectedCounters> meanAbs{};
+    std::size_t n = 0;
+    for (const auto &[label, vecs] : samples) {
+        for (const auto &v : vecs) {
+            for (std::size_t d = 0; d < meanAbs.size(); ++d)
+                meanAbs[d] += double(std::llabs(v[d]));
+            ++n;
+        }
+    }
+    // Discriminative normalisation. Counter values ride on huge
+    // scene-wide baselines (~10^5) while the per-key information
+    // lives in differences of tens to hundreds of counts, so
+    // dimensions are scaled by how much the *label means* spread
+    // (inter-class std), floored by the measurement-noise level so
+    // uninformative dimensions cannot amplify noise.
+    std::array<double, gpu::kNumSelectedCounters> scale{};
+    {
+        // Label means per dimension.
+        std::vector<std::array<double, gpu::kNumSelectedCounters>>
+            labelMeans;
+        std::array<double, gpu::kNumSelectedCounters> intraVar{};
+        std::size_t intraN = 0;
+        for (const auto &[label, vecs] : samples) {
+            if (vecs.empty())
+                continue;
+            std::array<double, gpu::kNumSelectedCounters> mean{};
+            for (const auto &v : vecs)
+                for (std::size_t d = 0; d < mean.size(); ++d)
+                    mean[d] += double(v[d]);
+            for (double &m : mean)
+                m /= double(vecs.size());
+            for (const auto &v : vecs) {
+                for (std::size_t d = 0; d < mean.size(); ++d) {
+                    const double diff = double(v[d]) - mean[d];
+                    intraVar[d] += diff * diff;
+                }
+                ++intraN;
+            }
+            labelMeans.push_back(mean);
+        }
+        std::array<double, gpu::kNumSelectedCounters> grand{};
+        for (const auto &m : labelMeans)
+            for (std::size_t d = 0; d < grand.size(); ++d)
+                grand[d] += m[d];
+        for (double &g : grand)
+            g /= double(labelMeans.size());
+        for (std::size_t d = 0; d < scale.size(); ++d) {
+            double interVar = 0.0;
+            for (const auto &m : labelMeans) {
+                const double diff = m[d] - grand[d];
+                interVar += diff * diff;
+            }
+            const double interStd =
+                std::sqrt(interVar / double(labelMeans.size()));
+            const double intraStd = std::sqrt(
+                intraVar[d] / double(std::max<std::size_t>(1, intraN)));
+            scale[d] =
+                1.0 / std::max({1.0, interStd, 8.0 * intraStd});
+        }
+    }
+    model.setScale(scale);
+
+    double maxSelf = 0.0;
+    for (const auto &[label, vecs] : samples) {
+        if (vecs.empty())
+            continue;
+        LabelSignature sig;
+        sig.label = label;
+        // Component-wise median: a rare capture polluted by a merged
+        // cursor-blink frame must not drag the centroid.
+        for (std::size_t d = 0; d < gpu::kNumSelectedCounters; ++d) {
+            std::vector<std::int64_t> vals;
+            vals.reserve(vecs.size());
+            for (const auto &v : vecs)
+                vals.push_back(v[d]);
+            std::sort(vals.begin(), vals.end());
+            sig.centroid[d] = vals[vals.size() / 2];
+        }
+        std::vector<double> dists;
+        for (const auto &v : vecs) {
+            double s = 0.0;
+            for (std::size_t d = 0; d < gpu::kNumSelectedCounters;
+                 ++d) {
+                const double diff =
+                    double(v[d] - sig.centroid[d]) * scale[d];
+                s += diff * diff;
+            }
+            dists.push_back(std::sqrt(s));
+        }
+        std::sort(dists.begin(), dists.end());
+        // Robust spread: captures merged with an unlucky cursor-blink
+        // frame sit far outside the noise cloud; exclude anything
+        // beyond 5x the median distance when sizing the threshold.
+        const double medianDist = dists[dists.size() / 2];
+        double labelSelf = 0.0;
+        for (double dist : dists)
+            if (dist <= 5.0 * medianDist + 1e-6)
+                labelSelf = std::max(labelSelf, dist);
+        if (std::getenv("GPUSC_TRAINER_DEBUG") && labelSelf > 0.05)
+            warn("trainer: label '%s' intra-class spread %.4f",
+                 sig.label.c_str(), labelSelf);
+        maxSelf = std::max(maxSelf, labelSelf);
+        model.addSignature(std::move(sig));
+    }
+    // Blink variants: dedupe the sampled blink vectors (tile
+    // alignment yields a handful of distinct shapes) and keep them in
+    // the model for subtraction during online classification.
+    std::vector<gpu::CounterVec> variants;
+    auto scaledDist = [&](const gpu::CounterVec &a,
+                          const gpu::CounterVec &b) {
+        double s = 0.0;
+        for (std::size_t d = 0; d < gpu::kNumSelectedCounters; ++d) {
+            const double diff = double(a[d] - b[d]) * scale[d];
+            s += diff * diff;
+        }
+        return std::sqrt(s);
+    };
+    for (const auto &b : blinkSamples) {
+        bool dup = false;
+        for (const auto &v : variants)
+            dup = dup || scaledDist(b, v) < 0.05;
+        if (!dup && variants.size() < 6)
+            variants.push_back(b);
+    }
+
+    // C_th: wide enough to absorb intra-class spread (measurement
+    // noise) plus the residual left when a blink-merged popup frame
+    // subtracts a slightly-misaligned blink variant. Junk changes —
+    // echoes, dismissals, split pieces, app redraws — sit orders of
+    // magnitude further out, so the floor stays safe.
+    double blinkResidual = 0.0;
+    const gpu::CounterVec zero{};
+    for (const auto &b : blinkSamples) {
+        double best = scaledDist(b, zero);
+        for (const auto &v : variants)
+            best = std::min(best, scaledDist(b, v));
+        blinkResidual = std::max(blinkResidual, best);
+    }
+    // Residuals across unseen alignments can exceed what training
+    // observed; allow one full alignment step of slack.
+    double maxVariantNorm = 0.0;
+    for (const auto &v : variants)
+        maxVariantNorm =
+            std::max(maxVariantNorm, scaledDist(v, zero));
+    model.setBlinkVariants(std::move(variants));
+    model.setThreshold(std::max({params_.thresholdMargin * maxSelf,
+                                 2.5 * blinkResidual,
+                                 0.45 * maxVariantNorm, 1e-4}));
+
+    // Echo model (§5.3): the field-redraw deltas lie on a line
+    // echoBase + len * echoInc. Fit the per-dimension increment from
+    // consecutive echoes, then the base, then a residual tolerance.
+    double maxEchoL1 = 0.0;
+    for (const auto &e : echoes)
+        maxEchoL1 = std::max(maxEchoL1, double(gpu::l1Norm(e.delta)));
+    model.setEchoCutoff(3.0 * maxEchoL1);
+
+    gpu::CounterVec echoInc{};
+    gpu::CounterVec echoBase{};
+    for (std::size_t d = 0; d < gpu::kNumSelectedCounters; ++d) {
+        std::vector<double> incs;
+        for (std::size_t i = 1; i < echoes.size(); ++i) {
+            if (echoes[i].epoch != echoes[i - 1].epoch ||
+                echoes[i].pressIdx != echoes[i - 1].pressIdx + 1)
+                continue;
+            incs.push_back(double(echoes[i].delta[d]) -
+                           double(echoes[i - 1].delta[d]));
+        }
+        if (!incs.empty()) {
+            std::sort(incs.begin(), incs.end());
+            echoInc[d] =
+                std::int64_t(std::llround(incs[incs.size() / 2]));
+        }
+        std::vector<double> bases;
+        for (const auto &e : echoes)
+            bases.push_back(double(e.delta[d]) -
+                            double(e.textLen) * double(echoInc[d]));
+        if (!bases.empty()) {
+            std::sort(bases.begin(), bases.end());
+            echoBase[d] =
+                std::int64_t(std::llround(bases[bases.size() / 2]));
+        }
+    }
+    // Tolerance: a multiple of the typical training residual. The
+    // 75th percentile is used instead of the max so echo captures that
+    // merged with ambient animation frames (animated login screens)
+    // cannot blow the band open and let junk decode as field redraws.
+    std::vector<double> residuals;
+    for (const auto &e : echoes) {
+        double res = 0.0;
+        for (std::size_t d = 0; d < gpu::kNumSelectedCounters; ++d) {
+            const double fit =
+                double(echoBase[d] + e.textLen * echoInc[d]) * scale[d];
+            const double diff = double(e.delta[d]) * scale[d] - fit;
+            res += diff * diff;
+        }
+        residuals.push_back(std::sqrt(res));
+    }
+    if (!echoes.empty()) {
+        std::sort(residuals.begin(), residuals.end());
+        const double typical = residuals[residuals.size() * 3 / 4];
+        model.setEchoLine(echoBase, echoInc,
+                          std::max(6.0 * typical, 0.05));
+    }
+
+    return model;
+}
+
+} // namespace gpusc::attack

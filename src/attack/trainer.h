@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The Offline Phase (paper §3.2/§6): on an attacker-controlled device
+ * of the victim's model and configuration, a bot presses every key
+ * repeatedly, reads the counters through the same KGSL ioctl path the
+ * online attack uses, and distils per-key signatures into a
+ * SignatureModel.
+ *
+ * For each label the bot captures the *first* counter change after the
+ * press (the popup-show delta of Fig. 3), merging split pieces by
+ * sampling densely until the counters settle. Echo changes are also
+ * harvested to train the echo band used for correction tracking.
+ */
+
+#ifndef GPUSC_ATTACK_TRAINER_H
+#define GPUSC_ATTACK_TRAINER_H
+
+#include "android/device.h"
+#include "attack/signature.h"
+
+namespace gpusc::attack {
+
+/** Offline-phase trainer. */
+class OfflineTrainer
+{
+  public:
+    struct Params
+    {
+        /** Samples captured per label. */
+        int repetitions = 8;
+        /** Threshold margin over the worst intra-class distance. */
+        double thresholdMargin = 2.5;
+        /** Bot key-press duration. */
+        SimTime pressDuration = SimTime::fromMs(120);
+    };
+
+    OfflineTrainer() : OfflineTrainer(Params{}) {}
+    explicit OfflineTrainer(Params params) : params_(params) {}
+
+    /**
+     * Build the signature model for the device configuration. The
+     * victim's app choice is irrelevant to popup signatures, but the
+     * same config is used so echo statistics match.
+     */
+    SignatureModel train(const android::DeviceConfig &victimCfg) const;
+
+  private:
+    Params params_;
+};
+
+} // namespace gpusc::attack
+
+#endif // GPUSC_ATTACK_TRAINER_H

@@ -1,0 +1,54 @@
+#include "baseline/desktop_baseline.h"
+
+#include "gfx/font.h"
+
+namespace gpusc::baseline {
+
+const std::vector<DesktopAppSpec> &
+desktopApps()
+{
+    static const std::vector<DesktopAppSpec> apps = {
+        {"gedit", 1100, 850, 1.6, 0.0018},
+        {"gmail-web", 1440, 900, 2.3, 0.0030},
+        {"dropbox-client", 980, 720, 1.9, 0.0024},
+    };
+    return apps;
+}
+
+DesktopGpuBaseline::DesktopGpuBaseline(std::uint64_t seed) : rng_(seed)
+{
+}
+
+ml::FeatureVec
+DesktopGpuBaseline::featuresForKey(const DesktopAppSpec &app, char key)
+{
+    // Whole-window redraw per keystroke: the key's glyph adds its
+    // (scaled) pixel count on top of the window's workload, which the
+    // compositor then perturbs by a few percent — far more than any
+    // glyph differs from another.
+    const double windowPixels =
+        double(app.windowW) * app.windowH * app.overdraw;
+    const double glyphPixels = double(gfx::glyphPixelCount(key)) *
+                               300.0; // large AA glyph + layout shift
+    const double basePixels = windowPixels + glyphPixels;
+    const double noisy =
+        basePixels * (1.0 + rng_.normal(0.0, app.noiseFrac));
+
+    const double busyCycles = noisy * 0.9 +
+                              rng_.normal(0.0, noisy * 0.01);
+    const double memBytes = noisy * 4.0 * 1.6 +
+                            rng_.normal(0.0, noisy * 0.05);
+    return {busyCycles, memBytes, noisy};
+}
+
+ml::Dataset
+DesktopGpuBaseline::collect(const DesktopAppSpec &app, int pressesPerKey)
+{
+    ml::Dataset data;
+    for (char key = 'a'; key <= 'z'; ++key)
+        for (int i = 0; i < pressesPerKey; ++i)
+            data.add(featuresForKey(app, key), key - 'a');
+    return data;
+}
+
+} // namespace gpusc::baseline

@@ -1,0 +1,126 @@
+#include "eval/experiment.h"
+
+#include "util/logging.h"
+
+namespace gpusc::eval {
+
+using namespace gpusc::sim_literals;
+
+ExperimentRunner::ExperimentRunner(ExperimentConfig cfg,
+                                   attack::ModelStore &store)
+    : cfg_(std::move(cfg)), creds_(cfg_.seed ^ 0xc0ffee, cfg_.charset),
+      rng_(cfg_.seed)
+{
+    // Offline phase first (trains on a separate bot-controlled device
+    // of the same configuration).
+    const attack::OfflineTrainer trainer;
+    model_ = &store.getOrTrain(cfg_.device, trainer);
+    if (cfg_.modelTransform) {
+        transformedModel_ = cfg_.modelTransform(*model_);
+        model_ = &*transformedModel_;
+    }
+
+    // Victim device + session.
+    android::DeviceConfig devCfg = cfg_.device;
+    devCfg.seed = cfg_.seed ^ 0x76696374696dULL;
+    device_ = std::make_unique<android::Device>(devCfg);
+
+    if (cfg_.useDeviceRecognition) {
+        eavesdropper_ = std::make_unique<attack::Eavesdropper>(
+            *device_, store, cfg_.attackParams);
+    } else {
+        eavesdropper_ = std::make_unique<attack::Eavesdropper>(
+            *device_, *model_, cfg_.attackParams);
+    }
+
+    // Both kinds of contention delay the sampler's wakeups: CPU hogs
+    // directly, a saturated GPU through the kgsl driver path (§7.3:
+    // "unable to timely read GPU performance counters").
+    const double readContention =
+        std::max(cfg_.cpuLoad, 0.75 * cfg_.gpuLoad);
+    if (readContention > 0.0) {
+        cpuLoad_ = std::make_unique<workload::CpuLoadModel>(
+            readContention, rng_.next());
+        eavesdropper_->setWakeupJitter(
+            [this] { return cpuLoad_->nextWakeupDelay(); });
+    }
+
+    workload::TypingModel typing =
+        cfg_.volunteer >= 0
+            ? workload::TypingModel::forVolunteer(
+                  std::size_t(cfg_.volunteer), rng_.next())
+            : workload::TypingModel::forSpeed(cfg_.speed, rng_.next());
+    typist_ = std::make_unique<workload::Typist>(*device_, typing,
+                                                 rng_.next());
+    typist_->setTypoProb(cfg_.typoProb);
+
+    device_->boot();
+    if (!eavesdropper_->start())
+        warn("ExperimentRunner: attack failed to start (errno %d)",
+             eavesdropper_->lastErrno());
+    device_->launchTargetApp();
+
+    if (cfg_.gpuLoad > 0.0) {
+        gpuLoad_ = std::make_unique<workload::GpuLoadGenerator>(
+            *device_, cfg_.gpuLoad, rng_.next());
+        gpuLoad_->start();
+    }
+
+    // Let launch redraws and the first notification-free second pass.
+    device_->runFor(1200_ms);
+}
+
+ExperimentRunner::~ExperimentRunner() = default;
+
+TrialResult
+ExperimentRunner::runTrial(const std::string &credential)
+{
+    device_->app().clearText();
+    device_->runFor(300_ms);
+
+    const SimTime start = device_->eq().now();
+    bool done = false;
+    typist_->type(credential, 100_ms, [&done] { done = true; });
+    // Advance until the typist finishes (generous bound: 3 s per key
+    // covers even pathological sampling configurations).
+    const SimTime deadline =
+        start + SimTime::fromSeconds(3.0 * double(credential.size()) +
+                                     10.0);
+    while (!done && device_->eq().now() < deadline)
+        device_->runFor(50_ms);
+    if (!done)
+        panic("ExperimentRunner: typist did not finish");
+    device_->runFor(600_ms); // flush trailing echoes/dismissals
+    const SimTime end = device_->eq().now();
+
+    TrialResult r;
+    r.truth = credential;
+    r.inferred = eavesdropper_->inferredTextBetween(start, end);
+    return r;
+}
+
+AccuracyStats
+ExperimentRunner::runTrials(int n, std::size_t minLen,
+                            std::size_t maxLen)
+{
+    return runTrials(n, minLen, maxLen, nullptr);
+}
+
+AccuracyStats
+ExperimentRunner::runTrials(int n, std::size_t minLen,
+                            std::size_t maxLen,
+                            std::vector<TrialResult> *trials)
+{
+    AccuracyStats stats;
+    for (int i = 0; i < n; ++i) {
+        const auto len = std::size_t(rng_.uniformInt(
+            std::int64_t(minLen), std::int64_t(maxLen)));
+        const TrialResult r = runTrial(creds_.next(len));
+        stats.add(r.truth, r.inferred);
+        if (trials)
+            trials->push_back(r);
+    }
+    return stats;
+}
+
+} // namespace gpusc::eval

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * End-to-end experiment runner: assemble a victim device, train (or
+ * fetch) the signature model, attach the eavesdropper, replay
+ * credential inputs with a typing model, and score inferred vs truth.
+ * Every accuracy figure in the paper's §7 is a parameterisation of
+ * this loop.
+ */
+
+#ifndef GPUSC_EVAL_EXPERIMENT_H
+#define GPUSC_EVAL_EXPERIMENT_H
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "android/device.h"
+#include "attack/eavesdropper.h"
+#include "attack/model_store.h"
+#include "eval/metrics.h"
+#include "workload/credential.h"
+#include "workload/load.h"
+#include "workload/typing_model.h"
+#include "workload/typist.h"
+
+namespace gpusc::eval {
+
+/** Everything a §7-style accuracy experiment can vary. */
+struct ExperimentConfig
+{
+    android::DeviceConfig device;
+    /** Typing behaviour: a speed band, or a volunteer profile. */
+    workload::TypingSpeed speed = workload::TypingSpeed::Mixed;
+    int volunteer = -1; ///< >=0 selects a volunteer profile
+    double typoProb = 0.0;
+    /** Character mix of generated credentials. */
+    workload::CharsetMix charset{};
+    /** Attack knobs. */
+    attack::Eavesdropper::Params attackParams{};
+    /** Concurrent workloads (§7.3), 0..1 utilisation. */
+    double cpuLoad = 0.0;
+    double gpuLoad = 0.0;
+    /** Use the preloaded-store + device-recognition path. */
+    bool useDeviceRecognition = false;
+    /**
+     * Optional transformation applied to the trained model before the
+     * attack uses it (ablation studies: counter masking, threshold
+     * scaling).
+     */
+    std::function<attack::SignatureModel(
+        const attack::SignatureModel &)> modelTransform;
+    std::uint64_t seed = 1;
+};
+
+/** Result of one credential trial. */
+struct TrialResult
+{
+    std::string truth;
+    std::string inferred;
+};
+
+/** Owns a live device + attack session and runs credential trials. */
+class ExperimentRunner
+{
+  public:
+    /**
+     * @param store model cache; the configuration's model is trained
+     * through the offline phase on first use.
+     */
+    ExperimentRunner(ExperimentConfig cfg, attack::ModelStore &store);
+    ~ExperimentRunner();
+
+    /** Type one credential and return truth + inferred text. */
+    TrialResult runTrial(const std::string &credential);
+
+    /** Run @p n random trials with lengths in [minLen, maxLen]. */
+    AccuracyStats runTrials(int n, std::size_t minLen,
+                            std::size_t maxLen);
+
+    /** Same, also recording each trial. */
+    AccuracyStats runTrials(int n, std::size_t minLen,
+                            std::size_t maxLen,
+                            std::vector<TrialResult> *trials);
+
+    android::Device &device() { return *device_; }
+    attack::Eavesdropper &eavesdropper() { return *eavesdropper_; }
+    const attack::SignatureModel &model() const { return *model_; }
+
+  private:
+    ExperimentConfig cfg_;
+    std::unique_ptr<android::Device> device_;
+    std::optional<attack::SignatureModel> transformedModel_;
+    const attack::SignatureModel *model_;
+    std::unique_ptr<attack::Eavesdropper> eavesdropper_;
+    std::unique_ptr<workload::Typist> typist_;
+    std::unique_ptr<workload::CpuLoadModel> cpuLoad_;
+    std::unique_ptr<workload::GpuLoadGenerator> gpuLoad_;
+    workload::CredentialGenerator creds_;
+    Rng rng_;
+};
+
+} // namespace gpusc::eval
+
+#endif // GPUSC_EVAL_EXPERIMENT_H

@@ -1,0 +1,140 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace gpusc::eval {
+
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t cur = row[j];
+            const std::size_t sub =
+                diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+            diag = cur;
+        }
+    }
+    return row[b.size()];
+}
+
+std::vector<bool>
+alignMatches(const std::string &truth, const std::string &inferred)
+{
+    const std::size_t n = truth.size();
+    const std::size_t m = inferred.size();
+    // Full DP matrix with backtrace (texts are short).
+    std::vector<std::vector<std::size_t>> dp(
+        n + 1, std::vector<std::size_t>(m + 1));
+    for (std::size_t i = 0; i <= n; ++i)
+        dp[i][0] = i;
+    for (std::size_t j = 0; j <= m; ++j)
+        dp[0][j] = j;
+    for (std::size_t i = 1; i <= n; ++i)
+        for (std::size_t j = 1; j <= m; ++j)
+            dp[i][j] = std::min(
+                {dp[i - 1][j] + 1, dp[i][j - 1] + 1,
+                 dp[i - 1][j - 1] +
+                     (truth[i - 1] == inferred[j - 1] ? 0 : 1)});
+
+    std::vector<bool> matches(n, false);
+    std::size_t i = n, j = m;
+    while (i > 0 && j > 0) {
+        if (dp[i][j] == dp[i - 1][j - 1] &&
+            truth[i - 1] == inferred[j - 1]) {
+            matches[i - 1] = true;
+            --i;
+            --j;
+        } else if (dp[i][j] == dp[i - 1][j - 1] + 1) {
+            --i;
+            --j;
+        } else if (dp[i][j] == dp[i - 1][j] + 1) {
+            --i;
+        } else {
+            --j;
+        }
+    }
+    return matches;
+}
+
+void
+AccuracyStats::add(const std::string &truth, const std::string &inferred)
+{
+    ++trials_;
+    if (truth == inferred)
+        ++exact_;
+    editTotal_ += editDistance(truth, inferred);
+
+    const std::vector<bool> matches = alignMatches(truth, inferred);
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        const bool ok = matches[i];
+        ++chars_.total;
+        chars_.correct += ok;
+        Tally &g = groups_[workload::charGroupOf(truth[i])];
+        ++g.total;
+        g.correct += ok;
+        Tally &k = perKey_[truth[i]];
+        ++k.total;
+        k.correct += ok;
+    }
+}
+
+double
+AccuracyStats::textAccuracy() const
+{
+    return trials_ ? double(exact_) / double(trials_) : 0.0;
+}
+
+double
+AccuracyStats::charAccuracy() const
+{
+    return chars_.total ? double(chars_.correct) / double(chars_.total)
+                        : 0.0;
+}
+
+double
+AccuracyStats::avgErrorsPerText() const
+{
+    return trials_ ? double(editTotal_) / double(trials_) : 0.0;
+}
+
+double
+AccuracyStats::groupAccuracy(workload::CharGroup g) const
+{
+    auto it = groups_.find(g);
+    if (it == groups_.end() || it->second.total == 0)
+        return 0.0;
+    return double(it->second.correct) / double(it->second.total);
+}
+
+std::size_t
+AccuracyStats::groupTotal(workload::CharGroup g) const
+{
+    auto it = groups_.find(g);
+    return it == groups_.end() ? 0 : it->second.total;
+}
+
+std::map<char, double>
+AccuracyStats::perKeyAccuracy() const
+{
+    std::map<char, double> out;
+    for (const auto &[c, tally] : perKey_)
+        if (tally.total > 0)
+            out[c] = double(tally.correct) / double(tally.total);
+    return out;
+}
+
+std::size_t
+AccuracyStats::perKeyTotal(char c) const
+{
+    auto it = perKey_.find(c);
+    return it == perKey_.end() ? 0 : it->second.total;
+}
+
+} // namespace gpusc::eval

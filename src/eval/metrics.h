@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Accuracy metrics matching the paper's reporting: exact-match text
+ * accuracy (Fig. 17a), per-key accuracy via edit-distance alignment
+ * (Fig. 17b/18), and per-character-group breakdowns (Fig. 17c).
+ */
+
+#ifndef GPUSC_EVAL_METRICS_H
+#define GPUSC_EVAL_METRICS_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workload/credential.h"
+
+namespace gpusc::eval {
+
+/** Levenshtein distance between two strings. */
+std::size_t editDistance(const std::string &a, const std::string &b);
+
+/**
+ * Optimal alignment of truth vs inferred: for each truth character,
+ * whether the aligned inferred character matches.
+ */
+std::vector<bool> alignMatches(const std::string &truth,
+                               const std::string &inferred);
+
+/** Accumulates per-trial and per-character statistics. */
+class AccuracyStats
+{
+  public:
+    void add(const std::string &truth, const std::string &inferred);
+
+    std::size_t trials() const { return trials_; }
+
+    /** Fraction of texts inferred exactly (Fig. 17a). */
+    double textAccuracy() const;
+
+    /** Fraction of truth characters inferred correctly (aligned). */
+    double charAccuracy() const;
+
+    /** Mean edit distance per text (Fig. 17b). */
+    double avgErrorsPerText() const;
+
+    /** Accuracy for one character group (Fig. 17c). */
+    double groupAccuracy(workload::CharGroup g) const;
+    /** Samples seen for a group. */
+    std::size_t groupTotal(workload::CharGroup g) const;
+
+    /** Per-character accuracy (Fig. 18); keys with zero samples are
+     *  omitted. */
+    std::map<char, double> perKeyAccuracy() const;
+    std::size_t perKeyTotal(char c) const;
+
+  private:
+    struct Tally
+    {
+        std::size_t correct = 0;
+        std::size_t total = 0;
+    };
+
+    std::size_t trials_ = 0;
+    std::size_t exact_ = 0;
+    std::size_t editTotal_ = 0;
+    Tally chars_;
+    std::map<workload::CharGroup, Tally> groups_;
+    std::map<char, Tally> perKey_;
+};
+
+} // namespace gpusc::eval
+
+#endif // GPUSC_EVAL_METRICS_H

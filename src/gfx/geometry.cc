@@ -1,0 +1,58 @@
+#include "gfx/geometry.h"
+
+#include <cstdio>
+
+namespace gpusc::gfx {
+
+std::string
+Rect::toString() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "[%d,%d %dx%d]", x0, y0, width(),
+                  height());
+    return buf;
+}
+
+namespace {
+
+/** Integer floor division for possibly-negative coordinates. */
+int
+floorDiv(int a, int b)
+{
+    int q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0)))
+        --q;
+    return q;
+}
+
+} // namespace
+
+std::int64_t
+tilesTouched(const Rect &r, int tileW, int tileH)
+{
+    if (r.empty())
+        return 0;
+    const int tx0 = floorDiv(r.x0, tileW);
+    const int tx1 = floorDiv(r.x1 - 1, tileW);
+    const int ty0 = floorDiv(r.y0, tileH);
+    const int ty1 = floorDiv(r.y1 - 1, tileH);
+    return std::int64_t(tx1 - tx0 + 1) * (ty1 - ty0 + 1);
+}
+
+std::int64_t
+tilesFullyCovered(const Rect &r, int tileW, int tileH)
+{
+    if (r.empty())
+        return 0;
+    // First tile whose left edge >= r.x0, last tile whose right
+    // edge <= r.x1.
+    const int tx0 = floorDiv(r.x0 + tileW - 1, tileW);
+    const int tx1 = floorDiv(r.x1, tileW); // exclusive
+    const int ty0 = floorDiv(r.y0 + tileH - 1, tileH);
+    const int ty1 = floorDiv(r.y1, tileH); // exclusive
+    if (tx1 <= tx0 || ty1 <= ty0)
+        return 0;
+    return std::int64_t(tx1 - tx0) * (ty1 - ty0);
+}
+
+} // namespace gpusc::gfx

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Integer pixel geometry: points, rectangles and helpers.
+ *
+ * Coordinates are device pixels with the origin at the top-left of the
+ * screen; rectangles are half-open ([x0, x1) x [y0, y1)).
+ */
+
+#ifndef GPUSC_GFX_GEOMETRY_H
+#define GPUSC_GFX_GEOMETRY_H
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace gpusc::gfx {
+
+struct Point
+{
+    int x = 0;
+    int y = 0;
+
+    bool operator==(const Point &) const = default;
+};
+
+/** Half-open axis-aligned rectangle in device pixels. */
+struct Rect
+{
+    int x0 = 0;
+    int y0 = 0;
+    int x1 = 0;
+    int y1 = 0;
+
+    static constexpr Rect
+    ofSize(int x, int y, int w, int h)
+    {
+        return Rect{x, y, x + w, y + h};
+    }
+
+    constexpr int width() const { return x1 - x0; }
+    constexpr int height() const { return y1 - y0; }
+    constexpr std::int64_t
+    area() const
+    {
+        return empty() ? 0 : std::int64_t(width()) * height();
+    }
+    constexpr bool empty() const { return x1 <= x0 || y1 <= y0; }
+
+    constexpr bool
+    contains(Point p) const
+    {
+        return p.x >= x0 && p.x < x1 && p.y >= y0 && p.y < y1;
+    }
+
+    constexpr bool
+    contains(const Rect &o) const
+    {
+        return o.empty() ||
+               (o.x0 >= x0 && o.x1 <= x1 && o.y0 >= y0 && o.y1 <= y1);
+    }
+
+    constexpr bool
+    intersects(const Rect &o) const
+    {
+        return !intersect(o).empty();
+    }
+
+    constexpr Rect
+    intersect(const Rect &o) const
+    {
+        return Rect{std::max(x0, o.x0), std::max(y0, o.y0),
+                    std::min(x1, o.x1), std::min(y1, o.y1)};
+    }
+
+    /** Smallest rect covering both (empty rects are identities). */
+    constexpr Rect
+    unite(const Rect &o) const
+    {
+        if (empty())
+            return o;
+        if (o.empty())
+            return *this;
+        return Rect{std::min(x0, o.x0), std::min(y0, o.y0),
+                    std::max(x1, o.x1), std::max(y1, o.y1)};
+    }
+
+    constexpr Rect
+    translated(int dx, int dy) const
+    {
+        return Rect{x0 + dx, y0 + dy, x1 + dx, y1 + dy};
+    }
+
+    /** Shrink (positive inset) or grow (negative) on all sides. */
+    constexpr Rect
+    inset(int d) const
+    {
+        return Rect{x0 + d, y0 + d, x1 - d, y1 - d};
+    }
+
+    Point
+    center() const
+    {
+        return Point{(x0 + x1) / 2, (y0 + y1) / 2};
+    }
+
+    bool operator==(const Rect &) const = default;
+
+    std::string toString() const;
+};
+
+/**
+ * Number of fixed-size tiles a rect touches when the screen is divided
+ * into a tileW x tileH grid anchored at the origin.
+ */
+std::int64_t tilesTouched(const Rect &r, int tileW, int tileH);
+
+/**
+ * Number of grid tiles lying entirely inside @p r (fully covered by
+ * an opaque draw of exactly @p r).
+ */
+std::int64_t tilesFullyCovered(const Rect &r, int tileW, int tileH);
+
+} // namespace gpusc::gfx
+
+#endif // GPUSC_GFX_GEOMETRY_H

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The Adreno performance counters targeted by the attack.
+ *
+ * Exactly the 11 countables of Table 1 in the paper, keyed by the KGSL
+ * group ids from msm_kgsl.h (VPC = 0x5, RAS = 0x7, LRZ = 0x19). Each
+ * counter is a cumulative 64-bit hardware register; the simulator keeps
+ * them in a dense array indexed by SelectedCounter.
+ */
+
+#ifndef GPUSC_GPU_COUNTERS_H
+#define GPUSC_GPU_COUNTERS_H
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace gpusc::gpu {
+
+/** KGSL performance-counter group ids (msm_kgsl.h values). */
+enum class CounterGroup : std::uint32_t
+{
+    VPC = 0x5,
+    RAS = 0x7,
+    LRZ = 0x19,
+};
+
+/** (group, countable) pair as used on the ioctl interface. */
+struct CounterId
+{
+    std::uint32_t group = 0;
+    std::uint32_t countable = 0;
+
+    bool operator==(const CounterId &) const = default;
+};
+
+/** Dense index over the counters selected for eavesdropping. */
+enum SelectedCounter : std::size_t
+{
+    LRZ_VISIBLE_PRIM_AFTER_LRZ = 0, // LRZ countable 13
+    LRZ_FULL_8X8_TILES,             // LRZ countable 14
+    LRZ_PARTIAL_8X8_TILES,          // LRZ countable 15
+    LRZ_VISIBLE_PIXEL_AFTER_LRZ,    // LRZ countable 18
+    RAS_SUPERTILE_ACTIVE_CYCLES,    // RAS countable 1
+    RAS_SUPER_TILES,                // RAS countable 4
+    RAS_8X4_TILES,                  // RAS countable 5
+    RAS_FULLY_COVERED_8X4_TILES,    // RAS countable 8
+    VPC_PC_PRIMITIVES,              // VPC countable 9
+    VPC_SP_COMPONENTS,              // VPC countable 10
+    VPC_LRZ_ASSIGN_PRIMITIVES,      // VPC countable 12
+
+    kNumSelectedCounters,
+};
+
+/** Per-frame (or per-signature) counter deltas. */
+using CounterVec = std::array<std::int64_t, kNumSelectedCounters>;
+
+/** Cumulative counter values. */
+using CounterTotals = std::array<std::uint64_t, kNumSelectedCounters>;
+
+/** @return the KGSL (group, countable) pair of a selected counter. */
+CounterId counterId(SelectedCounter c);
+
+/** @return the vendor string identifier (Table 1), e.g.
+ *  "PERF_LRZ_VISIBLE_PRIM_AFTER_LRZ". */
+const std::string &counterName(SelectedCounter c);
+
+/** Reverse lookup from (group, countable); nullopt if not selected. */
+std::optional<SelectedCounter> selectedFromId(CounterId id);
+
+/** Short group label ("LRZ"/"RAS"/"VPC") for table output. */
+std::string groupLabel(CounterGroup g);
+
+/** Element-wise helpers for delta vectors. */
+CounterVec operator+(const CounterVec &a, const CounterVec &b);
+CounterVec operator-(const CounterVec &a, const CounterVec &b);
+/** Sum of absolute values (L1 magnitude of a change). */
+std::int64_t l1Norm(const CounterVec &v);
+/** Euclidean distance between two delta vectors. */
+double l2Distance(const CounterVec &a, const CounterVec &b);
+/** True if every element is zero. */
+bool isZero(const CounterVec &v);
+
+} // namespace gpusc::gpu
+
+#endif // GPUSC_GPU_COUNTERS_H

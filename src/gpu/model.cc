@@ -1,0 +1,63 @@
+#include "gpu/model.h"
+
+#include "util/logging.h"
+
+namespace gpusc::gpu {
+
+namespace {
+
+GpuModel
+makeModel(int gen, int superTile, int cyclesPerKp, int spComp,
+          double clockMhz, double perPixelNs)
+{
+    GpuModel m;
+    m.name = "Adreno " + std::to_string(gen);
+    m.generation = gen;
+    m.superTileW = superTile;
+    m.superTileH = superTile;
+    m.rasCyclesPerKiloPixel = cyclesPerKp;
+    m.spComponentsPerVertex = spComp;
+    m.clockMhz = clockMhz;
+    m.perPixelRenderNs = perPixelNs;
+    return m;
+}
+
+} // namespace
+
+const GpuModel &
+adrenoModel(int generation)
+{
+    // Parameters are plausible per-generation values; what matters for
+    // the reproduction is that they differ across generations so that
+    // signatures are model specific.
+    static const GpuModel a540 = makeModel(540, 32, 310, 8, 710, 1.8);
+    static const GpuModel a620 = makeModel(620, 32, 280, 8, 625, 1.5);
+    static const GpuModel a640 = makeModel(640, 32, 270, 8, 585, 1.4);
+    static const GpuModel a650 = makeModel(650, 64, 250, 10, 587, 1.1);
+    static const GpuModel a660 = makeModel(660, 64, 235, 10, 840, 0.9);
+
+    switch (generation) {
+      case 540:
+        return a540;
+      case 620:
+        return a620;
+      case 640:
+        return a640;
+      case 650:
+        return a650;
+      case 660:
+        return a660;
+      default:
+        fatal("adrenoModel: unsupported Adreno generation %d "
+              "(supported: 540, 620, 640, 650, 660)", generation);
+    }
+}
+
+const std::vector<int> &
+supportedAdrenoGenerations()
+{
+    static const std::vector<int> gens = {540, 620, 640, 650, 660};
+    return gens;
+}
+
+} // namespace gpusc::gpu

@@ -1,0 +1,116 @@
+#include "gpu/pipeline.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace gpusc::gpu {
+
+namespace {
+
+constexpr std::uint8_t kOccluded = 1u << 0;
+
+} // namespace
+
+Pipeline::Pipeline(const GpuModel &model) : model_(model) {}
+
+FrameResult
+Pipeline::render(const gfx::FrameScene &scene)
+{
+    FrameResult res;
+    if (scene.empty())
+        return res;
+
+    const gfx::Rect dmg = scene.damage;
+    const int dw = dmg.width();
+    const int dh = dmg.height();
+    const std::size_t npix = std::size_t(dw) * std::size_t(dh);
+    if (mask_.size() < npix)
+        mask_.resize(npix);
+    std::memset(mask_.data(), 0, npix);
+
+    auto &d = res.deltas;
+
+    // --- Front-end (VPC) and rasteriser (RAS): order independent, no
+    // occlusion knowledge.
+    for (const gfx::Prim &p : scene.prims) {
+        const gfx::Rect r = p.rect.intersect(dmg);
+        if (r.empty())
+            continue;
+        d[VPC_PC_PRIMITIVES] += 2;
+        d[VPC_LRZ_ASSIGN_PRIMITIVES] += 2;
+        d[VPC_SP_COMPONENTS] += 4 * model_.spComponentsPerVertex;
+
+        d[RAS_8X4_TILES] +=
+            gfx::tilesTouched(r, model_.rasTileW, model_.rasTileH);
+        d[RAS_FULLY_COVERED_8X4_TILES] +=
+            gfx::tilesFullyCovered(r, model_.rasTileW, model_.rasTileH);
+        d[RAS_SUPER_TILES] +=
+            gfx::tilesTouched(r, model_.superTileW, model_.superTileH);
+        d[RAS_SUPERTILE_ACTIVE_CYCLES] +=
+            r.area() * model_.rasCyclesPerKiloPixel / 1000;
+        res.rasterizedPixels += r.area();
+    }
+
+    // --- LRZ pass: walk primitives front-to-back against the opaque
+    // coverage accumulated from layers above. Per primitive, the LRZ
+    // unit tests each 8x8 block of its footprint: fully occluded
+    // blocks are killed (PERF_LRZ_FULL_8X8_TILES), partially occluded
+    // blocks are trimmed (PERF_LRZ_PARTIAL_8X8_TILES); surviving
+    // pixels/prims feed the VISIBLE counters. This is the stage where
+    // GPU *overdraw* becomes measurable (paper §2.2).
+    const int tw = model_.lrzTileW;
+    const int th = model_.lrzTileH;
+    for (auto it = scene.prims.rbegin(); it != scene.prims.rend(); ++it) {
+        const gfx::Rect r = it->rect.intersect(dmg);
+        if (r.empty())
+            continue;
+        std::int64_t visible = 0;
+        const int ty0 = r.y0 / th;
+        const int ty1 = (r.y1 - 1) / th;
+        const int tx0 = r.x0 / tw;
+        const int tx1 = (r.x1 - 1) / tw;
+        for (int ty = ty0; ty <= ty1; ++ty) {
+            for (int tx = tx0; tx <= tx1; ++tx) {
+                const gfx::Rect block =
+                    gfx::Rect::ofSize(tx * tw, ty * th, tw, th)
+                        .intersect(r);
+                int occluded = 0;
+                int total = 0;
+                for (int y = block.y0; y < block.y1; ++y) {
+                    std::uint8_t *row = mask_.data() +
+                        std::size_t(y - dmg.y0) * dw +
+                        (block.x0 - dmg.x0);
+                    const int w = block.width();
+                    if (it->opaque) {
+                        for (int x = 0; x < w; ++x) {
+                            if (row[x] & kOccluded) {
+                                ++occluded;
+                            } else {
+                                row[x] |= kOccluded;
+                            }
+                        }
+                    } else {
+                        for (int x = 0; x < w; ++x)
+                            if (row[x] & kOccluded)
+                                ++occluded;
+                    }
+                    total += w;
+                }
+                visible += total - occluded;
+                if (occluded == total)
+                    d[LRZ_FULL_8X8_TILES] += 1;
+                else if (occluded > 0)
+                    d[LRZ_PARTIAL_8X8_TILES] += 1;
+            }
+        }
+        if (visible > 0) {
+            d[LRZ_VISIBLE_PRIM_AFTER_LRZ] += 2;
+            d[LRZ_VISIBLE_PIXEL_AFTER_LRZ] += visible;
+        }
+    }
+
+    return res;
+}
+
+} // namespace gpusc::gpu

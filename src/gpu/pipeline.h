@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The tile-based rendering pipeline model.
+ *
+ * Given a frame's draw list, computes the deltas of the 11 selected
+ * performance counters the way the hardware stages would:
+ *
+ *  - VPC: every submitted quad contributes 2 primitives and
+ *    4 x spComponentsPerVertex vertex components.
+ *  - RAS: rasterisation runs before depth rejection, so every quad
+ *    counts its touched 8x4 tiles, fully covered 8x4 tiles, touched
+ *    supertiles and active cycles regardless of occlusion.
+ *  - LRZ: primitives are tested front-to-back against an opaque
+ *    coverage mask; only pixels not hidden by opaque geometry above
+ *    survive, producing the occlusion-sensitive counters the attack
+ *    keys on (visible prims / visible pixels / full & partial 8x8
+ *    tiles of the rendered output).
+ *
+ * This is where GPU *overdraw* (paper §2.1) turns into counter values.
+ */
+
+#ifndef GPUSC_GPU_PIPELINE_H
+#define GPUSC_GPU_PIPELINE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "gfx/scene.h"
+#include "gpu/counters.h"
+#include "gpu/model.h"
+
+namespace gpusc::gpu {
+
+/** Result of running one frame through the pipeline. */
+struct FrameResult
+{
+    CounterVec deltas{};
+    /** Pixels actually drawn (post-clip, pre-occlusion, summed over
+     *  prims) — drives the render-time/energy model. */
+    std::int64_t rasterizedPixels = 0;
+};
+
+/** Stateless-per-frame pipeline; owns scratch buffers for reuse. */
+class Pipeline
+{
+  public:
+    explicit Pipeline(const GpuModel &model);
+
+    /** Render one frame and return the counter deltas it produces. */
+    FrameResult render(const gfx::FrameScene &scene);
+
+    const GpuModel &model() const { return model_; }
+
+  private:
+    const GpuModel &model_;
+    // Scratch per-pixel masks over the damage box, reused across
+    // frames. Bit 0: covered by opaque geometry above (occluder);
+    // bit 1: drawn by any visible fragment.
+    std::vector<std::uint8_t> mask_;
+};
+
+} // namespace gpusc::gpu
+
+#endif // GPUSC_GPU_PIPELINE_H

@@ -1,0 +1,130 @@
+#include "kgsl/device.h"
+
+#include "util/logging.h"
+
+namespace gpusc::kgsl {
+
+KgslDevice::KgslDevice(gpu::RenderEngine &engine,
+                       const SecurityPolicy &policy)
+    : engine_(engine), policy_(&policy)
+{
+}
+
+int
+KgslDevice::open(const ProcessContext &proc)
+{
+    if (!policy_->allowOpen(proc))
+        return -KGSL_EACCES;
+    const int fd = nextFd_++;
+    files_.emplace(fd, OpenFile{proc, {}});
+    return fd;
+}
+
+int
+KgslDevice::close(int fd)
+{
+    return files_.erase(fd) ? 0 : -KGSL_EBADF;
+}
+
+bool
+hardwareImplementsCounter(std::uint32_t groupid, std::uint32_t countable)
+{
+    // The selected 11 countables...
+    if (gpu::selectedFromId({groupid, countable}))
+        return true;
+    // ...plus the rest of each group's countable space (real groups
+    // have a few dozen countables; we expose a plausible range so the
+    // enumeration step of §3.3 has something to iterate over).
+    switch (groupid) {
+      case KGSL_PERFCOUNTER_GROUP_VPC:
+        return countable < 24;
+      case KGSL_PERFCOUNTER_GROUP_RAS:
+        return countable < 12;
+      case KGSL_PERFCOUNTER_GROUP_LRZ:
+        return countable < 26;
+      case KGSL_PERFCOUNTER_GROUP_CP:
+      case KGSL_PERFCOUNTER_GROUP_SP:
+        return countable < 32;
+      default:
+        return false;
+    }
+}
+
+int
+KgslDevice::doPerfcounterGet(OpenFile &file, kgsl_perfcounter_get *arg)
+{
+    if (!arg)
+        return -KGSL_EFAULT;
+    if (!hardwareImplementsCounter(arg->groupid, arg->countable))
+        return -KGSL_EINVAL;
+    file.reservations.insert({arg->groupid, arg->countable});
+    // Real driver returns the register offset; any stable nonzero
+    // value preserves the calling convention.
+    arg->offset = 0x400 + arg->groupid * 0x40 + arg->countable;
+    arg->offset_hi = arg->offset + 1;
+    return 0;
+}
+
+int
+KgslDevice::doPerfcounterPut(OpenFile &file, kgsl_perfcounter_put *arg)
+{
+    if (!arg)
+        return -KGSL_EFAULT;
+    file.reservations.erase({arg->groupid, arg->countable});
+    return 0;
+}
+
+int
+KgslDevice::doPerfcounterRead(OpenFile &file, kgsl_perfcounter_read *arg)
+{
+    if (!arg || (arg->count > 0 && !arg->reads))
+        return -KGSL_EFAULT;
+    // Values are the *global* cumulative hardware registers — this is
+    // the leak: the reading process sees work submitted by every app.
+    const gpu::CounterTotals totals = engine_.readAll();
+    for (std::uint32_t i = 0; i < arg->count; ++i) {
+        kgsl_perfcounter_read_group &entry = arg->reads[i];
+        if (!hardwareImplementsCounter(entry.groupid, entry.countable))
+            return -KGSL_EINVAL;
+        if (!file.reservations.contains({entry.groupid, entry.countable}))
+            return -KGSL_EINVAL; // must PERFCOUNTER_GET first
+        const auto sel =
+            gpu::selectedFromId({entry.groupid, entry.countable});
+        // Countables outside the modelled set read as a constant; the
+        // attack never uses them.
+        entry.value = sel ? totals[*sel] : 0;
+    }
+    return 0;
+}
+
+int
+KgslDevice::ioctl(int fd, unsigned long request, void *arg)
+{
+    auto it = files_.find(fd);
+    if (it == files_.end())
+        return -KGSL_EBADF;
+    OpenFile &file = it->second;
+
+    ++ioctlCount_;
+    if (!policy_->allowIoctl(file.proc, request))
+        return -KGSL_EPERM;
+
+    if (request == IOCTL_KGSL_PERFCOUNTER_GET)
+        return doPerfcounterGet(file,
+                                static_cast<kgsl_perfcounter_get *>(arg));
+    if (request == IOCTL_KGSL_PERFCOUNTER_PUT)
+        return doPerfcounterPut(file,
+                                static_cast<kgsl_perfcounter_put *>(arg));
+    if (request == IOCTL_KGSL_PERFCOUNTER_READ)
+        return doPerfcounterRead(
+            file, static_cast<kgsl_perfcounter_read *>(arg));
+    return -KGSL_EINVAL;
+}
+
+double
+KgslDevice::gpuBusyPercentage()
+{
+    return engine_.busyPercent();
+}
+
+} // namespace gpusc::kgsl

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The simulated /dev/kgsl-3d0 device file.
+ *
+ * Userspace (the attacking application, the GLES shim, the offline
+ * bot) interacts with the GPU exclusively through open()/ioctl()/
+ * close() on this object, mirroring the paper's Figure 10 flow:
+ *
+ *   int fd = open("/dev/kgsl-3d0", O_RDWR);
+ *   ioctl(fd, IOCTL_KGSL_PERFCOUNTER_GET, &get);   // reserve
+ *   ioctl(fd, IOCTL_KGSL_PERFCOUNTER_READ, &read); // blockread values
+ *
+ * Reads are served from the RenderEngine's time-aware counter file, so
+ * every artefact of real sampling (mid-frame splits, merged frames) is
+ * visible through this interface. A SecurityPolicy is consulted on
+ * every call, which is where the RBAC mitigation plugs in.
+ */
+
+#ifndef GPUSC_KGSL_DEVICE_H
+#define GPUSC_KGSL_DEVICE_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "gpu/render_engine.h"
+#include "kgsl/msm_kgsl.h"
+#include "kgsl/policy.h"
+
+namespace gpusc::kgsl {
+
+/** Simulated KGSL character device. */
+class KgslDevice
+{
+  public:
+    KgslDevice(gpu::RenderEngine &engine, const SecurityPolicy &policy);
+
+    /** Device node path, for log/diagnostic symmetry with the paper. */
+    static constexpr const char *path() { return "/dev/kgsl-3d0"; }
+
+    /**
+     * Open the device file.
+     * @return a file descriptor >= 3, or -EACCES if denied.
+     */
+    int open(const ProcessContext &proc);
+
+    /**
+     * Dispatch an ioctl. Supported requests:
+     * IOCTL_KGSL_PERFCOUNTER_GET / _PUT / _READ.
+     * @return 0 on success or a negative errno.
+     */
+    int ioctl(int fd, unsigned long request, void *arg);
+
+    /** Close a descriptor; releases its counter reservations. */
+    int close(int fd);
+
+    /**
+     * The sysfs node
+     * /sys/class/kgsl/kgsl-3d0/gpu_busy_percentage (paper §7.3).
+     */
+    double gpuBusyPercentage();
+
+    /** Number of ioctl calls served (overhead accounting, Fig. 26). */
+    std::uint64_t ioctlCount() const { return ioctlCount_; }
+
+    /** Swap the active security policy (used by mitigation benches). */
+    void setPolicy(const SecurityPolicy &policy) { policy_ = &policy; }
+
+  private:
+    struct OpenFile
+    {
+        ProcessContext proc;
+        std::set<std::pair<std::uint32_t, std::uint32_t>> reservations;
+    };
+
+    int doPerfcounterGet(OpenFile &file, kgsl_perfcounter_get *arg);
+    int doPerfcounterPut(OpenFile &file, kgsl_perfcounter_put *arg);
+    int doPerfcounterRead(OpenFile &file, kgsl_perfcounter_read *arg);
+
+    gpu::RenderEngine &engine_;
+    const SecurityPolicy *policy_;
+    int nextFd_ = 3;
+    std::map<int, OpenFile> files_;
+    std::uint64_t ioctlCount_ = 0;
+};
+
+/**
+ * @return true if the (group, countable) pair names a counter the
+ * simulated hardware implements (the 11 selected ones plus the other
+ * enumerable countables exposed by the GLES perf-monitor extension).
+ */
+bool hardwareImplementsCounter(std::uint32_t groupid,
+                               std::uint32_t countable);
+
+} // namespace gpusc::kgsl
+
+#endif // GPUSC_KGSL_DEVICE_H

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Mirror of the msm_kgsl.h UAPI surface used by the attack (Fig. 9 of
+ * the paper): perf-counter group ids, the ioctl request codes for
+ * PERFCOUNTER_GET / _PUT / _READ, and their argument structures.
+ *
+ * Request codes are built with the same _IOWR bit layout as the Linux
+ * UAPI so the simulated driver dispatches on realistic values.
+ */
+
+#ifndef GPUSC_KGSL_MSM_KGSL_H
+#define GPUSC_KGSL_MSM_KGSL_H
+
+#include <cstdint>
+
+namespace gpusc::kgsl {
+
+/** ioctl direction bits (Linux asm-generic layout). */
+inline constexpr unsigned long kIocWrite = 1UL;
+inline constexpr unsigned long kIocRead = 2UL;
+
+inline constexpr unsigned long
+ioc(unsigned long dir, unsigned long type, unsigned long nr,
+    unsigned long size)
+{
+    return (dir << 30) | (size << 16) | (type << 8) | nr;
+}
+
+template <typename T>
+constexpr unsigned long
+iowr(unsigned long type, unsigned long nr)
+{
+    return ioc(kIocRead | kIocWrite, type, nr, sizeof(T));
+}
+
+/** KGSL ioctl magic ('\x09' in the real header). */
+inline constexpr unsigned long KGSL_IOC_TYPE = 0x09;
+
+/* Perf counter group IDs (subset relevant to the attack). */
+inline constexpr std::uint32_t KGSL_PERFCOUNTER_GROUP_CP = 0x0;
+inline constexpr std::uint32_t KGSL_PERFCOUNTER_GROUP_VPC = 0x5;
+inline constexpr std::uint32_t KGSL_PERFCOUNTER_GROUP_RAS = 0x7;
+inline constexpr std::uint32_t KGSL_PERFCOUNTER_GROUP_SP = 0xa;
+inline constexpr std::uint32_t KGSL_PERFCOUNTER_GROUP_LRZ = 0x19;
+
+/** Argument of IOCTL_KGSL_PERFCOUNTER_GET: reserve a countable. */
+struct kgsl_perfcounter_get
+{
+    std::uint32_t groupid = 0;
+    std::uint32_t countable = 0;
+    std::uint32_t offset = 0;    // filled by the driver
+    std::uint32_t offset_hi = 0; // filled by the driver
+    std::uint32_t __pad[2] = {0, 0};
+};
+
+/** Argument of IOCTL_KGSL_PERFCOUNTER_PUT: release a countable. */
+struct kgsl_perfcounter_put
+{
+    std::uint32_t groupid = 0;
+    std::uint32_t countable = 0;
+    std::uint32_t __pad[2] = {0, 0};
+};
+
+/** One entry of a blockread: identifies a counter, receives a value. */
+struct kgsl_perfcounter_read_group
+{
+    std::uint32_t groupid = 0;
+    std::uint32_t countable = 0;
+    std::uint64_t value = 0; // filled by the driver
+};
+
+/** Argument of IOCTL_KGSL_PERFCOUNTER_READ. */
+struct kgsl_perfcounter_read
+{
+    kgsl_perfcounter_read_group *reads = nullptr;
+    std::uint32_t count = 0;
+    std::uint32_t __pad[2] = {0, 0};
+};
+
+inline constexpr unsigned long IOCTL_KGSL_PERFCOUNTER_GET =
+    iowr<kgsl_perfcounter_get>(KGSL_IOC_TYPE, 0x38);
+inline constexpr unsigned long IOCTL_KGSL_PERFCOUNTER_PUT =
+    iowr<kgsl_perfcounter_put>(KGSL_IOC_TYPE, 0x39);
+inline constexpr unsigned long IOCTL_KGSL_PERFCOUNTER_READ =
+    iowr<kgsl_perfcounter_read>(KGSL_IOC_TYPE, 0x3B);
+
+/* errno values returned by the simulated driver (negated). */
+inline constexpr int KGSL_EPERM = 1;
+inline constexpr int KGSL_EBADF = 9;
+inline constexpr int KGSL_EACCES = 13;
+inline constexpr int KGSL_EFAULT = 14;
+inline constexpr int KGSL_EINVAL = 22;
+
+} // namespace gpusc::kgsl
+
+#endif // GPUSC_KGSL_MSM_KGSL_H

@@ -1,0 +1,37 @@
+#include "kgsl/policy.h"
+
+#include "kgsl/msm_kgsl.h"
+
+namespace gpusc::kgsl {
+
+bool
+SecurityPolicy::allowOpen(const ProcessContext &) const
+{
+    return true;
+}
+
+bool
+SecurityPolicy::allowIoctl(const ProcessContext &, unsigned long) const
+{
+    return true;
+}
+
+RbacPolicy::RbacPolicy(std::set<std::string> allowedRoles)
+    : allowedRoles_(std::move(allowedRoles))
+{
+}
+
+bool
+RbacPolicy::allowIoctl(const ProcessContext &proc,
+                       unsigned long request) const
+{
+    const bool isPerfCounterRequest =
+        request == IOCTL_KGSL_PERFCOUNTER_GET ||
+        request == IOCTL_KGSL_PERFCOUNTER_PUT ||
+        request == IOCTL_KGSL_PERFCOUNTER_READ;
+    if (!isPerfCounterRequest)
+        return true; // rendering ioctls stay available to everyone
+    return allowedRoles_.contains(proc.seContext);
+}
+
+} // namespace gpusc::kgsl

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * SELinux-style access control over the KGSL device file.
+ *
+ * Every simulated process carries a security context label; the policy
+ * decides whether an open() or a specific ioctl() request is permitted.
+ * The default (stock Android) policy allows everything — which is the
+ * vulnerability the paper exploits. The RBAC mitigation of §9.2 is an
+ * alternative policy that whitelists perf-counter ioctls per role.
+ */
+
+#ifndef GPUSC_KGSL_POLICY_H
+#define GPUSC_KGSL_POLICY_H
+
+#include <memory>
+#include <set>
+#include <string>
+
+namespace gpusc::kgsl {
+
+/** Identity of a calling process as the kernel sees it. */
+struct ProcessContext
+{
+    int pid = 0;
+    /** SELinux domain, e.g. "untrusted_app", "platform_app",
+     *  "gpu_profiler". */
+    std::string seContext = "untrusted_app";
+};
+
+/** Access-control hook consulted by the device file. */
+class SecurityPolicy
+{
+  public:
+    virtual ~SecurityPolicy() = default;
+
+    /** May this process open the GPU device file at all? */
+    virtual bool allowOpen(const ProcessContext &proc) const;
+
+    /** May this process issue this ioctl request? */
+    virtual bool allowIoctl(const ProcessContext &proc,
+                            unsigned long request) const;
+
+    virtual std::string name() const { return "stock"; }
+};
+
+/**
+ * The shipped Android policy: the device file is world accessible and
+ * no ioctl is filtered (paper §4 — this is what makes the attack
+ * possible from an unprivileged app).
+ */
+class StockPolicy : public SecurityPolicy
+{
+  public:
+    std::string name() const override { return "stock"; }
+};
+
+/**
+ * Role-based access control (paper §9.2): perf-counter ioctls are only
+ * allowed for whitelisted SELinux domains; everything else about the
+ * device file keeps working so graphics drivers are unaffected.
+ */
+class RbacPolicy : public SecurityPolicy
+{
+  public:
+    /** @param allowedRoles domains allowed global PC access. */
+    explicit RbacPolicy(std::set<std::string> allowedRoles = {
+        "gpu_profiler", "platform_app"});
+
+    bool allowIoctl(const ProcessContext &proc,
+                    unsigned long request) const override;
+
+    std::string name() const override { return "rbac"; }
+
+  private:
+    std::set<std::string> allowedRoles_;
+};
+
+} // namespace gpusc::kgsl
+
+#endif // GPUSC_KGSL_POLICY_H

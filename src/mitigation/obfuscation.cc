@@ -1,0 +1,74 @@
+#include "mitigation/obfuscation.h"
+
+#include <algorithm>
+
+namespace gpusc::mitigation {
+
+PcObfuscator::PcObfuscator(android::Device &device, Params params)
+    : device_(device), params_(params), rng_(params.seed),
+      aliveToken_(std::make_shared<int>(0))
+{
+}
+
+PcObfuscator::~PcObfuscator() = default;
+
+void
+PcObfuscator::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    tick();
+}
+
+void
+PcObfuscator::stop()
+{
+    running_ = false;
+}
+
+void
+PcObfuscator::tick()
+{
+    if (!running_)
+        return;
+
+    const auto &display = device_.display();
+    const double areaFrac =
+        std::max(0.005, rng_.exponential(params_.meanAreaFrac));
+    const auto targetPixels = std::int64_t(
+        areaFrac * double(display.width) * double(display.height));
+
+    gfx::FrameScene scene;
+    scene.damage = gfx::Rect{0, 0, display.width, display.height};
+    std::int64_t pixels = 0;
+    int i = 0;
+    while (pixels < targetPixels) {
+        const int w =
+            60 + int(rng_.uniformInt(0, display.width / 3));
+        const int h =
+            40 + int(rng_.uniformInt(0, display.height / 10));
+        const int x = int(rng_.uniformInt(0, display.width - 60));
+        const int y = int(rng_.uniformInt(0, display.height - 40));
+        scene.add(gfx::Rect{x, y, std::min(x + w, display.width),
+                            std::min(y + h, display.height)},
+                  (i + phase_) % 2 == 0, gfx::PrimTag::Foreign);
+        pixels += std::int64_t(w) * h;
+        ++i;
+    }
+    const SimTime before = device_.engine().totalBusyTime();
+    device_.engine().submit(scene);
+    consumed_ += device_.engine().totalBusyTime() - before;
+    ++phase_;
+
+    const double waitS = rng_.exponential(
+        std::max(1e-3, params_.meanPeriod.seconds()));
+    std::weak_ptr<int> alive = aliveToken_;
+    device_.eq().scheduleAfter(
+        SimTime::fromSeconds(std::max(2e-3, waitS)), [this, alive] {
+            if (!alive.expired())
+                tick();
+        });
+}
+
+} // namespace gpusc::mitigation

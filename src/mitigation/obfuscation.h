@@ -1,0 +1,56 @@
+/**
+ * @file
+ * OS-level performance-counter obfuscation (paper §9.3): the system
+ * periodically executes small random GPU workloads in the background
+ * so the attacker's counter stream is polluted. The open question the
+ * paper raises — how much obfuscation workload is enough, and at what
+ * performance cost — is what the mitigation bench sweeps.
+ */
+
+#ifndef GPUSC_MITIGATION_OBFUSCATION_H
+#define GPUSC_MITIGATION_OBFUSCATION_H
+
+#include <memory>
+
+#include "android/device.h"
+#include "util/rng.h"
+
+namespace gpusc::mitigation {
+
+/** Random background GPU workload injector. */
+class PcObfuscator
+{
+  public:
+    struct Params
+    {
+        /** Mean time between obfuscation jobs. */
+        SimTime meanPeriod = SimTime::fromMs(30);
+        /** Mean pixels per job, as a fraction of the screen. */
+        double meanAreaFrac = 0.05;
+        std::uint64_t seed = 17;
+    };
+
+    PcObfuscator(android::Device &device, Params params);
+    ~PcObfuscator();
+
+    void start();
+    void stop();
+
+    /** GPU time consumed by obfuscation so far (overhead metric). */
+    SimTime gpuTimeConsumed() const { return consumed_; }
+
+  private:
+    void tick();
+
+    android::Device &device_;
+    Params params_;
+    Rng rng_;
+    bool running_ = false;
+    int phase_ = 0;
+    SimTime consumed_;
+    std::shared_ptr<int> aliveToken_;
+};
+
+} // namespace gpusc::mitigation
+
+#endif // GPUSC_MITIGATION_OBFUSCATION_H

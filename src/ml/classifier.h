@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Common classifier interface.
+ */
+
+#ifndef GPUSC_ML_CLASSIFIER_H
+#define GPUSC_ML_CLASSIFIER_H
+
+#include <string>
+
+#include "ml/dataset.h"
+
+namespace gpusc::ml {
+
+/** Abstract multi-class classifier. */
+class Classifier
+{
+  public:
+    virtual ~Classifier() = default;
+
+    /** Train on @p data; may be called again to retrain. */
+    virtual void fit(const Dataset &data) = 0;
+
+    /** @return the predicted class label for @p features. */
+    virtual int predict(const FeatureVec &features) const = 0;
+
+    virtual std::string name() const = 0;
+
+    /** Fraction of samples of @p data predicted correctly. */
+    double accuracy(const Dataset &data) const;
+};
+
+} // namespace gpusc::ml
+
+#endif // GPUSC_ML_CLASSIFIER_H

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Tabular dataset container shared by all classifiers.
+ */
+
+#ifndef GPUSC_ML_DATASET_H
+#define GPUSC_ML_DATASET_H
+
+#include <cstddef>
+#include <vector>
+
+namespace gpusc::ml {
+
+/** A feature vector (counter deltas cast to doubles, typically). */
+using FeatureVec = std::vector<double>;
+
+/** Labelled samples for training/evaluating a classifier. */
+struct Dataset
+{
+    std::vector<FeatureVec> x;
+    std::vector<int> y;
+
+    std::size_t size() const { return x.size(); }
+    std::size_t dims() const { return x.empty() ? 0 : x[0].size(); }
+    /** One past the largest label. */
+    int numClasses() const;
+
+    void
+    add(FeatureVec features, int label)
+    {
+        x.push_back(std::move(features));
+        y.push_back(label);
+    }
+};
+
+} // namespace gpusc::ml
+
+#endif // GPUSC_ML_DATASET_H

@@ -1,0 +1,57 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace gpusc::ml {
+
+Knn::Knn(std::size_t k) : k_(k)
+{
+    if (k == 0)
+        panic("Knn: k must be positive");
+}
+
+void
+Knn::fit(const Dataset &data)
+{
+    train_ = data;
+}
+
+int
+Knn::predict(const FeatureVec &features) const
+{
+    if (train_.size() == 0)
+        panic("Knn: predict() before fit()");
+
+    std::vector<std::pair<double, int>> dists;
+    dists.reserve(train_.size());
+    for (std::size_t i = 0; i < train_.size(); ++i) {
+        double s = 0.0;
+        for (std::size_t d = 0; d < features.size(); ++d) {
+            const double diff = features[d] - train_.x[i][d];
+            s += diff * diff;
+        }
+        dists.emplace_back(s, train_.y[i]);
+    }
+    const std::size_t k = std::min(k_, dists.size());
+    std::partial_sort(dists.begin(), dists.begin() + std::ptrdiff_t(k),
+                      dists.end());
+
+    std::map<int, std::size_t> votes;
+    for (std::size_t i = 0; i < k; ++i)
+        ++votes[dists[i].second];
+    int best = dists[0].second; // nearest wins ties by iteration below
+    std::size_t bestVotes = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+        const int label = dists[i].second;
+        if (votes[label] > bestVotes) {
+            bestVotes = votes[label];
+            best = label;
+        }
+    }
+    return best;
+}
+
+} // namespace gpusc::ml

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * k-nearest-neighbours classifier (the paper's baseline uses KNN3).
+ */
+
+#ifndef GPUSC_ML_KNN_H
+#define GPUSC_ML_KNN_H
+
+#include "ml/classifier.h"
+
+namespace gpusc::ml {
+
+/** Brute-force KNN with majority vote (ties break to nearest). */
+class Knn : public Classifier
+{
+  public:
+    explicit Knn(std::size_t k = 3);
+
+    void fit(const Dataset &data) override;
+    int predict(const FeatureVec &features) const override;
+    std::string
+    name() const override
+    {
+        return "KNN" + std::to_string(k_);
+    }
+
+  private:
+    std::size_t k_;
+    Dataset train_;
+};
+
+} // namespace gpusc::ml
+
+#endif // GPUSC_ML_KNN_H

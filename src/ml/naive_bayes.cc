@@ -1,0 +1,71 @@
+#include "ml/naive_bayes.h"
+
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "util/logging.h"
+
+namespace gpusc::ml {
+
+void
+GaussianNaiveBayes::fit(const Dataset &data)
+{
+    classes_.clear();
+    if (data.size() == 0)
+        panic("GaussianNaiveBayes: empty training set");
+
+    std::map<int, std::vector<std::size_t>> byClass;
+    for (std::size_t i = 0; i < data.size(); ++i)
+        byClass[data.y[i]].push_back(i);
+
+    // Shared variance floor keeps degenerate (constant) features from
+    // producing infinite likelihoods.
+    const double varFloor = 1e-9;
+
+    for (const auto &[label, idxs] : byClass) {
+        ClassStats cs;
+        cs.label = label;
+        cs.logPrior =
+            std::log(double(idxs.size()) / double(data.size()));
+        cs.mean.assign(data.dims(), 0.0);
+        cs.var.assign(data.dims(), 0.0);
+        for (std::size_t i : idxs)
+            for (std::size_t d = 0; d < data.dims(); ++d)
+                cs.mean[d] += data.x[i][d];
+        for (double &m : cs.mean)
+            m /= double(idxs.size());
+        for (std::size_t i : idxs)
+            for (std::size_t d = 0; d < data.dims(); ++d) {
+                const double diff = data.x[i][d] - cs.mean[d];
+                cs.var[d] += diff * diff;
+            }
+        for (double &v : cs.var)
+            v = v / double(idxs.size()) + varFloor;
+        classes_.push_back(std::move(cs));
+    }
+}
+
+int
+GaussianNaiveBayes::predict(const FeatureVec &features) const
+{
+    if (classes_.empty())
+        panic("GaussianNaiveBayes: predict() before fit()");
+    double bestScore = -std::numeric_limits<double>::infinity();
+    int bestLabel = classes_.front().label;
+    for (const ClassStats &cs : classes_) {
+        double score = cs.logPrior;
+        for (std::size_t d = 0; d < features.size(); ++d) {
+            const double diff = features[d] - cs.mean[d];
+            score += -0.5 * std::log(2.0 * M_PI * cs.var[d]) -
+                     diff * diff / (2.0 * cs.var[d]);
+        }
+        if (score > bestScore) {
+            bestScore = score;
+            bestLabel = cs.label;
+        }
+    }
+    return bestLabel;
+}
+
+} // namespace gpusc::ml

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Gaussian naive Bayes — one of the three classifiers used to evaluate
+ * the prior-work baseline in Table 2.
+ */
+
+#ifndef GPUSC_ML_NAIVE_BAYES_H
+#define GPUSC_ML_NAIVE_BAYES_H
+
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace gpusc::ml {
+
+/** Gaussian naive Bayes with per-class diagonal variances. */
+class GaussianNaiveBayes : public Classifier
+{
+  public:
+    void fit(const Dataset &data) override;
+    int predict(const FeatureVec &features) const override;
+    std::string name() const override { return "NaiveBayes"; }
+
+  private:
+    struct ClassStats
+    {
+        int label = 0;
+        double logPrior = 0.0;
+        FeatureVec mean;
+        FeatureVec var;
+    };
+    std::vector<ClassStats> classes_;
+};
+
+} // namespace gpusc::ml
+
+#endif // GPUSC_ML_NAIVE_BAYES_H

@@ -1,0 +1,73 @@
+#include "ml/nearest_centroid.h"
+
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "util/logging.h"
+
+namespace gpusc::ml {
+
+void
+NearestCentroid::fit(const Dataset &data)
+{
+    centroids_.clear();
+    labels_.clear();
+    std::map<int, std::pair<FeatureVec, std::size_t>> sums;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        auto &[sum, n] = sums[data.y[i]];
+        if (sum.empty())
+            sum.assign(data.dims(), 0.0);
+        for (std::size_t d = 0; d < sum.size(); ++d)
+            sum[d] += data.x[i][d];
+        ++n;
+    }
+    for (auto &[label, entry] : sums) {
+        auto &[sum, n] = entry;
+        for (double &v : sum)
+            v /= double(n);
+        centroids_.push_back(std::move(sum));
+        labels_.push_back(label);
+    }
+}
+
+NearestCentroid::Match
+NearestCentroid::match(const FeatureVec &features) const
+{
+    if (centroids_.empty())
+        panic("NearestCentroid: match() before fit()");
+    Match best;
+    best.distance = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < centroids_.size(); ++c) {
+        double s = 0.0;
+        for (std::size_t d = 0; d < features.size(); ++d) {
+            const double diff = features[d] - centroids_[c][d];
+            s += diff * diff;
+        }
+        const double dist = std::sqrt(s);
+        if (dist < best.distance) {
+            best.distance = dist;
+            best.label = labels_[c];
+        }
+    }
+    return best;
+}
+
+int
+NearestCentroid::predict(const FeatureVec &features) const
+{
+    return match(features).label;
+}
+
+void
+NearestCentroid::load(std::vector<FeatureVec> centroids,
+                      std::vector<int> labels)
+{
+    if (centroids.size() != labels.size())
+        panic("NearestCentroid::load: %zu centroids vs %zu labels",
+              centroids.size(), labels.size());
+    centroids_ = std::move(centroids);
+    labels_ = std::move(labels);
+}
+
+} // namespace gpusc::ml

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Nearest-centroid classifier with a rejection threshold.
+ *
+ * This is the classification model the attack preloads per device
+ * configuration (paper §5.1 / Fig. 12): each key's offline samples are
+ * averaged into a centroid; an online reading is accepted as a key
+ * press only when its distance to the nearest centroid is below the
+ * threshold C_th, otherwise it is rejected as split/noise.
+ */
+
+#ifndef GPUSC_ML_NEAREST_CENTROID_H
+#define GPUSC_ML_NEAREST_CENTROID_H
+
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace gpusc::ml {
+
+/** Nearest-centroid classifier (L2) with distance reporting. */
+class NearestCentroid : public Classifier
+{
+  public:
+    void fit(const Dataset &data) override;
+    int predict(const FeatureVec &features) const override;
+    std::string name() const override { return "NearestCentroid"; }
+
+    /** Prediction plus the distance to the winning centroid. */
+    struct Match
+    {
+        int label = -1;
+        double distance = 0.0;
+    };
+    Match match(const FeatureVec &features) const;
+
+    const std::vector<FeatureVec> &centroids() const { return centroids_; }
+    const std::vector<int> &labels() const { return labels_; }
+
+    /** Replace the fitted state directly (model deserialisation). */
+    void load(std::vector<FeatureVec> centroids, std::vector<int> labels);
+
+  private:
+    std::vector<FeatureVec> centroids_;
+    std::vector<int> labels_;
+};
+
+} // namespace gpusc::ml
+
+#endif // GPUSC_ML_NEAREST_CENTROID_H

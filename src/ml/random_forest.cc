@@ -1,0 +1,229 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace gpusc::ml {
+
+namespace {
+
+int
+majorityLabel(const Dataset &data, const std::vector<std::size_t> &idxs)
+{
+    std::map<int, std::size_t> counts;
+    for (std::size_t i : idxs)
+        ++counts[data.y[i]];
+    int best = 0;
+    std::size_t bestCount = 0;
+    for (const auto &[label, n] : counts) {
+        if (n > bestCount) {
+            bestCount = n;
+            best = label;
+        }
+    }
+    return best;
+}
+
+double
+giniOfCounts(const std::map<int, std::size_t> &counts, std::size_t total)
+{
+    if (total == 0)
+        return 0.0;
+    double g = 1.0;
+    for (const auto &[label, n] : counts) {
+        const double p = double(n) / double(total);
+        g -= p * p;
+    }
+    return g;
+}
+
+} // namespace
+
+DecisionTree::DecisionTree(Params params) : params_(params) {}
+
+int
+DecisionTree::build(const Dataset &data, std::vector<std::size_t> &idxs,
+                    std::size_t depth, Rng &rng)
+{
+    Node node;
+    node.label = majorityLabel(data, idxs);
+
+    bool pure = true;
+    for (std::size_t i : idxs)
+        if (data.y[i] != data.y[idxs[0]]) {
+            pure = false;
+            break;
+        }
+    if (pure || depth >= params_.maxDepth ||
+        idxs.size() <= params_.minSamplesLeaf) {
+        nodes_.push_back(node);
+        return int(nodes_.size()) - 1;
+    }
+
+    // Choose candidate features.
+    std::vector<std::size_t> feats(data.dims());
+    std::iota(feats.begin(), feats.end(), 0);
+    if (params_.featureSubset > 0 &&
+        params_.featureSubset < feats.size()) {
+        rng.shuffle(feats);
+        feats.resize(params_.featureSubset);
+    }
+
+    double bestGini = std::numeric_limits<double>::infinity();
+    int bestFeat = -1;
+    double bestThresh = 0.0;
+
+    for (std::size_t f : feats) {
+        // Sort indices by feature value; evaluate midpoints.
+        std::vector<std::size_t> order = idxs;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return data.x[a][f] < data.x[b][f];
+                  });
+        std::map<int, std::size_t> leftCounts, rightCounts;
+        for (std::size_t i : order)
+            ++rightCounts[data.y[i]];
+        for (std::size_t pos = 0; pos + 1 < order.size(); ++pos) {
+            const int label = data.y[order[pos]];
+            ++leftCounts[label];
+            if (--rightCounts[label] == 0)
+                rightCounts.erase(label);
+            const double v0 = data.x[order[pos]][f];
+            const double v1 = data.x[order[pos + 1]][f];
+            if (v0 == v1)
+                continue;
+            const std::size_t nl = pos + 1;
+            const std::size_t nr = order.size() - nl;
+            const double gini =
+                (double(nl) * giniOfCounts(leftCounts, nl) +
+                 double(nr) * giniOfCounts(rightCounts, nr)) /
+                double(order.size());
+            if (gini < bestGini) {
+                bestGini = gini;
+                bestFeat = int(f);
+                bestThresh = 0.5 * (v0 + v1);
+            }
+        }
+    }
+
+    if (bestFeat < 0) { // no useful split (all feature values equal)
+        nodes_.push_back(node);
+        return int(nodes_.size()) - 1;
+    }
+
+    std::vector<std::size_t> leftIdx, rightIdx;
+    for (std::size_t i : idxs) {
+        if (data.x[i][std::size_t(bestFeat)] <= bestThresh)
+            leftIdx.push_back(i);
+        else
+            rightIdx.push_back(i);
+    }
+    node.feature = bestFeat;
+    node.threshold = bestThresh;
+    node.left = build(data, leftIdx, depth + 1, rng);
+    node.right = build(data, rightIdx, depth + 1, rng);
+    nodes_.push_back(node);
+    return int(nodes_.size()) - 1;
+}
+
+void
+DecisionTree::fit(const Dataset &data)
+{
+    if (data.size() == 0)
+        panic("DecisionTree: empty training set");
+    nodes_.clear();
+    Rng rng(params_.seed);
+    std::vector<std::size_t> idxs(data.size());
+    std::iota(idxs.begin(), idxs.end(), 0);
+    root_ = build(data, idxs, 0, rng);
+}
+
+int
+DecisionTree::predict(const FeatureVec &features) const
+{
+    if (root_ < 0)
+        panic("DecisionTree: predict() before fit()");
+    int n = root_;
+    while (nodes_[std::size_t(n)].feature >= 0) {
+        const Node &node = nodes_[std::size_t(n)];
+        n = features[std::size_t(node.feature)] <= node.threshold
+                ? node.left
+                : node.right;
+    }
+    return nodes_[std::size_t(n)].label;
+}
+
+std::size_t
+DecisionTree::depth() const
+{
+    // Recompute by walking; the tree is small.
+    if (root_ < 0)
+        return 0;
+    std::vector<std::pair<int, std::size_t>> stack{{root_, 1}};
+    std::size_t best = 0;
+    while (!stack.empty()) {
+        auto [n, d] = stack.back();
+        stack.pop_back();
+        best = std::max(best, d);
+        const Node &node = nodes_[std::size_t(n)];
+        if (node.feature >= 0) {
+            stack.push_back({node.left, d + 1});
+            stack.push_back({node.right, d + 1});
+        }
+    }
+    return best;
+}
+
+RandomForest::RandomForest(Params params) : params_(params) {}
+
+void
+RandomForest::fit(const Dataset &data)
+{
+    if (data.size() == 0)
+        panic("RandomForest: empty training set");
+    trees_.clear();
+    Rng rng(params_.seed);
+    const auto subset = std::size_t(
+        std::max(1.0, std::sqrt(double(data.dims()))));
+    for (std::size_t t = 0; t < params_.numTrees; ++t) {
+        // Bootstrap sample.
+        Dataset boot;
+        for (std::size_t i = 0; i < data.size(); ++i) {
+            const auto j = std::size_t(
+                rng.uniformInt(0, std::int64_t(data.size()) - 1));
+            boot.add(data.x[j], data.y[j]);
+        }
+        DecisionTree::Params tp;
+        tp.maxDepth = params_.maxDepth;
+        tp.featureSubset = subset;
+        tp.seed = rng.next();
+        auto tree = std::make_unique<DecisionTree>(tp);
+        tree->fit(boot);
+        trees_.push_back(std::move(tree));
+    }
+}
+
+int
+RandomForest::predict(const FeatureVec &features) const
+{
+    if (trees_.empty())
+        panic("RandomForest: predict() before fit()");
+    std::map<int, std::size_t> votes;
+    for (const auto &tree : trees_)
+        ++votes[tree->predict(features)];
+    int best = 0;
+    std::size_t bestVotes = 0;
+    for (const auto &[label, n] : votes) {
+        if (n > bestVotes) {
+            bestVotes = n;
+            best = label;
+        }
+    }
+    return best;
+}
+
+} // namespace gpusc::ml

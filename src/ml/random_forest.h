@@ -1,0 +1,84 @@
+/**
+ * @file
+ * CART decision trees and a bagged random forest (third baseline
+ * classifier in Table 2).
+ */
+
+#ifndef GPUSC_ML_RANDOM_FOREST_H
+#define GPUSC_ML_RANDOM_FOREST_H
+
+#include <memory>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "util/rng.h"
+
+namespace gpusc::ml {
+
+/** A single CART tree (Gini impurity, axis-aligned splits). */
+class DecisionTree : public Classifier
+{
+  public:
+    struct Params
+    {
+        std::size_t maxDepth = 12;
+        std::size_t minSamplesLeaf = 1;
+        /** Features examined per split; 0 = all. */
+        std::size_t featureSubset = 0;
+        std::uint64_t seed = 1;
+    };
+
+    DecisionTree() : DecisionTree(Params{12, 1, 0, 1}) {}
+    explicit DecisionTree(Params params);
+
+    void fit(const Dataset &data) override;
+    int predict(const FeatureVec &features) const override;
+    std::string name() const override { return "DecisionTree"; }
+
+    /** Depth of the learned tree (diagnostics / tests). */
+    std::size_t depth() const;
+
+  private:
+    struct Node
+    {
+        int feature = -1; // -1 => leaf
+        double threshold = 0.0;
+        int label = 0;
+        int left = -1;
+        int right = -1;
+    };
+
+    int build(const Dataset &data, std::vector<std::size_t> &idxs,
+              std::size_t depth, Rng &rng);
+
+    Params params_;
+    std::vector<Node> nodes_;
+    int root_ = -1;
+};
+
+/** Bootstrap-aggregated forest of randomised CART trees. */
+class RandomForest : public Classifier
+{
+  public:
+    struct Params
+    {
+        std::size_t numTrees = 30;
+        std::size_t maxDepth = 12;
+        std::uint64_t seed = 7;
+    };
+
+    RandomForest() : RandomForest(Params{30, 12, 7}) {}
+    explicit RandomForest(Params params);
+
+    void fit(const Dataset &data) override;
+    int predict(const FeatureVec &features) const override;
+    std::string name() const override { return "RandomForest"; }
+
+  private:
+    Params params_;
+    std::vector<std::unique_ptr<DecisionTree>> trees_;
+};
+
+} // namespace gpusc::ml
+
+#endif // GPUSC_ML_RANDOM_FOREST_H

@@ -1,0 +1,65 @@
+#include "util/event_queue.h"
+
+#include "util/logging.h"
+
+namespace gpusc {
+
+EventId
+EventQueue::schedule(SimTime when, Callback fn)
+{
+    if (when < now_)
+        panic("EventQueue: scheduling at %s before now (%s)",
+              when.toString().c_str(), now_.toString().c_str());
+    EventId id = nextId_++;
+    queue_.push(Entry{when, nextSeq_++, id});
+    callbacks_.emplace(id, std::move(fn));
+    return id;
+}
+
+EventId
+EventQueue::scheduleAfter(SimTime delay, Callback fn)
+{
+    return schedule(now_ + delay, std::move(fn));
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    callbacks_.erase(id);
+}
+
+void
+EventQueue::skipDead()
+{
+    while (!queue_.empty() && !callbacks_.contains(queue_.top().id))
+        queue_.pop();
+}
+
+SimTime
+EventQueue::nextTime()
+{
+    skipDead();
+    return queue_.empty() ? SimTime::max() : queue_.top().when;
+}
+
+void
+EventQueue::runUntil(SimTime horizon)
+{
+    for (;;) {
+        skipDead();
+        if (queue_.empty() || queue_.top().when > horizon)
+            break;
+        Entry e = queue_.top();
+        queue_.pop();
+        auto it = callbacks_.find(e.id);
+        Callback fn = std::move(it->second);
+        callbacks_.erase(it);
+        now_ = e.when;
+        ++dispatched_;
+        fn();
+    }
+    if (horizon != SimTime::max() && now_ < horizon)
+        now_ = horizon;
+}
+
+} // namespace gpusc

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * Components schedule callbacks at absolute simulated times; the queue
+ * dispatches them in (time, insertion-order) order. This is the only
+ * notion of concurrency in the simulator: every hardware and software
+ * actor (vsync, GPU frame completion, the attacking application's
+ * sampler thread, key press/release timers, cursor blink, ...) is an
+ * event.
+ */
+
+#ifndef GPUSC_UTIL_EVENT_QUEUE_H
+#define GPUSC_UTIL_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace gpusc {
+
+/** Handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/** Time-ordered event queue with stable FIFO tie-breaking. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** @return the current simulated time. */
+    SimTime now() const { return now_; }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     * Scheduling in the past is a simulator bug.
+     * @return an id usable with cancel().
+     */
+    EventId schedule(SimTime when, Callback fn);
+
+    /** Schedule @p fn to run @p delay after now. */
+    EventId scheduleAfter(SimTime delay, Callback fn);
+
+    /** Cancel a pending event. Cancelling a fired event is a no-op. */
+    void cancel(EventId id);
+
+    /** @return true if no runnable events remain. */
+    bool empty() const { return callbacks_.empty(); }
+
+    /** @return the time of the next runnable event (max() if none). */
+    SimTime nextTime();
+
+    /**
+     * Run events until the queue is empty or the next event is after
+     * @p horizon. Time is left at the later of the last dispatched
+     * event and @p horizon (when the horizon is finite).
+     */
+    void runUntil(SimTime horizon);
+
+    /** Run until the queue drains completely. */
+    void run() { runUntil(SimTime::max()); }
+
+    /** Number of events dispatched so far (for tests/diagnostics). */
+    std::uint64_t dispatched() const { return dispatched_; }
+
+  private:
+    struct Entry
+    {
+        SimTime when;
+        std::uint64_t seq;
+        EventId id;
+        // Ordered so that the priority_queue pops the earliest entry.
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    /** Drop heap tombstones left behind by cancel(). */
+    void skipDead();
+
+    SimTime now_;
+    std::uint64_t nextSeq_ = 0;
+    EventId nextId_ = 1;
+    std::uint64_t dispatched_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+    // Callbacks live here so cancel() can drop them in O(1); the heap
+    // entry of a cancelled event becomes a tombstone.
+    std::unordered_map<EventId, Callback> callbacks_;
+};
+
+} // namespace gpusc
+
+#endif // GPUSC_UTIL_EVENT_QUEUE_H

@@ -1,0 +1,63 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gpusc {
+
+namespace {
+bool verboseFlag = true;
+
+void
+vprint(FILE *to, const char *tag, const char *fmt, va_list ap)
+{
+    std::fprintf(to, "%s: ", tag);
+    std::vfprintf(to, fmt, ap);
+    std::fputc('\n', to);
+}
+} // namespace
+
+void setVerbose(bool v) { verboseFlag = v; }
+bool verbose() { return verboseFlag; }
+
+void
+inform(const char *fmt, ...)
+{
+    if (!verboseFlag)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vprint(stdout, "info", fmt, ap);
+    va_end(ap);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vprint(stderr, "warn", fmt, ap);
+    va_end(ap);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vprint(stderr, "fatal", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vprint(stderr, "panic", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+} // namespace gpusc

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Status-message helpers in the gem5 tradition.
+ *
+ * `inform()` reports normal progress, `warn()` flags suspicious but
+ * survivable conditions, `fatal()` aborts on user/configuration errors
+ * and `panic()` aborts on internal invariant violations.
+ */
+
+#ifndef GPUSC_UTIL_LOGGING_H
+#define GPUSC_UTIL_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace gpusc {
+
+/** Controls whether inform() messages are printed (benches mute them). */
+void setVerbose(bool verbose);
+bool verbose();
+
+/** Print an informational message to stdout (when verbose). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Abort due to a user-level error (bad configuration, bad arguments).
+ * Exits with status 1.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Abort due to an internal simulator bug. Calls std::abort() so a core
+ * dump or debugger trap is possible.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace gpusc
+
+#endif // GPUSC_UTIL_LOGGING_H

@@ -1,0 +1,146 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace gpusc {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    return double(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    if (lo > hi)
+        panic("uniformInt: empty range [%lld, %lld]",
+              (long long)lo, (long long)hi);
+    const std::uint64_t span = std::uint64_t(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return std::int64_t(next());
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return lo + std::int64_t(v % span);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    if (haveSpareGaussian_) {
+        haveSpareGaussian_ = false;
+        return mean + stddev * spareGaussian_;
+    }
+    // Marsaglia polar method.
+    double u, v, s;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    spareGaussian_ = v * m;
+    haveSpareGaussian_ = true;
+    return mean + stddev * u * m;
+}
+
+double
+Rng::exponential(double mean)
+{
+    return -mean * std::log(1.0 - uniform());
+}
+
+double
+Rng::logNormalByMoments(double mean, double stddev)
+{
+    if (mean <= 0)
+        panic("logNormalByMoments: mean must be positive (got %f)", mean);
+    const double cv2 = (stddev / mean) * (stddev / mean);
+    const double sigma2 = std::log(1.0 + cv2);
+    const double mu = std::log(mean) - 0.5 * sigma2;
+    return std::exp(normal(mu, std::sqrt(sigma2)));
+}
+
+std::size_t
+Rng::weightedIndex(std::span<const double> weights)
+{
+    double total = 0.0;
+    for (double w : weights)
+        total += w;
+    if (total <= 0.0)
+        panic("weightedIndex: non-positive total weight");
+    double r = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        r -= weights[i];
+        if (r < 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xd1b54a32d192ed03ULL);
+}
+
+} // namespace gpusc

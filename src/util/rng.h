@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component of the simulator draws from an explicitly
+ * seeded Rng so that experiments are reproducible run-to-run. The core
+ * generator is xoshiro256**, seeded through splitmix64.
+ */
+
+#ifndef GPUSC_UTIL_RNG_H
+#define GPUSC_UTIL_RNG_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gpusc {
+
+/** Deterministic random number generator (xoshiro256**). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** @return the next raw 64-bit draw. */
+    std::uint64_t next();
+
+    /** @return uniform double in [0, 1). */
+    double uniform();
+
+    /** @return uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** @return uniform integer in [lo, hi] (inclusive). */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** @return true with probability p. */
+    bool bernoulli(double p);
+
+    /** @return a draw from N(mean, stddev^2). */
+    double normal(double mean, double stddev);
+
+    /** @return a draw from Exp(1/mean). */
+    double exponential(double mean);
+
+    /**
+     * @return a log-normal draw parameterised by the mean and stddev of
+     * the *resulting* distribution (moment matched), handy for human
+     * timing models which are right skewed.
+     */
+    double logNormalByMoments(double mean, double stddev);
+
+    /** @return index in [0, weights.size()) drawn ∝ weights. */
+    std::size_t weightedIndex(std::span<const double> weights);
+
+    /** Pick a uniformly random element of a non-empty container. */
+    template <typename C>
+    const typename C::value_type &
+    pick(const C &c)
+    {
+        return c[std::size_t(uniformInt(0, std::int64_t(c.size()) - 1))];
+    }
+
+    /** Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = std::size_t(uniformInt(0, std::int64_t(i) - 1));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Derive an independent child generator (for per-component seeds). */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+    bool haveSpareGaussian_ = false;
+    double spareGaussian_ = 0.0;
+};
+
+} // namespace gpusc
+
+#endif // GPUSC_UTIL_RNG_H

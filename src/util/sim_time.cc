@@ -1,0 +1,22 @@
+#include "util/sim_time.h"
+
+#include <cstdio>
+
+namespace gpusc {
+
+std::string
+SimTime::toString() const
+{
+    char buf[64];
+    if (ns_ >= 1000000000 || ns_ <= -1000000000)
+        std::snprintf(buf, sizeof(buf), "%.3fs", seconds());
+    else if (ns_ >= 1000000 || ns_ <= -1000000)
+        std::snprintf(buf, sizeof(buf), "%.3fms", millis());
+    else if (ns_ >= 1000 || ns_ <= -1000)
+        std::snprintf(buf, sizeof(buf), "%.3fus", double(ns_) * 1e-3);
+    else
+        std::snprintf(buf, sizeof(buf), "%lldns", (long long)ns_);
+    return buf;
+}
+
+} // namespace gpusc

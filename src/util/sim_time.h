@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Simulated-time type and literal helpers.
+ *
+ * All simulator components agree on a single clock expressed in
+ * nanoseconds since simulation start. A dedicated strong typedef keeps
+ * millisecond/nanosecond confusion out of interfaces; construction goes
+ * through the named factory functions below.
+ */
+
+#ifndef GPUSC_UTIL_SIM_TIME_H
+#define GPUSC_UTIL_SIM_TIME_H
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace gpusc {
+
+/** A point (or span) of simulated time with nanosecond resolution. */
+class SimTime
+{
+  public:
+    constexpr SimTime() = default;
+
+    /** @return time expressed as whole nanoseconds. */
+    constexpr std::int64_t ns() const { return ns_; }
+    /** @return time expressed as (truncated) whole microseconds. */
+    constexpr std::int64_t us() const { return ns_ / 1000; }
+    /** @return time expressed as (truncated) whole milliseconds. */
+    constexpr std::int64_t ms() const { return ns_ / 1000000; }
+    /** @return time expressed as fractional seconds. */
+    constexpr double seconds() const { return double(ns_) * 1e-9; }
+    /** @return time expressed as fractional milliseconds. */
+    constexpr double millis() const { return double(ns_) * 1e-6; }
+
+    constexpr auto operator<=>(const SimTime &) const = default;
+
+    constexpr SimTime operator+(SimTime o) const
+    {
+        return SimTime(ns_ + o.ns_);
+    }
+    constexpr SimTime operator-(SimTime o) const
+    {
+        return SimTime(ns_ - o.ns_);
+    }
+    constexpr SimTime &operator+=(SimTime o) { ns_ += o.ns_; return *this; }
+    constexpr SimTime &operator-=(SimTime o) { ns_ -= o.ns_; return *this; }
+    constexpr SimTime operator*(std::int64_t k) const
+    {
+        return SimTime(ns_ * k);
+    }
+    constexpr SimTime operator/(std::int64_t k) const
+    {
+        return SimTime(ns_ / k);
+    }
+
+    /** Scale by a floating-point factor (rounding to nearest ns). */
+    constexpr SimTime scaled(double f) const
+    {
+        return SimTime(std::int64_t(double(ns_) * f + 0.5));
+    }
+
+    static constexpr SimTime fromNs(std::int64_t v) { return SimTime(v); }
+    static constexpr SimTime fromUs(std::int64_t v)
+    {
+        return SimTime(v * 1000);
+    }
+    static constexpr SimTime fromMs(std::int64_t v)
+    {
+        return SimTime(v * 1000000);
+    }
+    static constexpr SimTime fromSeconds(double v)
+    {
+        return SimTime(std::int64_t(v * 1e9 + (v >= 0 ? 0.5 : -0.5)));
+    }
+
+    /** Largest representable time; used as an "infinite" horizon. */
+    static constexpr SimTime max()
+    {
+        return SimTime(INT64_MAX);
+    }
+
+    /** @return human-readable rendering, e.g. "12.5ms". */
+    std::string toString() const;
+
+  private:
+    explicit constexpr SimTime(std::int64_t ns) : ns_(ns) {}
+
+    std::int64_t ns_ = 0;
+};
+
+namespace sim_literals {
+
+constexpr SimTime operator""_ns(unsigned long long v)
+{
+    return SimTime::fromNs(std::int64_t(v));
+}
+constexpr SimTime operator""_us(unsigned long long v)
+{
+    return SimTime::fromUs(std::int64_t(v));
+}
+constexpr SimTime operator""_ms(unsigned long long v)
+{
+    return SimTime::fromMs(std::int64_t(v));
+}
+constexpr SimTime operator""_s(unsigned long long v)
+{
+    return SimTime::fromSeconds(double(v));
+}
+
+} // namespace sim_literals
+
+} // namespace gpusc
+
+#endif // GPUSC_UTIL_SIM_TIME_H

@@ -1,0 +1,148 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace gpusc {
+
+void
+RunningStat::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / double(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::variance() const
+{
+    return n_ > 1 ? m2_ / double(n_ - 1) : 0.0;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Samples::mean() const
+{
+    if (xs_.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs_)
+        s += x;
+    return s / double(xs_.size());
+}
+
+double
+Samples::stddev() const
+{
+    if (xs_.size() < 2)
+        return 0.0;
+    const double m = mean();
+    double s = 0.0;
+    for (double x : xs_)
+        s += (x - m) * (x - m);
+    return std::sqrt(s / double(xs_.size() - 1));
+}
+
+double
+Samples::min() const
+{
+    return xs_.empty() ? 0.0 : *std::min_element(xs_.begin(), xs_.end());
+}
+
+double
+Samples::max() const
+{
+    return xs_.empty() ? 0.0 : *std::max_element(xs_.begin(), xs_.end());
+}
+
+double
+Samples::quantile(double q) const
+{
+    if (xs_.empty())
+        return 0.0;
+    if (q < 0.0 || q > 1.0)
+        panic("Samples::quantile: q=%f outside [0,1]", q);
+    std::vector<double> sorted = xs_;
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q * double(sorted.size() - 1);
+    const std::size_t lo = std::size_t(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - double(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    if (!(hi > lo) || bins == 0)
+        panic("Histogram: bad range [%f, %f) with %zu bins", lo, hi, bins);
+}
+
+void
+Histogram::add(double x)
+{
+    raw_.push_back(x);
+    double t = (x - lo_) / (hi_ - lo_);
+    t = std::clamp(t, 0.0, 1.0);
+    std::size_t i = std::min(std::size_t(t * double(counts_.size())),
+                             counts_.size() - 1);
+    ++counts_[i];
+    ++total_;
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    return lo_ + (hi_ - lo_) * double(i) / double(counts_.size());
+}
+
+double
+Histogram::fractionBelow(double x) const
+{
+    if (raw_.empty())
+        return 0.0;
+    std::size_t below = 0;
+    for (double v : raw_)
+        if (v < x)
+            ++below;
+    return double(below) / double(raw_.size());
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    std::string out;
+    std::size_t peak = 0;
+    for (std::size_t c : counts_)
+        peak = std::max(peak, c);
+    if (peak == 0)
+        peak = 1;
+    char line[256];
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const std::size_t bar = counts_[i] * width / peak;
+        std::snprintf(line, sizeof(line), "[%9.4f, %9.4f) %6zu |",
+                      binLow(i), binHigh(i), counts_[i]);
+        out += line;
+        out.append(bar, '#');
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace gpusc

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Lightweight statistics helpers used by the evaluation harness and
+ * bench binaries: running moments, sample collections with quantiles,
+ * and fixed-bin histograms.
+ */
+
+#ifndef GPUSC_UTIL_STATS_H
+#define GPUSC_UTIL_STATS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gpusc {
+
+/** Streaming mean/variance accumulator (Welford). */
+class RunningStat
+{
+  public:
+    void add(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/** Sample container with quantile queries (copies & sorts on demand). */
+class Samples
+{
+  public:
+    void add(double x) { xs_.push_back(x); }
+    void reserve(std::size_t n) { xs_.reserve(n); }
+
+    std::size_t count() const { return xs_.size(); }
+    bool empty() const { return xs_.empty(); }
+    double mean() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+    /** Linear-interpolated quantile, q in [0, 1]. */
+    double quantile(double q) const;
+    double median() const { return quantile(0.5); }
+
+    const std::vector<double> &values() const { return xs_; }
+
+  private:
+    std::vector<double> xs_;
+};
+
+/** Fixed-width-bin histogram over [lo, hi); out-of-range values clamp. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+
+    std::size_t bins() const { return counts_.size(); }
+    std::size_t binCount(std::size_t i) const { return counts_[i]; }
+    double binLow(std::size_t i) const;
+    double binHigh(std::size_t i) const { return binLow(i + 1); }
+    std::size_t total() const { return total_; }
+
+    /** Fraction of samples with value < x. */
+    double fractionBelow(double x) const;
+
+    /** Render as an ASCII bar chart (for bench output). */
+    std::string render(std::size_t width = 50) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::vector<double> raw_;
+    std::size_t total_ = 0;
+};
+
+} // namespace gpusc
+
+#endif // GPUSC_UTIL_STATS_H

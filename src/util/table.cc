@@ -1,0 +1,86 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace gpusc {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+    if (header_.empty())
+        panic("Table: empty header");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != header_.size())
+        panic("Table: row has %zu cells, header has %zu",
+              cells.size(), header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+Table::pct(double ratio, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, ratio * 100.0);
+    return buf;
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::string line = "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            line += ' ';
+            line += row[c];
+            line.append(widths[c] - row[c].size(), ' ');
+            line += " |";
+        }
+        line += '\n';
+        return line;
+    };
+
+    std::string sep = "+";
+    for (std::size_t w : widths) {
+        sep.append(w + 2, '-');
+        sep += '+';
+    }
+    sep += '\n';
+
+    std::string out = sep + renderRow(header_) + sep;
+    for (const auto &row : rows_)
+        out += renderRow(row);
+    out += sep;
+    return out;
+}
+
+void
+Table::print(const std::string &caption) const
+{
+    if (!caption.empty())
+        std::printf("%s\n", caption.c_str());
+    std::fputs(render().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+} // namespace gpusc

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Plain-text table rendering for bench binaries.
+ *
+ * Every bench prints its figure/table as an aligned text table so the
+ * output can be diffed against the paper's reported rows/series.
+ */
+
+#ifndef GPUSC_UTIL_TABLE_H
+#define GPUSC_UTIL_TABLE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gpusc {
+
+/** Column-aligned text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a row; it must match the header's column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: formats doubles with @p decimals decimal places. */
+    static std::string num(double v, int decimals = 2);
+    /** Convenience: formats a ratio as a percentage string. */
+    static std::string pct(double ratio, int decimals = 1);
+
+    /** @return the rendered table. */
+    std::string render() const;
+
+    /** Render straight to stdout with an optional caption. */
+    void print(const std::string &caption = "") const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace gpusc
+
+#endif // GPUSC_UTIL_TABLE_H

@@ -1,0 +1,76 @@
+#include "workload/credential.h"
+
+#include <array>
+#include <cctype>
+
+namespace gpusc::workload {
+
+CredentialGenerator::CredentialGenerator(std::uint64_t seed,
+                                         CharsetMix mix)
+    : rng_(seed), mix_(mix)
+{
+}
+
+const std::string &
+CredentialGenerator::symbolSet()
+{
+    static const std::string symbols = ",.@#$&-+()/*\"':;!?";
+    return symbols;
+}
+
+char
+CredentialGenerator::randomChar()
+{
+    const std::array<double, 4> weights = {mix_.lower, mix_.upper,
+                                           mix_.digit, mix_.symbol};
+    switch (rng_.weightedIndex(weights)) {
+      case 0:
+        return char('a' + rng_.uniformInt(0, 25));
+      case 1:
+        return char('A' + rng_.uniformInt(0, 25));
+      case 2:
+        return char('0' + rng_.uniformInt(0, 9));
+      default:
+        return rng_.pick(symbolSet());
+    }
+}
+
+std::string
+CredentialGenerator::next(std::size_t length)
+{
+    std::string s;
+    s.reserve(length);
+    for (std::size_t i = 0; i < length; ++i)
+        s.push_back(randomChar());
+    return s;
+}
+
+CharGroup
+charGroupOf(char c)
+{
+    if (std::islower(static_cast<unsigned char>(c)))
+        return CharGroup::Lower;
+    if (std::isupper(static_cast<unsigned char>(c)))
+        return CharGroup::Upper;
+    if (std::isdigit(static_cast<unsigned char>(c)))
+        return CharGroup::Number;
+    return CharGroup::Symbol;
+}
+
+std::string
+charGroupName(CharGroup g)
+{
+    switch (g) {
+      case CharGroup::Lower:
+        return "lower";
+      case CharGroup::Upper:
+        return "upper";
+      case CharGroup::Number:
+        return "number";
+      case CharGroup::Symbol:
+        return "symbol";
+    }
+    return "?";
+}
+
+} // namespace gpusc::workload

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Random credential (username/password) generation with a realistic
+ * character mix over the typable keyboard charset.
+ */
+
+#ifndef GPUSC_WORKLOAD_CREDENTIAL_H
+#define GPUSC_WORKLOAD_CREDENTIAL_H
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace gpusc::workload {
+
+/** Character-class mixing weights for generated credentials. */
+struct CharsetMix
+{
+    double lower = 0.55;
+    double upper = 0.12;
+    double digit = 0.22;
+    double symbol = 0.11;
+
+    /** Only lowercase letters (fastest-typing scenario). */
+    static CharsetMix
+    lowerOnly()
+    {
+        return CharsetMix{1.0, 0.0, 0.0, 0.0};
+    }
+};
+
+/** Deterministic credential generator. */
+class CredentialGenerator
+{
+  public:
+    explicit CredentialGenerator(std::uint64_t seed,
+                                 CharsetMix mix = CharsetMix());
+
+    /** @return a random credential of exactly @p length characters. */
+    std::string next(std::size_t length);
+
+    /** One uniformly random typable character of any class. */
+    char randomChar();
+
+    /** The symbols eligible for generation. */
+    static const std::string &symbolSet();
+
+  private:
+    Rng rng_;
+    CharsetMix mix_;
+};
+
+/** Character group of Fig. 17(c)/21(c): lower/upper/number/symbol. */
+enum class CharGroup
+{
+    Lower,
+    Upper,
+    Number,
+    Symbol,
+};
+
+/** Classify a character into its Fig. 17(c) group. */
+CharGroup charGroupOf(char c);
+/** Display label for a group. */
+std::string charGroupName(CharGroup g);
+
+} // namespace gpusc::workload
+
+#endif // GPUSC_WORKLOAD_CREDENTIAL_H

@@ -1,0 +1,83 @@
+#include "workload/load.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpusc::workload {
+
+using namespace gpusc::sim_literals;
+
+CpuLoadModel::CpuLoadModel(double utilization, std::uint64_t seed)
+    : util_(std::clamp(utilization, 0.0, 0.99)), rng_(seed)
+{
+}
+
+SimTime
+CpuLoadModel::nextWakeupDelay()
+{
+    if (util_ <= 0.0)
+        return SimTime();
+    if (!rng_.bernoulli(util_))
+        return SimTime();
+    // M/M/1-style waiting-time scaling: mean wait explodes as the
+    // other load saturates the cores.
+    const double meanMs = 4.0 * util_ / (1.0 - util_ + 0.06);
+    const double ms = rng_.exponential(meanMs);
+    return SimTime::fromSeconds(std::min(ms, 300.0) * 1e-3);
+}
+
+namespace {
+
+/** Foreign jobs are issued on this period. */
+constexpr SimTime kGpuLoadPeriod = 30_ms;
+
+} // namespace
+
+GpuLoadGenerator::GpuLoadGenerator(android::Device &device,
+                                   double utilization,
+                                   std::uint64_t seed)
+    : device_(device), util_(std::clamp(utilization, 0.0, 1.0)),
+      rng_(seed), aliveToken_(std::make_shared<int>(0))
+{
+}
+
+GpuLoadGenerator::~GpuLoadGenerator() = default;
+
+void
+GpuLoadGenerator::start()
+{
+    if (running_ || util_ <= 0.0)
+        return;
+    running_ = true;
+    tick();
+}
+
+void
+GpuLoadGenerator::stop()
+{
+    running_ = false;
+}
+
+void
+GpuLoadGenerator::tick()
+{
+    if (!running_)
+        return;
+
+    // Compute/blit-style background work sized to ~util of the
+    // period: it occupies the GPU (delaying UI frames, raising the
+    // busy percentage) without touching the raster-pipeline counters.
+    const double budgetUs = util_ * double(kGpuLoadPeriod.us()) *
+                            rng_.uniform(0.85, 1.15);
+    device_.engine().submitCompute(
+        SimTime::fromUs(std::int64_t(budgetUs)));
+    ++phase_;
+
+    std::weak_ptr<int> alive = aliveToken_;
+    device_.eq().scheduleAfter(kGpuLoadPeriod, [this, alive] {
+        if (!alive.expired())
+            tick();
+    });
+}
+
+} // namespace gpusc::workload

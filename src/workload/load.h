@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Concurrent-workload generators for §7.3.
+ *
+ * CpuLoadModel perturbs the attack's sampler wakeups the way CFS
+ * contention does: with probability ~u the sampler thread queues
+ * behind CPU hogs and wakes late, with the tail growing as u -> 1.
+ * Late reads merge multiple frames' counter deltas into one observed
+ * change, which is the actual accuracy-loss mechanism.
+ *
+ * GpuLoadGenerator submits foreign render jobs (a background 3D
+ * workload) that both occupy the GPU (delaying UI frames) and add
+ * foreign counter deltas to the stream.
+ */
+
+#ifndef GPUSC_WORKLOAD_LOAD_H
+#define GPUSC_WORKLOAD_LOAD_H
+
+#include <memory>
+
+#include "android/device.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace gpusc::workload {
+
+/** Scheduler-contention model for the sampler thread. */
+class CpuLoadModel
+{
+  public:
+    /** @param utilization CPU utilisation by other processes, 0..1. */
+    CpuLoadModel(double utilization, std::uint64_t seed);
+
+    /** Extra delay applied to the next sampler wakeup. */
+    SimTime nextWakeupDelay();
+
+    double utilization() const { return util_; }
+
+  private:
+    double util_;
+    Rng rng_;
+};
+
+/** Background GPU workload (custom GLES renderer, §7.3). */
+class GpuLoadGenerator
+{
+  public:
+    /**
+     * @param utilization target fraction of GPU time, 0..1.
+     */
+    GpuLoadGenerator(android::Device &device, double utilization,
+                     std::uint64_t seed);
+    ~GpuLoadGenerator();
+
+    void start();
+    void stop();
+
+  private:
+    void tick();
+
+    android::Device &device_;
+    double util_;
+    Rng rng_;
+    bool running_ = false;
+    int phase_ = 0;
+    std::shared_ptr<int> aliveToken_;
+};
+
+} // namespace gpusc::workload
+
+#endif // GPUSC_WORKLOAD_LOAD_H

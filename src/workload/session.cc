@@ -1,0 +1,135 @@
+#include "workload/session.h"
+
+namespace gpusc::workload {
+
+using namespace gpusc::sim_literals;
+
+SessionDriver::SessionDriver(android::Device &device, SessionConfig cfg)
+    : device_(device), cfg_(cfg), rng_(cfg.seed),
+      creds_(rng_.next()),
+      typist_(std::make_unique<Typist>(
+          device, TypingModel::forVolunteer(cfg.volunteer, rng_.next()),
+          rng_.next())),
+      aliveToken_(std::make_shared<int>(0))
+{
+    typist_->setTypoProb(cfg_.typoProb);
+}
+
+SessionDriver::~SessionDriver() = default;
+
+void
+SessionDriver::start()
+{
+    device_.launchTargetApp();
+    std::weak_ptr<int> alive = aliveToken_;
+    device_.eq().scheduleAfter(800_ms, [this, alive] {
+        if (!alive.expired())
+            beginInput(0);
+    });
+}
+
+void
+SessionDriver::beginInput(std::size_t index)
+{
+    if (index >= cfg_.numInputs) {
+        done_ = true;
+        return;
+    }
+    device_.app().clearText();
+    const auto len = std::size_t(rng_.uniformInt(
+        std::int64_t(cfg_.minLen), std::int64_t(cfg_.maxLen)));
+    InputEpisode ep;
+    ep.truth = creds_.next(len);
+    ep.start = device_.eq().now();
+    episodes_.push_back(ep);
+
+    const bool switchPlanned = rng_.bernoulli(cfg_.midInputSwitchProb);
+    typeSegment(index, episodes_.back().truth, switchPlanned);
+}
+
+void
+SessionDriver::typeSegment(std::size_t index, std::string remaining,
+                           bool switchPlanned)
+{
+    std::weak_ptr<int> alive = aliveToken_;
+    if (switchPlanned && remaining.size() >= 4) {
+        // Type the first part, wander off to another app, come back
+        // and finish.
+        const auto cut = std::size_t(rng_.uniformInt(
+            2, std::int64_t(remaining.size()) - 2));
+        const std::string head = remaining.substr(0, cut);
+        const std::string tail = remaining.substr(cut);
+        typist_->type(head, 200_ms, [this, alive, index, tail] {
+            if (alive.expired())
+                return;
+            device_.switchToOtherApp();
+            device_.eq().scheduleAfter(900_ms, [this, alive] {
+                if (!alive.expired())
+                    device_.otherApp().interact();
+            });
+            const SimTime away = SimTime::fromSeconds(
+                rng_.uniform(1.5, 4.0));
+            device_.eq().scheduleAfter(away, [this, alive, index,
+                                              tail] {
+                if (alive.expired())
+                    return;
+                device_.switchBackToTargetApp();
+                device_.eq().scheduleAfter(
+                    700_ms, [this, alive, index, tail] {
+                        if (!alive.expired())
+                            typeSegment(index, tail, false);
+                    });
+            });
+        });
+        return;
+    }
+
+    typist_->type(remaining, 200_ms, [this, alive, index] {
+        if (!alive.expired())
+            afterInput(index);
+    });
+}
+
+void
+SessionDriver::afterInput(std::size_t index)
+{
+    episodes_[index].end = device_.eq().now();
+    std::weak_ptr<int> alive = aliveToken_;
+    // Occasionally pull down the notification shade (full-screen
+    // animation burst) before leaving the app.
+    if (rng_.bernoulli(0.4)) {
+        device_.wm().playTransition(4);
+        device_.statusBar().postNotification();
+    }
+    device_.eq().scheduleAfter(400_ms, [this, alive, index] {
+        if (alive.expired())
+            return;
+        device_.switchToOtherApp();
+        scheduleFreeUse(index + 1, cfg_.freeUseDuration);
+    });
+}
+
+void
+SessionDriver::scheduleFreeUse(std::size_t nextIndex, SimTime budget)
+{
+    std::weak_ptr<int> alive = aliveToken_;
+    if (budget <= 0_ms) {
+        device_.switchBackToTargetApp();
+        device_.eq().scheduleAfter(800_ms, [this, alive, nextIndex] {
+            if (!alive.expired())
+                beginInput(nextIndex);
+        });
+        return;
+    }
+    const SimTime gap =
+        SimTime::fromSeconds(rng_.uniform(0.6, 2.2));
+    device_.eq().scheduleAfter(gap, [this, alive, nextIndex, budget,
+                                     gap] {
+        if (alive.expired())
+            return;
+        device_.otherApp().interact();
+        scheduleFreeUse(nextIndex, budget - gap);
+    });
+}
+
+} // namespace gpusc::workload

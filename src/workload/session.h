@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Practical-use sessions (paper §8): a volunteer inputs several random
+ * credentials into the target app over ~3 minutes while randomly
+ * switching to other apps mid-input, correcting typos with backspace,
+ * pulling down the notification shade and free-using other apps.
+ */
+
+#ifndef GPUSC_WORKLOAD_SESSION_H
+#define GPUSC_WORKLOAD_SESSION_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "android/device.h"
+#include "workload/credential.h"
+#include "workload/typist.h"
+
+namespace gpusc::workload {
+
+/** Behavioural parameters of one practical-use session. */
+struct SessionConfig
+{
+    std::size_t numInputs = 3;
+    std::size_t minLen = 8;
+    std::size_t maxLen = 16;
+    double typoProb = 0.08;
+    /** Probability of switching away mid-input (and back). */
+    double midInputSwitchProb = 0.4;
+    /** Free use of other apps between inputs. */
+    SimTime freeUseDuration = SimTime::fromSeconds(8);
+    std::size_t volunteer = 0;
+    std::uint64_t seed = 1;
+};
+
+/** Time-stamped record of one completed credential input. */
+struct InputEpisode
+{
+    std::string truth;
+    SimTime start;
+    SimTime end;
+};
+
+/** Scripts and executes a practical-use session on a device. */
+class SessionDriver
+{
+  public:
+    SessionDriver(android::Device &device, SessionConfig cfg);
+    ~SessionDriver();
+
+    /** Kick off the session (caller advances the event queue). */
+    void start();
+
+    bool done() const { return done_; }
+
+    /** Ground truth for scoring, one entry per credential input. */
+    const std::vector<InputEpisode> &episodes() const
+    {
+        return episodes_;
+    }
+
+  private:
+    void beginInput(std::size_t index);
+    void typeSegment(std::size_t index, std::string remaining,
+                     bool switchPlanned);
+    void afterInput(std::size_t index);
+    void scheduleFreeUse(std::size_t nextIndex, SimTime budget);
+
+    android::Device &device_;
+    SessionConfig cfg_;
+    Rng rng_;
+    CredentialGenerator creds_;
+    std::unique_ptr<Typist> typist_;
+    std::vector<InputEpisode> episodes_;
+    bool done_ = false;
+    std::shared_ptr<int> aliveToken_;
+};
+
+} // namespace gpusc::workload
+
+#endif // GPUSC_WORKLOAD_SESSION_H

@@ -1,0 +1,111 @@
+#include "workload/typing_model.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace gpusc::workload {
+
+const std::vector<VolunteerProfile> &
+volunteerProfiles()
+{
+    static const std::vector<VolunteerProfile> profiles = {
+        {"volunteer1", 85.0, 18.0, 215.0, 60.0},
+        {"volunteer2", 110.0, 25.0, 330.0, 95.0},
+        {"volunteer3", 95.0, 20.0, 270.0, 80.0},
+        {"volunteer4", 130.0, 30.0, 455.0, 130.0},
+        {"volunteer5", 75.0, 15.0, 245.0, 70.0},
+    };
+    return profiles;
+}
+
+TypingModel::TypingModel(VolunteerProfile profile, std::uint64_t seed)
+    : profile_(std::move(profile)), rng_(seed)
+{
+}
+
+TypingModel
+TypingModel::forSpeed(TypingSpeed speed, std::uint64_t seed)
+{
+    // Pooled profile approximating the union of all volunteers.
+    // Press durations correlate with intervals in the Fig. 16 data
+    // (the slow volunteer also holds keys longest), so each band gets
+    // matching duration statistics.
+    VolunteerProfile pooled{"pooled", 99.0, 26.0, 303.0, 120.0};
+    switch (speed) {
+      case TypingSpeed::Fast:
+        pooled.meanDurationMs = 82.0;
+        pooled.sdDurationMs = 17.0;
+        break;
+      case TypingSpeed::Medium:
+        pooled.meanDurationMs = 101.0;
+        pooled.sdDurationMs = 22.0;
+        break;
+      case TypingSpeed::Slow:
+        pooled.meanDurationMs = 131.0;
+        pooled.sdDurationMs = 31.0;
+        break;
+      case TypingSpeed::Mixed:
+        break;
+    }
+    TypingModel m(pooled, seed);
+    m.band_ = speed;
+    return m;
+}
+
+TypingModel
+TypingModel::forVolunteer(std::size_t index, std::uint64_t seed)
+{
+    const auto &profiles = volunteerProfiles();
+    if (index >= profiles.size())
+        fatal("TypingModel: volunteer index %zu out of range (0-%zu)",
+              index, profiles.size() - 1);
+    return TypingModel(profiles[index], seed);
+}
+
+SimTime
+TypingModel::nextDuration()
+{
+    const double ms = std::max(
+        35.0, rng_.logNormalByMoments(profile_.meanDurationMs,
+                                      profile_.sdDurationMs));
+    return SimTime::fromSeconds(ms * 1e-3);
+}
+
+SimTime
+TypingModel::nextInterval()
+{
+    for (int attempt = 0; attempt < 256; ++attempt) {
+        const double s =
+            std::max(0.09, rng_.logNormalByMoments(
+                               profile_.meanIntervalMs * 1e-3,
+                               profile_.sdIntervalMs * 1e-3));
+        const bool ok = [&] {
+            switch (band_) {
+              case TypingSpeed::Fast:
+                return s < kFastMaxIntervalS;
+              case TypingSpeed::Medium:
+                return s >= kFastMaxIntervalS && s <= kSlowMinIntervalS;
+              case TypingSpeed::Slow:
+                return s > kSlowMinIntervalS;
+              case TypingSpeed::Mixed:
+                return true;
+            }
+            return true;
+        }();
+        if (ok)
+            return SimTime::fromSeconds(s);
+    }
+    // Rejection failed (cannot happen with sane bands); fall back to
+    // the band midpoint.
+    switch (band_) {
+      case TypingSpeed::Fast:
+        return SimTime::fromSeconds(0.18);
+      case TypingSpeed::Slow:
+        return SimTime::fromSeconds(0.5);
+      default:
+        return SimTime::fromSeconds(0.32);
+    }
+}
+
+} // namespace gpusc::workload

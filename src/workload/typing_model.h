@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Human typing-timing models.
+ *
+ * Five volunteer profiles reproduce the heterogeneity of paper Fig. 16
+ * (key-press durations ~60-160 ms, inter-press intervals ~0.1-0.6 s).
+ * §7.2 splits the pooled intervals into terciles at 0.24 s and 0.4 s
+ * (fast/medium/slow); TypingModel::forSpeed() draws from the pooled
+ * distribution restricted to the band.
+ */
+
+#ifndef GPUSC_WORKLOAD_TYPING_MODEL_H
+#define GPUSC_WORKLOAD_TYPING_MODEL_H
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace gpusc::workload {
+
+/** Per-volunteer timing statistics (log-normal by moments). */
+struct VolunteerProfile
+{
+    std::string name;
+    double meanDurationMs = 95.0;
+    double sdDurationMs = 20.0;
+    double meanIntervalMs = 300.0;
+    double sdIntervalMs = 90.0;
+};
+
+/** The five student volunteers of Fig. 16. */
+const std::vector<VolunteerProfile> &volunteerProfiles();
+
+/** Typing-speed classes of §7.2 (tercile bands of the intervals). */
+enum class TypingSpeed
+{
+    Fast,   ///< interval < 0.24 s
+    Medium, ///< 0.24 s <= interval <= 0.4 s
+    Slow,   ///< interval > 0.4 s
+    Mixed,  ///< unrestricted pooled distribution
+};
+
+/** Stochastic generator of press durations and inter-press gaps. */
+class TypingModel
+{
+  public:
+    TypingModel(VolunteerProfile profile, std::uint64_t seed);
+
+    /** Pooled-distribution model restricted to a speed band. */
+    static TypingModel forSpeed(TypingSpeed speed, std::uint64_t seed);
+
+    /** Model for volunteer @p index (0-4). */
+    static TypingModel forVolunteer(std::size_t index,
+                                    std::uint64_t seed);
+
+    /** Duration of the next key press. */
+    SimTime nextDuration();
+
+    /** Gap between the previous release and the next press. */
+    SimTime nextInterval();
+
+    const VolunteerProfile &profile() const { return profile_; }
+
+  private:
+    VolunteerProfile profile_;
+    Rng rng_;
+    TypingSpeed band_ = TypingSpeed::Mixed;
+};
+
+/** Tercile boundaries used by §7.2. */
+inline constexpr double kFastMaxIntervalS = 0.24;
+inline constexpr double kSlowMinIntervalS = 0.40;
+
+} // namespace gpusc::workload
+
+#endif // GPUSC_WORKLOAD_TYPING_MODEL_H

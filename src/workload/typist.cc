@@ -1,0 +1,136 @@
+#include "workload/typist.h"
+
+#include "util/logging.h"
+
+namespace gpusc::workload {
+
+using namespace gpusc::sim_literals;
+using android::Key;
+using android::KeyCode;
+
+Typist::Typist(android::Device &device, TypingModel model,
+               std::uint64_t seed)
+    : device_(device), model_(std::move(model)), rng_(seed),
+      aliveToken_(std::make_shared<int>(0))
+{
+}
+
+Typist::~Typist() = default;
+
+void
+Typist::type(const std::string &text, SimTime startDelay,
+             std::function<void()> onDone)
+{
+    if (!done_)
+        panic("Typist: type() while a previous run is active");
+
+    plan_.clear();
+    planPos_ = 0;
+    presses_.clear();
+    physicalPresses_ = 0;
+    onDone_ = std::move(onDone);
+    done_ = false;
+
+    // Expand the text into actions, injecting correction episodes:
+    // wrong char -> 0..2 more correct chars -> backspaces -> retype.
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        if (typoProb_ > 0.0 && rng_.bernoulli(typoProb_)) {
+            char wrong = text[i];
+            // Pick a different typable character as the typo.
+            const std::string pool =
+                "abcdefghijklmnopqrstuvwxyz0123456789";
+            while (wrong == text[i])
+                wrong = rng_.pick(pool);
+            const std::size_t lookahead = std::min<std::size_t>(
+                std::size_t(rng_.uniformInt(0, 2)),
+                text.size() - 1 - i);
+            plan_.push_back({Action::Kind::TypeChar, wrong});
+            for (std::size_t k = 0; k < lookahead; ++k)
+                plan_.push_back(
+                    {Action::Kind::TypeChar, text[i + 1 + k]});
+            for (std::size_t k = 0; k < lookahead + 1; ++k)
+                plan_.push_back({Action::Kind::Backspace, 0});
+            for (std::size_t k = 0; k <= lookahead; ++k)
+                plan_.push_back(
+                    {Action::Kind::TypeChar, text[i + k]});
+            i += lookahead;
+        } else {
+            plan_.push_back({Action::Kind::TypeChar, text[i]});
+        }
+    }
+
+    std::weak_ptr<int> alive = aliveToken_;
+    device_.eq().scheduleAfter(startDelay, [this, alive] {
+        if (!alive.expired())
+            step();
+    });
+}
+
+void
+Typist::step()
+{
+    if (planPos_ >= plan_.size()) {
+        done_ = true;
+        if (onDone_)
+            onDone_();
+        return;
+    }
+
+    const Action &action = plan_[planPos_];
+
+    // Humans pause to notice a typo before reaching for backspace.
+    if (action.kind == Action::Kind::Backspace && planPos_ > 0 &&
+        plan_[planPos_ - 1].kind == Action::Kind::TypeChar &&
+        !pausedForCorrection_) {
+        pausedForCorrection_ = true;
+        const SimTime pause = SimTime::fromSeconds(
+            0.35 + rng_.exponential(0.20));
+        std::weak_ptr<int> alive = aliveToken_;
+        device_.eq().scheduleAfter(pause, [this, alive] {
+            if (!alive.expired())
+                step();
+        });
+        return;
+    }
+    pausedForCorrection_ = false;
+
+    const Key *key = nullptr;
+    if (action.kind == Action::Kind::Backspace) {
+        key = device_.ime().backspaceKey();
+        if (!key)
+            panic("Typist: keyboard has no backspace key");
+        ++planPos_;
+        pressAndContinue(*key, false);
+        return;
+    }
+
+    const auto seq = device_.ime().keysFor(action.ch);
+    if (seq.empty())
+        fatal("Typist: character 0x%02x is not typable on keyboard "
+              "'%s'", (unsigned char)action.ch,
+              device_.ime().layout().spec().name.c_str());
+    key = seq.front();
+    const bool isCharGoal = key->code == KeyCode::Char;
+    if (isCharGoal)
+        ++planPos_; // page switches re-evaluate the same action
+    pressAndContinue(*key, isCharGoal);
+}
+
+void
+Typist::pressAndContinue(const Key &key, bool isCharGoal)
+{
+    const SimTime duration =
+        key.code == KeyCode::Char ? model_.nextDuration() : 90_ms;
+    if (isCharGoal)
+        presses_.push_back(device_.eq().now());
+    ++physicalPresses_;
+    device_.ime().pressKey(key, duration);
+    std::weak_ptr<int> alive = aliveToken_;
+    device_.eq().scheduleAfter(duration + model_.nextInterval(),
+                               [this, alive] {
+                                   if (!alive.expired())
+                                       step();
+                               });
+}
+
+} // namespace gpusc::workload

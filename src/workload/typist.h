@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Event-driven typist: replays a text on a Device's IME with human
+ * timing (the role of the paper's offline bot program, §6, and of the
+ * emulated key presses in every accuracy experiment, §7).
+ *
+ * The typist plans one physical key press at a time against the IME's
+ * *current* page state, so page switches (Shift/?123/ABC) are pressed
+ * as real keys with real inter-press intervals. Optional typo
+ * injection types a wrong character, "notices" it after 1-3 further
+ * characters, backspaces, and retypes — the input-correction behaviour
+ * of §5.3/§8.
+ */
+
+#ifndef GPUSC_WORKLOAD_TYPIST_H
+#define GPUSC_WORKLOAD_TYPIST_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "android/device.h"
+#include "workload/typing_model.h"
+
+namespace gpusc::workload {
+
+/** Drives credential input on a device. */
+class Typist
+{
+  public:
+    Typist(android::Device &device, TypingModel model,
+           std::uint64_t seed);
+    ~Typist();
+
+    /**
+     * Probability that any committed character is a typo that gets
+     * corrected with backspaces shortly after. Zero disables.
+     */
+    void setTypoProb(double p) { typoProb_ = p; }
+
+    /**
+     * Start typing @p text after @p startDelay. Only one run at a
+     * time. @p onDone fires when the last key has been released.
+     */
+    void type(const std::string &text, SimTime startDelay,
+              std::function<void()> onDone = nullptr);
+
+    bool done() const { return done_; }
+
+    /** Press timestamps of Char keys (ground truth for traces). */
+    const std::vector<SimTime> &pressTimes() const { return presses_; }
+
+    /** Total physical key presses issued (incl. page switches and
+     *  backspaces). */
+    std::size_t physicalPresses() const { return physicalPresses_; }
+
+  private:
+    /** One pending unit of typing work. */
+    struct Action
+    {
+        enum class Kind
+        {
+            TypeChar,
+            Backspace,
+        };
+        Kind kind;
+        char ch = 0;
+    };
+
+    void step();
+    void pressAndContinue(const android::Key &key, bool isCharGoal);
+
+    android::Device &device_;
+    TypingModel model_;
+    Rng rng_;
+    double typoProb_ = 0.0;
+    std::vector<Action> plan_;
+    std::size_t planPos_ = 0;
+    bool done_ = true;
+    std::function<void()> onDone_;
+    std::vector<SimTime> presses_;
+    std::size_t physicalPresses_ = 0;
+    bool pausedForCorrection_ = false;
+    std::shared_ptr<int> aliveToken_;
+};
+
+} // namespace gpusc::workload
+
+#endif // GPUSC_WORKLOAD_TYPIST_H

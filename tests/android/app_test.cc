@@ -1,0 +1,174 @@
+/** @file Unit tests for target-app login surfaces. */
+
+#include <gtest/gtest.h>
+
+#include "android/app.h"
+#include "util/event_queue.h"
+
+namespace gpusc::android {
+namespace {
+
+using namespace gpusc::sim_literals;
+
+TEST(AppSpecTest, RegistryCoversPaperTargets)
+{
+    EXPECT_EQ(nativeAppNames().size(), 6u);
+    EXPECT_EQ(webAppNames().size(), 3u);
+    for (const auto &name : nativeAppNames())
+        EXPECT_FALSE(appSpec(name).web);
+    for (const auto &name : webAppNames())
+        EXPECT_TRUE(appSpec(name).web);
+    EXPECT_TRUE(appSpec("pnc").loginAnimation);
+    EXPECT_FALSE(appSpec("chase").loginAnimation);
+}
+
+TEST(AppSpecDeathTest, UnknownAppIsFatal)
+{
+    EXPECT_DEATH((void)appSpec("netscape"), "unknown target app");
+}
+
+class AppSurfaceTest : public ::testing::Test
+{
+  protected:
+    int
+    countTag(gfx::PrimTag tag)
+    {
+        gfx::FrameScene scene;
+        scene.damage = app_.bounds();
+        app_.buildScene(scene);
+        int n = 0;
+        for (const auto &p : scene.prims)
+            n += p.tag == tag;
+        return n;
+    }
+
+    EventQueue eq_;
+    AppSurface app_{eq_, appSpec("chase"), displayFhdPlus(), 100};
+};
+
+TEST_F(AppSurfaceTest, FieldStartsEmpty)
+{
+    EXPECT_EQ(app_.textLength(), 0u);
+    EXPECT_EQ(countTag(gfx::PrimTag::TextEcho), 0);
+}
+
+TEST_F(AppSurfaceTest, OneDotPerCommittedChar)
+{
+    app_.appendChar();
+    app_.appendChar();
+    app_.appendChar();
+    EXPECT_EQ(app_.textLength(), 3u);
+    EXPECT_EQ(countTag(gfx::PrimTag::TextEcho), 3);
+    app_.deleteChar();
+    EXPECT_EQ(countTag(gfx::PrimTag::TextEcho), 2);
+}
+
+TEST_F(AppSurfaceTest, DeleteOnEmptyIsSafe)
+{
+    app_.deleteChar();
+    EXPECT_EQ(app_.textLength(), 0u);
+    EXPECT_FALSE(app_.hasDamage()); // no redraw for a no-op
+}
+
+TEST_F(AppSurfaceTest, ClearResets)
+{
+    for (int i = 0; i < 5; ++i)
+        app_.appendChar();
+    app_.clearText();
+    EXPECT_EQ(app_.textLength(), 0u);
+}
+
+TEST_F(AppSurfaceTest, EditsInvalidateOnlyTheFieldRegion)
+{
+    app_.takeDamage();
+    app_.appendChar();
+    const gfx::Rect d = app_.takeDamage();
+    EXPECT_TRUE(app_.fieldRect().inset(-20).contains(d));
+    EXPECT_LT(d.area(), app_.bounds().area() / 4);
+}
+
+TEST_F(AppSurfaceTest, CursorRendersOnlyWhenFocused)
+{
+    EXPECT_EQ(countTag(gfx::PrimTag::Cursor), 0);
+    app_.focusField();
+    EXPECT_EQ(countTag(gfx::PrimTag::Cursor), 1);
+    app_.unfocusField();
+    EXPECT_EQ(countTag(gfx::PrimTag::Cursor), 0);
+}
+
+TEST_F(AppSurfaceTest, CursorBlinkTogglesAndDamagesCursorRect)
+{
+    app_.focusField();
+    app_.takeDamage();
+    // No input: the blink fires after the idle delay (700ms+jitter).
+    eq_.runUntil(eq_.now() + 900_ms);
+    EXPECT_EQ(countTag(gfx::PrimTag::Cursor), 0); // toggled off
+    const gfx::Rect d = app_.takeDamage();
+    EXPECT_FALSE(d.empty());
+    EXPECT_LE(d.area(), app_.cursorRect().area());
+}
+
+TEST_F(AppSurfaceTest, TypingSuppressesBlink)
+{
+    app_.focusField();
+    // Keep committing faster than the idle timeout: the cursor must
+    // stay solid (no off-toggle between inputs).
+    for (int i = 0; i < 6; ++i) {
+        app_.appendChar();
+        app_.takeDamage();
+        eq_.runUntil(eq_.now() + 400_ms);
+        EXPECT_EQ(countTag(gfx::PrimTag::Cursor), 1)
+            << "blinked during active typing";
+    }
+}
+
+TEST_F(AppSurfaceTest, CursorAdvancesWithText)
+{
+    app_.focusField();
+    const gfx::Rect before = app_.cursorRect();
+    app_.appendChar();
+    const gfx::Rect after = app_.cursorRect();
+    EXPECT_GT(after.x0, before.x0);
+    EXPECT_EQ(after.width(), before.width());
+}
+
+TEST(AppSurfacePncTest, AnimationTicksInvalidate)
+{
+    EventQueue eq;
+    AppSurface pnc(eq, appSpec("pnc"), displayFhdPlus(), 100);
+    pnc.startAnimation();
+    pnc.takeDamage();
+    eq.runUntil(eq.now() + 1_s);
+    EXPECT_TRUE(pnc.hasDamage());
+    pnc.stopAnimation();
+    pnc.takeDamage();
+    eq.runUntil(eq.now() + 1_s);
+    EXPECT_FALSE(pnc.hasDamage());
+}
+
+TEST(AppSurfacePncTest, NonAnimatedAppsIgnoreStart)
+{
+    EventQueue eq;
+    AppSurface chase(eq, appSpec("chase"), displayFhdPlus(), 100);
+    chase.startAnimation();
+    chase.takeDamage();
+    eq.runUntil(eq.now() + 1_s);
+    EXPECT_FALSE(chase.hasDamage());
+}
+
+TEST(AppSurfaceWebTest, WebTargetsRenderChrome)
+{
+    EventQueue eq;
+    AppSurface web(eq, appSpec("chase.com"), displayFhdPlus(), 100);
+    AppSurface native(eq, appSpec("chase"), displayFhdPlus(), 100);
+    auto prims = [](AppSurface &s) {
+        gfx::FrameScene scene;
+        scene.damage = s.bounds();
+        s.buildScene(scene);
+        return scene.prims.size();
+    };
+    EXPECT_GT(prims(web), prims(native));
+}
+
+} // namespace
+} // namespace gpusc::android

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for per-process counter attribution and the local
+ * GL_AMD_performance_monitor semantics — the paper's §3.3 argument
+ * for bypassing the GLES API.
+ */
+
+#include <gtest/gtest.h>
+
+#include "android/device.h"
+#include "android/gles.h"
+#include "workload/typist.h"
+
+namespace gpusc::android {
+namespace {
+
+using namespace gpusc::sim_literals;
+
+TEST(ReadLocalTest, AttributesWorkToTheOwningPid)
+{
+    EventQueue eq;
+    gpu::RenderEngine engine(eq, gpu::adrenoModel(650), 1);
+    gfx::FrameScene scene;
+    scene.damage = gfx::Rect::ofSize(0, 0, 64, 64);
+    scene.add(scene.damage, true, gfx::PrimTag::AppContent);
+    const SimTime end = engine.submit(scene, /*ownerPid=*/42);
+    eq.runUntil(end + 1_ms);
+    EXPECT_EQ(engine.readLocal(42)[gpu::LRZ_VISIBLE_PIXEL_AFTER_LRZ],
+              64u * 64u);
+    EXPECT_EQ(engine.readLocal(7)[gpu::LRZ_VISIBLE_PIXEL_AFTER_LRZ],
+              0u);
+    // The global registers see everything.
+    EXPECT_EQ(engine.read(gpu::LRZ_VISIBLE_PIXEL_AFTER_LRZ),
+              64u * 64u);
+}
+
+TEST(PerfMonitorAmdTest, LocalMonitorSeesOnlyOwnWork)
+{
+    DeviceConfig cfg;
+    cfg.notificationMeanInterval = SimTime();
+    Device dev(cfg);
+    dev.launchTargetApp();
+
+    // The attacker (pid 200) renders nothing; the victim types.
+    gles::PerfMonitorAMD monitor(dev.engine(),
+                                 dev.attackerContext().pid);
+    monitor.begin();
+    workload::Typist user(
+        dev, workload::TypingModel::forVolunteer(0, 1), 2);
+    bool done = false;
+    user.type("secret", 100_ms, [&] { done = true; });
+    while (!done)
+        dev.runFor(100_ms);
+    dev.runFor(500_ms);
+    monitor.end();
+
+    // §3.3: the GLES extension exposes nothing about other apps...
+    for (std::size_t i = 0; i < gpu::kNumSelectedCounters; ++i)
+        EXPECT_EQ(monitor.counterData(gpu::SelectedCounter(i)), 0u)
+            << gpu::counterName(gpu::SelectedCounter(i));
+
+    // ...while the device file happily leaks the global values.
+    EXPECT_GT(dev.engine().read(gpu::LRZ_VISIBLE_PIXEL_AFTER_LRZ),
+              0u);
+}
+
+TEST(PerfMonitorAmdTest, MonitorsTheCallersOwnRendering)
+{
+    EventQueue eq;
+    gpu::RenderEngine engine(eq, gpu::adrenoModel(650), 1);
+    gles::PerfMonitorAMD monitor(engine, 55);
+    monitor.begin();
+    gfx::FrameScene scene;
+    scene.damage = gfx::Rect::ofSize(0, 0, 32, 32);
+    scene.add(scene.damage, true, gfx::PrimTag::AppContent);
+    const SimTime end = engine.submit(scene, 55);
+    eq.runUntil(end + 1_ms);
+    monitor.end();
+    EXPECT_EQ(monitor.counterData(gpu::LRZ_VISIBLE_PIXEL_AFTER_LRZ),
+              32u * 32u);
+    EXPECT_EQ(monitor.counterData(gpu::VPC_PC_PRIMITIVES), 2u);
+}
+
+TEST(PerfMonitorAmdTest, IntervalsAreDeltas)
+{
+    EventQueue eq;
+    gpu::RenderEngine engine(eq, gpu::adrenoModel(650), 1);
+    gfx::FrameScene scene;
+    scene.damage = gfx::Rect::ofSize(0, 0, 16, 16);
+    scene.add(scene.damage, true, gfx::PrimTag::AppContent);
+
+    // Work before begin() must not be counted.
+    eq.runUntil(engine.submit(scene, 9) + 1_ms);
+    gles::PerfMonitorAMD monitor(engine, 9);
+    monitor.begin();
+    eq.runUntil(engine.submit(scene, 9) + 1_ms);
+    monitor.end();
+    EXPECT_EQ(monitor.counterData(gpu::LRZ_VISIBLE_PIXEL_AFTER_LRZ),
+              16u * 16u);
+}
+
+} // namespace
+} // namespace gpusc::android

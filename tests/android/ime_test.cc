@@ -1,0 +1,184 @@
+/** @file Unit tests for the IME key-press state machine. */
+
+#include <gtest/gtest.h>
+
+#include "android/app.h"
+#include "android/ime.h"
+#include "util/event_queue.h"
+
+namespace gpusc::android {
+namespace {
+
+using namespace gpusc::sim_literals;
+
+class ImeTest : public ::testing::Test
+{
+  protected:
+    ImeTest()
+        : app_(eq_, appSpec("chase"), displayFhdPlus(), 100),
+          ime_(eq_, KeyboardLayout(keyboardSpec("gboard"),
+                                   displayFhdPlus()),
+               Rng(1), 102)
+    {
+        ime_.setTargetField(&app_);
+    }
+
+    void
+    pressChar(char c, SimTime duration = 100_ms)
+    {
+        for (const Key *k : ime_.keysFor(c))
+            press(*k, duration);
+    }
+
+    void
+    press(const Key &k, SimTime duration = 100_ms)
+    {
+        ime_.pressKey(k, duration);
+        eq_.runUntil(eq_.now() + duration + 200_ms);
+    }
+
+    EventQueue eq_;
+    AppSurface app_;
+    Ime ime_;
+};
+
+TEST_F(ImeTest, KeysForLowercaseIsDirect)
+{
+    const auto seq = ime_.keysFor('q');
+    ASSERT_EQ(seq.size(), 1u);
+    EXPECT_EQ(seq[0]->ch, 'q');
+}
+
+TEST_F(ImeTest, KeysForUppercaseNeedsShift)
+{
+    const auto seq = ime_.keysFor('Q');
+    ASSERT_EQ(seq.size(), 2u);
+    EXPECT_EQ(seq[0]->code, KeyCode::Shift);
+    EXPECT_EQ(seq[1]->ch, 'Q');
+}
+
+TEST_F(ImeTest, KeysForDigitNeedsSymbolsPage)
+{
+    const auto seq = ime_.keysFor('7');
+    ASSERT_EQ(seq.size(), 2u);
+    EXPECT_EQ(seq[0]->code, KeyCode::Sym);
+    EXPECT_EQ(seq[1]->ch, '7');
+}
+
+TEST_F(ImeTest, CommaIsDirectOnEveryPage)
+{
+    EXPECT_EQ(ime_.keysFor(',').size(), 1u);
+    pressChar('7'); // now on Symbols
+    EXPECT_EQ(ime_.page(), KbPage::Symbols);
+    EXPECT_EQ(ime_.keysFor(',').size(), 1u);
+}
+
+TEST_F(ImeTest, SpaceUsesSpaceKey)
+{
+    const auto seq = ime_.keysFor(' ');
+    ASSERT_EQ(seq.size(), 1u);
+    EXPECT_EQ(seq[0]->code, KeyCode::Space);
+}
+
+TEST_F(ImeTest, CharCommitsOnRelease)
+{
+    const Key *q = ime_.layout().findChar(KbPage::Lower, 'q');
+    ime_.pressKey(*q, 100_ms);
+    EXPECT_TRUE(ime_.popupActive());
+    EXPECT_EQ(app_.textLength(), 0u); // not yet released
+    eq_.runUntil(eq_.now() + 110_ms);
+    EXPECT_EQ(app_.textLength(), 1u); // committed at release
+    eq_.runUntil(eq_.now() + 100_ms);
+    EXPECT_FALSE(ime_.popupActive()); // dismissed after teardown
+}
+
+TEST_F(ImeTest, PopupShowInvalidatesTheSurface)
+{
+    ime_.takeDamage();
+    const Key *q = ime_.layout().findChar(KbPage::Lower, 'q');
+    ime_.pressKey(*q, 100_ms);
+    EXPECT_TRUE(ime_.hasDamage());
+}
+
+TEST_F(ImeTest, ShiftTogglesAndAutoUnshifts)
+{
+    pressChar('Q');
+    EXPECT_EQ(app_.textLength(), 1u);
+    // One-shot shift: after the shifted character the keyboard is
+    // back on the lowercase page.
+    EXPECT_EQ(ime_.page(), KbPage::Lower);
+}
+
+TEST_F(ImeTest, SymbolsPageIsSticky)
+{
+    pressChar('7');
+    EXPECT_EQ(ime_.page(), KbPage::Symbols);
+    EXPECT_EQ(ime_.keysFor('8').size(), 1u); // no page switch needed
+}
+
+TEST_F(ImeTest, ReturnFromSymbolsViaAbc)
+{
+    pressChar('7');
+    const auto seq = ime_.keysFor('a');
+    ASSERT_EQ(seq.size(), 2u);
+    EXPECT_EQ(seq[0]->code, KeyCode::Abc);
+    EXPECT_EQ(seq[1]->ch, 'a');
+}
+
+TEST_F(ImeTest, SymbolsToUppercaseIsTwoSwitches)
+{
+    pressChar('7');
+    const auto seq = ime_.keysFor('Z');
+    ASSERT_EQ(seq.size(), 3u);
+    EXPECT_EQ(seq[0]->code, KeyCode::Abc);
+    EXPECT_EQ(seq[1]->code, KeyCode::Shift);
+    EXPECT_EQ(seq[2]->ch, 'Z');
+}
+
+TEST_F(ImeTest, BackspaceDeletesWithoutPopup)
+{
+    pressChar('a');
+    pressChar('b');
+    ASSERT_EQ(app_.textLength(), 2u);
+    ime_.takeDamage();
+    press(*ime_.backspaceKey());
+    EXPECT_EQ(app_.textLength(), 1u);
+    // No popup: the keyboard surface did not redraw at all.
+    EXPECT_FALSE(ime_.popupActive());
+}
+
+TEST_F(ImeTest, PopupsDisabledStillCommits)
+{
+    ime_.setPopupsEnabled(false);
+    ime_.takeDamage();
+    const Key *q = ime_.layout().findChar(KbPage::Lower, 'q');
+    ime_.pressKey(*q, 100_ms);
+    EXPECT_FALSE(ime_.popupActive());
+    EXPECT_FALSE(ime_.hasDamage()); // mitigation: no keyboard redraw
+    eq_.runUntil(eq_.now() + 150_ms);
+    EXPECT_EQ(app_.textLength(), 1u); // text still commits
+}
+
+TEST_F(ImeTest, KeyPressCounterCountsCharKeysOnly)
+{
+    pressChar('a');
+    pressChar('Q'); // shift + Q
+    EXPECT_EQ(ime_.keyPressCount(), 2u);
+}
+
+TEST_F(ImeTest, SceneContainsPopupWhileActive)
+{
+    const Key *w = ime_.layout().findChar(KbPage::Lower, 'w');
+    ime_.pressKey(*w, 100_ms);
+    gfx::FrameScene scene;
+    scene.damage = ime_.bounds();
+    ime_.buildScene(scene);
+    int popupPrims = 0;
+    for (const auto &p : scene.prims)
+        popupPrims += p.tag == gfx::PrimTag::Popup ||
+                      p.tag == gfx::PrimTag::PopupGlyph;
+    EXPECT_GT(popupPrims, 2);
+}
+
+} // namespace
+} // namespace gpusc::android

@@ -1,0 +1,82 @@
+/** @file Unit tests for /dev/input-style touch injection. */
+
+#include <gtest/gtest.h>
+
+#include "android/input.h"
+
+namespace gpusc::android {
+namespace {
+
+using namespace gpusc::sim_literals;
+
+class InputInjectorTest : public ::testing::Test
+{
+  protected:
+    InputInjectorTest()
+    {
+        cfg_.notificationMeanInterval = SimTime();
+        dev_ = std::make_unique<Device>(cfg_);
+        dev_->launchTargetApp();
+        injector_ = std::make_unique<InputInjector>(*dev_);
+    }
+
+    DeviceConfig cfg_;
+    std::unique_ptr<Device> dev_;
+    std::unique_ptr<InputInjector> injector_;
+};
+
+TEST_F(InputInjectorTest, TapOnKeyCommitsCharacter)
+{
+    ASSERT_TRUE(injector_->tapChar('g', 100_ms));
+    dev_->runFor(300_ms);
+    EXPECT_EQ(dev_->app().textLength(), 1u);
+    EXPECT_EQ(injector_->injectedTouches(), 1u);
+}
+
+TEST_F(InputInjectorTest, TapAtCoordinatesHitTests)
+{
+    const Key *key =
+        dev_->ime().layout().findChar(KbPage::Lower, 'q');
+    ASSERT_NE(key, nullptr);
+    EXPECT_TRUE(injector_->tap(key->rect.center(), 100_ms));
+    dev_->runFor(300_ms);
+    EXPECT_EQ(dev_->app().textLength(), 1u);
+}
+
+TEST_F(InputInjectorTest, TapOutsideKeyboardMisses)
+{
+    EXPECT_FALSE(injector_->tap(gfx::Point{10, 10}, 100_ms));
+    dev_->runFor(300_ms);
+    EXPECT_EQ(dev_->app().textLength(), 0u);
+}
+
+TEST_F(InputInjectorTest, TapInKeyGapMisses)
+{
+    // Row gaps between key rows belong to no key.
+    const Key *q = dev_->ime().layout().findChar(KbPage::Lower, 'q');
+    const gfx::Point gap{q->rect.center().x, q->rect.y1 + 2};
+    EXPECT_FALSE(injector_->tap(gap, 100_ms));
+}
+
+TEST_F(InputInjectorTest, TapCharNeedsCurrentPage)
+{
+    // '7' lives on the Symbols page; on Lower the tap has no target.
+    EXPECT_FALSE(injector_->tapChar('7', 100_ms));
+    // Navigate by tapping the ?123 key, as the real bot does.
+    const Key *sym = dev_->ime().layout().findSpecial(
+        KbPage::Lower, KeyCode::Sym);
+    EXPECT_TRUE(injector_->tapKey(*sym, 90_ms));
+    dev_->runFor(200_ms);
+    EXPECT_TRUE(injector_->tapChar('7', 100_ms));
+    dev_->runFor(300_ms);
+    EXPECT_EQ(dev_->app().textLength(), 1u);
+}
+
+TEST_F(InputInjectorTest, HiddenKeyboardIgnoresTaps)
+{
+    dev_->ime().setVisible(false);
+    EXPECT_FALSE(injector_->tapChar('g', 100_ms));
+}
+
+} // namespace
+} // namespace gpusc::android

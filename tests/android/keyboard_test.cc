@@ -1,0 +1,197 @@
+/** @file Unit tests for keyboard specs and layout geometry. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "android/keyboard.h"
+
+namespace gpusc::android {
+namespace {
+
+TEST(KeyboardSpecTest, RegistryHasAllSixKeyboards)
+{
+    EXPECT_EQ(keyboardNames().size(), 6u);
+    for (const auto &name : keyboardNames()) {
+        const KeyboardSpec &spec = keyboardSpec(name);
+        EXPECT_EQ(spec.name, name);
+        EXPECT_GT(spec.heightDp, 100.0);
+        EXPECT_GE(spec.duplicationProb, 0.0);
+        EXPECT_LE(spec.duplicationProb, 1.0);
+    }
+}
+
+TEST(KeyboardSpecTest, GboardHasRichestAnimation)
+{
+    for (const auto &name : keyboardNames()) {
+        if (name != "gboard") {
+            EXPECT_GT(keyboardSpec("gboard").duplicationProb,
+                      keyboardSpec(name).duplicationProb);
+        }
+    }
+}
+
+TEST(KeyboardSpecDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_DEATH((void)keyboardSpec("clippy"), "unknown keyboard");
+}
+
+TEST(KeyboardLayoutTest, PageForChar)
+{
+    EXPECT_EQ(KeyboardLayout::pageForChar('a'), KbPage::Lower);
+    EXPECT_EQ(KeyboardLayout::pageForChar('Z'), KbPage::Upper);
+    EXPECT_EQ(KeyboardLayout::pageForChar('7'), KbPage::Symbols);
+    EXPECT_EQ(KeyboardLayout::pageForChar('@'), KbPage::Symbols);
+    EXPECT_EQ(KeyboardLayout::pageForChar(','), KbPage::Lower);
+    EXPECT_EQ(KeyboardLayout::pageForChar('.'), KbPage::Lower);
+}
+
+TEST(KeyboardLayoutTest, IsTypable)
+{
+    EXPECT_TRUE(KeyboardLayout::isTypable('a'));
+    EXPECT_TRUE(KeyboardLayout::isTypable('Q'));
+    EXPECT_TRUE(KeyboardLayout::isTypable('0'));
+    EXPECT_TRUE(KeyboardLayout::isTypable('$'));
+    EXPECT_TRUE(KeyboardLayout::isTypable(' '));
+    EXPECT_FALSE(KeyboardLayout::isTypable('\t'));
+    EXPECT_FALSE(KeyboardLayout::isTypable('~'));
+}
+
+class LayoutSweep : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    KeyboardLayout
+    layout() const
+    {
+        return KeyboardLayout(keyboardSpec(GetParam()),
+                              displayFhdPlus());
+    }
+};
+
+TEST_P(LayoutSweep, KeysStayInsideKeyboardBounds)
+{
+    const KeyboardLayout l = layout();
+    for (KbPage page :
+         {KbPage::Lower, KbPage::Upper, KbPage::Symbols}) {
+        for (const Key &k : l.keys(page)) {
+            EXPECT_TRUE(l.bounds().contains(k.rect))
+                << GetParam() << " key escapes: "
+                << k.rect.toString();
+        }
+    }
+}
+
+TEST_P(LayoutSweep, KeysDoNotOverlap)
+{
+    const KeyboardLayout l = layout();
+    for (KbPage page :
+         {KbPage::Lower, KbPage::Upper, KbPage::Symbols}) {
+        const auto &keys = l.keys(page);
+        for (std::size_t i = 0; i < keys.size(); ++i)
+            for (std::size_t j = i + 1; j < keys.size(); ++j)
+                EXPECT_FALSE(keys[i].rect.intersects(keys[j].rect))
+                    << GetParam() << " page " << int(page);
+    }
+}
+
+TEST_P(LayoutSweep, EveryTypableCharHasAKey)
+{
+    const KeyboardLayout l = layout();
+    const std::string all =
+        "abcdefghijklmnopqrstuvwxyz"
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+        "1234567890,.@#$&-+()/*\"':;!?";
+    for (char c : all) {
+        const KbPage page = KeyboardLayout::pageForChar(c);
+        EXPECT_NE(l.findChar(page, c), nullptr)
+            << "'" << c << "' missing on " << GetParam();
+    }
+}
+
+TEST_P(LayoutSweep, SpecialKeysPresent)
+{
+    const KeyboardLayout l = layout();
+    EXPECT_NE(l.findSpecial(KbPage::Lower, KeyCode::Shift), nullptr);
+    EXPECT_NE(l.findSpecial(KbPage::Lower, KeyCode::Sym), nullptr);
+    EXPECT_NE(l.findSpecial(KbPage::Lower, KeyCode::Backspace),
+              nullptr);
+    EXPECT_NE(l.findSpecial(KbPage::Symbols, KeyCode::Abc), nullptr);
+    EXPECT_NE(l.findSpecial(KbPage::Symbols, KeyCode::Backspace),
+              nullptr);
+    EXPECT_NE(l.findSpecial(KbPage::Lower, KeyCode::Space), nullptr);
+}
+
+TEST_P(LayoutSweep, PopupsStayInsideTheImeSurface)
+{
+    const KeyboardLayout l = layout();
+    const gfx::Rect surface = l.surfaceBounds();
+    for (KbPage page :
+         {KbPage::Lower, KbPage::Upper, KbPage::Symbols}) {
+        for (const Key &k : l.keys(page)) {
+            if (k.code != KeyCode::Char)
+                continue;
+            EXPECT_TRUE(surface.contains(l.popupMaxRect(k)))
+                << GetParam() << " popup for '" << k.ch
+                << "' escapes";
+        }
+    }
+}
+
+TEST_P(LayoutSweep, PopupScenesAreDistinctPerKey)
+{
+    const KeyboardLayout l = layout();
+    std::set<std::uint64_t> hashes;
+    std::size_t charKeys = 0;
+    for (const Key &k : l.keys(KbPage::Lower)) {
+        if (k.code != KeyCode::Char)
+            continue;
+        gfx::FrameScene scene;
+        scene.damage = l.surfaceBounds();
+        l.buildBase(scene, KbPage::Lower);
+        l.buildPopup(scene, k, 1.0);
+        hashes.insert(scene.contentHash());
+        ++charKeys;
+    }
+    // Every key's popup scene must be unique — the attack's premise.
+    EXPECT_EQ(hashes.size(), charKeys);
+}
+
+TEST_P(LayoutSweep, BaseSceneHasKeycapAndLabelPrims)
+{
+    const KeyboardLayout l = layout();
+    gfx::FrameScene scene;
+    scene.damage = l.surfaceBounds();
+    l.buildBase(scene, KbPage::Lower);
+    // At least background + one cap per key + label runs.
+    EXPECT_GT(scene.prims.size(),
+              l.keys(KbPage::Lower).size() * 2);
+}
+
+TEST_P(LayoutSweep, PagesShareBottomRowGeometry)
+{
+    const KeyboardLayout l = layout();
+    const Key *commaLower = l.findChar(KbPage::Lower, ',');
+    const Key *commaUpper = l.findChar(KbPage::Upper, ',');
+    const Key *commaSym = l.findChar(KbPage::Symbols, ',');
+    ASSERT_NE(commaLower, nullptr);
+    ASSERT_NE(commaUpper, nullptr);
+    ASSERT_NE(commaSym, nullptr);
+    EXPECT_EQ(commaLower->rect, commaUpper->rect);
+    EXPECT_EQ(commaLower->rect, commaSym->rect);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKeyboards, LayoutSweep,
+                         ::testing::ValuesIn(keyboardNames()));
+
+TEST(KeyboardLayoutTest, ResolutionScalesGeometry)
+{
+    const KeyboardLayout fhd(keyboardSpec("gboard"), displayFhdPlus());
+    const KeyboardLayout qhd(keyboardSpec("gboard"), displayQhdPlus());
+    const Key *a = fhd.findChar(KbPage::Lower, 'a');
+    const Key *b = qhd.findChar(KbPage::Lower, 'a');
+    EXPECT_GT(b->rect.width(), a->rect.width());
+    EXPECT_GT(qhd.bounds().area(), fhd.bounds().area());
+}
+
+} // namespace
+} // namespace gpusc::android

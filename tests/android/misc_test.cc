@@ -1,0 +1,165 @@
+/** @file Unit tests for status bar, GLES shim, power model, display. */
+
+#include <gtest/gtest.h>
+
+#include "android/display.h"
+#include "android/gles.h"
+#include "android/other_app.h"
+#include "android/power.h"
+#include "android/status_bar.h"
+#include "gpu/counters.h"
+
+namespace gpusc::android {
+namespace {
+
+using namespace gpusc::sim_literals;
+
+TEST(DisplayTest, Presets)
+{
+    const DisplayConfig fhd = displayFhdPlus();
+    EXPECT_EQ(fhd.width, 1080);
+    EXPECT_EQ(fhd.height, 2376);
+    const DisplayConfig qhd = displayQhdPlus(120);
+    EXPECT_EQ(qhd.width, 1440);
+    EXPECT_EQ(qhd.refreshHz, 120);
+    EXPECT_EQ(qhd.vsyncPeriod().ns(), 1000000000LL / 120);
+}
+
+TEST(DisplayTest, DpScalesWithWidth)
+{
+    EXPECT_EQ(displayFhdPlus().dp(10), 30);  // 1080/360 = 3x
+    EXPECT_EQ(displayQhdPlus().dp(10), 40);  // 1440/360 = 4x
+}
+
+TEST(StatusBarTest, NotificationInvalidatesBar)
+{
+    EventQueue eq;
+    StatusBar bar(eq, displayFhdPlus(), Rng(1));
+    bar.takeDamage();
+    bar.postNotification();
+    EXPECT_TRUE(bar.hasDamage());
+    EXPECT_EQ(bar.notificationCount(), 1);
+}
+
+TEST(StatusBarTest, PoissonArrivals)
+{
+    EventQueue eq;
+    StatusBar bar(eq, displayFhdPlus(), Rng(2));
+    bar.startNotifications(2_s);
+    eq.runUntil(20_s);
+    EXPECT_GT(bar.notificationCount(), 3);
+    EXPECT_LT(bar.notificationCount(), 30);
+    const int before = bar.notificationCount();
+    bar.stopNotifications();
+    eq.runUntil(40_s);
+    EXPECT_EQ(bar.notificationCount(), before);
+}
+
+TEST(StatusBarTest, SceneIsSmallButNonEmpty)
+{
+    EventQueue eq;
+    StatusBar bar(eq, displayFhdPlus(), Rng(3));
+    gfx::FrameScene scene;
+    scene.damage = bar.bounds();
+    bar.buildScene(scene);
+    EXPECT_GT(scene.prims.size(), 5u);
+    for (const auto &p : scene.prims)
+        EXPECT_TRUE(bar.bounds().contains(p.rect));
+}
+
+TEST(GlesShimTest, EnumeratesTable1Groups)
+{
+    bool sawLrz = false, sawRas = false, sawVpc = false;
+    for (const auto &g : gles::getPerfMonitorGroupsAMD()) {
+        sawLrz |= g.name == "LRZ";
+        sawRas |= g.name == "RAS";
+        sawVpc |= g.name == "VPC";
+        EXPECT_FALSE(g.counters.empty());
+    }
+    EXPECT_TRUE(sawLrz && sawRas && sawVpc);
+}
+
+TEST(GlesShimTest, StringIdentifiersMatchTable1)
+{
+    EXPECT_EQ(gles::getPerfMonitorCounterStringAMD(0x19, 13),
+              "PERF_LRZ_VISIBLE_PRIM_AFTER_LRZ");
+    EXPECT_EQ(gles::getPerfMonitorCounterStringAMD(0x7, 8),
+              "PERF_RAS_FULLY_COVERED_8X4_TILES");
+    EXPECT_EQ(gles::getPerfMonitorCounterStringAMD(0x5, 10),
+              "PERF_VPC_SP_COMPONENTS");
+    // Unselected countables get synthetic names.
+    EXPECT_EQ(gles::getPerfMonitorCounterStringAMD(0x19, 2),
+              "PERF_LRZ_COUNTABLE_2");
+}
+
+TEST(GlesShimTest, DiscoveryFindsAllSelectedCounters)
+{
+    // The §3.3 discovery flow: iterating groups/counters and matching
+    // string identifiers must find all 11 Table 1 counters.
+    int found = 0;
+    for (const auto &g : gles::getPerfMonitorGroupsAMD())
+        for (std::uint32_t c : g.counters)
+            if (gpu::selectedFromId({g.id, c}))
+                ++found;
+    EXPECT_EQ(found, int(gpu::kNumSelectedCounters));
+}
+
+TEST(PowerModelTest, LinearInWork)
+{
+    PowerModel pm(phoneSpec("oneplus8pro"));
+    EXPECT_EQ(pm.extraMah(), 0.0);
+    pm.addSamplerWakeups(1000);
+    const double one = pm.extraMah();
+    pm.addSamplerWakeups(1000);
+    EXPECT_NEAR(pm.extraMah(), 2.0 * one, 1e-12);
+}
+
+TEST(PowerModelTest, SmallBatteriesDrainFaster)
+{
+    PowerModel big(phoneSpec("oneplus8pro")); // 4510 mAh
+    PowerModel small(phoneSpec("pixel2"));    // 2700 mAh
+    big.addSamplerWakeups(450000);
+    small.addSamplerWakeups(450000);
+    EXPECT_GT(small.extraBatteryPercent(), big.extraBatteryPercent());
+}
+
+TEST(PowerModelTest, TwoHourDrainIsInPaperBand)
+{
+    PowerModel pm(phoneSpec("oneplus8pro"));
+    // 8ms sampling for 2 hours.
+    pm.addSamplerWakeups(2 * 3600 * 125);
+    pm.addInferences(3300);
+    EXPECT_GT(pm.extraBatteryPercent(), 0.3);
+    EXPECT_LT(pm.extraBatteryPercent(), 4.5);
+}
+
+TEST(OtherAppTest, InteractionsProduceDamageBursts)
+{
+    EventQueue eq;
+    OtherAppSurface other(eq, displayFhdPlus(), Rng(5), 101);
+    other.setVisible(true);
+    other.takeDamage();
+    other.interact();
+    int damagedTicks = 0;
+    for (int i = 0; i < 40; ++i) {
+        eq.runUntil(eq.now() + 8_ms);
+        if (other.hasDamage()) {
+            ++damagedTicks;
+            other.takeDamage();
+        }
+    }
+    EXPECT_GE(damagedTicks, 1);
+}
+
+TEST(OtherAppTest, HiddenInteractionIsNoop)
+{
+    EventQueue eq;
+    OtherAppSurface other(eq, displayFhdPlus(), Rng(6), 101);
+    other.setVisible(false);
+    other.interact();
+    eq.runUntil(eq.now() + 500_ms);
+    EXPECT_FALSE(other.hasDamage());
+}
+
+} // namespace
+} // namespace gpusc::android

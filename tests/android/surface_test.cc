@@ -1,0 +1,90 @@
+/** @file Unit tests for surfaces and damage tracking. */
+
+#include <gtest/gtest.h>
+
+#include "android/surface.h"
+
+namespace gpusc::android {
+namespace {
+
+class TestSurface : public Surface
+{
+  public:
+    TestSurface()
+        : Surface("test", gfx::Rect::ofSize(0, 0, 100, 100), 42)
+    {
+    }
+    void
+    buildScene(gfx::FrameScene &scene) const override
+    {
+        scene.add(bounds(), true, gfx::PrimTag::AppContent);
+    }
+};
+
+TEST(SurfaceTest, StartsClean)
+{
+    TestSurface s;
+    EXPECT_FALSE(s.hasDamage());
+    EXPECT_TRUE(s.visible());
+    EXPECT_EQ(s.ownerPid(), 42);
+    EXPECT_EQ(s.name(), "test");
+}
+
+TEST(SurfaceTest, DamageAccumulatesAsUnion)
+{
+    TestSurface s;
+    s.invalidate(gfx::Rect::ofSize(0, 0, 10, 10));
+    s.invalidate(gfx::Rect::ofSize(50, 50, 10, 10));
+    EXPECT_TRUE(s.hasDamage());
+    EXPECT_EQ(s.takeDamage(), (gfx::Rect{0, 0, 60, 60}));
+    EXPECT_FALSE(s.hasDamage());
+}
+
+TEST(SurfaceTest, DamageClipsToBounds)
+{
+    TestSurface s;
+    s.invalidate(gfx::Rect::ofSize(90, 90, 50, 50));
+    EXPECT_EQ(s.takeDamage(), (gfx::Rect{90, 90, 100, 100}));
+}
+
+TEST(SurfaceTest, FullInvalidateCoversBounds)
+{
+    TestSurface s;
+    s.invalidate();
+    EXPECT_EQ(s.takeDamage(), s.bounds());
+}
+
+TEST(SurfaceTest, HiddenSurfacesIgnoreDamage)
+{
+    TestSurface s;
+    s.setVisible(false);
+    s.invalidate();
+    EXPECT_FALSE(s.hasDamage());
+}
+
+TEST(SurfaceTest, ShowingInvalidatesFully)
+{
+    TestSurface s;
+    s.setVisible(false);
+    s.setVisible(true);
+    EXPECT_TRUE(s.hasDamage());
+    EXPECT_EQ(s.takeDamage(), s.bounds());
+}
+
+TEST(SurfaceTest, HidingDropsPendingDamage)
+{
+    TestSurface s;
+    s.invalidate();
+    s.setVisible(false);
+    EXPECT_FALSE(s.hasDamage());
+}
+
+TEST(SurfaceTest, RedundantVisibilityIsNoop)
+{
+    TestSurface s;
+    s.setVisible(true); // already visible
+    EXPECT_FALSE(s.hasDamage());
+}
+
+} // namespace
+} // namespace gpusc::android

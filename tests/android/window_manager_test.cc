@@ -1,0 +1,116 @@
+/** @file Unit tests for the vsync compositor. */
+
+#include <gtest/gtest.h>
+
+#include "android/window_manager.h"
+#include "gpu/model.h"
+
+namespace gpusc::android {
+namespace {
+
+using namespace gpusc::sim_literals;
+
+class SolidSurface : public Surface
+{
+  public:
+    SolidSurface(gfx::Rect bounds)
+        : Surface("solid", bounds, 7)
+    {
+    }
+    void
+    buildScene(gfx::FrameScene &scene) const override
+    {
+        scene.add(bounds(), true, gfx::PrimTag::AppContent);
+    }
+};
+
+class WindowManagerTest : public ::testing::Test
+{
+  protected:
+    EventQueue eq_;
+    gpu::RenderEngine engine_{eq_, gpu::adrenoModel(650), 1};
+    WindowManager wm_{eq_, engine_, displayFhdPlus()};
+};
+
+TEST_F(WindowManagerTest, NoDamageNoFrames)
+{
+    SolidSurface s(gfx::Rect::ofSize(0, 0, 100, 100));
+    wm_.addSurface(&s);
+    wm_.start();
+    eq_.runUntil(500_ms);
+    EXPECT_EQ(wm_.framesComposited(), 0u);
+    EXPECT_EQ(engine_.framesRendered(), 0u);
+}
+
+TEST_F(WindowManagerTest, DamagedSurfaceRendersOncePerInvalidation)
+{
+    SolidSurface s(gfx::Rect::ofSize(0, 0, 100, 100));
+    wm_.addSurface(&s);
+    wm_.start();
+    s.invalidate();
+    eq_.runUntil(200_ms);
+    EXPECT_EQ(wm_.framesComposited(), 1u);
+    s.invalidate();
+    eq_.runUntil(400_ms);
+    EXPECT_EQ(wm_.framesComposited(), 2u);
+}
+
+TEST_F(WindowManagerTest, RenderWaitsForVsync)
+{
+    SolidSurface s(gfx::Rect::ofSize(0, 0, 64, 64));
+    wm_.addSurface(&s);
+    wm_.start();
+    eq_.runUntil(20_ms); // just after the first vsync (16.7ms)
+    s.invalidate();
+    eq_.runUntil(25_ms); // before the next vsync at 33.3ms
+    EXPECT_EQ(engine_.framesRendered(), 0u);
+    eq_.runUntil(40_ms);
+    EXPECT_EQ(engine_.framesRendered(), 1u);
+}
+
+TEST_F(WindowManagerTest, HiddenSurfacesAreSkipped)
+{
+    SolidSurface s(gfx::Rect::ofSize(0, 0, 64, 64));
+    wm_.addSurface(&s);
+    wm_.start();
+    s.invalidate();
+    s.setVisible(false);
+    eq_.runUntil(200_ms);
+    EXPECT_EQ(wm_.framesComposited(), 0u);
+}
+
+TEST_F(WindowManagerTest, RemovedSurfacesAreSkipped)
+{
+    SolidSurface s(gfx::Rect::ofSize(0, 0, 64, 64));
+    wm_.addSurface(&s);
+    wm_.start();
+    s.invalidate();
+    wm_.removeSurface(&s);
+    eq_.runUntil(200_ms);
+    EXPECT_EQ(wm_.framesComposited(), 0u);
+}
+
+TEST_F(WindowManagerTest, TransitionRendersRequestedFrames)
+{
+    wm_.start();
+    wm_.playTransition(5);
+    EXPECT_TRUE(wm_.transitionActive());
+    eq_.runUntil(300_ms);
+    EXPECT_FALSE(wm_.transitionActive());
+    EXPECT_EQ(engine_.framesRendered(), 5u);
+}
+
+TEST_F(WindowManagerTest, TransitionFramesDiffer)
+{
+    wm_.start();
+    wm_.playTransition(2);
+    eq_.runUntil(100_ms);
+    // Consecutive animation frames must produce different counter
+    // deltas (the app-switch burst signature of Fig. 13).
+    EXPECT_EQ(engine_.framesRendered(), 2u);
+    // Non-trivial work happened.
+    EXPECT_GT(engine_.read(gpu::LRZ_VISIBLE_PIXEL_AFTER_LRZ), 0u);
+}
+
+} // namespace
+} // namespace gpusc::android

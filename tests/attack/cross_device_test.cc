@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Parameterised end-to-end sweeps: the attack must work on every
+ * registered keyboard and phone (Figs. 20/24 as properties), and the
+ * new auxiliary channels must behave.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attack/eavesdropper.h"
+#include "attack/model_store.h"
+#include "attack/trainer.h"
+#include "util/logging.h"
+#include "workload/typist.h"
+
+namespace gpusc::attack {
+namespace {
+
+using namespace gpusc::sim_literals;
+
+ModelStore &
+store()
+{
+    static ModelStore s;
+    return s;
+}
+
+const OfflineTrainer &
+quickTrainer()
+{
+    static const OfflineTrainer t(OfflineTrainer::Params{
+        .repetitions = 3,
+        .thresholdMargin = 2.5,
+        .pressDuration = SimTime::fromMs(120)});
+    return t;
+}
+
+std::string
+stealOn(android::DeviceConfig cfg, const std::string &text)
+{
+    gpusc::setVerbose(false);
+    cfg.notificationMeanInterval = SimTime();
+    const SignatureModel &model = store().getOrTrain(cfg, quickTrainer());
+    android::Device dev(cfg);
+    Eavesdropper spy(dev, model);
+    dev.boot();
+    EXPECT_TRUE(spy.start());
+    dev.launchTargetApp();
+    dev.runFor(1200_ms);
+    workload::Typist user(
+        dev, workload::TypingModel::forSpeed(
+                 workload::TypingSpeed::Medium, 5),
+        7);
+    const SimTime t0 = dev.eq().now();
+    bool done = false;
+    user.type(text, 200_ms, [&] { done = true; });
+    const SimTime deadline = dev.eq().now() + SimTime::fromSeconds(60);
+    while (!done && dev.eq().now() < deadline)
+        dev.runFor(100_ms);
+    dev.runFor(1_s);
+    return spy.inferredTextBetween(t0, dev.eq().now());
+}
+
+class KeyboardSweep : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(KeyboardSweep, StealsAFixedCredential)
+{
+    android::DeviceConfig cfg;
+    cfg.keyboard = GetParam();
+    EXPECT_EQ(stealOn(cfg, "s3cret"), "s3cret") << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKeyboards, KeyboardSweep,
+                         ::testing::ValuesIn(android::keyboardNames()));
+
+class PhoneSweep : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(PhoneSweep, StealsAFixedCredential)
+{
+    android::DeviceConfig cfg;
+    cfg.phone = GetParam();
+    EXPECT_EQ(stealOn(cfg, "pin42"), "pin42") << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPhones, PhoneSweep,
+                         ::testing::ValuesIn(android::phoneIds()));
+
+TEST(AuxChannelsTest, LengthLeaksEvenWithPopupsDisabled)
+{
+    gpusc::setVerbose(false);
+    android::DeviceConfig train;
+    const SignatureModel &model =
+        store().getOrTrain(train, quickTrainer());
+
+    android::DeviceConfig cfg;
+    cfg.popupsDisabled = true;
+    cfg.notificationMeanInterval = SimTime();
+    android::Device dev(cfg);
+    Eavesdropper spy(dev, model);
+    dev.boot();
+    ASSERT_TRUE(spy.start());
+    dev.launchTargetApp();
+    dev.runFor(1200_ms);
+    workload::Typist user(
+        dev, workload::TypingModel::forVolunteer(1, 3), 5);
+    bool done = false;
+    user.type("elevenchars", 200_ms, [&] { done = true; });
+    while (!done)
+        dev.runFor(100_ms);
+    dev.runFor(1_s);
+    EXPECT_TRUE(spy.inferredText().empty());
+    EXPECT_EQ(spy.maxObservedFieldLength(), 11);
+}
+
+TEST(AuxChannelsTest, ExfiltrationIsTinyComparedToRawStream)
+{
+    gpusc::setVerbose(false);
+    android::DeviceConfig cfg;
+    cfg.notificationMeanInterval = SimTime();
+    const SignatureModel &model = store().getOrTrain(cfg, quickTrainer());
+    android::Device dev(cfg);
+    Eavesdropper spy(dev, model);
+    dev.boot();
+    ASSERT_TRUE(spy.start());
+    dev.launchTargetApp();
+    dev.runFor(1200_ms);
+    workload::Typist user(
+        dev, workload::TypingModel::forVolunteer(0, 9), 3);
+    bool done = false;
+    user.type("tinyloot", 200_ms, [&] { done = true; });
+    while (!done)
+        dev.runFor(100_ms);
+    dev.runFor(1_s);
+    EXPECT_GT(spy.exfiltrationBytes(), 0u);
+    // Results-only exfiltration is orders of magnitude below the raw
+    // counter stream the attacker would otherwise have to ship.
+    EXPECT_LT(spy.exfiltrationBytes() * 100, spy.rawCounterBytes());
+}
+
+} // namespace
+} // namespace gpusc::attack

@@ -1,0 +1,148 @@
+/** @file Unit tests for change detection and app-switch suppression. */
+
+#include <gtest/gtest.h>
+
+#include "attack/app_switch_detector.h"
+#include "attack/change_detector.h"
+
+namespace gpusc::attack {
+namespace {
+
+using namespace gpusc::sim_literals;
+
+Reading
+reading(SimTime t, std::uint64_t value)
+{
+    Reading r;
+    r.time = t;
+    r.totals[gpu::LRZ_VISIBLE_PRIM_AFTER_LRZ] = value;
+    return r;
+}
+
+TEST(ChangeDetectorTest, FirstReadingPrimesOnly)
+{
+    ChangeDetector det;
+    EXPECT_FALSE(det.onReading(reading(1_ms, 100)).has_value());
+}
+
+TEST(ChangeDetectorTest, DeltaBetweenReadings)
+{
+    ChangeDetector det;
+    (void)det.onReading(reading(1_ms, 100));
+    const auto c = det.onReading(reading(9_ms, 150));
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(c->delta[gpu::LRZ_VISIBLE_PRIM_AFTER_LRZ], 50);
+    EXPECT_EQ(c->time, 9_ms);
+}
+
+TEST(ChangeDetectorTest, NoChangeNoEvent)
+{
+    ChangeDetector det;
+    (void)det.onReading(reading(1_ms, 100));
+    EXPECT_FALSE(det.onReading(reading(9_ms, 100)).has_value());
+    // Still primed for the next delta.
+    EXPECT_TRUE(det.onReading(reading(17_ms, 130)).has_value());
+}
+
+TEST(ChangeDetectorTest, ResetReprimes)
+{
+    ChangeDetector det;
+    (void)det.onReading(reading(1_ms, 100));
+    det.reset();
+    EXPECT_FALSE(det.onReading(reading(9_ms, 500)).has_value());
+}
+
+PcChange
+at(SimTime t)
+{
+    PcChange c;
+    c.time = t;
+    c.delta[gpu::LRZ_VISIBLE_PRIM_AFTER_LRZ] = 100;
+    return c;
+}
+
+TEST(AppSwitchDetectorTest, HumanPacedChangesDoNotSuppress)
+{
+    AppSwitchDetector det;
+    SimTime t = 1_s;
+    for (int i = 0; i < 20; ++i) {
+        det.onChange(at(t));
+        t += 300_ms; // typing cadence
+    }
+    EXPECT_FALSE(det.suppressed(t));
+    EXPECT_EQ(det.burstsDetected(), 0u);
+}
+
+TEST(AppSwitchDetectorTest, ShortChainsDoNotSuppress)
+{
+    // Split pieces + a duplicated popup frame: up to ~4 quick changes.
+    AppSwitchDetector det;
+    SimTime t = 1_s;
+    for (int i = 0; i < 4; ++i) {
+        det.onChange(at(t));
+        t += 10_ms;
+    }
+    EXPECT_FALSE(det.suppressed(t));
+}
+
+TEST(AppSwitchDetectorTest, TransitionBurstSuppresses)
+{
+    AppSwitchDetector det;
+    SimTime t = 1_s;
+    for (int i = 0; i < 10; ++i) { // overview animation frames
+        det.onChange(at(t));
+        t += 17_ms;
+    }
+    EXPECT_TRUE(det.suppressed(t));
+    EXPECT_EQ(det.burstsDetected(), 1u);
+}
+
+TEST(AppSwitchDetectorTest, ClassifiedKeyEndsSuppression)
+{
+    AppSwitchDetector det;
+    SimTime t = 1_s;
+    for (int i = 0; i < 10; ++i) {
+        det.onChange(at(t));
+        t += 17_ms;
+    }
+    ASSERT_TRUE(det.suppressed(t));
+    det.onClassified("PAGE:lower", t);
+    EXPECT_FALSE(det.suppressed(t));
+}
+
+TEST(AppSwitchDetectorTest, QuietPeriodEndsSuppression)
+{
+    AppSwitchDetector det;
+    SimTime t = 1_s;
+    for (int i = 0; i < 10; ++i) {
+        det.onChange(at(t));
+        t += 17_ms;
+    }
+    ASSERT_TRUE(det.suppressed(t));
+    EXPECT_FALSE(det.suppressed(t + 2_s));
+    // And the next change does not revive the old burst.
+    det.onChange(at(t + 2_s));
+    EXPECT_FALSE(det.suppressed(t + 2_s));
+}
+
+TEST(AppSwitchDetectorTest, RearmsAfterResume)
+{
+    AppSwitchDetector det;
+    SimTime t = 1_s;
+    auto burst = [&] {
+        for (int i = 0; i < 10; ++i) {
+            det.onChange(at(t));
+            t += 17_ms;
+        }
+    };
+    burst();
+    det.onClassified("w", t);
+    EXPECT_FALSE(det.suppressed(t));
+    t += 500_ms;
+    burst();
+    EXPECT_TRUE(det.suppressed(t));
+    EXPECT_EQ(det.burstsDetected(), 2u);
+}
+
+} // namespace
+} // namespace gpusc::attack

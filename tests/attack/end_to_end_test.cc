@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Integration tests: offline training + full eavesdropping pipeline
+ * on the simulated device. The model is trained once per process and
+ * shared across tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include "attack/eavesdropper.h"
+#include "attack/model_store.h"
+#include "attack/trainer.h"
+#include "workload/typist.h"
+
+namespace gpusc::attack {
+namespace {
+
+using namespace gpusc::sim_literals;
+
+android::DeviceConfig
+baseConfig()
+{
+    android::DeviceConfig cfg;
+    cfg.phone = "oneplus8pro";
+    cfg.keyboard = "gboard";
+    cfg.app = "chase";
+    return cfg;
+}
+
+const SignatureModel &
+trainedModel()
+{
+    static const SignatureModel model = [] {
+        gpusc::setVerbose(false);
+        return OfflineTrainer().train(baseConfig());
+    }();
+    return model;
+}
+
+TEST(TrainerTest, ModelCoversAllLabels)
+{
+    const SignatureModel &m = trainedModel();
+    // 26 lower + 26 upper + 10 digits + 18 symbols + 3 page labels.
+    EXPECT_EQ(m.signatures().size(), 83u);
+    int pageLabels = 0;
+    for (const auto &sig : m.signatures()) {
+        pageLabels += isPageLabel(sig.label);
+        EXPECT_FALSE(gpu::isZero(sig.centroid))
+            << "empty centroid for " << sig.label;
+    }
+    EXPECT_EQ(pageLabels, 3);
+}
+
+TEST(TrainerTest, ModelIsWellFormed)
+{
+    const SignatureModel &m = trainedModel();
+    EXPECT_GT(m.threshold(), 0.0);
+    EXPECT_GT(m.minInterClassDistance(), 0.0);
+    EXPECT_TRUE(m.hasEchoModel());
+    EXPECT_GT(m.echoCutoff(), 0.0);
+    EXPECT_FALSE(m.blinkVariants().empty());
+    for (double s : m.scale())
+        EXPECT_GT(s, 0.0);
+    EXPECT_EQ(m.modelKey(),
+              "oneplus8pro/adreno650/FHD+@60/gboard/android11/chase");
+}
+
+TEST(TrainerTest, ModelSizeMatchesPaperBallpark)
+{
+    // §7.6: ~3.59 kB per model; ours must stay in the same ballpark.
+    const double kb = double(trainedModel().byteSize()) / 1024.0;
+    EXPECT_GT(kb, 2.0);
+    EXPECT_LT(kb, 8.0);
+}
+
+TEST(TrainerTest, SignaturesSeparateFromCentroidNoise)
+{
+    const SignatureModel &m = trainedModel();
+    // Every centroid classifies to itself with near-zero distance.
+    for (const auto &sig : m.signatures()) {
+        const auto match = m.classify(sig.centroid);
+        EXPECT_EQ(match.sig->label, sig.label);
+        EXPECT_LT(match.distance, m.threshold());
+    }
+}
+
+class EavesdropTest : public ::testing::Test
+{
+  protected:
+    std::string
+    steal(const std::string &text,
+          android::DeviceConfig cfg = baseConfig(),
+          Eavesdropper::Params params = {})
+    {
+        cfg.notificationMeanInterval = SimTime();
+        android::Device dev(cfg);
+        Eavesdropper spy(dev, trainedModel(), params);
+        dev.boot();
+        if (!spy.start())
+            return "<EPERM>";
+        dev.launchTargetApp();
+        dev.runFor(1200_ms);
+        workload::Typist user(
+            dev, workload::TypingModel::forVolunteer(1, 3), 9);
+        const SimTime t0 = dev.eq().now();
+        bool done = false;
+        user.type(text, 200_ms, [&] { done = true; });
+        const SimTime deadline =
+            dev.eq().now() + SimTime::fromSeconds(60);
+        while (!done && dev.eq().now() < deadline)
+            dev.runFor(100_ms);
+        dev.runFor(1_s);
+        return spy.inferredTextBetween(t0, dev.eq().now());
+    }
+};
+
+TEST_F(EavesdropTest, RecoversLowercaseText)
+{
+    EXPECT_EQ(steal("monkey"), "monkey");
+}
+
+TEST_F(EavesdropTest, RecoversMixedText)
+{
+    EXPECT_EQ(steal("Pa55w,rd"), "Pa55w,rd");
+}
+
+TEST_F(EavesdropTest, RecoversSymbolHeavyText)
+{
+    EXPECT_EQ(steal("a@b#c$d"), "a@b#c$d");
+}
+
+TEST_F(EavesdropTest, RbacBlocksTheAttack)
+{
+    android::DeviceConfig cfg = baseConfig();
+    cfg.notificationMeanInterval = SimTime();
+    android::Device dev(cfg);
+    const kgsl::RbacPolicy rbac;
+    dev.setSecurityPolicy(rbac);
+    Eavesdropper spy(dev, trainedModel());
+    dev.boot();
+    EXPECT_FALSE(spy.start());
+    EXPECT_EQ(spy.lastErrno(), kgsl::KGSL_EPERM);
+}
+
+TEST_F(EavesdropTest, PopupsDisabledHidesContent)
+{
+    android::DeviceConfig cfg = baseConfig();
+    cfg.popupsDisabled = true;
+    EXPECT_EQ(steal("hunter2", cfg), "");
+}
+
+TEST_F(EavesdropTest, BackspaceCorrectionsAreApplied)
+{
+    android::DeviceConfig cfg = baseConfig();
+    cfg.notificationMeanInterval = SimTime();
+    android::Device dev(cfg);
+    Eavesdropper spy(dev, trainedModel());
+    dev.boot();
+    ASSERT_TRUE(spy.start());
+    dev.launchTargetApp();
+    dev.runFor(1200_ms);
+
+    workload::Typist user(
+        dev, workload::TypingModel::forVolunteer(2, 5), 11);
+    user.setTypoProb(0.35);
+    const SimTime t0 = dev.eq().now();
+    bool done = false;
+    user.type("abcdefgh", 200_ms, [&] { done = true; });
+    while (!done)
+        dev.runFor(100_ms);
+    dev.runFor(1_s);
+    EXPECT_EQ(spy.inferredTextBetween(t0, dev.eq().now()),
+              "abcdefgh");
+}
+
+TEST_F(EavesdropTest, EventsAreTimeOrdered)
+{
+    android::DeviceConfig cfg = baseConfig();
+    cfg.notificationMeanInterval = SimTime();
+    android::Device dev(cfg);
+    Eavesdropper spy(dev, trainedModel());
+    dev.boot();
+    ASSERT_TRUE(spy.start());
+    dev.launchTargetApp();
+    dev.runFor(1200_ms);
+    workload::Typist user(
+        dev, workload::TypingModel::forVolunteer(0, 7), 13);
+    bool done = false;
+    user.type("xyz12", 200_ms, [&] { done = true; });
+    while (!done)
+        dev.runFor(100_ms);
+    dev.runFor(1_s);
+    const auto &events = spy.events();
+    ASSERT_FALSE(events.empty());
+    for (std::size_t i = 1; i < events.size(); ++i)
+        EXPECT_GE(events[i].time, events[i - 1].time);
+}
+
+TEST_F(EavesdropTest, DeviceRecognitionPicksTheRightModel)
+{
+    ModelStore store;
+    store.put(trainedModel());
+    // A decoy model with very different geometry.
+    android::DeviceConfig decoyCfg = baseConfig();
+    decoyCfg.phone = "pixel2";
+    decoyCfg.keyboard = "go";
+    store.getOrTrain(decoyCfg,
+                     OfflineTrainer(OfflineTrainer::Params{
+                         .repetitions = 2,
+                         .thresholdMargin = 2.5,
+                         .pressDuration = SimTime::fromMs(120)}));
+    ASSERT_EQ(store.size(), 2u);
+
+    android::DeviceConfig cfg = baseConfig();
+    cfg.notificationMeanInterval = SimTime();
+    android::Device dev(cfg);
+    Eavesdropper spy(dev, store, Eavesdropper::Params{});
+    dev.boot();
+    ASSERT_TRUE(spy.start());
+    dev.launchTargetApp();
+    dev.runFor(1200_ms);
+    workload::Typist user(
+        dev, workload::TypingModel::forVolunteer(0, 9), 15);
+    bool done = false;
+    user.type("recognise", 200_ms, [&] { done = true; });
+    while (!done)
+        dev.runFor(100_ms);
+    dev.runFor(1_s);
+    ASSERT_NE(spy.activeModel(), nullptr);
+    EXPECT_EQ(spy.activeModel()->modelKey(),
+              trainedModel().modelKey());
+}
+
+TEST_F(EavesdropTest, SamplerOverheadIsAccounted)
+{
+    android::DeviceConfig cfg = baseConfig();
+    cfg.notificationMeanInterval = SimTime();
+    android::Device dev(cfg);
+    Eavesdropper spy(dev, trainedModel());
+    dev.boot();
+    ASSERT_TRUE(spy.start());
+    dev.runFor(10_s);
+    // 8ms sampling -> ~125 reads/s -> power accounting moves.
+    EXPECT_NEAR(double(spy.sampler().readCount()), 1250.0, 15.0);
+    EXPECT_GT(dev.power().extraMah(), 0.0);
+}
+
+} // namespace
+} // namespace gpusc::attack

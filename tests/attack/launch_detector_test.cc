@@ -1,0 +1,108 @@
+/** @file Unit tests for the §3.2 launch detector. */
+
+#include <gtest/gtest.h>
+
+#include "attack/launch_detector.h"
+
+namespace gpusc::attack {
+namespace {
+
+using namespace gpusc::sim_literals;
+
+android::DeviceConfig
+quiet()
+{
+    android::DeviceConfig cfg;
+    cfg.notificationMeanInterval = SimTime();
+    return cfg;
+}
+
+TEST(LaunchDetectorTest, FiresOnTargetLaunch)
+{
+    android::Device dev(quiet());
+    LaunchDetector det(dev, {"chase"}, {});
+    std::string seen;
+    det.setOnLaunch([&](const std::string &app) { seen = app; });
+    dev.boot();
+    det.start();
+    dev.runFor(1_s);
+    EXPECT_TRUE(seen.empty()); // nothing launched yet
+    dev.launchTargetApp();
+    dev.runFor(1_s);
+    EXPECT_EQ(seen, "chase");
+    EXPECT_TRUE(det.targetInForeground());
+    EXPECT_EQ(det.launchesDetected(), 1u);
+}
+
+TEST(LaunchDetectorTest, IgnoresNonTargetApps)
+{
+    android::DeviceConfig cfg = quiet();
+    cfg.app = "amex";
+    android::Device dev(cfg);
+    LaunchDetector det(dev, {"chase"}, {}); // amex not targeted
+    bool fired = false;
+    det.setOnLaunch([&](const std::string &) { fired = true; });
+    dev.boot();
+    det.start();
+    dev.launchTargetApp();
+    dev.runFor(2_s);
+    EXPECT_FALSE(fired);
+}
+
+TEST(LaunchDetectorTest, ExitFiresOnSwitchAway)
+{
+    android::Device dev(quiet());
+    LaunchDetector det(dev, {"chase"}, {});
+    int exits = 0;
+    det.setOnExit([&] { ++exits; });
+    dev.boot();
+    det.start();
+    dev.launchTargetApp();
+    dev.runFor(1_s);
+    ASSERT_TRUE(det.targetInForeground());
+    dev.switchToOtherApp();
+    dev.runFor(2_s);
+    EXPECT_EQ(exits, 1);
+    EXPECT_FALSE(det.targetInForeground());
+}
+
+TEST(LaunchDetectorTest, DetectionRateMissesSomeSessions)
+{
+    // Over many foreground sessions, the miss rate approaches
+    // 1 - detectionRate (paper: >90% accuracy), and a missed session
+    // stays missed (no double counting within one session).
+    android::Device dev(quiet());
+    LaunchDetector::Params params;
+    params.detectionRate = 0.7;
+    params.seed = 99;
+    LaunchDetector det(dev, {"chase"}, params);
+    dev.boot();
+    det.start();
+    for (int i = 0; i < 40; ++i) {
+        dev.launchTargetApp();
+        dev.runFor(1_s);
+        dev.switchToOtherApp();
+        dev.runFor(1_s);
+    }
+    const auto total = det.launchesDetected() + det.launchesMissed();
+    EXPECT_EQ(total, 40u);
+    EXPECT_NEAR(double(det.launchesDetected()) / double(total), 0.7,
+                0.18);
+}
+
+TEST(LaunchDetectorTest, StopHaltsPolling)
+{
+    android::Device dev(quiet());
+    LaunchDetector det(dev, {"chase"}, {});
+    bool fired = false;
+    det.setOnLaunch([&](const std::string &) { fired = true; });
+    dev.boot();
+    det.start();
+    det.stop();
+    dev.launchTargetApp();
+    dev.runFor(2_s);
+    EXPECT_FALSE(fired);
+}
+
+} // namespace
+} // namespace gpusc::attack

@@ -1,0 +1,107 @@
+/** @file Unit tests for the preloaded model store. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "attack/model_store.h"
+
+namespace gpusc::attack {
+namespace {
+
+SignatureModel
+namedModel(const std::string &key)
+{
+    SignatureModel m;
+    m.setModelKey(key);
+    std::array<double, gpu::kNumSelectedCounters> scale{};
+    scale.fill(1.0);
+    m.setScale(scale);
+    LabelSignature sig;
+    sig.label = "a";
+    sig.centroid[0] = 123;
+    m.addSignature(sig);
+    m.setThreshold(1.0);
+    return m;
+}
+
+TEST(ModelStoreTest, PutAndFind)
+{
+    ModelStore store;
+    store.put(namedModel("cfg/one"));
+    store.put(namedModel("cfg/two"));
+    EXPECT_EQ(store.size(), 2u);
+    ASSERT_NE(store.find("cfg/one"), nullptr);
+    EXPECT_EQ(store.find("cfg/one")->modelKey(), "cfg/one");
+    EXPECT_EQ(store.find("missing"), nullptr);
+}
+
+TEST(ModelStoreTest, PutReplacesSameKey)
+{
+    ModelStore store;
+    store.put(namedModel("cfg"));
+    SignatureModel updated = namedModel("cfg");
+    updated.setThreshold(9.0);
+    store.put(std::move(updated));
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_NEAR(store.find("cfg")->threshold(), 9.0, 1e-6);
+}
+
+TEST(ModelStoreTest, KeysAndTotalSize)
+{
+    ModelStore store;
+    store.put(namedModel("a"));
+    store.put(namedModel("b"));
+    EXPECT_EQ(store.keys(), (std::vector<std::string>{"a", "b"}));
+    EXPECT_EQ(store.totalByteSize(),
+              store.find("a")->byteSize() +
+                  store.find("b")->byteSize());
+}
+
+TEST(ModelStoreTest, SerializeRoundTrip)
+{
+    ModelStore store;
+    store.put(namedModel("alpha"));
+    store.put(namedModel("beta"));
+    const auto blob = store.serialize();
+    const ModelStore back = ModelStore::deserialize(blob);
+    EXPECT_EQ(back.size(), 2u);
+    ASSERT_NE(back.find("alpha"), nullptr);
+    EXPECT_TRUE(*back.find("alpha") == *store.find("alpha"));
+}
+
+TEST(ModelStoreTest, FileRoundTrip)
+{
+    ModelStore store;
+    store.put(namedModel("persisted"));
+    const std::string path = ::testing::TempDir() + "gpusc_store.bin";
+    ASSERT_TRUE(store.saveToFile(path));
+    const ModelStore back = ModelStore::loadFromFile(path);
+    EXPECT_EQ(back.size(), 1u);
+    EXPECT_NE(back.find("persisted"), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(ModelStoreTest, SaveToBadPathFails)
+{
+    ModelStore store;
+    EXPECT_FALSE(store.saveToFile("/nonexistent-dir/x/y/z.bin"));
+}
+
+TEST(ModelStoreTest, GetOrTrainCachesByConfiguration)
+{
+    ModelStore store;
+    const OfflineTrainer trainer(OfflineTrainer::Params{
+        .repetitions = 2,
+        .thresholdMargin = 2.5,
+        .pressDuration = SimTime::fromMs(120)});
+    android::DeviceConfig cfg;
+    cfg.keyboard = "go"; // smallest duplication/animation surface
+    const SignatureModel &first = store.getOrTrain(cfg, trainer);
+    EXPECT_EQ(store.size(), 1u);
+    const SignatureModel &second = store.getOrTrain(cfg, trainer);
+    EXPECT_EQ(&first, &second); // trained exactly once
+}
+
+} // namespace
+} // namespace gpusc::attack

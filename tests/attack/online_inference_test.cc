@@ -1,0 +1,154 @@
+/** @file Unit tests for Algorithm 1 (synthetic model, no training). */
+
+#include <gtest/gtest.h>
+
+#include "attack/online_inference.h"
+
+namespace gpusc::attack {
+namespace {
+
+using namespace gpusc::sim_literals;
+
+SignatureModel
+toyModel()
+{
+    SignatureModel m;
+    std::array<double, gpu::kNumSelectedCounters> scale{};
+    scale.fill(1.0);
+    m.setScale(scale);
+    LabelSignature w;
+    w.label = "w";
+    w.centroid[gpu::LRZ_VISIBLE_PRIM_AFTER_LRZ] = 1000;
+    m.addSignature(w);
+    LabelSignature n;
+    n.label = "n";
+    n.centroid[gpu::LRZ_VISIBLE_PRIM_AFTER_LRZ] = 1200;
+    m.addSignature(n);
+    m.setThreshold(20.0);
+    return m;
+}
+
+PcChange
+change(SimTime t, std::int64_t prim)
+{
+    PcChange c;
+    c.time = t;
+    c.delta[gpu::LRZ_VISIBLE_PRIM_AFTER_LRZ] = prim;
+    return c;
+}
+
+TEST(OnlineInferenceTest, DirectClassification)
+{
+    const SignatureModel m = toyModel();
+    OnlineInference inf(m, {});
+    const auto key = inf.onChange(change(1_s, 1003));
+    ASSERT_TRUE(key.has_value());
+    EXPECT_EQ(key->label, "w");
+    EXPECT_EQ(key->time, 1_s);
+    EXPECT_EQ(inf.inferredCount(), 1u);
+}
+
+TEST(OnlineInferenceTest, DuplicationWithinTminIsDropped)
+{
+    const SignatureModel m = toyModel();
+    OnlineInference inf(m, {});
+    EXPECT_TRUE(inf.onChange(change(1_s, 1000)).has_value());
+    // The popup animation re-renders 17ms later: same delta, dropped.
+    EXPECT_FALSE(
+        inf.onChange(change(1_s + 17_ms, 1000)).has_value());
+    EXPECT_EQ(inf.duplicationDrops(), 1u);
+    // A human-paced second press goes through.
+    EXPECT_TRUE(
+        inf.onChange(change(1_s + 300_ms, 1000)).has_value());
+}
+
+TEST(OnlineInferenceTest, SplitPiecesAreCombined)
+{
+    const SignatureModel m = toyModel();
+    OnlineInference inf(m, {});
+    // A mid-render read bisects the 1200-delta into 700 + 500.
+    EXPECT_FALSE(inf.onChange(change(1_s, 700)).has_value());
+    const auto key = inf.onChange(change(1_s + 8_ms, 500));
+    ASSERT_TRUE(key.has_value());
+    EXPECT_EQ(key->label, "n");
+    // The inferred press is stamped at the first piece's time.
+    EXPECT_EQ(key->time, 1_s);
+    EXPECT_EQ(inf.splitCombines(), 1u);
+}
+
+TEST(OnlineInferenceTest, CombineWindowLimitsSplitRepair)
+{
+    const SignatureModel m = toyModel();
+    OnlineInference inf(m, {});
+    EXPECT_FALSE(inf.onChange(change(1_s, 700)).has_value());
+    // Too late to be the same frame's second half.
+    EXPECT_FALSE(
+        inf.onChange(change(1_s + 100_ms, 500)).has_value());
+    EXPECT_EQ(inf.splitCombines(), 0u);
+    EXPECT_EQ(inf.noiseCount(), 2u);
+}
+
+TEST(OnlineInferenceTest, NoiseIsReportedToListener)
+{
+    const SignatureModel m = toyModel();
+    OnlineInference inf(m, {});
+    int noiseEvents = 0;
+    inf.setNoiseListener([&](const PcChange &) { ++noiseEvents; });
+    EXPECT_FALSE(inf.onChange(change(1_s, 42)).has_value());
+    EXPECT_EQ(noiseEvents, 1);
+}
+
+TEST(OnlineInferenceTest, AcceptedChangesClearPendingSplit)
+{
+    const SignatureModel m = toyModel();
+    OnlineInference inf(m, {});
+    EXPECT_FALSE(inf.onChange(change(1_s, 40)).has_value()); // noise
+    EXPECT_TRUE(inf.onChange(change(1_s + 8_ms, 1000)).has_value());
+    // The pending noise must not combine with later changes.
+    EXPECT_FALSE(
+        inf.onChange(change(1_s + 200_ms, 960)).has_value());
+}
+
+TEST(OnlineInferenceTest, DupFilterAblation)
+{
+    const SignatureModel m = toyModel();
+    OnlineInference inf(m, {});
+    inf.setDuplicationFilterEnabled(false);
+    EXPECT_TRUE(inf.onChange(change(1_s, 1000)).has_value());
+    // Without the filter the duplicate frame becomes a phantom key.
+    EXPECT_TRUE(inf.onChange(change(1_s + 17_ms, 1000)).has_value());
+}
+
+TEST(OnlineInferenceTest, SplitRepairAblation)
+{
+    const SignatureModel m = toyModel();
+    OnlineInference inf(m, {});
+    inf.setSplitRepairEnabled(false);
+    EXPECT_FALSE(inf.onChange(change(1_s, 700)).has_value());
+    EXPECT_FALSE(inf.onChange(change(1_s + 8_ms, 500)).has_value());
+    EXPECT_EQ(inf.splitCombines(), 0u);
+}
+
+TEST(OnlineInferenceTest, TminIsConfigurable)
+{
+    const SignatureModel m = toyModel();
+    OnlineInference::Params params;
+    params.tmin = 500_ms;
+    OnlineInference inf(m, params);
+    EXPECT_TRUE(inf.onChange(change(1_s, 1000)).has_value());
+    EXPECT_FALSE(
+        inf.onChange(change(1_s + 300_ms, 1200)).has_value());
+    EXPECT_TRUE(
+        inf.onChange(change(1_s + 600_ms, 1200)).has_value());
+}
+
+TEST(OnlineInferenceTest, LastInferredTimeTracks)
+{
+    const SignatureModel m = toyModel();
+    OnlineInference inf(m, {});
+    (void)inf.onChange(change(2_s, 1000));
+    EXPECT_EQ(inf.lastInferredTime(), 2_s);
+}
+
+} // namespace
+} // namespace gpusc::attack

@@ -1,0 +1,120 @@
+/** @file Unit tests for the ioctl-based PC sampler. */
+
+#include <gtest/gtest.h>
+
+#include "android/device.h"
+#include "attack/sampler.h"
+
+namespace gpusc::attack {
+namespace {
+
+using namespace gpusc::sim_literals;
+
+android::DeviceConfig
+quiet()
+{
+    android::DeviceConfig cfg;
+    cfg.notificationMeanInterval = SimTime();
+    return cfg;
+}
+
+TEST(SamplerTest, OpenAndReserveSucceedsOnStockPolicy)
+{
+    android::Device dev(quiet());
+    const int fd =
+        openAndReserveCounters(dev.kgsl(), dev.attackerContext());
+    EXPECT_GE(fd, 0);
+    gpu::CounterTotals totals{};
+    EXPECT_TRUE(PcSampler::readOnce(dev.kgsl(), fd, totals));
+    dev.kgsl().close(fd);
+}
+
+TEST(SamplerTest, RbacDeniesReservation)
+{
+    android::Device dev(quiet());
+    const kgsl::RbacPolicy rbac;
+    dev.setSecurityPolicy(rbac);
+    const int fd =
+        openAndReserveCounters(dev.kgsl(), dev.attackerContext());
+    EXPECT_LT(fd, 0);
+}
+
+TEST(SamplerTest, TicksAtTheConfiguredInterval)
+{
+    android::Device dev(quiet());
+    dev.boot();
+    PcSampler sampler(dev.kgsl(), dev.attackerContext(), dev.eq(),
+                      8_ms);
+    int readings = 0;
+    SimTime last;
+    sampler.setListener([&](const Reading &r) {
+        if (readings > 0) {
+            EXPECT_EQ((r.time - last), 8_ms);
+        }
+        last = r.time;
+        ++readings;
+    });
+    ASSERT_TRUE(sampler.start());
+    dev.runFor(100_ms);
+    EXPECT_NEAR(readings, 13, 1);
+    EXPECT_EQ(sampler.readCount(), std::uint64_t(readings));
+}
+
+TEST(SamplerTest, StopHaltsTicks)
+{
+    android::Device dev(quiet());
+    dev.boot();
+    PcSampler sampler(dev.kgsl(), dev.attackerContext(), dev.eq(),
+                      8_ms);
+    ASSERT_TRUE(sampler.start());
+    dev.runFor(50_ms);
+    const auto count = sampler.readCount();
+    sampler.stop();
+    dev.runFor(50_ms);
+    EXPECT_EQ(sampler.readCount(), count);
+    EXPECT_FALSE(sampler.running());
+}
+
+TEST(SamplerTest, WakeupJitterDelaysTicks)
+{
+    android::Device dev(quiet());
+    dev.boot();
+    PcSampler sampler(dev.kgsl(), dev.attackerContext(), dev.eq(),
+                      8_ms);
+    sampler.setWakeupJitter([] { return 8_ms; }); // doubles the gap
+    int readings = 0;
+    sampler.setListener([&](const Reading &) { ++readings; });
+    ASSERT_TRUE(sampler.start());
+    dev.runFor(160_ms);
+    EXPECT_NEAR(readings, 11, 1);
+}
+
+TEST(SamplerTest, FailedStartReportsErrno)
+{
+    android::Device dev(quiet());
+    const kgsl::RbacPolicy rbac;
+    dev.setSecurityPolicy(rbac);
+    PcSampler sampler(dev.kgsl(), dev.attackerContext(), dev.eq(),
+                      8_ms);
+    EXPECT_FALSE(sampler.start());
+    EXPECT_EQ(sampler.lastErrno(), kgsl::KGSL_EPERM);
+}
+
+TEST(SamplerTest, ReadingsSeeUiRendering)
+{
+    android::Device dev(quiet());
+    dev.boot();
+    PcSampler sampler(dev.kgsl(), dev.attackerContext(), dev.eq(),
+                      8_ms);
+    std::uint64_t lastPrim = 0;
+    sampler.setListener([&](const Reading &r) {
+        lastPrim = r.totals[gpu::LRZ_VISIBLE_PRIM_AFTER_LRZ];
+    });
+    ASSERT_TRUE(sampler.start());
+    dev.launchTargetApp(); // big redraws
+    dev.runFor(300_ms);
+    EXPECT_GT(lastPrim, 0u);
+}
+
+} // namespace
+} // namespace gpusc::attack

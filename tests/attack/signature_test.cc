@@ -1,0 +1,192 @@
+/** @file Unit tests for signature models (synthetic, no training). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/signature.h"
+
+namespace gpusc::attack {
+namespace {
+
+/** A small hand-built model with unit scales. */
+SignatureModel
+toyModel()
+{
+    SignatureModel m;
+    m.setModelKey("toy/config");
+    std::array<double, gpu::kNumSelectedCounters> scale{};
+    scale.fill(1.0);
+    m.setScale(scale);
+
+    LabelSignature a;
+    a.label = "a";
+    a.centroid[gpu::LRZ_VISIBLE_PRIM_AFTER_LRZ] = 100;
+    a.centroid[gpu::RAS_8X4_TILES] = 50;
+    m.addSignature(a);
+
+    LabelSignature b;
+    b.label = "b";
+    b.centroid[gpu::LRZ_VISIBLE_PRIM_AFTER_LRZ] = 200;
+    b.centroid[gpu::RAS_8X4_TILES] = 80;
+    m.addSignature(b);
+
+    LabelSignature page;
+    page.label = pageLabel(0);
+    page.centroid[gpu::LRZ_VISIBLE_PRIM_AFTER_LRZ] = 500;
+    m.addSignature(page);
+
+    m.setThreshold(10.0);
+    m.setEchoCutoff(1000.0);
+
+    gpu::CounterVec base{}, inc{};
+    base[gpu::RAS_SUPERTILE_ACTIVE_CYCLES] = 1000;
+    base[gpu::LRZ_VISIBLE_PRIM_AFTER_LRZ] = 6;
+    inc[gpu::RAS_SUPERTILE_ACTIVE_CYCLES] = 100;
+    inc[gpu::LRZ_VISIBLE_PRIM_AFTER_LRZ] = 2;
+    m.setEchoLine(base, inc, 2.0);
+    return m;
+}
+
+gpu::CounterVec
+vec(std::int64_t prim, std::int64_t ras8x4 = 0)
+{
+    gpu::CounterVec v{};
+    v[gpu::LRZ_VISIBLE_PRIM_AFTER_LRZ] = prim;
+    v[gpu::RAS_8X4_TILES] = ras8x4;
+    return v;
+}
+
+TEST(PageLabelTest, FormatAndDetection)
+{
+    EXPECT_EQ(pageLabel(0), "PAGE:lower");
+    EXPECT_EQ(pageLabel(1), "PAGE:upper");
+    EXPECT_EQ(pageLabel(2), "PAGE:symbols");
+    EXPECT_TRUE(isPageLabel("PAGE:lower"));
+    EXPECT_FALSE(isPageLabel("a"));
+    EXPECT_FALSE(isPageLabel("xPAGE:lower"));
+}
+
+TEST(SignatureModelTest, ClassifyPicksNearest)
+{
+    const SignatureModel m = toyModel();
+    const auto match = m.classify(vec(105, 52));
+    ASSERT_NE(match.sig, nullptr);
+    EXPECT_EQ(match.sig->label, "a");
+    EXPECT_NEAR(match.distance, std::sqrt(25.0 + 4.0), 1e-9);
+    EXPECT_TRUE(match.accepted(m.threshold()));
+}
+
+TEST(SignatureModelTest, AcceptRespectsThreshold)
+{
+    const SignatureModel m = toyModel();
+    EXPECT_EQ(m.accept(vec(100, 50)).value_or("?"), "a");
+    EXPECT_FALSE(m.accept(vec(150, 65)).has_value()); // between a/b
+}
+
+TEST(SignatureModelTest, MinInterClassDistance)
+{
+    const SignatureModel m = toyModel();
+    // a-b distance = sqrt(100^2 + 30^2); page is farther.
+    EXPECT_NEAR(m.minInterClassDistance(),
+                std::sqrt(100.0 * 100.0 + 30.0 * 30.0), 1e-9);
+}
+
+TEST(SignatureModelTest, ScaleWeightsTheMetric)
+{
+    SignatureModel m = toyModel();
+    auto scale = m.scale();
+    scale[gpu::RAS_8X4_TILES] = 0.0; // ignore that dim
+    m.setScale(scale);
+    const auto match = m.classify(vec(100, 9999));
+    EXPECT_EQ(match.sig->label, "a");
+    EXPECT_NEAR(match.distance, 0.0, 1e-9);
+}
+
+TEST(SignatureModelTest, ClassifyRobustSubtractsBlink)
+{
+    SignatureModel m = toyModel();
+    gpu::CounterVec blink{};
+    blink[gpu::LRZ_VISIBLE_PRIM_AFTER_LRZ] = 2;
+    blink[gpu::LRZ_PARTIAL_8X8_TILES] = 12;
+    m.setBlinkVariants({blink});
+    // A popup frame merged with a blink: plain classify sees the
+    // displacement, robust classify removes it.
+    gpu::CounterVec merged = vec(102, 50);
+    merged[gpu::LRZ_PARTIAL_8X8_TILES] = 12;
+    EXPECT_GT(m.classify(merged).distance, 10.0);
+    const auto robust = m.classifyRobust(merged);
+    EXPECT_EQ(robust.sig->label, "a");
+    EXPECT_NEAR(robust.distance, 0.0, 1e-9);
+}
+
+TEST(SignatureModelTest, EchoLineDecodesLengths)
+{
+    const SignatureModel m = toyModel();
+    ASSERT_TRUE(m.hasEchoModel());
+    for (int len = 0; len <= 20; ++len) {
+        gpu::CounterVec e{};
+        e[gpu::RAS_SUPERTILE_ACTIVE_CYCLES] = 1000 + 100 * len;
+        e[gpu::LRZ_VISIBLE_PRIM_AFTER_LRZ] = 6 + 2 * len;
+        EXPECT_EQ(m.decodeEchoLength(e).value_or(-1), len);
+    }
+}
+
+TEST(SignatureModelTest, EchoLineRejectsOffLinePoints)
+{
+    const SignatureModel m = toyModel();
+    gpu::CounterVec junk{};
+    junk[gpu::RAS_SUPERTILE_ACTIVE_CYCLES] = 1250;
+    junk[gpu::LRZ_VISIBLE_PRIM_AFTER_LRZ] = 300; // way off the line
+    EXPECT_FALSE(m.decodeEchoLength(junk).has_value());
+}
+
+TEST(SignatureModelTest, EchoResidualReported)
+{
+    const SignatureModel m = toyModel();
+    gpu::CounterVec e{};
+    e[gpu::RAS_SUPERTILE_ACTIVE_CYCLES] = 1100;
+    e[gpu::LRZ_VISIBLE_PRIM_AFTER_LRZ] = 9; // one off the fit
+    double res = -1;
+    (void)m.decodeEchoLength(e, &res);
+    EXPECT_GT(res, 0.0);
+}
+
+TEST(SignatureModelTest, SerializationRoundTrips)
+{
+    SignatureModel m = toyModel();
+    gpu::CounterVec blink{};
+    blink[gpu::LRZ_PARTIAL_8X8_TILES] = 12;
+    m.setBlinkVariants({blink});
+
+    const auto blob = m.serialize();
+    EXPECT_EQ(blob.size(), m.byteSize());
+    const SignatureModel back =
+        SignatureModel::deserialize(blob.data(), blob.size());
+    EXPECT_TRUE(m == back);
+    EXPECT_EQ(back.modelKey(), "toy/config");
+    EXPECT_NEAR(back.threshold(), m.threshold(), 1e-6);
+    EXPECT_NEAR(back.echoTol(), m.echoTol(), 1e-6);
+    EXPECT_EQ(back.blinkVariants().size(), 1u);
+    EXPECT_EQ(back.echoInc(), m.echoInc());
+    // The deserialised model classifies identically.
+    EXPECT_EQ(back.accept(vec(100, 50)).value_or("?"), "a");
+}
+
+TEST(SignatureModelDeathTest, TruncatedBlobIsFatal)
+{
+    const auto blob = toyModel().serialize();
+    EXPECT_DEATH((void)SignatureModel::deserialize(blob.data(),
+                                                   blob.size() / 2),
+                 "truncated");
+}
+
+TEST(SignatureModelTest, NoEchoModelMeansNoDecode)
+{
+    SignatureModel m;
+    EXPECT_FALSE(m.hasEchoModel());
+    EXPECT_FALSE(m.decodeEchoLength(vec(10)).has_value());
+}
+
+} // namespace
+} // namespace gpusc::attack

@@ -1,0 +1,123 @@
+/** @file Unit tests for whole-trace inference (synthetic model). */
+
+#include <gtest/gtest.h>
+
+#include "attack/trace_inference.h"
+
+namespace gpusc::attack {
+namespace {
+
+using namespace gpusc::sim_literals;
+
+SignatureModel
+toyModel()
+{
+    SignatureModel m;
+    std::array<double, gpu::kNumSelectedCounters> scale{};
+    scale.fill(1.0);
+    m.setScale(scale);
+    LabelSignature w;
+    w.label = "w";
+    w.centroid[gpu::LRZ_VISIBLE_PRIM_AFTER_LRZ] = 1000;
+    m.addSignature(w);
+    LabelSignature n;
+    n.label = "n";
+    n.centroid[gpu::LRZ_VISIBLE_PRIM_AFTER_LRZ] = 1200;
+    m.addSignature(n);
+    m.setThreshold(20.0);
+    return m;
+}
+
+PcChange
+change(SimTime t, std::int64_t prim)
+{
+    PcChange c;
+    c.time = t;
+    c.delta[gpu::LRZ_VISIBLE_PRIM_AFTER_LRZ] = prim;
+    return c;
+}
+
+TEST(TraceInferenceTest, SingleKeysDecode)
+{
+    const SignatureModel m = toyModel();
+    const TraceInference inf(m, {});
+    const auto keys = inf.infer({change(1_s, 1000),
+                                 change(2_s, 1200),
+                                 change(3_s, 1000)});
+    ASSERT_EQ(keys.size(), 3u);
+    EXPECT_EQ(TraceInference::textFrom(keys), "wnw");
+}
+
+TEST(TraceInferenceTest, SplitsAreRepaired)
+{
+    const SignatureModel m = toyModel();
+    const TraceInference inf(m, {});
+    const auto keys = inf.infer(
+        {change(1_s, 700), change(1_s + 8_ms, 500)});
+    ASSERT_EQ(keys.size(), 1u);
+    EXPECT_EQ(keys[0].label, "n");
+    EXPECT_EQ(keys[0].time, 1_s);
+}
+
+TEST(TraceInferenceTest, GlobalViewBeatsGreedyPairing)
+{
+    // Three quick changes: 400, 600, 1000. Greedy Algorithm 1 pairs
+    // (400+600)="w" and then accepts 1000="w" -> "ww" (wrong).
+    // The true story is noise(400+600 belongs to an "n"=1200 split?
+    // no): the globally best segmentation that maximises accepted
+    // keys is also "ww" here, so instead verify agreement where
+    // greedy is right, and superiority on a crafted case:
+    // 1000 split as (980, 20): greedy accepts 980? distance 20 <= 20
+    // -> accepts "w" at the first piece and drops the 20 as noise;
+    // offline can choose the exact pair (980+20)="w" with distance 0.
+    const SignatureModel m = toyModel();
+    const TraceInference inf(m, {});
+    const auto keys = inf.infer(
+        {change(1_s, 980), change(1_s + 8_ms, 20)});
+    ASSERT_EQ(keys.size(), 1u);
+    EXPECT_EQ(keys[0].label, "w");
+    EXPECT_NEAR(keys[0].distance, 0.0, 1e-9);
+}
+
+TEST(TraceInferenceTest, TminFiltersLateDuplicates)
+{
+    const SignatureModel m = toyModel();
+    const TraceInference inf(m, {});
+    const auto keys = inf.infer(
+        {change(1_s, 1000), change(1_s + 17_ms, 1000),
+         change(1_s + 300_ms, 1000)});
+    ASSERT_EQ(keys.size(), 2u); // the 17ms duplicate is dropped
+}
+
+TEST(TraceInferenceTest, NoiseIsIgnored)
+{
+    const SignatureModel m = toyModel();
+    const TraceInference inf(m, {});
+    const auto keys = inf.infer(
+        {change(1_s, 40), change(2_s, 77), change(3_s, 123)});
+    EXPECT_TRUE(keys.empty());
+}
+
+TEST(TraceInferenceTest, EmptyTrace)
+{
+    const SignatureModel m = toyModel();
+    const TraceInference inf(m, {});
+    EXPECT_TRUE(inf.infer({}).empty());
+}
+
+TEST(TraceInferenceTest, PageLabelsExcludedFromText)
+{
+    SignatureModel m = toyModel();
+    LabelSignature page;
+    page.label = pageLabel(1);
+    page.centroid[gpu::LRZ_VISIBLE_PRIM_AFTER_LRZ] = 500;
+    m.addSignature(page);
+    const TraceInference inf(m, {});
+    const auto keys = inf.infer(
+        {change(1_s, 500), change(2_s, 1000)});
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(TraceInference::textFrom(keys), "w");
+}
+
+} // namespace
+} // namespace gpusc::attack

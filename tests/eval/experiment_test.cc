@@ -1,0 +1,104 @@
+/** @file Integration tests for the experiment harness. */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include "attack/model_store.h"
+#include "eval/experiment.h"
+
+namespace gpusc::eval {
+namespace {
+
+attack::ModelStore &
+store()
+{
+    static attack::ModelStore s;
+    return s;
+}
+
+TEST(ExperimentRunnerTest, TrialsScoreInTheHeadlineBand)
+{
+    gpusc::setVerbose(false);
+    ExperimentConfig cfg;
+    cfg.seed = 101;
+    ExperimentRunner runner(cfg, store());
+    const AccuracyStats stats = runner.runTrials(15, 8, 12);
+    EXPECT_EQ(stats.trials(), 15u);
+    // The paper's headline band: >=75% text, ~98% per key. Allow
+    // slack for the small sample.
+    EXPECT_GT(stats.textAccuracy(), 0.6);
+    EXPECT_GT(stats.charAccuracy(), 0.93);
+}
+
+TEST(ExperimentRunnerTest, SingleTrialRoundTrips)
+{
+    gpusc::setVerbose(false);
+    ExperimentConfig cfg;
+    cfg.seed = 102;
+    ExperimentRunner runner(cfg, store());
+    const TrialResult r = runner.runTrial("letmein");
+    EXPECT_EQ(r.truth, "letmein");
+    EXPECT_EQ(r.inferred, "letmein");
+}
+
+TEST(ExperimentRunnerTest, TrialsAreRecordedWhenRequested)
+{
+    gpusc::setVerbose(false);
+    ExperimentConfig cfg;
+    cfg.seed = 103;
+    ExperimentRunner runner(cfg, store());
+    std::vector<TrialResult> trials;
+    runner.runTrials(4, 8, 8, &trials);
+    ASSERT_EQ(trials.size(), 4u);
+    for (const auto &t : trials)
+        EXPECT_EQ(t.truth.size(), 8u);
+}
+
+TEST(ExperimentRunnerTest, ModelTransformIsApplied)
+{
+    gpusc::setVerbose(false);
+    ExperimentConfig cfg;
+    cfg.seed = 104;
+    // Cripple the model: a negative threshold rejects everything
+    // (distances can be exactly zero for cache-identical frames).
+    cfg.modelTransform = [](const attack::SignatureModel &m) {
+        attack::SignatureModel out = m;
+        out.setThreshold(-1.0);
+        return out;
+    };
+    ExperimentRunner runner(cfg, store());
+    const TrialResult r = runner.runTrial("abcdef");
+    EXPECT_TRUE(r.inferred.empty());
+}
+
+TEST(ExperimentRunnerTest, GpuLoadRegistersOnBusyNode)
+{
+    gpusc::setVerbose(false);
+    ExperimentConfig cfg;
+    cfg.seed = 105;
+    cfg.gpuLoad = 0.5;
+    ExperimentRunner runner(cfg, store());
+    runner.runTrials(1, 8, 8);
+    EXPECT_GT(runner.device().kgsl().gpuBusyPercentage(), 20.0);
+}
+
+TEST(ExperimentRunnerTest, SameSeedReproduces)
+{
+    gpusc::setVerbose(false);
+    auto run = [] {
+        ExperimentConfig cfg;
+        cfg.seed = 106;
+        ExperimentRunner runner(cfg, store());
+        std::vector<TrialResult> trials;
+        runner.runTrials(3, 8, 10, &trials);
+        std::string all;
+        for (const auto &t : trials)
+            all += t.truth + "|" + t.inferred + ";";
+        return all;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+} // namespace
+} // namespace gpusc::eval

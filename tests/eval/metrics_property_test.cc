@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Property sweeps over the alignment metrics: invariants that must
+ * hold for arbitrary truth/inference pairs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "util/rng.h"
+#include "workload/credential.h"
+
+namespace gpusc::eval {
+namespace {
+
+class MetricsPropertySweep
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(MetricsPropertySweep, EditDistanceIsAMetric)
+{
+    Rng rng(GetParam());
+    workload::CredentialGenerator gen(rng.next());
+    for (int round = 0; round < 30; ++round) {
+        const std::string a = gen.next(std::size_t(
+            rng.uniformInt(0, 12)));
+        const std::string b = gen.next(std::size_t(
+            rng.uniformInt(0, 12)));
+        const std::string c = gen.next(std::size_t(
+            rng.uniformInt(0, 12)));
+        // Identity, symmetry, triangle inequality.
+        EXPECT_EQ(editDistance(a, a), 0u);
+        EXPECT_EQ(editDistance(a, b), editDistance(b, a));
+        EXPECT_LE(editDistance(a, c),
+                  editDistance(a, b) + editDistance(b, c));
+        // Length difference is a lower bound.
+        EXPECT_GE(editDistance(a, b),
+                  std::size_t(std::abs(std::int64_t(a.size()) -
+                                       std::int64_t(b.size()))));
+    }
+}
+
+TEST_P(MetricsPropertySweep, AlignmentMatchesAreConsistent)
+{
+    Rng rng(GetParam() ^ 0xaa);
+    workload::CredentialGenerator gen(rng.next());
+    for (int round = 0; round < 30; ++round) {
+        const std::string truth =
+            gen.next(1 + std::size_t(rng.uniformInt(0, 14)));
+        const std::string inferred =
+            gen.next(std::size_t(rng.uniformInt(0, 14)));
+        const auto matches = alignMatches(truth, inferred);
+        ASSERT_EQ(matches.size(), truth.size());
+        std::size_t matched = 0;
+        for (bool m : matches)
+            matched += m;
+        // Matches cannot exceed either string's length; and along an
+        // optimal alignment, matched = |truth| - subs - dels, so the
+        // edit distance bounds the unmatched truth characters.
+        EXPECT_LE(matched, inferred.size());
+        EXPECT_GE(std::int64_t(matched),
+                  std::int64_t(truth.size()) -
+                      std::int64_t(editDistance(truth, inferred)));
+    }
+}
+
+TEST_P(MetricsPropertySweep, PerfectInferenceScoresPerfectly)
+{
+    Rng rng(GetParam() ^ 0xbb);
+    workload::CredentialGenerator gen(rng.next());
+    AccuracyStats stats;
+    for (int round = 0; round < 10; ++round) {
+        const std::string t = gen.next(10);
+        stats.add(t, t);
+    }
+    EXPECT_DOUBLE_EQ(stats.textAccuracy(), 1.0);
+    EXPECT_DOUBLE_EQ(stats.charAccuracy(), 1.0);
+    EXPECT_DOUBLE_EQ(stats.avgErrorsPerText(), 0.0);
+}
+
+TEST_P(MetricsPropertySweep, GroupTotalsPartitionTheChars)
+{
+    Rng rng(GetParam() ^ 0xcc);
+    workload::CredentialGenerator gen(rng.next());
+    AccuracyStats stats;
+    std::size_t totalChars = 0;
+    for (int round = 0; round < 10; ++round) {
+        const std::string t = gen.next(12);
+        totalChars += t.size();
+        stats.add(t, gen.next(12));
+    }
+    std::size_t groupSum = 0;
+    for (auto g :
+         {workload::CharGroup::Lower, workload::CharGroup::Upper,
+          workload::CharGroup::Number, workload::CharGroup::Symbol})
+        groupSum += stats.groupTotal(g);
+    EXPECT_EQ(groupSum, totalChars);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsPropertySweep,
+                         ::testing::Values(3, 7, 31, 127, 8191));
+
+} // namespace
+} // namespace gpusc::eval

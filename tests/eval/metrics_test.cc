@@ -1,0 +1,111 @@
+/** @file Unit tests for the accuracy metrics. */
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+
+namespace gpusc::eval {
+namespace {
+
+TEST(EditDistanceTest, KnownCases)
+{
+    EXPECT_EQ(editDistance("", ""), 0u);
+    EXPECT_EQ(editDistance("abc", "abc"), 0u);
+    EXPECT_EQ(editDistance("abc", ""), 3u);
+    EXPECT_EQ(editDistance("", "abc"), 3u);
+    EXPECT_EQ(editDistance("kitten", "sitting"), 3u);
+    EXPECT_EQ(editDistance("abc", "abd"), 1u);   // substitution
+    EXPECT_EQ(editDistance("abc", "abxc"), 1u);  // insertion
+    EXPECT_EQ(editDistance("abc", "ac"), 1u);    // deletion
+}
+
+TEST(EditDistanceTest, Symmetric)
+{
+    EXPECT_EQ(editDistance("password", "pasword"),
+              editDistance("pasword", "password"));
+}
+
+TEST(AlignMatchesTest, ExactMatch)
+{
+    const auto m = alignMatches("abc", "abc");
+    EXPECT_EQ(m, (std::vector<bool>{true, true, true}));
+}
+
+TEST(AlignMatchesTest, DroppedCharStillAlignsTheRest)
+{
+    const auto m = alignMatches("abcd", "abd");
+    EXPECT_EQ(m, (std::vector<bool>{true, true, false, true}));
+}
+
+TEST(AlignMatchesTest, SubstitutionMarksOnlyThatChar)
+{
+    const auto m = alignMatches("abcd", "abXd");
+    EXPECT_EQ(m, (std::vector<bool>{true, true, false, true}));
+}
+
+TEST(AlignMatchesTest, InsertionDoesNotBreakAlignment)
+{
+    const auto m = alignMatches("abc", "aZbc");
+    EXPECT_EQ(m, (std::vector<bool>{true, true, true}));
+}
+
+TEST(AlignMatchesTest, EmptyInference)
+{
+    const auto m = alignMatches("ab", "");
+    EXPECT_EQ(m, (std::vector<bool>{false, false}));
+}
+
+TEST(AccuracyStatsTest, TextAccuracyCountsExactMatches)
+{
+    AccuracyStats s;
+    s.add("abcd", "abcd");
+    s.add("abcd", "abXd");
+    EXPECT_EQ(s.trials(), 2u);
+    EXPECT_DOUBLE_EQ(s.textAccuracy(), 0.5);
+}
+
+TEST(AccuracyStatsTest, CharAccuracyUsesAlignment)
+{
+    AccuracyStats s;
+    s.add("abcd", "abd"); // 3 of 4 aligned
+    EXPECT_DOUBLE_EQ(s.charAccuracy(), 0.75);
+    EXPECT_DOUBLE_EQ(s.avgErrorsPerText(), 1.0);
+}
+
+TEST(AccuracyStatsTest, GroupBreakdown)
+{
+    AccuracyStats s;
+    s.add("aB3#", "aB3?"); // symbol wrong, others right
+    EXPECT_DOUBLE_EQ(
+        s.groupAccuracy(workload::CharGroup::Lower), 1.0);
+    EXPECT_DOUBLE_EQ(
+        s.groupAccuracy(workload::CharGroup::Upper), 1.0);
+    EXPECT_DOUBLE_EQ(
+        s.groupAccuracy(workload::CharGroup::Number), 1.0);
+    EXPECT_DOUBLE_EQ(
+        s.groupAccuracy(workload::CharGroup::Symbol), 0.0);
+    EXPECT_EQ(s.groupTotal(workload::CharGroup::Symbol), 1u);
+}
+
+TEST(AccuracyStatsTest, PerKeyBreakdown)
+{
+    AccuracyStats s;
+    s.add("aab", "aXb");
+    const auto perKey = s.perKeyAccuracy();
+    EXPECT_DOUBLE_EQ(perKey.at('a'), 0.5);
+    EXPECT_DOUBLE_EQ(perKey.at('b'), 1.0);
+    EXPECT_EQ(s.perKeyTotal('a'), 2u);
+    EXPECT_EQ(s.perKeyTotal('z'), 0u);
+}
+
+TEST(AccuracyStatsTest, EmptyStatsAreSafe)
+{
+    AccuracyStats s;
+    EXPECT_EQ(s.textAccuracy(), 0.0);
+    EXPECT_EQ(s.charAccuracy(), 0.0);
+    EXPECT_EQ(s.avgErrorsPerText(), 0.0);
+    EXPECT_EQ(s.groupAccuracy(workload::CharGroup::Lower), 0.0);
+}
+
+} // namespace
+} // namespace gpusc::eval

@@ -1,0 +1,131 @@
+/** @file Unit tests for the 5x7 bitmap font. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gfx/font.h"
+
+namespace gpusc::gfx {
+namespace {
+
+TEST(FontTest, CharsetCoversFig18)
+{
+    // Every character the paper's Fig. 18 evaluates must have a
+    // dedicated glyph.
+    for (char c : fontCharset())
+        EXPECT_TRUE(hasGlyph(c)) << "missing glyph for " << c;
+    EXPECT_GE(fontCharset().size(), 78u);
+}
+
+TEST(FontTest, SpaceIsEmpty)
+{
+    EXPECT_EQ(glyphPixelCount(' '), 0);
+    EXPECT_TRUE(glyphRunRects(' ', Rect::ofSize(0, 0, 50, 70)).empty());
+}
+
+TEST(FontTest, UnknownFallsBackToBox)
+{
+    EXPECT_FALSE(hasGlyph('\x01'));
+    EXPECT_GT(glyphPixelCount('\x01'), 0);
+}
+
+TEST(FontTest, PixelCountsAreRealistic)
+{
+    // Narrow marks are lighter than wide letters.
+    EXPECT_LT(glyphPixelCount('.'), glyphPixelCount('i'));
+    EXPECT_LT(glyphPixelCount('i'), glyphPixelCount('w'));
+    EXPECT_LT(glyphPixelCount('\''), glyphPixelCount('@'));
+}
+
+TEST(FontTest, GlyphShapesAreDistinct)
+{
+    // Most pairs must differ as bitmaps (required for per-key
+    // signatures to separate).
+    const std::string &cs = fontCharset();
+    int identicalPairs = 0;
+    for (std::size_t i = 0; i < cs.size(); ++i)
+        for (std::size_t j = i + 1; j < cs.size(); ++j)
+            identicalPairs +=
+                glyphFor(cs[i]).rows == glyphFor(cs[j]).rows;
+    EXPECT_EQ(identicalPairs, 0);
+}
+
+TEST(FontTest, RunsStayInsideBox)
+{
+    const Rect box = Rect::ofSize(100, 200, 45, 63);
+    for (char c : fontCharset()) {
+        for (const Rect &run : glyphRunRects(c, box)) {
+            EXPECT_TRUE(box.contains(run))
+                << "run " << run.toString() << " escapes for '" << c
+                << "'";
+            EXPECT_FALSE(run.empty());
+        }
+    }
+}
+
+TEST(FontTest, RunAreaMatchesPixelCountAtExactScale)
+{
+    // With a box that is an integer multiple of the 5x7 cell, the
+    // total run area must be pixelCount * cellArea exactly.
+    const int sx = 6, sy = 9;
+    const Rect box = Rect::ofSize(0, 0, kGlyphCols * sx, kGlyphRows * sy);
+    for (char c : {'a', 'W', '8', ',', '@'}) {
+        std::int64_t area = 0;
+        for (const Rect &run : glyphRunRects(c, box))
+            area += run.area();
+        EXPECT_EQ(area, std::int64_t(glyphPixelCount(c)) * sx * sy)
+            << "for '" << c << "'";
+    }
+}
+
+TEST(FontTest, RunsDoNotOverlap)
+{
+    const Rect box = Rect::ofSize(0, 0, 50, 70);
+    for (char c : {'m', '#', 'Q'}) {
+        const auto runs = glyphRunRects(c, box);
+        for (std::size_t i = 0; i < runs.size(); ++i)
+            for (std::size_t j = i + 1; j < runs.size(); ++j)
+                EXPECT_FALSE(runs[i].intersects(runs[j]));
+    }
+}
+
+TEST(FontTest, EmptyBoxYieldsNoRuns)
+{
+    EXPECT_TRUE(glyphRunRects('a', Rect{}).empty());
+}
+
+TEST(FontTest, TinyBoxStillRenders)
+{
+    // A 5x7 box renders each lit pixel as a 1x1 run.
+    const auto runs = glyphRunRects('i', Rect::ofSize(0, 0, 5, 7));
+    std::int64_t area = 0;
+    for (const Rect &r : runs)
+        area += r.area();
+    EXPECT_EQ(area, glyphPixelCount('i'));
+}
+
+/** Parameterised: run decomposition is consistent for all charset
+ *  characters at several scales. */
+class FontScaleSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FontScaleSweep, RunAreaEqualsScaledPixelCount)
+{
+    const int s = GetParam();
+    const Rect box = Rect::ofSize(7, 13, kGlyphCols * s, kGlyphRows * s);
+    for (char c : fontCharset()) {
+        std::int64_t area = 0;
+        for (const Rect &run : glyphRunRects(c, box))
+            area += run.area();
+        EXPECT_EQ(area, std::int64_t(glyphPixelCount(c)) * s * s)
+            << "char '" << c << "' scale " << s;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, FontScaleSweep,
+                         ::testing::Values(1, 2, 3, 5, 9, 16));
+
+} // namespace
+} // namespace gpusc::gfx

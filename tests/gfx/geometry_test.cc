@@ -1,0 +1,152 @@
+/** @file Unit tests for pixel geometry. */
+
+#include <gtest/gtest.h>
+
+#include "gfx/geometry.h"
+
+namespace gpusc::gfx {
+namespace {
+
+TEST(RectTest, BasicProperties)
+{
+    const Rect r = Rect::ofSize(10, 20, 30, 40);
+    EXPECT_EQ(r.width(), 30);
+    EXPECT_EQ(r.height(), 40);
+    EXPECT_EQ(r.area(), 1200);
+    EXPECT_FALSE(r.empty());
+    EXPECT_EQ(r.center().x, 25);
+    EXPECT_EQ(r.center().y, 40);
+}
+
+TEST(RectTest, EmptyRects)
+{
+    EXPECT_TRUE(Rect{}.empty());
+    EXPECT_TRUE((Rect{5, 5, 5, 10}).empty());
+    EXPECT_TRUE((Rect{5, 5, 10, 5}).empty());
+    EXPECT_TRUE((Rect{10, 0, 5, 5}).empty());
+    EXPECT_EQ(Rect{}.area(), 0);
+}
+
+TEST(RectTest, ContainsPoint)
+{
+    const Rect r = Rect::ofSize(0, 0, 10, 10);
+    EXPECT_TRUE(r.contains(Point{0, 0}));
+    EXPECT_TRUE(r.contains(Point{9, 9}));
+    EXPECT_FALSE(r.contains(Point{10, 9})); // half-open
+    EXPECT_FALSE(r.contains(Point{-1, 5}));
+}
+
+TEST(RectTest, ContainsRect)
+{
+    const Rect outer = Rect::ofSize(0, 0, 10, 10);
+    EXPECT_TRUE(outer.contains(Rect::ofSize(2, 2, 3, 3)));
+    EXPECT_TRUE(outer.contains(outer));
+    EXPECT_TRUE(outer.contains(Rect{})); // empty is contained
+    EXPECT_FALSE(outer.contains(Rect::ofSize(8, 8, 5, 5)));
+}
+
+TEST(RectTest, Intersect)
+{
+    const Rect a = Rect::ofSize(0, 0, 10, 10);
+    const Rect b = Rect::ofSize(5, 5, 10, 10);
+    const Rect i = a.intersect(b);
+    EXPECT_EQ(i, (Rect{5, 5, 10, 10}));
+    EXPECT_TRUE(a.intersects(b));
+    EXPECT_TRUE(
+        a.intersect(Rect::ofSize(20, 20, 5, 5)).empty());
+    EXPECT_FALSE(a.intersects(Rect::ofSize(10, 0, 5, 5))); // touching
+}
+
+TEST(RectTest, Unite)
+{
+    const Rect a = Rect::ofSize(0, 0, 5, 5);
+    const Rect b = Rect::ofSize(10, 10, 5, 5);
+    EXPECT_EQ(a.unite(b), (Rect{0, 0, 15, 15}));
+    EXPECT_EQ(a.unite(Rect{}), a);
+    EXPECT_EQ(Rect{}.unite(b), b);
+}
+
+TEST(RectTest, TranslatedAndInset)
+{
+    const Rect r = Rect::ofSize(10, 10, 20, 20);
+    EXPECT_EQ(r.translated(5, -5), Rect::ofSize(15, 5, 20, 20));
+    EXPECT_EQ(r.inset(2), Rect::ofSize(12, 12, 16, 16));
+    EXPECT_EQ(r.inset(-2), Rect::ofSize(8, 8, 24, 24));
+    EXPECT_TRUE(r.inset(15).empty());
+}
+
+TEST(TilesTest, ExactlyAlignedRect)
+{
+    // 16x8 rect aligned at origin over 8x4 tiles: 2x2 tiles.
+    EXPECT_EQ(tilesTouched(Rect::ofSize(0, 0, 16, 8), 8, 4), 4);
+    EXPECT_EQ(tilesFullyCovered(Rect::ofSize(0, 0, 16, 8), 8, 4), 4);
+}
+
+TEST(TilesTest, MisalignedRectTouchesMore)
+{
+    // Shifted by 1px: touches 3x3 tiles but fully covers only 1x1.
+    EXPECT_EQ(tilesTouched(Rect::ofSize(1, 1, 16, 8), 8, 4), 9);
+    EXPECT_EQ(tilesFullyCovered(Rect::ofSize(1, 1, 16, 8), 8, 4), 1);
+}
+
+TEST(TilesTest, TinyRect)
+{
+    EXPECT_EQ(tilesTouched(Rect::ofSize(3, 3, 1, 1), 8, 8), 1);
+    EXPECT_EQ(tilesFullyCovered(Rect::ofSize(3, 3, 1, 1), 8, 8), 0);
+}
+
+TEST(TilesTest, EmptyRect)
+{
+    EXPECT_EQ(tilesTouched(Rect{}, 8, 8), 0);
+    EXPECT_EQ(tilesFullyCovered(Rect{}, 8, 8), 0);
+}
+
+/** Property sweep over positions/sizes: invariants of tile counting. */
+struct TileCase
+{
+    int x, y, w, h, tw, th;
+};
+
+class TileSweep : public ::testing::TestWithParam<TileCase>
+{
+};
+
+TEST_P(TileSweep, FullyCoveredNeverExceedsTouched)
+{
+    const TileCase c = GetParam();
+    const Rect r = Rect::ofSize(c.x, c.y, c.w, c.h);
+    EXPECT_LE(tilesFullyCovered(r, c.tw, c.th),
+              tilesTouched(r, c.tw, c.th));
+}
+
+TEST_P(TileSweep, TouchedCoversArea)
+{
+    const TileCase c = GetParam();
+    const Rect r = Rect::ofSize(c.x, c.y, c.w, c.h);
+    // Touched tiles must at least cover the rect's area.
+    EXPECT_GE(tilesTouched(r, c.tw, c.th) * std::int64_t(c.tw) * c.th,
+              r.area());
+}
+
+TEST_P(TileSweep, FullyCoveredAreaFitsInside)
+{
+    const TileCase c = GetParam();
+    const Rect r = Rect::ofSize(c.x, c.y, c.w, c.h);
+    EXPECT_LE(tilesFullyCovered(r, c.tw, c.th) * std::int64_t(c.tw) *
+                  c.th,
+              r.area());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TileSweep,
+    ::testing::Values(TileCase{0, 0, 8, 8, 8, 8},
+                      TileCase{1, 0, 8, 8, 8, 8},
+                      TileCase{7, 3, 9, 5, 8, 4},
+                      TileCase{13, 27, 100, 53, 8, 8},
+                      TileCase{0, 0, 1, 1, 32, 32},
+                      TileCase{31, 31, 2, 2, 32, 32},
+                      TileCase{5, 5, 64, 32, 8, 4},
+                      TileCase{123, 456, 77, 33, 16, 16}));
+
+} // namespace
+} // namespace gpusc::gfx

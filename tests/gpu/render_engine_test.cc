@@ -1,0 +1,163 @@
+/** @file Unit tests for the timed GPU front-end. */
+
+#include <gtest/gtest.h>
+
+#include "gpu/model.h"
+#include "gpu/render_engine.h"
+#include "util/event_queue.h"
+
+namespace gpusc::gpu {
+namespace {
+
+using namespace gpusc::sim_literals;
+
+gfx::FrameScene
+quadScene(int w = 256, int h = 256)
+{
+    gfx::FrameScene s;
+    s.damage = gfx::Rect::ofSize(0, 0, w, h);
+    s.add(s.damage, true, gfx::PrimTag::Background);
+    return s;
+}
+
+class RenderEngineTest : public ::testing::Test
+{
+  protected:
+    EventQueue eq_;
+    RenderEngine engine_{eq_, adrenoModel(650), 1};
+};
+
+TEST_F(RenderEngineTest, StartsAtZero)
+{
+    for (std::size_t i = 0; i < kNumSelectedCounters; ++i)
+        EXPECT_EQ(engine_.read(SelectedCounter(i)), 0u);
+    EXPECT_FALSE(engine_.busyNow());
+}
+
+TEST_F(RenderEngineTest, CountersAccumulateAfterCompletion)
+{
+    const SimTime end = engine_.submit(quadScene());
+    EXPECT_GT(end, eq_.now());
+    eq_.runUntil(end + 1_ms);
+    EXPECT_EQ(engine_.read(LRZ_VISIBLE_PIXEL_AFTER_LRZ),
+              256u * 256u);
+    EXPECT_EQ(engine_.read(VPC_PC_PRIMITIVES), 2u);
+    EXPECT_EQ(engine_.framesRendered(), 1u);
+}
+
+TEST_F(RenderEngineTest, MidFrameReadSplitsButSumsExactly)
+{
+    const SimTime start = eq_.now();
+    const SimTime end = engine_.submit(quadScene(1024, 1024));
+    ASSERT_GT((end - start).ns(), 4); // long enough to bisect
+    // Read halfway through the render.
+    eq_.runUntil(start + (end - start) / 2);
+    const CounterTotals mid = engine_.readAll();
+    EXPECT_GT(mid[LRZ_VISIBLE_PIXEL_AFTER_LRZ], 0u);
+    EXPECT_LT(mid[LRZ_VISIBLE_PIXEL_AFTER_LRZ], 1024u * 1024u);
+    // After completion the pieces sum to the exact total.
+    eq_.runUntil(end + 1_ms);
+    EXPECT_EQ(engine_.read(LRZ_VISIBLE_PIXEL_AFTER_LRZ),
+              1024u * 1024u);
+}
+
+TEST_F(RenderEngineTest, ReadsAreMonotonic)
+{
+    engine_.submit(quadScene());
+    std::uint64_t prev = 0;
+    for (int i = 0; i < 20; ++i) {
+        eq_.runUntil(eq_.now() + SimTime::fromUs(100));
+        const std::uint64_t v =
+            engine_.read(RAS_SUPERTILE_ACTIVE_CYCLES);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST_F(RenderEngineTest, JobsSerializeOnTheGpu)
+{
+    const SimTime end1 = engine_.submit(quadScene());
+    const SimTime end2 = engine_.submit(quadScene());
+    EXPECT_GT(end2, end1); // second job queues behind the first
+    EXPECT_TRUE(engine_.busyNow());
+}
+
+TEST_F(RenderEngineTest, EmptySceneIsIgnored)
+{
+    const SimTime end = engine_.submit(gfx::FrameScene{});
+    EXPECT_EQ(end, eq_.now());
+    EXPECT_EQ(engine_.framesRendered(), 0u);
+}
+
+TEST_F(RenderEngineTest, ComputeJobsOccupyTimeWithoutCounters)
+{
+    const SimTime end = engine_.submitCompute(5_ms);
+    EXPECT_EQ(end, eq_.now() + 5_ms);
+    EXPECT_TRUE(engine_.busyNow());
+    eq_.runUntil(end + 1_ms);
+    for (std::size_t i = 0; i < kNumSelectedCounters; ++i)
+        EXPECT_EQ(engine_.read(SelectedCounter(i)), 0u);
+    EXPECT_EQ(engine_.totalBusyTime(), 5_ms);
+}
+
+TEST_F(RenderEngineTest, BusyPercentReflectsLoad)
+{
+    eq_.runUntil(200_ms);
+    EXPECT_NEAR(engine_.busyPercent(), 0.0, 1e-9);
+    engine_.submitCompute(50_ms); // half of the 100ms window
+    eq_.runUntil(eq_.now() + 100_ms);
+    EXPECT_NEAR(engine_.busyPercent(), 50.0, 5.0);
+}
+
+TEST_F(RenderEngineTest, IdenticalScenesHitTheCache)
+{
+    // Same content twice: both render (counters double) even though
+    // the pipeline work is memoised.
+    const auto s = quadScene();
+    const SimTime e1 = engine_.submit(s);
+    eq_.runUntil(e1 + 1_ms);
+    const SimTime e2 = engine_.submit(s);
+    eq_.runUntil(e2 + 1_ms);
+    EXPECT_EQ(engine_.read(LRZ_VISIBLE_PIXEL_AFTER_LRZ),
+              2u * 256u * 256u);
+}
+
+TEST_F(RenderEngineTest, NoisePerturbsOnlyActiveCounters)
+{
+    engine_.setNoiseSigma(3.0);
+    const SimTime end = engine_.submit(quadScene());
+    eq_.runUntil(end + 1_ms);
+    // Counters that were zero in the scene stay exactly zero.
+    EXPECT_EQ(engine_.read(LRZ_FULL_8X8_TILES), 0u);
+    // Active counters stay in a tight band around the true value.
+    const auto pix = engine_.read(LRZ_VISIBLE_PIXEL_AFTER_LRZ);
+    EXPECT_NEAR(double(pix), 256.0 * 256.0, 30.0);
+}
+
+TEST_F(RenderEngineTest, NoiseIsSeedDeterministic)
+{
+    EventQueue eqA, eqB;
+    RenderEngine a(eqA, adrenoModel(650), 99);
+    RenderEngine b(eqB, adrenoModel(650), 99);
+    a.setNoiseSigma(2.0);
+    b.setNoiseSigma(2.0);
+    const SimTime ea = a.submit(quadScene());
+    const SimTime eb = b.submit(quadScene());
+    eqA.runUntil(ea + 1_ms);
+    eqB.runUntil(eb + 1_ms);
+    EXPECT_EQ(a.readAll(), b.readAll());
+}
+
+TEST_F(RenderEngineTest, LargerScenesTakeLonger)
+{
+    EventQueue eq2;
+    RenderEngine e2(eq2, adrenoModel(650), 1);
+    const SimTime small = e2.submit(quadScene(64, 64)) - eq2.now();
+    eq2.runUntil(eq2.now() + 1_s);
+    const SimTime big =
+        e2.submit(quadScene(1024, 1024)) - eq2.now();
+    EXPECT_GT(big, small);
+}
+
+} // namespace
+} // namespace gpusc::gpu

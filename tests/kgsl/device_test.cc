@@ -1,0 +1,229 @@
+/** @file Unit tests for the simulated KGSL device file. */
+
+#include <gtest/gtest.h>
+
+#include "gpu/model.h"
+#include "gpu/render_engine.h"
+#include "kgsl/device.h"
+#include "kgsl/msm_kgsl.h"
+#include "util/event_queue.h"
+
+namespace gpusc::kgsl {
+namespace {
+
+using namespace gpusc::sim_literals;
+
+class KgslDeviceTest : public ::testing::Test
+{
+  protected:
+    gfx::FrameScene
+    quad()
+    {
+        gfx::FrameScene s;
+        s.damage = gfx::Rect::ofSize(0, 0, 64, 64);
+        s.add(s.damage, true, gfx::PrimTag::Background);
+        return s;
+    }
+
+    int
+    openReserved(const ProcessContext &proc = {100, "untrusted_app"})
+    {
+        const int fd = dev_.open(proc);
+        EXPECT_GE(fd, 0);
+        kgsl_perfcounter_get get;
+        get.groupid = KGSL_PERFCOUNTER_GROUP_LRZ;
+        get.countable = 18; // VISIBLE_PIXEL
+        EXPECT_EQ(dev_.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_GET, &get), 0);
+        return fd;
+    }
+
+    std::uint64_t
+    readPixel(int fd)
+    {
+        kgsl_perfcounter_read_group entry;
+        entry.groupid = KGSL_PERFCOUNTER_GROUP_LRZ;
+        entry.countable = 18;
+        kgsl_perfcounter_read req;
+        req.reads = &entry;
+        req.count = 1;
+        EXPECT_EQ(dev_.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_READ, &req), 0);
+        return entry.value;
+    }
+
+    EventQueue eq_;
+    gpu::RenderEngine engine_{eq_, gpu::adrenoModel(650), 1};
+    StockPolicy stock_;
+    KgslDevice dev_{engine_, stock_};
+};
+
+TEST_F(KgslDeviceTest, DevicePathMatchesPaper)
+{
+    EXPECT_STREQ(KgslDevice::path(), "/dev/kgsl-3d0");
+}
+
+TEST_F(KgslDeviceTest, OpenCloseLifecycle)
+{
+    const int fd = dev_.open({100, "untrusted_app"});
+    EXPECT_GE(fd, 3);
+    EXPECT_EQ(dev_.close(fd), 0);
+    EXPECT_EQ(dev_.close(fd), -KGSL_EBADF);
+}
+
+TEST_F(KgslDeviceTest, IoctlOnBadFd)
+{
+    kgsl_perfcounter_get get;
+    EXPECT_EQ(dev_.ioctl(999, IOCTL_KGSL_PERFCOUNTER_GET, &get),
+              -KGSL_EBADF);
+}
+
+TEST_F(KgslDeviceTest, GetUnknownCounterIsEinval)
+{
+    const int fd = dev_.open({100, "untrusted_app"});
+    kgsl_perfcounter_get get;
+    get.groupid = 0x55; // no such group
+    get.countable = 1;
+    EXPECT_EQ(dev_.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_GET, &get),
+              -KGSL_EINVAL);
+}
+
+TEST_F(KgslDeviceTest, ReadWithoutGetIsEinval)
+{
+    const int fd = dev_.open({100, "untrusted_app"});
+    kgsl_perfcounter_read_group entry;
+    entry.groupid = KGSL_PERFCOUNTER_GROUP_LRZ;
+    entry.countable = 18;
+    kgsl_perfcounter_read req;
+    req.reads = &entry;
+    req.count = 1;
+    EXPECT_EQ(dev_.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_READ, &req),
+              -KGSL_EINVAL);
+}
+
+TEST_F(KgslDeviceTest, NullPointersAreEfault)
+{
+    const int fd = dev_.open({100, "untrusted_app"});
+    EXPECT_EQ(dev_.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_GET, nullptr),
+              -KGSL_EFAULT);
+    kgsl_perfcounter_read req;
+    req.reads = nullptr;
+    req.count = 3;
+    EXPECT_EQ(dev_.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_READ, &req),
+              -KGSL_EFAULT);
+}
+
+TEST_F(KgslDeviceTest, UnknownRequestIsEinval)
+{
+    const int fd = dev_.open({100, "untrusted_app"});
+    int dummy = 0;
+    EXPECT_EQ(dev_.ioctl(fd, 0xDEAD, &dummy), -KGSL_EINVAL);
+}
+
+TEST_F(KgslDeviceTest, ReadsSeeGlobalGpuWork)
+{
+    const int fd = openReserved();
+    EXPECT_EQ(readPixel(fd), 0u);
+    // Work submitted by *other* processes (the UI) is visible — the
+    // leak the paper exploits.
+    const SimTime end = engine_.submit(quad());
+    eq_.runUntil(end + 1_ms);
+    EXPECT_EQ(readPixel(fd), 64u * 64u);
+}
+
+TEST_F(KgslDeviceTest, GetReturnsRegisterOffsets)
+{
+    const int fd = dev_.open({100, "untrusted_app"});
+    kgsl_perfcounter_get get;
+    get.groupid = KGSL_PERFCOUNTER_GROUP_RAS;
+    get.countable = 4;
+    ASSERT_EQ(dev_.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_GET, &get), 0);
+    EXPECT_NE(get.offset, 0u);
+    EXPECT_NE(get.offset_hi, get.offset);
+}
+
+TEST_F(KgslDeviceTest, PutReleasesReservation)
+{
+    const int fd = openReserved();
+    kgsl_perfcounter_put put;
+    put.groupid = KGSL_PERFCOUNTER_GROUP_LRZ;
+    put.countable = 18;
+    EXPECT_EQ(dev_.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_PUT, &put), 0);
+    // Reading after PUT is rejected again.
+    kgsl_perfcounter_read_group entry;
+    entry.groupid = KGSL_PERFCOUNTER_GROUP_LRZ;
+    entry.countable = 18;
+    kgsl_perfcounter_read req;
+    req.reads = &entry;
+    req.count = 1;
+    EXPECT_EQ(dev_.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_READ, &req),
+              -KGSL_EINVAL);
+}
+
+TEST_F(KgslDeviceTest, IoctlCountAccumulates)
+{
+    const std::uint64_t before = dev_.ioctlCount();
+    const int fd = openReserved();
+    readPixel(fd);
+    readPixel(fd);
+    EXPECT_EQ(dev_.ioctlCount(), before + 3); // 1 GET + 2 READ
+}
+
+TEST_F(KgslDeviceTest, RbacDeniesUntrustedPerfcounterIoctls)
+{
+    const RbacPolicy rbac;
+    dev_.setPolicy(rbac);
+    const int fd = dev_.open({100, "untrusted_app"});
+    ASSERT_GE(fd, 0); // rendering path must keep working
+    kgsl_perfcounter_get get;
+    get.groupid = KGSL_PERFCOUNTER_GROUP_LRZ;
+    get.countable = 18;
+    EXPECT_EQ(dev_.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_GET, &get),
+              -KGSL_EPERM);
+}
+
+TEST_F(KgslDeviceTest, RbacAllowsProfilerRole)
+{
+    const RbacPolicy rbac;
+    dev_.setPolicy(rbac);
+    const int fd = dev_.open({50, "gpu_profiler"});
+    kgsl_perfcounter_get get;
+    get.groupid = KGSL_PERFCOUNTER_GROUP_LRZ;
+    get.countable = 18;
+    EXPECT_EQ(dev_.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_GET, &get), 0);
+}
+
+TEST_F(KgslDeviceTest, BusyPercentageNode)
+{
+    EXPECT_NEAR(dev_.gpuBusyPercentage(), 0.0, 1e-9);
+    engine_.submitCompute(100_ms);
+    eq_.runUntil(eq_.now() + 50_ms);
+    EXPECT_GT(dev_.gpuBusyPercentage(), 50.0);
+}
+
+TEST(KgslHardwareTest, ImplementedCountables)
+{
+    // All Table 1 selections exist...
+    for (std::size_t i = 0; i < gpu::kNumSelectedCounters; ++i) {
+        const auto id = gpu::counterId(gpu::SelectedCounter(i));
+        EXPECT_TRUE(hardwareImplementsCounter(id.group, id.countable));
+    }
+    // ...plus neighbouring countables for enumeration, but not
+    // arbitrary ids.
+    EXPECT_TRUE(
+        hardwareImplementsCounter(KGSL_PERFCOUNTER_GROUP_LRZ, 0));
+    EXPECT_FALSE(
+        hardwareImplementsCounter(KGSL_PERFCOUNTER_GROUP_LRZ, 60));
+    EXPECT_FALSE(hardwareImplementsCounter(0x77, 0));
+}
+
+TEST(KgslIoctlCodesTest, EncodingMatchesLinuxLayout)
+{
+    // _IOWR('\x09', 0x38, struct kgsl_perfcounter_get)
+    EXPECT_EQ(IOCTL_KGSL_PERFCOUNTER_GET & 0xff, 0x38u);
+    EXPECT_EQ((IOCTL_KGSL_PERFCOUNTER_GET >> 8) & 0xff, 0x09u);
+    EXPECT_EQ((IOCTL_KGSL_PERFCOUNTER_GET >> 16) & 0x3fff,
+              sizeof(kgsl_perfcounter_get));
+    EXPECT_EQ(IOCTL_KGSL_PERFCOUNTER_READ & 0xff, 0x3Bu);
+}
+
+} // namespace
+} // namespace gpusc::kgsl

@@ -1,0 +1,57 @@
+/** @file Unit tests for the SELinux-style policies. */
+
+#include <gtest/gtest.h>
+
+#include "kgsl/msm_kgsl.h"
+#include "kgsl/policy.h"
+
+namespace gpusc::kgsl {
+namespace {
+
+TEST(StockPolicyTest, AllowsEverything)
+{
+    const StockPolicy p;
+    const ProcessContext untrusted{100, "untrusted_app"};
+    EXPECT_TRUE(p.allowOpen(untrusted));
+    EXPECT_TRUE(p.allowIoctl(untrusted, IOCTL_KGSL_PERFCOUNTER_GET));
+    EXPECT_TRUE(p.allowIoctl(untrusted, IOCTL_KGSL_PERFCOUNTER_READ));
+    EXPECT_EQ(p.name(), "stock");
+}
+
+TEST(RbacPolicyTest, FiltersOnlyPerfcounterIoctls)
+{
+    const RbacPolicy p;
+    const ProcessContext untrusted{100, "untrusted_app"};
+    // PC ioctls denied...
+    EXPECT_FALSE(p.allowIoctl(untrusted, IOCTL_KGSL_PERFCOUNTER_GET));
+    EXPECT_FALSE(p.allowIoctl(untrusted, IOCTL_KGSL_PERFCOUNTER_PUT));
+    EXPECT_FALSE(p.allowIoctl(untrusted, IOCTL_KGSL_PERFCOUNTER_READ));
+    // ...but rendering ioctls and open() keep working, so graphics
+    // drivers are unaffected (the paper's practicality requirement).
+    EXPECT_TRUE(p.allowIoctl(untrusted, 0x1234));
+    EXPECT_TRUE(p.allowOpen(untrusted));
+}
+
+TEST(RbacPolicyTest, WhitelistedRolesPass)
+{
+    const RbacPolicy p;
+    EXPECT_TRUE(p.allowIoctl({1, "gpu_profiler"},
+                             IOCTL_KGSL_PERFCOUNTER_READ));
+    EXPECT_TRUE(p.allowIoctl({2, "platform_app"},
+                             IOCTL_KGSL_PERFCOUNTER_GET));
+    EXPECT_FALSE(
+        p.allowIoctl({3, "shell"}, IOCTL_KGSL_PERFCOUNTER_GET));
+}
+
+TEST(RbacPolicyTest, CustomRoleSet)
+{
+    const RbacPolicy p({"my_special_role"});
+    EXPECT_TRUE(p.allowIoctl({1, "my_special_role"},
+                             IOCTL_KGSL_PERFCOUNTER_READ));
+    EXPECT_FALSE(p.allowIoctl({1, "gpu_profiler"},
+                              IOCTL_KGSL_PERFCOUNTER_READ));
+    EXPECT_EQ(p.name(), "rbac");
+}
+
+} // namespace
+} // namespace gpusc::kgsl

@@ -1,0 +1,217 @@
+/** @file Unit tests for the ML kit. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ml/knn.h"
+#include "ml/naive_bayes.h"
+#include "ml/nearest_centroid.h"
+#include "ml/random_forest.h"
+#include "util/rng.h"
+
+namespace gpusc::ml {
+namespace {
+
+/** Three well-separated Gaussian blobs in 2D. */
+Dataset
+blobs(std::uint64_t seed, int perClass, double spread)
+{
+    Rng rng(seed);
+    const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+    Dataset d;
+    for (int c = 0; c < 3; ++c)
+        for (int i = 0; i < perClass; ++i)
+            d.add({centers[c][0] + rng.normal(0, spread),
+                   centers[c][1] + rng.normal(0, spread)},
+                  c);
+    return d;
+}
+
+TEST(DatasetTest, Shape)
+{
+    const Dataset d = blobs(1, 5, 0.5);
+    EXPECT_EQ(d.size(), 15u);
+    EXPECT_EQ(d.dims(), 2u);
+    EXPECT_EQ(d.numClasses(), 3);
+}
+
+TEST(DatasetTest, EmptyDataset)
+{
+    Dataset d;
+    EXPECT_EQ(d.size(), 0u);
+    EXPECT_EQ(d.dims(), 0u);
+    EXPECT_EQ(d.numClasses(), 0);
+}
+
+TEST(NearestCentroidTest, MatchReportsDistance)
+{
+    NearestCentroid nc;
+    nc.fit(blobs(2, 20, 0.3));
+    const auto m = nc.match({10.0, 0.0});
+    EXPECT_EQ(m.label, 1);
+    EXPECT_LT(m.distance, 1.0);
+    const auto far = nc.match({100.0, 100.0});
+    EXPECT_GT(far.distance, 50.0);
+}
+
+TEST(NearestCentroidTest, CentroidsAreClassMeans)
+{
+    Dataset d;
+    d.add({0.0, 0.0}, 0);
+    d.add({2.0, 4.0}, 0);
+    d.add({10.0, 10.0}, 1);
+    NearestCentroid nc;
+    nc.fit(d);
+    ASSERT_EQ(nc.centroids().size(), 2u);
+    EXPECT_DOUBLE_EQ(nc.centroids()[0][0], 1.0);
+    EXPECT_DOUBLE_EQ(nc.centroids()[0][1], 2.0);
+}
+
+TEST(NearestCentroidTest, LoadBypassesTraining)
+{
+    NearestCentroid nc;
+    nc.load({{0.0, 0.0}, {5.0, 5.0}}, {7, 9});
+    EXPECT_EQ(nc.predict({0.2, -0.1}), 7);
+    EXPECT_EQ(nc.predict({4.9, 5.3}), 9);
+}
+
+TEST(NearestCentroidDeathTest, LoadMismatchPanics)
+{
+    NearestCentroid nc;
+    EXPECT_DEATH(nc.load({{0.0}}, {1, 2}), "centroids");
+}
+
+TEST(KnnTest, NeighboursVote)
+{
+    Dataset d;
+    // Two of class 0 near origin, one of class 1 slightly farther.
+    d.add({0.0}, 0);
+    d.add({0.2}, 0);
+    d.add({0.3}, 1);
+    d.add({10.0}, 1);
+    Knn knn(3);
+    knn.fit(d);
+    EXPECT_EQ(knn.predict({0.1}), 0); // 2-vs-1 among the 3 nearest
+}
+
+TEST(KnnTest, KOneIsNearestNeighbour)
+{
+    Dataset d;
+    d.add({0.0}, 0);
+    d.add({1.0}, 1);
+    Knn knn(1);
+    knn.fit(d);
+    EXPECT_EQ(knn.predict({0.4}), 0);
+    EXPECT_EQ(knn.predict({0.6}), 1);
+}
+
+TEST(KnnDeathTest, ZeroKPanics)
+{
+    EXPECT_DEATH(Knn knn(0), "positive");
+}
+
+TEST(NaiveBayesTest, UsesVariancePerClass)
+{
+    // Class 0 is tight around 0, class 1 is wide around 0: a point at
+    // 3 is far in class-0 sigmas but near in class-1 sigmas.
+    Rng rng(5);
+    Dataset d;
+    for (int i = 0; i < 200; ++i) {
+        d.add({rng.normal(0.0, 0.5)}, 0);
+        d.add({rng.normal(0.0, 5.0)}, 1);
+    }
+    GaussianNaiveBayes nb;
+    nb.fit(d);
+    EXPECT_EQ(nb.predict({0.05}), 0);
+    EXPECT_EQ(nb.predict({4.0}), 1);
+}
+
+TEST(RandomForestTest, LearnsNonAxisAlignedBoundary)
+{
+    Rng rng(7);
+    Dataset train, test;
+    for (int i = 0; i < 400; ++i) {
+        const double x = rng.uniform(-1, 1), y = rng.uniform(-1, 1);
+        (i % 2 ? train : test).add({x, y}, x + y > 0 ? 1 : 0);
+    }
+    RandomForest rf;
+    rf.fit(train);
+    EXPECT_GT(rf.accuracy(test), 0.9);
+}
+
+TEST(DecisionTreeTest, PerfectlySeparableDataFits)
+{
+    const Dataset d = blobs(11, 30, 0.2);
+    DecisionTree tree;
+    tree.fit(d);
+    EXPECT_DOUBLE_EQ(tree.accuracy(d), 1.0);
+    EXPECT_GE(tree.depth(), 2u);
+}
+
+TEST(DecisionTreeTest, SingleClassIsLeaf)
+{
+    Dataset d;
+    d.add({1.0}, 4);
+    d.add({2.0}, 4);
+    DecisionTree tree;
+    tree.fit(d);
+    EXPECT_EQ(tree.depth(), 1u);
+    EXPECT_EQ(tree.predict({99.0}), 4);
+}
+
+/** All classifiers must nail cleanly separated blobs. */
+class ClassifierSweep : public ::testing::TestWithParam<int>
+{
+  protected:
+    std::unique_ptr<Classifier>
+    make() const
+    {
+        switch (GetParam()) {
+          case 0:
+            return std::make_unique<NearestCentroid>();
+          case 1:
+            return std::make_unique<GaussianNaiveBayes>();
+          case 2:
+            return std::make_unique<Knn>(3);
+          default:
+            return std::make_unique<RandomForest>();
+        }
+    }
+};
+
+TEST_P(ClassifierSweep, SeparableBlobsClassifyCleanly)
+{
+    auto clf = make();
+    clf->fit(blobs(21, 40, 0.5));
+    EXPECT_GT(clf->accuracy(blobs(22, 15, 0.5)), 0.95)
+        << clf->name();
+}
+
+TEST_P(ClassifierSweep, OverlappingBlobsDegrade)
+{
+    auto clf = make();
+    clf->fit(blobs(23, 40, 8.0)); // heavy overlap
+    const double acc = clf->accuracy(blobs(24, 15, 8.0));
+    EXPECT_LT(acc, 0.95) << clf->name();
+    EXPECT_GT(acc, 0.2) << clf->name(); // still beats random-ish
+}
+
+TEST_P(ClassifierSweep, DeterministicPredictions)
+{
+    auto a = make();
+    auto b = make();
+    a->fit(blobs(25, 30, 1.0));
+    b->fit(blobs(25, 30, 1.0));
+    Rng rng(26);
+    for (int i = 0; i < 50; ++i) {
+        const FeatureVec x{rng.uniform(-5, 15), rng.uniform(-5, 15)};
+        EXPECT_EQ(a->predict(x), b->predict(x)) << a->name();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClassifiers, ClassifierSweep,
+                         ::testing::Values(0, 1, 2, 3));
+
+} // namespace
+} // namespace gpusc::ml

@@ -1,0 +1,138 @@
+/** @file Unit tests for the discrete-event kernel. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/event_queue.h"
+
+namespace gpusc {
+namespace {
+
+using namespace gpusc::sim_literals;
+
+TEST(EventQueueTest, StartsEmptyAtTimeZero)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now().ns(), 0);
+    EXPECT_EQ(eq.nextTime(), SimTime::max());
+}
+
+TEST(EventQueueTest, DispatchesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30_ms, [&] { order.push_back(3); });
+    eq.schedule(10_ms, [&] { order.push_back(1); });
+    eq.schedule(20_ms, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30_ms);
+}
+
+TEST(EventQueueTest, FifoTieBreaking)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(10_ms, [&order, i] { order.push_back(i); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue eq;
+    SimTime fired;
+    eq.schedule(10_ms, [&] {
+        eq.scheduleAfter(5_ms, [&] { fired = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 15_ms);
+}
+
+TEST(EventQueueTest, CancelPreventsDispatch)
+{
+    EventQueue eq;
+    bool fired = false;
+    const EventId id = eq.schedule(10_ms, [&] { fired = true; });
+    eq.cancel(id);
+    eq.run();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(eq.dispatched(), 0u);
+}
+
+TEST(EventQueueTest, CancelFiredEventIsNoop)
+{
+    EventQueue eq;
+    const EventId id = eq.schedule(1_ms, [] {});
+    eq.run();
+    eq.cancel(id); // must not crash or corrupt
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueueTest, RunUntilHorizonLeavesLaterEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(10_ms, [&] { ++count; });
+    eq.schedule(20_ms, [&] { ++count; });
+    eq.runUntil(15_ms);
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(eq.now(), 15_ms); // time advances to the horizon
+    eq.run();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueueTest, EventAtHorizonRuns)
+{
+    EventQueue eq;
+    bool fired = false;
+    eq.schedule(10_ms, [&] { fired = true; });
+    eq.runUntil(10_ms);
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 10)
+            eq.scheduleAfter(1_ms, chain);
+    };
+    eq.scheduleAfter(1_ms, chain);
+    eq.run();
+    EXPECT_EQ(depth, 10);
+    EXPECT_EQ(eq.now(), 10_ms);
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled)
+{
+    EventQueue eq;
+    const EventId early = eq.schedule(5_ms, [] {});
+    eq.schedule(10_ms, [] {});
+    eq.cancel(early);
+    EXPECT_EQ(eq.nextTime(), 10_ms);
+}
+
+TEST(EventQueueTest, DispatchedCounts)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.schedule(SimTime::fromMs(i + 1), [] {});
+    eq.run();
+    EXPECT_EQ(eq.dispatched(), 7u);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10_ms, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(5_ms, [] {}), "before now");
+}
+
+} // namespace
+} // namespace gpusc

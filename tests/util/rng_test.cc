@@ -1,0 +1,212 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+
+namespace gpusc {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(RngTest, UniformIntInclusiveAndCoversRange)
+{
+    Rng rng(11);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const std::int64_t v = rng.uniformInt(3, 7);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 7);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntSingleton)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.uniformInt(9, 9), 9);
+}
+
+TEST(RngDeathTest, UniformIntEmptyRangePanics)
+{
+    Rng rng(3);
+    EXPECT_DEATH((void)rng.uniformInt(5, 4), "empty range");
+}
+
+TEST(RngTest, BernoulliFrequency)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, BernoulliDegenerate)
+{
+    Rng rng(13);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(RngTest, NormalMoments)
+{
+    Rng rng(17);
+    double sum = 0.0, sumSq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal(5.0, 2.0);
+        sum += x;
+        sumSq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sumSq / n - mean * mean;
+    EXPECT_NEAR(mean, 5.0, 0.1);
+    EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, ExponentialMean)
+{
+    Rng rng(19);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.exponential(3.0);
+        EXPECT_GE(x, 0.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(RngTest, LogNormalMatchesMoments)
+{
+    Rng rng(23);
+    double sum = 0.0, sumSq = 0.0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.logNormalByMoments(100.0, 25.0);
+        EXPECT_GT(x, 0.0);
+        sum += x;
+        sumSq += x * x;
+    }
+    const double mean = sum / n;
+    const double sd = std::sqrt(sumSq / n - mean * mean);
+    EXPECT_NEAR(mean, 100.0, 1.5);
+    EXPECT_NEAR(sd, 25.0, 2.0);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights)
+{
+    Rng rng(29);
+    const double weights[] = {1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 8000; ++i)
+        ++counts[rng.weightedIndex(weights)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(double(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+TEST(RngTest, ShuffleIsPermutation)
+{
+    Rng rng(31);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<int> orig = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, PickReturnsElement)
+{
+    Rng rng(37);
+    const std::vector<int> v{10, 20, 30};
+    for (int i = 0; i < 50; ++i) {
+        const int p = rng.pick(v);
+        EXPECT_TRUE(p == 10 || p == 20 || p == 30);
+    }
+}
+
+TEST(RngTest, ForkIsIndependent)
+{
+    Rng a(41);
+    Rng child = a.fork();
+    // The child must not replay the parent's stream.
+    Rng b(41);
+    (void)b.next(); // parent consumed one draw creating the child
+    int same = 0;
+    for (int i = 0; i < 50; ++i)
+        same += child.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+/** Property sweep: statistics hold across seeds. */
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngSeedSweep, UniformMeanIsHalf)
+{
+    Rng rng(GetParam());
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST_P(RngSeedSweep, UniformIntIsUnbiased)
+{
+    Rng rng(GetParam());
+    long long sum = 0;
+    for (int i = 0; i < 10000; ++i)
+        sum += rng.uniformInt(0, 9);
+    EXPECT_NEAR(sum / 10000.0, 4.5, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1, 2, 42, 1234567,
+                                           0xdeadbeef));
+
+} // namespace
+} // namespace gpusc

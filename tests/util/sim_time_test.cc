@@ -1,0 +1,100 @@
+/** @file Unit tests for SimTime. */
+
+#include <gtest/gtest.h>
+
+#include "util/sim_time.h"
+
+namespace gpusc {
+namespace {
+
+using namespace gpusc::sim_literals;
+
+TEST(SimTimeTest, DefaultIsZero)
+{
+    EXPECT_EQ(SimTime().ns(), 0);
+}
+
+TEST(SimTimeTest, FactoryConversions)
+{
+    EXPECT_EQ(SimTime::fromNs(1500).ns(), 1500);
+    EXPECT_EQ(SimTime::fromUs(2).ns(), 2000);
+    EXPECT_EQ(SimTime::fromMs(3).ns(), 3000000);
+    EXPECT_EQ(SimTime::fromSeconds(1.5).ns(), 1500000000);
+}
+
+TEST(SimTimeTest, TruncatingAccessors)
+{
+    const SimTime t = SimTime::fromNs(1999999);
+    EXPECT_EQ(t.us(), 1999);
+    EXPECT_EQ(t.ms(), 1);
+    EXPECT_DOUBLE_EQ(t.seconds(), 1999999e-9);
+    EXPECT_DOUBLE_EQ(t.millis(), 1.999999);
+}
+
+TEST(SimTimeTest, Literals)
+{
+    EXPECT_EQ((5_ns).ns(), 5);
+    EXPECT_EQ((5_us).ns(), 5000);
+    EXPECT_EQ((5_ms).ns(), 5000000);
+    EXPECT_EQ((5_s).ns(), 5000000000LL);
+}
+
+TEST(SimTimeTest, Arithmetic)
+{
+    EXPECT_EQ((3_ms + 2_ms).ms(), 5);
+    EXPECT_EQ((3_ms - 2_ms).ms(), 1);
+    EXPECT_EQ((3_ms * 4).ms(), 12);
+    EXPECT_EQ((12_ms / 4).ms(), 3);
+    SimTime t = 1_ms;
+    t += 2_ms;
+    EXPECT_EQ(t.ms(), 3);
+    t -= 1_ms;
+    EXPECT_EQ(t.ms(), 2);
+}
+
+TEST(SimTimeTest, Comparisons)
+{
+    EXPECT_LT(1_ms, 2_ms);
+    EXPECT_LE(2_ms, 2_ms);
+    EXPECT_GT(3_ms, 2_ms);
+    EXPECT_EQ(1000_us, 1_ms);
+    EXPECT_NE(1_ns, 2_ns);
+}
+
+TEST(SimTimeTest, Scaled)
+{
+    EXPECT_EQ((10_ms).scaled(0.5).ms(), 5);
+    EXPECT_EQ((10_ns).scaled(1.25).ns(), 13); // rounds to nearest
+}
+
+TEST(SimTimeTest, NegativeSpans)
+{
+    const SimTime d = 1_ms - 3_ms;
+    EXPECT_EQ(d.ns(), -2000000);
+    EXPECT_LT(d, SimTime());
+}
+
+TEST(SimTimeTest, MaxActsAsInfinity)
+{
+    EXPECT_GT(SimTime::max(), SimTime::fromSeconds(1e9));
+}
+
+TEST(SimTimeTest, ToStringPicksUnits)
+{
+    EXPECT_EQ(SimTime::fromNs(12).toString(), "12ns");
+    EXPECT_NE(SimTime::fromUs(12).toString().find("us"),
+              std::string::npos);
+    EXPECT_NE(SimTime::fromMs(12).toString().find("ms"),
+              std::string::npos);
+    EXPECT_NE(SimTime::fromSeconds(12).toString().find("s"),
+              std::string::npos);
+}
+
+TEST(SimTimeTest, FromSecondsRounds)
+{
+    EXPECT_EQ(SimTime::fromSeconds(1e-9 * 0.6).ns(), 1);
+    EXPECT_EQ(SimTime::fromSeconds(1e-9 * 0.4).ns(), 0);
+}
+
+} // namespace
+} // namespace gpusc

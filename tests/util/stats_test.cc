@@ -1,0 +1,134 @@
+/** @file Unit tests for the statistics helpers. */
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace gpusc {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatTest, KnownValues)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12); // sample variance
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, SingleValueHasZeroVariance)
+{
+    RunningStat s;
+    s.add(3.5);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 3.5);
+    EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(SamplesTest, QuantilesInterpolate)
+{
+    Samples s;
+    for (double x : {1.0, 2.0, 3.0, 4.0, 5.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+    EXPECT_DOUBLE_EQ(s.median(), 3.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.125), 1.5);
+}
+
+TEST(SamplesTest, MeanAndStddev)
+{
+    Samples s;
+    for (double x : {2.0, 4.0, 6.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+}
+
+TEST(SamplesTest, EmptyIsSafe)
+{
+    Samples s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(SamplesDeathTest, QuantileOutOfRangePanics)
+{
+    Samples s;
+    s.add(1.0);
+    EXPECT_DEATH((void)s.quantile(1.5), "outside");
+}
+
+TEST(HistogramTest, BinsAndCounts)
+{
+    Histogram h(0.0, 10.0, 5);
+    for (double x : {0.5, 1.5, 2.5, 2.6, 9.9})
+        h.add(x);
+    EXPECT_EQ(h.bins(), 5u);
+    EXPECT_EQ(h.binCount(0), 2u); // [0,2)
+    EXPECT_EQ(h.binCount(1), 2u); // [2,4)
+    EXPECT_EQ(h.binCount(4), 1u); // [8,10)
+    EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdgeBins)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-5.0);
+    h.add(50.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+}
+
+TEST(HistogramTest, FractionBelow)
+{
+    Histogram h(0.0, 100.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(double(i * 10)); // 0,10,...,90
+    EXPECT_DOUBLE_EQ(h.fractionBelow(50.0), 0.5);
+    EXPECT_DOUBLE_EQ(h.fractionBelow(1000.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.fractionBelow(0.0), 0.0);
+}
+
+TEST(HistogramTest, BinEdges)
+{
+    Histogram h(10.0, 20.0, 4);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(0), 12.5);
+    EXPECT_DOUBLE_EQ(h.binLow(3), 17.5);
+}
+
+TEST(HistogramTest, RenderContainsBars)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.1);
+    h.add(0.2);
+    const std::string out = h.render(10);
+    EXPECT_NE(out.find('#'), std::string::npos);
+    EXPECT_NE(out.find('\n'), std::string::npos);
+}
+
+TEST(HistogramDeathTest, BadRangePanics)
+{
+    EXPECT_DEATH(Histogram(1.0, 1.0, 4), "bad range");
+    EXPECT_DEATH(Histogram(0.0, 1.0, 0), "bad range");
+}
+
+} // namespace
+} // namespace gpusc

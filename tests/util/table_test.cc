@@ -1,0 +1,64 @@
+/** @file Unit tests for the table renderer. */
+
+#include <gtest/gtest.h>
+
+#include "util/table.h"
+
+namespace gpusc {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| name"), std::string::npos);
+    EXPECT_NE(out.find("| alpha"), std::string::npos);
+    EXPECT_NE(out.find("| 22"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, ColumnsAlign)
+{
+    Table t({"h", "x"});
+    t.addRow({"longcell", "1"});
+    const std::string out = t.render();
+    // Every line between separators must have the same length.
+    std::size_t lineLen = std::string::npos;
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+        const std::size_t end = out.find('\n', pos);
+        const std::size_t len = end - pos;
+        if (lineLen == std::string::npos)
+            lineLen = len;
+        EXPECT_EQ(len, lineLen);
+        pos = end + 1;
+    }
+}
+
+TEST(TableTest, NumFormatsDecimals)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(TableTest, PctFormatsRatio)
+{
+    EXPECT_EQ(Table::pct(0.5), "50.0%");
+    EXPECT_EQ(Table::pct(0.123, 2), "12.30%");
+}
+
+TEST(TableDeathTest, RowArityMismatchPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "cells");
+}
+
+TEST(TableDeathTest, EmptyHeaderPanics)
+{
+    EXPECT_DEATH(Table({}), "empty header");
+}
+
+} // namespace
+} // namespace gpusc

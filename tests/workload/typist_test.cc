@@ -1,0 +1,145 @@
+/** @file Unit tests for the typist and session drivers. */
+
+#include <gtest/gtest.h>
+
+#include "workload/load.h"
+#include "workload/session.h"
+#include "workload/typist.h"
+
+namespace gpusc::workload {
+namespace {
+
+using namespace gpusc::sim_literals;
+
+android::DeviceConfig
+quietConfig()
+{
+    android::DeviceConfig cfg;
+    cfg.notificationMeanInterval = SimTime();
+    return cfg;
+}
+
+void
+runToDone(android::Device &dev, const Typist &typist)
+{
+    const SimTime deadline = dev.eq().now() + SimTime::fromSeconds(120);
+    while (!typist.done() && dev.eq().now() < deadline)
+        dev.runFor(100_ms);
+    ASSERT_TRUE(typist.done());
+}
+
+TEST(TypistTest, CommitsEveryCharacter)
+{
+    android::Device dev(quietConfig());
+    dev.launchTargetApp();
+    Typist typist(dev, TypingModel::forVolunteer(0, 1), 2);
+    typist.type("hello", 100_ms);
+    runToDone(dev, typist);
+    EXPECT_EQ(dev.app().textLength(), 5u);
+    EXPECT_EQ(typist.pressTimes().size(), 5u);
+}
+
+TEST(TypistTest, MixedCaseAndSymbolsCommitCorrectly)
+{
+    android::Device dev(quietConfig());
+    dev.launchTargetApp();
+    Typist typist(dev, TypingModel::forVolunteer(1, 3), 4);
+    typist.type("aB3,x", 100_ms);
+    runToDone(dev, typist);
+    EXPECT_EQ(dev.app().textLength(), 5u);
+    // Page switches add physical presses beyond the 5 characters.
+    EXPECT_GT(typist.physicalPresses(), 5u);
+}
+
+TEST(TypistTest, PressTimesAreStrictlyOrdered)
+{
+    android::Device dev(quietConfig());
+    dev.launchTargetApp();
+    Typist typist(dev, TypingModel::forVolunteer(2, 5), 6);
+    typist.type("abcdef", 100_ms);
+    runToDone(dev, typist);
+    const auto &times = typist.pressTimes();
+    for (std::size_t i = 1; i < times.size(); ++i)
+        EXPECT_GT(times[i], times[i - 1]);
+}
+
+TEST(TypistTest, CorrectionsRestoreTheIntendedText)
+{
+    android::Device dev(quietConfig());
+    dev.launchTargetApp();
+    Typist typist(dev, TypingModel::forVolunteer(0, 7), 8);
+    typist.setTypoProb(0.5); // lots of corrections
+    typist.type("secret", 100_ms);
+    runToDone(dev, typist);
+    // Whatever detours happened, the committed field must end with
+    // exactly the intended text length.
+    EXPECT_EQ(dev.app().textLength(), 6u);
+}
+
+TEST(TypistTest, DoneCallbackFires)
+{
+    android::Device dev(quietConfig());
+    dev.launchTargetApp();
+    Typist typist(dev, TypingModel::forVolunteer(0, 9), 10);
+    bool done = false;
+    typist.type("ab", 50_ms, [&] { done = true; });
+    runToDone(dev, typist);
+    EXPECT_TRUE(done);
+}
+
+TEST(TypistDeathTest, OverlappingRunsPanic)
+{
+    android::Device dev(quietConfig());
+    dev.launchTargetApp();
+    Typist typist(dev, TypingModel::forVolunteer(0, 11), 12);
+    typist.type("abc", 100_ms);
+    EXPECT_DEATH(typist.type("def", 100_ms), "previous run");
+}
+
+TEST(GpuLoadGeneratorTest, RaisesBusyPercentage)
+{
+    android::Device dev(quietConfig());
+    dev.boot();
+    GpuLoadGenerator load(dev, 0.5, 13);
+    load.start();
+    dev.runFor(1_s);
+    EXPECT_GT(dev.kgsl().gpuBusyPercentage(), 25.0);
+    load.stop();
+    dev.runFor(1_s);
+    EXPECT_LT(dev.kgsl().gpuBusyPercentage(), 10.0);
+}
+
+TEST(GpuLoadGeneratorTest, ComputeWorkLeavesCountersAlone)
+{
+    android::Device dev(quietConfig());
+    dev.boot();
+    const auto before = dev.engine().readAll();
+    GpuLoadGenerator load(dev, 0.75, 14);
+    load.start();
+    dev.runFor(2_s);
+    EXPECT_EQ(dev.engine().readAll(), before);
+}
+
+TEST(SessionDriverTest, ProducesEpisodesAndFinishes)
+{
+    android::Device dev(quietConfig());
+    SessionConfig cfg;
+    cfg.numInputs = 2;
+    cfg.freeUseDuration = 2_s;
+    cfg.seed = 15;
+    SessionDriver session(dev, cfg);
+    session.start();
+    const SimTime deadline = SimTime::fromSeconds(180);
+    while (!session.done() && dev.eq().now() < deadline)
+        dev.runFor(500_ms);
+    ASSERT_TRUE(session.done());
+    ASSERT_EQ(session.episodes().size(), 2u);
+    for (const InputEpisode &ep : session.episodes()) {
+        EXPECT_GE(ep.truth.size(), cfg.minLen);
+        EXPECT_LE(ep.truth.size(), cfg.maxLen);
+        EXPECT_GT(ep.end, ep.start);
+    }
+}
+
+} // namespace
+} // namespace gpusc::workload

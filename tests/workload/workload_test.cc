@@ -1,0 +1,178 @@
+/** @file Unit tests for typing models, credentials and load models. */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "workload/credential.h"
+#include "workload/load.h"
+#include "workload/typing_model.h"
+
+namespace gpusc::workload {
+namespace {
+
+TEST(TypingModelTest, FiveVolunteers)
+{
+    EXPECT_EQ(volunteerProfiles().size(), 5u);
+    // Heterogeneity, as in Fig. 16: the extremes differ noticeably.
+    double minInterval = 1e9, maxInterval = 0;
+    for (const auto &v : volunteerProfiles()) {
+        minInterval = std::min(minInterval, v.meanIntervalMs);
+        maxInterval = std::max(maxInterval, v.meanIntervalMs);
+    }
+    EXPECT_GT(maxInterval / minInterval, 1.5);
+}
+
+TEST(TypingModelTest, VolunteerStatsMatchProfile)
+{
+    TypingModel m = TypingModel::forVolunteer(3, 7);
+    double dSum = 0, iSum = 0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) {
+        dSum += m.nextDuration().seconds();
+        iSum += m.nextInterval().seconds();
+    }
+    EXPECT_NEAR(dSum / n * 1000, m.profile().meanDurationMs, 8.0);
+    EXPECT_NEAR(iSum / n * 1000, m.profile().meanIntervalMs, 20.0);
+}
+
+TEST(TypingModelTest, DurationsAreHumanlyPlausible)
+{
+    TypingModel m = TypingModel::forVolunteer(0, 9);
+    for (int i = 0; i < 2000; ++i) {
+        const double d = m.nextDuration().seconds();
+        EXPECT_GE(d, 0.035);
+        EXPECT_LT(d, 0.5);
+    }
+}
+
+TEST(TypingModelDeathTest, BadVolunteerIndexIsFatal)
+{
+    EXPECT_DEATH((void)TypingModel::forVolunteer(9, 1),
+                 "out of range");
+}
+
+class SpeedBandSweep : public ::testing::TestWithParam<TypingSpeed>
+{
+};
+
+TEST_P(SpeedBandSweep, IntervalsRespectTheBand)
+{
+    TypingModel m = TypingModel::forSpeed(GetParam(), 17);
+    for (int i = 0; i < 2000; ++i) {
+        const double s = m.nextInterval().seconds();
+        switch (GetParam()) {
+          case TypingSpeed::Fast:
+            EXPECT_LT(s, kFastMaxIntervalS);
+            break;
+          case TypingSpeed::Medium:
+            EXPECT_GE(s, kFastMaxIntervalS);
+            EXPECT_LE(s, kSlowMinIntervalS);
+            break;
+          case TypingSpeed::Slow:
+            EXPECT_GT(s, kSlowMinIntervalS);
+            break;
+          case TypingSpeed::Mixed:
+            EXPECT_GT(s, 0.0);
+            break;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bands, SpeedBandSweep,
+                         ::testing::Values(TypingSpeed::Fast,
+                                           TypingSpeed::Medium,
+                                           TypingSpeed::Slow,
+                                           TypingSpeed::Mixed));
+
+TEST(TypingModelTest, SlowTypistsHoldKeysLonger)
+{
+    TypingModel fast = TypingModel::forSpeed(TypingSpeed::Fast, 3);
+    TypingModel slow = TypingModel::forSpeed(TypingSpeed::Slow, 3);
+    double fSum = 0, sSum = 0;
+    for (int i = 0; i < 3000; ++i) {
+        fSum += fast.nextDuration().seconds();
+        sSum += slow.nextDuration().seconds();
+    }
+    EXPECT_GT(sSum, fSum * 1.3);
+}
+
+TEST(CredentialTest, ExactLength)
+{
+    CredentialGenerator gen(1);
+    for (std::size_t len : {1u, 8u, 16u, 64u})
+        EXPECT_EQ(gen.next(len).size(), len);
+}
+
+TEST(CredentialTest, OnlyTypableCharacters)
+{
+    CredentialGenerator gen(2);
+    const std::string s = gen.next(2000);
+    for (char c : s) {
+        const bool ok =
+            std::islower(static_cast<unsigned char>(c)) ||
+            std::isupper(static_cast<unsigned char>(c)) ||
+            std::isdigit(static_cast<unsigned char>(c)) ||
+            CredentialGenerator::symbolSet().find(c) !=
+                std::string::npos;
+        EXPECT_TRUE(ok) << "bad char " << int(c);
+    }
+}
+
+TEST(CredentialTest, MixControlsClasses)
+{
+    CredentialGenerator gen(3, CharsetMix::lowerOnly());
+    const std::string s = gen.next(500);
+    for (char c : s)
+        EXPECT_TRUE(std::islower(static_cast<unsigned char>(c)));
+}
+
+TEST(CredentialTest, DefaultMixFrequencies)
+{
+    CredentialGenerator gen(4);
+    const std::string s = gen.next(20000);
+    int lower = 0, digit = 0;
+    for (char c : s) {
+        lower += std::islower(static_cast<unsigned char>(c)) != 0;
+        digit += std::isdigit(static_cast<unsigned char>(c)) != 0;
+    }
+    EXPECT_NEAR(lower / 20000.0, 0.55, 0.03);
+    EXPECT_NEAR(digit / 20000.0, 0.22, 0.03);
+}
+
+TEST(CharGroupTest, Classification)
+{
+    EXPECT_EQ(charGroupOf('a'), CharGroup::Lower);
+    EXPECT_EQ(charGroupOf('Z'), CharGroup::Upper);
+    EXPECT_EQ(charGroupOf('0'), CharGroup::Number);
+    EXPECT_EQ(charGroupOf('#'), CharGroup::Symbol);
+    EXPECT_EQ(charGroupName(CharGroup::Symbol), "symbol");
+}
+
+TEST(CpuLoadModelTest, ZeroLoadNeverDelays)
+{
+    CpuLoadModel m(0.0, 5);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(m.nextWakeupDelay().ns(), 0);
+}
+
+TEST(CpuLoadModelTest, DelayGrowsWithUtilization)
+{
+    CpuLoadModel low(0.25, 5), high(0.9, 5);
+    double lowSum = 0, highSum = 0;
+    for (int i = 0; i < 5000; ++i) {
+        lowSum += low.nextWakeupDelay().seconds();
+        highSum += high.nextWakeupDelay().seconds();
+    }
+    EXPECT_GT(highSum, lowSum * 5.0);
+}
+
+TEST(CpuLoadModelTest, DelaysAreBounded)
+{
+    CpuLoadModel m(0.99, 7);
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_LE(m.nextWakeupDelay().seconds(), 0.301);
+}
+
+} // namespace
+} // namespace gpusc::workload
