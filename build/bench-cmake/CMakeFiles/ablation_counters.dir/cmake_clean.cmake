@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_counters"
+  "../bench/ablation_counters.pdb"
+  "CMakeFiles/ablation_counters.dir/ablation_counters.cpp.o"
+  "CMakeFiles/ablation_counters.dir/ablation_counters.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_offline"
+  "../bench/ablation_offline.pdb"
+  "CMakeFiles/ablation_offline.dir/ablation_offline.cpp.o"
+  "CMakeFiles/ablation_offline.dir/ablation_offline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_online"
+  "../bench/ablation_online.pdb"
+  "CMakeFiles/ablation_online.dir/ablation_online.cpp.o"
+  "CMakeFiles/ablation_online.dir/ablation_online.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_recognition"
+  "../bench/ablation_recognition.pdb"
+  "CMakeFiles/ablation_recognition.dir/ablation_recognition.cpp.o"
+  "CMakeFiles/ablation_recognition.dir/ablation_recognition.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_recognition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_pc_trace"
+  "../bench/fig05_pc_trace.pdb"
+  "CMakeFiles/fig05_pc_trace.dir/fig05_pc_trace.cpp.o"
+  "CMakeFiles/fig05_pc_trace.dir/fig05_pc_trace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_pc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_key_scatter"
+  "../bench/fig06_key_scatter.pdb"
+  "CMakeFiles/fig06_key_scatter.dir/fig06_key_scatter.cpp.o"
+  "CMakeFiles/fig06_key_scatter.dir/fig06_key_scatter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_key_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_app_switch"
+  "../bench/fig13_app_switch.pdb"
+  "CMakeFiles/fig13_app_switch.dir/fig13_app_switch.cpp.o"
+  "CMakeFiles/fig13_app_switch.dir/fig13_app_switch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_app_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

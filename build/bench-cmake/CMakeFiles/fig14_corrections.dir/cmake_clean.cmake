@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_corrections"
+  "../bench/fig14_corrections.pdb"
+  "CMakeFiles/fig14_corrections.dir/fig14_corrections.cpp.o"
+  "CMakeFiles/fig14_corrections.dir/fig14_corrections.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_corrections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_typing_model"
+  "../bench/fig16_typing_model.pdb"
+  "CMakeFiles/fig16_typing_model.dir/fig16_typing_model.cpp.o"
+  "CMakeFiles/fig16_typing_model.dir/fig16_typing_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_typing_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

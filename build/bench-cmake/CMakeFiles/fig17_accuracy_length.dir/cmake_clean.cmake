@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_accuracy_length"
+  "../bench/fig17_accuracy_length.pdb"
+  "CMakeFiles/fig17_accuracy_length.dir/fig17_accuracy_length.cpp.o"
+  "CMakeFiles/fig17_accuracy_length.dir/fig17_accuracy_length.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_accuracy_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_per_key"
+  "../bench/fig18_per_key.pdb"
+  "CMakeFiles/fig18_per_key.dir/fig18_per_key.cpp.o"
+  "CMakeFiles/fig18_per_key.dir/fig18_per_key.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_per_key.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

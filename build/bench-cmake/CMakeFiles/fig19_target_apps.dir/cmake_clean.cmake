@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig19_target_apps"
+  "../bench/fig19_target_apps.pdb"
+  "CMakeFiles/fig19_target_apps.dir/fig19_target_apps.cpp.o"
+  "CMakeFiles/fig19_target_apps.dir/fig19_target_apps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_target_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

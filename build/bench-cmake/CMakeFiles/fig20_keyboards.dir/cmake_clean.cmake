@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig20_keyboards"
+  "../bench/fig20_keyboards.pdb"
+  "CMakeFiles/fig20_keyboards.dir/fig20_keyboards.cpp.o"
+  "CMakeFiles/fig20_keyboards.dir/fig20_keyboards.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_keyboards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

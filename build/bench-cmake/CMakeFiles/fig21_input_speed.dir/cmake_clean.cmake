@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig21_input_speed"
+  "../bench/fig21_input_speed.pdb"
+  "CMakeFiles/fig21_input_speed.dir/fig21_input_speed.cpp.o"
+  "CMakeFiles/fig21_input_speed.dir/fig21_input_speed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_input_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig22_system_load"
+  "../bench/fig22_system_load.pdb"
+  "CMakeFiles/fig22_system_load.dir/fig22_system_load.cpp.o"
+  "CMakeFiles/fig22_system_load.dir/fig22_system_load.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_system_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig23_sampling_interval"
+  "../bench/fig23_sampling_interval.pdb"
+  "CMakeFiles/fig23_sampling_interval.dir/fig23_sampling_interval.cpp.o"
+  "CMakeFiles/fig23_sampling_interval.dir/fig23_sampling_interval.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_sampling_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

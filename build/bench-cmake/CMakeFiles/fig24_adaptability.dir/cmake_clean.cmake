@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig24_adaptability"
+  "../bench/fig24_adaptability.pdb"
+  "CMakeFiles/fig24_adaptability.dir/fig24_adaptability.cpp.o"
+  "CMakeFiles/fig24_adaptability.dir/fig24_adaptability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_adaptability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

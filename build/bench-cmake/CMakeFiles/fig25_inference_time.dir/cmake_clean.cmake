@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig25_inference_time"
+  "../bench/fig25_inference_time.pdb"
+  "CMakeFiles/fig25_inference_time.dir/fig25_inference_time.cpp.o"
+  "CMakeFiles/fig25_inference_time.dir/fig25_inference_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig25_inference_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

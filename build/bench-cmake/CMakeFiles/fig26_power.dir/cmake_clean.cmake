@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig26_power"
+  "../bench/fig26_power.pdb"
+  "CMakeFiles/fig26_power.dir/fig26_power.cpp.o"
+  "CMakeFiles/fig26_power.dir/fig26_power.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig26_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig27_28_practical"
+  "../bench/fig27_28_practical.pdb"
+  "CMakeFiles/fig27_28_practical.dir/fig27_28_practical.cpp.o"
+  "CMakeFiles/fig27_28_practical.dir/fig27_28_practical.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig27_28_practical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab02_baseline"
+  "../bench/tab02_baseline.pdb"
+  "CMakeFiles/tab02_baseline.dir/tab02_baseline.cpp.o"
+  "CMakeFiles/tab02_baseline.dir/tab02_baseline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/credential_theft.dir/credential_theft.cpp.o"
+  "CMakeFiles/credential_theft.dir/credential_theft.cpp.o.d"
+  "credential_theft"
+  "credential_theft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/credential_theft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

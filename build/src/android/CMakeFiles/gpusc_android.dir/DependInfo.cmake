@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/android/app.cc" "src/android/CMakeFiles/gpusc_android.dir/app.cc.o" "gcc" "src/android/CMakeFiles/gpusc_android.dir/app.cc.o.d"
+  "/root/repo/src/android/device.cc" "src/android/CMakeFiles/gpusc_android.dir/device.cc.o" "gcc" "src/android/CMakeFiles/gpusc_android.dir/device.cc.o.d"
+  "/root/repo/src/android/display.cc" "src/android/CMakeFiles/gpusc_android.dir/display.cc.o" "gcc" "src/android/CMakeFiles/gpusc_android.dir/display.cc.o.d"
+  "/root/repo/src/android/gles.cc" "src/android/CMakeFiles/gpusc_android.dir/gles.cc.o" "gcc" "src/android/CMakeFiles/gpusc_android.dir/gles.cc.o.d"
+  "/root/repo/src/android/ime.cc" "src/android/CMakeFiles/gpusc_android.dir/ime.cc.o" "gcc" "src/android/CMakeFiles/gpusc_android.dir/ime.cc.o.d"
+  "/root/repo/src/android/input.cc" "src/android/CMakeFiles/gpusc_android.dir/input.cc.o" "gcc" "src/android/CMakeFiles/gpusc_android.dir/input.cc.o.d"
+  "/root/repo/src/android/keyboard.cc" "src/android/CMakeFiles/gpusc_android.dir/keyboard.cc.o" "gcc" "src/android/CMakeFiles/gpusc_android.dir/keyboard.cc.o.d"
+  "/root/repo/src/android/other_app.cc" "src/android/CMakeFiles/gpusc_android.dir/other_app.cc.o" "gcc" "src/android/CMakeFiles/gpusc_android.dir/other_app.cc.o.d"
+  "/root/repo/src/android/phone.cc" "src/android/CMakeFiles/gpusc_android.dir/phone.cc.o" "gcc" "src/android/CMakeFiles/gpusc_android.dir/phone.cc.o.d"
+  "/root/repo/src/android/power.cc" "src/android/CMakeFiles/gpusc_android.dir/power.cc.o" "gcc" "src/android/CMakeFiles/gpusc_android.dir/power.cc.o.d"
+  "/root/repo/src/android/status_bar.cc" "src/android/CMakeFiles/gpusc_android.dir/status_bar.cc.o" "gcc" "src/android/CMakeFiles/gpusc_android.dir/status_bar.cc.o.d"
+  "/root/repo/src/android/surface.cc" "src/android/CMakeFiles/gpusc_android.dir/surface.cc.o" "gcc" "src/android/CMakeFiles/gpusc_android.dir/surface.cc.o.d"
+  "/root/repo/src/android/window_manager.cc" "src/android/CMakeFiles/gpusc_android.dir/window_manager.cc.o" "gcc" "src/android/CMakeFiles/gpusc_android.dir/window_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kgsl/CMakeFiles/gpusc_kgsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/gpusc_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfx/CMakeFiles/gpusc_gfx.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gpusc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

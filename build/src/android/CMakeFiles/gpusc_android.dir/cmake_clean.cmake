@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusc_android.dir/app.cc.o"
+  "CMakeFiles/gpusc_android.dir/app.cc.o.d"
+  "CMakeFiles/gpusc_android.dir/device.cc.o"
+  "CMakeFiles/gpusc_android.dir/device.cc.o.d"
+  "CMakeFiles/gpusc_android.dir/display.cc.o"
+  "CMakeFiles/gpusc_android.dir/display.cc.o.d"
+  "CMakeFiles/gpusc_android.dir/gles.cc.o"
+  "CMakeFiles/gpusc_android.dir/gles.cc.o.d"
+  "CMakeFiles/gpusc_android.dir/ime.cc.o"
+  "CMakeFiles/gpusc_android.dir/ime.cc.o.d"
+  "CMakeFiles/gpusc_android.dir/input.cc.o"
+  "CMakeFiles/gpusc_android.dir/input.cc.o.d"
+  "CMakeFiles/gpusc_android.dir/keyboard.cc.o"
+  "CMakeFiles/gpusc_android.dir/keyboard.cc.o.d"
+  "CMakeFiles/gpusc_android.dir/other_app.cc.o"
+  "CMakeFiles/gpusc_android.dir/other_app.cc.o.d"
+  "CMakeFiles/gpusc_android.dir/phone.cc.o"
+  "CMakeFiles/gpusc_android.dir/phone.cc.o.d"
+  "CMakeFiles/gpusc_android.dir/power.cc.o"
+  "CMakeFiles/gpusc_android.dir/power.cc.o.d"
+  "CMakeFiles/gpusc_android.dir/status_bar.cc.o"
+  "CMakeFiles/gpusc_android.dir/status_bar.cc.o.d"
+  "CMakeFiles/gpusc_android.dir/surface.cc.o"
+  "CMakeFiles/gpusc_android.dir/surface.cc.o.d"
+  "CMakeFiles/gpusc_android.dir/window_manager.cc.o"
+  "CMakeFiles/gpusc_android.dir/window_manager.cc.o.d"
+  "libgpusc_android.a"
+  "libgpusc_android.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusc_android.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/app_switch_detector.cc" "src/attack/CMakeFiles/gpusc_attack.dir/app_switch_detector.cc.o" "gcc" "src/attack/CMakeFiles/gpusc_attack.dir/app_switch_detector.cc.o.d"
+  "/root/repo/src/attack/correction_tracker.cc" "src/attack/CMakeFiles/gpusc_attack.dir/correction_tracker.cc.o" "gcc" "src/attack/CMakeFiles/gpusc_attack.dir/correction_tracker.cc.o.d"
+  "/root/repo/src/attack/eavesdropper.cc" "src/attack/CMakeFiles/gpusc_attack.dir/eavesdropper.cc.o" "gcc" "src/attack/CMakeFiles/gpusc_attack.dir/eavesdropper.cc.o.d"
+  "/root/repo/src/attack/launch_detector.cc" "src/attack/CMakeFiles/gpusc_attack.dir/launch_detector.cc.o" "gcc" "src/attack/CMakeFiles/gpusc_attack.dir/launch_detector.cc.o.d"
+  "/root/repo/src/attack/model_store.cc" "src/attack/CMakeFiles/gpusc_attack.dir/model_store.cc.o" "gcc" "src/attack/CMakeFiles/gpusc_attack.dir/model_store.cc.o.d"
+  "/root/repo/src/attack/online_inference.cc" "src/attack/CMakeFiles/gpusc_attack.dir/online_inference.cc.o" "gcc" "src/attack/CMakeFiles/gpusc_attack.dir/online_inference.cc.o.d"
+  "/root/repo/src/attack/sampler.cc" "src/attack/CMakeFiles/gpusc_attack.dir/sampler.cc.o" "gcc" "src/attack/CMakeFiles/gpusc_attack.dir/sampler.cc.o.d"
+  "/root/repo/src/attack/signature.cc" "src/attack/CMakeFiles/gpusc_attack.dir/signature.cc.o" "gcc" "src/attack/CMakeFiles/gpusc_attack.dir/signature.cc.o.d"
+  "/root/repo/src/attack/trace_inference.cc" "src/attack/CMakeFiles/gpusc_attack.dir/trace_inference.cc.o" "gcc" "src/attack/CMakeFiles/gpusc_attack.dir/trace_inference.cc.o.d"
+  "/root/repo/src/attack/trainer.cc" "src/attack/CMakeFiles/gpusc_attack.dir/trainer.cc.o" "gcc" "src/attack/CMakeFiles/gpusc_attack.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/android/CMakeFiles/gpusc_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/kgsl/CMakeFiles/gpusc_kgsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/gpusc_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/gpusc_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gpusc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfx/CMakeFiles/gpusc_gfx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusc_attack.dir/app_switch_detector.cc.o"
+  "CMakeFiles/gpusc_attack.dir/app_switch_detector.cc.o.d"
+  "CMakeFiles/gpusc_attack.dir/correction_tracker.cc.o"
+  "CMakeFiles/gpusc_attack.dir/correction_tracker.cc.o.d"
+  "CMakeFiles/gpusc_attack.dir/eavesdropper.cc.o"
+  "CMakeFiles/gpusc_attack.dir/eavesdropper.cc.o.d"
+  "CMakeFiles/gpusc_attack.dir/launch_detector.cc.o"
+  "CMakeFiles/gpusc_attack.dir/launch_detector.cc.o.d"
+  "CMakeFiles/gpusc_attack.dir/model_store.cc.o"
+  "CMakeFiles/gpusc_attack.dir/model_store.cc.o.d"
+  "CMakeFiles/gpusc_attack.dir/online_inference.cc.o"
+  "CMakeFiles/gpusc_attack.dir/online_inference.cc.o.d"
+  "CMakeFiles/gpusc_attack.dir/sampler.cc.o"
+  "CMakeFiles/gpusc_attack.dir/sampler.cc.o.d"
+  "CMakeFiles/gpusc_attack.dir/signature.cc.o"
+  "CMakeFiles/gpusc_attack.dir/signature.cc.o.d"
+  "CMakeFiles/gpusc_attack.dir/trace_inference.cc.o"
+  "CMakeFiles/gpusc_attack.dir/trace_inference.cc.o.d"
+  "CMakeFiles/gpusc_attack.dir/trainer.cc.o"
+  "CMakeFiles/gpusc_attack.dir/trainer.cc.o.d"
+  "libgpusc_attack.a"
+  "libgpusc_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusc_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

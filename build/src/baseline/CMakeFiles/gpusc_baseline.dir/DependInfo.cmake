@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/desktop_baseline.cc" "src/baseline/CMakeFiles/gpusc_baseline.dir/desktop_baseline.cc.o" "gcc" "src/baseline/CMakeFiles/gpusc_baseline.dir/desktop_baseline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/gpusc_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfx/CMakeFiles/gpusc_gfx.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gpusc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

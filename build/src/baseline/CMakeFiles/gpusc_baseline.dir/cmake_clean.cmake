@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusc_baseline.dir/desktop_baseline.cc.o"
+  "CMakeFiles/gpusc_baseline.dir/desktop_baseline.cc.o.d"
+  "libgpusc_baseline.a"
+  "libgpusc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

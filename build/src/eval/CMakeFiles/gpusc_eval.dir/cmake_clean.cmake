@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusc_eval.dir/experiment.cc.o"
+  "CMakeFiles/gpusc_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/gpusc_eval.dir/metrics.cc.o"
+  "CMakeFiles/gpusc_eval.dir/metrics.cc.o.d"
+  "libgpusc_eval.a"
+  "libgpusc_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusc_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

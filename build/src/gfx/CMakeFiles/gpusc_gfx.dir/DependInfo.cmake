@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gfx/font.cc" "src/gfx/CMakeFiles/gpusc_gfx.dir/font.cc.o" "gcc" "src/gfx/CMakeFiles/gpusc_gfx.dir/font.cc.o.d"
+  "/root/repo/src/gfx/geometry.cc" "src/gfx/CMakeFiles/gpusc_gfx.dir/geometry.cc.o" "gcc" "src/gfx/CMakeFiles/gpusc_gfx.dir/geometry.cc.o.d"
+  "/root/repo/src/gfx/scene.cc" "src/gfx/CMakeFiles/gpusc_gfx.dir/scene.cc.o" "gcc" "src/gfx/CMakeFiles/gpusc_gfx.dir/scene.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gpusc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

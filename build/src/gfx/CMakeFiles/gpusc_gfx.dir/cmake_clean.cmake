@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusc_gfx.dir/font.cc.o"
+  "CMakeFiles/gpusc_gfx.dir/font.cc.o.d"
+  "CMakeFiles/gpusc_gfx.dir/geometry.cc.o"
+  "CMakeFiles/gpusc_gfx.dir/geometry.cc.o.d"
+  "CMakeFiles/gpusc_gfx.dir/scene.cc.o"
+  "CMakeFiles/gpusc_gfx.dir/scene.cc.o.d"
+  "libgpusc_gfx.a"
+  "libgpusc_gfx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusc_gfx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/counters.cc" "src/gpu/CMakeFiles/gpusc_gpu.dir/counters.cc.o" "gcc" "src/gpu/CMakeFiles/gpusc_gpu.dir/counters.cc.o.d"
+  "/root/repo/src/gpu/model.cc" "src/gpu/CMakeFiles/gpusc_gpu.dir/model.cc.o" "gcc" "src/gpu/CMakeFiles/gpusc_gpu.dir/model.cc.o.d"
+  "/root/repo/src/gpu/pipeline.cc" "src/gpu/CMakeFiles/gpusc_gpu.dir/pipeline.cc.o" "gcc" "src/gpu/CMakeFiles/gpusc_gpu.dir/pipeline.cc.o.d"
+  "/root/repo/src/gpu/render_engine.cc" "src/gpu/CMakeFiles/gpusc_gpu.dir/render_engine.cc.o" "gcc" "src/gpu/CMakeFiles/gpusc_gpu.dir/render_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gfx/CMakeFiles/gpusc_gfx.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gpusc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusc_gpu.dir/counters.cc.o"
+  "CMakeFiles/gpusc_gpu.dir/counters.cc.o.d"
+  "CMakeFiles/gpusc_gpu.dir/model.cc.o"
+  "CMakeFiles/gpusc_gpu.dir/model.cc.o.d"
+  "CMakeFiles/gpusc_gpu.dir/pipeline.cc.o"
+  "CMakeFiles/gpusc_gpu.dir/pipeline.cc.o.d"
+  "CMakeFiles/gpusc_gpu.dir/render_engine.cc.o"
+  "CMakeFiles/gpusc_gpu.dir/render_engine.cc.o.d"
+  "libgpusc_gpu.a"
+  "libgpusc_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusc_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusc_kgsl.dir/device.cc.o"
+  "CMakeFiles/gpusc_kgsl.dir/device.cc.o.d"
+  "CMakeFiles/gpusc_kgsl.dir/policy.cc.o"
+  "CMakeFiles/gpusc_kgsl.dir/policy.cc.o.d"
+  "libgpusc_kgsl.a"
+  "libgpusc_kgsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusc_kgsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusc_mitigation.dir/obfuscation.cc.o"
+  "CMakeFiles/gpusc_mitigation.dir/obfuscation.cc.o.d"
+  "libgpusc_mitigation.a"
+  "libgpusc_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusc_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

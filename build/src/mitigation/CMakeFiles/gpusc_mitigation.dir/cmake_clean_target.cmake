@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpusc_mitigation.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/classifier.cc" "src/ml/CMakeFiles/gpusc_ml.dir/classifier.cc.o" "gcc" "src/ml/CMakeFiles/gpusc_ml.dir/classifier.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/ml/CMakeFiles/gpusc_ml.dir/knn.cc.o" "gcc" "src/ml/CMakeFiles/gpusc_ml.dir/knn.cc.o.d"
+  "/root/repo/src/ml/naive_bayes.cc" "src/ml/CMakeFiles/gpusc_ml.dir/naive_bayes.cc.o" "gcc" "src/ml/CMakeFiles/gpusc_ml.dir/naive_bayes.cc.o.d"
+  "/root/repo/src/ml/nearest_centroid.cc" "src/ml/CMakeFiles/gpusc_ml.dir/nearest_centroid.cc.o" "gcc" "src/ml/CMakeFiles/gpusc_ml.dir/nearest_centroid.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/ml/CMakeFiles/gpusc_ml.dir/random_forest.cc.o" "gcc" "src/ml/CMakeFiles/gpusc_ml.dir/random_forest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gpusc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

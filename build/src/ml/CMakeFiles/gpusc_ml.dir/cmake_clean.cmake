@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusc_ml.dir/classifier.cc.o"
+  "CMakeFiles/gpusc_ml.dir/classifier.cc.o.d"
+  "CMakeFiles/gpusc_ml.dir/knn.cc.o"
+  "CMakeFiles/gpusc_ml.dir/knn.cc.o.d"
+  "CMakeFiles/gpusc_ml.dir/naive_bayes.cc.o"
+  "CMakeFiles/gpusc_ml.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/gpusc_ml.dir/nearest_centroid.cc.o"
+  "CMakeFiles/gpusc_ml.dir/nearest_centroid.cc.o.d"
+  "CMakeFiles/gpusc_ml.dir/random_forest.cc.o"
+  "CMakeFiles/gpusc_ml.dir/random_forest.cc.o.d"
+  "libgpusc_ml.a"
+  "libgpusc_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusc_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

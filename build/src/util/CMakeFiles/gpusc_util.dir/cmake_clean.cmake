@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusc_util.dir/event_queue.cc.o"
+  "CMakeFiles/gpusc_util.dir/event_queue.cc.o.d"
+  "CMakeFiles/gpusc_util.dir/logging.cc.o"
+  "CMakeFiles/gpusc_util.dir/logging.cc.o.d"
+  "CMakeFiles/gpusc_util.dir/rng.cc.o"
+  "CMakeFiles/gpusc_util.dir/rng.cc.o.d"
+  "CMakeFiles/gpusc_util.dir/sim_time.cc.o"
+  "CMakeFiles/gpusc_util.dir/sim_time.cc.o.d"
+  "CMakeFiles/gpusc_util.dir/stats.cc.o"
+  "CMakeFiles/gpusc_util.dir/stats.cc.o.d"
+  "CMakeFiles/gpusc_util.dir/table.cc.o"
+  "CMakeFiles/gpusc_util.dir/table.cc.o.d"
+  "libgpusc_util.a"
+  "libgpusc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

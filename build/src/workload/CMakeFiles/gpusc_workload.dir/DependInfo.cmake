@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/credential.cc" "src/workload/CMakeFiles/gpusc_workload.dir/credential.cc.o" "gcc" "src/workload/CMakeFiles/gpusc_workload.dir/credential.cc.o.d"
+  "/root/repo/src/workload/load.cc" "src/workload/CMakeFiles/gpusc_workload.dir/load.cc.o" "gcc" "src/workload/CMakeFiles/gpusc_workload.dir/load.cc.o.d"
+  "/root/repo/src/workload/session.cc" "src/workload/CMakeFiles/gpusc_workload.dir/session.cc.o" "gcc" "src/workload/CMakeFiles/gpusc_workload.dir/session.cc.o.d"
+  "/root/repo/src/workload/typing_model.cc" "src/workload/CMakeFiles/gpusc_workload.dir/typing_model.cc.o" "gcc" "src/workload/CMakeFiles/gpusc_workload.dir/typing_model.cc.o.d"
+  "/root/repo/src/workload/typist.cc" "src/workload/CMakeFiles/gpusc_workload.dir/typist.cc.o" "gcc" "src/workload/CMakeFiles/gpusc_workload.dir/typist.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/android/CMakeFiles/gpusc_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gpusc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/kgsl/CMakeFiles/gpusc_kgsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/gpusc_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfx/CMakeFiles/gpusc_gfx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

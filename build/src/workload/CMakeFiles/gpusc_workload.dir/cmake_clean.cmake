@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusc_workload.dir/credential.cc.o"
+  "CMakeFiles/gpusc_workload.dir/credential.cc.o.d"
+  "CMakeFiles/gpusc_workload.dir/load.cc.o"
+  "CMakeFiles/gpusc_workload.dir/load.cc.o.d"
+  "CMakeFiles/gpusc_workload.dir/session.cc.o"
+  "CMakeFiles/gpusc_workload.dir/session.cc.o.d"
+  "CMakeFiles/gpusc_workload.dir/typing_model.cc.o"
+  "CMakeFiles/gpusc_workload.dir/typing_model.cc.o.d"
+  "CMakeFiles/gpusc_workload.dir/typist.cc.o"
+  "CMakeFiles/gpusc_workload.dir/typist.cc.o.d"
+  "libgpusc_workload.a"
+  "libgpusc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

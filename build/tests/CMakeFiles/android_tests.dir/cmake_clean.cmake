@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/android_tests.dir/android/app_test.cc.o"
+  "CMakeFiles/android_tests.dir/android/app_test.cc.o.d"
+  "CMakeFiles/android_tests.dir/android/device_test.cc.o"
+  "CMakeFiles/android_tests.dir/android/device_test.cc.o.d"
+  "CMakeFiles/android_tests.dir/android/gles_local_test.cc.o"
+  "CMakeFiles/android_tests.dir/android/gles_local_test.cc.o.d"
+  "CMakeFiles/android_tests.dir/android/ime_test.cc.o"
+  "CMakeFiles/android_tests.dir/android/ime_test.cc.o.d"
+  "CMakeFiles/android_tests.dir/android/input_test.cc.o"
+  "CMakeFiles/android_tests.dir/android/input_test.cc.o.d"
+  "CMakeFiles/android_tests.dir/android/keyboard_test.cc.o"
+  "CMakeFiles/android_tests.dir/android/keyboard_test.cc.o.d"
+  "CMakeFiles/android_tests.dir/android/misc_test.cc.o"
+  "CMakeFiles/android_tests.dir/android/misc_test.cc.o.d"
+  "CMakeFiles/android_tests.dir/android/surface_test.cc.o"
+  "CMakeFiles/android_tests.dir/android/surface_test.cc.o.d"
+  "CMakeFiles/android_tests.dir/android/window_manager_test.cc.o"
+  "CMakeFiles/android_tests.dir/android/window_manager_test.cc.o.d"
+  "android_tests"
+  "android_tests.pdb"
+  "android_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/android_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

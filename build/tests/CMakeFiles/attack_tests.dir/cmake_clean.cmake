@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_tests.dir/attack/cross_device_test.cc.o"
+  "CMakeFiles/attack_tests.dir/attack/cross_device_test.cc.o.d"
+  "CMakeFiles/attack_tests.dir/attack/detectors_test.cc.o"
+  "CMakeFiles/attack_tests.dir/attack/detectors_test.cc.o.d"
+  "CMakeFiles/attack_tests.dir/attack/end_to_end_test.cc.o"
+  "CMakeFiles/attack_tests.dir/attack/end_to_end_test.cc.o.d"
+  "CMakeFiles/attack_tests.dir/attack/launch_detector_test.cc.o"
+  "CMakeFiles/attack_tests.dir/attack/launch_detector_test.cc.o.d"
+  "CMakeFiles/attack_tests.dir/attack/model_store_test.cc.o"
+  "CMakeFiles/attack_tests.dir/attack/model_store_test.cc.o.d"
+  "CMakeFiles/attack_tests.dir/attack/online_inference_test.cc.o"
+  "CMakeFiles/attack_tests.dir/attack/online_inference_test.cc.o.d"
+  "CMakeFiles/attack_tests.dir/attack/sampler_test.cc.o"
+  "CMakeFiles/attack_tests.dir/attack/sampler_test.cc.o.d"
+  "CMakeFiles/attack_tests.dir/attack/signature_test.cc.o"
+  "CMakeFiles/attack_tests.dir/attack/signature_test.cc.o.d"
+  "CMakeFiles/attack_tests.dir/attack/trace_inference_test.cc.o"
+  "CMakeFiles/attack_tests.dir/attack/trace_inference_test.cc.o.d"
+  "attack_tests"
+  "attack_tests.pdb"
+  "attack_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

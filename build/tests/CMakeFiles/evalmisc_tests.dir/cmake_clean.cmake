@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evalmisc_tests.dir/eval/experiment_test.cc.o"
+  "CMakeFiles/evalmisc_tests.dir/eval/experiment_test.cc.o.d"
+  "CMakeFiles/evalmisc_tests.dir/eval/metrics_property_test.cc.o"
+  "CMakeFiles/evalmisc_tests.dir/eval/metrics_property_test.cc.o.d"
+  "CMakeFiles/evalmisc_tests.dir/eval/metrics_test.cc.o"
+  "CMakeFiles/evalmisc_tests.dir/eval/metrics_test.cc.o.d"
+  "CMakeFiles/evalmisc_tests.dir/misc/baseline_mitigation_test.cc.o"
+  "CMakeFiles/evalmisc_tests.dir/misc/baseline_mitigation_test.cc.o.d"
+  "evalmisc_tests"
+  "evalmisc_tests.pdb"
+  "evalmisc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evalmisc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

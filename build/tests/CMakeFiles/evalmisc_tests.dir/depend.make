@@ -1,0 +1,2 @@
+# Empty dependencies file for evalmisc_tests.
+# This may be replaced when dependencies are built.

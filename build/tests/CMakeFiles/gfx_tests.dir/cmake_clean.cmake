@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfx_tests.dir/gfx/font_test.cc.o"
+  "CMakeFiles/gfx_tests.dir/gfx/font_test.cc.o.d"
+  "CMakeFiles/gfx_tests.dir/gfx/geometry_test.cc.o"
+  "CMakeFiles/gfx_tests.dir/gfx/geometry_test.cc.o.d"
+  "CMakeFiles/gfx_tests.dir/gfx/scene_test.cc.o"
+  "CMakeFiles/gfx_tests.dir/gfx/scene_test.cc.o.d"
+  "gfx_tests"
+  "gfx_tests.pdb"
+  "gfx_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfx_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

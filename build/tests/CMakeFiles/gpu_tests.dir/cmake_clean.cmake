@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_tests.dir/gpu/counters_test.cc.o"
+  "CMakeFiles/gpu_tests.dir/gpu/counters_test.cc.o.d"
+  "CMakeFiles/gpu_tests.dir/gpu/model_test.cc.o"
+  "CMakeFiles/gpu_tests.dir/gpu/model_test.cc.o.d"
+  "CMakeFiles/gpu_tests.dir/gpu/pipeline_property_test.cc.o"
+  "CMakeFiles/gpu_tests.dir/gpu/pipeline_property_test.cc.o.d"
+  "CMakeFiles/gpu_tests.dir/gpu/pipeline_test.cc.o"
+  "CMakeFiles/gpu_tests.dir/gpu/pipeline_test.cc.o.d"
+  "CMakeFiles/gpu_tests.dir/gpu/render_engine_test.cc.o"
+  "CMakeFiles/gpu_tests.dir/gpu/render_engine_test.cc.o.d"
+  "gpu_tests"
+  "gpu_tests.pdb"
+  "gpu_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgsl_tests.dir/kgsl/device_test.cc.o"
+  "CMakeFiles/kgsl_tests.dir/kgsl/device_test.cc.o.d"
+  "CMakeFiles/kgsl_tests.dir/kgsl/policy_test.cc.o"
+  "CMakeFiles/kgsl_tests.dir/kgsl/policy_test.cc.o.d"
+  "kgsl_tests"
+  "kgsl_tests.pdb"
+  "kgsl_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgsl_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

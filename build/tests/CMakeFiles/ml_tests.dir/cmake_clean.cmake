@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_tests.dir/ml/classifier_test.cc.o"
+  "CMakeFiles/ml_tests.dir/ml/classifier_test.cc.o.d"
+  "ml_tests"
+  "ml_tests.pdb"
+  "ml_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/typist_test.cc" "tests/CMakeFiles/workload_tests.dir/workload/typist_test.cc.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/typist_test.cc.o.d"
+  "/root/repo/tests/workload/workload_test.cc" "tests/CMakeFiles/workload_tests.dir/workload/workload_test.cc.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/gpusc_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/gpusc_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/mitigation/CMakeFiles/gpusc_mitigation.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/gpusc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gpusc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/android/CMakeFiles/gpusc_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/kgsl/CMakeFiles/gpusc_kgsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/gpusc_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/gpusc_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfx/CMakeFiles/gpusc_gfx.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gpusc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

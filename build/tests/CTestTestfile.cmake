@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_tests[1]_include.cmake")
+include("/root/repo/build/tests/gfx_tests[1]_include.cmake")
+include("/root/repo/build/tests/gpu_tests[1]_include.cmake")
+include("/root/repo/build/tests/kgsl_tests[1]_include.cmake")
+include("/root/repo/build/tests/ml_tests[1]_include.cmake")
+include("/root/repo/build/tests/android_tests[1]_include.cmake")
+include("/root/repo/build/tests/workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/attack_tests[1]_include.cmake")
+include("/root/repo/build/tests/evalmisc_tests[1]_include.cmake")
