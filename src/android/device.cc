@@ -127,6 +127,8 @@ Device::switchToOtherApp()
     if (!inTargetApp_)
         return;
     inTargetApp_ = false;
+    if (appSwitchListener_)
+        appSwitchListener_(false, eq_.now());
     wm_->playTransition(kTransitionFrames);
     std::weak_ptr<int> alive = aliveToken_;
     eq_.scheduleAfter(
@@ -145,6 +147,8 @@ Device::switchBackToTargetApp()
 {
     if (inTargetApp_)
         return;
+    if (appSwitchListener_)
+        appSwitchListener_(true, eq_.now());
     wm_->playTransition(kTransitionFrames);
     std::weak_ptr<int> alive = aliveToken_;
     eq_.scheduleAfter(

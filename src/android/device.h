@@ -10,6 +10,7 @@
 #ifndef GPUSC_ANDROID_DEVICE_H
 #define GPUSC_ANDROID_DEVICE_H
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -101,6 +102,13 @@ class Device
 
     bool inTargetApp() const { return inTargetApp_; }
 
+    /** Observe app-switch initiations: ground truth for trace
+     *  recording (true = switching back into the target app). */
+    void setAppSwitchListener(std::function<void(bool, SimTime)> fn)
+    {
+        appSwitchListener_ = std::move(fn);
+    }
+
     /** Advance simulated time. */
     void runFor(SimTime d) { eq_.runUntil(eq_.now() + d); }
     void runUntil(SimTime t) { eq_.runUntil(t); }
@@ -127,6 +135,7 @@ class Device
     std::unique_ptr<OtherAppSurface> otherApp_;
     std::unique_ptr<Ime> ime_;
     std::unique_ptr<PowerModel> power_;
+    std::function<void(bool, SimTime)> appSwitchListener_;
     bool booted_ = false;
     bool inTargetApp_ = false;
     std::shared_ptr<int> aliveToken_;

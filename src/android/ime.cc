@@ -137,6 +137,8 @@ Ime::pressKey(const Key &key, SimTime pressDuration)
 
     // 1. Popup window opens: full IME re-render with the popup on top.
     popup_ = ActivePopup{key, rng_.pick(layout_.spec().animScales)};
+    if (popupListener_)
+        popupListener_(key.ch, eq_.now());
     invalidate();
 
     // Rich popup animation may re-issue an identical frame next vsync.

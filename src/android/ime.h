@@ -21,6 +21,7 @@
 #ifndef GPUSC_ANDROID_IME_H
 #define GPUSC_ANDROID_IME_H
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -51,6 +52,13 @@ class Ime : public Surface
     /** Mitigation §9.1: the user disabled key-press popups. */
     void setPopupsEnabled(bool on) { popupsEnabled_ = on; }
     bool popupsEnabled() const { return popupsEnabled_; }
+
+    /** Observe popup renders: ground truth for trace recording
+     *  (the popup-show redraw is what the attack classifies). */
+    void setPopupListener(std::function<void(char, SimTime)> fn)
+    {
+        popupListener_ = std::move(fn);
+    }
 
     /**
      * Keys that must be pressed, in order, to type @p c given the
@@ -89,6 +97,7 @@ class Ime : public Surface
     KeyboardLayout layout_;
     Rng rng_;
     AppSurface *field_ = nullptr;
+    std::function<void(char, SimTime)> popupListener_;
     KbPage page_ = KbPage::Lower;
     bool popupsEnabled_ = true;
     bool oneShotShift_ = false;

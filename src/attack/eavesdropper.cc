@@ -17,10 +17,10 @@ Eavesdropper::Eavesdropper(android::Device &device,
 
 Eavesdropper::Eavesdropper(android::Device &device,
                            const SignatureModel &model, Params params)
-    : device_(device), params_(params)
+    : device_(&device), params_(params)
 {
     sampler_ = std::make_unique<PcSampler>(
-        device_.kgsl(), device_.attackerContext(), device_.eq(),
+        device_->kgsl(), device_->attackerContext(), device_->eq(),
         params_.samplingInterval);
     sampler_->setListener([this](const Reading &r) { onReading(r); });
     adoptModel(model);
@@ -28,12 +28,23 @@ Eavesdropper::Eavesdropper(android::Device &device,
 
 Eavesdropper::Eavesdropper(android::Device &device,
                            const ModelStore &store, Params params)
-    : device_(device), params_(params), store_(&store)
+    : device_(&device), params_(params), store_(&store)
 {
     sampler_ = std::make_unique<PcSampler>(
-        device_.kgsl(), device_.attackerContext(), device_.eq(),
+        device_->kgsl(), device_->attackerContext(), device_->eq(),
         params_.samplingInterval);
     sampler_->setListener([this](const Reading &r) { onReading(r); });
+}
+
+Eavesdropper::Eavesdropper(const SignatureModel &model, Params params)
+    : params_(params)
+{
+    adoptModel(model);
+}
+
+Eavesdropper::Eavesdropper(const ModelStore &store, Params params)
+    : params_(params), store_(&store)
+{
 }
 
 Eavesdropper::~Eavesdropper() = default;
@@ -82,25 +93,42 @@ Eavesdropper::adoptModel(const SignatureModel &model)
 bool
 Eavesdropper::start()
 {
-    return sampler_->start();
+    return sampler_ ? sampler_->start() : true;
 }
 
 void
 Eavesdropper::stop()
 {
-    sampler_->stop();
+    if (sampler_)
+        sampler_->stop();
 }
 
 void
 Eavesdropper::setWakeupJitter(std::function<SimTime()> fn)
 {
-    sampler_->setWakeupJitter(std::move(fn));
+    if (sampler_)
+        sampler_->setWakeupJitter(std::move(fn));
+}
+
+void
+Eavesdropper::setReadingTap(std::function<void(const Reading &)> fn)
+{
+    if (sampler_)
+        sampler_->setTap(std::move(fn));
+}
+
+void
+Eavesdropper::feedReading(const Reading &r)
+{
+    ++readsFed_;
+    onReading(r);
 }
 
 void
 Eavesdropper::onReading(const Reading &r)
 {
-    device_.power().addSamplerWakeups(1);
+    if (device_)
+        device_->power().addSamplerWakeups(1);
     if (auto change = changes_.onReading(r))
         onChange(*change);
 }
@@ -163,7 +191,8 @@ Eavesdropper::onChange(const PcChange &c)
     const auto t1 = std::chrono::steady_clock::now();
     latencies_.add(
         std::chrono::duration<double, std::micro>(t1 - t0).count());
-    device_.power().addInferences(1);
+    if (device_)
+        device_->power().addInferences(1);
 
     if (!key)
         return;
@@ -217,8 +246,10 @@ Eavesdropper::exfiltrationBytes() const
 std::size_t
 Eavesdropper::rawCounterBytes() const
 {
-    return std::size_t(sampler_->readCount()) *
-           gpu::kNumSelectedCounters * sizeof(std::uint64_t);
+    const std::uint64_t reads =
+        sampler_ ? sampler_->readCount() : readsFed_;
+    return std::size_t(reads) * gpu::kNumSelectedCounters *
+           sizeof(std::uint64_t);
 }
 
 std::string

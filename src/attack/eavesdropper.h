@@ -69,12 +69,34 @@ class Eavesdropper
     Eavesdropper(android::Device &device, const ModelStore &store,
                  Params params);
 
+    /**
+     * Detached (replay) mode: no device, no sampler. Readings are
+     * injected through feedReading() — the entry point used by
+     * trace::TraceReplayer to run recorded counter streams through
+     * the identical inference pipeline offline.
+     */
+    Eavesdropper(const SignatureModel &model, Params params);
+    Eavesdropper(const ModelStore &store, Params params);
+
     ~Eavesdropper();
 
     /** Start the background service. False if the kernel denies the
-     *  counter ioctls (RBAC mitigation). */
+     *  counter ioctls (RBAC mitigation). Detached instances have
+     *  nothing to start and return true. */
     bool start();
     void stop();
+
+    /**
+     * Inject one counter reading, exactly as if the sampler had
+     * produced it. Replayed traces flow through the same change
+     * detection + inference code as live runs, so outputs are
+     * bit-identical for identical reading streams.
+     */
+    void feedReading(const Reading &r);
+
+    /** Observe the live sampler stream (trace recording). No-op in
+     *  detached mode. */
+    void setReadingTap(std::function<void(const Reading &)> fn);
 
     /** Extra wakeup latency source (CPU contention, §7.3). */
     void setWakeupJitter(std::function<SimTime()> fn);
@@ -115,6 +137,7 @@ class Eavesdropper
     const Samples &inferenceLatenciesUs() const { return latencies_; }
 
     const OnlineInference *inference() const { return inference_.get(); }
+    /** Live mode only — detached instances have no sampler. */
     const PcSampler &sampler() const { return *sampler_; }
     const AppSwitchDetector &switchDetector() const
     {
@@ -126,7 +149,10 @@ class Eavesdropper
     }
     /** Raw change trace (only when Params::recordTrace). */
     const std::vector<PcChange> &trace() const { return trace_; }
-    int lastErrno() const { return sampler_->lastErrno(); }
+    int lastErrno() const
+    {
+        return sampler_ ? sampler_->lastErrno() : 0;
+    }
 
   private:
     void onReading(const Reading &r);
@@ -134,11 +160,15 @@ class Eavesdropper
     bool tryRecognize(const PcChange &c);
     void adoptModel(const SignatureModel &model);
 
-    android::Device &device_;
+    /** Null in detached (replay) mode. */
+    android::Device *device_ = nullptr;
     Params params_;
     const ModelStore *store_ = nullptr;
     const SignatureModel *model_ = nullptr;
+    /** Null in detached (replay) mode. */
     std::unique_ptr<PcSampler> sampler_;
+    /** Readings injected through feedReading(). */
+    std::uint64_t readsFed_ = 0;
     ChangeDetector changes_;
     std::unique_ptr<OnlineInference> inference_;
     AppSwitchDetector switchDetector_;

@@ -3,9 +3,18 @@
 #include <cstdio>
 #include <cstring>
 
+#include "util/binary_io.h"
 #include "util/logging.h"
 
 namespace gpusc::attack {
+
+namespace {
+
+/** File envelope magic "GPMS" (GPu Model Store). */
+constexpr std::uint32_t kStoreFileMagic = 0x534d5047;
+constexpr std::uint32_t kStoreFileVersion = 1;
+
+} // namespace
 
 void
 ModelStore::put(SignatureModel model)
@@ -75,26 +84,38 @@ ModelStore::serialize() const
 ModelStore
 ModelStore::deserialize(const std::vector<std::uint8_t> &blob)
 {
-    ModelStore store;
-    std::size_t pos = 0;
-    auto need = [&](std::size_t n) {
-        if (pos + n > blob.size())
-            fatal("ModelStore::deserialize: truncated blob");
-    };
-    need(4);
-    std::uint32_t count;
-    std::memcpy(&count, blob.data() + pos, 4);
-    pos += 4;
-    for (std::uint32_t i = 0; i < count; ++i) {
-        need(4);
-        std::uint32_t len;
-        std::memcpy(&len, blob.data() + pos, 4);
-        pos += 4;
-        need(len);
-        store.put(
-            SignatureModel::deserialize(blob.data() + pos, len));
-        pos += len;
+    std::optional<ModelStore> store = tryDeserialize(blob);
+    if (!store) {
+        warn("ModelStore::deserialize: truncated or corrupt blob "
+             "(%zu bytes) — returning an empty store",
+             blob.size());
+        return ModelStore{};
     }
+    return *std::move(store);
+}
+
+std::optional<ModelStore>
+ModelStore::tryDeserialize(const std::vector<std::uint8_t> &blob)
+{
+    ModelStore store;
+    ByteReader r(blob);
+    const std::uint32_t count = r.u32();
+    if (!r.ok())
+        return std::nullopt;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint32_t len = r.u32();
+        if (!r.ok() || len > r.remaining())
+            return std::nullopt;
+        std::optional<SignatureModel> m =
+            SignatureModel::tryDeserialize(blob.data() + r.pos(),
+                                           len);
+        if (!m)
+            return std::nullopt;
+        r.skip(len);
+        store.put(*std::move(m));
+    }
+    if (!r.atEnd())
+        return std::nullopt; // trailing garbage
     return store;
 }
 
@@ -104,7 +125,14 @@ ModelStore::saveToFile(const std::string &path) const
     FILE *f = std::fopen(path.c_str(), "wb");
     if (!f)
         return false;
-    const std::vector<std::uint8_t> blob = serialize();
+    const std::vector<std::uint8_t> payload = serialize();
+    ByteWriter envelope;
+    envelope.u32(kStoreFileMagic);
+    envelope.u32(kStoreFileVersion);
+    envelope.u64(payload.size());
+    envelope.raw(payload.data(), payload.size());
+    envelope.u32(crc32(payload));
+    const std::vector<std::uint8_t> &blob = envelope.bytes();
     const bool ok =
         std::fwrite(blob.data(), 1, blob.size(), f) == blob.size();
     std::fclose(f);
@@ -114,16 +142,62 @@ ModelStore::saveToFile(const std::string &path) const
 ModelStore
 ModelStore::loadFromFile(const std::string &path)
 {
+    std::optional<ModelStore> store = tryLoadFromFile(path);
+    if (!store) {
+        warn("ModelStore: cannot load '%s' — returning an empty "
+             "store",
+             path.c_str());
+        return ModelStore{};
+    }
+    return *std::move(store);
+}
+
+std::optional<ModelStore>
+ModelStore::tryLoadFromFile(const std::string &path)
+{
     FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        fatal("ModelStore: cannot open '%s'", path.c_str());
+    if (!f) {
+        warn("ModelStore: cannot open '%s'", path.c_str());
+        return std::nullopt;
+    }
     std::vector<std::uint8_t> blob;
     std::uint8_t buf[4096];
     std::size_t n;
     while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
         blob.insert(blob.end(), buf, buf + n);
     std::fclose(f);
-    return deserialize(blob);
+
+    ByteReader r(blob);
+    if (r.u32() != kStoreFileMagic || !r.ok()) {
+        warn("ModelStore: '%s' is not a model-store file",
+             path.c_str());
+        return std::nullopt;
+    }
+    if (r.u32() != kStoreFileVersion || !r.ok()) {
+        warn("ModelStore: '%s' has an unknown version",
+             path.c_str());
+        return std::nullopt;
+    }
+    const std::uint64_t len = r.u64();
+    if (!r.ok() || len + 4 != r.remaining()) {
+        warn("ModelStore: '%s' is truncated", path.c_str());
+        return std::nullopt;
+    }
+    const std::size_t payloadPos = r.pos();
+    r.skip(std::size_t(len));
+    const std::uint32_t storedCrc = r.u32();
+    if (crc32(blob.data() + payloadPos, std::size_t(len)) !=
+        storedCrc) {
+        warn("ModelStore: '%s' failed its CRC check (corrupt file)",
+             path.c_str());
+        return std::nullopt;
+    }
+    std::optional<ModelStore> store = tryDeserialize(
+        {blob.begin() + long(payloadPos),
+         blob.begin() + long(payloadPos + len)});
+    if (!store)
+        warn("ModelStore: '%s' payload is malformed", path.c_str());
+    return store;
 }
 
 ModelStore &

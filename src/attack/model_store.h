@@ -10,6 +10,7 @@
 #define GPUSC_ATTACK_MODEL_STORE_H
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -48,12 +49,27 @@ class ModelStore
 
     /** Serialise the whole store / load it back. */
     std::vector<std::uint8_t> serialize() const;
+    /**
+     * Parse a serialised store. Truncated or corrupt blobs yield an
+     * empty store with a warning log line — never UB or a crash.
+     */
     static ModelStore deserialize(
         const std::vector<std::uint8_t> &blob);
+    /** Like deserialize(), but reports failure as nullopt. */
+    static std::optional<ModelStore> tryDeserialize(
+        const std::vector<std::uint8_t> &blob);
 
-    /** File round trip (the preloaded asset in the APK). */
+    /**
+     * File round trip (the preloaded asset in the APK). Files carry
+     * a CRC-protected envelope, so any flipped byte is detected on
+     * load; loadFromFile returns an empty store (with a warning) on
+     * a missing, truncated or corrupt file.
+     */
     bool saveToFile(const std::string &path) const;
     static ModelStore loadFromFile(const std::string &path);
+    /** Like loadFromFile(), but reports failure as nullopt. */
+    static std::optional<ModelStore> tryLoadFromFile(
+        const std::string &path);
 
     /**
      * The process-wide store used by benches/tests so each device

@@ -96,6 +96,8 @@ PcSampler::tick()
     r.time = eq_.now();
     if (readOnce(dev_, fd_, r.totals)) {
         ++reads_;
+        if (tap_)
+            tap_(r);
         if (listener_)
             listener_(r);
     }

@@ -46,6 +46,17 @@ class PcSampler
         listener_ = std::move(fn);
     }
 
+    /**
+     * Secondary observer invoked before the listener on every
+     * reading. The tap sees exactly the stream the listener consumes,
+     * so a trace recorded here replays bit-identically (trace
+     * capture, see src/trace/).
+     */
+    void setTap(std::function<void(const Reading &)> fn)
+    {
+        tap_ = std::move(fn);
+    }
+
     /** Extra wakeup latency source (CPU-load model). */
     void setWakeupJitter(std::function<SimTime()> fn)
     {
@@ -79,6 +90,7 @@ class PcSampler
     EventQueue &eq_;
     SimTime interval_;
     std::function<void(const Reading &)> listener_;
+    std::function<void(const Reading &)> tap_;
     std::function<SimTime()> wakeupJitter_;
     int fd_ = -1;
     bool running_ = false;

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <limits>
 
+#include "util/binary_io.h"
 #include "util/logging.h"
 
 namespace gpusc::attack {
@@ -143,18 +144,6 @@ put(std::vector<std::uint8_t> &out, const T &v)
     out.insert(out.end(), p, p + sizeof(T));
 }
 
-template <typename T>
-T
-take(const std::uint8_t *&p, const std::uint8_t *end)
-{
-    if (p + sizeof(T) > end)
-        fatal("SignatureModel::deserialize: truncated model blob");
-    T v;
-    std::memcpy(&v, p, sizeof(T));
-    p += sizeof(T);
-    return v;
-}
-
 constexpr std::uint32_t kMagic = 0x47535047; // "GPSG"
 
 } // namespace
@@ -199,44 +188,62 @@ SignatureModel::byteSize() const
 SignatureModel
 SignatureModel::deserialize(const std::uint8_t *data, std::size_t size)
 {
-    const std::uint8_t *p = data;
-    const std::uint8_t *end = data + size;
+    std::optional<SignatureModel> m = tryDeserialize(data, size);
+    if (!m)
+        fatal("SignatureModel::deserialize: truncated or corrupt "
+              "model blob");
+    return *std::move(m);
+}
+
+std::optional<SignatureModel>
+SignatureModel::tryDeserialize(const std::uint8_t *data,
+                               std::size_t size)
+{
+    ByteReader r(data, size);
     SignatureModel m;
-    if (take<std::uint32_t>(p, end) != kMagic)
-        fatal("SignatureModel::deserialize: bad magic");
-    const auto keyLen = take<std::uint16_t>(p, end);
-    if (p + keyLen > end)
-        fatal("SignatureModel::deserialize: truncated key");
-    m.modelKey_.assign(reinterpret_cast<const char *>(p), keyLen);
-    p += keyLen;
-    m.threshold_ = take<float>(p, end);
-    m.echoCutoff_ = take<float>(p, end);
-    m.echoTol_ = take<float>(p, end);
+    if (r.u32() != kMagic || !r.ok())
+        return std::nullopt;
+    {
+        const std::uint16_t keyLen = r.u16();
+        if (!r.ok() || keyLen > r.remaining())
+            return std::nullopt;
+        m.modelKey_.resize(keyLen);
+        r.raw(reinterpret_cast<std::uint8_t *>(m.modelKey_.data()),
+              keyLen);
+    }
+    m.threshold_ = r.f32();
+    m.echoCutoff_ = r.f32();
+    m.echoTol_ = r.f32();
     for (std::int64_t &v : m.echoBase_)
-        v = take<std::int32_t>(p, end);
+        v = r.i32();
     for (std::int64_t &v : m.echoInc_)
-        v = take<std::int32_t>(p, end);
+        v = r.i32();
     for (double &s : m.scale_)
-        s = take<float>(p, end);
-    const auto nBlink = take<std::uint8_t>(p, end);
-    for (std::uint8_t i = 0; i < nBlink; ++i) {
+        s = r.f32();
+    const std::uint8_t nBlink = r.u8();
+    for (std::uint8_t i = 0; r.ok() && i < nBlink; ++i) {
         gpu::CounterVec b{};
         for (std::int64_t &v : b)
-            v = take<std::int32_t>(p, end);
+            v = r.i32();
         m.blinkVariants_.push_back(b);
     }
-    const auto n = take<std::uint16_t>(p, end);
-    for (std::uint16_t i = 0; i < n; ++i) {
+    const std::uint16_t n = r.u16();
+    for (std::uint16_t i = 0; r.ok() && i < n; ++i) {
         LabelSignature sig;
-        const auto len = take<std::uint8_t>(p, end);
-        if (p + len > end)
-            fatal("SignatureModel::deserialize: truncated label");
-        sig.label.assign(reinterpret_cast<const char *>(p), len);
-        p += len;
+        const std::uint8_t len = r.u8();
+        if (!r.ok() || len > r.remaining())
+            return std::nullopt;
+        sig.label.resize(len);
+        r.raw(reinterpret_cast<std::uint8_t *>(sig.label.data()),
+              len);
         for (std::int64_t &v : sig.centroid)
-            v = take<std::int32_t>(p, end);
+            v = r.i32();
         m.sigs_.push_back(std::move(sig));
     }
+    // A short buffer or trailing garbage both mean the blob does not
+    // frame a model of this version.
+    if (!r.ok() || !r.atEnd())
+        return std::nullopt;
     return m;
 }
 

@@ -139,8 +139,13 @@ class SignatureModel
     /** Serialised size in bytes (the Fig.-26-adjacent 3.59 kB claim). */
     std::size_t byteSize() const;
     std::vector<std::uint8_t> serialize() const;
+    /** Aborts on malformed input (trusted, in-process blobs only). */
     static SignatureModel deserialize(const std::uint8_t *data,
                                       std::size_t size);
+    /** Bounds-checked parse of an untrusted blob: nullopt on bad
+     *  magic, truncation or trailing garbage — never UB or abort. */
+    static std::optional<SignatureModel>
+    tryDeserialize(const std::uint8_t *data, std::size_t size);
 
     bool operator==(const SignatureModel &other) const;
 

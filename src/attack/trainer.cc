@@ -194,6 +194,8 @@ OfflineTrainer::train(const android::DeviceConfig &victimCfg) const
 
     TrainingBot bot(dev, fd, params_);
 
+    TrainingCapture cap;
+
     // Measure the cursor-blink change at several cursor positions:
     // with the field focused and the bot idle, the small periodic
     // changes are blink toggles. The cursor's horizontal position
@@ -201,7 +203,7 @@ OfflineTrainer::train(const android::DeviceConfig &victimCfg) const
     // variants are sampled at a few lengths. They serve two purposes:
     // subtraction candidates for classifyRobust(), and a floor under
     // C_th for the residual alignment mismatch.
-    std::vector<gpu::CounterVec> blinkSamples;
+    auto &blinkSamples = cap.blinkSamples;
     auto captureBlinks = [&](int count) {
         for (int i = 0; i < count; ++i) {
             const gpu::CounterVec b = bot.captureNextChange(700);
@@ -224,15 +226,8 @@ OfflineTrainer::train(const android::DeviceConfig &victimCfg) const
         bot.settle();
     }
 
-    std::map<Label, std::vector<gpu::CounterVec>> samples;
-    struct EchoRecord
-    {
-        gpu::CounterVec delta;
-        int epoch;
-        int pressIdx;
-        int textLen; ///< committed characters at capture time
-    };
-    std::vector<EchoRecord> echoes;
+    auto &samples = cap.samples;
+    auto &echoes = cap.echoes;
     int pressesSinceClear = 0;
     int clearEpoch = 0;
     int pressIdx = 0;
@@ -313,9 +308,28 @@ OfflineTrainer::train(const android::DeviceConfig &victimCfg) const
 
     dev.kgsl().close(fd);
 
+    return trainFromCapture(dev.modelKey(), cap);
+}
+
+SignatureModel
+OfflineTrainer::trainFromCapture(const std::string &modelKey,
+                                 const TrainingCapture &capture) const
+{
+    const auto &samples = capture.samples;
+    const auto &blinkSamples = capture.blinkSamples;
+    const auto &echoes = capture.echoes;
+
     // --- Distil the model.
     SignatureModel model;
-    model.setModelKey(dev.modelKey());
+    model.setModelKey(modelKey);
+    if (samples.empty()) {
+        warn("OfflineTrainer: empty capture for '%s'",
+             modelKey.c_str());
+        std::array<double, gpu::kNumSelectedCounters> unit{};
+        unit.fill(1.0);
+        model.setScale(unit);
+        return model;
+    }
 
     // Per-dimension scale: inverse mean magnitude across all samples.
     std::array<double, gpu::kNumSelectedCounters> meanAbs{};

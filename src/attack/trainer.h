@@ -15,10 +15,41 @@
 #ifndef GPUSC_ATTACK_TRAINER_H
 #define GPUSC_ATTACK_TRAINER_H
 
+#include <map>
+#include <string>
+#include <vector>
+
 #include "android/device.h"
 #include "attack/signature.h"
 
 namespace gpusc::attack {
+
+/**
+ * Raw labelled measurements gathered during the offline phase —
+ * either live by the training bot, or harvested from a recorded
+ * trace corpus (trace::TraceCorpus). Distillation into a
+ * SignatureModel is shared between both sources.
+ */
+struct TrainingCapture
+{
+    /** Popup-show counter deltas per label. */
+    std::map<Label, std::vector<gpu::CounterVec>> samples;
+    /** Cursor-blink redraw deltas (subtraction variants). */
+    std::vector<gpu::CounterVec> blinkSamples;
+    /** One harvested field-echo redraw. */
+    struct Echo
+    {
+        gpu::CounterVec delta;
+        /** Field-clear epoch (echoes across clears never pair). */
+        int epoch;
+        /** Running press index (consecutive indices pair for the
+         *  increment fit). */
+        int pressIdx;
+        /** Committed characters at capture time. */
+        int textLen;
+    };
+    std::vector<Echo> echoes;
+};
 
 /** Offline-phase trainer. */
 class OfflineTrainer
@@ -43,6 +74,16 @@ class OfflineTrainer
      * same config is used so echo statistics match.
      */
     SignatureModel train(const android::DeviceConfig &victimCfg) const;
+
+    /**
+     * Distil a signature model from raw labelled measurements. This
+     * is the second half of train(); recorded-corpus training feeds
+     * captures harvested from .gpct files through the identical
+     * distillation (scales, centroids, C_th, echo line).
+     */
+    SignatureModel
+    trainFromCapture(const std::string &modelKey,
+                     const TrainingCapture &capture) const;
 
   private:
     Params params_;

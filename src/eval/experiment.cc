@@ -54,6 +54,48 @@ ExperimentRunner::ExperimentRunner(ExperimentConfig cfg,
                                                  rng_.next());
     typist_->setTypoProb(cfg_.typoProb);
 
+    // Record mode: tap the sampler and the ground-truth input
+    // surfaces before any reading can flow.
+    if (!cfg_.recordTracePath.empty()) {
+        trace::TraceHeader header;
+        header.deviceKey = device_->modelKey();
+        header.device = devCfg;
+        header.samplingInterval = cfg_.attackParams.samplingInterval;
+        header.seed = cfg_.seed;
+        recorder_ = std::make_unique<trace::TraceRecorder>();
+        if (recorder_->open(cfg_.recordTracePath, header) !=
+            trace::TraceError::None) {
+            warn("ExperimentRunner: cannot record to '%s'",
+                 cfg_.recordTracePath.c_str());
+            recorder_.reset();
+        } else {
+            recorder_->attachEavesdropper(*eavesdropper_);
+            typist_->setKeyListener(
+                [this](const workload::Typist::KeyEvent &ev) {
+                    using Kind = workload::Typist::KeyEvent::Kind;
+                    switch (ev.kind) {
+                      case Kind::Char:
+                        recorder_->onKeyPress(ev.time, ev.ch);
+                        break;
+                      case Kind::Backspace:
+                        recorder_->onBackspace(ev.time);
+                        break;
+                      case Kind::PageSwitch:
+                        recorder_->onPageSwitch(ev.time, ev.page);
+                        break;
+                    }
+                });
+            device_->ime().setPopupListener([this](char ch,
+                                                   SimTime t) {
+                recorder_->onPopupShow(t, ch);
+            });
+            device_->setAppSwitchListener(
+                [this](bool toTarget, SimTime t) {
+                    recorder_->onAppSwitch(t, toTarget);
+                });
+        }
+    }
+
     device_->boot();
     if (!eavesdropper_->start())
         warn("ExperimentRunner: attack failed to start (errno %d)",
@@ -70,7 +112,26 @@ ExperimentRunner::ExperimentRunner(ExperimentConfig cfg,
     device_->runFor(1200_ms);
 }
 
-ExperimentRunner::~ExperimentRunner() = default;
+ExperimentRunner::~ExperimentRunner()
+{
+    finishRecording();
+}
+
+trace::TraceError
+ExperimentRunner::finishRecording()
+{
+    if (!recorder_ || !recorder_->recording())
+        return trace::TraceError::None;
+    const trace::TraceError err = recorder_->finish();
+    if (err != trace::TraceError::None)
+        warn("ExperimentRunner: trace recording failed (%s)",
+             trace::traceErrorString(err));
+    else
+        inform("ExperimentRunner: recorded %llu readings to '%s'",
+               (unsigned long long)recorder_->readingCount(),
+               cfg_.recordTracePath.c_str());
+    return err;
+}
 
 TrialResult
 ExperimentRunner::runTrial(const std::string &credential)
@@ -79,6 +140,8 @@ ExperimentRunner::runTrial(const std::string &credential)
     device_->runFor(300_ms);
 
     const SimTime start = device_->eq().now();
+    if (recorder_)
+        recorder_->trialBegin(start, credential);
     bool done = false;
     typist_->type(credential, 100_ms, [&done] { done = true; });
     // Advance until the typist finishes (generous bound: 3 s per key
@@ -92,6 +155,8 @@ ExperimentRunner::runTrial(const std::string &credential)
         panic("ExperimentRunner: typist did not finish");
     device_->runFor(600_ms); // flush trailing echoes/dismissals
     const SimTime end = device_->eq().now();
+    if (recorder_)
+        recorder_->trialEnd(end);
 
     TrialResult r;
     r.truth = credential;

@@ -19,6 +19,7 @@
 #include "attack/eavesdropper.h"
 #include "attack/model_store.h"
 #include "eval/metrics.h"
+#include "trace/trace_recorder.h"
 #include "workload/credential.h"
 #include "workload/load.h"
 #include "workload/typing_model.h"
@@ -50,6 +51,12 @@ struct ExperimentConfig
      */
     std::function<attack::SignatureModel(
         const attack::SignatureModel &)> modelTransform;
+    /**
+     * Record mode: when non-empty, the whole session (counter
+     * readings + ground-truth input events + trial boundaries) is
+     * captured to this .gpct file for offline replay (src/trace/).
+     */
+    std::string recordTracePath;
     std::uint64_t seed = 1;
 };
 
@@ -87,9 +94,23 @@ class ExperimentRunner
     attack::Eavesdropper &eavesdropper() { return *eavesdropper_; }
     const attack::SignatureModel &model() const { return *model_; }
 
+    /**
+     * Close the trace being recorded (record mode only); called
+     * automatically on destruction. @return the first recording IO
+     * error, if any.
+     */
+    trace::TraceError finishRecording();
+
+    /** Active recorder, or null when not in record mode. */
+    const trace::TraceRecorder *recorder() const
+    {
+        return recorder_.get();
+    }
+
   private:
     ExperimentConfig cfg_;
     std::unique_ptr<android::Device> device_;
+    std::unique_ptr<trace::TraceRecorder> recorder_;
     std::optional<attack::SignatureModel> transformedModel_;
     const attack::SignatureModel *model_;
     std::unique_ptr<attack::Eavesdropper> eavesdropper_;

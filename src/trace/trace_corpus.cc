@@ -1,0 +1,230 @@
+#include "trace/trace_corpus.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+
+#include "attack/change_detector.h"
+#include "util/logging.h"
+
+namespace gpusc::trace {
+
+using namespace gpusc::sim_literals;
+
+namespace {
+
+/** Changes with an L1 above this are popup/page redraws; below,
+ *  ambient blinks and echoes (matches the trainer's blink cutoff). */
+constexpr std::int64_t kBigChangeL1 = 5000;
+
+/** A ground-truth popup anchors the first big change within this
+ *  window (popup render lands within 1-2 sampling periods). */
+constexpr SimTime kAnchorWindow = SimTime::fromMs(60);
+
+} // namespace
+
+TraceError
+TraceCorpus::addFile(const std::string &path)
+{
+    TraceInfo info;
+    info.path = path;
+
+    TraceReader reader;
+    TraceError err = reader.open(path);
+    if (err != TraceError::None) {
+        rejected_.emplace_back(path, err);
+        return err;
+    }
+    info.header = reader.header();
+
+    TraceRecord rec;
+    bool eof = false;
+    for (;;) {
+        err = reader.next(rec, eof);
+        if (err != TraceError::None) {
+            rejected_.emplace_back(path, err);
+            return err;
+        }
+        if (eof)
+            break;
+        ++info.stats.records;
+        info.stats.duration =
+            std::max(info.stats.duration, rec.time);
+        switch (rec.kind) {
+          case RecordKind::Reading: ++info.stats.readings; break;
+          case RecordKind::KeyPress: ++info.stats.keyPresses; break;
+          case RecordKind::Backspace: ++info.stats.backspaces; break;
+          case RecordKind::PopupShow: ++info.stats.popupShows; break;
+          case RecordKind::PageSwitch:
+            ++info.stats.pageSwitches;
+            break;
+          case RecordKind::AppSwitch: ++info.stats.appSwitches; break;
+          case RecordKind::TrialBegin: ++info.stats.trials; break;
+          case RecordKind::TrialEnd: break;
+        }
+    }
+    traces_.push_back(std::move(info));
+    return TraceError::None;
+}
+
+TraceError
+TraceCorpus::scanDirectory(const std::string &dir)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec) {
+        warn("TraceCorpus: cannot list '%s': %s", dir.c_str(),
+             ec.message().c_str());
+        return TraceError::IoOpen;
+    }
+    std::vector<std::string> paths;
+    for (const fs::directory_entry &entry : it) {
+        if (!entry.is_regular_file(ec))
+            continue;
+        if (entry.path().extension() == kTraceExtension)
+            paths.push_back(entry.path().string());
+    }
+    // Deterministic corpus order regardless of directory layout.
+    std::sort(paths.begin(), paths.end());
+    for (const std::string &p : paths)
+        if (addFile(p) != TraceError::None)
+            warn("TraceCorpus: skipping corrupt trace '%s' (%s)",
+                 p.c_str(),
+                 traceErrorString(rejected_.back().second));
+    return TraceError::None;
+}
+
+std::vector<const TraceInfo *>
+TraceCorpus::forDevice(const std::string &deviceKey) const
+{
+    std::vector<const TraceInfo *> out;
+    for (const TraceInfo &t : traces_)
+        if (t.header.deviceKey == deviceKey)
+            out.push_back(&t);
+    return out;
+}
+
+std::vector<std::string>
+TraceCorpus::deviceKeys() const
+{
+    std::set<std::string> keys;
+    for (const TraceInfo &t : traces_)
+        keys.insert(t.header.deviceKey);
+    return {keys.begin(), keys.end()};
+}
+
+TraceStats
+TraceCorpus::aggregate(const std::string &deviceKey) const
+{
+    TraceStats sum;
+    for (const TraceInfo &t : traces_) {
+        if (!deviceKey.empty() && t.header.deviceKey != deviceKey)
+            continue;
+        sum.records += t.stats.records;
+        sum.readings += t.stats.readings;
+        sum.keyPresses += t.stats.keyPresses;
+        sum.backspaces += t.stats.backspaces;
+        sum.popupShows += t.stats.popupShows;
+        sum.pageSwitches += t.stats.pageSwitches;
+        sum.appSwitches += t.stats.appSwitches;
+        sum.trials += t.stats.trials;
+        sum.duration += t.stats.duration;
+    }
+    return sum;
+}
+
+attack::TrainingCapture
+TraceCorpus::capture(const std::string &deviceKey) const
+{
+    attack::TrainingCapture cap;
+    for (const TraceInfo *info : forDevice(deviceKey)) {
+        TraceReader reader;
+        if (reader.open(info->path) != TraceError::None)
+            continue; // validated at scan time; lost since
+
+        // Pass over the trace: diff readings into changes and keep
+        // the ground-truth anchors.
+        struct Anchor
+        {
+            SimTime time;
+            attack::Label label;
+        };
+        std::vector<Anchor> anchors;
+        std::vector<attack::PcChange> changes;
+        attack::ChangeDetector detector;
+        TraceRecord rec;
+        bool eof = false;
+        while (reader.next(rec, eof) == TraceError::None && !eof) {
+            switch (rec.kind) {
+              case RecordKind::Reading:
+                if (auto c = detector.onReading(rec.reading))
+                    changes.push_back(*c);
+                break;
+              case RecordKind::PopupShow:
+                anchors.push_back(
+                    {rec.time, attack::Label(1, rec.ch)});
+                break;
+              case RecordKind::PageSwitch:
+                anchors.push_back(
+                    {rec.time, attack::pageLabel(rec.page)});
+                break;
+              default:
+                break;
+            }
+        }
+
+        // Each anchor labels the first big change inside its window;
+        // big changes near no anchor are unlabeled (duplicated popup
+        // frames, app redraws) and small ambient changes far from
+        // any anchor are cursor blinks.
+        std::vector<bool> claimed(changes.size(), false);
+        std::size_t firstCandidate = 0;
+        for (const Anchor &a : anchors) {
+            while (firstCandidate < changes.size() &&
+                   changes[firstCandidate].time <= a.time)
+                ++firstCandidate;
+            for (std::size_t i = firstCandidate; i < changes.size();
+                 ++i) {
+                if (changes[i].time > a.time + kAnchorWindow)
+                    break;
+                if (claimed[i] ||
+                    gpu::l1Norm(changes[i].delta) < kBigChangeL1)
+                    continue;
+                claimed[i] = true;
+                cap.samples[a.label].push_back(changes[i].delta);
+                break;
+            }
+        }
+        auto nearAnchor = [&](SimTime t) {
+            for (const Anchor &a : anchors)
+                if (t >= a.time - 50_ms &&
+                    t <= a.time + kAnchorWindow + 50_ms)
+                    return true;
+            return false;
+        };
+        for (std::size_t i = 0; i < changes.size(); ++i) {
+            if (claimed[i] ||
+                gpu::l1Norm(changes[i].delta) >= kBigChangeL1)
+                continue;
+            if (!nearAnchor(changes[i].time) &&
+                cap.blinkSamples.size() < 64)
+                cap.blinkSamples.push_back(changes[i].delta);
+        }
+    }
+    return cap;
+}
+
+std::optional<attack::SignatureModel>
+TraceCorpus::trainModel(const std::string &deviceKey,
+                        const attack::OfflineTrainer &trainer) const
+{
+    const attack::TrainingCapture cap = capture(deviceKey);
+    if (cap.samples.empty())
+        return std::nullopt;
+    inform("TraceCorpus: training %s from %zu labelled classes",
+           deviceKey.c_str(), cap.samples.size());
+    return trainer.trainFromCapture(deviceKey, cap);
+}
+
+} // namespace gpusc::trace

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Directory manager for recorded trace corpora.
+ *
+ * A corpus is a directory of .gpct files. The manager enumerates
+ * them, validates headers, aggregates per-device statistics, and —
+ * because traces interleave ground-truth labels with the counter
+ * stream — harvests attack::TrainingCapture data so signature models
+ * can be trained from recordings instead of live bot sessions
+ * (train once, replay everywhere).
+ */
+
+#ifndef GPUSC_TRACE_TRACE_CORPUS_H
+#define GPUSC_TRACE_TRACE_CORPUS_H
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "attack/trainer.h"
+#include "trace/trace_reader.h"
+
+namespace gpusc::trace {
+
+/** Aggregate counts over one trace (or a whole corpus). */
+struct TraceStats
+{
+    std::uint64_t records = 0;
+    std::uint64_t readings = 0;
+    std::uint64_t keyPresses = 0;
+    std::uint64_t backspaces = 0;
+    std::uint64_t popupShows = 0;
+    std::uint64_t pageSwitches = 0;
+    std::uint64_t appSwitches = 0;
+    std::uint64_t trials = 0;
+    /** Last record timestamp (sim time spanned by the trace). */
+    SimTime duration;
+};
+
+/** One enumerated trace file. */
+struct TraceInfo
+{
+    std::string path;
+    TraceHeader header;
+    TraceStats stats;
+};
+
+/** Enumerates, filters and aggregates a directory of traces. */
+class TraceCorpus
+{
+  public:
+    /**
+     * Scan and fully validate one file; intact traces are added,
+     * corrupt ones are recorded under rejected().
+     * @return the file's validation result.
+     */
+    TraceError addFile(const std::string &path);
+
+    /**
+     * Scan @p dir (non-recursive) for *.gpct files in path order.
+     * @return IoOpen if the directory cannot be listed.
+     */
+    TraceError scanDirectory(const std::string &dir);
+
+    const std::vector<TraceInfo> &traces() const { return traces_; }
+    /** Files that failed validation during scanning. */
+    const std::vector<std::pair<std::string, TraceError>> &
+    rejected() const
+    {
+        return rejected_;
+    }
+
+    /** Traces recorded on the given device configuration key. */
+    std::vector<const TraceInfo *>
+    forDevice(const std::string &deviceKey) const;
+
+    /** Distinct device keys present in the corpus. */
+    std::vector<std::string> deviceKeys() const;
+
+    /** Sum of per-trace stats (optionally one device only). */
+    TraceStats aggregate(const std::string &deviceKey = "") const;
+
+    /**
+     * Harvest labelled training data from every trace of
+     * @p deviceKey: popup-show ground truth anchors the popup-render
+     * counter change that follows it, small ambient changes become
+     * blink samples. (Echo harvesting needs the bot's controlled
+     * pacing, so corpus-trained models carry no echo line.)
+     */
+    attack::TrainingCapture
+    capture(const std::string &deviceKey) const;
+
+    /**
+     * Train a signature model for @p deviceKey from the corpus via
+     * the shared distillation (OfflineTrainer::trainFromCapture).
+     * @return nullopt if the corpus holds no labelled samples for
+     * the key.
+     */
+    std::optional<attack::SignatureModel>
+    trainModel(const std::string &deviceKey,
+               const attack::OfflineTrainer &trainer) const;
+
+  private:
+    std::vector<TraceInfo> traces_;
+    std::vector<std::pair<std::string, TraceError>> rejected_;
+};
+
+} // namespace gpusc::trace
+
+#endif // GPUSC_TRACE_TRACE_CORPUS_H

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The versioned on-disk format for recorded performance-counter
+ * traces (.gpct files).
+ *
+ * A trace is the complete observable input of one eavesdropping
+ * session: the timestamped counter readings the sampler produced,
+ * interleaved with ground-truth events (key presses, popup renders,
+ * app switches, trial boundaries) so recorded corpora carry their own
+ * labels. Layout:
+ *
+ *   [ u32 magic "GPCT" | u16 version | u16 payloadLen |
+ *     header payload ... | u32 crc32(payload) ]
+ *   [ record ]*
+ *
+ * where each record is framed as
+ *
+ *   [ u8 kind | u32 payloadLen | payload ... |
+ *     u32 crc32(kind, payloadLen, payload) ]
+ *
+ * The header payload stores the device-configuration key plus the
+ * full DeviceConfig, the sampling interval and the experiment seed,
+ * so a trace is self-describing: replay tooling can re-train the
+ * matching signature model from the header alone. Readers must
+ * reject unknown versions; unknown record kinds within a known
+ * version are a format error (kinds are append-only across
+ * versions).
+ */
+
+#ifndef GPUSC_TRACE_TRACE_FORMAT_H
+#define GPUSC_TRACE_TRACE_FORMAT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "android/device.h"
+#include "attack/sampler.h"
+#include "trace/trace_error.h"
+#include "util/binary_io.h"
+
+namespace gpusc::trace {
+
+/** File magic "GPCT" (GPu Counter Trace), little-endian. */
+inline constexpr std::uint32_t kTraceMagic = 0x54435047;
+/** Current format version; bump on any layout change. */
+inline constexpr std::uint16_t kTraceVersion = 1;
+/** Conventional file extension for traces. */
+inline constexpr const char *kTraceExtension = ".gpct";
+
+/** Everything a trace records about the session that produced it. */
+struct TraceHeader
+{
+    /** Device::modelKey() of the recorded victim device. */
+    std::string deviceKey;
+    /** Full victim configuration (self-describing replay). */
+    android::DeviceConfig device;
+    /** Sampler interval used during capture. */
+    SimTime samplingInterval = SimTime::fromMs(8);
+    /** Experiment seed of the recorded run. */
+    std::uint64_t seed = 0;
+};
+
+/** Record type tags (append-only; never renumber). */
+enum class RecordKind : std::uint8_t
+{
+    Reading = 1,    ///< one sampler observation
+    KeyPress = 2,   ///< ground truth: character key pressed
+    Backspace = 3,  ///< ground truth: backspace pressed
+    PageSwitch = 4, ///< ground truth: keyboard page switch
+    AppSwitch = 5,  ///< ground truth: foreground app changed
+    PopupShow = 6,  ///< ground truth: key popup rendered
+    TrialBegin = 7, ///< ground truth: credential entry starts
+    TrialEnd = 8,   ///< ground truth: credential entry scored
+};
+
+/** True if @p k is a kind this reader version understands. */
+bool knownRecordKind(std::uint8_t k);
+
+/** One decoded trace record (tagged union, kind selects fields). */
+struct TraceRecord
+{
+    RecordKind kind = RecordKind::Reading;
+    SimTime time;
+    /** Kind::Reading */
+    attack::Reading reading{};
+    /** KeyPress / PopupShow: the key's character. */
+    char ch = 0;
+    /** PageSwitch: target keyboard page index. */
+    int page = 0;
+    /** AppSwitch: true when switching back into the target app. */
+    bool toTarget = false;
+    /** TrialBegin: the ground-truth credential text. */
+    std::string text;
+};
+
+// --- Header codec --------------------------------------------------
+
+/** Serialise the full header block (magic through CRC). */
+std::vector<std::uint8_t> encodeHeader(const TraceHeader &h);
+
+/**
+ * Parse a header block from the front of @p reader.
+ * @return None and fills @p out, or the typed failure.
+ */
+TraceError decodeHeader(ByteReader &reader, TraceHeader &out);
+
+// --- Record codec --------------------------------------------------
+
+/** Serialise one record frame (kind through CRC). */
+std::vector<std::uint8_t> encodeRecord(const TraceRecord &r);
+
+/**
+ * Decode one record frame from @p frame (the bytes between the
+ * 5-byte kind+length prefix and the trailing CRC having already been
+ * sliced out by the reader).
+ */
+TraceError decodePayload(std::uint8_t kind,
+                         const std::uint8_t *payload,
+                         std::size_t size, TraceRecord &out);
+
+} // namespace gpusc::trace
+
+#endif // GPUSC_TRACE_TRACE_FORMAT_H

@@ -1,0 +1,74 @@
+#include "trace/trace_recorder.h"
+
+namespace gpusc::trace {
+
+TraceError
+TraceRecorder::open(const std::string &path, const TraceHeader &header)
+{
+    readings_ = 0;
+    return writer_.open(path, header);
+}
+
+void
+TraceRecorder::attachEavesdropper(attack::Eavesdropper &e)
+{
+    e.setReadingTap(
+        [this](const attack::Reading &r) { onReading(r); });
+}
+
+void
+TraceRecorder::onReading(const attack::Reading &r)
+{
+    ++readings_;
+    writer_.writeReading(r);
+}
+
+void
+TraceRecorder::onKeyPress(SimTime t, char ch)
+{
+    writer_.writeKeyPress(t, ch);
+}
+
+void
+TraceRecorder::onBackspace(SimTime t)
+{
+    writer_.writeBackspace(t);
+}
+
+void
+TraceRecorder::onPageSwitch(SimTime t, int page)
+{
+    writer_.writePageSwitch(t, page);
+}
+
+void
+TraceRecorder::onAppSwitch(SimTime t, bool toTarget)
+{
+    writer_.writeAppSwitch(t, toTarget);
+}
+
+void
+TraceRecorder::onPopupShow(SimTime t, char ch)
+{
+    writer_.writePopupShow(t, ch);
+}
+
+void
+TraceRecorder::trialBegin(SimTime t, const std::string &truth)
+{
+    writer_.writeTrialBegin(t, truth);
+}
+
+void
+TraceRecorder::trialEnd(SimTime t)
+{
+    writer_.writeTrialEnd(t);
+}
+
+TraceError
+TraceRecorder::finish()
+{
+    return writer_.close();
+}
+
+} // namespace gpusc::trace

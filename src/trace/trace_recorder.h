@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Live capture tap: funnels sampler readings and ground-truth input
+ * events into a TraceWriter while an experiment runs.
+ *
+ * The recorder is wired by eval::ExperimentRunner (record mode): it
+ * taps attack::PcSampler through Eavesdropper::setReadingTap and the
+ * victim device's input surfaces (typist key presses, IME popup
+ * renders, app switches), producing a self-contained labelled .gpct
+ * file for any experiment. IO failures are sticky and reported at
+ * finish(); they never interrupt the live run.
+ */
+
+#ifndef GPUSC_TRACE_TRACE_RECORDER_H
+#define GPUSC_TRACE_TRACE_RECORDER_H
+
+#include <string>
+
+#include "attack/eavesdropper.h"
+#include "trace/trace_writer.h"
+
+namespace gpusc::trace {
+
+/** Records one live eavesdropping session to a trace file. */
+class TraceRecorder
+{
+  public:
+    /** Open @p path for recording under @p header. */
+    TraceError open(const std::string &path,
+                    const TraceHeader &header);
+
+    /** Tap @p e's sampler so every reading is recorded. */
+    void attachEavesdropper(attack::Eavesdropper &e);
+
+    // Ground-truth feeds (wired to device/typist listeners).
+    void onReading(const attack::Reading &r);
+    void onKeyPress(SimTime t, char ch);
+    void onBackspace(SimTime t);
+    void onPageSwitch(SimTime t, int page);
+    void onAppSwitch(SimTime t, bool toTarget);
+    void onPopupShow(SimTime t, char ch);
+    void trialBegin(SimTime t, const std::string &truth);
+    void trialEnd(SimTime t);
+
+    /** Flush + close; @return first sticky IO error, if any. */
+    TraceError finish();
+
+    bool recording() const { return writer_.isOpen(); }
+    std::uint64_t recordCount() const
+    {
+        return writer_.recordCount();
+    }
+    std::uint64_t readingCount() const { return readings_; }
+
+  private:
+    TraceWriter writer_;
+    std::uint64_t readings_ = 0;
+};
+
+} // namespace gpusc::trace
+
+#endif // GPUSC_TRACE_TRACE_RECORDER_H

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic replay: runs a recorded counter trace back through
+ * the attack's inference pipeline without a device.
+ *
+ * The replayer feeds Reading records into a detached
+ * attack::Eavesdropper (no RenderEngine, no KgslDevice, no event
+ * queue), so for identical reading streams the inferred output is
+ * bit-identical to the live run that recorded the trace. Trial
+ * boundary records carry the ground truth, letting the replayer
+ * score each recorded credential exactly like
+ * eval::ExperimentRunner::runTrial does live.
+ */
+
+#ifndef GPUSC_TRACE_TRACE_REPLAYER_H
+#define GPUSC_TRACE_TRACE_REPLAYER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attack/eavesdropper.h"
+#include "attack/trace_inference.h"
+#include "trace/trace_reader.h"
+
+namespace gpusc::trace {
+
+/** Replays recorded traces through the online inference pipeline. */
+class TraceReplayer
+{
+  public:
+    /** Replay against a known signature model. */
+    explicit TraceReplayer(const attack::SignatureModel &model,
+                           attack::Eavesdropper::Params params = {});
+
+    /**
+     * Replay against a preloaded store: the model is resolved by the
+     * trace header's device key, falling back to the online
+     * device-recognition path when the key is absent.
+     */
+    explicit TraceReplayer(const attack::ModelStore &store,
+                           attack::Eavesdropper::Params params = {});
+
+    /** One recorded credential trial, scored after replay. */
+    struct Trial
+    {
+        std::string truth;
+        std::string inferred;
+        SimTime begin;
+        SimTime end;
+    };
+
+    /** Open + replay a whole file. */
+    TraceError replayFile(const std::string &path);
+
+    /** Replay from an already-open reader (streaming). */
+    TraceError replay(TraceReader &reader);
+
+    /** Per-trial ground truth vs. replayed inference. */
+    const std::vector<Trial> &trials() const { return trials_; }
+
+    /** The pipeline state after replay (events, counters, text). */
+    const attack::Eavesdropper &eavesdropper() const
+    {
+        return *eavesdropper_;
+    }
+
+    /** Header of the last replayed trace. */
+    const TraceHeader &header() const { return header_; }
+
+    std::uint64_t readingsReplayed() const { return readings_; }
+
+    /**
+     * Whole-trace dynamic-programming inference over the same
+     * recorded changes (attack::TraceInference) — the offline
+     * accuracy/timeliness counterpart of replay().
+     */
+    std::vector<attack::InferredKey>
+    inferOffline(const std::string &path, TraceError *errOut = nullptr);
+
+  private:
+    const attack::SignatureModel *model_ = nullptr;
+    const attack::ModelStore *store_ = nullptr;
+    attack::Eavesdropper::Params params_;
+    std::unique_ptr<attack::Eavesdropper> eavesdropper_;
+    TraceHeader header_{};
+    std::vector<Trial> trials_;
+    std::uint64_t readings_ = 0;
+};
+
+} // namespace gpusc::trace
+
+#endif // GPUSC_TRACE_TRACE_REPLAYER_H

@@ -1,0 +1,141 @@
+#include "trace/trace_writer.h"
+
+#include "util/logging.h"
+
+namespace gpusc::trace {
+
+TraceWriter::~TraceWriter()
+{
+    if (file_)
+        close();
+}
+
+TraceError
+TraceWriter::open(const std::string &path, const TraceHeader &h)
+{
+    if (file_)
+        close();
+    error_ = TraceError::None;
+    records_ = 0;
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_) {
+        warn("TraceWriter: cannot open '%s' for writing",
+             path.c_str());
+        return error_ = TraceError::IoOpen;
+    }
+    const std::vector<std::uint8_t> hdr = encodeHeader(h);
+    if (std::fwrite(hdr.data(), 1, hdr.size(), file_) != hdr.size()) {
+        std::fclose(file_);
+        file_ = nullptr;
+        return error_ = TraceError::IoWrite;
+    }
+    return TraceError::None;
+}
+
+TraceError
+TraceWriter::write(const TraceRecord &r)
+{
+    if (!file_)
+        return TraceError::NotOpen;
+    const std::vector<std::uint8_t> frame = encodeRecord(r);
+    if (std::fwrite(frame.data(), 1, frame.size(), file_) !=
+        frame.size()) {
+        if (error_ == TraceError::None)
+            error_ = TraceError::IoWrite;
+        return TraceError::IoWrite;
+    }
+    ++records_;
+    return TraceError::None;
+}
+
+TraceError
+TraceWriter::writeReading(const attack::Reading &r)
+{
+    TraceRecord rec;
+    rec.kind = RecordKind::Reading;
+    rec.time = r.time;
+    rec.reading = r;
+    return write(rec);
+}
+
+TraceError
+TraceWriter::writeKeyPress(SimTime t, char ch)
+{
+    TraceRecord rec;
+    rec.kind = RecordKind::KeyPress;
+    rec.time = t;
+    rec.ch = ch;
+    return write(rec);
+}
+
+TraceError
+TraceWriter::writeBackspace(SimTime t)
+{
+    TraceRecord rec;
+    rec.kind = RecordKind::Backspace;
+    rec.time = t;
+    return write(rec);
+}
+
+TraceError
+TraceWriter::writePageSwitch(SimTime t, int page)
+{
+    TraceRecord rec;
+    rec.kind = RecordKind::PageSwitch;
+    rec.time = t;
+    rec.page = page;
+    return write(rec);
+}
+
+TraceError
+TraceWriter::writeAppSwitch(SimTime t, bool toTarget)
+{
+    TraceRecord rec;
+    rec.kind = RecordKind::AppSwitch;
+    rec.time = t;
+    rec.toTarget = toTarget;
+    return write(rec);
+}
+
+TraceError
+TraceWriter::writePopupShow(SimTime t, char ch)
+{
+    TraceRecord rec;
+    rec.kind = RecordKind::PopupShow;
+    rec.time = t;
+    rec.ch = ch;
+    return write(rec);
+}
+
+TraceError
+TraceWriter::writeTrialBegin(SimTime t, const std::string &truth)
+{
+    TraceRecord rec;
+    rec.kind = RecordKind::TrialBegin;
+    rec.time = t;
+    rec.text = truth;
+    return write(rec);
+}
+
+TraceError
+TraceWriter::writeTrialEnd(SimTime t)
+{
+    TraceRecord rec;
+    rec.kind = RecordKind::TrialEnd;
+    rec.time = t;
+    return write(rec);
+}
+
+TraceError
+TraceWriter::close()
+{
+    if (!file_)
+        return error_;
+    if (std::fflush(file_) != 0 && error_ == TraceError::None)
+        error_ = TraceError::IoWrite;
+    std::fclose(file_);
+    file_ = nullptr;
+    return error_;
+}
+
+} // namespace gpusc::trace

@@ -1,0 +1,41 @@
+#include "util/binary_io.h"
+
+#include <array>
+
+namespace gpusc {
+
+namespace {
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t size, std::uint32_t seed)
+{
+    static const std::array<std::uint32_t, 256> table =
+        makeCrcTable();
+    std::uint32_t c = seed ^ 0xffffffffu;
+    for (std::size_t i = 0; i < size; ++i)
+        c = table[(c ^ data[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+std::uint32_t
+crc32(const std::vector<std::uint8_t> &data, std::uint32_t seed)
+{
+    return crc32(data.data(), data.size(), seed);
+}
+
+} // namespace gpusc

@@ -124,6 +124,40 @@ Typist::pressAndContinue(const Key &key, bool isCharGoal)
     if (isCharGoal)
         presses_.push_back(device_.eq().now());
     ++physicalPresses_;
+    if (keyListener_) {
+        KeyEvent ev;
+        ev.time = device_.eq().now();
+        bool report = true;
+        switch (key.code) {
+          case KeyCode::Char:
+            ev.kind = KeyEvent::Kind::Char;
+            ev.ch = key.ch;
+            break;
+          case KeyCode::Backspace:
+            ev.kind = KeyEvent::Kind::Backspace;
+            break;
+          case KeyCode::Shift:
+            ev.kind = KeyEvent::Kind::PageSwitch;
+            ev.page = int(device_.ime().page() ==
+                                  android::KbPage::Lower
+                              ? android::KbPage::Upper
+                              : android::KbPage::Lower);
+            break;
+          case KeyCode::Sym:
+            ev.kind = KeyEvent::Kind::PageSwitch;
+            ev.page = int(android::KbPage::Symbols);
+            break;
+          case KeyCode::Abc:
+            ev.kind = KeyEvent::Kind::PageSwitch;
+            ev.page = int(android::KbPage::Lower);
+            break;
+          default:
+            report = false; // Space/Enter leave no popup evidence
+            break;
+        }
+        if (report)
+            keyListener_(ev);
+    }
     device_.ime().pressKey(key, duration);
     std::weak_ptr<int> alive = aliveToken_;
     device_.eq().scheduleAfter(duration + model_.nextInterval(),

@@ -39,6 +39,27 @@ class Typist
      */
     void setTypoProb(double p) { typoProb_ = p; }
 
+    /** One physical key press, reported as ground truth. */
+    struct KeyEvent
+    {
+        enum class Kind
+        {
+            Char,       ///< a character key (ch holds it)
+            Backspace,  ///< the backspace key
+            PageSwitch, ///< Shift/?123/ABC (page = target page)
+        };
+        Kind kind;
+        char ch = 0;
+        int page = 0;
+        SimTime time;
+    };
+
+    /** Observe every physical key press (trace recording). */
+    void setKeyListener(std::function<void(const KeyEvent &)> fn)
+    {
+        keyListener_ = std::move(fn);
+    }
+
     /**
      * Start typing @p text after @p startDelay. Only one run at a
      * time. @p onDone fires when the last key has been released.
@@ -75,6 +96,7 @@ class Typist
     TypingModel model_;
     Rng rng_;
     double typoProb_ = 0.0;
+    std::function<void(const KeyEvent &)> keyListener_;
     std::vector<Action> plan_;
     std::size_t planPos_ = 0;
     bool done_ = true;

@@ -88,6 +88,87 @@ TEST(ModelStoreTest, SaveToBadPathFails)
     EXPECT_FALSE(store.saveToFile("/nonexistent-dir/x/y/z.bin"));
 }
 
+TEST(ModelStoreTest, TruncatedBlobYieldsEmptyStore)
+{
+    ModelStore store;
+    store.put(namedModel("alpha"));
+    std::vector<std::uint8_t> blob = store.serialize();
+    for (std::size_t cut = 0; cut < blob.size(); ++cut) {
+        const std::vector<std::uint8_t> partial(
+            blob.begin(), blob.begin() + long(cut));
+        EXPECT_FALSE(ModelStore::tryDeserialize(partial).has_value())
+            << "prefix of " << cut << " bytes parsed as valid";
+    }
+    // The non-try variant degrades to an empty store, never aborts.
+    const std::vector<std::uint8_t> chopped(blob.begin(),
+                                            blob.begin() + 8);
+    EXPECT_EQ(ModelStore::deserialize(chopped).size(), 0u);
+}
+
+TEST(ModelStoreTest, GarbageBlobYieldsEmptyStore)
+{
+    const std::vector<std::uint8_t> garbage(64, 0xab);
+    EXPECT_FALSE(ModelStore::tryDeserialize(garbage).has_value());
+    EXPECT_EQ(ModelStore::deserialize(garbage).size(), 0u);
+}
+
+TEST(ModelStoreTest, TrailingGarbageIsRejected)
+{
+    ModelStore store;
+    store.put(namedModel("alpha"));
+    std::vector<std::uint8_t> blob = store.serialize();
+    blob.push_back(0x00);
+    EXPECT_FALSE(ModelStore::tryDeserialize(blob).has_value());
+}
+
+TEST(ModelStoreTest, MissingFileYieldsEmptyStore)
+{
+    EXPECT_FALSE(
+        ModelStore::tryLoadFromFile("/nonexistent/store.bin")
+            .has_value());
+    EXPECT_EQ(
+        ModelStore::loadFromFile("/nonexistent/store.bin").size(),
+        0u);
+}
+
+TEST(ModelStoreTest, AnyFlippedFileByteIsDetected)
+{
+    ModelStore store;
+    store.put(namedModel("alpha"));
+    store.put(namedModel("beta"));
+    const std::string path =
+        ::testing::TempDir() + "gpusc_store_corrupt.bin";
+    ASSERT_TRUE(store.saveToFile(path));
+
+    std::vector<std::uint8_t> clean;
+    {
+        FILE *f = std::fopen(path.c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        std::uint8_t buf[4096];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            clean.insert(clean.end(), buf, buf + n);
+        std::fclose(f);
+    }
+    ASSERT_FALSE(clean.empty());
+
+    // The CRC envelope catches a flip of any byte in the file: the
+    // load must come back empty instead of crashing or silently
+    // returning damaged models.
+    for (std::size_t i = 0; i < clean.size(); ++i) {
+        std::vector<std::uint8_t> bad = clean;
+        bad[i] ^= 0x5a;
+        FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        ASSERT_EQ(std::fwrite(bad.data(), 1, bad.size(), f),
+                  bad.size());
+        std::fclose(f);
+        EXPECT_FALSE(ModelStore::tryLoadFromFile(path).has_value())
+            << "flipped byte " << i << " went undetected";
+    }
+    std::remove(path.c_str());
+}
+
 TEST(ModelStoreTest, GetOrTrainCachesByConfiguration)
 {
     ModelStore store;

@@ -1,0 +1,149 @@
+/** @file Trace corpus tests: scanning, aggregation, training. */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "attack/model_store.h"
+#include "eval/experiment.h"
+#include "trace/trace_corpus.h"
+#include "util/logging.h"
+
+namespace gpusc::trace {
+namespace {
+
+namespace fs = std::filesystem;
+
+attack::ModelStore &
+store()
+{
+    static attack::ModelStore s;
+    return s;
+}
+
+/** Record one live session of @p n trials into @p path. */
+void
+recordTrace(const std::string &path, std::uint64_t seed, int n)
+{
+    eval::ExperimentConfig cfg;
+    cfg.seed = seed;
+    cfg.recordTracePath = path;
+    eval::ExperimentRunner runner(cfg, store());
+    runner.runTrials(n, 8, 10);
+    EXPECT_EQ(runner.finishRecording(), TraceError::None);
+}
+
+/** A corpus directory with 2 intact traces + 1 corrupt + 1 noise. */
+class TraceCorpusTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        setVerbose(false);
+        dir_ = new std::string(::testing::TempDir() +
+                               "gpusc_corpus");
+        fs::remove_all(*dir_);
+        fs::create_directories(*dir_);
+        recordTrace(*dir_ + "/a.gpct", 401, 2);
+        recordTrace(*dir_ + "/b.gpct", 402, 1);
+        std::ofstream(*dir_ + "/broken.gpct")
+            << "definitely not a trace";
+        std::ofstream(*dir_ + "/notes.txt") << "ignored";
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        fs::remove_all(*dir_);
+        delete dir_;
+        dir_ = nullptr;
+    }
+
+    static std::string *dir_;
+};
+
+std::string *TraceCorpusTest::dir_ = nullptr;
+
+TEST_F(TraceCorpusTest, ScanFindsIntactTracesAndRejectsCorrupt)
+{
+    TraceCorpus corpus;
+    ASSERT_EQ(corpus.scanDirectory(*dir_), TraceError::None);
+    ASSERT_EQ(corpus.traces().size(), 2u);
+    EXPECT_EQ(corpus.traces()[0].path, *dir_ + "/a.gpct");
+    EXPECT_EQ(corpus.traces()[1].path, *dir_ + "/b.gpct");
+    ASSERT_EQ(corpus.rejected().size(), 1u);
+    EXPECT_EQ(corpus.rejected()[0].first, *dir_ + "/broken.gpct");
+    EXPECT_EQ(corpus.rejected()[0].second, TraceError::BadMagic);
+}
+
+TEST_F(TraceCorpusTest, ScanOfMissingDirectoryIsIoOpen)
+{
+    TraceCorpus corpus;
+    EXPECT_EQ(corpus.scanDirectory("/nonexistent/corpus"),
+              TraceError::IoOpen);
+}
+
+TEST_F(TraceCorpusTest, AggregatesStatsAcrossTraces)
+{
+    TraceCorpus corpus;
+    ASSERT_EQ(corpus.scanDirectory(*dir_), TraceError::None);
+    const TraceStats all = corpus.aggregate();
+    EXPECT_EQ(all.trials, 3u); // 2 + 1 recorded trials
+    EXPECT_GT(all.readings, 0u);
+    EXPECT_GT(all.keyPresses, 0u);
+    EXPECT_GT(all.popupShows, 0u);
+    EXPECT_EQ(all.records, corpus.traces()[0].stats.records +
+                               corpus.traces()[1].stats.records);
+    EXPECT_GT(all.duration, SimTime{});
+}
+
+TEST_F(TraceCorpusTest, FiltersByDeviceKey)
+{
+    TraceCorpus corpus;
+    ASSERT_EQ(corpus.scanDirectory(*dir_), TraceError::None);
+    const std::vector<std::string> keys = corpus.deviceKeys();
+    ASSERT_EQ(keys.size(), 1u); // both traces share one config
+    EXPECT_EQ(corpus.forDevice(keys[0]).size(), 2u);
+    EXPECT_TRUE(corpus.forDevice("no-such-device").empty());
+    EXPECT_EQ(corpus.aggregate(keys[0]).trials, 3u);
+    EXPECT_EQ(corpus.aggregate("no-such-device").trials, 0u);
+}
+
+TEST_F(TraceCorpusTest, HarvestsLabelledCaptureFromGroundTruth)
+{
+    TraceCorpus corpus;
+    ASSERT_EQ(corpus.scanDirectory(*dir_), TraceError::None);
+    const std::string key = corpus.deviceKeys().at(0);
+    const attack::TrainingCapture cap = corpus.capture(key);
+    // Three 8-10 char credentials give plenty of labelled popups.
+    EXPECT_GE(cap.samples.size(), 4u);
+    std::size_t total = 0;
+    for (const auto &[label, deltas] : cap.samples) {
+        EXPECT_FALSE(deltas.empty()) << "empty class " << label;
+        total += deltas.size();
+    }
+    EXPECT_GE(total, 10u);
+    EXPECT_TRUE(corpus.capture("no-such-device").samples.empty());
+}
+
+TEST_F(TraceCorpusTest, TrainsAModelFromRecordings)
+{
+    TraceCorpus corpus;
+    ASSERT_EQ(corpus.scanDirectory(*dir_), TraceError::None);
+    const std::string key = corpus.deviceKeys().at(0);
+    const attack::OfflineTrainer trainer;
+    const std::optional<attack::SignatureModel> model =
+        corpus.trainModel(key, trainer);
+    ASSERT_TRUE(model.has_value());
+    EXPECT_EQ(model->modelKey(), key);
+    EXPECT_GE(model->signatures().size(), 4u);
+    EXPECT_GT(model->threshold(), 0.0);
+
+    EXPECT_FALSE(
+        corpus.trainModel("no-such-device", trainer).has_value());
+}
+
+} // namespace
+} // namespace gpusc::trace

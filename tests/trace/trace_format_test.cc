@@ -1,0 +1,274 @@
+/** @file Trace file format tests: round trip + corruption. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "trace/trace_reader.h"
+#include "trace/trace_writer.h"
+#include "util/logging.h"
+
+namespace gpusc::trace {
+namespace {
+
+TraceHeader
+testHeader()
+{
+    TraceHeader h;
+    h.deviceKey = "pixel/gboard/chrome";
+    h.device.keyboard = "go";
+    h.device.noiseSigma = 0.25;
+    h.samplingInterval = SimTime::fromMs(8);
+    h.seed = 42;
+    return h;
+}
+
+attack::Reading
+testReading(std::int64_t ms, std::uint64_t base)
+{
+    attack::Reading r;
+    r.time = SimTime::fromMs(ms);
+    for (std::size_t i = 0; i < r.totals.size(); ++i)
+        r.totals[i] = base + i * 17;
+    return r;
+}
+
+/** Write a small but fully representative trace; returns its path. */
+std::string
+writeSampleTrace(const std::string &name)
+{
+    const std::string path = ::testing::TempDir() + name;
+    TraceWriter w;
+    EXPECT_EQ(w.open(path, testHeader()), TraceError::None);
+    EXPECT_EQ(w.writeTrialBegin(SimTime::fromMs(1), "secret"),
+              TraceError::None);
+    EXPECT_EQ(w.writeReading(testReading(8, 1000)), TraceError::None);
+    EXPECT_EQ(w.writeKeyPress(SimTime::fromMs(10), 's'),
+              TraceError::None);
+    EXPECT_EQ(w.writePopupShow(SimTime::fromMs(11), 's'),
+              TraceError::None);
+    EXPECT_EQ(w.writeReading(testReading(16, 2000)), TraceError::None);
+    EXPECT_EQ(w.writeBackspace(SimTime::fromMs(20)), TraceError::None);
+    EXPECT_EQ(w.writePageSwitch(SimTime::fromMs(24), 1),
+              TraceError::None);
+    EXPECT_EQ(w.writeAppSwitch(SimTime::fromMs(30), false),
+              TraceError::None);
+    EXPECT_EQ(w.writeTrialEnd(SimTime::fromMs(40)), TraceError::None);
+    EXPECT_EQ(w.close(), TraceError::None);
+    return path;
+}
+
+std::vector<std::uint8_t>
+slurp(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(f),
+            std::istreambuf_iterator<char>()};
+}
+
+void
+dump(const std::string &path, const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(reinterpret_cast<const char *>(bytes.data()),
+            long(bytes.size()));
+}
+
+TEST(TraceFormatTest, RoundTripIsBitExact)
+{
+    setVerbose(false);
+    const std::string path = writeSampleTrace("roundtrip.gpct");
+
+    TraceReader r;
+    ASSERT_EQ(r.open(path), TraceError::None);
+    const TraceHeader h = r.header();
+    EXPECT_EQ(h.deviceKey, "pixel/gboard/chrome");
+    EXPECT_EQ(h.device.keyboard, "go");
+    EXPECT_DOUBLE_EQ(h.device.noiseSigma, 0.25);
+    EXPECT_EQ(h.samplingInterval, SimTime::fromMs(8));
+    EXPECT_EQ(h.seed, 42u);
+
+    std::vector<TraceRecord> recs;
+    TraceRecord rec;
+    bool eof = false;
+    while (r.next(rec, eof) == TraceError::None && !eof)
+        recs.push_back(rec);
+    EXPECT_TRUE(eof);
+    ASSERT_EQ(recs.size(), 9u);
+
+    EXPECT_EQ(recs[0].kind, RecordKind::TrialBegin);
+    EXPECT_EQ(recs[0].text, "secret");
+    EXPECT_EQ(recs[0].time, SimTime::fromMs(1));
+
+    EXPECT_EQ(recs[1].kind, RecordKind::Reading);
+    const attack::Reading want = testReading(8, 1000);
+    EXPECT_EQ(recs[1].reading.time, want.time);
+    EXPECT_EQ(recs[1].reading.totals, want.totals);
+
+    EXPECT_EQ(recs[2].kind, RecordKind::KeyPress);
+    EXPECT_EQ(recs[2].ch, 's');
+    EXPECT_EQ(recs[3].kind, RecordKind::PopupShow);
+    EXPECT_EQ(recs[3].ch, 's');
+    EXPECT_EQ(recs[4].kind, RecordKind::Reading);
+    EXPECT_EQ(recs[5].kind, RecordKind::Backspace);
+    EXPECT_EQ(recs[6].kind, RecordKind::PageSwitch);
+    EXPECT_EQ(recs[6].page, 1);
+    EXPECT_EQ(recs[7].kind, RecordKind::AppSwitch);
+    EXPECT_FALSE(recs[7].toTarget);
+    EXPECT_EQ(recs[8].kind, RecordKind::TrialEnd);
+    EXPECT_EQ(recs[8].time, SimTime::fromMs(40));
+
+    std::remove(path.c_str());
+}
+
+TEST(TraceFormatTest, VerifyFileAcceptsIntactTrace)
+{
+    setVerbose(false);
+    const std::string path = writeSampleTrace("verify.gpct");
+    std::uint64_t records = 0;
+    TraceHeader h;
+    EXPECT_EQ(TraceReader::verifyFile(path, &records, &h),
+              TraceError::None);
+    EXPECT_EQ(records, 9u);
+    EXPECT_EQ(h.deviceKey, "pixel/gboard/chrome");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFormatTest, MissingFileIsIoOpen)
+{
+    setVerbose(false);
+    TraceReader r;
+    EXPECT_EQ(r.open("/nonexistent/trace.gpct"), TraceError::IoOpen);
+    EXPECT_EQ(TraceReader::verifyFile("/nonexistent/trace.gpct"),
+              TraceError::IoOpen);
+}
+
+TEST(TraceFormatTest, BadMagicIsRejected)
+{
+    setVerbose(false);
+    const std::string path = writeSampleTrace("badmagic.gpct");
+    std::vector<std::uint8_t> bytes = slurp(path);
+    bytes[0] ^= 0xff;
+    dump(path, bytes);
+    EXPECT_EQ(TraceReader::verifyFile(path), TraceError::BadMagic);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFormatTest, UnknownVersionIsRejected)
+{
+    setVerbose(false);
+    const std::string path = writeSampleTrace("badversion.gpct");
+    std::vector<std::uint8_t> bytes = slurp(path);
+    bytes[4] = 0x7f; // version low byte, after the u32 magic
+    dump(path, bytes);
+    EXPECT_EQ(TraceReader::verifyFile(path), TraceError::BadVersion);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFormatTest, TruncationIsDetected)
+{
+    setVerbose(false);
+    const std::string path = writeSampleTrace("trunc.gpct");
+    const std::vector<std::uint8_t> bytes = slurp(path);
+    // Chop off the last 3 bytes: the final record's CRC is torn.
+    dump(path, {bytes.begin(), bytes.end() - 3});
+    EXPECT_EQ(TraceReader::verifyFile(path),
+              TraceError::TruncatedRecord);
+
+    // Chop mid-header as well.
+    dump(path, {bytes.begin(), bytes.begin() + 6});
+    const TraceError e = TraceReader::verifyFile(path);
+    EXPECT_TRUE(e == TraceError::TruncatedHeader ||
+                e == TraceError::IoRead)
+        << traceErrorString(e);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFormatTest, UnknownRecordKindIsRejected)
+{
+    setVerbose(false);
+    const std::string path = writeSampleTrace("badkind.gpct");
+    // Append a validly-framed record with an unassigned kind byte.
+    std::vector<std::uint8_t> bytes = slurp(path);
+    ByteWriter frame;
+    frame.u8(0x7f);
+    frame.u32(0);
+    frame.u32(crc32(frame.bytes()));
+    bytes.insert(bytes.end(), frame.bytes().begin(),
+                 frame.bytes().end());
+    dump(path, bytes);
+    EXPECT_EQ(TraceReader::verifyFile(path),
+              TraceError::BadRecordKind);
+    std::remove(path.c_str());
+}
+
+/**
+ * The acceptance criterion: corrupting ANY single byte of the file
+ * must surface as a typed error (or, for the rare CRC-collision-free
+ * cosmetic bytes, parse cleanly) — never crash, never hang.
+ */
+TEST(TraceFormatTest, EveryFlippedByteIsDetectedOrHarmless)
+{
+    setVerbose(false);
+    const std::string path = writeSampleTrace("fuzz.gpct");
+    const std::vector<std::uint8_t> clean = slurp(path);
+    ASSERT_FALSE(clean.empty());
+    int detected = 0;
+    for (std::size_t i = 0; i < clean.size(); ++i) {
+        std::vector<std::uint8_t> bad = clean;
+        bad[i] ^= 0x5a;
+        dump(path, bad);
+        if (TraceReader::verifyFile(path) != TraceError::None)
+            ++detected;
+    }
+    // Every byte of this file is load-bearing: magic, version,
+    // lengths, payloads and CRCs are all covered by a check.
+    EXPECT_EQ(detected, int(clean.size()));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFormatTest, ReaderErrorIsSticky)
+{
+    setVerbose(false);
+    const std::string path = writeSampleTrace("sticky.gpct");
+    std::vector<std::uint8_t> bytes = slurp(path);
+    bytes.back() ^= 0xff; // corrupt the final record's CRC
+    dump(path, bytes);
+
+    TraceReader r;
+    ASSERT_EQ(r.open(path), TraceError::None);
+    TraceRecord rec;
+    bool eof = false;
+    TraceError e = TraceError::None;
+    while ((e = r.next(rec, eof)) == TraceError::None && !eof)
+        ;
+    EXPECT_EQ(e, TraceError::RecordCrcMismatch);
+    // Poisoned: the same error again, not a crash or bogus record.
+    EXPECT_EQ(r.next(rec, eof), TraceError::RecordCrcMismatch);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFormatTest, WriterWithoutOpenReportsNotOpen)
+{
+    setVerbose(false);
+    TraceWriter w;
+    EXPECT_EQ(w.writeTrialEnd(SimTime::fromMs(1)),
+              TraceError::NotOpen);
+    TraceReader r;
+    TraceRecord rec;
+    bool eof = false;
+    EXPECT_EQ(r.next(rec, eof), TraceError::NotOpen);
+}
+
+TEST(TraceFormatTest, ErrorStringsAreStable)
+{
+    EXPECT_STREQ(traceErrorString(TraceError::None), "None");
+    EXPECT_STREQ(traceErrorString(TraceError::RecordCrcMismatch),
+                 "RecordCrcMismatch");
+    EXPECT_STREQ(traceErrorString(TraceError::BadMagic), "BadMagic");
+}
+
+} // namespace
+} // namespace gpusc::trace
