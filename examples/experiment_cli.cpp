@@ -11,6 +11,13 @@
  *                  [--cpu-load F] [--gpu-load F] [--interval MS]
  *                  [--trials N] [--min-len N] [--max-len N]
  *                  [--typo-prob F] [--seed N] [--list]
+ *
+ * Driver-hostility (fault-injection) options exercise the hardened
+ * sampling pipeline against a realistic KGSL driver:
+ *
+ *   experiment_cli --collapse-every 2000 --wrap32 \
+ *                  --transient-prob 0.1 --reset-at 5000 \
+ *                  --registers 5:8 --competitor 7:4:30
  */
 
 #include <cstdio>
@@ -47,7 +54,17 @@ usage(const char *argv0)
         "  --min-len/--max-len credential lengths (default 8/16)\n"
         "  --typo-prob <f>     correction behaviour (default 0)\n"
         "  --seed <n>          RNG seed (default 1)\n"
-        "  --list              print known phones/keyboards/apps\n",
+        "  --list              print known phones/keyboards/apps\n"
+        "fault injection (driver hostility):\n"
+        "  --transient-prob <f>  P(EINTR/EAGAIN) per GET/READ ioctl\n"
+        "  --collapse-every <ms> GPU power collapse period\n"
+        "  --wrap32              32-bit counter truncation/wraparound\n"
+        "  --wrap32-offset <n>   pre-attack register bias (wrap32)\n"
+        "  --reset-at <ms>       device reset epoch (repeatable)\n"
+        "  --registers <g:n>     physical registers in group g\n"
+        "  --competitor <g:n:s>  profiler holding n registers of\n"
+        "                        group g until it exits at s seconds\n"
+        "  --fault-seed <n>      fault injector RNG seed\n",
         argv0);
 }
 
@@ -131,6 +148,35 @@ main(int argc, char **argv)
             cfg.typoProb = std::atof(value());
         } else if (arg == "--seed") {
             cfg.seed = std::uint64_t(std::atoll(value()));
+        } else if (arg == "--transient-prob") {
+            cfg.faultPlan.transientErrorProb = std::atof(value());
+        } else if (arg == "--collapse-every") {
+            cfg.faultPlan.powerCollapseInterval =
+                SimTime::fromMs(std::atoi(value()));
+        } else if (arg == "--wrap32") {
+            cfg.faultPlan.wrap32 = true;
+        } else if (arg == "--wrap32-offset") {
+            cfg.faultPlan.wrap32 = true;
+            cfg.faultPlan.wrap32Offset =
+                std::uint64_t(std::atoll(value()));
+        } else if (arg == "--reset-at") {
+            cfg.faultPlan.deviceResets.push_back(
+                SimTime::fromMs(std::atoi(value())));
+        } else if (arg == "--registers") {
+            unsigned group = 0, regs = 0;
+            if (std::sscanf(value(), "%u:%u", &group, &regs) != 2)
+                fatal("--registers wants GROUP:COUNT");
+            cfg.faultPlan.groupRegisters[group] = regs;
+        } else if (arg == "--competitor") {
+            unsigned group = 0, regs = 0;
+            double exitS = 0.0;
+            if (std::sscanf(value(), "%u:%u:%lf", &group, &regs,
+                            &exitS) != 3)
+                fatal("--competitor wants GROUP:COUNT:EXIT_SECONDS");
+            cfg.faultPlan.competitors.push_back(
+                {group, regs, SimTime::fromSeconds(exitS)});
+        } else if (arg == "--fault-seed") {
+            cfg.faultPlan.seed = std::uint64_t(std::atoll(value()));
         } else {
             usage(argv[0]);
             fatal("unknown option '%s'", arg.c_str());
@@ -161,6 +207,41 @@ main(int argc, char **argv)
                       Table::pct(stats.groupAccuracy(g))});
     }
     table.print("results");
+
+    if (cfg.faultPlan.any() && runner.faultInjector()) {
+        const kgsl::FaultInjector::Stats &fs =
+            runner.faultInjector()->stats();
+        const attack::HealthStats h = runner.health();
+        Table health({"health metric", "value"});
+        health.addRow({"faults: transient errors",
+                       std::to_string(fs.transientErrors)});
+        health.addRow(
+            {"faults: busy denials", std::to_string(fs.busyDenials)});
+        health.addRow({"faults: power collapses",
+                       std::to_string(fs.powerCollapses)});
+        health.addRow(
+            {"faults: device resets", std::to_string(fs.deviceResets)});
+        health.addRow({"sampler: transient retries",
+                       std::to_string(h.transientRetries)});
+        health.addRow(
+            {"sampler: busy retries", std::to_string(h.busyRetries)});
+        health.addRow({"sampler: reopens", std::to_string(h.reopens)});
+        health.addRow({"sampler: resets survived",
+                       std::to_string(h.resetsSurvived)});
+        health.addRow({"sampler: watchdog recoveries",
+                       std::to_string(h.watchdogRecoveries)});
+        health.addRow(
+            {"sampler: missed reads", std::to_string(h.missedReads)});
+        health.addRow(
+            {"stream: re-baselines", std::to_string(h.streamResets)});
+        health.addRow({"stream: wraps repaired",
+                       std::to_string(h.wrapsRepaired)});
+        health.addRow(
+            {"counters held", std::to_string(h.countersHeld) + "/" +
+                                  std::to_string(
+                                      gpu::kNumSelectedCounters)});
+        health.print("pipeline health");
+    }
 
     int shown = 0;
     for (const auto &r : results) {

@@ -78,6 +78,7 @@ printStats(const trace::TraceStats &s)
     table.addRow({"page switches", std::to_string(s.pageSwitches)});
     table.addRow({"app switches", std::to_string(s.appSwitches)});
     table.addRow({"trials", std::to_string(s.trials)});
+    table.addRow({"fault events", std::to_string(s.faults)});
     table.addRow({"duration", fmtDuration(s.duration)});
     table.print("trace stats");
 }
@@ -175,17 +176,27 @@ cmdVerify(const std::string &path)
 {
     std::uint64_t records = 0;
     trace::TraceHeader header;
-    const trace::TraceError err =
-        trace::TraceReader::verifyFile(path, &records, &header);
+    std::vector<trace::TraceRecord> faults;
+    const trace::TraceError err = trace::TraceReader::verifyFile(
+        path, &records, &header, &faults);
     if (err != trace::TraceError::None) {
         std::printf("%s: CORRUPT after %llu records: %s\n",
                     path.c_str(), (unsigned long long)records,
                     trace::traceErrorString(err));
         return 1;
     }
-    std::printf("%s: OK (%llu records, device %s)\n", path.c_str(),
+    std::printf("%s: OK (v%u, %llu records, device %s)\n",
+                path.c_str(), unsigned(header.version),
                 (unsigned long long)records,
                 header.deviceKey.c_str());
+    if (!faults.empty()) {
+        std::printf("fault events: %zu\n", faults.size());
+        for (const trace::TraceRecord &f : faults)
+            std::printf("  %10.3f ms  %-14s detail=%llu\n",
+                        f.time.millis(),
+                        kgsl::faultKindString(f.fault),
+                        (unsigned long long)f.faultDetail);
+    }
     return 0;
 }
 

@@ -4,11 +4,24 @@
  * (paper Fig. 11's "PC value changes"). A change is any reading whose
  * totals differ from the previous reading; consecutive changes from
  * one long render job are the *split* artefact repaired downstream.
+ *
+ * Real hardware counters are not monotonic: a GPU power collapse
+ * zeroes them and the 32-bit physical registers wrap. A counter
+ * moving backwards (or implausibly far forwards) is therefore a
+ * stream discontinuity, not a render job — naive unsigned
+ * subtraction would turn it into one garbage mega-change that the
+ * classifier mistakes for a huge frame. The detector disambiguates:
+ * a small backward step near the 2^32 boundary is repaired as a
+ * wraparound; anything else re-baselines silently and notifies the
+ * discontinuity listener so downstream split-repair state can be
+ * flushed too.
  */
 
 #ifndef GPUSC_ATTACK_CHANGE_DETECTOR_H
 #define GPUSC_ATTACK_CHANGE_DETECTOR_H
 
+#include <cstdint>
+#include <functional>
 #include <optional>
 
 #include "attack/sampler.h"
@@ -27,6 +40,16 @@ struct PcChange
 class ChangeDetector
 {
   public:
+    /** 32-bit physical registers wrap at this modulus. */
+    static constexpr std::uint64_t kWrapModulus = 1ull << 32;
+
+    /**
+     * No real render job moves a counter further than this between
+     * two samples (the busiest frames are ~10^5 per counter); a
+     * larger delta is a reset/wraparound artefact.
+     */
+    static constexpr std::int64_t kMaxPlausibleDelta = 1ll << 26;
+
     /** @return a change if this reading differs from the previous. */
     std::optional<PcChange>
     onReading(const Reading &r)
@@ -39,11 +62,38 @@ class ChangeDetector
         PcChange c;
         c.time = r.time;
         bool any = false;
+        bool discontinuity = false;
         for (std::size_t i = 0; i < r.totals.size(); ++i) {
-            c.delta[i] = std::int64_t(r.totals[i] - prev_[i]);
-            any = any || c.delta[i] != 0;
+            const std::uint64_t prev = prev_[i], now = r.totals[i];
+            std::int64_t delta;
+            if (now >= prev) {
+                delta = std::int64_t(now - prev);
+                if (delta > kMaxPlausibleDelta)
+                    discontinuity = true; // collapse under wrap bias
+            } else if (prev < kWrapModulus && now < kWrapModulus &&
+                       std::int64_t(now + kWrapModulus - prev) <=
+                           kMaxPlausibleDelta) {
+                // Backward step that a single 32-bit wrap explains:
+                // repair it and keep the stream.
+                delta = std::int64_t(now + kWrapModulus - prev);
+                ++wrapsRepaired_;
+            } else {
+                delta = 0;
+                discontinuity = true; // power collapse / device reset
+            }
+            c.delta[i] = delta;
+            any = any || delta != 0;
         }
         prev_ = r.totals;
+        if (discontinuity) {
+            // The reading straddles a counter reset; its deltas mix
+            // pre- and post-reset state, so drop the whole sample and
+            // let the next pair difference cleanly.
+            ++resetsDetected_;
+            if (onDiscontinuity_)
+                onDiscontinuity_(r.time);
+            return std::nullopt;
+        }
         if (!any)
             return std::nullopt;
         return c;
@@ -55,9 +105,25 @@ class ChangeDetector
         havePrev_ = false;
     }
 
+    /** Notified (with the reading's time) on every re-baseline. */
+    void
+    setDiscontinuityListener(std::function<void(SimTime)> fn)
+    {
+        onDiscontinuity_ = std::move(fn);
+    }
+
+    /** Readings dropped to re-baseline (resets / power collapses). */
+    std::uint64_t resetsDetected() const { return resetsDetected_; }
+
+    /** Backward steps repaired as 32-bit wraparounds. */
+    std::uint64_t wrapsRepaired() const { return wrapsRepaired_; }
+
   private:
     gpu::CounterTotals prev_{};
     bool havePrev_ = false;
+    std::uint64_t resetsDetected_ = 0;
+    std::uint64_t wrapsRepaired_ = 0;
+    std::function<void(SimTime)> onDiscontinuity_;
 };
 
 } // namespace gpusc::attack

@@ -21,8 +21,9 @@ Eavesdropper::Eavesdropper(android::Device &device,
 {
     sampler_ = std::make_unique<PcSampler>(
         device_->kgsl(), device_->attackerContext(), device_->eq(),
-        params_.samplingInterval);
+        params_.samplingInterval, params_.recovery);
     sampler_->setListener([this](const Reading &r) { onReading(r); });
+    wireStreamRepair();
     adoptModel(model);
 }
 
@@ -32,19 +33,49 @@ Eavesdropper::Eavesdropper(android::Device &device,
 {
     sampler_ = std::make_unique<PcSampler>(
         device_->kgsl(), device_->attackerContext(), device_->eq(),
-        params_.samplingInterval);
+        params_.samplingInterval, params_.recovery);
     sampler_->setListener([this](const Reading &r) { onReading(r); });
+    wireStreamRepair();
 }
 
 Eavesdropper::Eavesdropper(const SignatureModel &model, Params params)
     : params_(params)
 {
+    wireStreamRepair();
     adoptModel(model);
 }
 
 Eavesdropper::Eavesdropper(const ModelStore &store, Params params)
     : params_(params), store_(&store)
 {
+    wireStreamRepair();
+}
+
+void
+Eavesdropper::wireStreamRepair()
+{
+    // A stream discontinuity (counter reset / power collapse) must
+    // also flush Algorithm 1's pending split candidate: a change from
+    // before the gap may not combine with one after it. No inference
+    // exists yet during device recognition — drop the notification.
+    changes_.setDiscontinuityListener([this](SimTime) {
+        if (inference_)
+            inference_->noteDiscontinuity();
+    });
+}
+
+HealthStats
+Eavesdropper::health() const
+{
+    HealthStats h;
+    if (sampler_)
+        h = sampler_->health();
+    else
+        // Detached (replay) mode has no device to lose counters to.
+        h.countersHeld = gpu::kNumSelectedCounters;
+    h.streamResets = changes_.resetsDetected();
+    h.wrapsRepaired = changes_.wrapsRepaired();
+    return h;
 }
 
 Eavesdropper::~Eavesdropper() = default;

@@ -49,6 +49,8 @@ class Eavesdropper
         SimTime samplingInterval = SimTime::fromMs(8);
         /** Algorithm 1 knobs. */
         OnlineInference::Params inference{};
+        /** Sampler self-healing knobs (retries, backoff, watchdog). */
+        RecoveryParams recovery{};
         /** Disable components for ablation studies. */
         bool appSwitchDetection = true;
         bool correctionTracking = true;
@@ -129,6 +131,14 @@ class Eavesdropper
     /** Raw bytes the sampler observed (for the traffic comparison). */
     std::size_t rawCounterBytes() const;
 
+    /**
+     * Fault-recovery accounting for the whole pipeline: the sampler's
+     * retry/reopen/watchdog counters merged with the ChangeDetector's
+     * stream repairs. Detached instances report all counters held
+     * (there is no device to lose them to).
+     */
+    HealthStats health() const;
+
     /** Model actually in use (after recognition, if any). */
     const SignatureModel *activeModel() const { return model_; }
 
@@ -159,6 +169,7 @@ class Eavesdropper
     void onChange(const PcChange &c);
     bool tryRecognize(const PcChange &c);
     void adoptModel(const SignatureModel &model);
+    void wireStreamRepair();
 
     /** Null in detached (replay) mode. */
     android::Device *device_ = nullptr;

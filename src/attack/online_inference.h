@@ -63,6 +63,18 @@ class OnlineInference
     /** Disable step 0 (ablation: no duplication filter). */
     void setDuplicationFilterEnabled(bool on) { dupFilter_ = on; }
 
+    /**
+     * The counter stream re-baselined (reset / power collapse): a
+     * pending split candidate from before the gap must not be
+     * combined with changes after it.
+     */
+    void
+    noteDiscontinuity()
+    {
+        prevUnmatched_.reset();
+        ++discontinuities_;
+    }
+
     SimTime lastInferredTime() const { return lastInferred_; }
 
     // Diagnostics.
@@ -70,6 +82,7 @@ class OnlineInference
     std::uint64_t duplicationDrops() const { return dupDrops_; }
     std::uint64_t splitCombines() const { return splitCombines_; }
     std::uint64_t noiseCount() const { return noise_; }
+    std::uint64_t discontinuities() const { return discontinuities_; }
 
     const SignatureModel &model() const { return model_; }
 
@@ -85,6 +98,7 @@ class OnlineInference
     std::uint64_t dupDrops_ = 0;
     std::uint64_t splitCombines_ = 0;
     std::uint64_t noise_ = 0;
+    std::uint64_t discontinuities_ = 0;
 };
 
 } // namespace gpusc::attack

@@ -1,5 +1,7 @@
 #include "attack/sampler.h"
 
+#include <algorithm>
+
 #include "kgsl/msm_kgsl.h"
 
 namespace gpusc::attack {
@@ -50,9 +52,10 @@ PcSampler::readOnce(kgsl::KgslDevice &dev, int fd,
 }
 
 PcSampler::PcSampler(kgsl::KgslDevice &dev, kgsl::ProcessContext proc,
-                     EventQueue &eq, SimTime interval)
+                     EventQueue &eq, SimTime interval,
+                     RecoveryParams recovery)
     : dev_(dev), proc_(proc), eq_(eq), interval_(interval),
-      aliveToken_(std::make_shared<int>(0))
+      recovery_(recovery), aliveToken_(std::make_shared<int>(0))
 {
 }
 
@@ -61,18 +64,167 @@ PcSampler::~PcSampler()
     stop();
 }
 
-bool
-PcSampler::start()
+int
+PcSampler::ioctlRetrying(unsigned long request, void *arg)
 {
-    if (running_)
-        return true;
-    const int fd = openAndReserveCounters(dev_, proc_);
+    int rc = dev_.ioctl(fd_, request, arg);
+    for (int attempt = 0;
+         (rc == -kgsl::KGSL_EINTR || rc == -kgsl::KGSL_EAGAIN) &&
+         attempt < recovery_.maxTransientRetries;
+         ++attempt) {
+        ++health_.transientRetries;
+        rc = dev_.ioctl(fd_, request, arg);
+    }
+    return rc;
+}
+
+bool
+PcSampler::openAndReserve()
+{
+    const int fd = dev_.open(proc_);
     if (fd < 0) {
         lastErrno_ = -fd;
         return false;
     }
     fd_ = fd;
+    held_.fill(false);
+    std::size_t got = 0;
+    for (std::size_t i = 0; i < gpu::kNumSelectedCounters; ++i) {
+        const gpu::CounterId id =
+            gpu::counterId(gpu::SelectedCounter(i));
+        kgsl::kgsl_perfcounter_get get;
+        get.groupid = id.group;
+        get.countable = id.countable;
+        const int rc =
+            ioctlRetrying(kgsl::IOCTL_KGSL_PERFCOUNTER_GET, &get);
+        if (rc == 0) {
+            held_[i] = true;
+            ++got;
+            continue;
+        }
+        lastErrno_ = -rc;
+        if (rc == -kgsl::KGSL_EBUSY && recovery_.allowDegraded)
+            continue; // degraded mode: sample whatever is free
+        // Hard failure: closing the descriptor makes the kernel free
+        // every partially acquired reservation, so nothing leaks even
+        // when a PUT would itself be denied (e.g. RBAC swap).
+        dev_.close(fd_);
+        fd_ = -1;
+        held_.fill(false);
+        return false;
+    }
+    if (got == 0) {
+        // A run with zero counters observes nothing; fail the attempt
+        // (the watchdog retries if we were already running).
+        dev_.close(fd_);
+        fd_ = -1;
+        return false;
+    }
+    backoff_ = recovery_.busyRetryBase;
+    backoffDue_ = eq_.now() + backoff_;
+    return true;
+}
+
+bool
+PcSampler::reopenAfterReset()
+{
+    dev_.close(fd_);
+    fd_ = -1;
+    held_.fill(false);
+    if (!openAndReserve())
+        return false;
+    ++health_.reopens;
+    ++health_.resetsSurvived;
+    return true;
+}
+
+void
+PcSampler::maybeReacquire()
+{
+    bool missing = false;
+    for (std::size_t i = 0; i < gpu::kNumSelectedCounters; ++i)
+        missing = missing || !held_[i];
+    if (!missing || eq_.now() < backoffDue_)
+        return;
+    bool still = false;
+    for (std::size_t i = 0; i < gpu::kNumSelectedCounters; ++i) {
+        if (held_[i])
+            continue;
+        ++health_.busyRetries;
+        const gpu::CounterId id =
+            gpu::counterId(gpu::SelectedCounter(i));
+        kgsl::kgsl_perfcounter_get get;
+        get.groupid = id.group;
+        get.countable = id.countable;
+        const int rc =
+            ioctlRetrying(kgsl::IOCTL_KGSL_PERFCOUNTER_GET, &get);
+        if (rc == 0) {
+            held_[i] = true;
+        } else {
+            lastErrno_ = -rc;
+            still = true;
+        }
+    }
+    if (still) {
+        backoff_ = std::min(backoff_ * 2, recovery_.busyRetryMax);
+        backoffDue_ = eq_.now() + backoff_;
+    } else {
+        backoff_ = recovery_.busyRetryBase;
+    }
+}
+
+int
+PcSampler::readHeld(gpu::CounterTotals &out)
+{
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        kgsl::kgsl_perfcounter_read_group
+            entries[gpu::kNumSelectedCounters];
+        std::size_t slot[gpu::kNumSelectedCounters];
+        std::uint32_t n = 0;
+        for (std::size_t i = 0; i < gpu::kNumSelectedCounters; ++i) {
+            if (!held_[i])
+                continue;
+            const gpu::CounterId id =
+                gpu::counterId(gpu::SelectedCounter(i));
+            entries[n].groupid = id.group;
+            entries[n].countable = id.countable;
+            slot[n] = i;
+            ++n;
+        }
+        kgsl::kgsl_perfcounter_read req;
+        req.reads = entries;
+        req.count = n;
+        const int rc =
+            n ? ioctlRetrying(kgsl::IOCTL_KGSL_PERFCOUNTER_READ, &req)
+              : 0;
+        if (rc == 0) {
+            for (std::uint32_t j = 0; j < n; ++j)
+                lastSeen_[slot[j]] = entries[j].value;
+            // Unheld counters repeat their last value: downstream
+            // deltas are 0 instead of a bogus backward step.
+            out = lastSeen_;
+            return 0;
+        }
+        lastErrno_ = -rc;
+        if (rc == -kgsl::KGSL_ENODEV && attempt == 0 &&
+            reopenAfterReset())
+            continue; // retry the read on the fresh descriptor
+        return rc;
+    }
+    return -kgsl::KGSL_ENODEV;
+}
+
+bool
+PcSampler::start()
+{
+    if (running_)
+        return true;
+    if (!openAndReserve())
+        return false;
     running_ = true;
+    suspended_ = false;
+    ++generation_;
+    scheduleWatchdog();
     tick();
     return true;
 }
@@ -80,11 +232,33 @@ PcSampler::start()
 void
 PcSampler::stop()
 {
+    ++generation_; // pending ticks/watchdogs become no-ops
     if (fd_ >= 0) {
         dev_.close(fd_);
         fd_ = -1;
     }
+    held_.fill(false);
     running_ = false;
+    suspended_ = false;
+}
+
+bool
+PcSampler::degraded() const
+{
+    for (std::size_t i = 0; i < gpu::kNumSelectedCounters; ++i)
+        if (!held_[i])
+            return true;
+    return false;
+}
+
+HealthStats
+PcSampler::health() const
+{
+    HealthStats h = health_;
+    h.countersHeld = 0;
+    for (std::size_t i = 0; i < gpu::kNumSelectedCounters; ++i)
+        h.countersHeld += held_[i] ? 1 : 0;
+    return h;
 }
 
 void
@@ -92,23 +266,85 @@ PcSampler::tick()
 {
     if (!running_)
         return;
+    const std::uint64_t gen = generation_;
+    maybeReacquire();
     Reading r;
     r.time = eq_.now();
-    if (readOnce(dev_, fd_, r.totals)) {
+    const int rc = readHeld(r.totals);
+    if (rc == 0) {
         ++reads_;
         if (tap_)
             tap_(r);
         if (listener_)
             listener_(r);
+    } else {
+        ++health_.missedReads;
+        if (rc == -kgsl::KGSL_EPERM || rc == -kgsl::KGSL_EACCES ||
+            rc == -kgsl::KGSL_ENODEV)
+            // Hard fault (policy denial, or a reset we could not
+            // reopen through): park the chain; the watchdog probes
+            // for recovery at a gentler cadence.
+            suspended_ = true;
     }
+    // The listener may have called stop()/start() on us.
+    if (!running_ || generation_ != gen || suspended_)
+        return;
+    scheduleNext();
+}
+
+void
+PcSampler::scheduleNext()
+{
     SimTime next = interval_;
     if (wakeupJitter_)
         next += wakeupJitter_();
     std::weak_ptr<int> alive = aliveToken_;
-    eq_.scheduleAfter(next, [this, alive] {
-        if (!alive.expired())
+    const std::uint64_t gen = generation_;
+    eq_.scheduleAfter(next, [this, alive, gen] {
+        if (!alive.expired() && generation_ == gen)
             tick();
     });
+}
+
+void
+PcSampler::scheduleWatchdog()
+{
+    std::weak_ptr<int> alive = aliveToken_;
+    const std::uint64_t gen = generation_;
+    eq_.scheduleAfter(recovery_.watchdogInterval, [this, alive, gen] {
+        if (alive.expired() || !running_ || generation_ != gen)
+            return;
+        watchdogProbe();
+        if (running_ && generation_ == gen)
+            scheduleWatchdog();
+    });
+}
+
+void
+PcSampler::watchdogProbe()
+{
+    if (!suspended_)
+        return;
+    bool ok;
+    if (fd_ < 0) {
+        // Still fd-less after a device reset: try a full reopen.
+        ok = openAndReserve();
+        if (ok) {
+            ++health_.reopens;
+            ++health_.resetsSurvived;
+        }
+    } else {
+        // Descriptor intact but reads were denied (RBAC swap): probe
+        // whether the device answers again. The probe value is
+        // discarded; the resumed tick chain delivers the next one.
+        gpu::CounterTotals probe{};
+        ok = readHeld(probe) == 0;
+    }
+    if (ok) {
+        suspended_ = false;
+        ++health_.watchdogRecoveries;
+        tick();
+    }
 }
 
 } // namespace gpusc::attack

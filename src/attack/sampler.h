@@ -8,11 +8,22 @@
  * interval (default 8 ms) with IOCTL_KGSL_PERFCOUNTER_READ. Wakeups
  * can be jittered by a caller-supplied delay source to model CPU
  * contention (§7.3).
+ *
+ * A real driver fights back (see kgsl/fault_injector.h), so the
+ * sampler self-heals: transient EINTR/EAGAIN ioctls retry inline,
+ * EBUSY reservations fall back to a degraded counter subset and are
+ * re-attempted with exponential backoff, ENODEV (device reset)
+ * triggers a reopen + re-reserve within the same tick, and a hard
+ * fault that halts the tick chain (e.g. an RBAC policy denial) parks
+ * the sampler in a suspended state that a slow watchdog probes until
+ * the device answers again. Every recovery is accounted in
+ * HealthStats.
  */
 
 #ifndef GPUSC_ATTACK_SAMPLER_H
 #define GPUSC_ATTACK_SAMPLER_H
 
+#include <array>
 #include <functional>
 #include <memory>
 
@@ -29,12 +40,55 @@ struct Reading
     gpu::CounterTotals totals{};
 };
 
+/** Knobs of the sampler's self-healing machinery. */
+struct RecoveryParams
+{
+    /** Inline retries of an EINTR/EAGAIN ioctl before giving up. */
+    int maxTransientRetries = 8;
+    /** First backoff before re-attempting an EBUSY reservation. */
+    SimTime busyRetryBase = SimTime::fromMs(16);
+    /** Backoff ceiling for EBUSY re-reservation rounds. */
+    SimTime busyRetryMax = SimTime::fromMs(1024);
+    /** Watchdog cadence; probes for recovery while suspended. */
+    SimTime watchdogInterval = SimTime::fromMs(64);
+    /** Keep sampling on whatever counter subset was reservable. */
+    bool allowDegraded = true;
+};
+
+/**
+ * Counters of the sampler's fault-recovery activity (plus the
+ * stream-repair stats the Eavesdropper merges in from its
+ * ChangeDetector). All-zero on a fault-free run.
+ */
+struct HealthStats
+{
+    /** EINTR/EAGAIN ioctls retried inline. */
+    std::uint64_t transientRetries = 0;
+    /** EBUSY reservation re-attempts (degraded-mode reacquisition). */
+    std::uint64_t busyRetries = 0;
+    /** Device reopen cycles (after ENODEV). */
+    std::uint64_t reopens = 0;
+    /** Device resets survived with sampling resumed. */
+    std::uint64_t resetsSurvived = 0;
+    /** Times the watchdog revived a suspended tick chain. */
+    std::uint64_t watchdogRecoveries = 0;
+    /** Ticks that delivered no reading. */
+    std::uint64_t missedReads = 0;
+    /** Readings dropped to re-baseline (ChangeDetector). */
+    std::uint64_t streamResets = 0;
+    /** 32-bit wraparounds repaired in-stream (ChangeDetector). */
+    std::uint64_t wrapsRepaired = 0;
+    /** Counters currently reserved, of gpu::kNumSelectedCounters. */
+    std::uint64_t countersHeld = 0;
+};
+
 /** Periodic PC reader over the KGSL ioctl interface. */
 class PcSampler
 {
   public:
     PcSampler(kgsl::KgslDevice &dev, kgsl::ProcessContext proc,
-              EventQueue &eq, SimTime interval);
+              EventQueue &eq, SimTime interval,
+              RecoveryParams recovery = {});
     ~PcSampler();
 
     PcSampler(const PcSampler &) = delete;
@@ -78,24 +132,59 @@ class PcSampler
     std::uint64_t readCount() const { return reads_; }
     int lastErrno() const { return lastErrno_; }
 
+    /** @return true if the tick chain is parked on a hard fault and
+     *  only the watchdog is still probing the device. */
+    bool suspended() const { return suspended_; }
+
+    /** @return true while holding fewer than all selected counters. */
+    bool degraded() const;
+
+    /** Recovery accounting (streamResets/wrapsRepaired stay 0 here;
+     *  the Eavesdropper's view merges the ChangeDetector's). */
+    HealthStats health() const;
+
+    const RecoveryParams &recovery() const { return recovery_; }
+
     /** Synchronous single read (used by the offline trainer's bot). */
     static bool readOnce(kgsl::KgslDevice &dev, int fd,
                          gpu::CounterTotals &out);
 
   private:
     void tick();
+    void scheduleNext();
+    void scheduleWatchdog();
+    void watchdogProbe();
+    bool openAndReserve();
+    bool reopenAfterReset();
+    void maybeReacquire();
+    int ioctlRetrying(unsigned long request, void *arg);
+    int readHeld(gpu::CounterTotals &out);
 
     kgsl::KgslDevice &dev_;
     kgsl::ProcessContext proc_;
     EventQueue &eq_;
     SimTime interval_;
+    RecoveryParams recovery_;
     std::function<void(const Reading &)> listener_;
     std::function<void(const Reading &)> tap_;
     std::function<SimTime()> wakeupJitter_;
     int fd_ = -1;
     bool running_ = false;
+    bool suspended_ = false;
     std::uint64_t reads_ = 0;
     int lastErrno_ = 0;
+    /** Which of the 11 selected counters we currently hold. */
+    std::array<bool, gpu::kNumSelectedCounters> held_{};
+    /** Last value read per counter; unheld counters repeat theirs so
+     *  downstream deltas stay zero instead of going backwards. */
+    gpu::CounterTotals lastSeen_{};
+    /** Current / next-due EBUSY re-reservation backoff. */
+    SimTime backoff_;
+    SimTime backoffDue_;
+    HealthStats health_;
+    /** Bumped by start()/stop(); pending callbacks from an older
+     *  generation are no-ops, making stop/restart cycles safe. */
+    std::uint64_t generation_ = 0;
     std::shared_ptr<int> aliveToken_;
 };
 

@@ -25,6 +25,15 @@ ExperimentRunner::ExperimentRunner(ExperimentConfig cfg,
     devCfg.seed = cfg_.seed ^ 0x76696374696dULL;
     device_ = std::make_unique<android::Device>(devCfg);
 
+    // Driver hostility applies to the victim device only (the
+    // trainer's lab device above stays pristine). Attach before the
+    // sampler starts so even the first reservations arbitrate.
+    if (cfg_.faultPlan.any()) {
+        injector_ = std::make_unique<kgsl::FaultInjector>(
+            device_->eq(), cfg_.faultPlan);
+        device_->kgsl().setFaultInjector(injector_.get());
+    }
+
     if (cfg_.useDeviceRecognition) {
         eavesdropper_ = std::make_unique<attack::Eavesdropper>(
             *device_, store, cfg_.attackParams);
@@ -93,6 +102,11 @@ ExperimentRunner::ExperimentRunner(ExperimentConfig cfg,
                 [this](bool toTarget, SimTime t) {
                     recorder_->onAppSwitch(t, toTarget);
                 });
+            if (injector_)
+                injector_->setFaultListener(
+                    [this](const kgsl::FaultEvent &ev) {
+                        recorder_->onFault(ev);
+                    });
         }
     }
 

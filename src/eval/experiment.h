@@ -42,6 +42,14 @@ struct ExperimentConfig
     /** Concurrent workloads (§7.3), 0..1 utilisation. */
     double cpuLoad = 0.0;
     double gpuLoad = 0.0;
+    /**
+     * Driver hostility (kgsl::FaultInjector): transient errnos,
+     * scarce counter registers, power collapses, 32-bit wraparound,
+     * device resets. Default-constructed = no faults. Only the victim
+     * device is affected; the offline trainer's bot device runs
+     * fault-free (the paper trains in the attacker's lab).
+     */
+    kgsl::FaultPlan faultPlan{};
     /** Use the preloaded-store + device-recognition path. */
     bool useDeviceRecognition = false;
     /**
@@ -94,6 +102,15 @@ class ExperimentRunner
     attack::Eavesdropper &eavesdropper() { return *eavesdropper_; }
     const attack::SignatureModel &model() const { return *model_; }
 
+    /** Active fault injector, or null when the plan is empty. */
+    kgsl::FaultInjector *faultInjector() { return injector_.get(); }
+
+    /** Pipeline fault-recovery accounting (sampler + detector). */
+    attack::HealthStats health() const
+    {
+        return eavesdropper_->health();
+    }
+
     /**
      * Close the trace being recorded (record mode only); called
      * automatically on destruction. @return the first recording IO
@@ -110,6 +127,7 @@ class ExperimentRunner
   private:
     ExperimentConfig cfg_;
     std::unique_ptr<android::Device> device_;
+    std::unique_ptr<kgsl::FaultInjector> injector_;
     std::unique_ptr<trace::TraceRecorder> recorder_;
     std::optional<attack::SignatureModel> transformedModel_;
     const attack::SignatureModel *model_;

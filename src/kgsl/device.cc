@@ -16,14 +16,41 @@ KgslDevice::open(const ProcessContext &proc)
     if (!policy_->allowOpen(proc))
         return -KGSL_EACCES;
     const int fd = nextFd_++;
-    files_.emplace(fd, OpenFile{proc, {}});
+    OpenFile file{proc, {}};
+    // A descriptor belongs to the reset epoch it was opened in; after
+    // a GPU hang recovery it turns ENODEV until the process reopens.
+    file.epoch = injector_ ? injector_->resetEpoch() : 0;
+    files_.emplace(fd, std::move(file));
     return fd;
+}
+
+void
+KgslDevice::dropReservations(OpenFile &file)
+{
+    if (injector_ && !file.stale)
+        for (const auto &[groupid, countable] : file.reservations)
+            injector_->release(groupid);
+    file.reservations.clear();
 }
 
 int
 KgslDevice::close(int fd)
 {
-    return files_.erase(fd) ? 0 : -KGSL_EBADF;
+    auto it = files_.find(fd);
+    if (it == files_.end())
+        return -KGSL_EBADF;
+    dropReservations(it->second);
+    files_.erase(it);
+    return 0;
+}
+
+std::size_t
+KgslDevice::totalReservations() const
+{
+    std::size_t n = 0;
+    for (const auto &[fd, file] : files_)
+        n += file.reservations.size();
+    return n;
 }
 
 bool
@@ -57,7 +84,14 @@ KgslDevice::doPerfcounterGet(OpenFile &file, kgsl_perfcounter_get *arg)
         return -KGSL_EFAULT;
     if (!hardwareImplementsCounter(arg->groupid, arg->countable))
         return -KGSL_EINVAL;
-    file.reservations.insert({arg->groupid, arg->countable});
+    if (!file.reservations.contains({arg->groupid, arg->countable})) {
+        // A fresh reservation needs a free physical register in the
+        // group (re-GET of a held countable costs nothing, like the
+        // refcounted real driver).
+        if (injector_ && !injector_->tryReserve(arg->groupid))
+            return -KGSL_EBUSY;
+        file.reservations.insert({arg->groupid, arg->countable});
+    }
     // Real driver returns the register offset; any stable nonzero
     // value preserves the calling convention.
     arg->offset = 0x400 + arg->groupid * 0x40 + arg->countable;
@@ -70,7 +104,9 @@ KgslDevice::doPerfcounterPut(OpenFile &file, kgsl_perfcounter_put *arg)
 {
     if (!arg)
         return -KGSL_EFAULT;
-    file.reservations.erase({arg->groupid, arg->countable});
+    if (file.reservations.erase({arg->groupid, arg->countable}) &&
+        injector_)
+        injector_->release(arg->groupid);
     return 0;
 }
 
@@ -81,7 +117,9 @@ KgslDevice::doPerfcounterRead(OpenFile &file, kgsl_perfcounter_read *arg)
         return -KGSL_EFAULT;
     // Values are the *global* cumulative hardware registers — this is
     // the leak: the reading process sees work submitted by every app.
-    const gpu::CounterTotals totals = engine_.readAll();
+    gpu::CounterTotals totals = engine_.readAll();
+    if (injector_)
+        injector_->transform(totals);
     for (std::uint32_t i = 0; i < arg->count; ++i) {
         kgsl_perfcounter_read_group &entry = arg->reads[i];
         if (!hardwareImplementsCounter(entry.groupid, entry.countable))
@@ -106,8 +144,24 @@ KgslDevice::ioctl(int fd, unsigned long request, void *arg)
     OpenFile &file = it->second;
 
     ++ioctlCount_;
+    if (injector_ && !file.stale &&
+        injector_->resetEpoch() > file.epoch) {
+        // GPU hang recovery tore the context down: the kernel freed
+        // the descriptor's counter registers, and the fd answers
+        // ENODEV until the process reopens the device.
+        dropReservations(file);
+        file.stale = true;
+    }
+    if (file.stale)
+        return -KGSL_ENODEV;
     if (!policy_->allowIoctl(file.proc, request))
         return -KGSL_EPERM;
+    if (injector_ && (request == IOCTL_KGSL_PERFCOUNTER_GET ||
+                      request == IOCTL_KGSL_PERFCOUNTER_READ))
+        // PUT is exempt: cleanup must stay reliable or every failure
+        // path would leak reservations.
+        if (int err = injector_->ioctlFault(); err != 0)
+            return err;
 
     if (request == IOCTL_KGSL_PERFCOUNTER_GET)
         return doPerfcounterGet(file,

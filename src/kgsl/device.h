@@ -25,6 +25,7 @@
 #include <string>
 
 #include "gpu/render_engine.h"
+#include "kgsl/fault_injector.h"
 #include "kgsl/msm_kgsl.h"
 #include "kgsl/policy.h"
 
@@ -67,19 +68,45 @@ class KgslDevice
     /** Swap the active security policy (used by mitigation benches). */
     void setPolicy(const SecurityPolicy &policy) { policy_ = &policy; }
 
+    /**
+     * Attach (or detach, with nullptr) a fault injector. The device
+     * consults it on every open/ioctl: transient errno injection,
+     * physical-register arbitration (EBUSY), power-collapse /
+     * wraparound value transforms and reset epochs (ENODEV).
+     */
+    void setFaultInjector(FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+    FaultInjector *faultInjector() { return injector_; }
+
+    /** Currently open descriptors (fd-leak regression tests). */
+    std::size_t openFileCount() const { return files_.size(); }
+
+    /** Counter reservations live across all descriptors. */
+    std::size_t totalReservations() const;
+
   private:
     struct OpenFile
     {
         ProcessContext proc;
         std::set<std::pair<std::uint32_t, std::uint32_t>> reservations;
+        /** Reset epoch the descriptor was opened in. */
+        std::uint64_t epoch = 0;
+        /** Invalidated by a device reset; every ioctl is ENODEV. */
+        bool stale = false;
     };
 
     int doPerfcounterGet(OpenFile &file, kgsl_perfcounter_get *arg);
     int doPerfcounterPut(OpenFile &file, kgsl_perfcounter_put *arg);
     int doPerfcounterRead(OpenFile &file, kgsl_perfcounter_read *arg);
 
+    /** Drop all of @p file's reservations (returning registers). */
+    void dropReservations(OpenFile &file);
+
     gpu::RenderEngine &engine_;
     const SecurityPolicy *policy_;
+    FaultInjector *injector_ = nullptr;
     int nextFd_ = 3;
     std::map<int, OpenFile> files_;
     std::uint64_t ioctlCount_ = 0;

@@ -1,0 +1,142 @@
+#include "kgsl/fault_injector.h"
+
+#include "kgsl/msm_kgsl.h"
+#include "util/logging.h"
+
+namespace gpusc::kgsl {
+
+const char *
+faultKindString(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::TransientError: return "TransientError";
+      case FaultKind::CounterBusy: return "CounterBusy";
+      case FaultKind::PowerCollapse: return "PowerCollapse";
+      case FaultKind::DeviceReset: return "DeviceReset";
+    }
+    return "Unknown";
+}
+
+FaultInjector::FaultInjector(EventQueue &eq, FaultPlan plan)
+    : eq_(eq), plan_(std::move(plan)), rng_(plan_.seed)
+{
+}
+
+void
+FaultInjector::emit(FaultKind kind, std::uint64_t detail)
+{
+    if (listener_)
+        listener_({eq_.now(), kind, detail});
+}
+
+int
+FaultInjector::ioctlFault()
+{
+    if (plan_.transientErrorProb <= 0.0 ||
+        !rng_.bernoulli(plan_.transientErrorProb))
+        return 0;
+    ++stats_.transientErrors;
+    const int err = nextIsEintr_ ? KGSL_EINTR : KGSL_EAGAIN;
+    nextIsEintr_ = !nextIsEintr_;
+    emit(FaultKind::TransientError, std::uint64_t(err));
+    return -err;
+}
+
+std::uint32_t
+FaultInjector::competitorsHolding(std::uint32_t groupid) const
+{
+    std::uint32_t held = 0;
+    for (const CompetingProfiler &p : plan_.competitors)
+        if (p.groupid == groupid && eq_.now() < p.exitTime)
+            held += p.registers;
+    return held;
+}
+
+bool
+FaultInjector::tryReserve(std::uint32_t groupid)
+{
+    const auto cap = plan_.groupRegisters.find(groupid);
+    if (cap != plan_.groupRegisters.end()) {
+        const std::uint32_t used =
+            held_[groupid] + competitorsHolding(groupid);
+        if (used >= cap->second) {
+            ++stats_.busyDenials;
+            emit(FaultKind::CounterBusy, groupid);
+            return false;
+        }
+    }
+    ++held_[groupid];
+    return true;
+}
+
+void
+FaultInjector::release(std::uint32_t groupid)
+{
+    auto it = held_.find(groupid);
+    if (it == held_.end() || it->second == 0) {
+        warn("FaultInjector: release of unheld group %u", groupid);
+        return;
+    }
+    --it->second;
+}
+
+std::uint32_t
+FaultInjector::heldRegisters() const
+{
+    std::uint32_t total = 0;
+    for (const auto &[group, n] : held_)
+        total += n;
+    return total;
+}
+
+std::uint64_t
+FaultInjector::resetEpoch()
+{
+    std::uint64_t epoch = 0;
+    for (SimTime t : plan_.deviceResets)
+        if (t <= eq_.now())
+            ++epoch;
+    while (announcedEpoch_ < epoch) {
+        ++announcedEpoch_;
+        ++stats_.deviceResets;
+        emit(FaultKind::DeviceReset, announcedEpoch_);
+    }
+    return epoch;
+}
+
+void
+FaultInjector::transform(gpu::CounterTotals &totals)
+{
+    if (plan_.powerCollapseInterval > SimTime()) {
+        const std::int64_t periods =
+            eq_.now().ns() / plan_.powerCollapseInterval.ns();
+        if (periods > collapsePeriods_) {
+            // The GPU slept (possibly several times) since the last
+            // read; all counters restarted from zero. Readouts are
+            // lazy, so the rebase point is the first read after the
+            // boundary — work submitted in between is lost, exactly
+            // like a real SLUMBER exit.
+            const std::uint64_t crossed =
+                std::uint64_t(periods - collapsePeriods_);
+            collapsePeriods_ = periods;
+            collapseBaseline_ = totals;
+            everCollapsed_ = true;
+            stats_.powerCollapses += crossed;
+            emit(FaultKind::PowerCollapse, crossed);
+        }
+        if (everCollapsed_)
+            for (std::size_t i = 0; i < totals.size(); ++i)
+                totals[i] -= collapseBaseline_[i];
+    }
+    if (plan_.wrap32) {
+        // The physical registers are 32 bits wide. The configurable
+        // offset models counts accumulated before the attack started;
+        // a power collapse clears it along with everything else.
+        const std::uint64_t bias =
+            everCollapsed_ ? 0 : plan_.wrap32Offset;
+        for (std::uint64_t &v : totals)
+            v = (v + bias) & 0xffffffffull;
+    }
+}
+
+} // namespace gpusc::kgsl

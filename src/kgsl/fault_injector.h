@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Scriptable fault injection for the simulated KGSL device.
+ *
+ * Real Adreno drivers are hostile to long-running profilers: perf
+ * counters reset to zero when the GPU power-collapses (SLUMBER),
+ * physical counter registers are scarce so PERFCOUNTER_GET can fail
+ * with EBUSY while another profiler holds a countable, hardware
+ * registers are 32 bits wide and wrap, ioctls can be interrupted
+ * (EINTR/EAGAIN), and GPU hang recovery invalidates every open
+ * descriptor until the process reopens the device. A FaultPlan
+ * scripts any combination of these against KgslDevice so the attack's
+ * recovery paths (attack::PcSampler, attack::ChangeDetector) can be
+ * exercised deterministically.
+ *
+ * All randomness is drawn from an explicitly seeded Rng, so a faulty
+ * run is exactly reproducible — and recordable/replayable through
+ * src/trace/ (fault events become v2 trace records).
+ */
+
+#ifndef GPUSC_KGSL_FAULT_INJECTOR_H
+#define GPUSC_KGSL_FAULT_INJECTOR_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "gpu/counters.h"
+#include "util/event_queue.h"
+#include "util/rng.h"
+
+namespace gpusc::kgsl {
+
+/** Category of one injected fault occurrence. */
+enum class FaultKind : std::uint8_t
+{
+    TransientError = 1, ///< ioctl failed EINTR/EAGAIN (detail: errno)
+    CounterBusy = 2,    ///< PERFCOUNTER_GET denied EBUSY (detail: group)
+    PowerCollapse = 3,  ///< counters zeroed (detail: periods crossed)
+    DeviceReset = 4,    ///< fds invalidated (detail: new epoch)
+};
+
+/** Stable name for logs/benches, e.g. "PowerCollapse". */
+const char *faultKindString(FaultKind k);
+
+/** One fault occurrence, as observed at the device interface. */
+struct FaultEvent
+{
+    SimTime time;
+    FaultKind kind = FaultKind::TransientError;
+    std::uint64_t detail = 0;
+};
+
+/** A competing profiler process holding physical counter registers
+ *  in one group until it exits. */
+struct CompetingProfiler
+{
+    std::uint32_t groupid = 0;
+    std::uint32_t registers = 0;
+    /** The process exits (releasing its registers) at this time. */
+    SimTime exitTime = SimTime::max();
+};
+
+/** Everything a fault-injection scenario can script. */
+struct FaultPlan
+{
+    /** Probability that a PERFCOUNTER_GET/_READ ioctl fails with a
+     *  transient EINTR/EAGAIN (retryable). */
+    double transientErrorProb = 0.0;
+
+    /** GPU power collapse (SLUMBER) period; every boundary zeroes all
+     *  counter values. <= 0 disables. */
+    SimTime powerCollapseInterval{};
+
+    /** Model 32-bit physical counter registers: reported values
+     *  truncate to 32 bits and wrap. */
+    bool wrap32 = false;
+    /** Pre-attack register contents in wrap32 mode (bias so the first
+     *  wraparound happens early in a session). Cleared by the first
+     *  power collapse, like the rest of the accumulated count. */
+    std::uint64_t wrap32Offset = 0;
+
+    /** Physical registers available per counter group; groups absent
+     *  from the map are unlimited (the no-fault default). */
+    std::map<std::uint32_t, std::uint32_t> groupRegisters;
+    /** Competing profilers consuming registers until they exit. */
+    std::vector<CompetingProfiler> competitors;
+
+    /** Device reset (GPU hang recovery) epochs: at each time every
+     *  open descriptor turns ENODEV until reopened. */
+    std::vector<SimTime> deviceResets;
+
+    std::uint64_t seed = 0x5eedfau;
+
+    /** @return true if any fault source is enabled. */
+    bool any() const
+    {
+        return transientErrorProb > 0.0 ||
+               powerCollapseInterval > SimTime() || wrap32 ||
+               !groupRegisters.empty() || !competitors.empty() ||
+               !deviceResets.empty();
+    }
+};
+
+/**
+ * Executes a FaultPlan against KgslDevice. The device consults the
+ * injector on every open/ioctl; the injector arbitrates counter
+ * registers, transforms read values and accounts every injected
+ * fault.
+ */
+class FaultInjector
+{
+  public:
+    /** Totals per fault category (plus EBUSY retries observed). */
+    struct Stats
+    {
+        std::uint64_t transientErrors = 0;
+        std::uint64_t busyDenials = 0;
+        std::uint64_t powerCollapses = 0;
+        std::uint64_t deviceResets = 0;
+    };
+
+    FaultInjector(EventQueue &eq, FaultPlan plan);
+
+    const FaultPlan &plan() const { return plan_; }
+    const Stats &stats() const { return stats_; }
+
+    /** Observe every injected fault (trace recording hook). */
+    void setFaultListener(std::function<void(const FaultEvent &)> fn)
+    {
+        listener_ = std::move(fn);
+    }
+
+    // --- Hooks called by KgslDevice --------------------------------
+
+    /**
+     * Transient-fault gate for a perf-counter GET/READ ioctl.
+     * @return 0, or the negative errno to inject (-EINTR/-EAGAIN).
+     */
+    int ioctlFault();
+
+    /**
+     * Arbitrate one physical counter register in @p groupid.
+     * @return true if a register is free (now held by the caller).
+     */
+    bool tryReserve(std::uint32_t groupid);
+
+    /** Return one register of @p groupid to the free pool. */
+    void release(std::uint32_t groupid);
+
+    /** Registers currently held through tryReserve(), all groups. */
+    std::uint32_t heldRegisters() const;
+
+    /**
+     * Device-reset epoch at the current time: the number of scripted
+     * reset times that have passed. A descriptor opened in an older
+     * epoch is invalid (ENODEV).
+     */
+    std::uint64_t resetEpoch();
+
+    /**
+     * Apply value faults to a counter readout: zero-rebase after any
+     * power collapse crossed since the last read, then 32-bit
+     * truncation. Idempotent per point in time.
+     */
+    void transform(gpu::CounterTotals &totals);
+
+  private:
+    void emit(FaultKind kind, std::uint64_t detail);
+    std::uint32_t competitorsHolding(std::uint32_t groupid) const;
+
+    EventQueue &eq_;
+    FaultPlan plan_;
+    Rng rng_;
+    Stats stats_;
+    std::function<void(const FaultEvent &)> listener_;
+    /** Alternates EINTR/EAGAIN for variety in the transient stream. */
+    bool nextIsEintr_ = true;
+    /** Registers held by the device's clients, per group. */
+    std::map<std::uint32_t, std::uint32_t> held_;
+    /** Completed power-collapse periods at the last transform. */
+    std::int64_t collapsePeriods_ = 0;
+    /** Raw totals at the most recent collapse (zero-rebase point). */
+    gpu::CounterTotals collapseBaseline_{};
+    bool everCollapsed_ = false;
+    /** Reset epochs already accounted in stats. */
+    std::uint64_t announcedEpoch_ = 0;
+};
+
+} // namespace gpusc::kgsl
+
+#endif // GPUSC_KGSL_FAULT_INJECTOR_H

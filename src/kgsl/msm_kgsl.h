@@ -86,9 +86,13 @@ inline constexpr unsigned long IOCTL_KGSL_PERFCOUNTER_READ =
 
 /* errno values returned by the simulated driver (negated). */
 inline constexpr int KGSL_EPERM = 1;
+inline constexpr int KGSL_EINTR = 4;
 inline constexpr int KGSL_EBADF = 9;
+inline constexpr int KGSL_EAGAIN = 11;
 inline constexpr int KGSL_EACCES = 13;
 inline constexpr int KGSL_EFAULT = 14;
+inline constexpr int KGSL_EBUSY = 16;
+inline constexpr int KGSL_ENODEV = 19;
 inline constexpr int KGSL_EINVAL = 22;
 
 } // namespace gpusc::kgsl

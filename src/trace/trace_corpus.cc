@@ -60,6 +60,7 @@ TraceCorpus::addFile(const std::string &path)
             break;
           case RecordKind::AppSwitch: ++info.stats.appSwitches; break;
           case RecordKind::TrialBegin: ++info.stats.trials; break;
+          case RecordKind::Fault: ++info.stats.faults; break;
           case RecordKind::TrialEnd: break;
         }
     }
@@ -129,6 +130,7 @@ TraceCorpus::aggregate(const std::string &deviceKey) const
         sum.pageSwitches += t.stats.pageSwitches;
         sum.appSwitches += t.stats.appSwitches;
         sum.trials += t.stats.trials;
+        sum.faults += t.stats.faults;
         sum.duration += t.stats.duration;
     }
     return sum;

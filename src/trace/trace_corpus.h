@@ -34,6 +34,8 @@ struct TraceStats
     std::uint64_t pageSwitches = 0;
     std::uint64_t appSwitches = 0;
     std::uint64_t trials = 0;
+    /** Injected-fault annotations (v2+ traces). */
+    std::uint64_t faults = 0;
     /** Last record timestamp (sim time spanned by the trace). */
     SimTime duration;
 };

@@ -24,10 +24,12 @@ traceErrorString(TraceError e)
 }
 
 bool
-knownRecordKind(std::uint8_t k)
+knownRecordKind(std::uint8_t k, std::uint16_t version)
 {
-    return k >= std::uint8_t(RecordKind::Reading) &&
-           k <= std::uint8_t(RecordKind::TrialEnd);
+    const std::uint8_t last = version >= 2
+                                  ? std::uint8_t(RecordKind::Fault)
+                                  : std::uint8_t(RecordKind::TrialEnd);
+    return k >= std::uint8_t(RecordKind::Reading) && k <= last;
 }
 
 std::vector<std::uint8_t>
@@ -68,8 +70,9 @@ decodeHeader(ByteReader &reader, TraceHeader &out)
     const std::uint16_t version = reader.u16();
     if (!reader.ok())
         return TraceError::TruncatedHeader;
-    if (version != kTraceVersion)
+    if (version < kTraceMinVersion || version > kTraceVersion)
         return TraceError::BadVersion;
+    out.version = version;
     const std::uint16_t payloadLen = reader.u16();
     if (!reader.ok() || reader.remaining() < payloadLen + 4u)
         return TraceError::TruncatedHeader;
@@ -124,6 +127,10 @@ encodeRecord(const TraceRecord &r)
       case RecordKind::TrialBegin:
         payload.str16(r.text);
         break;
+      case RecordKind::Fault:
+        payload.u8(std::uint8_t(r.fault));
+        payload.u64(r.faultDetail);
+        break;
       case RecordKind::Backspace:
       case RecordKind::TrialEnd:
         break;
@@ -144,9 +151,10 @@ encodeRecord(const TraceRecord &r)
 
 TraceError
 decodePayload(std::uint8_t kind, const std::uint8_t *payload,
-              std::size_t size, TraceRecord &out)
+              std::size_t size, TraceRecord &out,
+              std::uint16_t version)
 {
-    if (!knownRecordKind(kind))
+    if (!knownRecordKind(kind, version))
         return TraceError::BadRecordKind;
     out = TraceRecord{};
     out.kind = RecordKind(kind);
@@ -171,6 +179,15 @@ decodePayload(std::uint8_t kind, const std::uint8_t *payload,
       case RecordKind::TrialBegin:
         out.text = p.str16();
         break;
+      case RecordKind::Fault: {
+        const std::uint8_t fk = p.u8();
+        if (fk < std::uint8_t(kgsl::FaultKind::TransientError) ||
+            fk > std::uint8_t(kgsl::FaultKind::DeviceReset))
+            return TraceError::BadRecordPayload;
+        out.fault = kgsl::FaultKind(fk);
+        out.faultDetail = p.u64();
+        break;
+      }
       case RecordKind::Backspace:
       case RecordKind::TrialEnd:
         break;

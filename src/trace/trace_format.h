@@ -36,6 +36,7 @@
 
 #include "android/device.h"
 #include "attack/sampler.h"
+#include "kgsl/fault_injector.h"
 #include "trace/trace_error.h"
 #include "util/binary_io.h"
 
@@ -43,14 +44,24 @@ namespace gpusc::trace {
 
 /** File magic "GPCT" (GPu Counter Trace), little-endian. */
 inline constexpr std::uint32_t kTraceMagic = 0x54435047;
-/** Current format version; bump on any layout change. */
-inline constexpr std::uint16_t kTraceVersion = 1;
+/**
+ * Current format version; bump on any layout change.
+ * v1: initial format. v2: adds the Fault record kind (injected
+ * device faults annotate the stream; everything else is unchanged,
+ * so v1 files remain fully readable).
+ */
+inline constexpr std::uint16_t kTraceVersion = 2;
+/** Oldest version this reader still accepts. */
+inline constexpr std::uint16_t kTraceMinVersion = 1;
 /** Conventional file extension for traces. */
 inline constexpr const char *kTraceExtension = ".gpct";
 
 /** Everything a trace records about the session that produced it. */
 struct TraceHeader
 {
+    /** Format version of the file (filled on read; files are always
+     *  written at kTraceVersion). */
+    std::uint16_t version = kTraceVersion;
     /** Device::modelKey() of the recorded victim device. */
     std::string deviceKey;
     /** Full victim configuration (self-describing replay). */
@@ -72,10 +83,15 @@ enum class RecordKind : std::uint8_t
     PopupShow = 6,  ///< ground truth: key popup rendered
     TrialBegin = 7, ///< ground truth: credential entry starts
     TrialEnd = 8,   ///< ground truth: credential entry scored
+    Fault = 9,      ///< v2+: injected device fault (annotation)
 };
 
-/** True if @p k is a kind this reader version understands. */
-bool knownRecordKind(std::uint8_t k);
+/**
+ * True if @p k is a kind a file of @p version may legally contain
+ * (kinds are append-only, so the version caps the range).
+ */
+bool knownRecordKind(std::uint8_t k,
+                     std::uint16_t version = kTraceVersion);
 
 /** One decoded trace record (tagged union, kind selects fields). */
 struct TraceRecord
@@ -92,6 +108,10 @@ struct TraceRecord
     bool toTarget = false;
     /** TrialBegin: the ground-truth credential text. */
     std::string text;
+    /** Fault: category of the injected fault. */
+    kgsl::FaultKind fault = kgsl::FaultKind::TransientError;
+    /** Fault: kind-specific detail (errno, group, epoch, ...). */
+    std::uint64_t faultDetail = 0;
 };
 
 // --- Header codec --------------------------------------------------
@@ -113,11 +133,13 @@ std::vector<std::uint8_t> encodeRecord(const TraceRecord &r);
 /**
  * Decode one record frame from @p frame (the bytes between the
  * 5-byte kind+length prefix and the trailing CRC having already been
- * sliced out by the reader).
+ * sliced out by the reader). @p version is the containing file's
+ * format version; kinds newer than it are a format error.
  */
 TraceError decodePayload(std::uint8_t kind,
                          const std::uint8_t *payload,
-                         std::size_t size, TraceRecord &out);
+                         std::size_t size, TraceRecord &out,
+                         std::uint16_t version = kTraceVersion);
 
 } // namespace gpusc::trace
 

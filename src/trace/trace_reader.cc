@@ -42,7 +42,8 @@ TraceReader::open(const std::string &path)
         close();
         return error_ = TraceError::BadMagic;
     }
-    if (pr.u16() != kTraceVersion) {
+    const std::uint16_t version = pr.u16();
+    if (version < kTraceMinVersion || version > kTraceVersion) {
         close();
         return error_ = TraceError::BadVersion;
     }
@@ -112,8 +113,8 @@ TraceReader::next(TraceRecord &out, bool &eof)
         return error_ = TraceError::RecordCrcMismatch;
     }
 
-    const TraceError err =
-        decodePayload(kind, payload.data(), payload.size(), out);
+    const TraceError err = decodePayload(
+        kind, payload.data(), payload.size(), out, header_.version);
     if (err != TraceError::None) {
         close();
         return error_ = err;
@@ -134,7 +135,8 @@ TraceReader::close()
 TraceError
 TraceReader::verifyFile(const std::string &path,
                         std::uint64_t *recordsOut,
-                        TraceHeader *headerOut)
+                        TraceHeader *headerOut,
+                        std::vector<TraceRecord> *faultsOut)
 {
     TraceReader reader;
     TraceError err = reader.open(path);
@@ -148,6 +150,8 @@ TraceReader::verifyFile(const std::string &path,
         err = reader.next(rec, eof);
         if (err != TraceError::None)
             break;
+        if (!eof && faultsOut && rec.kind == RecordKind::Fault)
+            faultsOut->push_back(rec);
     }
     if (recordsOut)
         *recordsOut = reader.recordCount();

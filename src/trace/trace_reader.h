@@ -48,11 +48,14 @@ class TraceReader
     /**
      * Scan an entire file, validating every frame.
      * @return None iff the file is fully intact; optionally reports
-     * the record count and parsed header.
+     * the record count, parsed header and the fault-event records
+     * (v2+) encountered along the way.
      */
-    static TraceError verifyFile(const std::string &path,
-                                 std::uint64_t *recordsOut = nullptr,
-                                 TraceHeader *headerOut = nullptr);
+    static TraceError
+    verifyFile(const std::string &path,
+               std::uint64_t *recordsOut = nullptr,
+               TraceHeader *headerOut = nullptr,
+               std::vector<TraceRecord> *faultsOut = nullptr);
 
   private:
     std::FILE *file_ = nullptr;

@@ -24,6 +24,12 @@ TraceRecorder::onReading(const attack::Reading &r)
 }
 
 void
+TraceRecorder::onFault(const kgsl::FaultEvent &ev)
+{
+    writer_.writeFault(ev.time, ev.kind, ev.detail);
+}
+
+void
 TraceRecorder::onKeyPress(SimTime t, char ch)
 {
     writer_.writeKeyPress(t, ch);

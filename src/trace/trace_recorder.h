@@ -34,6 +34,8 @@ class TraceRecorder
 
     // Ground-truth feeds (wired to device/typist listeners).
     void onReading(const attack::Reading &r);
+    /** Injected-fault annotation (wired to kgsl::FaultInjector). */
+    void onFault(const kgsl::FaultEvent &ev);
     void onKeyPress(SimTime t, char ch);
     void onBackspace(SimTime t);
     void onPageSwitch(SimTime t, int page);

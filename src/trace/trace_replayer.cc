@@ -33,6 +33,7 @@ TraceReplayer::replay(TraceReader &reader)
     header_ = reader.header();
     trials_.clear();
     readings_ = 0;
+    faults_ = 0;
 
     // Fresh detached pipeline per replay. With a store, prefer the
     // exact model for the recorded device key; an unknown key falls
@@ -74,6 +75,12 @@ TraceReplayer::replay(TraceReader &reader)
                 trials_.back().end = rec.time;
                 inTrial = false;
             }
+            break;
+          case RecordKind::Fault:
+            // Faults are annotations: their *effects* live in the
+            // Reading stream, so replay stays bit-identical by
+            // feeding readings alone. Count them for diagnostics.
+            ++faults_;
             break;
           default:
             break; // other ground truth is not needed for replay

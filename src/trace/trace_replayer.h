@@ -69,6 +69,8 @@ class TraceReplayer
     const TraceHeader &header() const { return header_; }
 
     std::uint64_t readingsReplayed() const { return readings_; }
+    /** Fault-annotation records seen in the last replay (v2+). */
+    std::uint64_t faultsSeen() const { return faults_; }
 
     /**
      * Whole-trace dynamic-programming inference over the same
@@ -86,6 +88,7 @@ class TraceReplayer
     TraceHeader header_{};
     std::vector<Trial> trials_;
     std::uint64_t readings_ = 0;
+    std::uint64_t faults_ = 0;
 };
 
 } // namespace gpusc::trace

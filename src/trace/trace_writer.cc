@@ -127,6 +127,18 @@ TraceWriter::writeTrialEnd(SimTime t)
 }
 
 TraceError
+TraceWriter::writeFault(SimTime t, kgsl::FaultKind kind,
+                        std::uint64_t detail)
+{
+    TraceRecord rec;
+    rec.kind = RecordKind::Fault;
+    rec.time = t;
+    rec.fault = kind;
+    rec.faultDetail = detail;
+    return write(rec);
+}
+
+TraceError
 TraceWriter::close()
 {
     if (!file_)

@@ -43,6 +43,8 @@ class TraceWriter
     TraceError writePopupShow(SimTime t, char ch);
     TraceError writeTrialBegin(SimTime t, const std::string &truth);
     TraceError writeTrialEnd(SimTime t);
+    TraceError writeFault(SimTime t, kgsl::FaultKind kind,
+                          std::uint64_t detail);
 
     /** Flush and close; returns the first error seen, if any. */
     TraceError close();

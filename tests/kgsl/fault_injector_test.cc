@@ -1,0 +1,373 @@
+/** @file FaultInjector unit tests + KgslDevice integration. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "android/device.h"
+#include "kgsl/device.h"
+#include "kgsl/fault_injector.h"
+#include "util/event_queue.h"
+
+namespace gpusc::kgsl {
+namespace {
+
+using namespace gpusc::sim_literals;
+
+constexpr std::uint32_t kVpc = KGSL_PERFCOUNTER_GROUP_VPC;
+
+android::DeviceConfig
+quiet()
+{
+    android::DeviceConfig cfg;
+    cfg.notificationMeanInterval = SimTime();
+    return cfg;
+}
+
+gpu::CounterTotals
+uniformTotals(std::uint64_t v)
+{
+    gpu::CounterTotals t{};
+    t.fill(v);
+    return t;
+}
+
+TEST(FaultInjectorTest, EmptyPlanInjectsNothing)
+{
+    EventQueue eq;
+    FaultInjector fi(eq, FaultPlan{});
+    EXPECT_FALSE(fi.plan().any());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(fi.ioctlFault(), 0);
+    EXPECT_TRUE(fi.tryReserve(kVpc));
+    gpu::CounterTotals t = uniformTotals(12345);
+    fi.transform(t);
+    EXPECT_EQ(t, uniformTotals(12345));
+    EXPECT_EQ(fi.resetEpoch(), 0u);
+    EXPECT_EQ(fi.stats().transientErrors, 0u);
+    EXPECT_EQ(fi.stats().busyDenials, 0u);
+    EXPECT_EQ(fi.stats().powerCollapses, 0u);
+    EXPECT_EQ(fi.stats().deviceResets, 0u);
+}
+
+TEST(FaultInjectorTest, CertainTransientErrorsAlternateEintrEagain)
+{
+    EventQueue eq;
+    FaultPlan plan;
+    plan.transientErrorProb = 1.0;
+    FaultInjector fi(eq, plan);
+    EXPECT_EQ(fi.ioctlFault(), -KGSL_EINTR);
+    EXPECT_EQ(fi.ioctlFault(), -KGSL_EAGAIN);
+    EXPECT_EQ(fi.ioctlFault(), -KGSL_EINTR);
+    EXPECT_EQ(fi.stats().transientErrors, 3u);
+}
+
+TEST(FaultInjectorTest, TransientErrorRateTracksProbability)
+{
+    EventQueue eq;
+    FaultPlan plan;
+    plan.transientErrorProb = 0.25;
+    FaultInjector fi(eq, plan);
+    int faults = 0;
+    for (int i = 0; i < 2000; ++i)
+        faults += fi.ioctlFault() != 0;
+    EXPECT_NEAR(faults, 500, 100);
+    EXPECT_EQ(fi.stats().transientErrors, std::uint64_t(faults));
+}
+
+TEST(FaultInjectorTest, RegisterPoolExhaustsAndReleases)
+{
+    EventQueue eq;
+    FaultPlan plan;
+    plan.groupRegisters[kVpc] = 2;
+    FaultInjector fi(eq, plan);
+    EXPECT_TRUE(fi.tryReserve(kVpc));
+    EXPECT_TRUE(fi.tryReserve(kVpc));
+    EXPECT_FALSE(fi.tryReserve(kVpc));
+    EXPECT_EQ(fi.stats().busyDenials, 1u);
+    EXPECT_EQ(fi.heldRegisters(), 2u);
+    fi.release(kVpc);
+    EXPECT_TRUE(fi.tryReserve(kVpc));
+    // Groups absent from the plan are unlimited.
+    for (int i = 0; i < 20; ++i)
+        EXPECT_TRUE(fi.tryReserve(KGSL_PERFCOUNTER_GROUP_LRZ));
+}
+
+TEST(FaultInjectorTest, CompetitorHoldsRegistersUntilExit)
+{
+    EventQueue eq;
+    FaultPlan plan;
+    plan.groupRegisters[kVpc] = 3;
+    plan.competitors.push_back({kVpc, 3, SimTime::fromMs(1000)});
+    FaultInjector fi(eq, plan);
+    EXPECT_FALSE(fi.tryReserve(kVpc));
+    eq.runUntil(SimTime::fromMs(1500));
+    EXPECT_TRUE(fi.tryReserve(kVpc));
+}
+
+TEST(FaultInjectorTest, PowerCollapseRebasesLazily)
+{
+    EventQueue eq;
+    FaultPlan plan;
+    plan.powerCollapseInterval = SimTime::fromMs(1000);
+    FaultInjector fi(eq, plan);
+
+    // Within the first period: untouched.
+    eq.runUntil(SimTime::fromMs(500));
+    gpu::CounterTotals t = uniformTotals(1000);
+    fi.transform(t);
+    EXPECT_EQ(t, uniformTotals(1000));
+    EXPECT_EQ(fi.stats().powerCollapses, 0u);
+
+    // First read after the boundary becomes the new zero point.
+    eq.runUntil(SimTime::fromMs(1500));
+    t = uniformTotals(2000);
+    fi.transform(t);
+    EXPECT_EQ(t, uniformTotals(0));
+    EXPECT_EQ(fi.stats().powerCollapses, 1u);
+
+    // Later reads in the same period rebase against it.
+    t = uniformTotals(2600);
+    fi.transform(t);
+    EXPECT_EQ(t, uniformTotals(600));
+
+    // Skipping several boundaries counts each crossed period.
+    eq.runUntil(SimTime::fromMs(4200));
+    t = uniformTotals(9000);
+    fi.transform(t);
+    EXPECT_EQ(t, uniformTotals(0));
+    EXPECT_EQ(fi.stats().powerCollapses, 4u);
+}
+
+TEST(FaultInjectorTest, Wrap32OffsetBiasesUntilFirstCollapse)
+{
+    EventQueue eq;
+    FaultPlan plan;
+    plan.wrap32 = true;
+    plan.wrap32Offset = 0xFFFFFF00ull;
+    plan.powerCollapseInterval = SimTime::fromMs(1000);
+    FaultInjector fi(eq, plan);
+
+    // Pre-collapse the offset wraps values past the 32-bit boundary.
+    gpu::CounterTotals t = uniformTotals(0x200);
+    fi.transform(t);
+    EXPECT_EQ(t, uniformTotals(0x100));
+
+    // The first collapse clears the accumulated bias too.
+    eq.runUntil(SimTime::fromMs(1500));
+    t = uniformTotals(5000);
+    fi.transform(t);
+    EXPECT_EQ(t, uniformTotals(0));
+    t = uniformTotals(5600);
+    fi.transform(t);
+    EXPECT_EQ(t, uniformTotals(600));
+}
+
+TEST(FaultInjectorTest, Wrap32TruncatesWithoutCollapse)
+{
+    EventQueue eq;
+    FaultPlan plan;
+    plan.wrap32 = true;
+    FaultInjector fi(eq, plan);
+    gpu::CounterTotals t = uniformTotals((1ull << 32) + 77);
+    fi.transform(t);
+    EXPECT_EQ(t, uniformTotals(77));
+}
+
+TEST(FaultInjectorTest, ResetEpochCountsScriptedResetsOnce)
+{
+    EventQueue eq;
+    FaultPlan plan;
+    plan.deviceResets = {SimTime::fromMs(1000), SimTime::fromMs(2000)};
+    FaultInjector fi(eq, plan);
+    EXPECT_EQ(fi.resetEpoch(), 0u);
+    eq.runUntil(SimTime::fromMs(1200));
+    EXPECT_EQ(fi.resetEpoch(), 1u);
+    EXPECT_EQ(fi.resetEpoch(), 1u); // idempotent
+    EXPECT_EQ(fi.stats().deviceResets, 1u);
+    eq.runUntil(SimTime::fromMs(2500));
+    EXPECT_EQ(fi.resetEpoch(), 2u);
+    EXPECT_EQ(fi.stats().deviceResets, 2u);
+}
+
+TEST(FaultInjectorTest, ListenerObservesEveryFaultKind)
+{
+    EventQueue eq;
+    FaultPlan plan;
+    plan.transientErrorProb = 1.0;
+    plan.groupRegisters[kVpc] = 0;
+    plan.powerCollapseInterval = SimTime::fromMs(100);
+    plan.deviceResets = {SimTime::fromMs(50)};
+    FaultInjector fi(eq, plan);
+    std::vector<FaultEvent> events;
+    fi.setFaultListener(
+        [&](const FaultEvent &ev) { events.push_back(ev); });
+
+    (void)fi.ioctlFault();
+    EXPECT_FALSE(fi.tryReserve(kVpc));
+    eq.runUntil(SimTime::fromMs(150));
+    gpu::CounterTotals t = uniformTotals(9);
+    fi.transform(t);
+    fi.resetEpoch();
+
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events[0].kind, FaultKind::TransientError);
+    EXPECT_EQ(events[0].detail, std::uint64_t(KGSL_EINTR));
+    EXPECT_EQ(events[1].kind, FaultKind::CounterBusy);
+    EXPECT_EQ(events[1].detail, std::uint64_t(kVpc));
+    EXPECT_EQ(events[2].kind, FaultKind::PowerCollapse);
+    EXPECT_EQ(events[2].time, SimTime::fromMs(150));
+    EXPECT_EQ(events[3].kind, FaultKind::DeviceReset);
+    EXPECT_EQ(events[3].detail, 1u);
+}
+
+TEST(FaultInjectorTest, FaultKindStringsAreStable)
+{
+    EXPECT_STREQ(faultKindString(FaultKind::TransientError),
+                 "TransientError");
+    EXPECT_STREQ(faultKindString(FaultKind::CounterBusy),
+                 "CounterBusy");
+    EXPECT_STREQ(faultKindString(FaultKind::PowerCollapse),
+                 "PowerCollapse");
+    EXPECT_STREQ(faultKindString(FaultKind::DeviceReset),
+                 "DeviceReset");
+}
+
+// --- KgslDevice integration ----------------------------------------
+
+TEST(FaultInjectorDeviceTest, TransientErrorsSurfaceOnGetAndRead)
+{
+    android::Device dev(quiet());
+    FaultPlan plan;
+    plan.transientErrorProb = 1.0;
+    FaultInjector fi(dev.eq(), plan);
+    dev.kgsl().setFaultInjector(&fi);
+
+    const int fd = dev.kgsl().open(dev.attackerContext());
+    ASSERT_GE(fd, 0);
+    kgsl_perfcounter_get get;
+    get.groupid = kVpc;
+    get.countable = 9;
+    EXPECT_EQ(dev.kgsl().ioctl(fd, IOCTL_KGSL_PERFCOUNTER_GET, &get),
+              -KGSL_EINTR);
+    EXPECT_EQ(dev.kgsl().ioctl(fd, IOCTL_KGSL_PERFCOUNTER_GET, &get),
+              -KGSL_EAGAIN);
+    // PUT is exempt so cleanup never fails transiently.
+    kgsl_perfcounter_put put;
+    put.groupid = kVpc;
+    put.countable = 9;
+    EXPECT_EQ(dev.kgsl().ioctl(fd, IOCTL_KGSL_PERFCOUNTER_PUT, &put),
+              0);
+    dev.kgsl().close(fd);
+}
+
+TEST(FaultInjectorDeviceTest, GetReturnsEbusyWhenGroupExhausted)
+{
+    android::Device dev(quiet());
+    FaultPlan plan;
+    plan.groupRegisters[kVpc] = 1;
+    FaultInjector fi(dev.eq(), plan);
+    dev.kgsl().setFaultInjector(&fi);
+
+    const int fd = dev.kgsl().open(dev.attackerContext());
+    ASSERT_GE(fd, 0);
+    kgsl_perfcounter_get get;
+    get.groupid = kVpc;
+    get.countable = 9;
+    EXPECT_EQ(dev.kgsl().ioctl(fd, IOCTL_KGSL_PERFCOUNTER_GET, &get),
+              0);
+    // Re-GET of a held countable is free (refcounted driver).
+    EXPECT_EQ(dev.kgsl().ioctl(fd, IOCTL_KGSL_PERFCOUNTER_GET, &get),
+              0);
+    EXPECT_EQ(dev.kgsl().totalReservations(), 1u);
+
+    get.countable = 10; // second register in the exhausted group
+    EXPECT_EQ(dev.kgsl().ioctl(fd, IOCTL_KGSL_PERFCOUNTER_GET, &get),
+              -KGSL_EBUSY);
+
+    kgsl_perfcounter_put put;
+    put.groupid = kVpc;
+    put.countable = 9;
+    EXPECT_EQ(dev.kgsl().ioctl(fd, IOCTL_KGSL_PERFCOUNTER_PUT, &put),
+              0);
+    EXPECT_EQ(dev.kgsl().ioctl(fd, IOCTL_KGSL_PERFCOUNTER_GET, &get),
+              0);
+    dev.kgsl().close(fd);
+    EXPECT_EQ(dev.kgsl().totalReservations(), 0u);
+    EXPECT_EQ(fi.heldRegisters(), 0u);
+}
+
+TEST(FaultInjectorDeviceTest, ResetStalesDescriptorUntilReopen)
+{
+    android::Device dev(quiet());
+    FaultPlan plan;
+    plan.deviceResets = {SimTime::fromMs(1000)};
+    FaultInjector fi(dev.eq(), plan);
+    dev.kgsl().setFaultInjector(&fi);
+
+    const int fd = dev.kgsl().open(dev.attackerContext());
+    ASSERT_GE(fd, 0);
+    kgsl_perfcounter_get get;
+    get.groupid = kVpc;
+    get.countable = 9;
+    ASSERT_EQ(dev.kgsl().ioctl(fd, IOCTL_KGSL_PERFCOUNTER_GET, &get),
+              0);
+    EXPECT_EQ(dev.kgsl().totalReservations(), 1u);
+
+    dev.runFor(1500_ms);
+    // Hang recovery freed the fd's registers; every ioctl is ENODEV.
+    EXPECT_EQ(dev.kgsl().ioctl(fd, IOCTL_KGSL_PERFCOUNTER_GET, &get),
+              -KGSL_ENODEV);
+    EXPECT_EQ(dev.kgsl().ioctl(fd, IOCTL_KGSL_PERFCOUNTER_GET, &get),
+              -KGSL_ENODEV);
+    EXPECT_EQ(dev.kgsl().totalReservations(), 0u);
+    EXPECT_EQ(fi.stats().deviceResets, 1u);
+
+    // A fresh descriptor belongs to the new epoch and works.
+    const int fd2 = dev.kgsl().open(dev.attackerContext());
+    ASSERT_GE(fd2, 0);
+    EXPECT_EQ(dev.kgsl().ioctl(fd2, IOCTL_KGSL_PERFCOUNTER_GET, &get),
+              0);
+    dev.kgsl().close(fd);
+    dev.kgsl().close(fd2);
+    EXPECT_EQ(fi.heldRegisters(), 0u);
+}
+
+TEST(FaultInjectorDeviceTest, ReadValuesPassThroughTransform)
+{
+    android::Device dev(quiet());
+    FaultPlan plan;
+    plan.powerCollapseInterval = SimTime::fromMs(100);
+    FaultInjector fi(dev.eq(), plan);
+    dev.kgsl().setFaultInjector(&fi);
+    dev.boot();
+
+    const int fd = dev.kgsl().open(dev.attackerContext());
+    ASSERT_GE(fd, 0);
+    kgsl_perfcounter_get get;
+    get.groupid = std::uint32_t(gpu::CounterGroup::LRZ);
+    get.countable = 13; // LRZ_VISIBLE_PRIM_AFTER_LRZ
+    ASSERT_EQ(dev.kgsl().ioctl(fd, IOCTL_KGSL_PERFCOUNTER_GET, &get),
+              0);
+
+    dev.launchTargetApp();
+    dev.runFor(500_ms); // crosses collapse boundaries while rendering
+
+    kgsl_perfcounter_read_group entry;
+    entry.groupid = get.groupid;
+    entry.countable = get.countable;
+    kgsl_perfcounter_read req;
+    req.reads = &entry;
+    req.count = 1;
+    ASSERT_EQ(dev.kgsl().ioctl(fd, IOCTL_KGSL_PERFCOUNTER_READ, &req),
+              0);
+    EXPECT_GT(fi.stats().powerCollapses, 0u);
+    // The rebased value can only be a fraction of the raw total.
+    const gpu::CounterTotals raw = dev.engine().readAll();
+    EXPECT_LT(entry.value,
+              raw[gpu::LRZ_VISIBLE_PRIM_AFTER_LRZ] + 1);
+    dev.kgsl().close(fd);
+}
+
+} // namespace
+} // namespace gpusc::kgsl

@@ -229,6 +229,122 @@ TEST(TraceFormatTest, EveryFlippedByteIsDetectedOrHarmless)
     std::remove(path.c_str());
 }
 
+TEST(TraceFormatTest, FaultRecordsRoundTripAndVerifyCollectsThem)
+{
+    setVerbose(false);
+    const std::string path = ::testing::TempDir() + "faults.gpct";
+    TraceWriter w;
+    ASSERT_EQ(w.open(path, testHeader()), TraceError::None);
+    ASSERT_EQ(w.writeReading(testReading(8, 1000)), TraceError::None);
+    ASSERT_EQ(w.writeFault(SimTime::fromMs(9),
+                           kgsl::FaultKind::PowerCollapse, 3),
+              TraceError::None);
+    ASSERT_EQ(w.writeFault(SimTime::fromMs(12),
+                           kgsl::FaultKind::DeviceReset, 1),
+              TraceError::None);
+    ASSERT_EQ(w.writeReading(testReading(16, 2000)), TraceError::None);
+    ASSERT_EQ(w.close(), TraceError::None);
+
+    TraceReader r;
+    ASSERT_EQ(r.open(path), TraceError::None);
+    EXPECT_EQ(r.header().version, kTraceVersion);
+    std::vector<TraceRecord> recs;
+    TraceRecord rec;
+    bool eof = false;
+    while (r.next(rec, eof) == TraceError::None && !eof)
+        recs.push_back(rec);
+    ASSERT_EQ(recs.size(), 4u);
+    EXPECT_EQ(recs[1].kind, RecordKind::Fault);
+    EXPECT_EQ(recs[1].time, SimTime::fromMs(9));
+    EXPECT_EQ(recs[1].fault, kgsl::FaultKind::PowerCollapse);
+    EXPECT_EQ(recs[1].faultDetail, 3u);
+    EXPECT_EQ(recs[2].fault, kgsl::FaultKind::DeviceReset);
+    EXPECT_EQ(recs[2].faultDetail, 1u);
+
+    std::vector<TraceRecord> faults;
+    EXPECT_EQ(TraceReader::verifyFile(path, nullptr, nullptr, &faults),
+              TraceError::None);
+    ASSERT_EQ(faults.size(), 2u);
+    EXPECT_EQ(faults[0].fault, kgsl::FaultKind::PowerCollapse);
+    EXPECT_EQ(faults[1].fault, kgsl::FaultKind::DeviceReset);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFormatTest, VersionOneFilesRemainReadable)
+{
+    setVerbose(false);
+    // The v1 layout is the v2 layout minus the Fault kind, so a
+    // faultless v2 file with the version field rewritten IS a valid
+    // v1 file (the header CRC covers only the payload).
+    const std::string path = writeSampleTrace("v1compat.gpct");
+    std::vector<std::uint8_t> bytes = slurp(path);
+    bytes[4] = 0x01; // version low byte, after the u32 magic
+    dump(path, bytes);
+
+    TraceReader r;
+    ASSERT_EQ(r.open(path), TraceError::None);
+    EXPECT_EQ(r.header().version, 1);
+    EXPECT_EQ(r.header().deviceKey, "pixel/gboard/chrome");
+    std::vector<TraceRecord> recs;
+    TraceRecord rec;
+    bool eof = false;
+    while (r.next(rec, eof) == TraceError::None && !eof)
+        recs.push_back(rec);
+    EXPECT_TRUE(eof);
+    EXPECT_EQ(recs.size(), 9u);
+
+    std::uint64_t records = 0;
+    TraceHeader h;
+    EXPECT_EQ(TraceReader::verifyFile(path, &records, &h),
+              TraceError::None);
+    EXPECT_EQ(records, 9u);
+    EXPECT_EQ(h.version, 1);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFormatTest, FaultRecordInVersionOneFileIsBadKind)
+{
+    setVerbose(false);
+    const std::string path = ::testing::TempDir() + "v1fault.gpct";
+    TraceWriter w;
+    ASSERT_EQ(w.open(path, testHeader()), TraceError::None);
+    ASSERT_EQ(w.writeFault(SimTime::fromMs(5),
+                           kgsl::FaultKind::TransientError, 4),
+              TraceError::None);
+    ASSERT_EQ(w.close(), TraceError::None);
+
+    std::vector<std::uint8_t> bytes = slurp(path);
+    bytes[4] = 0x01;
+    dump(path, bytes);
+    // Kinds are append-only per version: a v1 file must not contain
+    // the v2 Fault kind.
+    EXPECT_EQ(TraceReader::verifyFile(path),
+              TraceError::BadRecordKind);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFormatTest, OutOfRangeFaultKindByteIsBadPayload)
+{
+    setVerbose(false);
+    const std::string path = writeSampleTrace("badfault.gpct");
+    std::vector<std::uint8_t> bytes = slurp(path);
+    // Append a validly-framed Fault record whose kind byte (0) names
+    // no FaultKind.
+    ByteWriter frame;
+    frame.u8(9); // RecordKind::Fault
+    frame.u32(8 + 1 + 8);
+    frame.i64(SimTime::fromMs(1).ns());
+    frame.u8(0);
+    frame.u64(0);
+    frame.u32(crc32(frame.bytes()));
+    bytes.insert(bytes.end(), frame.bytes().begin(),
+                 frame.bytes().end());
+    dump(path, bytes);
+    EXPECT_EQ(TraceReader::verifyFile(path),
+              TraceError::BadRecordPayload);
+    std::remove(path.c_str());
+}
+
 TEST(TraceFormatTest, ReaderErrorIsSticky)
 {
     setVerbose(false);
