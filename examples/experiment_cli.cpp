@@ -18,6 +18,13 @@
  *   experiment_cli --collapse-every 2000 --wrap32 \
  *                  --transient-prob 0.1 --reset-at 5000 \
  *                  --registers 5:8 --competitor 7:4:30
+ *
+ * Telemetry (src/obs/): --telemetry prints the decision funnel and
+ * per-stage latency tables; the output flags additionally export
+ * machine-readable snapshots:
+ *
+ *   experiment_cli --metrics-out=metrics.json \
+ *                  --chrome-trace=trace.json --audit-out=audit.jsonl
  */
 
 #include <cstdio>
@@ -28,6 +35,7 @@
 #include "android/keyboard.h"
 #include "android/phone.h"
 #include "eval/experiment.h"
+#include "obs/telemetry.h"
 #include "util/logging.h"
 #include "util/table.h"
 
@@ -64,7 +72,14 @@ usage(const char *argv0)
         "  --registers <g:n>     physical registers in group g\n"
         "  --competitor <g:n:s>  profiler holding n registers of\n"
         "                        group g until it exits at s seconds\n"
-        "  --fault-seed <n>      fault injector RNG seed\n",
+        "  --fault-seed <n>      fault injector RNG seed\n"
+        "telemetry (src/obs/):\n"
+        "  --telemetry           print funnel + stage-latency tables\n"
+        "  --metrics-out <json>  write the metrics snapshot\n"
+        "  --chrome-trace <json> write spans as Chrome trace events\n"
+        "  --audit-out <jsonl>   write the decision audit trail\n"
+        "  (each output flag also accepts --flag=path and implies\n"
+        "   --telemetry)\n",
         argv0);
 }
 
@@ -93,6 +108,8 @@ main(int argc, char **argv)
     eval::ExperimentConfig cfg;
     int trials = 100;
     std::size_t minLen = 8, maxLen = 16;
+    bool telemetryOn = false;
+    std::string metricsOut, chromeTrace, auditOut;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -101,6 +118,24 @@ main(int argc, char **argv)
                 fatal("missing value for %s", arg.c_str());
             return argv[++i];
         };
+        // The telemetry output flags also accept --flag=path.
+        auto pathFlag = [&](const char *name,
+                            std::string &out) -> bool {
+            const std::string prefix = std::string(name) + "=";
+            if (arg == name)
+                out = value();
+            else if (arg.rfind(prefix, 0) == 0)
+                out = arg.substr(prefix.size());
+            else
+                return false;
+            if (out.empty())
+                fatal("empty path for %s", name);
+            return true;
+        };
+        if (pathFlag("--metrics-out", metricsOut) ||
+            pathFlag("--chrome-trace", chromeTrace) ||
+            pathFlag("--audit-out", auditOut))
+            continue;
         if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -177,11 +212,18 @@ main(int argc, char **argv)
                 {group, regs, SimTime::fromSeconds(exitS)});
         } else if (arg == "--fault-seed") {
             cfg.faultPlan.seed = std::uint64_t(std::atoll(value()));
+        } else if (arg == "--telemetry") {
+            telemetryOn = true;
         } else {
             usage(argv[0]);
             fatal("unknown option '%s'", arg.c_str());
         }
     }
+
+    obs::Telemetry telemetry;
+    if (telemetryOn || !metricsOut.empty() || !chromeTrace.empty() ||
+        !auditOut.empty())
+        cfg.telemetry = &telemetry;
 
     eval::ExperimentRunner runner(cfg, attack::ModelStore::global());
     inform("model: %s (%zu signatures, C_th %.4f)",
@@ -248,6 +290,69 @@ main(int argc, char **argv)
         if (r.truth != r.inferred && shown++ < 5)
             std::printf("  miss: truth='%s' inferred='%s'\n",
                         r.truth.c_str(), r.inferred.c_str());
+    }
+
+    if (cfg.telemetry) {
+        const obs::AuditTrail &audit = telemetry.audit;
+        auto ctr = [&](const char *name) {
+            return std::to_string(
+                telemetry.metrics.counter(name).value());
+        };
+        auto dec = [&](obs::Decision d) {
+            return std::to_string(audit.count(d));
+        };
+        Table funnel({"funnel stage", "count"});
+        funnel.addRow({"readings in", ctr("pipeline.readings_in")});
+        funnel.addRow({"changes in", ctr("infer.changes_in")});
+        funnel.addRow(
+            {"  accepted as key",
+             dec(obs::Decision::AcceptedKey)});
+        funnel.addRow(
+            {"  split repaired", dec(obs::Decision::SplitRepaired)});
+        funnel.addRow({"  duplication dropped",
+                       dec(obs::Decision::DuplicationDrop)});
+        funnel.addRow(
+            {"  noise rejected", dec(obs::Decision::NoiseRejected)});
+        funnel.addRow({"  app-switch suppressed",
+                       dec(obs::Decision::SuppressedAppSwitch)});
+        funnel.addRow({"discontinuity re-baselines",
+                       dec(obs::Decision::DiscontinuityDropped)});
+        funnel.addRow({"sampler suspensions",
+                       dec(obs::Decision::SamplerSuspended)});
+        funnel.addRow({"sampler recoveries",
+                       dec(obs::Decision::SamplerRecovered)});
+        funnel.print("decision funnel");
+
+        Table lat({"stage", "count", "p50 us", "p90 us", "p99 us",
+                   "max us"});
+        auto latRow = [&](const std::string &name,
+                          const obs::LogHistogram &h) {
+            const double us = 1e-3;
+            lat.addRow({name, std::to_string(h.count()),
+                        Table::num(double(h.p50()) * us, 3),
+                        Table::num(double(h.p90()) * us, 3),
+                        Table::num(double(h.p99()) * us, 3),
+                        Table::num(double(h.max()) * us, 3)});
+        };
+        for (const auto &[name, h] :
+             telemetry.metrics.histograms())
+            if (name.rfind("latency.", 0) == 0)
+                latRow(name.substr(8), *h);
+        latRow("all stages", telemetry.metrics.mergedLatency());
+        lat.print("stage latency (host time)");
+
+        if (!metricsOut.empty() &&
+            obs::Telemetry::writeFile(metricsOut,
+                                      telemetry.metricsJson()))
+            inform("telemetry: metrics -> %s", metricsOut.c_str());
+        if (!chromeTrace.empty() &&
+            obs::Telemetry::writeFile(
+                chromeTrace, telemetry.tracer.chromeTraceJson()))
+            inform("telemetry: chrome trace -> %s",
+                   chromeTrace.c_str());
+        if (!auditOut.empty() &&
+            obs::Telemetry::writeFile(auditOut, audit.toJsonl()))
+            inform("telemetry: audit trail -> %s", auditOut.c_str());
     }
     return 0;
 }

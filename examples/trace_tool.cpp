@@ -17,6 +17,11 @@
  *       Re-run the recorded counter stream through the inference
  *       pipeline (training the model for the recorded configuration
  *       if needed) and score it against the recorded ground truth.
+ *
+ *   trace_tool stats <trace.gpct>
+ *       Stream the file once and print per-record-kind counts plus
+ *       the inter-reading-interval distribution (works on v1 and v2
+ *       files; v2 adds the Fault kind).
  */
 
 #include <cstdio>
@@ -28,7 +33,9 @@
 
 #include "attack/model_store.h"
 #include "eval/experiment.h"
+#include "obs/log_histogram.h"
 #include "trace/trace_corpus.h"
+#include "trace/trace_reader.h"
 #include "trace/trace_replayer.h"
 #include "util/logging.h"
 #include "util/table.h"
@@ -47,7 +54,9 @@ usage(const char *argv0)
         "                       capture a live session to a trace\n"
         "  info   <file|dir>    print trace/corpus statistics\n"
         "  verify <file>        validate every frame (exit 1 if bad)\n"
-        "  replay <file>        replay through the inference pipeline\n",
+        "  replay <file>        replay through the inference pipeline\n"
+        "  stats  <file>        per-kind record counts + the\n"
+        "                       inter-reading-interval histogram\n",
         argv0);
 }
 
@@ -242,6 +251,89 @@ cmdReplay(const std::string &path)
     return 0;
 }
 
+int
+cmdStats(const std::string &path)
+{
+    trace::TraceReader reader;
+    const trace::TraceError oerr = reader.open(path);
+    if (oerr != trace::TraceError::None) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                     trace::traceErrorString(oerr));
+        return 1;
+    }
+
+    // Per-kind counts, indexed by the on-disk kind tag (1-based,
+    // append-only across versions).
+    static constexpr const char *kKindNames[] = {
+        "reading",     "key press",   "backspace",
+        "page switch", "app switch",  "popup show",
+        "trial begin", "trial end",   "fault",
+    };
+    constexpr std::size_t kNumKinds =
+        sizeof(kKindNames) / sizeof(kKindNames[0]);
+    std::uint64_t counts[kNumKinds] = {};
+
+    // Inter-reading intervals, in microseconds: for a clean capture
+    // this is a spike at the sampling interval; wakeup jitter, CPU
+    // contention and sampler suspensions show up as spread.
+    obs::LogHistogram intervals;
+    bool haveLast = false;
+    SimTime lastReading;
+
+    trace::TraceRecord rec;
+    bool eof = false;
+    for (;;) {
+        const trace::TraceError err = reader.next(rec, eof);
+        if (err != trace::TraceError::None) {
+            std::fprintf(stderr,
+                         "%s: CORRUPT after %llu records: %s\n",
+                         path.c_str(),
+                         (unsigned long long)reader.recordCount(),
+                         trace::traceErrorString(err));
+            return 1;
+        }
+        if (eof)
+            break;
+        const std::size_t idx = std::size_t(rec.kind) - 1;
+        if (idx < kNumKinds)
+            ++counts[idx];
+        if (rec.kind == trace::RecordKind::Reading) {
+            if (haveLast) {
+                const SimTime gap = rec.time - lastReading;
+                intervals.add(std::uint64_t(
+                    gap.ns() < 0 ? 0 : gap.ns() / 1000));
+            }
+            haveLast = true;
+            lastReading = rec.time;
+        }
+    }
+
+    std::printf("trace  : %s (v%u, device %s)\n", path.c_str(),
+                unsigned(reader.header().version),
+                reader.header().deviceKey.c_str());
+    Table table({"record kind", "count"});
+    for (std::size_t i = 0; i < kNumKinds; ++i)
+        table.addRow({kKindNames[i], std::to_string(counts[i])});
+    table.addRow({"total", std::to_string(reader.recordCount())});
+    table.print("record counts");
+
+    if (!intervals.empty()) {
+        Table gaps({"metric", "value"});
+        gaps.addRow({"intervals", std::to_string(intervals.count())});
+        gaps.addRow({"mean us", Table::num(intervals.mean())});
+        gaps.addRow({"min us",
+                     std::to_string(intervals.min())});
+        gaps.addRow({"p50 us", std::to_string(intervals.p50())});
+        gaps.addRow({"p90 us", std::to_string(intervals.p90())});
+        gaps.addRow({"p99 us", std::to_string(intervals.p99())});
+        gaps.addRow({"max us",
+                     std::to_string(intervals.max())});
+        gaps.print("inter-reading intervals");
+        std::printf("%s", intervals.render().c_str());
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -268,6 +360,8 @@ main(int argc, char **argv)
         return cmdVerify(argv[2]);
     if (cmd == "replay")
         return cmdReplay(argv[2]);
+    if (cmd == "stats")
+        return cmdStats(argv[2]);
     usage(argv[0]);
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     return 2;

@@ -70,6 +70,16 @@ Device::Device(DeviceConfig cfg)
     wm_->addSurface(app_.get());
     wm_->addSurface(otherApp_.get());
     wm_->addSurface(ime_.get());
+
+    // Log messages carry this device's simulated clock while it is
+    // the most recently constructed one (the trainer's bot device
+    // hands the prefix back to the victim when it is torn down).
+    setLogTimeSource(this, [this] { return eq_.now(); });
+}
+
+Device::~Device()
+{
+    setLogTimeSource(this, nullptr);
 }
 
 std::string

@@ -54,6 +54,7 @@ class Device
 {
   public:
     explicit Device(DeviceConfig cfg);
+    ~Device();
 
     // Non-movable: surfaces hold references into the device.
     Device(const Device &) = delete;

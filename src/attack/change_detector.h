@@ -26,6 +26,7 @@
 
 #include "attack/sampler.h"
 #include "gpu/counters.h"
+#include "obs/telemetry.h"
 
 namespace gpusc::attack {
 
@@ -57,6 +58,8 @@ class ChangeDetector
         if (!havePrev_) {
             prev_ = r.totals;
             havePrev_ = true;
+            if (baselines_)
+                baselines_->inc();
             return std::nullopt;
         }
         PcChange c;
@@ -77,6 +80,8 @@ class ChangeDetector
                 // repair it and keep the stream.
                 delta = std::int64_t(now + kWrapModulus - prev);
                 ++wrapsRepaired_;
+                if (wrapsRepairedCtr_)
+                    wrapsRepairedCtr_->inc();
             } else {
                 delta = 0;
                 discontinuity = true; // power collapse / device reset
@@ -90,12 +95,20 @@ class ChangeDetector
             // pre- and post-reset state, so drop the whole sample and
             // let the next pair difference cleanly.
             ++resetsDetected_;
+            if (telemetry_) {
+                discontinuityDrops_->inc();
+                telemetry_->audit.record(
+                    r.time, obs::Stage::ChangeDetector,
+                    obs::Decision::DiscontinuityDropped);
+            }
             if (onDiscontinuity_)
                 onDiscontinuity_(r.time);
             return std::nullopt;
         }
         if (!any)
             return std::nullopt;
+        if (changesOut_)
+            changesOut_->inc();
         return c;
     }
 
@@ -112,6 +125,31 @@ class ChangeDetector
         onDiscontinuity_ = std::move(fn);
     }
 
+    /**
+     * Attach (or detach, with nullptr) a telemetry context. Metric
+     * handles are resolved here once, and only the non-per-reading
+     * outcomes carry counters (readings in are already counted by the
+     * Eavesdropper as `pipeline.readings_in`; no-change readings are
+     * the difference — keeping the per-reading path increment-free is
+     * part of the replay overhead budget). Purely observational:
+     * emitted changes are identical with telemetry on or off.
+     */
+    void
+    setTelemetry(obs::Telemetry *tel)
+    {
+        telemetry_ = tel;
+        if (!tel) {
+            baselines_ = changesOut_ = discontinuityDrops_ =
+                wrapsRepairedCtr_ = nullptr;
+            return;
+        }
+        auto &m = tel->metrics;
+        baselines_ = &m.counter("change.baselines");
+        changesOut_ = &m.counter("change.changes_out");
+        discontinuityDrops_ = &m.counter("change.discontinuity_drops");
+        wrapsRepairedCtr_ = &m.counter("change.wraps_repaired");
+    }
+
     /** Readings dropped to re-baseline (resets / power collapses). */
     std::uint64_t resetsDetected() const { return resetsDetected_; }
 
@@ -124,6 +162,11 @@ class ChangeDetector
     std::uint64_t resetsDetected_ = 0;
     std::uint64_t wrapsRepaired_ = 0;
     std::function<void(SimTime)> onDiscontinuity_;
+    obs::Telemetry *telemetry_ = nullptr;
+    obs::Counter *baselines_ = nullptr;
+    obs::Counter *changesOut_ = nullptr;
+    obs::Counter *discontinuityDrops_ = nullptr;
+    obs::Counter *wrapsRepairedCtr_ = nullptr;
 };
 
 } // namespace gpusc::attack

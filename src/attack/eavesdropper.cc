@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 
 #include "util/logging.h"
 
@@ -24,6 +25,7 @@ Eavesdropper::Eavesdropper(android::Device &device,
         params_.samplingInterval, params_.recovery);
     sampler_->setListener([this](const Reading &r) { onReading(r); });
     wireStreamRepair();
+    wireTelemetry();
     adoptModel(model);
 }
 
@@ -36,12 +38,14 @@ Eavesdropper::Eavesdropper(android::Device &device,
         params_.samplingInterval, params_.recovery);
     sampler_->setListener([this](const Reading &r) { onReading(r); });
     wireStreamRepair();
+    wireTelemetry();
 }
 
 Eavesdropper::Eavesdropper(const SignatureModel &model, Params params)
     : params_(params)
 {
     wireStreamRepair();
+    wireTelemetry();
     adoptModel(model);
 }
 
@@ -49,6 +53,7 @@ Eavesdropper::Eavesdropper(const ModelStore &store, Params params)
     : params_(params), store_(&store)
 {
     wireStreamRepair();
+    wireTelemetry();
 }
 
 void
@@ -62,6 +67,35 @@ Eavesdropper::wireStreamRepair()
         if (inference_)
             inference_->noteDiscontinuity();
     });
+}
+
+void
+Eavesdropper::wireTelemetry()
+{
+    obs::Telemetry *tel = params_.telemetry;
+    changes_.setTelemetry(tel);
+    if (sampler_)
+        sampler_->setTelemetry(tel);
+    if (!tel)
+        return;
+    changeDetectTimer_ = obs::StageTimer(tel, "attack.change_detect");
+    classifyTimer_ = obs::StageTimer(tel, "attack.classify");
+    auto &m = tel->metrics;
+    readingsInCtr_ = &m.counter("pipeline.readings_in");
+    recogChangesCtr_ = &m.counter("pipeline.changes_recognition");
+    suppressedCtr_ = &m.counter("pipeline.suppressed_app_switch");
+    keysCtr_ = &m.counter("pipeline.keys");
+    pagesCtr_ = &m.counter("pipeline.pages");
+    deletionsCtr_ = &m.counter("pipeline.deletions");
+}
+
+void
+Eavesdropper::flushTelemetry()
+{
+    if (!readingsInCtr_)
+        return;
+    readingsInCtr_->inc(readingSeq_ - readingsFlushed_);
+    readingsFlushed_ = readingSeq_;
 }
 
 HealthStats
@@ -78,7 +112,11 @@ Eavesdropper::health() const
     return h;
 }
 
-Eavesdropper::~Eavesdropper() = default;
+Eavesdropper::~Eavesdropper()
+{
+    // Params::telemetry is documented to outlive the eavesdropper.
+    flushTelemetry();
+}
 
 void
 Eavesdropper::adoptModel(const SignatureModel &model)
@@ -86,6 +124,7 @@ Eavesdropper::adoptModel(const SignatureModel &model)
     model_ = &model;
     inference_ =
         std::make_unique<OnlineInference>(model, params_.inference);
+    inference_->setTelemetry(params_.telemetry);
     correction_ = std::make_unique<CorrectionTracker>(model);
     inference_->setNoiseListener([this](const PcChange &c) {
         if (!params_.correctionTracking || !correction_)
@@ -111,6 +150,8 @@ Eavesdropper::adoptModel(const SignatureModel &model)
             for (int i = 0; i < deletions; ++i)
                 events_.push_back(
                     {StolenEvent::Kind::Deletion, 0, c.time});
+            if (deletionsCtr_)
+                deletionsCtr_->inc(std::uint64_t(deletions));
             bufferLen_ = *len;
         } else {
             // Track the decoded level (appends are accounted for by
@@ -132,6 +173,7 @@ Eavesdropper::stop()
 {
     if (sampler_)
         sampler_->stop();
+    flushTelemetry();
 }
 
 void
@@ -160,6 +202,25 @@ Eavesdropper::onReading(const Reading &r)
 {
     if (device_)
         device_->power().addSamplerWakeups(1);
+    if (readingsInCtr_) {
+        // Per-reading work stays increment-free: the sequence number
+        // (needed for sampling anyway) is flushed to the counter at
+        // the 1-in-64 sample points and by flushTelemetry(). Host-
+        // timing every reading would eat the replay overhead budget;
+        // sample 1 in 64 into the change-detect latency lane.
+        if ((readingSeq_++ & 63) == 0) {
+            flushTelemetry();
+            std::optional<PcChange> change;
+            {
+                const obs::StageTimer::Scope span =
+                    changeDetectTimer_.scoped(r.time);
+                change = changes_.onReading(r);
+            }
+            if (change)
+                onChange(*change);
+            return;
+        }
+    }
     if (auto change = changes_.onReading(r))
         onChange(*change);
 }
@@ -207,6 +268,11 @@ void
 Eavesdropper::onChange(const PcChange &c)
 {
     if (!model_) {
+        // Recognition-phase changes are counted separately: the
+        // buffered ones re-enter onChange() once a model is adopted
+        // and only then join the decision funnel.
+        if (recogChangesCtr_)
+            recogChangesCtr_->inc();
         tryRecognize(c);
         return;
     }
@@ -220,26 +286,50 @@ Eavesdropper::onChange(const PcChange &c)
     const auto t0 = std::chrono::steady_clock::now();
     const auto key = inference_->onChange(c);
     const auto t1 = std::chrono::steady_clock::now();
-    latencies_.add(
-        std::chrono::duration<double, std::micro>(t1 - t0).count());
+    const std::int64_t hostNs =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count();
+    latencies_.add(double(hostNs) / 1000.0);
+    // The classify latency lane reuses the measurement above — no
+    // additional clock reads on the per-change path.
+    classifyTimer_.note(c.time, hostNs);
     if (device_)
         device_->power().addInferences(1);
 
     if (!key)
-        return;
+        return; // rejections are audited inside OnlineInference
 
     if (params_.appSwitchDetection) {
         switchDetector_.onClassified(key->label, key->time);
-        if (switchDetector_.suppressed(c.time))
+        if (switchDetector_.suppressed(c.time)) {
+            if (params_.telemetry) {
+                suppressedCtr_->inc();
+                params_.telemetry->audit.record(
+                    key->time, obs::Stage::Eavesdropper,
+                    obs::Decision::SuppressedAppSwitch, key->label,
+                    key->distance);
+            }
             return;
+        }
     }
+
+    if (params_.telemetry)
+        params_.telemetry->audit.record(
+            key->time, obs::Stage::Eavesdropper,
+            key->fromSplit ? obs::Decision::SplitRepaired
+                           : obs::Decision::AcceptedKey,
+            key->label, key->distance);
 
     if (isPageLabel(key->label)) {
         events_.push_back({StolenEvent::Kind::Page, 0, key->time});
+        if (pagesCtr_)
+            pagesCtr_->inc();
     } else if (key->label.size() == 1) {
         events_.push_back(
             {StolenEvent::Kind::Char, key->label[0], key->time});
         ++bufferLen_;
+        if (keysCtr_)
+            keysCtr_->inc();
     } else {
         warn("Eavesdropper: unexpected label '%s'",
              key->label.c_str());

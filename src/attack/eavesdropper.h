@@ -21,6 +21,7 @@
 #include "attack/model_store.h"
 #include "attack/online_inference.h"
 #include "attack/sampler.h"
+#include "obs/telemetry.h"
 #include "util/stats.h"
 
 namespace gpusc::attack {
@@ -56,6 +57,14 @@ class Eavesdropper
         bool correctionTracking = true;
         /** Keep the raw change trace (offline-inference studies). */
         bool recordTrace = false;
+        /**
+         * Telemetry context (not owned, must outlive the
+         * eavesdropper; null = no instrumentation). Propagated to
+         * the sampler, change detector and inference stages; purely
+         * observational — the inferred output is bit-identical with
+         * telemetry on or off.
+         */
+        obs::Telemetry *telemetry = nullptr;
     };
 
     /** Attach with a known model (trained for this device config). */
@@ -102,6 +111,14 @@ class Eavesdropper
 
     /** Extra wakeup latency source (CPU contention, §7.3). */
     void setWakeupJitter(std::function<SimTime()> fn);
+
+    /**
+     * Push lazily-accumulated telemetry (the reading count, batched
+     * off the per-reading hot path) into the metric registry. Called
+     * automatically on stop() and destruction; replay tooling calls
+     * it after feeding a stream so exported metrics are exact.
+     */
+    void flushTelemetry();
 
     /** Everything stolen so far. */
     const std::vector<StolenEvent> &events() const { return events_; }
@@ -170,6 +187,7 @@ class Eavesdropper
     bool tryRecognize(const PcChange &c);
     void adoptModel(const SignatureModel &model);
     void wireStreamRepair();
+    void wireTelemetry();
 
     /** Null in detached (replay) mode. */
     android::Device *device_ = nullptr;
@@ -191,6 +209,20 @@ class Eavesdropper
     /** Running estimate of the credential field's length. */
     int bufferLen_ = 0;
     int maxFieldLen_ = 0;
+
+    /** Telemetry handles, resolved once in wireTelemetry(). Counting
+     *  every reading is cheap; host-timing every reading is not, so
+     *  the change-detect span samples 1 reading in 64. */
+    obs::StageTimer changeDetectTimer_;
+    obs::StageTimer classifyTimer_;
+    obs::Counter *readingsInCtr_ = nullptr;
+    obs::Counter *recogChangesCtr_ = nullptr;
+    obs::Counter *suppressedCtr_ = nullptr;
+    obs::Counter *keysCtr_ = nullptr;
+    obs::Counter *pagesCtr_ = nullptr;
+    obs::Counter *deletionsCtr_ = nullptr;
+    std::uint64_t readingSeq_ = 0;
+    std::uint64_t readingsFlushed_ = 0;
 };
 
 } // namespace gpusc::attack

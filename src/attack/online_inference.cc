@@ -8,24 +8,54 @@ OnlineInference::OnlineInference(const SignatureModel &model,
 {
 }
 
+void
+OnlineInference::setTelemetry(obs::Telemetry *tel)
+{
+    telemetry_ = tel;
+    if (!tel) {
+        changesInCtr_ = acceptedCtr_ = dupDropsCtr_ =
+            splitCombinesCtr_ = noiseCtr_ = nullptr;
+        return;
+    }
+    auto &m = tel->metrics;
+    changesInCtr_ = &m.counter("infer.changes_in");
+    acceptedCtr_ = &m.counter("infer.accepted");
+    dupDropsCtr_ = &m.counter("infer.dup_drops");
+    splitCombinesCtr_ = &m.counter("infer.split_combines");
+    noiseCtr_ = &m.counter("infer.noise");
+}
+
 std::optional<InferredKey>
 OnlineInference::onChange(const PcChange &change)
 {
+    if (changesInCtr_)
+        changesInCtr_->inc();
+
     // Step 0: duplication filter. A human cannot press two keys
     // within T_min, so a change right after an inferred press is the
     // popup animation re-rendering, not a new key.
     if (dupFilter_ && change.time - lastInferred_ < params_.tmin) {
         ++dupDrops_;
+        if (telemetry_) {
+            dupDropsCtr_->inc();
+            telemetry_->audit.record(change.time,
+                                     obs::Stage::Inference,
+                                     obs::Decision::DuplicationDrop);
+        }
         return std::nullopt;
     }
 
-    // Step 1: direct classification.
+    // Step 1: direct classification. (The classify stage's host
+    // latency is recorded by the Eavesdropper, which times every
+    // change anyway — no clock reads here.)
     const SignatureModel::Match direct =
         model_.classifyRobust(change.delta);
     if (direct.accepted(model_.threshold())) {
         lastInferred_ = change.time;
         prevUnmatched_.reset();
         ++inferred_;
+        if (acceptedCtr_)
+            acceptedCtr_->inc();
         return InferredKey{direct.sig->label, change.time,
                            direct.distance};
     }
@@ -45,7 +75,11 @@ OnlineInference::onChange(const PcChange &change)
             prevUnmatched_.reset();
             ++inferred_;
             ++splitCombines_;
-            return InferredKey{m.sig->label, at, m.distance};
+            if (telemetry_) {
+                acceptedCtr_->inc();
+                splitCombinesCtr_->inc();
+            }
+            return InferredKey{m.sig->label, at, m.distance, true};
         }
     }
 
@@ -53,6 +87,11 @@ OnlineInference::onChange(const PcChange &change)
     // piece.
     ++noise_;
     prevUnmatched_ = change;
+    if (telemetry_) {
+        noiseCtr_->inc();
+        telemetry_->audit.record(change.time, obs::Stage::Inference,
+                                 obs::Decision::NoiseRejected);
+    }
     if (noiseListener_)
         noiseListener_(change);
     return std::nullopt;

@@ -23,6 +23,7 @@
 
 #include "attack/change_detector.h"
 #include "attack/signature.h"
+#include "obs/telemetry.h"
 #include "util/sim_time.h"
 
 namespace gpusc::attack {
@@ -33,6 +34,8 @@ struct InferredKey
     Label label;
     SimTime time;
     double distance = 0.0;
+    /** True when split repair (step 2) produced this key. */
+    bool fromSplit = false;
 };
 
 /** Online classification state machine (Algorithm 1). */
@@ -57,6 +60,16 @@ class OnlineInference
     {
         noiseListener_ = std::move(fn);
     }
+
+    /**
+     * Attach a telemetry context: per-change decision counters and
+     * audit records for the two rejection classes decided here
+     * (duplication and noise; the acceptance classes — and the
+     * `attack.classify` latency lane — live in the Eavesdropper,
+     * which knows about app-switch suppression and times every
+     * change already). Observational only.
+     */
+    void setTelemetry(obs::Telemetry *tel);
 
     /** Disable step 2 (ablation: no split repair). */
     void setSplitRepairEnabled(bool on) { splitRepair_ = on; }
@@ -99,6 +112,12 @@ class OnlineInference
     std::uint64_t splitCombines_ = 0;
     std::uint64_t noise_ = 0;
     std::uint64_t discontinuities_ = 0;
+    obs::Telemetry *telemetry_ = nullptr;
+    obs::Counter *changesInCtr_ = nullptr;
+    obs::Counter *acceptedCtr_ = nullptr;
+    obs::Counter *dupDropsCtr_ = nullptr;
+    obs::Counter *splitCombinesCtr_ = nullptr;
+    obs::Counter *noiseCtr_ = nullptr;
 };
 
 } // namespace gpusc::attack

@@ -64,6 +64,41 @@ PcSampler::~PcSampler()
     stop();
 }
 
+void
+PcSampler::setTelemetry(obs::Telemetry *tel)
+{
+    telemetry_ = tel;
+    if (!tel) {
+        tickTimer_ = obs::StageTimer();
+        readsOkCtr_ = readsMissedCtr_ = transientRetriesCtr_ =
+            busyRetriesCtr_ = reopensCtr_ = watchdogRecoveriesCtr_ =
+                nullptr;
+        countersHeldGauge_ = nullptr;
+        return;
+    }
+    tickTimer_ = obs::StageTimer(tel, "sampler.tick");
+    auto &m = tel->metrics;
+    readsOkCtr_ = &m.counter("sampler.reads_ok");
+    readsMissedCtr_ = &m.counter("sampler.reads_missed");
+    transientRetriesCtr_ = &m.counter("sampler.transient_retries");
+    busyRetriesCtr_ = &m.counter("sampler.busy_retries");
+    reopensCtr_ = &m.counter("sampler.reopens");
+    watchdogRecoveriesCtr_ = &m.counter("sampler.watchdog_recoveries");
+    countersHeldGauge_ = &m.gauge("sampler.counters_held");
+    updateHeldGauge();
+}
+
+void
+PcSampler::updateHeldGauge()
+{
+    if (!countersHeldGauge_)
+        return;
+    std::size_t held = 0;
+    for (std::size_t i = 0; i < gpu::kNumSelectedCounters; ++i)
+        held += held_[i] ? 1 : 0;
+    countersHeldGauge_->set(double(held));
+}
+
 int
 PcSampler::ioctlRetrying(unsigned long request, void *arg)
 {
@@ -73,6 +108,8 @@ PcSampler::ioctlRetrying(unsigned long request, void *arg)
          attempt < recovery_.maxTransientRetries;
          ++attempt) {
         ++health_.transientRetries;
+        if (transientRetriesCtr_)
+            transientRetriesCtr_->inc();
         rc = dev_.ioctl(fd_, request, arg);
     }
     return rc;
@@ -122,6 +159,7 @@ PcSampler::openAndReserve()
     }
     backoff_ = recovery_.busyRetryBase;
     backoffDue_ = eq_.now() + backoff_;
+    updateHeldGauge();
     return true;
 }
 
@@ -135,6 +173,8 @@ PcSampler::reopenAfterReset()
         return false;
     ++health_.reopens;
     ++health_.resetsSurvived;
+    if (reopensCtr_)
+        reopensCtr_->inc();
     return true;
 }
 
@@ -151,6 +191,8 @@ PcSampler::maybeReacquire()
         if (held_[i])
             continue;
         ++health_.busyRetries;
+        if (busyRetriesCtr_)
+            busyRetriesCtr_->inc();
         const gpu::CounterId id =
             gpu::counterId(gpu::SelectedCounter(i));
         kgsl::kgsl_perfcounter_get get;
@@ -171,6 +213,7 @@ PcSampler::maybeReacquire()
     } else {
         backoff_ = recovery_.busyRetryBase;
     }
+    updateHeldGauge();
 }
 
 int
@@ -240,6 +283,7 @@ PcSampler::stop()
     held_.fill(false);
     running_ = false;
     suspended_ = false;
+    updateHeldGauge();
 }
 
 bool
@@ -267,24 +311,35 @@ PcSampler::tick()
     if (!running_)
         return;
     const std::uint64_t gen = generation_;
+    const obs::StageTimer::Scope tickSpan =
+        tickTimer_.scoped(eq_.now());
     maybeReacquire();
     Reading r;
     r.time = eq_.now();
     const int rc = readHeld(r.totals);
     if (rc == 0) {
         ++reads_;
+        if (readsOkCtr_)
+            readsOkCtr_->inc();
         if (tap_)
             tap_(r);
         if (listener_)
             listener_(r);
     } else {
         ++health_.missedReads;
+        if (readsMissedCtr_)
+            readsMissedCtr_->inc();
         if (rc == -kgsl::KGSL_EPERM || rc == -kgsl::KGSL_EACCES ||
-            rc == -kgsl::KGSL_ENODEV)
+            rc == -kgsl::KGSL_ENODEV) {
             // Hard fault (policy denial, or a reset we could not
             // reopen through): park the chain; the watchdog probes
             // for recovery at a gentler cadence.
             suspended_ = true;
+            if (telemetry_)
+                telemetry_->audit.record(
+                    r.time, obs::Stage::Sampler,
+                    obs::Decision::SamplerSuspended);
+        }
     }
     // The listener may have called stop()/start() on us.
     if (!running_ || generation_ != gen || suspended_)
@@ -332,6 +387,8 @@ PcSampler::watchdogProbe()
         if (ok) {
             ++health_.reopens;
             ++health_.resetsSurvived;
+            if (reopensCtr_)
+                reopensCtr_->inc();
         }
     } else {
         // Descriptor intact but reads were denied (RBAC swap): probe
@@ -343,6 +400,11 @@ PcSampler::watchdogProbe()
     if (ok) {
         suspended_ = false;
         ++health_.watchdogRecoveries;
+        if (watchdogRecoveriesCtr_) {
+            watchdogRecoveriesCtr_->inc();
+            telemetry_->audit.record(eq_.now(), obs::Stage::Sampler,
+                                     obs::Decision::SamplerRecovered);
+        }
         tick();
     }
 }

@@ -29,6 +29,7 @@
 
 #include "gpu/counters.h"
 #include "kgsl/device.h"
+#include "obs/telemetry.h"
 #include "util/event_queue.h"
 
 namespace gpusc::attack {
@@ -118,6 +119,14 @@ class PcSampler
     }
 
     /**
+     * Attach a telemetry context: per-tick `sampler.tick` spans,
+     * read/recovery counters, a counters-held gauge and audit
+     * records for suspension/recovery. Observational only — the
+     * reading stream is identical with telemetry on or off.
+     */
+    void setTelemetry(obs::Telemetry *tel);
+
+    /**
      * Open the device file and reserve the counters.
      * @return true on success; false (with lastErrno set) if the
      * security policy denies the attack — the RBAC mitigation path.
@@ -157,6 +166,7 @@ class PcSampler
     bool openAndReserve();
     bool reopenAfterReset();
     void maybeReacquire();
+    void updateHeldGauge();
     int ioctlRetrying(unsigned long request, void *arg);
     int readHeld(gpu::CounterTotals &out);
 
@@ -182,6 +192,15 @@ class PcSampler
     SimTime backoff_;
     SimTime backoffDue_;
     HealthStats health_;
+    obs::Telemetry *telemetry_ = nullptr;
+    obs::StageTimer tickTimer_;
+    obs::Counter *readsOkCtr_ = nullptr;
+    obs::Counter *readsMissedCtr_ = nullptr;
+    obs::Counter *transientRetriesCtr_ = nullptr;
+    obs::Counter *busyRetriesCtr_ = nullptr;
+    obs::Counter *reopensCtr_ = nullptr;
+    obs::Counter *watchdogRecoveriesCtr_ = nullptr;
+    obs::Gauge *countersHeldGauge_ = nullptr;
     /** Bumped by start()/stop(); pending callbacks from an older
      *  generation are no-ops, making stop/restart cycles safe. */
     std::uint64_t generation_ = 0;

@@ -25,6 +25,15 @@ ExperimentRunner::ExperimentRunner(ExperimentConfig cfg,
     devCfg.seed = cfg_.seed ^ 0x76696374696dULL;
     device_ = std::make_unique<android::Device>(devCfg);
 
+    // Telemetry flows to every instrumented layer from here: the
+    // attack pipeline via its Params, the driver boundary directly.
+    cfg_.attackParams.telemetry = cfg_.telemetry;
+    device_->kgsl().setTelemetry(cfg_.telemetry);
+    if (cfg_.telemetry) {
+        trialTimer_ = obs::StageTimer(cfg_.telemetry, "eval.trial");
+        trialsCtr_ = &cfg_.telemetry->metrics.counter("eval.trials");
+    }
+
     // Driver hostility applies to the victim device only (the
     // trainer's lab device above stays pristine). Attach before the
     // sampler starts so even the first reservations arbitrate.
@@ -150,6 +159,11 @@ ExperimentRunner::finishRecording()
 TrialResult
 ExperimentRunner::runTrial(const std::string &credential)
 {
+    const obs::StageTimer::Scope trialSpan =
+        trialTimer_.scoped(device_->eq().now());
+    if (trialsCtr_)
+        trialsCtr_->inc();
+
     device_->app().clearText();
     device_->runFor(300_ms);
 
@@ -171,6 +185,8 @@ ExperimentRunner::runTrial(const std::string &credential)
     const SimTime end = device_->eq().now();
     if (recorder_)
         recorder_->trialEnd(end);
+
+    eavesdropper_->flushTelemetry();
 
     TrialResult r;
     r.truth = credential;

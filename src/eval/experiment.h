@@ -66,6 +66,13 @@ struct ExperimentConfig
      */
     std::string recordTracePath;
     std::uint64_t seed = 1;
+    /**
+     * Telemetry context (not owned; null = off). Propagated to the
+     * attack pipeline and the victim's KGSL device; the runner adds
+     * per-trial spans and counters of its own. Purely observational:
+     * results are identical with telemetry on or off.
+     */
+    obs::Telemetry *telemetry = nullptr;
 };
 
 /** Result of one credential trial. */
@@ -137,6 +144,8 @@ class ExperimentRunner
     std::unique_ptr<workload::GpuLoadGenerator> gpuLoad_;
     workload::CredentialGenerator creds_;
     Rng rng_;
+    obs::StageTimer trialTimer_;
+    obs::Counter *trialsCtr_ = nullptr;
 };
 
 } // namespace gpusc::eval

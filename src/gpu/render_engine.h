@@ -89,6 +89,9 @@ class RenderEngine
     /** True if a job is executing at the current time. */
     bool busyNow() const { return eq_.now() < busyUntil_; }
 
+    /** The simulation clock this engine runs on (telemetry stamps). */
+    const EventQueue &clock() const { return eq_; }
+
     const GpuModel &model() const { return pipeline_.model(); }
 
     std::uint64_t framesRendered() const { return framesRendered_; }

@@ -135,8 +135,35 @@ KgslDevice::doPerfcounterRead(OpenFile &file, kgsl_perfcounter_read *arg)
     return 0;
 }
 
+void
+KgslDevice::setTelemetry(obs::Telemetry *tel)
+{
+    if (!tel) {
+        ioctlTimer_ = obs::StageTimer();
+        ioctlCallsCtr_ = ioctlErrorsCtr_ = nullptr;
+        return;
+    }
+    ioctlTimer_ = obs::StageTimer(tel, "kgsl.ioctl");
+    ioctlCallsCtr_ = &tel->metrics.counter("kgsl.ioctl.calls");
+    ioctlErrorsCtr_ = &tel->metrics.counter("kgsl.ioctl.errors");
+}
+
 int
 KgslDevice::ioctl(int fd, unsigned long request, void *arg)
+{
+    if (!ioctlCallsCtr_)
+        return ioctlDispatch(fd, request, arg);
+    ioctlCallsCtr_->inc();
+    const obs::StageTimer::Scope span =
+        ioctlTimer_.scoped(engine_.clock().now());
+    const int rc = ioctlDispatch(fd, request, arg);
+    if (rc != 0)
+        ioctlErrorsCtr_->inc();
+    return rc;
+}
+
+int
+KgslDevice::ioctlDispatch(int fd, unsigned long request, void *arg)
 {
     auto it = files_.find(fd);
     if (it == files_.end())

@@ -28,6 +28,7 @@
 #include "kgsl/fault_injector.h"
 #include "kgsl/msm_kgsl.h"
 #include "kgsl/policy.h"
+#include "obs/telemetry.h"
 
 namespace gpusc::kgsl {
 
@@ -80,6 +81,13 @@ class KgslDevice
     }
     FaultInjector *faultInjector() { return injector_; }
 
+    /**
+     * Attach a telemetry context: every ioctl round-trip becomes a
+     * `kgsl.ioctl` span plus call/error counters. Observational
+     * only — returned errnos and counter values are unchanged.
+     */
+    void setTelemetry(obs::Telemetry *tel);
+
     /** Currently open descriptors (fd-leak regression tests). */
     std::size_t openFileCount() const { return files_.size(); }
 
@@ -97,6 +105,7 @@ class KgslDevice
         bool stale = false;
     };
 
+    int ioctlDispatch(int fd, unsigned long request, void *arg);
     int doPerfcounterGet(OpenFile &file, kgsl_perfcounter_get *arg);
     int doPerfcounterPut(OpenFile &file, kgsl_perfcounter_put *arg);
     int doPerfcounterRead(OpenFile &file, kgsl_perfcounter_read *arg);
@@ -110,6 +119,9 @@ class KgslDevice
     int nextFd_ = 3;
     std::map<int, OpenFile> files_;
     std::uint64_t ioctlCount_ = 0;
+    obs::StageTimer ioctlTimer_;
+    obs::Counter *ioctlCallsCtr_ = nullptr;
+    obs::Counter *ioctlErrorsCtr_ = nullptr;
 };
 
 /**

@@ -1,0 +1,161 @@
+#include "obs/audit.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/metric_registry.h"
+
+namespace gpusc::obs {
+
+const char *
+stageName(Stage s)
+{
+    switch (s) {
+      case Stage::Sampler:
+        return "sampler";
+      case Stage::ChangeDetector:
+        return "change-detector";
+      case Stage::Inference:
+        return "inference";
+      case Stage::Eavesdropper:
+        return "eavesdropper";
+    }
+    return "?";
+}
+
+const char *
+decisionName(Decision d)
+{
+    switch (d) {
+      case Decision::AcceptedKey:
+        return "accepted-key";
+      case Decision::SplitRepaired:
+        return "split-repaired";
+      case Decision::DuplicationDrop:
+        return "duplication-drop";
+      case Decision::NoiseRejected:
+        return "noise-rejected";
+      case Decision::SuppressedAppSwitch:
+        return "suppressed-app-switch";
+      case Decision::DiscontinuityDropped:
+        return "discontinuity-dropped";
+      case Decision::SamplerSuspended:
+        return "sampler-suspended";
+      case Decision::SamplerRecovered:
+        return "sampler-recovered";
+    }
+    return "?";
+}
+
+AuditTrail::AuditTrail(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity))
+{
+}
+
+void
+AuditTrail::record(SimTime time, Stage stage, Decision decision,
+                   const std::string &label, double distance)
+{
+    ++counts_[std::size_t(decision)];
+    AuditRecord r;
+    r.seq = seq_++;
+    r.time = time;
+    r.stage = stage;
+    r.decision = decision;
+    r.label = label;
+    r.distance = distance;
+    if (ring_.size() < capacity_) {
+        // Reserve the whole ring on first use: growth reallocations
+        // mid-run would show up as latency spikes in the very spans
+        // this subsystem measures.
+        if (ring_.capacity() < capacity_)
+            ring_.reserve(capacity_);
+        ring_.push_back(std::move(r));
+    } else {
+        ring_[std::size_t(r.seq % capacity_)] = std::move(r);
+    }
+}
+
+std::uint64_t
+AuditTrail::changesAudited() const
+{
+    return count(Decision::AcceptedKey) +
+           count(Decision::SplitRepaired) +
+           count(Decision::DuplicationDrop) +
+           count(Decision::NoiseRejected) +
+           count(Decision::SuppressedAppSwitch);
+}
+
+std::uint64_t
+AuditTrail::dropped() const
+{
+    return seq_ > ring_.size() ? seq_ - ring_.size() : 0;
+}
+
+std::vector<AuditRecord>
+AuditTrail::snapshot() const
+{
+    std::vector<AuditRecord> out = ring_;
+    std::sort(out.begin(), out.end(),
+              [](const AuditRecord &a, const AuditRecord &b) {
+                  return a.seq < b.seq;
+              });
+    return out;
+}
+
+std::string
+AuditTrail::toJsonl() const
+{
+    std::string out;
+    char buf[96];
+    for (const AuditRecord &r : snapshot()) {
+        std::snprintf(buf, sizeof(buf),
+                      "{\"seq\": %llu, \"t_ms\": %.3f, \"stage\": ",
+                      (unsigned long long)r.seq, r.time.millis());
+        out += buf;
+        appendJsonString(out, stageName(r.stage));
+        out += ", \"decision\": ";
+        appendJsonString(out, decisionName(r.decision));
+        if (!r.label.empty()) {
+            out += ", \"label\": ";
+            appendJsonString(out, r.label);
+        }
+        if (r.distance != 0.0) {
+            out += ", \"distance\": ";
+            appendJsonNumber(out, r.distance);
+        }
+        out += "}\n";
+    }
+    return out;
+}
+
+std::string
+AuditTrail::funnelJson() const
+{
+    std::string out = "{\"changes_in\": ";
+    appendJsonNumber(out, double(changesAudited()));
+    const struct
+    {
+        const char *key;
+        Decision d;
+    } rows[] = {
+        {"accepted", Decision::AcceptedKey},
+        {"split_repaired", Decision::SplitRepaired},
+        {"duplication_dropped", Decision::DuplicationDrop},
+        {"noise_rejected", Decision::NoiseRejected},
+        {"suppressed_app_switch", Decision::SuppressedAppSwitch},
+        {"discontinuity_dropped", Decision::DiscontinuityDropped},
+        {"sampler_suspensions", Decision::SamplerSuspended},
+        {"sampler_recoveries", Decision::SamplerRecovered},
+    };
+    for (const auto &row : rows) {
+        out += ", ";
+        appendJsonString(out, row.key);
+        out += ": ";
+        appendJsonNumber(out, double(count(row.d)));
+    }
+    out += '}';
+    return out;
+}
+
+} // namespace gpusc::obs

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Decision audit trail: a structured record of what the pipeline did
+ * with every observed counter change (and the sampler/stream events
+ * around them), replacing printf archaeology with a queryable funnel.
+ *
+ * Every change that reaches Algorithm 1 receives exactly one
+ * change-level decision — accepted-as-key, split-repaired (accepted
+ * by combining with the previous unmatched change), duplication-drop,
+ * noise-rejected, or suppressed-app-switch — so the change funnel
+ * partitions:
+ *
+ *   changes in == accepted + split-repaired + duplication
+ *               + noise + suppressed
+ *
+ * Reading-level events (discontinuity-dropped re-baselines) and
+ * sampler lifecycle events (suspended / recovered) are recorded in
+ * the same trail under their own stages but do not enter the change
+ * funnel. Decision *counts* cover the whole run; the record ring
+ * keeps the most recent `capacity` records for JSONL export.
+ */
+
+#ifndef GPUSC_OBS_AUDIT_H
+#define GPUSC_OBS_AUDIT_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace gpusc::obs {
+
+/** Pipeline stage that made a decision. */
+enum class Stage : std::uint8_t
+{
+    Sampler,        ///< attack::PcSampler
+    ChangeDetector, ///< attack::ChangeDetector
+    Inference,      ///< attack::OnlineInference (Algorithm 1)
+    Eavesdropper,   ///< attack::Eavesdropper (post-inference)
+};
+
+/** What happened to the observed event. */
+enum class Decision : std::uint8_t
+{
+    AcceptedKey,          ///< change classified directly as a key
+    SplitRepaired,        ///< change accepted after split combine
+    DuplicationDrop,      ///< change inside T_min (popup re-render)
+    NoiseRejected,        ///< change matched nothing (system noise)
+    SuppressedAppSwitch,  ///< key inferred but inside a switch window
+    DiscontinuityDropped, ///< reading dropped to re-baseline
+    SamplerSuspended,     ///< tick chain parked on a hard fault
+    SamplerRecovered,     ///< watchdog revived the tick chain
+};
+
+inline constexpr std::size_t kNumDecisions = 8;
+
+const char *stageName(Stage s);
+const char *decisionName(Decision d);
+
+/** One audited pipeline decision. */
+struct AuditRecord
+{
+    /** Global decision order (survives ring eviction). */
+    std::uint64_t seq = 0;
+    SimTime time;
+    Stage stage = Stage::Inference;
+    Decision decision = Decision::NoiseRejected;
+    /** Inferred key label, when the decision carries one. */
+    std::string label;
+    /** Classifier distance, when the decision carries one. */
+    double distance = 0.0;
+};
+
+/** Whole-run decision counts plus a bounded ring of recent records. */
+class AuditTrail
+{
+  public:
+    explicit AuditTrail(std::size_t capacity = 262144);
+
+    void record(SimTime time, Stage stage, Decision decision,
+                const std::string &label = {}, double distance = 0.0);
+
+    /** Whole-run count of @p d decisions (not bounded by the ring). */
+    std::uint64_t count(Decision d) const
+    {
+        return counts_[std::size_t(d)];
+    }
+
+    /** Changes that entered Algorithm 1 (sum of the funnel classes). */
+    std::uint64_t changesAudited() const;
+
+    std::uint64_t recorded() const { return seq_; }
+    std::uint64_t dropped() const;
+
+    /** Retained records, oldest first. */
+    std::vector<AuditRecord> snapshot() const;
+
+    /** One JSON object per line (the --audit-out format). */
+    std::string toJsonl() const;
+
+    /**
+     * The funnel as a JSON object: every decision class count plus
+     * the derived `changes_in` total (see class comment).
+     */
+    std::string funnelJson() const;
+
+  private:
+    std::size_t capacity_;
+    std::vector<AuditRecord> ring_;
+    std::array<std::uint64_t, kNumDecisions> counts_{};
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace gpusc::obs
+
+#endif // GPUSC_OBS_AUDIT_H

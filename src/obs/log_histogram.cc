@@ -1,0 +1,128 @@
+#include "obs/log_histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace gpusc::obs {
+
+std::size_t
+LogHistogram::bucketIndex(std::uint64_t v)
+{
+    if (v < kSubBuckets)
+        return std::size_t(v);
+    const unsigned octave = 63u - unsigned(std::countl_zero(v));
+    const unsigned sub =
+        unsigned((v >> (octave - kSubBits)) & (kSubBuckets - 1));
+    return kSubBuckets + std::size_t(octave - kSubBits) * kSubBuckets +
+           sub;
+}
+
+std::uint64_t
+LogHistogram::bucketLow(std::size_t i)
+{
+    if (i < kSubBuckets)
+        return i;
+    const std::size_t g = i - kSubBuckets;
+    const unsigned octave = unsigned(g / kSubBuckets) + kSubBits;
+    const unsigned sub = unsigned(g % kSubBuckets);
+    return (std::uint64_t(1) << octave) +
+           (std::uint64_t(sub) << (octave - kSubBits));
+}
+
+std::uint64_t
+LogHistogram::bucketHigh(std::size_t i)
+{
+    if (i + 1 < kBuckets)
+        return bucketLow(i + 1);
+    return UINT64_MAX;
+}
+
+void
+LogHistogram::add(std::uint64_t v)
+{
+    addCount(v, 1);
+}
+
+void
+LogHistogram::addCount(std::uint64_t v, std::uint64_t n)
+{
+    if (n == 0)
+        return;
+    counts_[bucketIndex(v)] += n;
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    count_ += n;
+    sum_ += double(v) * double(n);
+}
+
+void
+LogHistogram::merge(const LogHistogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        counts_[i] += other.counts_[i];
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+std::uint64_t
+LogHistogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the q-th sample, 1-based; q=0 picks the first.
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, std::uint64_t(q * double(count_) + 0.5));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        seen += counts_[i];
+        if (seen >= rank) {
+            const std::uint64_t lo = bucketLow(i);
+            const std::uint64_t hi = bucketHigh(i);
+            const std::uint64_t mid = lo + (hi - lo) / 2;
+            return std::clamp(mid, min_, max_);
+        }
+    }
+    return max_;
+}
+
+std::string
+LogHistogram::render(std::size_t width) const
+{
+    std::string out;
+    std::uint64_t peak = 0;
+    for (std::uint64_t c : counts_)
+        peak = std::max(peak, c);
+    if (peak == 0)
+        return out;
+    char line[128];
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        if (counts_[i] == 0)
+            continue;
+        std::snprintf(line, sizeof(line),
+                      "[%12llu, %12llu) %8llu |",
+                      (unsigned long long)bucketLow(i),
+                      (unsigned long long)bucketHigh(i),
+                      (unsigned long long)counts_[i]);
+        out += line;
+        out.append(std::size_t(counts_[i] * width / peak), '#');
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace gpusc::obs

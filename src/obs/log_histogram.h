@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Log-bucketed value histogram for latency-style distributions.
+ *
+ * An HdrHistogram-style layout: values below 2^kSubBits land in their
+ * own unit-wide bucket, larger values share an octave split into
+ * 2^kSubBits sub-buckets, so relative resolution is a constant ~12 %
+ * across the whole 64-bit range while the bucket table stays a few
+ * hundred entries. Recording is two shifts and an increment — cheap
+ * enough for per-event instrumentation on the replay hot path —
+ * and quantile queries (p50/p90/p99/...) walk the cumulative counts.
+ *
+ * Histograms merge losslessly (bucket-wise addition), which is how
+ * MetricRegistry snapshots fold per-stage latency distributions into
+ * pipeline-wide ones.
+ */
+
+#ifndef GPUSC_OBS_LOG_HISTOGRAM_H
+#define GPUSC_OBS_LOG_HISTOGRAM_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace gpusc::obs {
+
+/** Log-bucketed histogram over unsigned 64-bit values. */
+class LogHistogram
+{
+  public:
+    /** Sub-bucket resolution: 2^kSubBits sub-buckets per octave. */
+    static constexpr unsigned kSubBits = 3;
+    static constexpr unsigned kSubBuckets = 1u << kSubBits;
+    /** Unit-wide buckets for 0..kSubBuckets-1, then one group of
+     *  kSubBuckets per octave up to 2^64. */
+    static constexpr std::size_t kBuckets =
+        kSubBuckets + (64 - kSubBits) * kSubBuckets;
+
+    /** Record one value. */
+    void add(std::uint64_t v);
+
+    /** Record @p n occurrences of @p v (merge helpers, tests). */
+    void addCount(std::uint64_t v, std::uint64_t n);
+
+    /** Fold @p other into this histogram (bucket-wise addition). */
+    void merge(const LogHistogram &other);
+
+    std::uint64_t count() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+    /** Exact extrema (tracked beside the buckets). */
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+
+    /**
+     * Value at quantile @p q in [0, 1], estimated as the midpoint of
+     * the bucket holding the q-th sample (clamped to the exact
+     * min/max). Empty histograms report 0.
+     */
+    std::uint64_t quantile(double q) const;
+    std::uint64_t p50() const { return quantile(0.50); }
+    std::uint64_t p90() const { return quantile(0.90); }
+    std::uint64_t p99() const { return quantile(0.99); }
+
+    /** Bucket accessors (exporters, tests). */
+    std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
+    /** Lowest value mapping to bucket @p i. */
+    static std::uint64_t bucketLow(std::size_t i);
+    /** One past the highest value mapping to bucket @p i. */
+    static std::uint64_t bucketHigh(std::size_t i);
+    /** Bucket index @p v maps to. */
+    static std::size_t bucketIndex(std::uint64_t v);
+
+    /** ASCII rendering of the non-empty buckets (CLI output). */
+    std::string render(std::size_t width = 40) const;
+
+  private:
+    std::array<std::uint64_t, kBuckets> counts_{};
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+} // namespace gpusc::obs
+
+#endif // GPUSC_OBS_LOG_HISTOGRAM_H

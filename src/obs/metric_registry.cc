@@ -1,0 +1,190 @@
+#include "obs/metric_registry.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gpusc::obs {
+
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendJsonNumber(std::string &out, double v)
+{
+    if (!std::isfinite(v)) {
+        out += "null";
+        return;
+    }
+    char buf[40];
+    if (v == std::floor(v) && std::fabs(v) < 1e15)
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    else
+        std::snprintf(buf, sizeof(buf), "%.9g", v);
+    out += buf;
+}
+
+Counter &
+MetricRegistry::counter(const std::string &name)
+{
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricRegistry::gauge(const std::string &name)
+{
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+LogHistogram &
+MetricRegistry::histogram(const std::string &name,
+                          const std::string &unit)
+{
+    auto &slot = histograms_[name];
+    if (!slot) {
+        slot = std::make_unique<LogHistogram>();
+        units_[name] = unit;
+    }
+    return *slot;
+}
+
+const std::string &
+MetricRegistry::histogramUnit(const std::string &name) const
+{
+    static const std::string empty;
+    const auto it = units_.find(name);
+    return it == units_.end() ? empty : it->second;
+}
+
+void
+MetricRegistry::merge(const MetricRegistry &other)
+{
+    for (const auto &[name, c] : other.counters_)
+        counter(name).inc(c->value());
+    for (const auto &[name, g] : other.gauges_)
+        gauge(name).set(g->value());
+    for (const auto &[name, h] : other.histograms_)
+        histogram(name, other.histogramUnit(name)).merge(*h);
+}
+
+LogHistogram
+MetricRegistry::mergedLatency() const
+{
+    LogHistogram all;
+    for (const auto &[name, h] : histograms_)
+        if (name.rfind("latency.", 0) == 0)
+            all.merge(*h);
+    return all;
+}
+
+namespace {
+
+void
+appendHistogram(std::string &out, const LogHistogram &h,
+                const std::string &unit)
+{
+    out += "{\"count\": ";
+    appendJsonNumber(out, double(h.count()));
+    out += ", \"sum\": ";
+    appendJsonNumber(out, h.sum());
+    out += ", \"mean\": ";
+    appendJsonNumber(out, h.mean());
+    out += ", \"min\": ";
+    appendJsonNumber(out, double(h.min()));
+    out += ", \"p50\": ";
+    appendJsonNumber(out, double(h.p50()));
+    out += ", \"p90\": ";
+    appendJsonNumber(out, double(h.p90()));
+    out += ", \"p99\": ";
+    appendJsonNumber(out, double(h.p99()));
+    out += ", \"max\": ";
+    appendJsonNumber(out, double(h.max()));
+    out += ", \"unit\": ";
+    appendJsonString(out, unit);
+    out += '}';
+}
+
+} // namespace
+
+std::string
+MetricRegistry::toJson() const
+{
+    std::string out = "{\"counters\": {";
+    bool first = true;
+    for (const auto &[name, c] : counters_) {
+        if (!first)
+            out += ", ";
+        first = false;
+        appendJsonString(out, name);
+        out += ": ";
+        appendJsonNumber(out, double(c->value()));
+    }
+    out += "}, \"gauges\": {";
+    first = true;
+    for (const auto &[name, g] : gauges_) {
+        if (!first)
+            out += ", ";
+        first = false;
+        appendJsonString(out, name);
+        out += ": ";
+        appendJsonNumber(out, g->value());
+    }
+    out += "}, \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        if (!first)
+            out += ", ";
+        first = false;
+        appendJsonString(out, name);
+        out += ": ";
+        appendHistogram(out, *h, histogramUnit(name));
+    }
+    const LogHistogram all = mergedLatency();
+    if (!all.empty()) {
+        if (!first)
+            out += ", ";
+        appendJsonString(out, "latency.all_stages");
+        out += ": ";
+        appendHistogram(out, all, "ns");
+    }
+    out += "}}";
+    return out;
+}
+
+} // namespace gpusc::obs

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Named-metric registry: counters, gauges and log-bucketed latency
+ * histograms, resolvable once and updated through stable references.
+ *
+ * Instrumented components resolve their metrics by name a single time
+ * (at wiring) and keep the returned reference; the hot-path update is
+ * then a plain increment with no map lookup, which is what keeps
+ * telemetry inside the <2 % replay-overhead budget. Metric objects
+ * are owned by the registry and their addresses never move.
+ *
+ * Naming scheme (see DESIGN.md "Observability"): dotted lowercase
+ * `<component>.<what>` for counters/gauges (`sampler.reads_ok`,
+ * `pipeline.changes_in`) and `latency.<stage>` for histograms, whose
+ * unit string travels with the metric into the JSON export.
+ */
+
+#ifndef GPUSC_OBS_METRIC_REGISTRY_H
+#define GPUSC_OBS_METRIC_REGISTRY_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "obs/log_histogram.h"
+
+namespace gpusc::obs {
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t by = 1) { value_ += by; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Point-in-time level (set, not accumulated). */
+class Gauge
+{
+  public:
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Owns every metric; hands out stable references by name. */
+class MetricRegistry
+{
+  public:
+    /** Resolve (creating on first use) the named metric. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    /** @p unit is recorded on first resolution ("ns", "us", ...). */
+    LogHistogram &histogram(const std::string &name,
+                            const std::string &unit = "ns");
+
+    /** Unit string a histogram was registered with. */
+    const std::string &histogramUnit(const std::string &name) const;
+
+    /**
+     * Fold @p other into this registry: counters add, histograms
+     * merge bucket-wise, gauges take the other's latest value.
+     * Used to aggregate per-run registries into one snapshot.
+     */
+    void merge(const MetricRegistry &other);
+
+    /**
+     * Pipeline-wide latency distribution: every `latency.`-prefixed
+     * histogram merged into one (the snapshot's "all stages" row).
+     */
+    LogHistogram mergedLatency() const;
+
+    /**
+     * Render the whole registry as a JSON object with `counters`,
+     * `gauges` and `histograms` keys; histograms export count, sum,
+     * mean, p50/p90/p99, min/max and their unit.
+     */
+    std::string toJson() const;
+
+    const std::map<std::string, std::unique_ptr<Counter>> &
+    counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, std::unique_ptr<Gauge>> &gauges() const
+    {
+        return gauges_;
+    }
+    const std::map<std::string, std::unique_ptr<LogHistogram>> &
+    histograms() const
+    {
+        return histograms_;
+    }
+
+  private:
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<LogHistogram>> histograms_;
+    std::map<std::string, std::string> units_;
+};
+
+/** Append @p s to @p out as a JSON string literal (with escapes). */
+void appendJsonString(std::string &out, const std::string &s);
+/** Append @p v with enough precision to round-trip. */
+void appendJsonNumber(std::string &out, double v);
+
+} // namespace gpusc::obs
+
+#endif // GPUSC_OBS_METRIC_REGISTRY_H

@@ -1,0 +1,104 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/metric_registry.h"
+
+namespace gpusc::obs {
+
+Tracer::Tracer(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity))
+{
+    ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+int
+Tracer::stageId(const std::string &name)
+{
+    for (std::size_t i = 0; i < stages_.size(); ++i)
+        if (stages_[i] == name)
+            return int(i);
+    stages_.push_back(name);
+    return int(stages_.size() - 1);
+}
+
+void
+Tracer::record(int tid, SimTime at, std::int64_t hostNs)
+{
+    Span s;
+    s.tid = tid;
+    s.name = stages_[std::size_t(tid)].c_str();
+    s.at = at;
+    s.hostNs = hostNs;
+    s.seq = seq_++;
+    if (ring_.size() < capacity_) {
+        // One-shot full reserve (see AuditTrail::record): no growth
+        // reallocations on the instrumented path.
+        if (ring_.capacity() < capacity_)
+            ring_.reserve(capacity_);
+        ring_.push_back(s);
+    } else {
+        ring_[std::size_t(s.seq % capacity_)] = s;
+    }
+}
+
+std::size_t
+Tracer::size() const
+{
+    return ring_.size();
+}
+
+std::uint64_t
+Tracer::dropped() const
+{
+    return seq_ > ring_.size() ? seq_ - ring_.size() : 0;
+}
+
+std::vector<Span>
+Tracer::snapshot() const
+{
+    std::vector<Span> out = ring_;
+    std::sort(out.begin(), out.end(),
+              [](const Span &a, const Span &b) { return a.seq < b.seq; });
+    return out;
+}
+
+std::string
+Tracer::chromeTraceJson() const
+{
+    std::string out = "{\"traceEvents\": [";
+    bool first = true;
+    char buf[160];
+    // Metadata: one named lane per stage, all under pid 1.
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += "{\"name\": \"thread_name\", \"ph\": \"M\", "
+               "\"pid\": 1, \"tid\": ";
+        std::snprintf(buf, sizeof(buf), "%zu", i);
+        out += buf;
+        out += ", \"args\": {\"name\": ";
+        appendJsonString(out, stages_[i]);
+        out += "}}";
+    }
+    for (const Span &s : snapshot()) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += "{\"name\": ";
+        appendJsonString(out, s.name);
+        std::snprintf(buf, sizeof(buf),
+                      ", \"cat\": \"pipeline\", \"ph\": \"X\", "
+                      "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, "
+                      "\"tid\": %d}",
+                      double(s.at.ns()) / 1000.0,
+                      double(s.hostNs) / 1000.0, s.tid);
+        out += buf;
+    }
+    out += "], \"displayTimeUnit\": \"ms\"}";
+    return out;
+}
+
+} // namespace gpusc::obs

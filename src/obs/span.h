@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Stage-timing spans: sim-time-stamped, host-duration-measured
+ * events held in a fixed-capacity in-memory ring and exportable as
+ * Chrome trace-event JSON (load the file in Perfetto / about:tracing).
+ *
+ * Two clocks meet in a span deliberately: the *timestamp* is the
+ * simulator's clock (so spans line up with the eavesdropping session
+ * being simulated), while the *duration* is host wall time (so span
+ * widths compare the real compute cost of each stage). The exported
+ * `ts` therefore orders events on the sim timeline and `dur` is only
+ * meaningful relative to other spans, not to the timeline itself.
+ */
+
+#ifndef GPUSC_OBS_SPAN_H
+#define GPUSC_OBS_SPAN_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace gpusc::obs {
+
+/** One completed stage execution. */
+struct Span
+{
+    /** Stage name (owned by the Tracer's stage table). */
+    const char *name = nullptr;
+    /** Perfetto lane: one tid per distinct stage. */
+    int tid = 0;
+    /** When the stage ran, in simulated time. */
+    SimTime at;
+    /** How long the stage took on the host, nanoseconds. */
+    std::int64_t hostNs = 0;
+    /** Global emission order (survives ring wraparound). */
+    std::uint64_t seq = 0;
+};
+
+/** Fixed-capacity span ring with Chrome trace-event export. */
+class Tracer
+{
+  public:
+    explicit Tracer(std::size_t capacity = 65536);
+
+    /**
+     * Intern @p name and return its lane id. Resolved once per stage
+     * at wiring time (StageTimer); the returned id indexes the
+     * stage-name table for the life of the tracer.
+     */
+    int stageId(const std::string &name);
+
+    /** Stable name pointer for a lane id from stageId(). */
+    const char *stageName(int tid) const
+    {
+        return stages_[std::size_t(tid)].c_str();
+    }
+
+    /** Record one completed span (overwrites the oldest when full). */
+    void record(int tid, SimTime at, std::int64_t hostNs);
+
+    std::size_t capacity() const { return capacity_; }
+    /** Spans currently retained (<= capacity). */
+    std::size_t size() const;
+    /** Spans recorded over the tracer's lifetime. */
+    std::uint64_t recorded() const { return seq_; }
+    /** Spans lost to ring wraparound. */
+    std::uint64_t dropped() const;
+
+    /** Retained spans, oldest first. */
+    std::vector<Span> snapshot() const;
+
+    /**
+     * Chrome trace-event JSON: `{"traceEvents": [...]}` of "X"
+     * (complete) events, ts/dur in microseconds, plus metadata
+     * records naming each stage lane.
+     */
+    std::string chromeTraceJson() const;
+
+  private:
+    std::size_t capacity_;
+    std::deque<std::string> stages_;
+    std::vector<Span> ring_;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace gpusc::obs
+
+#endif // GPUSC_OBS_SPAN_H

@@ -1,0 +1,49 @@
+#include "obs/telemetry.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace gpusc::obs {
+
+std::string
+Telemetry::metricsJson() const
+{
+    // Compose the registry object with the funnel and span
+    // accounting: strip the registry's closing brace and append.
+    std::string out = metrics.toJson();
+    out.pop_back();
+    out += ", \"funnel\": ";
+    out += audit.funnelJson();
+    out += ", \"spans\": {\"recorded\": ";
+    appendJsonNumber(out, double(tracer.recorded()));
+    out += ", \"retained\": ";
+    appendJsonNumber(out, double(tracer.size()));
+    out += ", \"dropped\": ";
+    appendJsonNumber(out, double(tracer.dropped()));
+    out += "}, \"audit\": {\"recorded\": ";
+    appendJsonNumber(out, double(audit.recorded()));
+    out += ", \"dropped\": ";
+    appendJsonNumber(out, double(audit.dropped()));
+    out += "}}";
+    return out;
+}
+
+bool
+Telemetry::writeFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("Telemetry: cannot write '%s'", path.c_str());
+        return false;
+    }
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    if (std::fclose(f) != 0 || !ok) {
+        warn("Telemetry: short write to '%s'", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace gpusc::obs

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The telemetry context instrumented components share: a
+ * MetricRegistry, a span Tracer and the decision AuditTrail, plus
+ * the StageTimer helper that makes per-stage timing a two-clock-read
+ * affair with every name lookup done once at wiring time.
+ *
+ * Telemetry is strictly observational and strictly optional: every
+ * component takes a `Telemetry *` that defaults to null, and a null
+ * context must cost one predictable branch on the hot path. Live
+ * runs and trace replays produce bit-identical inferred output with
+ * telemetry on or off (enforced by tests and the
+ * bench/telemetry_overhead budget of <2 % replay throughput).
+ */
+
+#ifndef GPUSC_OBS_TELEMETRY_H
+#define GPUSC_OBS_TELEMETRY_H
+
+#include <chrono>
+#include <string>
+
+#include "obs/audit.h"
+#include "obs/metric_registry.h"
+#include "obs/span.h"
+
+namespace gpusc::obs {
+
+/** Shared observation context (metrics + spans + audit). */
+class Telemetry
+{
+  public:
+    struct Params
+    {
+        /** Span ring capacity (oldest spans overwritten beyond it). */
+        std::size_t spanCapacity = 65536;
+        /** Audit record ring capacity (counts are never bounded). */
+        std::size_t auditCapacity = 262144;
+    };
+
+    Telemetry() : Telemetry(Params{}) {}
+    explicit Telemetry(Params p)
+        : tracer(p.spanCapacity), audit(p.auditCapacity)
+    {
+    }
+
+    Telemetry(const Telemetry &) = delete;
+    Telemetry &operator=(const Telemetry &) = delete;
+
+    MetricRegistry metrics;
+    Tracer tracer;
+    AuditTrail audit;
+
+    /** Full metrics snapshot as JSON: registry + funnel + span
+     *  accounting, the --metrics-out payload. */
+    std::string metricsJson() const;
+
+    /** Write @p text to @p path; false (with a warn) on IO failure. */
+    static bool writeFile(const std::string &path,
+                          const std::string &text);
+};
+
+/**
+ * Pre-resolved handle for timing one stage: holds the stage's
+ * latency histogram and tracer lane so the per-execution cost is
+ * two steady_clock reads, a histogram add and a ring write.
+ * Default-constructed (or resolved from a null Telemetry) timers
+ * no-op without touching the clock.
+ */
+class StageTimer
+{
+  public:
+    StageTimer() = default;
+
+    /** Resolve @p stage in @p tel (null @p tel gives a no-op timer). */
+    StageTimer(Telemetry *tel, const std::string &stage)
+    {
+        if (!tel)
+            return;
+        tracer_ = &tel->tracer;
+        hist_ = &tel->metrics.histogram("latency." + stage, "ns");
+        tid_ = tel->tracer.stageId(stage);
+    }
+
+    bool enabled() const { return tracer_ != nullptr; }
+
+    /** RAII measurement; records on destruction (or end()). */
+    class Scope
+    {
+      public:
+        Scope(const StageTimer *timer, SimTime at) : timer_(timer)
+        {
+            if (timer_ && timer_->enabled()) {
+                at_ = at;
+                start_ = std::chrono::steady_clock::now();
+            } else {
+                timer_ = nullptr;
+            }
+        }
+
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+        ~Scope() { end(); }
+
+        void
+        end()
+        {
+            if (!timer_)
+                return;
+            const auto stop = std::chrono::steady_clock::now();
+            const std::int64_t ns =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    stop - start_)
+                    .count();
+            timer_->hist_->add(std::uint64_t(ns < 0 ? 0 : ns));
+            timer_->tracer_->record(timer_->tid_, at_, ns);
+            timer_ = nullptr;
+        }
+
+      private:
+        const StageTimer *timer_;
+        SimTime at_;
+        std::chrono::steady_clock::time_point start_;
+    };
+
+    /** Start measuring one execution stamped at sim time @p at. */
+    Scope scoped(SimTime at) const { return Scope(this, at); }
+
+    /**
+     * Record an already-measured execution of @p hostNs at sim time
+     * @p at — for call sites that clock the stage themselves anyway
+     * (no extra steady_clock reads on the hot path).
+     */
+    void
+    note(SimTime at, std::int64_t hostNs) const
+    {
+        if (!tracer_)
+            return;
+        hist_->add(std::uint64_t(hostNs < 0 ? 0 : hostNs));
+        tracer_->record(tid_, at, hostNs);
+    }
+
+  private:
+    friend class Scope;
+    Tracer *tracer_ = nullptr;
+    LogHistogram *hist_ = nullptr;
+    int tid_ = 0;
+};
+
+} // namespace gpusc::obs
+
+#endif // GPUSC_OBS_TELEMETRY_H

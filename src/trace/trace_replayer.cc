@@ -87,6 +87,10 @@ TraceReplayer::replay(TraceReader &reader)
         }
     }
 
+    // The stream is fully fed: push the batched telemetry tallies
+    // out so exported metrics are exact for this replay.
+    eavesdropper_->flushTelemetry();
+
     // Score trials exactly like ExperimentRunner::runTrial: the
     // inferred text is the event stream restricted to the trial's
     // [begin, end] window.

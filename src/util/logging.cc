@@ -2,23 +2,107 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 namespace gpusc {
 
 namespace {
 bool verboseFlag = true;
+std::function<void(const LogRecord &)> logSink;
+const void *timeOwner = nullptr;
+std::function<SimTime()> timeSource;
+
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list copy;
+    va_copy(copy, ap);
+    const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (n < 0)
+        return fmt;
+    std::vector<char> buf(std::size_t(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return std::string(buf.data(), std::size_t(n));
+}
+
+LogRecord
+makeRecord(LogRecord::Level level, const char *fmt, va_list ap)
+{
+    LogRecord r;
+    r.level = level;
+    if (timeSource) {
+        r.hasSimTime = true;
+        r.simTime = timeSource();
+    }
+    r.message = vformat(fmt, ap);
+    return r;
+}
 
 void
-vprint(FILE *to, const char *tag, const char *fmt, va_list ap)
+printRecord(FILE *to, const LogRecord &r)
 {
-    std::fprintf(to, "%s: ", tag);
-    std::vfprintf(to, fmt, ap);
-    std::fputc('\n', to);
+    if (r.hasSimTime)
+        std::fprintf(to, "%s @%.3fs: %s\n", logLevelString(r.level),
+                     r.simTime.seconds(), r.message.c_str());
+    else
+        std::fprintf(to, "%s: %s\n", logLevelString(r.level),
+                     r.message.c_str());
+}
+
+void
+emit(FILE *to, LogRecord::Level level, const char *fmt, va_list ap)
+{
+    const LogRecord r = makeRecord(level, fmt, ap);
+    if (logSink) {
+        logSink(r);
+        // Aborting levels still echo so a dying process leaves a
+        // visible last word even under a capturing sink.
+        if (level == LogRecord::Level::Fatal ||
+            level == LogRecord::Level::Panic)
+            printRecord(stderr, r);
+        return;
+    }
+    printRecord(to, r);
 }
 } // namespace
 
+const char *
+logLevelString(LogRecord::Level level)
+{
+    switch (level) {
+      case LogRecord::Level::Info:
+        return "info";
+      case LogRecord::Level::Warn:
+        return "warn";
+      case LogRecord::Level::Fatal:
+        return "fatal";
+      case LogRecord::Level::Panic:
+        return "panic";
+    }
+    return "?";
+}
+
 void setVerbose(bool v) { verboseFlag = v; }
 bool verbose() { return verboseFlag; }
+
+void
+setLogSink(std::function<void(const LogRecord &)> sink)
+{
+    logSink = std::move(sink);
+}
+
+void
+setLogTimeSource(const void *owner, std::function<SimTime()> fn)
+{
+    if (fn) {
+        timeOwner = owner;
+        timeSource = std::move(fn);
+    } else if (owner == timeOwner) {
+        timeOwner = nullptr;
+        timeSource = nullptr;
+    }
+}
 
 void
 inform(const char *fmt, ...)
@@ -27,7 +111,7 @@ inform(const char *fmt, ...)
         return;
     va_list ap;
     va_start(ap, fmt);
-    vprint(stdout, "info", fmt, ap);
+    emit(stdout, LogRecord::Level::Info, fmt, ap);
     va_end(ap);
 }
 
@@ -36,7 +120,7 @@ warn(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    vprint(stderr, "warn", fmt, ap);
+    emit(stderr, LogRecord::Level::Warn, fmt, ap);
     va_end(ap);
 }
 
@@ -45,7 +129,7 @@ fatal(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    vprint(stderr, "fatal", fmt, ap);
+    emit(stderr, LogRecord::Level::Fatal, fmt, ap);
     va_end(ap);
     std::exit(1);
 }
@@ -55,7 +139,7 @@ panic(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    vprint(stderr, "panic", fmt, ap);
+    emit(stderr, LogRecord::Level::Panic, fmt, ap);
     va_end(ap);
     std::abort();
 }

@@ -5,19 +5,65 @@
  * `inform()` reports normal progress, `warn()` flags suspicious but
  * survivable conditions, `fatal()` aborts on user/configuration errors
  * and `panic()` aborts on internal invariant violations.
+ *
+ * Messages are prefixed with the current simulated time when a time
+ * source is registered (android::Device registers its event queue's
+ * clock for its lifetime); call sites that print before any device
+ * exists — model-store loads, CLI argument handling — stay untimed.
+ * Tests and experiments can capture structured LogRecords through
+ * setLogSink() instead of scraping stdout/stderr.
  */
 
 #ifndef GPUSC_UTIL_LOGGING_H
 #define GPUSC_UTIL_LOGGING_H
 
 #include <cstdarg>
+#include <functional>
 #include <string>
+
+#include "util/sim_time.h"
 
 namespace gpusc {
 
 /** Controls whether inform() messages are printed (benches mute them). */
 void setVerbose(bool verbose);
 bool verbose();
+
+/** One captured log message (see setLogSink). */
+struct LogRecord
+{
+    enum class Level
+    {
+        Info,
+        Warn,
+        Fatal,
+        Panic,
+    };
+    Level level = Level::Info;
+    /** True when a sim-time source was registered at emission. */
+    bool hasSimTime = false;
+    SimTime simTime;
+    /** The formatted message, without prefix or newline. */
+    std::string message;
+};
+
+const char *logLevelString(LogRecord::Level level);
+
+/**
+ * Route log records to @p sink instead of stdout/stderr (fatal and
+ * panic still echo to stderr before aborting). Pass nullptr to
+ * restore console output. Suppressed inform() calls (verbose off)
+ * do not reach the sink.
+ */
+void setLogSink(std::function<void(const LogRecord &)> sink);
+
+/**
+ * Register @p fn as the simulated-time source for log prefixes,
+ * tagged with its owning object. Passing a null @p fn unregisters,
+ * but only when @p owner is the current registrant — so a device
+ * destroyed out of order cannot strip a newer device's clock.
+ */
+void setLogTimeSource(const void *owner, std::function<SimTime()> fn);
 
 /** Print an informational message to stdout (when verbose). */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));

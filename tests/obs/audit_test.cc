@@ -1,0 +1,145 @@
+/** @file Unit tests for the decision audit trail. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "obs/audit.h"
+
+namespace gpusc::obs {
+namespace {
+
+TEST(AuditTrailTest, CountsEveryDecisionClassIndependently)
+{
+    AuditTrail a;
+    a.record(SimTime::fromMs(1), Stage::Inference,
+             Decision::NoiseRejected);
+    a.record(SimTime::fromMs(2), Stage::Inference,
+             Decision::NoiseRejected);
+    a.record(SimTime::fromMs(3), Stage::Eavesdropper,
+             Decision::AcceptedKey, "a", 1.5);
+    a.record(SimTime::fromMs(4), Stage::ChangeDetector,
+             Decision::DiscontinuityDropped);
+
+    EXPECT_EQ(a.count(Decision::NoiseRejected), 2u);
+    EXPECT_EQ(a.count(Decision::AcceptedKey), 1u);
+    EXPECT_EQ(a.count(Decision::DiscontinuityDropped), 1u);
+    EXPECT_EQ(a.count(Decision::SplitRepaired), 0u);
+    EXPECT_EQ(a.recorded(), 4u);
+    EXPECT_EQ(a.dropped(), 0u);
+}
+
+TEST(AuditTrailTest, ChangesAuditedSumsOnlyTheChangeFunnel)
+{
+    AuditTrail a;
+    a.record(SimTime::fromMs(1), Stage::Eavesdropper,
+             Decision::AcceptedKey);
+    a.record(SimTime::fromMs(2), Stage::Eavesdropper,
+             Decision::SplitRepaired);
+    a.record(SimTime::fromMs(3), Stage::Inference,
+             Decision::DuplicationDrop);
+    a.record(SimTime::fromMs(4), Stage::Inference,
+             Decision::NoiseRejected);
+    a.record(SimTime::fromMs(5), Stage::Eavesdropper,
+             Decision::SuppressedAppSwitch);
+    // Reading-level and sampler lifecycle events stay out of the
+    // change funnel.
+    a.record(SimTime::fromMs(6), Stage::ChangeDetector,
+             Decision::DiscontinuityDropped);
+    a.record(SimTime::fromMs(7), Stage::Sampler,
+             Decision::SamplerSuspended);
+    a.record(SimTime::fromMs(8), Stage::Sampler,
+             Decision::SamplerRecovered);
+
+    EXPECT_EQ(a.changesAudited(), 5u);
+    EXPECT_EQ(a.recorded(), 8u);
+}
+
+TEST(AuditTrailTest, RingEvictsOldestButCountsAreUnbounded)
+{
+    AuditTrail a(4);
+    for (int i = 0; i < 10; ++i)
+        a.record(SimTime::fromMs(i), Stage::Inference,
+                 Decision::NoiseRejected);
+    EXPECT_EQ(a.count(Decision::NoiseRejected), 10u);
+    EXPECT_EQ(a.recorded(), 10u);
+    EXPECT_EQ(a.dropped(), 6u);
+
+    const std::vector<AuditRecord> recs = a.snapshot();
+    ASSERT_EQ(recs.size(), 4u);
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+        EXPECT_EQ(recs[i].seq, 6 + i);
+        EXPECT_EQ(recs[i].time, SimTime::fromMs(std::int64_t(6 + i)));
+    }
+}
+
+TEST(AuditTrailTest, JsonlCarriesOptionalFieldsOnlyWhenSet)
+{
+    AuditTrail a;
+    a.record(SimTime::fromMs(12), Stage::Eavesdropper,
+             Decision::AcceptedKey, "q", 0.75);
+    a.record(SimTime::fromMs(13), Stage::Inference,
+             Decision::NoiseRejected);
+
+    const std::string jsonl = a.toJsonl();
+    // One line per record.
+    EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 2);
+    const std::size_t cut = jsonl.find('\n');
+    const std::string first = jsonl.substr(0, cut);
+    const std::string second = jsonl.substr(cut + 1);
+    EXPECT_NE(first.find("\"seq\": 0"), std::string::npos);
+    EXPECT_NE(first.find("\"t_ms\": 12.000"), std::string::npos);
+    EXPECT_NE(first.find("\"stage\": \"eavesdropper\""),
+              std::string::npos);
+    EXPECT_NE(first.find("\"decision\": \"accepted-key\""),
+              std::string::npos);
+    EXPECT_NE(first.find("\"label\": \"q\""), std::string::npos);
+    EXPECT_NE(first.find("\"distance\": 0.75"), std::string::npos);
+    // The label-free rejection omits both optional fields.
+    EXPECT_EQ(second.find("\"label\""), std::string::npos);
+    EXPECT_EQ(second.find("\"distance\""), std::string::npos);
+    EXPECT_NE(second.find("\"decision\": \"noise-rejected\""),
+              std::string::npos);
+}
+
+TEST(AuditTrailTest, FunnelJsonPartitionsChangesIn)
+{
+    AuditTrail a;
+    for (int i = 0; i < 3; ++i)
+        a.record(SimTime::fromMs(i), Stage::Eavesdropper,
+                 Decision::AcceptedKey);
+    a.record(SimTime::fromMs(10), Stage::Inference,
+             Decision::DuplicationDrop);
+    a.record(SimTime::fromMs(11), Stage::Inference,
+             Decision::NoiseRejected);
+
+    const std::string json = a.funnelJson();
+    EXPECT_NE(json.find("\"changes_in\": 5"), std::string::npos);
+    EXPECT_NE(json.find("\"accepted\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"split_repaired\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"duplication_dropped\": 1"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"noise_rejected\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"suppressed_app_switch\": 0"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"discontinuity_dropped\": 0"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"sampler_suspensions\": 0"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"sampler_recoveries\": 0"),
+              std::string::npos);
+}
+
+TEST(AuditTrailTest, StageAndDecisionNamesAreStable)
+{
+    EXPECT_STREQ(stageName(Stage::Sampler), "sampler");
+    EXPECT_STREQ(stageName(Stage::ChangeDetector), "change-detector");
+    EXPECT_STREQ(stageName(Stage::Inference), "inference");
+    EXPECT_STREQ(stageName(Stage::Eavesdropper), "eavesdropper");
+    EXPECT_STREQ(decisionName(Decision::AcceptedKey), "accepted-key");
+    EXPECT_STREQ(decisionName(Decision::SamplerRecovered),
+                 "sampler-recovered");
+}
+
+} // namespace
+} // namespace gpusc::obs

@@ -1,0 +1,162 @@
+/** @file Unit tests for the log-bucketed latency histogram. */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "obs/log_histogram.h"
+
+namespace gpusc::obs {
+namespace {
+
+TEST(LogHistogramTest, EmptyHistogramReportsZeros)
+{
+    const LogHistogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0.0);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+    EXPECT_EQ(h.p99(), 0u);
+}
+
+TEST(LogHistogramTest, SingleSampleIsExactAtEveryQuantile)
+{
+    LogHistogram h;
+    h.add(12345);
+    EXPECT_FALSE(h.empty());
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.min(), 12345u);
+    EXPECT_EQ(h.max(), 12345u);
+    // Quantiles clamp to the exact extrema, so a single sample is
+    // reported exactly regardless of bucket width.
+    EXPECT_EQ(h.quantile(0.0), 12345u);
+    EXPECT_EQ(h.p50(), 12345u);
+    EXPECT_EQ(h.quantile(1.0), 12345u);
+}
+
+TEST(LogHistogramTest, SmallValuesLandInUnitBuckets)
+{
+    // Values below 2^kSubBits get their own unit-wide bucket, so
+    // they are recorded exactly.
+    for (std::uint64_t v = 0; v < LogHistogram::kSubBuckets; ++v) {
+        EXPECT_EQ(LogHistogram::bucketIndex(v), std::size_t(v));
+        EXPECT_EQ(LogHistogram::bucketLow(std::size_t(v)), v);
+        EXPECT_EQ(LogHistogram::bucketHigh(std::size_t(v)), v + 1);
+    }
+}
+
+TEST(LogHistogramTest, BucketBoundsContainTheirValues)
+{
+    // Every value must fall inside [low, high) of its own bucket,
+    // across several octaves including large magnitudes.
+    for (std::uint64_t v : {0ull, 1ull, 7ull, 8ull, 9ull, 63ull, 64ull,
+                            1000ull, 123456ull, 1ull << 20,
+                            (1ull << 40) + 17, (1ull << 62) + 5}) {
+        const std::size_t i = LogHistogram::bucketIndex(v);
+        EXPECT_LE(LogHistogram::bucketLow(i), v) << "v=" << v;
+        EXPECT_GT(LogHistogram::bucketHigh(i), v) << "v=" << v;
+    }
+}
+
+TEST(LogHistogramTest, BucketIndexIsMonotonic)
+{
+    std::size_t prev = 0;
+    for (std::uint64_t v = 0; v < 100000; v += 7) {
+        const std::size_t i = LogHistogram::bucketIndex(v);
+        EXPECT_GE(i, prev) << "v=" << v;
+        prev = i;
+    }
+}
+
+TEST(LogHistogramTest, QuantilesTrackAUniformDistribution)
+{
+    LogHistogram h;
+    for (std::uint64_t v = 1; v <= 10000; ++v)
+        h.add(v);
+    EXPECT_EQ(h.count(), 10000u);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 10000u);
+    EXPECT_NEAR(double(h.mean()), 5000.5, 1.0);
+    // Bucket midpoints bound the relative error at ~ one sub-bucket
+    // (1/2^kSubBits = 12.5%); allow a little slack on top.
+    EXPECT_NEAR(double(h.p50()), 5000.0, 5000.0 * 0.15);
+    EXPECT_NEAR(double(h.p90()), 9000.0, 9000.0 * 0.15);
+    EXPECT_NEAR(double(h.p99()), 9900.0, 9900.0 * 0.15);
+}
+
+TEST(LogHistogramTest, QuantileOrderingIsMonotone)
+{
+    LogHistogram h;
+    for (std::uint64_t v = 1; v <= 5000; v += 3)
+        h.add(v * 17 % 9001);
+    EXPECT_LE(h.quantile(0.1), h.quantile(0.5));
+    EXPECT_LE(h.quantile(0.5), h.quantile(0.9));
+    EXPECT_LE(h.quantile(0.9), h.quantile(0.99));
+    EXPECT_LE(h.quantile(0.99), h.max());
+    EXPECT_GE(h.quantile(0.0), h.min());
+}
+
+TEST(LogHistogramTest, AddCountMatchesRepeatedAdd)
+{
+    LogHistogram a, b;
+    a.addCount(640, 100);
+    for (int i = 0; i < 100; ++i)
+        b.add(640);
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_EQ(a.sum(), b.sum());
+    EXPECT_EQ(a.p50(), b.p50());
+    EXPECT_EQ(a.min(), b.min());
+    EXPECT_EQ(a.max(), b.max());
+}
+
+TEST(LogHistogramTest, MergeIsLossless)
+{
+    LogHistogram a, b, all;
+    for (std::uint64_t v = 1; v <= 1000; ++v) {
+        ((v % 2) ? a : b).add(v * 11);
+        all.add(v * 11);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_EQ(a.sum(), all.sum());
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+    for (double q : {0.1, 0.5, 0.9, 0.99})
+        EXPECT_EQ(a.quantile(q), all.quantile(q)) << "q=" << q;
+}
+
+TEST(LogHistogramTest, MergeWithEmptyIsIdentity)
+{
+    LogHistogram a, empty;
+    a.add(42);
+    a.add(99);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.min(), 42u);
+    EXPECT_EQ(a.max(), 99u);
+
+    LogHistogram c;
+    c.merge(a);
+    EXPECT_EQ(c.count(), 2u);
+    EXPECT_EQ(c.min(), 42u);
+    EXPECT_EQ(c.max(), 99u);
+}
+
+TEST(LogHistogramTest, RenderListsNonEmptyBuckets)
+{
+    LogHistogram h;
+    EXPECT_TRUE(h.render().empty());
+    h.addCount(10, 90);
+    h.addCount(1000, 10);
+    const std::string out = h.render(20);
+    EXPECT_FALSE(out.empty());
+    // Both occupied octaves show up with their counts.
+    EXPECT_NE(out.find("90"), std::string::npos);
+    EXPECT_NE(out.find("10"), std::string::npos);
+}
+
+} // namespace
+} // namespace gpusc::obs

@@ -1,0 +1,118 @@
+/** @file Unit tests for the named-metric registry and JSON export. */
+
+#include <gtest/gtest.h>
+
+#include "obs/metric_registry.h"
+
+namespace gpusc::obs {
+namespace {
+
+TEST(MetricRegistryTest, CounterReferencesAreStableAndAccumulate)
+{
+    MetricRegistry reg;
+    Counter &a = reg.counter("pipeline.readings_in");
+    a.inc();
+    a.inc(41);
+    // Re-resolving the same name yields the same object.
+    Counter &b = reg.counter("pipeline.readings_in");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.value(), 42u);
+    // Resolving other metrics must not move existing ones.
+    for (int i = 0; i < 100; ++i)
+        reg.counter("filler." + std::to_string(i));
+    EXPECT_EQ(&reg.counter("pipeline.readings_in"), &a);
+    EXPECT_EQ(a.value(), 42u);
+}
+
+TEST(MetricRegistryTest, GaugeHoldsTheLatestValue)
+{
+    MetricRegistry reg;
+    Gauge &g = reg.gauge("sampler.counters_held");
+    EXPECT_EQ(g.value(), 0.0);
+    g.set(6.0);
+    g.set(4.0);
+    EXPECT_EQ(reg.gauge("sampler.counters_held").value(), 4.0);
+}
+
+TEST(MetricRegistryTest, HistogramUnitIsRecordedOnFirstResolution)
+{
+    MetricRegistry reg;
+    reg.histogram("latency.classify", "ns");
+    // Later resolutions cannot change the unit.
+    reg.histogram("latency.classify", "furlongs");
+    EXPECT_EQ(reg.histogramUnit("latency.classify"), "ns");
+}
+
+TEST(MetricRegistryTest, MergeFoldsEveryMetricKind)
+{
+    MetricRegistry a, b;
+    a.counter("c").inc(10);
+    b.counter("c").inc(5);
+    b.counter("only_b").inc(7);
+    a.gauge("g").set(1.0);
+    b.gauge("g").set(2.0);
+    a.histogram("latency.x").add(100);
+    b.histogram("latency.x").add(300);
+
+    a.merge(b);
+    EXPECT_EQ(a.counter("c").value(), 15u);
+    EXPECT_EQ(a.counter("only_b").value(), 7u);
+    // Gauges are levels, not sums: the merged-in value wins.
+    EXPECT_EQ(a.gauge("g").value(), 2.0);
+    EXPECT_EQ(a.histogram("latency.x").count(), 2u);
+    EXPECT_EQ(a.histogram("latency.x").min(), 100u);
+    EXPECT_EQ(a.histogram("latency.x").max(), 300u);
+}
+
+TEST(MetricRegistryTest, MergedLatencyCoversOnlyLatencyHistograms)
+{
+    MetricRegistry reg;
+    reg.histogram("latency.change_detect").add(10);
+    reg.histogram("latency.classify").add(20);
+    reg.histogram("latency.classify").add(30);
+    reg.histogram("interval.reading", "us").add(999);
+
+    const LogHistogram all = reg.mergedLatency();
+    EXPECT_EQ(all.count(), 3u);
+    EXPECT_EQ(all.min(), 10u);
+    EXPECT_EQ(all.max(), 30u);
+}
+
+TEST(MetricRegistryTest, ToJsonContainsEveryMetric)
+{
+    MetricRegistry reg;
+    reg.counter("pipeline.keys").inc(3);
+    reg.gauge("sampler.counters_held").set(6);
+    reg.histogram("latency.classify").add(1500);
+
+    const std::string json = reg.toJson();
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("\"pipeline.keys\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"sampler.counters_held\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"latency.classify\""), std::string::npos);
+    EXPECT_NE(json.find("\"unit\": \"ns\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(MetricRegistryTest, JsonStringEscaping)
+{
+    std::string out;
+    appendJsonString(out, "a\"b\\c\n\t\x01z");
+    EXPECT_EQ(out, "\"a\\\"b\\\\c\\n\\t\\u0001z\"");
+}
+
+TEST(MetricRegistryTest, JsonNumbersRoundTrip)
+{
+    std::string out;
+    appendJsonNumber(out, 0.125);
+    EXPECT_EQ(std::stod(out), 0.125);
+    out.clear();
+    appendJsonNumber(out, 1234567.0);
+    EXPECT_EQ(std::stod(out), 1234567.0);
+}
+
+} // namespace
+} // namespace gpusc::obs

@@ -1,0 +1,87 @@
+/** @file Unit tests for the span ring and Chrome trace export. */
+
+#include <gtest/gtest.h>
+
+#include "obs/span.h"
+
+namespace gpusc::obs {
+namespace {
+
+TEST(TracerTest, StageIdsInternNames)
+{
+    Tracer t;
+    const int a = t.stageId("attack.classify");
+    const int b = t.stageId("attack.change_detect");
+    EXPECT_NE(a, b);
+    // Re-interning the same name yields the same lane.
+    EXPECT_EQ(t.stageId("attack.classify"), a);
+    EXPECT_STREQ(t.stageName(a), "attack.classify");
+    EXPECT_STREQ(t.stageName(b), "attack.change_detect");
+}
+
+TEST(TracerTest, RecordsSpansInOrder)
+{
+    Tracer t(16);
+    const int tid = t.stageId("s");
+    for (int i = 0; i < 5; ++i)
+        t.record(tid, SimTime::fromMs(i), 100 * (i + 1));
+    EXPECT_EQ(t.size(), 5u);
+    EXPECT_EQ(t.recorded(), 5u);
+    EXPECT_EQ(t.dropped(), 0u);
+
+    const std::vector<Span> spans = t.snapshot();
+    ASSERT_EQ(spans.size(), 5u);
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        EXPECT_EQ(spans[i].seq, i);
+        EXPECT_EQ(spans[i].at, SimTime::fromMs(std::int64_t(i)));
+        EXPECT_EQ(spans[i].hostNs, 100 * std::int64_t(i + 1));
+        EXPECT_STREQ(spans[i].name, "s");
+    }
+}
+
+TEST(TracerTest, RingKeepsTheNewestSpansWhenFull)
+{
+    Tracer t(4);
+    const int tid = t.stageId("s");
+    for (int i = 0; i < 10; ++i)
+        t.record(tid, SimTime::fromMs(i), i);
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.recorded(), 10u);
+    EXPECT_EQ(t.dropped(), 6u);
+
+    // The retained window is the last four, oldest first.
+    const std::vector<Span> spans = t.snapshot();
+    ASSERT_EQ(spans.size(), 4u);
+    for (std::size_t i = 0; i < spans.size(); ++i)
+        EXPECT_EQ(spans[i].seq, 6 + i);
+}
+
+TEST(TracerTest, ChromeTraceJsonNamesLanesAndEvents)
+{
+    Tracer t;
+    const int tid = t.stageId("attack.classify");
+    t.record(tid, SimTime::fromMs(5), 2000);
+
+    const std::string json = t.chromeTraceJson();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    // Lane metadata names the stage...
+    EXPECT_NE(json.find("thread_name"), std::string::npos);
+    EXPECT_NE(json.find("attack.classify"), std::string::npos);
+    // ...and the span is a complete ("X") event with ts/dur in us:
+    // 5 ms -> ts 5000, 2000 ns -> dur 2.
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\": 5000"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\": 2"), std::string::npos);
+}
+
+TEST(TracerTest, EmptyTracerStillExportsValidSkeleton)
+{
+    Tracer t;
+    const std::string json = t.chromeTraceJson();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_TRUE(t.snapshot().empty());
+}
+
+} // namespace
+} // namespace gpusc::obs

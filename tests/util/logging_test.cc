@@ -1,0 +1,97 @@
+/** @file Tests for structured log capture and sim-time prefixes. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace gpusc {
+namespace {
+
+/** Captures log records and restores global logging state on exit. */
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        wasVerbose_ = verbose();
+        setVerbose(true);
+        setLogSink([this](const LogRecord &r) { records_.push_back(r); });
+    }
+
+    void TearDown() override
+    {
+        setLogSink(nullptr);
+        setVerbose(wasVerbose_);
+    }
+
+    std::vector<LogRecord> records_;
+    bool wasVerbose_ = true;
+};
+
+TEST_F(LoggingTest, SinkCapturesFormattedRecords)
+{
+    inform("hello %d", 42);
+    warn("watch out: %s", "cliff");
+    ASSERT_EQ(records_.size(), 2u);
+    EXPECT_EQ(records_[0].level, LogRecord::Level::Info);
+    EXPECT_EQ(records_[0].message, "hello 42");
+    EXPECT_EQ(records_[1].level, LogRecord::Level::Warn);
+    EXPECT_EQ(records_[1].message, "watch out: cliff");
+}
+
+TEST_F(LoggingTest, UntimedMessagesCarryNoSimTime)
+{
+    inform("no clock registered");
+    ASSERT_EQ(records_.size(), 1u);
+    EXPECT_FALSE(records_[0].hasSimTime);
+}
+
+TEST_F(LoggingTest, TimeSourceStampsRecords)
+{
+    const int owner = 0;
+    setLogTimeSource(&owner, [] { return SimTime::fromMs(1500); });
+    inform("timed");
+    setLogTimeSource(&owner, nullptr);
+    inform("untimed again");
+
+    ASSERT_EQ(records_.size(), 2u);
+    EXPECT_TRUE(records_[0].hasSimTime);
+    EXPECT_EQ(records_[0].simTime, SimTime::fromMs(1500));
+    EXPECT_FALSE(records_[1].hasSimTime);
+}
+
+TEST_F(LoggingTest, StaleOwnerCannotUnregisterTheCurrentSource)
+{
+    const int ownerA = 0, ownerB = 0;
+    setLogTimeSource(&ownerA, [] { return SimTime::fromMs(1); });
+    setLogTimeSource(&ownerB, [] { return SimTime::fromMs(2); });
+    // A destroyed out of order must not strip B's clock.
+    setLogTimeSource(&ownerA, nullptr);
+    inform("still timed by B");
+    ASSERT_EQ(records_.size(), 1u);
+    EXPECT_TRUE(records_[0].hasSimTime);
+    EXPECT_EQ(records_[0].simTime, SimTime::fromMs(2));
+    setLogTimeSource(&ownerB, nullptr);
+}
+
+TEST_F(LoggingTest, SuppressedInformDoesNotReachTheSink)
+{
+    setVerbose(false);
+    inform("muted");
+    warn("warnings always flow");
+    ASSERT_EQ(records_.size(), 1u);
+    EXPECT_EQ(records_[0].level, LogRecord::Level::Warn);
+}
+
+TEST(LogLevelStringTest, NamesEveryLevel)
+{
+    EXPECT_STREQ(logLevelString(LogRecord::Level::Info), "info");
+    EXPECT_STREQ(logLevelString(LogRecord::Level::Warn), "warn");
+    EXPECT_STREQ(logLevelString(LogRecord::Level::Fatal), "fatal");
+    EXPECT_STREQ(logLevelString(LogRecord::Level::Panic), "panic");
+}
+
+} // namespace
+} // namespace gpusc

@@ -68,6 +68,32 @@ TEST(SamplesTest, EmptyIsSafe)
     EXPECT_EQ(s.quantile(0.5), 0.0);
 }
 
+TEST(SamplesTest, SingleSampleIsEveryQuantile)
+{
+    Samples s;
+    s.add(7.25);
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 7.25);
+    EXPECT_DOUBLE_EQ(s.median(), 7.25);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 7.25);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(SamplesTest, QuantileSortsUnorderedInput)
+{
+    Samples s;
+    for (double x : {9.0, 1.0, 5.0, 3.0, 7.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.median(), 5.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 9.0);
+    // Quantiles are monotone in q.
+    double prev = s.quantile(0.0);
+    for (double q = 0.1; q <= 1.0; q += 0.1) {
+        EXPECT_GE(s.quantile(q), prev);
+        prev = s.quantile(q);
+    }
+}
+
 TEST(SamplesDeathTest, QuantileOutOfRangePanics)
 {
     Samples s;
@@ -122,6 +148,29 @@ TEST(HistogramTest, RenderContainsBars)
     const std::string out = h.render(10);
     EXPECT_NE(out.find('#'), std::string::npos);
     EXPECT_NE(out.find('\n'), std::string::npos);
+}
+
+TEST(HistogramTest, ClampedAddsStillCountTowardsTotals)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-100.0);
+    h.add(5.0);
+    h.add(1e9);
+    EXPECT_EQ(h.total(), 3u);
+    // fractionBelow answers from the raw values, so an overflow
+    // clamped into the top bin still counts as >= the upper edge.
+    EXPECT_DOUBLE_EQ(h.fractionBelow(10.0), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(h.fractionBelow(0.0), 1.0 / 3.0);
+}
+
+TEST(RunningStatTest, NegativeValuesTrackExtrema)
+{
+    RunningStat s;
+    for (double x : {-3.0, -1.0, -2.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.min(), -3.0);
+    EXPECT_DOUBLE_EQ(s.max(), -1.0);
+    EXPECT_DOUBLE_EQ(s.mean(), -2.0);
 }
 
 TEST(HistogramDeathTest, BadRangePanics)
