@@ -1,7 +1,6 @@
 #include "attack/eavesdropper.h"
 
 #include <algorithm>
-#include <chrono>
 #include <optional>
 
 #include "util/logging.h"
@@ -283,12 +282,9 @@ Eavesdropper::onChange(const PcChange &c)
     if (params_.appSwitchDetection)
         switchDetector_.onChange(c);
 
-    const auto t0 = std::chrono::steady_clock::now();
+    const std::int64_t t0 = obs::hostNowNs();
     const auto key = inference_->onChange(c);
-    const auto t1 = std::chrono::steady_clock::now();
-    const std::int64_t hostNs =
-        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
-            .count();
+    const std::int64_t hostNs = obs::hostNowNs() - t0;
     latencies_.add(double(hostNs) / 1000.0);
     // The classify latency lane reuses the measurement above — no
     // additional clock reads on the per-change path.

@@ -120,6 +120,7 @@ AuditTrail::toJsonl() const
             out += ", \"label\": ";
             appendJsonString(out, r.label);
         }
+        // gpusc-lint: allow(F1): 0.0 is record()'s exact "no distance recorded" sentinel, not a computed value.
         if (r.distance != 0.0) {
             out += ", \"distance\": ";
             appendJsonNumber(out, r.distance);

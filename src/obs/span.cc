@@ -1,11 +1,21 @@
 #include "obs/span.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "obs/metric_registry.h"
 
 namespace gpusc::obs {
+
+std::int64_t
+hostNowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now()
+                   .time_since_epoch())
+        .count();
+}
 
 Tracer::Tracer(std::size_t capacity)
     : capacity_(std::max<std::size_t>(1, capacity))

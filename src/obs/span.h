@@ -24,6 +24,17 @@
 
 namespace gpusc::obs {
 
+/**
+ * Monotonic host time in nanoseconds.
+ *
+ * The single sanctioned wall-clock read in the pipeline: span and
+ * latency *durations* come from here, while every *timestamp* is
+ * sim time. Everything outside span.cc (the gpusc_lint D1 allowlist)
+ * must call this instead of touching std::chrono directly, so replay
+ * determinism can be audited at one definition.
+ */
+std::int64_t hostNowNs();
+
 /** One completed stage execution. */
 struct Span
 {

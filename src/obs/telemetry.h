@@ -16,7 +16,6 @@
 #ifndef GPUSC_OBS_TELEMETRY_H
 #define GPUSC_OBS_TELEMETRY_H
 
-#include <chrono>
 #include <string>
 
 #include "obs/audit.h"
@@ -62,7 +61,7 @@ class Telemetry
 /**
  * Pre-resolved handle for timing one stage: holds the stage's
  * latency histogram and tracer lane so the per-execution cost is
- * two steady_clock reads, a histogram add and a ring write.
+ * two hostNowNs() reads, a histogram add and a ring write.
  * Default-constructed (or resolved from a null Telemetry) timers
  * no-op without touching the clock.
  */
@@ -91,7 +90,7 @@ class StageTimer
         {
             if (timer_ && timer_->enabled()) {
                 at_ = at;
-                start_ = std::chrono::steady_clock::now();
+                start_ = hostNowNs();
             } else {
                 timer_ = nullptr;
             }
@@ -107,11 +106,7 @@ class StageTimer
         {
             if (!timer_)
                 return;
-            const auto stop = std::chrono::steady_clock::now();
-            const std::int64_t ns =
-                std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    stop - start_)
-                    .count();
+            const std::int64_t ns = hostNowNs() - start_;
             timer_->hist_->add(std::uint64_t(ns < 0 ? 0 : ns));
             timer_->tracer_->record(timer_->tid_, at_, ns);
             timer_ = nullptr;
@@ -120,7 +115,7 @@ class StageTimer
       private:
         const StageTimer *timer_;
         SimTime at_;
-        std::chrono::steady_clock::time_point start_;
+        std::int64_t start_ = 0;
     };
 
     /** Start measuring one execution stamped at sim time @p at. */
@@ -129,7 +124,7 @@ class StageTimer
     /**
      * Record an already-measured execution of @p hostNs at sim time
      * @p at — for call sites that clock the stage themselves anyway
-     * (no extra steady_clock reads on the hot path).
+     * (no extra hostNowNs() reads on the hot path).
      */
     void
     note(SimTime at, std::int64_t hostNs) const

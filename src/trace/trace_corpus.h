@@ -37,15 +37,15 @@ struct TraceStats
     /** Injected-fault annotations (v2+ traces). */
     std::uint64_t faults = 0;
     /** Last record timestamp (sim time spanned by the trace). */
-    SimTime duration;
+    SimTime duration{};
 };
 
 /** One enumerated trace file. */
 struct TraceInfo
 {
-    std::string path;
-    TraceHeader header;
-    TraceStats stats;
+    std::string path{};
+    TraceHeader header{};
+    TraceStats stats{};
 };
 
 /** Enumerates, filters and aggregates a directory of traces. */

@@ -63,9 +63,9 @@ struct TraceHeader
      *  written at kTraceVersion). */
     std::uint16_t version = kTraceVersion;
     /** Device::modelKey() of the recorded victim device. */
-    std::string deviceKey;
+    std::string deviceKey{};
     /** Full victim configuration (self-describing replay). */
-    android::DeviceConfig device;
+    android::DeviceConfig device{};
     /** Sampler interval used during capture. */
     SimTime samplingInterval = SimTime::fromMs(8);
     /** Experiment seed of the recorded run. */
@@ -97,7 +97,7 @@ bool knownRecordKind(std::uint8_t k,
 struct TraceRecord
 {
     RecordKind kind = RecordKind::Reading;
-    SimTime time;
+    SimTime time{};
     /** Kind::Reading */
     attack::Reading reading{};
     /** KeyPress / PopupShow: the key's character. */
@@ -107,7 +107,7 @@ struct TraceRecord
     /** AppSwitch: true when switching back into the target app. */
     bool toTarget = false;
     /** TrialBegin: the ground-truth credential text. */
-    std::string text;
+    std::string text{};
     /** Fault: category of the injected fault. */
     kgsl::FaultKind fault = kgsl::FaultKind::TransientError;
     /** Fault: kind-specific detail (errno, group, epoch, ...). */

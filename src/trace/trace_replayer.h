@@ -44,10 +44,10 @@ class TraceReplayer
     /** One recorded credential trial, scored after replay. */
     struct Trial
     {
-        std::string truth;
-        std::string inferred;
-        SimTime begin;
-        SimTime end;
+        std::string truth{};
+        std::string inferred{};
+        SimTime begin{};
+        SimTime end{};
     };
 
     /** Open + replay a whole file. */

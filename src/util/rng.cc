@@ -96,6 +96,7 @@ Rng::normal(double mean, double stddev)
         u = uniform(-1.0, 1.0);
         v = uniform(-1.0, 1.0);
         s = u * u + v * v;
+        // gpusc-lint: allow(F1): Marsaglia rejects exactly 0 to keep log(s) finite; an epsilon would bias the tail.
     } while (s >= 1.0 || s == 0.0);
     const double m = std::sqrt(-2.0 * std::log(s) / s);
     spareGaussian_ = v * m;

@@ -1,0 +1,27 @@
+// Fixture: violation-free source; the engine must stay silent.
+#include <map>
+#include <string>
+
+namespace fixture {
+
+std::map<std::string, int> orderedCounts_;
+
+std::string
+toJson()
+{
+    std::string out;
+    for (const auto &[k, v] : orderedCounts_) {
+        out += k;
+        out += char('0' + v % 10);
+    }
+    return out;
+}
+
+bool
+nearly(double a, double b)
+{
+    const double d = a - b;
+    return d < 1e-9 && d > -1e-9;
+}
+
+} // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: every banned wall-clock source D1 must catch.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+long
+now()
+{
+    auto a = std::chrono::steady_clock::now();   // line 10: D1
+    auto b = std::chrono::system_clock::now();   // line 11: D1
+    std::time_t c = time(nullptr);               // line 12: D1
+    long d = clock();                            // line 13: D1
+    (void)a;
+    (void)b;
+    return long(c) + d;
+}
+
+} // namespace fixture

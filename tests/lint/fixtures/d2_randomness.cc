@@ -1,0 +1,15 @@
+// Fixture: every banned randomness source D2 must catch.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int
+roll()
+{
+    std::random_device rd;     // line 10: D2
+    std::mt19937 gen(rd());    // line 11: D2
+    return int(gen()) + rand(); // line 12: D2
+}
+
+} // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: range-for over an unordered container in a TU that is
+// presented to the engine as a serializing one (src/trace/...).
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+std::unordered_map<std::string, int> exportCounts_;
+
+std::string
+toJson()
+{
+    std::string out;
+    for (const auto &[k, v] : exportCounts_) { // line 14: D3
+        out += k;
+        (void)v;
+    }
+    return out;
+}
+
+} // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: floating-point equality against literals.
+namespace fixture {
+
+bool
+check(double x, float y)
+{
+    if (x == 0.5)  // line 7: F1
+        return true;
+    return y != -1.0f; // line 9: F1
+}
+
+} // namespace fixture

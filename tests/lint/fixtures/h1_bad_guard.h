@@ -1,0 +1,9 @@
+// Fixture: include guard that does not follow GPUSC_<PATH>_H.
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+
+namespace fixture {
+inline int one() { return 1; }
+} // namespace fixture
+
+#endif // WRONG_GUARD_H

@@ -1,0 +1,22 @@
+// Fixture: wire-format struct member without an explicit
+// initializer (engine sees this file as src/trace/s1_uninit.h).
+#ifndef GPUSC_TRACE_S1_UNINIT_H
+#define GPUSC_TRACE_S1_UNINIT_H
+
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+struct WireRecord
+{
+    std::uint32_t magic = 0x47504354;
+    std::string payload; // line 14: S1
+    std::uint16_t version = 1;
+
+    bool ok() const { return version != 0; }
+};
+
+} // namespace fixture
+
+#endif // GPUSC_TRACE_S1_UNINIT_H

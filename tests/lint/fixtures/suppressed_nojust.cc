@@ -1,0 +1,16 @@
+// Fixture: a bare allow() with no justification. The violation
+// stays reported and the suppression itself is an X1 finding.
+#include <chrono>
+
+namespace fixture {
+
+long
+now()
+{
+    // gpusc-lint: allow(D1)
+    auto t = std::chrono::steady_clock::now(); // line 11: D1 + X1
+    (void)t;
+    return 0;
+}
+
+} // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: a D1 violation silenced by a justified suppression —
+// the engine must report nothing.
+#include <chrono>
+
+namespace fixture {
+
+long
+now()
+{
+    // gpusc-lint: allow(D1): fixture exercising the justified-suppression path.
+    auto t = std::chrono::steady_clock::now();
+    (void)t;
+    return 0;
+}
+
+} // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: a justified suppression that matches no finding — the
+// stale allow must surface as X2.
+namespace fixture {
+
+int
+nothing()
+{
+    // gpusc-lint: allow(D1): there is no violation here any more.
+    return 0;
+}
+
+} // namespace fixture

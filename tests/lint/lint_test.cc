@@ -1,0 +1,250 @@
+// gpusc_lint engine tests: each fixture under fixtures/ carries one
+// known violation class; the tests pin exact rule IDs, file:line
+// anchors, the suppression contract and the JSON export schema.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "findings.h"
+#include "rules.h"
+#include "scan.h"
+
+namespace {
+
+using namespace gpusc::lint;
+
+std::string
+fixturePath(const std::string &name)
+{
+    return std::string(LINT_FIXTURE_DIR) + "/" + name;
+}
+
+/** Load one fixture, presenting it to the engine as @p relPath. */
+SourceFile
+fixture(const std::string &name, const std::string &relPath)
+{
+    SourceFile sf;
+    const bool ok = loadSource(fixturePath(name), relPath, sf);
+    EXPECT_TRUE(ok) << "cannot read fixture " << name;
+    return sf;
+}
+
+std::vector<Finding>
+lintOne(const std::string &name, const std::string &relPath)
+{
+    std::vector<SourceFile> files;
+    files.push_back(fixture(name, relPath));
+    return runRules(files);
+}
+
+std::vector<Finding>
+byRule(const std::vector<Finding> &fs, const std::string &rule)
+{
+    std::vector<Finding> out;
+    std::copy_if(fs.begin(), fs.end(), std::back_inserter(out),
+                 [&](const Finding &f) { return f.rule == rule; });
+    return out;
+}
+
+TEST(LintRules, D1FlagsEveryWallClockSource)
+{
+    const auto fs =
+        lintOne("d1_wall_clock.cc", "src/attack/d1_wall_clock.cc");
+    const auto d1 = byRule(fs, "D1");
+    ASSERT_EQ(d1.size(), 4u);
+    EXPECT_EQ(d1[0].line, 10); // steady_clock
+    EXPECT_EQ(d1[1].line, 11); // system_clock
+    EXPECT_EQ(d1[2].line, 12); // time(nullptr)
+    EXPECT_EQ(d1[3].line, 13); // clock()
+    for (const Finding &f : d1)
+        EXPECT_EQ(f.file, "src/attack/d1_wall_clock.cc");
+    EXPECT_EQ(fs.size(), d1.size()) << "unexpected extra findings";
+}
+
+TEST(LintRules, D1RespectsTheAllowlist)
+{
+    // Same content, but presented as the allowlisted TU / a bench.
+    EXPECT_TRUE(
+        lintOne("d1_wall_clock.cc", "src/obs/span.cc").empty());
+    EXPECT_TRUE(
+        lintOne("d1_wall_clock.cc", "bench/d1_wall_clock.cc")
+            .empty());
+}
+
+TEST(LintRules, D2FlagsNondeterministicRandomness)
+{
+    const auto fs =
+        lintOne("d2_randomness.cc", "src/workload/d2_randomness.cc");
+    const auto d2 = byRule(fs, "D2");
+    ASSERT_EQ(d2.size(), 3u);
+    EXPECT_EQ(d2[0].line, 10); // random_device
+    EXPECT_EQ(d2[1].line, 11); // mt19937
+    EXPECT_EQ(d2[2].line, 12); // rand()
+    EXPECT_EQ(fs.size(), d2.size());
+}
+
+TEST(LintRules, D2AllowsUtilRng)
+{
+    EXPECT_TRUE(
+        lintOne("d2_randomness.cc", "src/util/rng.cc").empty());
+}
+
+TEST(LintRules, D3FlagsUnorderedIterationInSerializingTus)
+{
+    const auto fs = lintOne("d3_unordered_export.cc",
+                            "src/trace/d3_unordered_export.cc");
+    const auto d3 = byRule(fs, "D3");
+    ASSERT_EQ(d3.size(), 1u);
+    EXPECT_EQ(d3[0].line, 14);
+    EXPECT_NE(d3[0].message.find("exportCounts_"),
+              std::string::npos);
+}
+
+TEST(LintRules, D3IgnoresNonSerializingTus)
+{
+    // The same iteration is fine where output order is internal.
+    EXPECT_TRUE(lintOne("d3_unordered_export.cc",
+                        "src/gpu/d3_unordered_export.cc")
+                    .empty());
+}
+
+TEST(LintRules, F1FlagsFloatEqualityBothDirections)
+{
+    const auto fs =
+        lintOne("f1_float_eq.cc", "src/eval/f1_float_eq.cc");
+    const auto f1 = byRule(fs, "F1");
+    ASSERT_EQ(f1.size(), 2u);
+    EXPECT_EQ(f1[0].line, 7); // == 0.5
+    EXPECT_EQ(f1[1].line, 9); // != -1.0f
+}
+
+TEST(LintRules, H1FlagsGuardDrift)
+{
+    const auto fs =
+        lintOne("h1_bad_guard.h", "src/util/h1_bad_guard.h");
+    const auto h1 = byRule(fs, "H1");
+    ASSERT_EQ(h1.size(), 1u);
+    EXPECT_EQ(h1[0].line, 2);
+    EXPECT_NE(h1[0].message.find("GPUSC_UTIL_H1_BAD_GUARD_H"),
+              std::string::npos);
+}
+
+TEST(LintRules, ExpectedGuardStripsSrcPrefix)
+{
+    EXPECT_EQ(expectedGuard("src/obs/span.h"), "GPUSC_OBS_SPAN_H");
+    EXPECT_EQ(expectedGuard("bench/bench_util.h"),
+              "GPUSC_BENCH_BENCH_UTIL_H");
+    EXPECT_EQ(expectedGuard("tools/lint/lexer.h"),
+              "GPUSC_TOOLS_LINT_LEXER_H");
+}
+
+TEST(LintRules, S1FlagsUninitializedWireMember)
+{
+    const auto fs = lintOne("s1_uninit.h", "src/trace/s1_uninit.h");
+    const auto s1 = byRule(fs, "S1");
+    ASSERT_EQ(s1.size(), 1u);
+    EXPECT_EQ(s1[0].line, 14);
+    EXPECT_NE(s1[0].message.find("payload"), std::string::npos);
+    EXPECT_NE(s1[0].message.find("WireRecord"), std::string::npos);
+    // Initialized members and the method must not be flagged.
+    EXPECT_EQ(fs.size(), s1.size());
+}
+
+TEST(LintRules, S1OnlyAppliesToTraceHeaders)
+{
+    // Outside src/trace/ the member rule is silent (the guard rule
+    // still fires, since the fixture's guard names src/trace/).
+    const auto fs = lintOne("s1_uninit.h", "src/obs/s1_uninit.h");
+    EXPECT_TRUE(byRule(fs, "S1").empty());
+    EXPECT_EQ(fs.size(), byRule(fs, "H1").size());
+}
+
+TEST(LintRules, CleanFixtureProducesNoFindings)
+{
+    EXPECT_TRUE(
+        lintOne("clean.cc", "src/trace/clean.cc").empty());
+}
+
+TEST(LintSuppressions, JustifiedAllowSilencesTheFinding)
+{
+    EXPECT_TRUE(
+        lintOne("suppressed_ok.cc", "src/attack/suppressed_ok.cc")
+            .empty());
+}
+
+TEST(LintSuppressions, BareAllowIsItselfAFinding)
+{
+    const auto fs = lintOne("suppressed_nojust.cc",
+                            "src/attack/suppressed_nojust.cc");
+    const auto d1 = byRule(fs, "D1");
+    const auto x1 = byRule(fs, "X1");
+    ASSERT_EQ(d1.size(), 1u) << "bare allow must not suppress";
+    EXPECT_EQ(d1[0].line, 11);
+    ASSERT_EQ(x1.size(), 1u);
+    EXPECT_EQ(x1[0].line, 10);
+    EXPECT_NE(x1[0].message.find("justification"),
+              std::string::npos);
+}
+
+TEST(LintSuppressions, UnusedAllowIsItselfAFinding)
+{
+    const auto fs = lintOne("suppressed_unused.cc",
+                            "src/attack/suppressed_unused.cc");
+    const auto x2 = byRule(fs, "X2");
+    ASSERT_EQ(x2.size(), 1u);
+    EXPECT_EQ(x2[0].line, 8);
+    EXPECT_EQ(fs.size(), 1u);
+}
+
+TEST(LintJson, SchemaHasFindingsCountsAndTotal)
+{
+    const auto fs =
+        lintOne("f1_float_eq.cc", "src/eval/f1_float_eq.cc");
+    const std::string json = renderJson(fs, {});
+    EXPECT_NE(json.find("\"version\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"findings\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"baselined\": []"), std::string::npos);
+    EXPECT_NE(json.find("\"rule\": \"F1\""), std::string::npos);
+    EXPECT_NE(json.find("\"file\": \"src/eval/f1_float_eq.cc\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"line\": 7"), std::string::npos);
+    EXPECT_NE(json.find("\"counts\": {\"F1\": 2}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"total\": 2"), std::string::npos);
+}
+
+TEST(LintJson, TableListsEveryFinding)
+{
+    const auto fs =
+        lintOne("d1_wall_clock.cc", "src/attack/d1_wall_clock.cc");
+    const std::string table = renderTable(fs);
+    EXPECT_NE(table.find("src/attack/d1_wall_clock.cc:10"),
+              std::string::npos);
+    EXPECT_NE(table.find("4 findings"), std::string::npos);
+}
+
+TEST(LintBaseline, BaselineDemotesMatchingFindings)
+{
+    auto fs = lintOne("f1_float_eq.cc", "src/eval/f1_float_eq.cc");
+    std::vector<BaselineEntry> baseline = {
+        {"F1", "src/eval/f1_float_eq.cc"}};
+    std::vector<Finding> demoted;
+    applyBaseline(baseline, fs, demoted);
+    EXPECT_TRUE(fs.empty());
+    EXPECT_EQ(demoted.size(), 2u);
+}
+
+TEST(LintBaseline, EmptyCheckedInBaselineParses)
+{
+    // The real checked-in baseline must exist, parse, and be empty.
+    std::vector<BaselineEntry> entries;
+    ASSERT_TRUE(loadBaseline(std::string(LINT_BASELINE_FILE),
+                             entries, /*missingOk=*/false));
+    EXPECT_TRUE(entries.empty())
+        << "tools/lint/baseline.json must be empty at merge";
+}
+
+} // namespace

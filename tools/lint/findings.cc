@@ -1,0 +1,147 @@
+#include "findings.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace gpusc::lint {
+
+namespace {
+
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendFindingArray(std::string &out, const std::vector<Finding> &fs)
+{
+    out += '[';
+    bool first = true;
+    for (const Finding &f : fs) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += "{\"rule\": ";
+        appendJsonString(out, f.rule);
+        out += ", \"file\": ";
+        appendJsonString(out, f.file);
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), ", \"line\": %d", f.line);
+        out += buf;
+        out += ", \"message\": ";
+        appendJsonString(out, f.message);
+        out += '}';
+    }
+    out += ']';
+}
+
+} // namespace
+
+void
+sortFindings(std::vector<Finding> &findings)
+{
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+}
+
+std::string
+renderTable(const std::vector<Finding> &findings)
+{
+    if (findings.empty())
+        return "gpusc_lint: no findings\n";
+
+    std::size_t ruleW = 4, locW = 8;
+    std::vector<std::string> locs;
+    locs.reserve(findings.size());
+    for (const Finding &f : findings) {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), ":%d", f.line);
+        locs.push_back(f.file + buf);
+        ruleW = std::max(ruleW, f.rule.size());
+        locW = std::max(locW, locs.back().size());
+    }
+
+    std::string out;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%-*s  %-*s  ", int(ruleW),
+                  "rule", int(locW), "location");
+    out += buf;
+    out += "message\n";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        std::snprintf(buf, sizeof(buf), "%-*s  %-*s  ", int(ruleW),
+                      findings[i].rule.c_str(), int(locW),
+                      locs[i].c_str());
+        out += buf;
+        out += findings[i].message;
+        out += '\n';
+    }
+    std::snprintf(buf, sizeof(buf), "%zu finding%s\n",
+                  findings.size(), findings.size() == 1 ? "" : "s");
+    out += buf;
+    return out;
+}
+
+std::string
+renderJson(const std::vector<Finding> &active,
+           const std::vector<Finding> &baselined)
+{
+    std::map<std::string, int> counts;
+    for (const Finding &f : active)
+        ++counts[f.rule];
+
+    std::string out = "{\"version\": 1, \"findings\": ";
+    appendFindingArray(out, active);
+    out += ", \"baselined\": ";
+    appendFindingArray(out, baselined);
+    out += ", \"counts\": {";
+    bool first = true;
+    for (const auto &[rule, n] : counts) {
+        if (!first)
+            out += ", ";
+        first = false;
+        appendJsonString(out, rule);
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), ": %d", n);
+        out += buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "}, \"total\": %zu}\n",
+                  active.size());
+    out += buf;
+    return out;
+}
+
+} // namespace gpusc::lint

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Finding records and their two renderings: the human-readable
+ * aligned table and the machine-readable JSON document (the artifact
+ * CI uploads). Schema:
+ *
+ *   { "version": 1,
+ *     "findings":  [ {"rule", "file", "line", "message"} ... ],
+ *     "baselined": [ same shape ... ],
+ *     "counts":    { "<rule>": n, ... },
+ *     "total":     n }
+ *
+ * `findings` are the active violations that fail the build;
+ * `baselined` are matches against the checked-in baseline file
+ * (which must be empty at merge).
+ */
+
+#ifndef GPUSC_TOOLS_LINT_FINDINGS_H
+#define GPUSC_TOOLS_LINT_FINDINGS_H
+
+#include <string>
+#include <vector>
+
+namespace gpusc::lint {
+
+/** One rule violation at a source location. */
+struct Finding
+{
+    std::string rule;    ///< rule id: D1, D2, D3, F1, H1, S1, X1, X2
+    std::string file;    ///< repo-relative path
+    int line = 0;        ///< 1-based
+    std::string message; ///< what was matched and why it is banned
+};
+
+/** Stable ordering: file, then line, then rule. */
+void sortFindings(std::vector<Finding> &findings);
+
+/** Aligned human-readable table, one row per finding. */
+std::string renderTable(const std::vector<Finding> &findings);
+
+/** The JSON document described in the file header. */
+std::string renderJson(const std::vector<Finding> &active,
+                       const std::vector<Finding> &baselined);
+
+} // namespace gpusc::lint
+
+#endif // GPUSC_TOOLS_LINT_FINDINGS_H

@@ -1,0 +1,292 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace gpusc::lint {
+
+namespace {
+
+/** Multi-character operators, longest first within a leading char. */
+const char *const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "<=>", "::", "->", "++", "--", "<<",
+    ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=",
+    "/=",  "%=", "&=", "|=", "^=", "##",
+};
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identCont(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Source cursor that resolves backslash-newline splices and tracks
+ *  line/column as it advances. */
+class Cursor
+{
+  public:
+    explicit Cursor(const std::string &s) : s_(s) {}
+
+    bool done() const { return pos_ >= s_.size(); }
+
+    char
+    peek(std::size_t ahead = 0) const
+    {
+        std::size_t p = pos_;
+        // Skip any splice sequences between here and the requested
+        // character so lookahead sees the logical source.
+        std::size_t left = ahead;
+        while (p < s_.size()) {
+            if (spliceLen(p) > 0) {
+                p += spliceLen(p);
+                continue;
+            }
+            if (left == 0)
+                return s_[p];
+            --left;
+            ++p;
+        }
+        return '\0';
+    }
+
+    char
+    next()
+    {
+        while (spliceLen(pos_) > 0) {
+            pos_ += spliceLen(pos_);
+            ++line_;
+            col_ = 1;
+        }
+        if (done())
+            return '\0';
+        const char c = s_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
+        return c;
+    }
+
+    int line() const { return line_; }
+    int column() const { return col_; }
+
+  private:
+    /** Length of a backslash-newline splice at @p p (0 if none). */
+    std::size_t
+    spliceLen(std::size_t p) const
+    {
+        if (p + 1 < s_.size() && s_[p] == '\\' && s_[p + 1] == '\n')
+            return 2;
+        if (p + 2 < s_.size() && s_[p] == '\\' && s_[p + 1] == '\r' &&
+            s_[p + 2] == '\n')
+            return 3;
+        return 0;
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+};
+
+} // namespace
+
+bool
+isFloatLiteral(const std::string &t)
+{
+    if (t.size() > 1 && t[0] == '0' && (t[1] == 'x' || t[1] == 'X'))
+        return t.find('p') != std::string::npos ||
+               t.find('P') != std::string::npos;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const char c = t[i];
+        if (c == '.' || c == 'e' || c == 'E')
+            return true;
+        // 1f / 1.0f suffix (but not the 0xf of a hex literal,
+        // handled above).
+        if ((c == 'f' || c == 'F') && i == t.size() - 1)
+            return true;
+    }
+    return false;
+}
+
+LexedSource
+lex(const std::string &source)
+{
+    LexedSource out;
+
+    // Raw line table (suppressions and guard checks read this).
+    std::string cur;
+    for (char c : source) {
+        if (c == '\n') {
+            if (!cur.empty() && cur.back() == '\r')
+                cur.pop_back();
+            out.lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.lines.push_back(cur);
+
+    Cursor in(source);
+    while (!in.done()) {
+        const char c = in.peek();
+        if (c == '\0')
+            break;
+        if (c == ' ' || c == '\t' || c == '\n' || c == '\r' ||
+            c == '\f' || c == '\v') {
+            in.next();
+            continue;
+        }
+
+        const int line = in.line();
+        const int col = in.column();
+
+        // Comments.
+        if (c == '/' && in.peek(1) == '/') {
+            in.next();
+            in.next();
+            Comment cm;
+            cm.line = line;
+            while (!in.done() && in.peek() != '\n')
+                cm.text += in.next();
+            cm.endLine = in.line();
+            out.comments.push_back(std::move(cm));
+            continue;
+        }
+        if (c == '/' && in.peek(1) == '*') {
+            in.next();
+            in.next();
+            Comment cm;
+            cm.line = line;
+            while (!in.done() &&
+                   !(in.peek() == '*' && in.peek(1) == '/'))
+                cm.text += in.next();
+            if (!in.done()) {
+                in.next();
+                in.next();
+            }
+            cm.endLine = in.line();
+            out.comments.push_back(std::move(cm));
+            continue;
+        }
+
+        // Raw string literal: R"delim( ... )delim".
+        if (c == 'R' && in.peek(1) == '"') {
+            in.next();
+            in.next();
+            std::string delim;
+            while (!in.done() && in.peek() != '(')
+                delim += in.next();
+            if (!in.done())
+                in.next(); // '('
+            const std::string close = ")" + delim + "\"";
+            std::string body;
+            while (!in.done()) {
+                body += in.next();
+                if (body.size() >= close.size() &&
+                    body.compare(body.size() - close.size(),
+                                 close.size(), close) == 0) {
+                    body.resize(body.size() - close.size());
+                    break;
+                }
+            }
+            out.tokens.push_back(
+                {Token::Kind::String, std::move(body), line, col});
+            continue;
+        }
+
+        // String / char literals (escapes resolved enough to find
+        // the closing quote).
+        if (c == '"' || c == '\'') {
+            const char quote = in.next();
+            std::string body;
+            while (!in.done() && in.peek() != quote) {
+                char ch = in.next();
+                if (ch == '\\' && !in.done()) {
+                    body += ch;
+                    body += in.next();
+                    continue;
+                }
+                body += ch;
+            }
+            if (!in.done())
+                in.next(); // closing quote
+            out.tokens.push_back({quote == '"' ? Token::Kind::String
+                                               : Token::Kind::CharLit,
+                                  std::move(body), line, col});
+            continue;
+        }
+
+        // Numbers (incl. 1.5e-3, 0x1f, 1'000'000, trailing suffixes;
+        // a leading '.' followed by a digit is also a number).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' &&
+             std::isdigit(static_cast<unsigned char>(in.peek(1))))) {
+            std::string num;
+            num += in.next();
+            while (!in.done()) {
+                const char n = in.peek();
+                if (identCont(n) || n == '.' || n == '\'') {
+                    num += in.next();
+                    continue;
+                }
+                // Exponent sign: 1e-3 / 0x1p+4.
+                if ((n == '+' || n == '-') && !num.empty()) {
+                    const char p = num.back();
+                    if (p == 'e' || p == 'E' || p == 'p' || p == 'P') {
+                        num += in.next();
+                        continue;
+                    }
+                }
+                break;
+            }
+            out.tokens.push_back(
+                {Token::Kind::Number, std::move(num), line, col});
+            continue;
+        }
+
+        // Identifiers / keywords.
+        if (identStart(c)) {
+            std::string id;
+            while (!in.done() && identCont(in.peek()))
+                id += in.next();
+            out.tokens.push_back(
+                {Token::Kind::Identifier, std::move(id), line, col});
+            continue;
+        }
+
+        // Punctuation, maximal munch over the multi-char table.
+        std::string punct(1, in.next());
+        for (;;) {
+            bool extended = false;
+            for (const char *p : kPuncts) {
+                const std::size_t len = std::char_traits<char>::length(p);
+                if (punct.size() < len &&
+                    punct.compare(0, punct.size(), p, punct.size()) ==
+                        0 &&
+                    in.peek() == p[punct.size()]) {
+                    punct += in.next();
+                    extended = true;
+                    break;
+                }
+            }
+            if (!extended)
+                break;
+        }
+        out.tokens.push_back(
+            {Token::Kind::Punct, std::move(punct), line, col});
+    }
+
+    return out;
+}
+
+} // namespace gpusc::lint

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * A lightweight C++ lexer for gpusc_lint.
+ *
+ * Tokenizes just enough of C++ for the project's lint rules: it
+ * resolves comments (kept in a side list so suppression comments stay
+ * addressable), string/char literals (including raw strings), numeric
+ * literals, identifiers and maximal-munch punctuation, and it splices
+ * backslash-continued lines. It deliberately does not preprocess:
+ * directives are lexed like ordinary tokens (`#` then identifiers),
+ * which is exactly what the include-guard rule wants to see.
+ */
+
+#ifndef GPUSC_TOOLS_LINT_LEXER_H
+#define GPUSC_TOOLS_LINT_LEXER_H
+
+#include <string>
+#include <vector>
+
+namespace gpusc::lint {
+
+/** One lexical token (comments are reported separately). */
+struct Token
+{
+    enum class Kind
+    {
+        Identifier, ///< identifiers and keywords alike
+        Number,     ///< integer or floating literal, suffixes kept
+        String,     ///< string literal (quotes stripped)
+        CharLit,    ///< character literal (quotes stripped)
+        Punct,      ///< operator / punctuation, maximal munch
+    };
+
+    Kind kind = Kind::Punct;
+    std::string text;
+    int line = 0; ///< 1-based line of the token's first character
+    int column = 0;
+
+    bool is(const char *t) const { return text == t; }
+    bool isIdent(const char *t) const
+    {
+        return kind == Kind::Identifier && text == t;
+    }
+};
+
+/** One comment, with its source range (for suppression lookup). */
+struct Comment
+{
+    std::string text; ///< body without the // or /* */ markers
+    int line = 0;     ///< line the comment starts on
+    int endLine = 0;  ///< line the comment ends on (block comments)
+};
+
+/** Result of lexing one file. */
+struct LexedSource
+{
+    std::vector<Token> tokens;
+    std::vector<Comment> comments;
+    /** Raw source split into lines (1-based access via line - 1). */
+    std::vector<std::string> lines;
+};
+
+/**
+ * Lex @p source. Never fails: unterminated literals are closed at
+ * end of input so rules always see a token stream.
+ */
+LexedSource lex(const std::string &source);
+
+/** True if a Number token spells a floating-point literal. */
+bool isFloatLiteral(const std::string &numberText);
+
+} // namespace gpusc::lint
+
+#endif // GPUSC_TOOLS_LINT_LEXER_H

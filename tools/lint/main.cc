@@ -1,0 +1,130 @@
+/**
+ * @file
+ * gpusc_lint CLI.
+ *
+ *   gpusc_lint --root <repo> [--json <out.json>]
+ *              [--baseline <baseline.json>]
+ *              [--require-empty-baseline] [--quiet]
+ *
+ * Scans src/, examples/, bench/ and tools/ under --root, runs the
+ * determinism & hygiene rules (see rules.h), applies inline
+ * suppressions and the checked-in baseline, prints the human table
+ * and optionally writes the JSON document. Exit status: 0 on a
+ * clean tree, 1 when there are active findings (or when
+ * --require-empty-baseline is set and the baseline is non-empty),
+ * 2 on usage or I/O errors.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "findings.h"
+#include "rules.h"
+#include "scan.h"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--root DIR] [--json PATH] [--baseline PATH]\n"
+        "          [--require-empty-baseline] [--quiet]\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace gpusc::lint;
+
+    std::string root = ".";
+    std::string jsonOut;
+    std::string baselinePath;
+    bool requireEmptyBaseline = false;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](std::string &dst) {
+            if (i + 1 >= argc)
+                return false;
+            dst = argv[++i];
+            return true;
+        };
+        if (arg == "--root") {
+            if (!value(root))
+                return usage(argv[0]);
+        } else if (arg == "--json") {
+            if (!value(jsonOut))
+                return usage(argv[0]);
+        } else if (arg == "--baseline") {
+            if (!value(baselinePath))
+                return usage(argv[0]);
+        } else if (arg == "--require-empty-baseline") {
+            requireEmptyBaseline = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    const std::vector<SourceFile> files = scanTree(root);
+    if (files.empty()) {
+        std::fprintf(stderr,
+                     "gpusc_lint: no sources found under %s\n",
+                     root.c_str());
+        return 2;
+    }
+
+    std::vector<Finding> findings = runRules(files);
+
+    std::vector<BaselineEntry> baseline;
+    std::vector<Finding> baselined;
+    if (!baselinePath.empty()) {
+        if (!loadBaseline(baselinePath, baseline,
+                          /*missingOk=*/false)) {
+            std::fprintf(stderr,
+                         "gpusc_lint: cannot parse baseline %s\n",
+                         baselinePath.c_str());
+            return 2;
+        }
+        applyBaseline(baseline, findings, baselined);
+    }
+
+    if (!jsonOut.empty()) {
+        std::ofstream out(jsonOut, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "gpusc_lint: cannot write %s\n",
+                         jsonOut.c_str());
+            return 2;
+        }
+        out << renderJson(findings, baselined);
+    }
+
+    if (!quiet) {
+        std::fputs(renderTable(findings).c_str(), stdout);
+        if (!baselined.empty())
+            std::fprintf(stderr,
+                         "gpusc_lint: %zu finding(s) hidden by the "
+                         "baseline — it must be empty at merge\n",
+                         baselined.size());
+    }
+
+    if (requireEmptyBaseline && !baseline.empty()) {
+        std::fprintf(stderr,
+                     "gpusc_lint: baseline %s has %zu entries but "
+                     "--require-empty-baseline is set\n",
+                     baselinePath.c_str(), baseline.size());
+        return 1;
+    }
+    return findings.empty() ? 0 : 1;
+}

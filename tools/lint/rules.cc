@@ -1,0 +1,644 @@
+#include "rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+
+namespace gpusc::lint {
+
+namespace {
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+/** True if @p path is covered by any prefix in @p list. */
+bool
+inAnyPrefix(const std::string &path,
+            const std::vector<std::string> &list)
+{
+    for (const std::string &p : list)
+        if (startsWith(path, p))
+            return true;
+    return false;
+}
+
+// --- Suppressions --------------------------------------------------
+
+struct Suppression
+{
+    std::string rule;
+    int commentLine = 0;
+    int firstCovered = 0; ///< first line the allow applies to
+    int lastCovered = 0;  ///< last line (the line after the comment)
+    bool justified = false;
+    bool used = false;
+};
+
+/**
+ * Parse suppression comments. Only comments that *begin* with the
+ * marker count (so documentation that merely mentions the syntax is
+ * not itself a suppression).
+ */
+std::vector<Suppression>
+parseSuppressions(const std::vector<Comment> &comments)
+{
+    std::vector<Suppression> out;
+    const std::string marker = "gpusc-lint:";
+    for (const Comment &c : comments) {
+        std::size_t lead = 0;
+        while (lead < c.text.size() &&
+               (c.text[lead] == ' ' || c.text[lead] == '\t'))
+            ++lead;
+        if (c.text.compare(lead, marker.size(), marker) != 0)
+            continue;
+        std::size_t pos = lead;
+        while (pos != std::string::npos) {
+            std::size_t at = c.text.find("allow(", pos);
+            if (at == std::string::npos)
+                break;
+            at += 6;
+            const std::size_t close = c.text.find(')', at);
+            if (close == std::string::npos)
+                break;
+            Suppression s;
+            s.rule = c.text.substr(at, close - at);
+            s.commentLine = c.line;
+            s.firstCovered = c.line;
+            s.lastCovered = c.endLine + 1;
+            // Justification: a non-empty tail after "): ".
+            std::size_t tail = close + 1;
+            while (tail < c.text.size() &&
+                   (c.text[tail] == ':' || c.text[tail] == ' '))
+                ++tail;
+            s.justified = tail < c.text.size() && tail > close + 1 &&
+                          c.text.find(':', close) != std::string::npos;
+            out.push_back(s);
+            pos = c.text.find(marker, close);
+        }
+    }
+    return out;
+}
+
+// --- Token helpers -------------------------------------------------
+
+using Tokens = std::vector<Token>;
+
+/** Token before @p i, or null at the start. */
+const Token *
+prevTok(const Tokens &t, std::size_t i)
+{
+    return i > 0 ? &t[i - 1] : nullptr;
+}
+
+const Token *
+nextTok(const Tokens &t, std::size_t i, std::size_t ahead = 1)
+{
+    return i + ahead < t.size() ? &t[i + ahead] : nullptr;
+}
+
+/** True when token @p i is reached through `.`, `->` or a non-std
+ *  `::` qualifier — i.e. it is not the global / std entity. */
+bool
+memberOrForeignQualified(const Tokens &t, std::size_t i)
+{
+    const Token *p = prevTok(t, i);
+    if (!p)
+        return false;
+    if (p->is(".") || p->is("->"))
+        return true;
+    if (p->is("::")) {
+        const Token *q = i >= 2 ? &t[i - 2] : nullptr;
+        return q && q->kind == Token::Kind::Identifier &&
+               q->text != "std" && q->text != "chrono";
+    }
+    return false;
+}
+
+/** Advance past a balanced <...> starting at the `<` in @p i;
+ *  returns the index just after the closing `>` (or tokens.size()).
+ *  `>>` closes two levels, as in template argument lists. */
+std::size_t
+skipAngles(const Tokens &t, std::size_t i)
+{
+    int depth = 0;
+    for (; i < t.size(); ++i) {
+        if (t[i].is("<"))
+            ++depth;
+        else if (t[i].is("<<"))
+            depth += 2;
+        else if (t[i].is(">"))
+            --depth;
+        else if (t[i].is(">>"))
+            depth -= 2;
+        else if (t[i].is(";") && depth > 0)
+            return i; // not a template argument list after all
+        if (depth <= 0 && i > 0 &&
+            (t[i].is(">") || t[i].is(">>")))
+            return i + 1;
+    }
+    return i;
+}
+
+/** Index of the matching `)` for the `(` at @p open. */
+std::size_t
+matchParen(const Tokens &t, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < t.size(); ++i) {
+        if (t[i].is("("))
+            ++depth;
+        else if (t[i].is(")") && --depth == 0)
+            return i;
+    }
+    return t.size();
+}
+
+std::size_t
+matchBrace(const Tokens &t, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < t.size(); ++i) {
+        if (t[i].is("{"))
+            ++depth;
+        else if (t[i].is("}") && --depth == 0)
+            return i;
+    }
+    return t.size();
+}
+
+// --- D1: wall clock ------------------------------------------------
+
+const std::set<std::string> kChronoClocks = {
+    "system_clock", "steady_clock", "high_resolution_clock"};
+const std::set<std::string> kClockCalls = {
+    "gettimeofday", "clock_gettime", "timespec_get", "ftime"};
+
+void
+ruleD1(const SourceFile &f, std::vector<Finding> &out)
+{
+    const Tokens &t = f.src.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != Token::Kind::Identifier)
+            continue;
+        if (kChronoClocks.count(t[i].text) &&
+            !memberOrForeignQualified(t, i)) {
+            out.push_back({"D1", f.relPath, t[i].line,
+                           "std::chrono::" + t[i].text +
+                               " is a banned wall-clock source; use "
+                               "SimTime or obs::hostNowNs()"});
+            continue;
+        }
+        if (kClockCalls.count(t[i].text)) {
+            out.push_back({"D1", f.relPath, t[i].line,
+                           t[i].text +
+                               "() is a banned wall-clock source"});
+            continue;
+        }
+        const Token *n = nextTok(t, i);
+        if (t[i].text == "time" && n && n->is("(") &&
+            !memberOrForeignQualified(t, i)) {
+            // Only the libc call shapes: time(nullptr|NULL|0|&x).
+            const Token *arg = nextTok(t, i, 2);
+            if (arg && (arg->isIdent("nullptr") ||
+                        arg->isIdent("NULL") || arg->is("&") ||
+                        (arg->kind == Token::Kind::Number &&
+                         arg->text == "0")))
+                out.push_back({"D1", f.relPath, t[i].line,
+                               "time() is a banned wall-clock "
+                               "source"});
+            continue;
+        }
+        if (t[i].text == "clock" && n && n->is("(")) {
+            const Token *n2 = nextTok(t, i, 2);
+            const Token *p = prevTok(t, i);
+            const bool declOrMember =
+                p && (p->is(".") || p->is("->") || p->is("&") ||
+                      p->is("*") ||
+                      p->kind == Token::Kind::Identifier);
+            if (n2 && n2->is(")") && !declOrMember &&
+                !memberOrForeignQualified(t, i))
+                out.push_back({"D1", f.relPath, t[i].line,
+                               "clock() is a banned wall-clock "
+                               "source"});
+        }
+    }
+}
+
+// --- D2: nondeterministic randomness -------------------------------
+
+const std::set<std::string> kRandomEngines = {
+    "mt19937",      "mt19937_64",           "minstd_rand",
+    "minstd_rand0", "default_random_engine", "ranlux24",
+    "ranlux48",     "knuth_b"};
+
+void
+ruleD2(const SourceFile &f, std::vector<Finding> &out)
+{
+    const Tokens &t = f.src.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != Token::Kind::Identifier)
+            continue;
+        if (memberOrForeignQualified(t, i))
+            continue;
+        if (t[i].text == "random_device") {
+            out.push_back({"D2", f.relPath, t[i].line,
+                           "std::random_device is nondeterministic; "
+                           "seed through util/rng"});
+            continue;
+        }
+        if (kRandomEngines.count(t[i].text)) {
+            out.push_back({"D2", f.relPath, t[i].line,
+                           "ad-hoc std::" + t[i].text +
+                               " engine; all randomness must flow "
+                               "through util/rng"});
+            continue;
+        }
+        const Token *n = nextTok(t, i);
+        if ((t[i].text == "rand" || t[i].text == "srand") && n &&
+            n->is("(")) {
+            out.push_back({"D2", f.relPath, t[i].line,
+                           t[i].text +
+                               "() is nondeterministic across "
+                               "platforms; use util/rng"});
+        }
+    }
+}
+
+// --- D3: unordered iteration in serializing TUs --------------------
+
+const std::set<std::string> kUnorderedTemplates = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+/** Names declared anywhere with an unordered container type. */
+std::set<std::string>
+collectUnorderedNames(const std::vector<SourceFile> &files)
+{
+    std::set<std::string> names;
+    for (const SourceFile &f : files) {
+        const Tokens &t = f.src.tokens;
+        for (std::size_t i = 0; i < t.size(); ++i) {
+            if (t[i].kind != Token::Kind::Identifier ||
+                !kUnorderedTemplates.count(t[i].text))
+                continue;
+            const Token *n = nextTok(t, i);
+            if (!n || !n->is("<"))
+                continue;
+            std::size_t j = skipAngles(t, i + 1);
+            // Skip cv/ref/pointer decoration before the name.
+            while (j < t.size() &&
+                   (t[j].is("&") || t[j].is("*") ||
+                    t[j].isIdent("const")))
+                ++j;
+            if (j < t.size() &&
+                t[j].kind == Token::Kind::Identifier)
+                names.insert(t[j].text);
+        }
+    }
+    return names;
+}
+
+void
+ruleD3(const SourceFile &f, const std::set<std::string> &unordered,
+       std::vector<Finding> &out)
+{
+    const Tokens &t = f.src.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (!t[i].isIdent("for"))
+            continue;
+        const Token *n = nextTok(t, i);
+        if (!n || !n->is("("))
+            continue;
+        const std::size_t close = matchParen(t, i + 1);
+        // Find the range-for `:` at parenthesis depth 1.
+        std::size_t colon = 0;
+        int depth = 0;
+        for (std::size_t j = i + 1; j < close; ++j) {
+            if (t[j].is("(") || t[j].is("[") || t[j].is("{"))
+                ++depth;
+            else if (t[j].is(")") || t[j].is("]") || t[j].is("}"))
+                --depth;
+            else if (t[j].is(":") && depth == 1) {
+                colon = j;
+                break;
+            } else if (t[j].is(";"))
+                break; // classic for loop
+        }
+        if (!colon)
+            continue;
+        for (std::size_t j = colon + 1; j < close; ++j) {
+            if (t[j].kind == Token::Kind::Identifier &&
+                unordered.count(t[j].text)) {
+                out.push_back(
+                    {"D3", f.relPath, t[i].line,
+                     "range-for over unordered container '" +
+                         t[j].text +
+                         "' in a serializing TU; iterate a sorted "
+                         "copy or use an ordered container"});
+                break;
+            }
+        }
+    }
+}
+
+// --- F1: floating-point equality -----------------------------------
+
+void
+ruleF1(const SourceFile &f, std::vector<Finding> &out)
+{
+    const Tokens &t = f.src.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (!t[i].is("==") && !t[i].is("!="))
+            continue;
+        const Token *p = prevTok(t, i);
+        const Token *n = nextTok(t, i);
+        bool floaty = p && p->kind == Token::Kind::Number &&
+                      isFloatLiteral(p->text);
+        if (!floaty && n) {
+            // Allow a unary sign before the literal.
+            if ((n->is("-") || n->is("+")))
+                n = nextTok(t, i, 2);
+            floaty = n && n->kind == Token::Kind::Number &&
+                     isFloatLiteral(n->text);
+        }
+        if (floaty)
+            out.push_back({"F1", f.relPath, t[i].line,
+                           "floating-point " + t[i].text +
+                               " against a literal; compare with an "
+                               "epsilon or restructure"});
+    }
+}
+
+// --- H1: include guard naming --------------------------------------
+
+void
+ruleH1(const SourceFile &f, std::vector<Finding> &out)
+{
+    const Tokens &t = f.src.tokens;
+    const std::string want = expectedGuard(f.relPath);
+
+    // Locate the first preprocessor directive.
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        if (!t[i].is("#"))
+            continue;
+        const Token &d = t[i + 1];
+        if (d.isIdent("ifndef")) {
+            const Token *name = nextTok(t, i, 2);
+            if (!name || name->kind != Token::Kind::Identifier) {
+                out.push_back({"H1", f.relPath, d.line,
+                               "malformed include guard"});
+                return;
+            }
+            if (name->text != want) {
+                out.push_back({"H1", f.relPath, name->line,
+                               "include guard '" + name->text +
+                                   "' should be '" + want + "'"});
+                return;
+            }
+            const Token *def = nextTok(t, i, 4);
+            if (!nextTok(t, i, 3) || !nextTok(t, i, 3)->is("#") ||
+                !def || !def->isIdent("define") ||
+                !nextTok(t, i, 5) ||
+                nextTok(t, i, 5)->text != want) {
+                out.push_back({"H1", f.relPath, name->line,
+                               "#ifndef " + want +
+                                   " must be followed by #define " +
+                                   want});
+            }
+            return;
+        }
+        if (d.isIdent("pragma")) {
+            out.push_back({"H1", f.relPath, d.line,
+                           "#pragma once: use the named guard '" +
+                               want + "' instead"});
+            return;
+        }
+        // Any other directive first (e.g. #include) means the file
+        // has no guard at all.
+        out.push_back({"H1", f.relPath, d.line,
+                       "missing include guard '" + want + "'"});
+        return;
+    }
+    out.push_back(
+        {"H1", f.relPath, 1, "missing include guard '" + want + "'"});
+}
+
+// --- S1: explicit initializers on wire-format structs --------------
+
+const std::set<std::string> kNonMemberLeads = {
+    "using",  "typedef",       "friend", "template",
+    "static_assert", "operator", "explicit"};
+
+void
+checkStructBody(const SourceFile &f, const Tokens &t,
+                const std::string &structName, std::size_t open,
+                std::size_t close, std::vector<Finding> &out)
+{
+    std::size_t i = open + 1;
+    while (i < close) {
+        // Access labels.
+        if ((t[i].isIdent("public") || t[i].isIdent("private") ||
+             t[i].isIdent("protected")) &&
+            nextTok(t, i) && nextTok(t, i)->is(":")) {
+            i += 2;
+            continue;
+        }
+        // Nested enums: skip whole definition (checked elsewhere if
+        // someone nests a struct, the outer scan still finds it).
+        if (t[i].isIdent("enum")) {
+            while (i < close && !t[i].is("{"))
+                ++i;
+            i = matchBrace(t, i) + 1;
+            if (i < close && t[i].is(";"))
+                ++i;
+            continue;
+        }
+        if (t[i].isIdent("struct") || t[i].isIdent("class")) {
+            // Nested type: the outer token scan visits it on its
+            // own; skip past its body here.
+            while (i < close && !t[i].is("{") && !t[i].is(";"))
+                ++i;
+            if (i < close && t[i].is("{"))
+                i = matchBrace(t, i) + 1;
+            else
+                ++i;
+            continue;
+        }
+
+        // One member-or-function statement.
+        const std::size_t stmtBegin = i;
+        bool sawParen = false, sawEq = false, sawBraceInit = false;
+        bool skip = t[i].kind == Token::Kind::Identifier &&
+                    kNonMemberLeads.count(t[i].text);
+        std::string lastIdent;
+        while (i < close) {
+            const Token &tok = t[i];
+            if (tok.is(";")) {
+                ++i;
+                break;
+            }
+            if (tok.is("=") && !sawParen)
+                sawEq = true;
+            if (tok.is("(") && !sawEq) {
+                sawParen = true;
+                i = matchParen(t, i) + 1;
+                continue;
+            }
+            if (tok.is("{")) {
+                if (!sawParen && !sawEq)
+                    sawBraceInit = true;
+                i = matchBrace(t, i) + 1;
+                if (sawParen) {
+                    // Function body: statement ends here, with or
+                    // without a trailing semicolon.
+                    if (i < close && t[i].is(";"))
+                        ++i;
+                    break;
+                }
+                continue;
+            }
+            if (tok.is("[")) {
+                // Array extent; not an initializer.
+                int depth = 0;
+                for (; i < close; ++i) {
+                    if (t[i].is("["))
+                        ++depth;
+                    else if (t[i].is("]") && --depth == 0)
+                        break;
+                }
+                ++i;
+                continue;
+            }
+            if (tok.kind == Token::Kind::Identifier)
+                lastIdent = tok.text;
+            ++i;
+        }
+
+        if (skip || sawParen || sawEq || sawBraceInit ||
+            lastIdent.empty())
+            continue;
+        out.push_back({"S1", f.relPath, t[stmtBegin].line,
+                       "member '" + lastIdent +
+                           "' of wire-format struct '" + structName +
+                           "' lacks an explicit initializer"});
+    }
+}
+
+void
+ruleS1(const SourceFile &f, std::vector<Finding> &out)
+{
+    const Tokens &t = f.src.tokens;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        if (!t[i].isIdent("struct"))
+            continue;
+        const Token *p = prevTok(t, i);
+        if (p && (p->isIdent("enum") || p->is("<") || p->is(",")))
+            continue; // `enum struct` / template params
+        const Token *name = nextTok(t, i);
+        if (!name || name->kind != Token::Kind::Identifier)
+            continue;
+        // Find the `{` of the definition (skipping base clauses);
+        // a `;` first means forward declaration.
+        std::size_t j = i + 2;
+        while (j < t.size() && !t[j].is("{") && !t[j].is(";") &&
+               !t[j].is("("))
+            ++j;
+        if (j >= t.size() || !t[j].is("{"))
+            continue;
+        const std::size_t close = matchBrace(t, j);
+        checkStructBody(f, t, name->text, j, close, out);
+    }
+}
+
+} // namespace
+
+std::string
+expectedGuard(const std::string &relPath)
+{
+    std::string path = relPath;
+    if (startsWith(path, "src/"))
+        path = path.substr(4);
+    std::string guard = "GPUSC_";
+    for (char c : path) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            guard += char(
+                std::toupper(static_cast<unsigned char>(c)));
+        else
+            guard += '_';
+    }
+    return guard;
+}
+
+std::vector<Finding>
+runRules(const std::vector<SourceFile> &files,
+         const LintConfig &config)
+{
+    const std::set<std::string> unordered =
+        collectUnorderedNames(files);
+
+    std::vector<Finding> out;
+    for (const SourceFile &f : files) {
+        std::vector<Finding> raw;
+        if (!inAnyPrefix(f.relPath, config.wallClockAllow))
+            ruleD1(f, raw);
+        if (!inAnyPrefix(f.relPath, config.rngAllow))
+            ruleD2(f, raw);
+        if (inAnyPrefix(f.relPath, config.serializingTus))
+            ruleD3(f, unordered, raw);
+        ruleF1(f, raw);
+        if (endsWith(f.relPath, ".h") &&
+            inAnyPrefix(f.relPath, config.headerRoots))
+            ruleH1(f, raw);
+        if (startsWith(f.relPath, "src/trace/") &&
+            endsWith(f.relPath, ".h"))
+            ruleS1(f, raw);
+
+        // Apply inline suppressions; bare or dangling allows are
+        // findings themselves (and are never suppressible).
+        std::vector<Suppression> sups =
+            parseSuppressions(f.src.comments);
+        for (const Finding &fd : raw) {
+            bool suppressed = false;
+            for (Suppression &s : sups) {
+                if (s.rule == fd.rule && s.justified &&
+                    fd.line >= s.firstCovered &&
+                    fd.line <= s.lastCovered) {
+                    s.used = true;
+                    suppressed = true;
+                }
+            }
+            if (!suppressed)
+                out.push_back(fd);
+        }
+        for (const Suppression &s : sups) {
+            if (!s.justified)
+                out.push_back(
+                    {"X1", f.relPath, s.commentLine,
+                     "suppression allow(" + s.rule +
+                         ") lacks a justification; write "
+                         "`gpusc-lint: allow(" +
+                         s.rule + "): <why>`"});
+            else if (!s.used)
+                out.push_back({"X2", f.relPath, s.commentLine,
+                               "suppression allow(" + s.rule +
+                                   ") matches no finding; remove "
+                                   "it"});
+        }
+    }
+    sortFindings(out);
+    return out;
+}
+
+} // namespace gpusc::lint

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The gpusc_lint rule engine.
+ *
+ * Rules encode the project's determinism & hygiene invariants (see
+ * DESIGN.md "Static analysis" for the rationale behind each):
+ *
+ *   D1  banned wall-clock sources (std::chrono clocks, time(),
+ *       gettimeofday, clock_gettime, clock()) outside the allowlist —
+ *       host time in pipeline code breaks replay == live.
+ *   D2  banned nondeterministic randomness (rand, srand,
+ *       std::random_device, ad-hoc engines) anywhere but util/rng.
+ *   D3  range-for over std::unordered_{map,set} in serializing /
+ *       exporting translation units — exported order must come from
+ *       sorted containers.
+ *   F1  floating-point == / != against a floating literal.
+ *   H1  include guard must be GPUSC_<PATH>_H (self-containment is
+ *       the companion CMake pass; see tools/lint/CMakeLists.txt).
+ *   S1  every member of a struct in src/trace/ headers (the wire
+ *       format) carries an explicit initializer.
+ *
+ * Suppression: `// gpusc-lint: allow(<rule>): <justification>` on the
+ * finding's line or the line above silences that rule there. The
+ * justification is mandatory (X1 flags a bare allow) and suppressions
+ * that silence nothing are themselves findings (X2), so stale allows
+ * cannot accumulate.
+ */
+
+#ifndef GPUSC_TOOLS_LINT_RULES_H
+#define GPUSC_TOOLS_LINT_RULES_H
+
+#include <string>
+#include <vector>
+
+#include "findings.h"
+#include "lexer.h"
+
+namespace gpusc::lint {
+
+/** One file handed to the engine. */
+struct SourceFile
+{
+    /** Repo-relative path with forward slashes (drives the
+     *  path-scoped rules and appears in findings). */
+    std::string relPath;
+    LexedSource src;
+};
+
+/** Path scoping for the rules; prefixes are repo-relative. */
+struct LintConfig
+{
+    /** D1: files allowed to read host clocks. */
+    std::vector<std::string> wallClockAllow = {
+        "src/obs/span.cc", // the one hostNowNs() definition
+        "bench/",          // harness timers measure the host by design
+    };
+
+    /** D2: files allowed to touch raw randomness sources. */
+    std::vector<std::string> rngAllow = {
+        "src/util/rng.cc",
+        "src/util/rng.h",
+    };
+
+    /** D3: translation units whose output order is part of their
+     *  contract (serializers, exporters, CLI tables). */
+    std::vector<std::string> serializingTus = {
+        "src/trace/",
+        "src/obs/",
+        "src/eval/",
+        "src/util/table",
+        "examples/",
+    };
+
+    /** H1/S1: prefixes of paths whose headers are public. */
+    std::vector<std::string> headerRoots = {
+        "src/",
+        "bench/",
+        "tools/lint/",
+    };
+};
+
+/**
+ * Run every rule over @p files and apply inline suppressions.
+ * D3 is cross-file: unordered-container declarations anywhere in
+ * @p files inform range-for checks in every serializing TU.
+ */
+std::vector<Finding> runRules(const std::vector<SourceFile> &files,
+                              const LintConfig &config = {});
+
+/** The include guard H1 expects for @p relPath. */
+std::string expectedGuard(const std::string &relPath);
+
+} // namespace gpusc::lint
+
+#endif // GPUSC_TOOLS_LINT_RULES_H

@@ -1,0 +1,200 @@
+#include "scan.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace gpusc::lint {
+
+const std::vector<std::string> &
+defaultScanRoots()
+{
+    static const std::vector<std::string> roots = {
+        "src", "examples", "bench", "tools"};
+    return roots;
+}
+
+bool
+loadSource(const std::string &fsPath, const std::string &relPath,
+           SourceFile &out)
+{
+    std::ifstream in(fsPath, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out.relPath = relPath;
+    out.src = lex(buf.str());
+    return true;
+}
+
+namespace {
+
+bool
+isCxxSource(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".cc" || ext == ".cpp" ||
+           ext == ".hpp";
+}
+
+} // namespace
+
+std::vector<SourceFile>
+scanTree(const std::string &root)
+{
+    std::vector<SourceFile> files;
+    for (const std::string &sub : defaultScanRoots()) {
+        const fs::path dir = fs::path(root) / sub;
+        std::error_code ec;
+        if (!fs::is_directory(dir, ec))
+            continue;
+        for (auto it = fs::recursive_directory_iterator(dir, ec);
+             !ec && it != fs::recursive_directory_iterator(); ++it) {
+            if (!it->is_regular_file() || !isCxxSource(it->path()))
+                continue;
+            const std::string rel =
+                fs::relative(it->path(), root, ec).generic_string();
+            SourceFile sf;
+            if (loadSource(it->path().string(), rel, sf))
+                files.push_back(std::move(sf));
+            else
+                std::fprintf(stderr,
+                             "gpusc_lint: cannot read %s\n",
+                             it->path().string().c_str());
+        }
+    }
+    std::sort(files.begin(), files.end(),
+              [](const SourceFile &a, const SourceFile &b) {
+                  return a.relPath < b.relPath;
+              });
+    return files;
+}
+
+// --- Baseline ------------------------------------------------------
+//
+// The baseline is a deliberately tiny JSON dialect: one array of
+// flat objects with string values. A hand-rolled parser keeps the
+// tool dependency-free; anything it cannot parse is a hard error so
+// a malformed baseline can never silently grandfather findings.
+
+namespace {
+
+void
+skipWs(const std::string &s, std::size_t &i)
+{
+    while (i < s.size() &&
+           (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+            s[i] == '\r'))
+        ++i;
+}
+
+bool
+parseString(const std::string &s, std::size_t &i, std::string &out)
+{
+    skipWs(s, i);
+    if (i >= s.size() || s[i] != '"')
+        return false;
+    ++i;
+    out.clear();
+    while (i < s.size() && s[i] != '"') {
+        if (s[i] == '\\' && i + 1 < s.size())
+            ++i;
+        out += s[i++];
+    }
+    if (i >= s.size())
+        return false;
+    ++i;
+    return true;
+}
+
+} // namespace
+
+bool
+loadBaseline(const std::string &path,
+             std::vector<BaselineEntry> &out, bool missingOk)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return missingOk;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string s = buf.str();
+
+    std::size_t i = 0;
+    skipWs(s, i);
+    if (i >= s.size() || s[i] != '[')
+        return false;
+    ++i;
+    skipWs(s, i);
+    if (i < s.size() && s[i] == ']')
+        return true; // empty baseline
+    for (;;) {
+        skipWs(s, i);
+        if (i >= s.size() || s[i] != '{')
+            return false;
+        ++i;
+        BaselineEntry e;
+        for (;;) {
+            std::string key, value;
+            if (!parseString(s, i, key))
+                return false;
+            skipWs(s, i);
+            if (i >= s.size() || s[i] != ':')
+                return false;
+            ++i;
+            if (!parseString(s, i, value))
+                return false;
+            if (key == "rule")
+                e.rule = value;
+            else if (key == "file")
+                e.file = value;
+            skipWs(s, i);
+            if (i < s.size() && s[i] == ',') {
+                ++i;
+                continue;
+            }
+            break;
+        }
+        skipWs(s, i);
+        if (i >= s.size() || s[i] != '}')
+            return false;
+        ++i;
+        if (e.rule.empty() || e.file.empty())
+            return false;
+        out.push_back(std::move(e));
+        skipWs(s, i);
+        if (i < s.size() && s[i] == ',') {
+            ++i;
+            continue;
+        }
+        break;
+    }
+    skipWs(s, i);
+    return i < s.size() && s[i] == ']';
+}
+
+void
+applyBaseline(const std::vector<BaselineEntry> &baseline,
+              std::vector<Finding> &findings,
+              std::vector<Finding> &baselined)
+{
+    if (baseline.empty())
+        return;
+    std::vector<Finding> active;
+    for (Finding &f : findings) {
+        const bool matched = std::any_of(
+            baseline.begin(), baseline.end(),
+            [&](const BaselineEntry &e) {
+                return e.rule == f.rule && e.file == f.file;
+            });
+        (matched ? baselined : active).push_back(std::move(f));
+    }
+    findings = std::move(active);
+}
+
+} // namespace gpusc::lint

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * File discovery and loading for gpusc_lint: walks the scanned
+ * roots (src/, examples/, bench/, tools/) for C++ sources, lexes
+ * each into a SourceFile, and loads/matches the JSON baseline.
+ */
+
+#ifndef GPUSC_TOOLS_LINT_SCAN_H
+#define GPUSC_TOOLS_LINT_SCAN_H
+
+#include <string>
+#include <vector>
+
+#include "findings.h"
+#include "rules.h"
+
+namespace gpusc::lint {
+
+/** The directories a default tree scan covers, relative to root. */
+const std::vector<std::string> &defaultScanRoots();
+
+/**
+ * Load one file as a SourceFile. @p relPath is the repo-relative
+ * path recorded in findings (and drives path-scoped rules).
+ * Returns false if the file cannot be read.
+ */
+bool loadSource(const std::string &fsPath, const std::string &relPath,
+                SourceFile &out);
+
+/**
+ * Recursively collect and lex every .h/.cc/.cpp under
+ * root/<scanRoots>. Files that fail to read are reported to stderr
+ * and skipped. Results are sorted by relPath for deterministic
+ * output.
+ */
+std::vector<SourceFile> scanTree(const std::string &root);
+
+/** One baseline entry: a finding grandfathered at (rule, file). */
+struct BaselineEntry
+{
+    std::string rule;
+    std::string file;
+};
+
+/**
+ * Parse the baseline JSON (an array of {"rule", "file"} objects).
+ * Returns false on malformed input. A missing file is an empty
+ * baseline only if @p missingOk.
+ */
+bool loadBaseline(const std::string &path,
+                  std::vector<BaselineEntry> &out, bool missingOk);
+
+/**
+ * Split @p findings into active and baselined (matched by rule+file
+ * against @p baseline).
+ */
+void applyBaseline(const std::vector<BaselineEntry> &baseline,
+                   std::vector<Finding> &findings,
+                   std::vector<Finding> &baselined);
+
+} // namespace gpusc::lint
+
+#endif // GPUSC_TOOLS_LINT_SCAN_H
