@@ -1,0 +1,171 @@
+/**
+ * @file
+ * End-to-end pipeline throughput: the same experiment campaign run
+ * serially and across the parallel evaluation engine (src/exec/),
+ * plus a micro-timing of the SignatureModel::classify hot path.
+ * Reports JSON on stdout and mirrors it to BENCH_pipeline.json:
+ *
+ *   {"bench": "pipeline_throughput", "trials": ...,
+ *    "classify_ns_per_op": ...,
+ *    "serial": {"seconds": ..., "trials_per_sec": ...},
+ *    "parallel": [{"threads": 2, "seconds": ..., "trials_per_sec":
+ *                  ..., "speedup": ..., "deterministic": true}, ...]}
+ *
+ * "deterministic" asserts the parallel run's (truth, inferred) trial
+ * sequence is byte-identical to the single-thread run — the core
+ * contract of exec::ParallelRunner.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "attack/model_store.h"
+#include "eval/experiment.h"
+#include "exec/parallel_runner.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+using namespace gpusc;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 20260807;
+
+eval::ExperimentConfig
+campaignConfig()
+{
+    eval::ExperimentConfig cfg;
+    cfg.seed = kSeed;
+    return cfg;
+}
+
+struct CampaignTiming
+{
+    double seconds = 0.0;
+    std::vector<eval::TrialResult> trials;
+};
+
+CampaignTiming
+timeCampaign(std::size_t threads, int trials)
+{
+    exec::ParallelRunner runner(campaignConfig(),
+                                attack::ModelStore::global(),
+                                threads);
+    const auto t0 = std::chrono::steady_clock::now();
+    exec::ParallelResult res = runner.runTrials(trials, 8, 12);
+    const auto t1 = std::chrono::steady_clock::now();
+    CampaignTiming out;
+    out.seconds = std::chrono::duration<double>(t1 - t0).count();
+    out.trials = std::move(res.trials);
+    return out;
+}
+
+bool
+sameTrials(const std::vector<eval::TrialResult> &a,
+           const std::vector<eval::TrialResult> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i].truth != b[i].truth || a[i].inferred != b[i].inferred)
+            return false;
+    return true;
+}
+
+/** Nanoseconds per SignatureModel::classify on the trained model. */
+double
+classifyNsPerOp()
+{
+    const attack::OfflineTrainer trainer;
+    const attack::SignatureModel &model =
+        attack::ModelStore::global().getOrTrain(
+            android::DeviceConfig{}, trainer);
+
+    // Query mix: real centroids plus perturbations, so both the
+    // early-exit and the full-sum paths are represented.
+    Rng rng(kSeed);
+    std::vector<gpu::CounterVec> queries;
+    for (int i = 0; i < 256; ++i) {
+        const attack::LabelSignature &sig =
+            rng.pick(model.signatures());
+        gpu::CounterVec q = sig.centroid;
+        for (std::int64_t &v : q)
+            v += rng.uniformInt(-50, 50);
+        queries.push_back(q);
+    }
+
+    const int iters = 200000;
+    double checksum = 0.0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i)
+        checksum +=
+            model.classify(queries[std::size_t(i) % queries.size()])
+                .distance;
+    const auto t1 = std::chrono::steady_clock::now();
+    if (checksum < 0.0) // defeat dead-code elimination
+        std::printf("# %f\n", checksum);
+    return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+           double(iters);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    const int trials =
+        argc > 1 ? int(std::strtol(argv[1], nullptr, 10)) : 48;
+
+    // Train the model once up front so no timing includes it.
+    const attack::OfflineTrainer trainer;
+    attack::ModelStore::global().getOrTrain(android::DeviceConfig{},
+                                            trainer);
+
+    const double classifyNs = classifyNsPerOp();
+    const CampaignTiming serial = timeCampaign(1, trials);
+
+    std::string json = "{\"bench\": \"pipeline_throughput\", ";
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "\"trials\": %d, \"classify_ns_per_op\": %.1f, "
+                  "\"serial\": {\"seconds\": %.3f, "
+                  "\"trials_per_sec\": %.2f}, \"parallel\": [",
+                  trials, classifyNs, serial.seconds,
+                  serial.seconds > 0
+                      ? double(trials) / serial.seconds
+                      : 0.0);
+    json += buf;
+
+    bool first = true;
+    for (const std::size_t threads : {2u, 4u, 8u}) {
+        const CampaignTiming par = timeCampaign(threads, trials);
+        const bool deterministic =
+            sameTrials(serial.trials, par.trials);
+        std::snprintf(
+            buf, sizeof buf,
+            "%s{\"threads\": %zu, \"seconds\": %.3f, "
+            "\"trials_per_sec\": %.2f, \"speedup\": %.2f, "
+            "\"deterministic\": %s}",
+            first ? "" : ", ", threads, par.seconds,
+            par.seconds > 0 ? double(trials) / par.seconds : 0.0,
+            par.seconds > 0 ? serial.seconds / par.seconds : 0.0,
+            deterministic ? "true" : "false");
+        json += buf;
+        first = false;
+    }
+    json += "]}";
+
+    std::printf("%s\n", json.c_str());
+    std::FILE *f = std::fopen("BENCH_pipeline.json", "w");
+    if (f) {
+        std::fprintf(f, "%s\n", json.c_str());
+        std::fclose(f);
+    } else {
+        warn("pipeline_throughput: cannot write BENCH_pipeline.json");
+    }
+    return 0;
+}

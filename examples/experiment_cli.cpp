@@ -35,6 +35,7 @@
 #include "android/keyboard.h"
 #include "android/phone.h"
 #include "eval/experiment.h"
+#include "exec/parallel_runner.h"
 #include "obs/telemetry.h"
 #include "util/logging.h"
 #include "util/table.h"
@@ -62,6 +63,9 @@ usage(const char *argv0)
         "  --min-len/--max-len credential lengths (default 8/16)\n"
         "  --typo-prob <f>     correction behaviour (default 0)\n"
         "  --seed <n>          RNG seed (default 1)\n"
+        "  --threads <n>       worker threads for the trial campaign\n"
+        "                      (default 1 = serial; >1 shards trials\n"
+        "                      across src/exec/, deterministically)\n"
         "  --list              print known phones/keyboards/apps\n"
         "fault injection (driver hostility):\n"
         "  --transient-prob <f>  P(EINTR/EAGAIN) per GET/READ ioctl\n"
@@ -108,6 +112,7 @@ main(int argc, char **argv)
     eval::ExperimentConfig cfg;
     int trials = 100;
     std::size_t minLen = 8, maxLen = 16;
+    std::size_t threads = 1;
     bool telemetryOn = false;
     std::string metricsOut, chromeTrace, auditOut;
 
@@ -183,6 +188,11 @@ main(int argc, char **argv)
             cfg.typoProb = std::atof(value());
         } else if (arg == "--seed") {
             cfg.seed = std::uint64_t(std::atoll(value()));
+        } else if (arg == "--threads") {
+            const int n = std::atoi(value());
+            if (n < 1)
+                fatal("--threads wants a positive count");
+            threads = std::size_t(n);
         } else if (arg == "--transient-prob") {
             cfg.faultPlan.transientErrorProb = std::atof(value());
         } else if (arg == "--collapse-every") {
@@ -225,15 +235,35 @@ main(int argc, char **argv)
         !auditOut.empty())
         cfg.telemetry = &telemetry;
 
-    eval::ExperimentRunner runner(cfg, attack::ModelStore::global());
-    inform("model: %s (%zu signatures, C_th %.4f)",
-           runner.model().modelKey().c_str(),
-           runner.model().signatures().size(),
-           runner.model().threshold());
-
     std::vector<eval::TrialResult> results;
-    const eval::AccuracyStats stats =
-        runner.runTrials(trials, minLen, maxLen, &results);
+    eval::AccuracyStats stats;
+    attack::HealthStats health{};
+    kgsl::FaultInjector::Stats faultStats{};
+    bool haveFaultStats = false;
+
+    auto printModel = [](const attack::SignatureModel &m) {
+        inform("model: %s (%zu signatures, C_th %.4f)",
+               m.modelKey().c_str(), m.signatures().size(),
+               m.threshold());
+    };
+
+    // Every thread count goes through the ParallelRunner (inline at
+    // 1), so the campaign depends only on --seed, never on --threads.
+    {
+        exec::ParallelRunner runner(cfg, attack::ModelStore::global(),
+                                    threads);
+        printModel(runner.model());
+        if (threads > 1)
+            inform("parallel campaign: %zu threads, shard size %zu",
+                   runner.threads(), runner.plan().shardSize);
+        exec::ParallelResult res =
+            runner.runTrials(trials, minLen, maxLen);
+        stats = res.stats;
+        results = std::move(res.trials);
+        health = res.health;
+        faultStats = res.faults;
+        haveFaultStats = cfg.faultPlan.any();
+    }
 
     Table table({"metric", "value"});
     table.addRow({"trials", std::to_string(stats.trials())});
@@ -250,39 +280,39 @@ main(int argc, char **argv)
     }
     table.print("results");
 
-    if (cfg.faultPlan.any() && runner.faultInjector()) {
-        const kgsl::FaultInjector::Stats &fs =
-            runner.faultInjector()->stats();
-        const attack::HealthStats h = runner.health();
-        Table health({"health metric", "value"});
-        health.addRow({"faults: transient errors",
-                       std::to_string(fs.transientErrors)});
-        health.addRow(
+    if (cfg.faultPlan.any() && haveFaultStats) {
+        const kgsl::FaultInjector::Stats &fs = faultStats;
+        const attack::HealthStats &h = health;
+        Table healthTable({"health metric", "value"});
+        healthTable.addRow({"faults: transient errors",
+                            std::to_string(fs.transientErrors)});
+        healthTable.addRow(
             {"faults: busy denials", std::to_string(fs.busyDenials)});
-        health.addRow({"faults: power collapses",
-                       std::to_string(fs.powerCollapses)});
-        health.addRow(
+        healthTable.addRow({"faults: power collapses",
+                            std::to_string(fs.powerCollapses)});
+        healthTable.addRow(
             {"faults: device resets", std::to_string(fs.deviceResets)});
-        health.addRow({"sampler: transient retries",
-                       std::to_string(h.transientRetries)});
-        health.addRow(
+        healthTable.addRow({"sampler: transient retries",
+                            std::to_string(h.transientRetries)});
+        healthTable.addRow(
             {"sampler: busy retries", std::to_string(h.busyRetries)});
-        health.addRow({"sampler: reopens", std::to_string(h.reopens)});
-        health.addRow({"sampler: resets survived",
-                       std::to_string(h.resetsSurvived)});
-        health.addRow({"sampler: watchdog recoveries",
-                       std::to_string(h.watchdogRecoveries)});
-        health.addRow(
+        healthTable.addRow(
+            {"sampler: reopens", std::to_string(h.reopens)});
+        healthTable.addRow({"sampler: resets survived",
+                            std::to_string(h.resetsSurvived)});
+        healthTable.addRow({"sampler: watchdog recoveries",
+                            std::to_string(h.watchdogRecoveries)});
+        healthTable.addRow(
             {"sampler: missed reads", std::to_string(h.missedReads)});
-        health.addRow(
+        healthTable.addRow(
             {"stream: re-baselines", std::to_string(h.streamResets)});
-        health.addRow({"stream: wraps repaired",
-                       std::to_string(h.wrapsRepaired)});
-        health.addRow(
-            {"counters held", std::to_string(h.countersHeld) + "/" +
-                                  std::to_string(
-                                      gpu::kNumSelectedCounters)});
-        health.print("pipeline health");
+        healthTable.addRow({"stream: wraps repaired",
+                            std::to_string(h.wrapsRepaired)});
+        // countersHeld sums over the per-shard devices, so held/total
+        // against one device's register file would mislead here.
+        healthTable.addRow({"counters held (all shards)",
+                            std::to_string(h.countersHeld)});
+        healthTable.print("pipeline health");
     }
 
     int shown = 0;

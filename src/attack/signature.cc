@@ -34,21 +34,31 @@ SignatureModel::addSignature(LabelSignature sig)
 SignatureModel::Match
 SignatureModel::classify(const gpu::CounterVec &delta) const
 {
+    // Hot path (one call per sampled counter change): compare squared
+    // distances and abandon a partial sum once it reaches the current
+    // best — sqrt only the winner. sqrt is monotone and partial sums
+    // of squares never decrease, so the winner (and its tie-break on
+    // declaration order) is identical to the naive scan.
     Match best;
-    best.distance = std::numeric_limits<double>::infinity();
+    double bestSq = std::numeric_limits<double>::infinity();
     for (const LabelSignature &sig : sigs_) {
         double s = 0.0;
-        for (std::size_t d = 0; d < delta.size(); ++d) {
+        std::size_t d = 0;
+        for (; d < delta.size(); ++d) {
             const double diff =
                 double(delta[d] - sig.centroid[d]) * scale_[d];
             s += diff * diff;
+            if (s >= bestSq)
+                break;
         }
-        const double dist = std::sqrt(s);
-        if (dist < best.distance) {
-            best.distance = dist;
+        if (d < delta.size())
+            continue;
+        if (s < bestSq) {
+            bestSq = s;
             best.sig = &sig;
         }
     }
+    best.distance = std::sqrt(bestSq);
     return best;
 }
 
@@ -56,9 +66,11 @@ SignatureModel::Match
 SignatureModel::classifyRobust(const gpu::CounterVec &delta) const
 {
     Match best = classify(delta);
+    gpu::CounterVec scratch{}; // reused across variants, stays on stack
     for (const gpu::CounterVec &blink : blinkVariants_) {
-        using gpu::operator-;
-        const Match m = classify(delta - blink);
+        for (std::size_t d = 0; d < delta.size(); ++d)
+            scratch[d] = delta[d] - blink[d];
+        const Match m = classify(scratch);
         if (m.distance < best.distance)
             best = m;
     }

@@ -1,0 +1,152 @@
+#include "exec/parallel_runner.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "obs/telemetry.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "workload/credential.h"
+
+namespace gpusc::exec {
+
+namespace {
+
+void
+addHealth(attack::HealthStats &into, const attack::HealthStats &from)
+{
+    into.transientRetries += from.transientRetries;
+    into.busyRetries += from.busyRetries;
+    into.reopens += from.reopens;
+    into.resetsSurvived += from.resetsSurvived;
+    into.watchdogRecoveries += from.watchdogRecoveries;
+    into.missedReads += from.missedReads;
+    into.streamResets += from.streamResets;
+    into.wrapsRepaired += from.wrapsRepaired;
+    into.countersHeld += from.countersHeld;
+}
+
+void
+addFaults(kgsl::FaultInjector::Stats &into,
+          const kgsl::FaultInjector::Stats &from)
+{
+    into.transientErrors += from.transientErrors;
+    into.busyDenials += from.busyDenials;
+    into.powerCollapses += from.powerCollapses;
+    into.deviceResets += from.deviceResets;
+}
+
+} // namespace
+
+ParallelRunner::ParallelRunner(eval::ExperimentConfig cfg,
+                               attack::ModelStore &store,
+                               std::size_t threads, ShardPlan plan)
+    : cfg_(std::move(cfg)), store_(store), plan_(plan), pool_(threads)
+{
+    if (plan_.shardSize == 0)
+        plan_.shardSize = 1;
+    if (!cfg_.recordTracePath.empty()) {
+        warn("ParallelRunner: trace recording is serial-only "
+             "(one writer per file); disabling it for '%s'",
+             cfg_.recordTracePath.c_str());
+        cfg_.recordTracePath.clear();
+    }
+    // Pre-train on the calling thread: every shard uses the same
+    // device configuration, so worker-side getOrTrain calls are
+    // guaranteed read-only cache hits.
+    const attack::OfflineTrainer trainer;
+    model_ = &store_.getOrTrain(cfg_.device, trainer);
+}
+
+ParallelResult
+ParallelRunner::runTrials(int n, std::size_t minLen,
+                          std::size_t maxLen)
+{
+    ParallelResult result;
+    if (n <= 0)
+        return result;
+
+    // Trial i's credential is fully determined by (seed, i): one
+    // forked stream draws the length, a second (offset the same way
+    // the serial runner offsets its generator seed) draws the text.
+    std::vector<std::string> creds(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < creds.size(); ++i) {
+        Rng lenRng(forkSeed(cfg_.seed, i));
+        const auto len = std::size_t(lenRng.uniformInt(
+            std::int64_t(minLen), std::int64_t(maxLen)));
+        workload::CredentialGenerator gen(
+            forkSeed(cfg_.seed, i) ^ 0xc0ffee, cfg_.charset);
+        creds[i] = gen.next(len);
+    }
+
+    struct ShardOut
+    {
+        std::vector<eval::TrialResult> trials;
+        attack::HealthStats health{};
+        kgsl::FaultInjector::Stats faults{};
+        std::unique_ptr<obs::Telemetry> telemetry;
+    };
+
+    const std::size_t shardSize = plan_.shardSize;
+    const std::size_t shards =
+        (creds.size() + shardSize - 1) / shardSize;
+    std::vector<ShardOut> outs(shards);
+
+    pool_.parallelFor(shards, [&](std::size_t k) {
+        ShardOut &out = outs[k];
+
+        eval::ExperimentConfig cfg = cfg_;
+        cfg.seed = forkSeed(cfg_.seed, kShardStream | k);
+        if (cfg_.telemetry) {
+            out.telemetry = std::make_unique<obs::Telemetry>();
+            cfg.telemetry = out.telemetry.get();
+        }
+
+        eval::ExperimentRunner runner(cfg, store_);
+        const std::size_t lo = k * shardSize;
+        const std::size_t hi =
+            std::min(lo + shardSize, creds.size());
+        out.trials.reserve(hi - lo);
+        for (std::size_t i = lo; i < hi; ++i)
+            out.trials.push_back(runner.runTrial(creds[i]));
+        out.health = runner.health();
+        if (const kgsl::FaultInjector *inj = runner.faultInjector())
+            out.faults = inj->stats();
+    });
+
+    // Ordered reduction: fold shard 0, 1, 2, ... so stats, trial
+    // order and merged telemetry are scheduling-independent.
+    result.trials.reserve(creds.size());
+    for (ShardOut &out : outs) {
+        for (eval::TrialResult &t : out.trials) {
+            result.stats.add(t.truth, t.inferred);
+            result.trials.push_back(std::move(t));
+        }
+        addHealth(result.health, out.health);
+        addFaults(result.faults, out.faults);
+        if (cfg_.telemetry && out.telemetry)
+            cfg_.telemetry->merge(*out.telemetry);
+    }
+    return result;
+}
+
+std::vector<ReplayOutcome>
+replayFiles(const attack::ModelStore &store,
+            const std::vector<std::string> &paths, ThreadPool &pool,
+            const attack::Eavesdropper::Params &params)
+{
+    std::vector<ReplayOutcome> outcomes(paths.size());
+    pool.parallelFor(paths.size(), [&](std::size_t i) {
+        ReplayOutcome &out = outcomes[i];
+        out.path = paths[i];
+        trace::TraceReplayer replayer(store, params);
+        out.error = replayer.replayFile(paths[i]);
+        out.trials = replayer.trials();
+        out.readings = replayer.readingsReplayed();
+        out.faults = replayer.faultsSeen();
+    });
+    return outcomes;
+}
+
+} // namespace gpusc::exec

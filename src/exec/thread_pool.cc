@@ -1,0 +1,130 @@
+#include "exec/thread_pool.h"
+
+#include <deque>
+#include <utility>
+
+namespace gpusc::exec {
+
+/**
+ * One worker's task deque. Entries are (generation, index): a worker
+ * still draining the tail of a finished batch must not grab entries
+ * a new batch just pushed under a stale function pointer, so pops
+ * only match the generation the worker registered for.
+ */
+struct ThreadPool::Queue
+{
+    std::mutex m;
+    std::deque<std::pair<std::uint64_t, std::size_t>> d;
+};
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads < 2)
+        return; // inline mode: no workers, no queues
+    queues_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        queues_.push_back(std::make_unique<Queue>());
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        const std::lock_guard<std::mutex> lk(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+bool
+ThreadPool::popTask(std::size_t self, std::uint64_t gen,
+                    std::size_t &idx)
+{
+    // Own queue first, from the front (keeps the contiguous block
+    // this worker was dealt in order — good locality for shards).
+    {
+        Queue &q = *queues_[self];
+        const std::lock_guard<std::mutex> lk(q.m);
+        if (!q.d.empty() && q.d.front().first == gen) {
+            idx = q.d.front().second;
+            q.d.pop_front();
+            return true;
+        }
+    }
+    // Steal from the back of the other queues.
+    for (std::size_t off = 1; off < queues_.size(); ++off) {
+        Queue &q = *queues_[(self + off) % queues_.size()];
+        const std::lock_guard<std::mutex> lk(q.m);
+        if (!q.d.empty() && q.d.back().first == gen) {
+            idx = q.d.back().second;
+            q.d.pop_back();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    std::uint64_t gen = 0;
+    for (;;) {
+        const std::function<void(std::size_t)> *fn = nullptr;
+        {
+            std::unique_lock<std::mutex> lk(mutex_);
+            wake_.wait(lk, [&] {
+                return stop_ || (fn_ != nullptr && generation_ != gen);
+            });
+            if (stop_)
+                return;
+            gen = generation_;
+            fn = fn_;
+        }
+        std::size_t idx = 0;
+        while (popTask(self, gen, idx)) {
+            (*fn)(idx);
+            const std::lock_guard<std::mutex> lk(mutex_);
+            if (--remaining_ == 0)
+                done_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty()) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::unique_lock<std::mutex> lk(mutex_);
+    fn_ = &fn;
+    remaining_ = n;
+    ++generation_;
+    const std::uint64_t gen = generation_;
+
+    // Deal contiguous index blocks: worker q gets [next, next+count).
+    const std::size_t w = queues_.size();
+    std::size_t next = 0;
+    for (std::size_t q = 0; q < w; ++q) {
+        const std::size_t count = n / w + (q < n % w ? 1 : 0);
+        const std::lock_guard<std::mutex> ql(queues_[q]->m);
+        for (std::size_t i = 0; i < count; ++i)
+            queues_[q]->d.emplace_back(gen, next++);
+    }
+
+    wake_.notify_all();
+    done_.wait(lk, [&] { return remaining_ == 0; });
+    fn_ = nullptr;
+}
+
+} // namespace gpusc::exec

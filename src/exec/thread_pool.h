@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A small work-stealing thread pool for the parallel evaluation
+ * engine.
+ *
+ * The pool exists to run *indexed* batches: parallelFor(n, fn) calls
+ * fn(0..n-1) exactly once each, distributing contiguous index blocks
+ * across per-worker deques up front and letting idle workers steal
+ * from the far end of their neighbours' queues. Which thread runs
+ * which index is the only thing scheduling decides — callers key all
+ * work (RNG streams, output slots) on the index, so results are
+ * independent of the worker count and of stealing order.
+ *
+ * With fewer than two threads the pool spawns no workers at all and
+ * parallelFor degenerates to a plain in-order loop on the caller's
+ * thread — the deterministic baseline the parallel paths are tested
+ * against.
+ */
+
+#ifndef GPUSC_EXEC_THREAD_POOL_H
+#define GPUSC_EXEC_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpusc::exec {
+
+/** Work-stealing pool running indexed batches to completion. */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; <= 1 means run batches inline. */
+    explicit ThreadPool(std::size_t threads = 1);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Worker threads backing the pool (1 when running inline). */
+    std::size_t
+    size() const
+    {
+        return workers_.empty() ? 1 : workers_.size();
+    }
+
+    /**
+     * Run fn(0) .. fn(n-1), each exactly once, and return when all
+     * have finished. Tasks may run on any worker in any order; they
+     * must not call parallelFor on the same pool (one batch at a
+     * time) and must key any state they touch on their index.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+  private:
+    struct Queue;
+
+    void workerLoop(std::size_t self);
+    bool popTask(std::size_t self, std::uint64_t gen,
+                 std::size_t &idx);
+
+    std::vector<std::unique_ptr<Queue>> queues_;
+    std::vector<std::thread> workers_;
+
+    /** Batch state, all guarded by mutex_. */
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    const std::function<void(std::size_t)> *fn_ = nullptr;
+    std::size_t remaining_ = 0;
+    std::uint64_t generation_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace gpusc::exec
+
+#endif // GPUSC_EXEC_THREAD_POOL_H

@@ -1,7 +1,9 @@
 #include "ml/knn.h"
 
 #include <algorithm>
-#include <map>
+#include <cmath>
+#include <limits>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -17,6 +19,13 @@ void
 Knn::fit(const Dataset &data)
 {
     train_ = data;
+    norms_.resize(train_.size());
+    for (std::size_t i = 0; i < train_.size(); ++i) {
+        double s = 0.0;
+        for (double v : train_.x[i])
+            s += v * v;
+        norms_[i] = std::sqrt(s);
+    }
 }
 
 int
@@ -25,33 +34,68 @@ Knn::predict(const FeatureVec &features) const
     if (train_.size() == 0)
         panic("Knn: predict() before fit()");
 
-    std::vector<std::pair<double, int>> dists;
-    dists.reserve(train_.size());
+    const std::size_t k = std::min(k_, train_.size());
+    // Pruning is only sound when the query lives in the training
+    // space (norms cover the same dimensions the distance sums).
+    const bool prune = features.size() == train_.dims();
+    double queryNorm = 0.0;
+    if (prune) {
+        for (double v : features)
+            queryNorm += v * v;
+        queryNorm = std::sqrt(queryNorm);
+    }
+
+    // The k best (squared distance, label) pairs, kept sorted
+    // ascending by pair order — the same total order the reference
+    // full sort uses, so ties at equal distance resolve identically.
+    std::vector<std::pair<double, int>> best;
+    best.reserve(k);
     for (std::size_t i = 0; i < train_.size(); ++i) {
+        const bool full = best.size() == k;
+        const double worst =
+            full ? best.back().first
+                 : std::numeric_limits<double>::infinity();
+        if (full && prune) {
+            const double gap = queryNorm - norms_[i];
+            if (gap * gap > worst)
+                continue;
+        }
         double s = 0.0;
-        for (std::size_t d = 0; d < features.size(); ++d) {
+        std::size_t d = 0;
+        for (; d < features.size(); ++d) {
             const double diff = features[d] - train_.x[i][d];
             s += diff * diff;
+            if (s > worst)
+                break; // partial sum already past the k-th best
         }
-        dists.emplace_back(s, train_.y[i]);
+        if (d < features.size())
+            continue;
+        const std::pair<double, int> cand(s, train_.y[i]);
+        if (full) {
+            if (!(cand < best.back()))
+                continue;
+            best.pop_back();
+        }
+        best.insert(
+            std::upper_bound(best.begin(), best.end(), cand), cand);
     }
-    const std::size_t k = std::min(k_, dists.size());
-    std::partial_sort(dists.begin(), dists.begin() + std::ptrdiff_t(k),
-                      dists.end());
 
-    std::map<int, std::size_t> votes;
-    for (std::size_t i = 0; i < k; ++i)
-        ++votes[dists[i].second];
-    int best = dists[0].second; // nearest wins ties by iteration below
+    // Majority vote over the sorted k-buffer; the first label to
+    // reach the winning count — i.e. the one with the nearest
+    // representative — takes ties, exactly as the reference does.
+    int bestLabel = best[0].second;
     std::size_t bestVotes = 0;
-    for (std::size_t i = 0; i < k; ++i) {
-        const int label = dists[i].second;
-        if (votes[label] > bestVotes) {
-            bestVotes = votes[label];
-            best = label;
+    for (std::size_t i = 0; i < best.size(); ++i) {
+        const int label = best[i].second;
+        std::size_t votes = 0;
+        for (const auto &p : best)
+            votes += std::size_t(p.second == label);
+        if (votes > bestVotes) {
+            bestVotes = votes;
+            bestLabel = label;
         }
     }
-    return best;
+    return bestLabel;
 }
 
 } // namespace gpusc::ml

@@ -10,7 +10,18 @@
 
 namespace gpusc::ml {
 
-/** Brute-force KNN with majority vote (ties break to nearest). */
+/**
+ * Brute-force KNN with majority vote (ties break to nearest).
+ *
+ * The query path keeps a bounded buffer of the k best (distance,
+ * label) pairs instead of materialising and sorting every training
+ * distance, prunes whole points via precomputed norms (triangle
+ * inequality against the current k-th distance) and abandons a
+ * partial distance sum as soon as it exceeds that bound. Predictions
+ * are identical to the sort-everything reference: pruning only skips
+ * candidates whose full (distance, label) pair orders strictly after
+ * the current k-th.
+ */
 class Knn : public Classifier
 {
   public:
@@ -27,6 +38,8 @@ class Knn : public Classifier
   private:
     std::size_t k_;
     Dataset train_;
+    /** ||x_i|| per training point, for triangle-inequality pruning. */
+    std::vector<double> norms_;
 };
 
 } // namespace gpusc::ml

@@ -29,6 +29,19 @@ NearestCentroid::fit(const Dataset &data)
         centroids_.push_back(std::move(sum));
         labels_.push_back(label);
     }
+    rebuildNorms();
+}
+
+void
+NearestCentroid::rebuildNorms()
+{
+    norms_.resize(centroids_.size());
+    for (std::size_t c = 0; c < centroids_.size(); ++c) {
+        double s = 0.0;
+        for (double v : centroids_[c])
+            s += v * v;
+        norms_[c] = std::sqrt(s);
+    }
 }
 
 NearestCentroid::Match
@@ -36,20 +49,43 @@ NearestCentroid::match(const FeatureVec &features) const
 {
     if (centroids_.empty())
         panic("NearestCentroid: match() before fit()");
+    // Hot path: track the best *squared* distance (one sqrt at the
+    // end), skip whole centroids via the triangle inequality against
+    // the precomputed norms, and abandon a partial sum as soon as it
+    // reaches the current best.
+    const bool prune =
+        !centroids_.empty() && features.size() == centroids_[0].size();
+    double queryNorm = 0.0;
+    if (prune) {
+        for (double v : features)
+            queryNorm += v * v;
+        queryNorm = std::sqrt(queryNorm);
+    }
+
     Match best;
-    best.distance = std::numeric_limits<double>::infinity();
+    double bestSq = std::numeric_limits<double>::infinity();
     for (std::size_t c = 0; c < centroids_.size(); ++c) {
+        if (prune && best.label >= 0) {
+            const double gap = queryNorm - norms_[c];
+            if (gap * gap > bestSq)
+                continue;
+        }
         double s = 0.0;
-        for (std::size_t d = 0; d < features.size(); ++d) {
+        std::size_t d = 0;
+        for (; d < features.size(); ++d) {
             const double diff = features[d] - centroids_[c][d];
             s += diff * diff;
+            if (s >= bestSq)
+                break;
         }
-        const double dist = std::sqrt(s);
-        if (dist < best.distance) {
-            best.distance = dist;
+        if (d < features.size())
+            continue;
+        if (s < bestSq) {
+            bestSq = s;
             best.label = labels_[c];
         }
     }
+    best.distance = std::sqrt(bestSq);
     return best;
 }
 
@@ -68,6 +104,7 @@ NearestCentroid::load(std::vector<FeatureVec> centroids,
               centroids.size(), labels.size());
     centroids_ = std::move(centroids);
     labels_ = std::move(labels);
+    rebuildNorms();
 }
 
 } // namespace gpusc::ml

@@ -41,8 +41,13 @@ class NearestCentroid : public Classifier
     void load(std::vector<FeatureVec> centroids, std::vector<int> labels);
 
   private:
+    /** Refresh the precomputed centroid norms after a state change. */
+    void rebuildNorms();
+
     std::vector<FeatureVec> centroids_;
     std::vector<int> labels_;
+    /** ||c|| per centroid: triangle-inequality pruning in match(). */
+    std::vector<double> norms_;
 };
 
 } // namespace gpusc::ml

@@ -205,6 +205,23 @@ RandomForest::fit(const Dataset &data)
         tree->fit(boot);
         trees_.push_back(std::move(tree));
     }
+
+    // Flatten every tree into one contiguous node array so predict()
+    // streams through a single allocation. Child indices are rebased
+    // by each tree's offset in the flat array.
+    flat_.clear();
+    roots_.clear();
+    for (const auto &tree : trees_) {
+        const int base = int(flat_.size());
+        roots_.push_back(base + tree->root());
+        for (DecisionTree::Node node : tree->nodes()) {
+            if (node.feature >= 0) {
+                node.left += base;
+                node.right += base;
+            }
+            flat_.push_back(node);
+        }
+    }
 }
 
 int
@@ -212,16 +229,34 @@ RandomForest::predict(const FeatureVec &features) const
 {
     if (trees_.empty())
         panic("RandomForest: predict() before fit()");
-    std::map<int, std::size_t> votes;
-    for (const auto &tree : trees_)
-        ++votes[tree->predict(features)];
+
+    // One walk per tree over the flat node array.
+    std::vector<int> labels;
+    labels.reserve(roots_.size());
+    for (int n : roots_) {
+        while (flat_[std::size_t(n)].feature >= 0) {
+            const DecisionTree::Node &node = flat_[std::size_t(n)];
+            n = features[std::size_t(node.feature)] <= node.threshold
+                    ? node.left
+                    : node.right;
+        }
+        labels.push_back(flat_[std::size_t(n)].label);
+    }
+
+    // Majority vote; ties break to the smallest label, matching the
+    // ordered-map reference this replaced.
+    std::sort(labels.begin(), labels.end());
     int best = 0;
     std::size_t bestVotes = 0;
-    for (const auto &[label, n] : votes) {
-        if (n > bestVotes) {
-            bestVotes = n;
-            best = label;
+    for (std::size_t i = 0; i < labels.size();) {
+        std::size_t j = i;
+        while (j < labels.size() && labels[j] == labels[i])
+            ++j;
+        if (j - i > bestVotes) {
+            bestVotes = j - i;
+            best = labels[i];
         }
+        i = j;
     }
     return best;
 }

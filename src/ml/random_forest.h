@@ -38,7 +38,6 @@ class DecisionTree : public Classifier
     /** Depth of the learned tree (diagnostics / tests). */
     std::size_t depth() const;
 
-  private:
     struct Node
     {
         int feature = -1; // -1 => leaf
@@ -48,6 +47,12 @@ class DecisionTree : public Classifier
         int right = -1;
     };
 
+    /** Learned nodes (indices are into this vector). */
+    const std::vector<Node> &nodes() const { return nodes_; }
+    /** Index of the root node, -1 before fit(). */
+    int root() const { return root_; }
+
+  private:
     int build(const Dataset &data, std::vector<std::size_t> &idxs,
               std::size_t depth, Rng &rng);
 
@@ -74,9 +79,24 @@ class RandomForest : public Classifier
     int predict(const FeatureVec &features) const override;
     std::string name() const override { return "RandomForest"; }
 
+    /** The underlying trees (diagnostics / regression tests). */
+    const std::vector<std::unique_ptr<DecisionTree>> &
+    trees() const
+    {
+        return trees_;
+    }
+
   private:
     Params params_;
     std::vector<std::unique_ptr<DecisionTree>> trees_;
+    /**
+     * All trees' nodes flattened into one contiguous array (child
+     * indices rebased into it) plus each tree's root index: predict()
+     * walks this cache-friendly layout instead of chasing one heap
+     * allocation per tree.
+     */
+    std::vector<DecisionTree::Node> flat_;
+    std::vector<int> roots_;
 };
 
 } // namespace gpusc::ml

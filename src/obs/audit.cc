@@ -76,6 +76,23 @@ AuditTrail::record(SimTime time, Stage stage, Decision decision,
     }
 }
 
+void
+AuditTrail::merge(const AuditTrail &other)
+{
+    for (const AuditRecord &r : other.snapshot()) {
+        // Re-record so ring windowing and renumbering follow the
+        // exact single-trail semantics; subtract the count the
+        // re-record adds, then fold in the other's full counts once.
+        record(r.time, r.stage, r.decision, r.label, r.distance);
+        --counts_[std::size_t(r.decision)];
+    }
+    // Records the other trail already evicted still count towards
+    // recorded(), mirroring the counts: only the ring is windowed.
+    seq_ += other.dropped();
+    for (std::size_t d = 0; d < kNumDecisions; ++d)
+        counts_[d] += other.counts_[d];
+}
+
 std::uint64_t
 AuditTrail::changesAudited() const
 {

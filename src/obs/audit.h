@@ -82,6 +82,16 @@ class AuditTrail
     void record(SimTime time, Stage stage, Decision decision,
                 const std::string &label = {}, double distance = 0.0);
 
+    /**
+     * Fold @p other into this trail: decision counts add, and the
+     * other's retained records are appended (oldest first) with
+     * fresh sequence numbers. Counts merge losslessly; record rings
+     * keep the usual most-recent-`capacity` window. The parallel
+     * evaluation engine merges per-shard trails in shard-index
+     * order, so the merged trail is identical for any worker count.
+     */
+    void merge(const AuditTrail &other);
+
     /** Whole-run count of @p d decisions (not bounded by the ring). */
     std::uint64_t count(Decision d) const
     {

@@ -53,6 +53,18 @@ Tracer::record(int tid, SimTime at, std::int64_t hostNs)
     }
 }
 
+void
+Tracer::merge(const Tracer &other)
+{
+    // Remap the other's lane ids into this tracer's stage table.
+    std::vector<int> remap(other.stages_.size());
+    for (std::size_t i = 0; i < other.stages_.size(); ++i)
+        remap[i] = stageId(other.stages_[i]);
+    for (const Span &s : other.snapshot())
+        record(remap[std::size_t(s.tid)], s.at, s.hostNs);
+    seq_ += other.dropped();
+}
+
 std::size_t
 Tracer::size() const
 {

@@ -72,6 +72,15 @@ class Tracer
     /** Record one completed span (overwrites the oldest when full). */
     void record(int tid, SimTime at, std::int64_t hostNs);
 
+    /**
+     * Fold @p other into this tracer: the other's stage names are
+     * interned here (ids remapped) and its retained spans appended,
+     * oldest first, with fresh sequence numbers. Used by the
+     * parallel evaluation engine to collect per-shard tracers in
+     * shard-index order.
+     */
+    void merge(const Tracer &other);
+
     std::size_t capacity() const { return capacity_; }
     /** Spans currently retained (<= capacity). */
     std::size_t size() const;

@@ -49,6 +49,23 @@ class Telemetry
     Tracer tracer;
     AuditTrail audit;
 
+    /**
+     * Fold @p other into this context: counters add, histograms
+     * merge bucket-wise, gauges take the other's latest value,
+     * spans and audit records append with fresh sequence numbers.
+     * The parallel evaluation engine (src/exec/) gives every shard
+     * its own Telemetry and merges them here in shard-index order,
+     * so merged counters, the decision funnel and the audit trail
+     * are bit-identical for any worker count (host-time latency
+     * *values* naturally vary run to run; their counts do not).
+     */
+    void merge(const Telemetry &other)
+    {
+        metrics.merge(other.metrics);
+        tracer.merge(other.tracer);
+        audit.merge(other.audit);
+    }
+
     /** Full metrics snapshot as JSON: registry + funnel + span
      *  accounting, the --metrics-out payload. */
     std::string metricsJson() const;

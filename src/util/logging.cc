@@ -1,16 +1,24 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 namespace gpusc {
 
 namespace {
-bool verboseFlag = true;
+std::atomic<bool> verboseFlag{true};
+/** Serialises sink swaps against emissions from worker threads. */
+std::mutex sinkMutex;
 std::function<void(const LogRecord &)> logSink;
-const void *timeOwner = nullptr;
-std::function<SimTime()> timeSource;
+// The sim-time prefix source is per *thread*: each parallel-eval
+// worker owns its shard's device, so a device registering its clock
+// must never stamp (or race with) messages from another worker's
+// shard. Serial runs see the old single-slot behaviour unchanged.
+thread_local const void *timeOwner = nullptr;
+thread_local std::function<SimTime()> timeSource;
 
 std::string
 vformat(const char *fmt, va_list ap)
@@ -54,14 +62,19 @@ void
 emit(FILE *to, LogRecord::Level level, const char *fmt, va_list ap)
 {
     const LogRecord r = makeRecord(level, fmt, ap);
-    if (logSink) {
-        logSink(r);
-        // Aborting levels still echo so a dying process leaves a
-        // visible last word even under a capturing sink.
-        if (level == LogRecord::Level::Fatal ||
-            level == LogRecord::Level::Panic)
-            printRecord(stderr, r);
-        return;
+    {
+        // One record reaches the sink at a time, and a sink being
+        // swapped can never be invoked mid-swap.
+        const std::lock_guard<std::mutex> lock(sinkMutex);
+        if (logSink) {
+            logSink(r);
+            // Aborting levels still echo so a dying process leaves a
+            // visible last word even under a capturing sink.
+            if (level == LogRecord::Level::Fatal ||
+                level == LogRecord::Level::Panic)
+                printRecord(stderr, r);
+            return;
+        }
     }
     printRecord(to, r);
 }
@@ -89,6 +102,7 @@ bool verbose() { return verboseFlag; }
 void
 setLogSink(std::function<void(const LogRecord &)> sink)
 {
+    const std::lock_guard<std::mutex> lock(sinkMutex);
     logSink = std::move(sink);
 }
 

@@ -62,6 +62,10 @@ void setLogSink(std::function<void(const LogRecord &)> sink);
  * tagged with its owning object. Passing a null @p fn unregisters,
  * but only when @p owner is the current registrant — so a device
  * destroyed out of order cannot strip a newer device's clock.
+ *
+ * The registration is per *thread*: a parallel-eval worker's device
+ * stamps only the messages emitted from that worker, and never races
+ * with devices owned by other threads.
  */
 void setLogTimeSource(const void *owner, std::function<SimTime()> fn);
 

@@ -26,6 +26,17 @@ rotl(std::uint64_t x, int k)
 
 } // namespace
 
+std::uint64_t
+forkSeed(std::uint64_t master, std::uint64_t index)
+{
+    // Two splitmix64 rounds over a golden-gamma spaced combination:
+    // adjacent indices land far apart in the master's stream space.
+    std::uint64_t x =
+        master ^ (index + 1) * 0x9e3779b97f4a7c15ULL;
+    const std::uint64_t a = splitmix64(x);
+    return splitmix64(x) ^ a;
+}
+
 Rng::Rng(std::uint64_t seed)
 {
     std::uint64_t x = seed;

@@ -16,6 +16,19 @@
 
 namespace gpusc {
 
+/**
+ * Derive the seed of an independent child stream from a master seed
+ * and a stream index (splitmix64-style finalisation over both).
+ *
+ * This is the seeding function of the parallel evaluation engine
+ * (src/exec/): stream @p index is a *logical* identity — a trial or
+ * shard number — never a thread id, so the derived stream depends
+ * only on (master, index) and results are identical for any worker
+ * count. Distinct indices give statistically independent streams;
+ * the same pair always gives the same stream.
+ */
+std::uint64_t forkSeed(std::uint64_t master, std::uint64_t index);
+
 /** Deterministic random number generator (xoshiro256**). */
 class Rng
 {

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Correctness and stress tests for the work-stealing ThreadPool.
+ * The stress cases double as the ThreadSanitizer targets (the CI
+ * thread-sanitize job builds this binary with -fsanitize=thread).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+namespace gpusc::exec {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(8);
+    EXPECT_EQ(pool.size(), 8u);
+
+    const std::size_t n = 500;
+    // Distinct tasks write distinct slots, so plain ints suffice —
+    // TSan would flag any double execution of an index as a race.
+    std::vector<int> hits(n, 0);
+    pool.parallelFor(n, [&](std::size_t i) { hits[i] += 1; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, InlineModeRunsInOrderOnCallerThread)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 1u);
+
+    std::vector<std::size_t> order;
+    pool.parallelFor(6, [&](std::size_t i) { order.push_back(i); });
+    const std::vector<std::size_t> expect{0, 1, 2, 3, 4, 5};
+    EXPECT_EQ(order, expect);
+}
+
+TEST(ThreadPoolTest, ZeroAndTinyBatchesComplete)
+{
+    ThreadPool pool(4);
+    pool.parallelFor(0, [](std::size_t) { FAIL() << "no tasks"; });
+
+    std::atomic<std::size_t> ran{0};
+    pool.parallelFor(1, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 1u);
+
+    // Fewer tasks than workers: the idle workers must not wedge the
+    // batch.
+    pool.parallelFor(2, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 3u);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossBatches)
+{
+    ThreadPool pool(4);
+    std::atomic<std::size_t> total{0};
+    std::size_t expected = 0;
+    // Varying batch sizes exercise the generation fencing that keeps
+    // a worker draining batch g from touching batch g+1's tasks.
+    for (std::size_t batch = 0; batch < 50; ++batch) {
+        const std::size_t n = (batch * 7) % 23;
+        expected += n;
+        pool.parallelFor(n,
+                         [&](std::size_t) { total.fetch_add(1); });
+    }
+    EXPECT_EQ(total.load(), expected);
+}
+
+TEST(ThreadPoolTest, UnevenWorkIsStolenAndCompleted)
+{
+    ThreadPool pool(8);
+    const std::size_t n = 64;
+    std::vector<std::uint64_t> out(n, 0);
+    // Work grows steeply with the index, so the workers dealt the
+    // tail blocks finish last and the rest must steal to keep busy.
+    pool.parallelFor(n, [&](std::size_t i) {
+        std::uint64_t acc = 1;
+        for (std::size_t j = 0; j < (i + 1) * 2000; ++j)
+            acc = acc * 6364136223846793005ULL + i;
+        out[i] = acc | 1; // never zero
+    });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NE(out[i], 0u) << "index " << i;
+}
+
+TEST(ThreadPoolTest, StressManySmallBatches)
+{
+    ThreadPool pool(8);
+    std::atomic<std::uint64_t> total{0};
+    for (std::size_t batch = 0; batch < 300; ++batch)
+        pool.parallelFor(32, [&](std::size_t i) {
+            total.fetch_add(i + 1);
+        });
+    // 300 * (1 + 2 + ... + 32)
+    EXPECT_EQ(total.load(), 300u * (32u * 33u / 2u));
+}
+
+} // namespace
+} // namespace gpusc::exec

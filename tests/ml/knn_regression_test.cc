@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Regression tests pinning the optimised classifier hot paths
+ * (bounded-heap KNN with norm pruning, early-exit NearestCentroid,
+ * flattened RandomForest, early-exit SignatureModel::classify) to
+ * straightforward reference implementations of the code they
+ * replaced. The optimisations only skip work that provably cannot
+ * change the answer, so every prediction — including tie-breaks on
+ * exactly equal distances — must match bit for bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "attack/signature.h"
+#include "ml/knn.h"
+#include "ml/nearest_centroid.h"
+#include "ml/random_forest.h"
+#include "util/rng.h"
+
+namespace gpusc::ml {
+namespace {
+
+/** The old Knn::predict: materialise every distance, partial-sort,
+ *  vote over an ordered map with strict-> tie-break. */
+int
+refKnnPredict(const Dataset &train, std::size_t k,
+              const FeatureVec &q)
+{
+    std::vector<std::pair<double, int>> dists;
+    dists.reserve(train.size());
+    for (std::size_t i = 0; i < train.size(); ++i) {
+        double s = 0.0;
+        for (std::size_t d = 0; d < q.size(); ++d) {
+            const double diff = q[d] - train.x[i][d];
+            s += diff * diff;
+        }
+        dists.emplace_back(std::sqrt(s), train.y[i]);
+    }
+    const std::size_t kk = std::min(k, dists.size());
+    std::partial_sort(dists.begin(),
+                      dists.begin() + std::ptrdiff_t(kk),
+                      dists.end());
+    std::map<int, std::size_t> votes;
+    for (std::size_t i = 0; i < kk; ++i)
+        ++votes[dists[i].second];
+    int best = dists[0].second;
+    std::size_t bestVotes = 0;
+    for (std::size_t i = 0; i < kk; ++i) {
+        const int label = dists[i].second;
+        if (votes[label] > bestVotes) {
+            bestVotes = votes[label];
+            best = label;
+        }
+    }
+    return best;
+}
+
+/** The old NearestCentroid::match: full sqrt distance per centroid,
+ *  strict-< winner. */
+NearestCentroid::Match
+refCentroidMatch(const std::vector<FeatureVec> &centroids,
+                 const std::vector<int> &labels, const FeatureVec &q)
+{
+    NearestCentroid::Match best;
+    best.distance = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < centroids.size(); ++c) {
+        double s = 0.0;
+        for (std::size_t d = 0; d < q.size(); ++d) {
+            const double diff = q[d] - centroids[c][d];
+            s += diff * diff;
+        }
+        const double dist = std::sqrt(s);
+        if (dist < best.distance) {
+            best.distance = dist;
+            best.label = labels[c];
+        }
+    }
+    return best;
+}
+
+/** Vote over per-tree predictions the way the old ordered-map loop
+ *  did (smallest label wins ties). */
+int
+refForestVote(const RandomForest &forest, const FeatureVec &q)
+{
+    std::map<int, std::size_t> votes;
+    for (const auto &tree : forest.trees())
+        ++votes[tree->predict(q)];
+    int best = 0;
+    std::size_t bestVotes = 0;
+    for (const auto &[label, n] : votes) {
+        if (n > bestVotes) {
+            bestVotes = n;
+            best = label;
+        }
+    }
+    return best;
+}
+
+/** Continuous-feature dataset (generic position). */
+Dataset
+randomDataset(Rng &rng, std::size_t n, std::size_t dims, int classes)
+{
+    Dataset data;
+    for (std::size_t i = 0; i < n; ++i) {
+        FeatureVec v(dims);
+        const int label = int(rng.uniformInt(0, classes - 1));
+        for (double &x : v)
+            x = rng.uniform(-4.0, 4.0) + label;
+        data.add(std::move(v), label);
+    }
+    return data;
+}
+
+/** Small-integer features: duplicate points and exactly equal
+ *  distances are common, stressing the tie-break paths. */
+Dataset
+integerDataset(Rng &rng, std::size_t n, std::size_t dims, int classes)
+{
+    Dataset data;
+    for (std::size_t i = 0; i < n; ++i) {
+        FeatureVec v(dims);
+        for (double &x : v)
+            x = double(rng.uniformInt(0, 2));
+        data.add(std::move(v), int(rng.uniformInt(0, classes - 1)));
+    }
+    return data;
+}
+
+FeatureVec
+randomQuery(Rng &rng, std::size_t dims, bool integer)
+{
+    FeatureVec q(dims);
+    for (double &x : q)
+        x = integer ? double(rng.uniformInt(0, 2))
+                    : rng.uniform(-5.0, 5.0);
+    return q;
+}
+
+TEST(KnnRegressionTest, MatchesFullSortReference)
+{
+    Rng rng(90210);
+    for (const bool integer : {false, true}) {
+        const Dataset data =
+            integer ? integerDataset(rng, 60, 4, 4)
+                    : randomDataset(rng, 60, 6, 5);
+        for (const std::size_t k : {1u, 3u, 5u, 100u}) {
+            Knn knn(k);
+            knn.fit(data);
+            for (int t = 0; t < 80; ++t) {
+                const FeatureVec q =
+                    randomQuery(rng, data.dims(), integer);
+                EXPECT_EQ(knn.predict(q),
+                          refKnnPredict(data, k, q))
+                    << "k=" << k << " integer=" << integer
+                    << " query " << t;
+            }
+        }
+    }
+}
+
+TEST(KnnRegressionTest, HandlesTrainingPointsAsQueries)
+{
+    // Zero distances exercise the earliest possible early-exit.
+    Rng rng(90211);
+    const Dataset data = integerDataset(rng, 40, 3, 3);
+    Knn knn(3);
+    knn.fit(data);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        EXPECT_EQ(knn.predict(data.x[i]),
+                  refKnnPredict(data, 3, data.x[i]))
+            << "training point " << i;
+}
+
+TEST(NearestCentroidRegressionTest, MatchesNaiveReference)
+{
+    Rng rng(90212);
+    for (const bool integer : {false, true}) {
+        const Dataset data =
+            integer ? integerDataset(rng, 50, 4, 6)
+                    : randomDataset(rng, 50, 6, 6);
+        NearestCentroid nc;
+        nc.fit(data);
+        for (int t = 0; t < 100; ++t) {
+            const FeatureVec q =
+                randomQuery(rng, data.dims(), integer);
+            const NearestCentroid::Match got = nc.match(q);
+            const NearestCentroid::Match want =
+                refCentroidMatch(nc.centroids(), nc.labels(), q);
+            EXPECT_EQ(got.label, want.label) << "query " << t;
+            EXPECT_EQ(got.distance, want.distance) << "query " << t;
+        }
+    }
+}
+
+TEST(NearestCentroidRegressionTest, LoadRebuildsThePrunedPath)
+{
+    Rng rng(90213);
+    const Dataset data = randomDataset(rng, 30, 5, 4);
+    NearestCentroid fitted;
+    fitted.fit(data);
+
+    NearestCentroid loaded;
+    loaded.load(fitted.centroids(), fitted.labels());
+    for (int t = 0; t < 50; ++t) {
+        const FeatureVec q = randomQuery(rng, data.dims(), false);
+        EXPECT_EQ(loaded.match(q).label, fitted.match(q).label);
+        EXPECT_EQ(loaded.match(q).distance, fitted.match(q).distance);
+    }
+}
+
+TEST(RandomForestRegressionTest, FlatWalkMatchesPerTreeVote)
+{
+    Rng rng(90214);
+    const Dataset data = randomDataset(rng, 80, 5, 4);
+    RandomForest forest;
+    forest.fit(data);
+    ASSERT_FALSE(forest.trees().empty());
+    for (int t = 0; t < 100; ++t) {
+        const FeatureVec q = randomQuery(rng, data.dims(), false);
+        EXPECT_EQ(forest.predict(q), refForestVote(forest, q))
+            << "query " << t;
+    }
+}
+
+TEST(SignatureRegressionTest, ClassifyMatchesNaiveScan)
+{
+    using attack::LabelSignature;
+    using attack::SignatureModel;
+
+    Rng rng(90215);
+    SignatureModel model;
+    std::array<double, gpu::kNumSelectedCounters> scale{};
+    for (double &s : scale)
+        s = rng.uniform(0.001, 0.01);
+    model.setScale(scale);
+    for (int i = 0; i < 40; ++i) {
+        LabelSignature sig;
+        sig.label = std::string(1, char('a' + i % 26));
+        for (std::int64_t &v : sig.centroid)
+            v = rng.uniformInt(0, 400);
+        model.addSignature(sig);
+    }
+
+    for (int t = 0; t < 200; ++t) {
+        gpu::CounterVec delta{};
+        for (std::int64_t &v : delta)
+            v = rng.uniformInt(0, 400);
+
+        // Naive scan: full scaled distance per signature, strict <.
+        const LabelSignature *wantSig = nullptr;
+        double wantDist = std::numeric_limits<double>::infinity();
+        for (const LabelSignature &sig : model.signatures()) {
+            double s = 0.0;
+            for (std::size_t d = 0; d < delta.size(); ++d) {
+                const double diff =
+                    double(delta[d] - sig.centroid[d]) * scale[d];
+                s += diff * diff;
+            }
+            if (std::sqrt(s) < wantDist) {
+                wantDist = std::sqrt(s);
+                wantSig = &sig;
+            }
+        }
+
+        const SignatureModel::Match got = model.classify(delta);
+        EXPECT_EQ(got.sig, wantSig) << "query " << t;
+        EXPECT_EQ(got.distance, wantDist) << "query " << t;
+    }
+}
+
+} // namespace
+} // namespace gpusc::ml
