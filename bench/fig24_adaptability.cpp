@@ -4,6 +4,15 @@
  * keep accuracy stable across (a) Adreno GPU generations, (b) screen
  * resolutions, (c) phone models sharing a GPU, and (d) Android OS
  * versions.
+ *
+ * Besides the aligned tables, emits one JSON object on stdout and
+ * mirrors it to BENCH_adaptability.json so the adaptability claim
+ * has a machine-tracked baseline:
+ *
+ *   {"bench": "fig24_adaptability", "trials": ...,
+ *    "gpu": [{"key": "540/lgv30", "text_acc": ..., "char_acc": ...},
+ *            ...],
+ *    "resolution": [...], "phone": [...], "os": [...]}
  */
 
 #include <cstdio>
@@ -27,9 +36,31 @@ main(int argc, char **argv)
         return bench::accuracyCell(cfg, trials);
     };
 
+    std::string json = "{\"bench\": \"fig24_adaptability\", "
+                       "\"trials\": " +
+                       std::to_string(trials) + ", ";
+    char buf[160];
+    bool firstEntry = true;
+    auto jsonSection = [&](const char *name) {
+        json += firstEntry ? "" : "], ";
+        json += std::string("\"") + name + "\": [";
+        firstEntry = true;
+    };
+    auto jsonEntry = [&](const std::string &key,
+                         const eval::AccuracyStats &stats) {
+        std::snprintf(buf, sizeof buf,
+                      "%s{\"key\": \"%s\", \"text_acc\": %.4f, "
+                      "\"char_acc\": %.4f}",
+                      firstEntry ? "" : ", ", key.c_str(),
+                      stats.textAccuracy(), stats.charAccuracy());
+        json += buf;
+        firstEntry = false;
+    };
+
     // (a) GPU models.
     Table gpuTable({"Adreno GPU", "phone", "text accuracy",
                     "key-press accuracy"});
+    jsonSection("gpu");
     const std::pair<int, const char *> gpus[] = {
         {540, "lgv30"},
         {640, "oneplus7pro"},
@@ -44,12 +75,14 @@ main(int argc, char **argv)
         gpuTable.addRow({std::to_string(gen), phone,
                          Table::pct(stats.textAccuracy()),
                          Table::pct(stats.charAccuracy())});
+        jsonEntry(std::to_string(gen) + "/" + phone, stats);
     }
     gpuTable.print("(a) different GPU models");
 
     // (b) Screen resolutions (OnePlus 8 Pro supports both).
     Table resTable(
         {"resolution", "text accuracy", "key-press accuracy"});
+    jsonSection("resolution");
     for (const char *res : {"FHD+", "QHD+"}) {
         eval::ExperimentConfig cfg;
         cfg.device.resolution = res;
@@ -57,12 +90,14 @@ main(int argc, char **argv)
         const auto stats = cell(cfg);
         resTable.addRow({res, Table::pct(stats.textAccuracy()),
                          Table::pct(stats.charAccuracy())});
+        jsonEntry(res, stats);
     }
     resTable.print("\n(b) different screen resolutions");
 
     // (c) Phone models sharing a GPU.
     Table phoneTable({"phone", "GPU", "text accuracy",
                       "key-press accuracy"});
+    jsonSection("phone");
     for (const char *phone : {"lgv30", "pixel2", "oneplus9", "s21"}) {
         eval::ExperimentConfig cfg;
         cfg.device.phone = phone;
@@ -73,6 +108,7 @@ main(int argc, char **argv)
              std::to_string(android::phoneSpec(phone).adrenoGen),
              Table::pct(stats.textAccuracy()),
              Table::pct(stats.charAccuracy())});
+        jsonEntry(phone, stats);
     }
     phoneTable.print("\n(c) phone models with the same GPU");
 
@@ -80,6 +116,7 @@ main(int argc, char **argv)
     // keyboard, so each version has its own model).
     Table osTable(
         {"Android", "text accuracy", "key-press accuracy"});
+    jsonSection("os");
     for (int os : {8, 9, 10, 11}) {
         eval::ExperimentConfig cfg;
         cfg.device.osVersion = os;
@@ -88,10 +125,21 @@ main(int argc, char **argv)
         osTable.addRow({std::to_string(os),
                         Table::pct(stats.textAccuracy()),
                         Table::pct(stats.charAccuracy())});
+        jsonEntry(std::to_string(os), stats);
     }
     osTable.print("\n(d) different Android OS versions");
+    json += "]}";
 
     std::printf("\nPaper: preloaded per-configuration models keep "
-                "accuracy similar across all of these axes.\n");
+                "accuracy similar across all of these axes.\n\n");
+    std::printf("%s\n", json.c_str());
+    std::FILE *f = std::fopen("BENCH_adaptability.json", "w");
+    if (f) {
+        std::fprintf(f, "%s\n", json.c_str());
+        std::fclose(f);
+    } else {
+        warn("fig24_adaptability: cannot write "
+             "BENCH_adaptability.json");
+    }
     return 0;
 }

@@ -316,6 +316,9 @@ Eavesdropper::onChange(const PcChange &c)
                            : obs::Decision::AcceptedKey,
             key->label, key->distance);
 
+    if (acceptListener_)
+        acceptListener_(*key);
+
     if (isPageLabel(key->label)) {
         events_.push_back({StolenEvent::Kind::Page, 0, key->time});
         if (pagesCtr_)

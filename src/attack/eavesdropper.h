@@ -113,6 +113,18 @@ class Eavesdropper
     void setWakeupJitter(std::function<SimTime()> fn);
 
     /**
+     * Observe every inferred key that survives app-switch
+     * suppression, i.e. exactly the presses that enter events().
+     * Streaming ingest uses this to drive online template adaptation
+     * (stream::TemplateUpdater); observational — attaching a listener
+     * never changes the inferred output.
+     */
+    void setAcceptListener(std::function<void(const InferredKey &)> fn)
+    {
+        acceptListener_ = std::move(fn);
+    }
+
+    /**
      * Push lazily-accumulated telemetry (the reading count, batched
      * off the per-reading hot path) into the metric registry. Called
      * automatically on stop() and destruction; replay tooling calls
@@ -202,6 +214,7 @@ class Eavesdropper
     std::unique_ptr<OnlineInference> inference_;
     AppSwitchDetector switchDetector_;
     std::unique_ptr<CorrectionTracker> correction_;
+    std::function<void(const InferredKey &)> acceptListener_;
     std::vector<StolenEvent> events_;
     Samples latencies_;
     std::vector<PcChange> recognitionBuffer_;

@@ -48,8 +48,9 @@ OnlineInference::onChange(const PcChange &change)
     // Step 1: direct classification. (The classify stage's host
     // latency is recorded by the Eavesdropper, which times every
     // change anyway — no clock reads here.)
+    gpu::CounterVec effective{};
     const SignatureModel::Match direct =
-        model_.classifyRobust(change.delta);
+        model_.classifyRobust(change.delta, &effective);
     if (direct.accepted(model_.threshold())) {
         lastInferred_ = change.time;
         prevUnmatched_.reset();
@@ -57,7 +58,7 @@ OnlineInference::onChange(const PcChange &change)
         if (acceptedCtr_)
             acceptedCtr_->inc();
         return InferredKey{direct.sig->label, change.time,
-                           direct.distance};
+                           direct.distance, false, effective};
     }
 
     // Step 2: split repair — the GPU was mid-frame at the previous
@@ -68,7 +69,8 @@ OnlineInference::onChange(const PcChange &change)
         using gpu::operator+;
         const gpu::CounterVec combined =
             prevUnmatched_->delta + change.delta;
-        const SignatureModel::Match m = model_.classifyRobust(combined);
+        const SignatureModel::Match m =
+            model_.classifyRobust(combined, &effective);
         if (m.accepted(model_.threshold())) {
             const SimTime at = prevUnmatched_->time;
             lastInferred_ = change.time;
@@ -79,7 +81,8 @@ OnlineInference::onChange(const PcChange &change)
                 acceptedCtr_->inc();
                 splitCombinesCtr_->inc();
             }
-            return InferredKey{m.sig->label, at, m.distance, true};
+            return InferredKey{m.sig->label, at, m.distance, true,
+                               effective};
         }
     }
 

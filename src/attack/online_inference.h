@@ -36,6 +36,13 @@ struct InferredKey
     double distance = 0.0;
     /** True when split repair (step 2) produced this key. */
     bool fromSplit = false;
+    /**
+     * The counter delta that matched the centroid: the raw change,
+     * the blink-subtracted variant, or the split-combined sum —
+     * whichever classifyRobust actually accepted. This is the vector
+     * online template adaptation blends back into the signature.
+     */
+    gpu::CounterVec delta{};
 };
 
 /** Online classification state machine (Algorithm 1). */

@@ -1,5 +1,6 @@
 #include "attack/signature.h"
 
+#include <algorithm>
 #include <cmath>
 #include <optional>
 #include <cstring>
@@ -63,18 +64,49 @@ SignatureModel::classify(const gpu::CounterVec &delta) const
 }
 
 SignatureModel::Match
-SignatureModel::classifyRobust(const gpu::CounterVec &delta) const
+SignatureModel::classifyRobust(const gpu::CounterVec &delta,
+                               gpu::CounterVec *effectiveOut) const
 {
     Match best = classify(delta);
+    if (effectiveOut)
+        *effectiveOut = delta;
     gpu::CounterVec scratch{}; // reused across variants, stays on stack
     for (const gpu::CounterVec &blink : blinkVariants_) {
         for (std::size_t d = 0; d < delta.size(); ++d)
             scratch[d] = delta[d] - blink[d];
         const Match m = classify(scratch);
-        if (m.distance < best.distance)
+        if (m.distance < best.distance) {
             best = m;
+            if (effectiveOut)
+                *effectiveOut = scratch;
+        }
     }
     return best;
+}
+
+bool
+SignatureModel::updateSignature(const Label &label,
+                                const gpu::CounterVec &delta,
+                                double blend)
+{
+    if (!(blend > 0.0) || blend > 1.0)
+        return false;
+    for (LabelSignature &sig : sigs_) {
+        if (sig.label != label)
+            continue;
+        for (std::size_t d = 0; d < sig.centroid.size(); ++d) {
+            const double mixed =
+                (1.0 - blend) * double(sig.centroid[d]) +
+                blend * double(delta[d]);
+            std::int64_t v = std::llround(mixed);
+            // Serialisation stores centroids as i32; an adapted model
+            // must stay storable byte-for-byte.
+            v = std::clamp<std::int64_t>(v, INT32_MIN, INT32_MAX);
+            sig.centroid[d] = v;
+        }
+        return true;
+    }
+    return false;
 }
 
 std::optional<Label>

@@ -65,8 +65,20 @@ class SignatureModel
      * tries delta minus each trained blink variant and returns the
      * best match. This is how the online phase tolerates a popup
      * render that shared its sampling window with a blink redraw.
+     *
+     * When @p effectiveOut is non-null it receives the variant that
+     * actually matched — @p delta itself, or delta minus the winning
+     * blink vector — i.e. the popup render's own contribution. Online
+     * template adaptation (stream::TemplateUpdater) blends *this*
+     * vector back into the centroid, never the blink-contaminated
+     * raw delta.
      */
-    Match classifyRobust(const gpu::CounterVec &delta) const;
+    Match classifyRobust(const gpu::CounterVec &delta,
+                         gpu::CounterVec *effectiveOut) const;
+    Match classifyRobust(const gpu::CounterVec &delta) const
+    {
+        return classifyRobust(delta, nullptr);
+    }
 
     /** Trained cursor-blink redraw variants (per tile alignment). */
     const std::vector<gpu::CounterVec> &blinkVariants() const
@@ -135,6 +147,22 @@ class SignatureModel
         scale_ = s;
     }
     void addSignature(LabelSignature sig);
+
+    /**
+     * Online template adaptation (the enrollment/match/update loop):
+     * fold an observed high-confidence delta back into @p label's
+     * centroid with an exponential blend,
+     *
+     *   centroid' = round((1 - blend) * centroid + blend * delta)
+     *
+     * per dimension (llround, so the update is bit-deterministic and
+     * order-deterministic for a given observation sequence). Keeps
+     * the centroid within the serialisable 32-bit range. @return
+     * false (and changes nothing) if the label is not trained or
+     * @p blend is outside (0, 1].
+     */
+    bool updateSignature(const Label &label,
+                         const gpu::CounterVec &delta, double blend);
 
     /** Serialised size in bytes (the Fig.-26-adjacent 3.59 kB claim). */
     std::size_t byteSize() const;

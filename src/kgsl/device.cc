@@ -13,8 +13,10 @@ KgslDevice::KgslDevice(gpu::RenderEngine &engine,
 int
 KgslDevice::open(const ProcessContext &proc)
 {
-    if (!policy_->allowOpen(proc))
+    if (!policy_->allowOpen(proc)) {
+        notePolicyDenial(proc, "open");
         return -KGSL_EACCES;
+    }
     const int fd = nextFd_++;
     OpenFile file{proc, {}};
     // A descriptor belongs to the reset epoch it was opened in; after
@@ -138,14 +140,32 @@ KgslDevice::doPerfcounterRead(OpenFile &file, kgsl_perfcounter_read *arg)
 void
 KgslDevice::setTelemetry(obs::Telemetry *tel)
 {
+    telemetry_ = tel;
     if (!tel) {
         ioctlTimer_ = obs::StageTimer();
-        ioctlCallsCtr_ = ioctlErrorsCtr_ = nullptr;
+        ioctlCallsCtr_ = ioctlErrorsCtr_ = policyDenialsCtr_ = nullptr;
         return;
     }
     ioctlTimer_ = obs::StageTimer(tel, "kgsl.ioctl");
     ioctlCallsCtr_ = &tel->metrics.counter("kgsl.ioctl.calls");
     ioctlErrorsCtr_ = &tel->metrics.counter("kgsl.ioctl.errors");
+    policyDenialsCtr_ = &tel->metrics.counter("kgsl.policy_denials");
+}
+
+void
+KgslDevice::notePolicyDenial(const ProcessContext &proc,
+                             const char *what)
+{
+    ++policyDenials_;
+    if (!telemetry_)
+        return;
+    policyDenialsCtr_->inc();
+    // The denied verb and the caller's SELinux domain make defended
+    // runs auditable: the label reads e.g. "perfcounter-get
+    // untrusted_app".
+    telemetry_->audit.record(engine_.clock().now(), obs::Stage::Kgsl,
+                             obs::Decision::PolicyDenied,
+                             std::string(what) + " " + proc.seContext);
 }
 
 int
@@ -181,8 +201,17 @@ KgslDevice::ioctlDispatch(int fd, unsigned long request, void *arg)
     }
     if (file.stale)
         return -KGSL_ENODEV;
-    if (!policy_->allowIoctl(file.proc, request))
+    if (!policy_->allowIoctl(file.proc, request)) {
+        notePolicyDenial(file.proc,
+                         request == IOCTL_KGSL_PERFCOUNTER_GET
+                             ? "perfcounter-get"
+                         : request == IOCTL_KGSL_PERFCOUNTER_PUT
+                             ? "perfcounter-put"
+                         : request == IOCTL_KGSL_PERFCOUNTER_READ
+                             ? "perfcounter-read"
+                             : "ioctl");
         return -KGSL_EPERM;
+    }
     if (injector_ && (request == IOCTL_KGSL_PERFCOUNTER_GET ||
                       request == IOCTL_KGSL_PERFCOUNTER_READ))
         // PUT is exempt: cleanup must stay reliable or every failure

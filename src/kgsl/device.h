@@ -83,10 +83,17 @@ class KgslDevice
 
     /**
      * Attach a telemetry context: every ioctl round-trip becomes a
-     * `kgsl.ioctl` span plus call/error counters. Observational
-     * only — returned errnos and counter values are unchanged.
+     * `kgsl.ioctl` span plus call/error counters, and every security
+     * policy refusal (open or ioctl) a `kgsl.policy_denials` count
+     * plus an audit record (Stage::Kgsl, Decision::PolicyDenied) — so
+     * defended runs are as observable as undefended ones.
+     * Observational only — returned errnos and counter values are
+     * unchanged.
      */
     void setTelemetry(obs::Telemetry *tel);
+
+    /** Policy refusals observed (independent of telemetry). */
+    std::uint64_t policyDenialCount() const { return policyDenials_; }
 
     /** Currently open descriptors (fd-leak regression tests). */
     std::size_t openFileCount() const { return files_.size(); }
@@ -106,6 +113,8 @@ class KgslDevice
     };
 
     int ioctlDispatch(int fd, unsigned long request, void *arg);
+    void notePolicyDenial(const ProcessContext &proc,
+                          const char *what);
     int doPerfcounterGet(OpenFile &file, kgsl_perfcounter_get *arg);
     int doPerfcounterPut(OpenFile &file, kgsl_perfcounter_put *arg);
     int doPerfcounterRead(OpenFile &file, kgsl_perfcounter_read *arg);
@@ -119,9 +128,12 @@ class KgslDevice
     int nextFd_ = 3;
     std::map<int, OpenFile> files_;
     std::uint64_t ioctlCount_ = 0;
+    std::uint64_t policyDenials_ = 0;
+    obs::Telemetry *telemetry_ = nullptr;
     obs::StageTimer ioctlTimer_;
     obs::Counter *ioctlCallsCtr_ = nullptr;
     obs::Counter *ioctlErrorsCtr_ = nullptr;
+    obs::Counter *policyDenialsCtr_ = nullptr;
 };
 
 /**

@@ -19,6 +19,10 @@ stageName(Stage s)
         return "inference";
       case Stage::Eavesdropper:
         return "eavesdropper";
+      case Stage::Kgsl:
+        return "kgsl";
+      case Stage::Ingest:
+        return "ingest";
     }
     return "?";
 }
@@ -43,6 +47,16 @@ decisionName(Decision d)
         return "sampler-suspended";
       case Decision::SamplerRecovered:
         return "sampler-recovered";
+      case Decision::PolicyDenied:
+        return "policy-denied";
+      case Decision::ShedOldestDrop:
+        return "shed-oldest";
+      case Decision::ShedNewestDrop:
+        return "shed-newest";
+      case Decision::SessionEvicted:
+        return "session-evicted";
+      case Decision::TemplateUpdated:
+        return "template-updated";
     }
     return "?";
 }
@@ -165,6 +179,11 @@ AuditTrail::funnelJson() const
         {"discontinuity_dropped", Decision::DiscontinuityDropped},
         {"sampler_suspensions", Decision::SamplerSuspended},
         {"sampler_recoveries", Decision::SamplerRecovered},
+        {"policy_denials", Decision::PolicyDenied},
+        {"shed_oldest", Decision::ShedOldestDrop},
+        {"shed_newest", Decision::ShedNewestDrop},
+        {"sessions_evicted", Decision::SessionEvicted},
+        {"template_updates", Decision::TemplateUpdated},
     };
     for (const auto &row : rows) {
         out += ", ";

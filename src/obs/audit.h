@@ -13,10 +13,13 @@
  *   changes in == accepted + split-repaired + duplication
  *               + noise + suppressed
  *
- * Reading-level events (discontinuity-dropped re-baselines) and
- * sampler lifecycle events (suspended / recovered) are recorded in
- * the same trail under their own stages but do not enter the change
- * funnel. Decision *counts* cover the whole run; the record ring
+ * Reading-level events (discontinuity-dropped re-baselines), sampler
+ * lifecycle events (suspended / recovered), driver policy denials and
+ * streaming-ingest events (backpressure sheds, session evictions,
+ * template updates) are recorded in the same trail under their own
+ * stages but do not enter the change funnel — sheds drop *readings*
+ * before change detection, so the funnel identity over changes is
+ * preserved exactly. Decision *counts* cover the whole run; the record ring
  * keeps the most recent `capacity` records for JSONL export.
  */
 
@@ -39,6 +42,8 @@ enum class Stage : std::uint8_t
     ChangeDetector, ///< attack::ChangeDetector
     Inference,      ///< attack::OnlineInference (Algorithm 1)
     Eavesdropper,   ///< attack::Eavesdropper (post-inference)
+    Kgsl,           ///< kgsl::KgslDevice (driver boundary)
+    Ingest,         ///< stream::IngestService (streaming service)
 };
 
 /** What happened to the observed event. */
@@ -52,9 +57,18 @@ enum class Decision : std::uint8_t
     DiscontinuityDropped, ///< reading dropped to re-baseline
     SamplerSuspended,     ///< tick chain parked on a hard fault
     SamplerRecovered,     ///< watchdog revived the tick chain
+    PolicyDenied,         ///< kernel security policy refused a call
+    ShedOldestDrop,       ///< ingest backpressure dropped the oldest
+                          ///< queued reading to admit a new one
+    ShedNewestDrop,       ///< ingest backpressure dropped the
+                          ///< incoming reading (queue stayed intact)
+    SessionEvicted,       ///< session manager reclaimed an LRU
+                          ///< session to stay inside its budget
+    TemplateUpdated,      ///< a high-confidence match was folded back
+                          ///< into the per-key signature (adaptation)
 };
 
-inline constexpr std::size_t kNumDecisions = 8;
+inline constexpr std::size_t kNumDecisions = 13;
 
 const char *stageName(Stage s);
 const char *decisionName(Decision d);

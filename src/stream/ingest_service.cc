@@ -1,0 +1,186 @@
+#include "stream/ingest_service.h"
+
+#include "util/logging.h"
+
+namespace gpusc::stream {
+
+IngestService::IngestService(const attack::SignatureModel &base,
+                             Params params)
+    : params_(params), manager_(base, params.sessions)
+{
+    auto &m = tel_.metrics;
+    offeredCtr_ = &m.counter("ingest.readings_offered");
+    shedOldestCtr_ = &m.counter("ingest.shed_oldest");
+    shedNewestCtr_ = &m.counter("ingest.shed_newest");
+    evictionsCtr_ = &m.counter("ingest.sessions_evicted");
+    manager_.setEvictionListener([this](Session &s) {
+        // Retire, never lose: the dying session's decision counts
+        // fold into the service aggregate before destruction.
+        s.eavesdropper().flushTelemetry();
+        tel_.merge(s.telemetry());
+        evictionsCtr_->inc();
+        tel_.audit.record(offerTime_, obs::Stage::Ingest,
+                          obs::Decision::SessionEvicted,
+                          std::to_string(s.id()));
+    });
+}
+
+bool
+IngestService::offer(SessionId id, const attack::Reading &reading)
+{
+    ++offered_;
+    offeredCtr_->inc();
+    offerTime_ = reading.time;
+    Session &session = manager_.getOrCreate(id);
+    return enqueue(session, reading);
+}
+
+bool
+IngestService::enqueue(Session &session,
+                       const attack::Reading &reading)
+{
+    if (session.ring().tryPush(reading))
+        return true;
+    switch (params_.backpressure) {
+      case Backpressure::Block: {
+        // Virtual-time "wait for the consumer": the offer and pump
+        // phases never overlap, so blocking collapses to draining
+        // this session inline and then enqueueing.
+        ++blockDrains_;
+        session.drain();
+        if (!session.ring().tryPush(reading))
+            panic("IngestService: ring still full after drain");
+        return true;
+      }
+      case Backpressure::ShedOldest: {
+        attack::Reading dropped;
+        if (session.ring().shedOldest(dropped)) {
+            ++shedOldest_;
+            shedOldestCtr_->inc();
+            tel_.audit.record(reading.time, obs::Stage::Ingest,
+                              obs::Decision::ShedOldestDrop,
+                              std::to_string(session.id()));
+        }
+        if (!session.ring().tryPush(reading))
+            panic("IngestService: ring still full after shed");
+        return true;
+      }
+      case Backpressure::ShedNewest:
+        ++shedNewest_;
+        shedNewestCtr_->inc();
+        tel_.audit.record(reading.time, obs::Stage::Ingest,
+                          obs::Decision::ShedNewestDrop,
+                          std::to_string(session.id()));
+        return false;
+    }
+    panic("IngestService: unknown backpressure policy");
+}
+
+std::size_t
+IngestService::pump()
+{
+    std::size_t n = 0;
+    for (const auto &[id, session] : manager_.all())
+        n += session->drain();
+    // Budget accounting is O(1) per offer; the backlog growth from
+    // this bulk drain is folded back in one pass here.
+    manager_.refreshAccounting();
+    return n;
+}
+
+std::size_t
+IngestService::pump(exec::ThreadPool &pool)
+{
+    // Snapshot in id order; each task owns exactly one session, so
+    // per-session state and telemetry see no concurrent access.
+    std::vector<Session *> sessions;
+    sessions.reserve(manager_.size());
+    for (const auto &[id, session] : manager_.all())
+        sessions.push_back(session.get());
+    std::vector<std::size_t> drained(sessions.size(), 0);
+    pool.parallelFor(sessions.size(), [&](std::size_t i) {
+        drained[i] = sessions[i]->drain();
+    });
+    std::size_t n = 0;
+    for (const std::size_t d : drained)
+        n += d;
+    manager_.refreshAccounting();
+    return n;
+}
+
+trace::TraceError
+IngestService::ingestTraceFile(const std::string &path, SessionId id,
+                               std::vector<Trial> *trialsOut)
+{
+    trace::TraceReader reader;
+    if (const trace::TraceError err = reader.open(path);
+        err != trace::TraceError::None)
+        return err;
+    return ingestTrace(reader, id, trialsOut);
+}
+
+trace::TraceError
+IngestService::ingestTrace(trace::TraceReader &reader, SessionId id,
+                           std::vector<Trial> *trialsOut)
+{
+    Trial trial;
+    bool inTrial = false;
+    std::size_t sincePump = 0;
+    trace::TraceRecord rec;
+    bool eof = false;
+    trace::TraceError err;
+    while ((err = reader.next(rec, eof)) == trace::TraceError::None &&
+           !eof) {
+        switch (rec.kind) {
+          case trace::RecordKind::Reading:
+            offer(id, rec.reading);
+            if (++sincePump >= params_.tracePumpBatch) {
+                pump();
+                sincePump = 0;
+            }
+            break;
+          case trace::RecordKind::TrialBegin:
+            trial = Trial{};
+            trial.truth = rec.text;
+            trial.begin = rec.time;
+            inTrial = true;
+            break;
+          case trace::RecordKind::TrialEnd:
+            if (!inTrial)
+                break;
+            // Score on fully drained state, like the batch replayer
+            // scores on fully fed state.
+            pump();
+            sincePump = 0;
+            trial.end = rec.time;
+            if (Session *s = manager_.find(id))
+                trial.inferred =
+                    s->eavesdropper().inferredTextBetween(trial.begin,
+                                                          trial.end);
+            if (trialsOut)
+                trialsOut->push_back(trial);
+            inTrial = false;
+            break;
+          default:
+            // Ground-truth annotations (key presses, popups, app
+            // switches, faults) carry labels, not input.
+            break;
+        }
+    }
+    pump();
+    if (Session *s = manager_.find(id))
+        s->eavesdropper().flushTelemetry();
+    return err;
+}
+
+void
+IngestService::aggregateTelemetry(obs::Telemetry &into)
+{
+    into.merge(tel_);
+    for (const auto &[id, session] : manager_.all()) {
+        session->eavesdropper().flushTelemetry();
+        into.merge(session->telemetry());
+    }
+}
+
+} // namespace gpusc::stream

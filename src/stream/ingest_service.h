@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The streaming ingest service: a daemon-style loop that multiplexes
+ * many concurrent victim sessions through the attack's inference
+ * pipeline.
+ *
+ * Producers call offer(sessionId, reading) to enqueue sampler
+ * readings onto the session's bounded SPSC ring; the pump drains the
+ * rings through each session's detached Eavesdropper, either
+ * serially (session-id order — the deterministic baseline) or across
+ * an exec::ThreadPool (one session per task, per-session telemetry,
+ * merged in id order, so aggregates are identical for any worker
+ * count).
+ *
+ * The service is *phase-structured*: offer() and pump() never run
+ * concurrently. Within a phase, rings still honour their SPSC
+ * contract, so a deployment that wants a live producer thread gets
+ * one ring-buffered hand-off per session for free; the phase
+ * structure is what additionally legalises shed-oldest (a
+ * consumer-cursor pop from the producer's context) and the inline
+ * drain of the Block policy.
+ *
+ * Backpressure on a full ring is explicit policy:
+ *  - Block: drain the session inline, then enqueue (virtual-time
+ *    "wait for the consumer"); never loses a reading.
+ *  - ShedOldest: drop the oldest queued reading to admit the new one
+ *    (freshness wins).
+ *  - ShedNewest: drop the incoming reading (queue stays intact).
+ * Every shed is counted and audited under obs::Stage::Ingest. Sheds
+ * drop *readings* before change detection, so the change-funnel
+ * identity (changes_in == accepted + split + dup + noise +
+ * suppressed) still partitions exactly over the aggregate trail.
+ */
+
+#ifndef GPUSC_STREAM_INGEST_SERVICE_H
+#define GPUSC_STREAM_INGEST_SERVICE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "stream/session_manager.h"
+#include "trace/trace_reader.h"
+
+namespace gpusc::stream {
+
+/** Multiplexes victim sessions over the inference pipeline. */
+class IngestService
+{
+  public:
+    /** What offer() does when a session's ring is full. */
+    enum class Backpressure
+    {
+        Block,      ///< drain inline, then enqueue (lossless)
+        ShedOldest, ///< drop the oldest queued reading
+        ShedNewest, ///< drop the incoming reading
+    };
+
+    struct Params
+    {
+        Backpressure backpressure = Backpressure::Block;
+        /** Session table knobs (budgets + per-session config). */
+        SessionManager::Params sessions{};
+        /** Readings between pump() calls during trace ingest. */
+        std::size_t tracePumpBatch = 64;
+    };
+
+    /** @param base model copied into each session (not owned; must
+     *  outlive the service). */
+    IngestService(const attack::SignatureModel &base, Params params);
+
+    IngestService(const IngestService &) = delete;
+    IngestService &operator=(const IngestService &) = delete;
+
+    /**
+     * Enqueue one reading for @p id, creating the session on first
+     * sight (which may LRU-evict others).
+     * @return false iff the reading was shed (ShedNewest policy).
+     */
+    bool offer(SessionId id, const attack::Reading &reading);
+
+    /**
+     * Drain every session's ring through its pipeline, in session-id
+     * order. @return readings processed.
+     */
+    std::size_t pump();
+
+    /**
+     * Drain sessions in parallel, one pool task per session. Each
+     * session's readings are still processed in FIFO order on a
+     * single task, and telemetry is per-session, so the aggregate
+     * (see aggregateTelemetry) is identical to serial pump().
+     * @return readings processed.
+     */
+    std::size_t pump(exec::ThreadPool &pool);
+
+    /** One scored credential trial of a replayed trace. */
+    struct Trial
+    {
+        std::string truth{};
+        std::string inferred{};
+        SimTime begin{};
+        SimTime end{};
+    };
+
+    /**
+     * Stream a recorded .gpct trace into session @p id: Reading
+     * records are offer()ed (pumping every Params::tracePumpBatch),
+     * trial boundaries are scored against the session's inferred
+     * text exactly as trace::TraceReplayer scores them. With the
+     * Block policy, a single-session ingest of a trace is
+     * bit-identical to batch replay of the same file (pinned by
+     * tests/stream/).
+     */
+    trace::TraceError
+    ingestTraceFile(const std::string &path, SessionId id,
+                    std::vector<Trial> *trialsOut = nullptr);
+
+    /** Same, from an already-open reader. */
+    trace::TraceError ingestTrace(trace::TraceReader &reader,
+                                  SessionId id,
+                                  std::vector<Trial> *trialsOut);
+
+    SessionManager &sessions() { return manager_; }
+    const SessionManager &sessions() const { return manager_; }
+
+    /**
+     * Service-level telemetry: shed/eviction decisions plus the
+     * retired telemetry of every evicted session. Live sessions'
+     * contexts are NOT included — aggregateTelemetry() folds
+     * everything together.
+     */
+    const obs::Telemetry &serviceTelemetry() const { return tel_; }
+
+    /**
+     * Merge the full picture into @p into: service-level telemetry
+     * (sheds, evictions, retired sessions) plus every live session's
+     * context, in session-id order. Flushes the sessions' lazily
+     * batched counters first, so the result is exact.
+     */
+    void aggregateTelemetry(obs::Telemetry &into);
+
+    // Diagnostics.
+    std::uint64_t readingsOffered() const { return offered_; }
+    std::uint64_t readingsShedOldest() const { return shedOldest_; }
+    std::uint64_t readingsShedNewest() const { return shedNewest_; }
+    /** Inline drains forced by the Block policy. */
+    std::uint64_t blockDrains() const { return blockDrains_; }
+
+    const Params &params() const { return params_; }
+
+  private:
+    bool enqueue(Session &session, const attack::Reading &reading);
+
+    Params params_;
+    obs::Telemetry tel_;
+    SessionManager manager_;
+    std::uint64_t offered_ = 0;
+    std::uint64_t shedOldest_ = 0;
+    std::uint64_t shedNewest_ = 0;
+    std::uint64_t blockDrains_ = 0;
+    /** Sim time of the reading currently being offered (stamps
+     *  eviction audit records, which have no reading of their own). */
+    SimTime offerTime_{};
+    obs::Counter *offeredCtr_ = nullptr;
+    obs::Counter *shedOldestCtr_ = nullptr;
+    obs::Counter *shedNewestCtr_ = nullptr;
+    obs::Counter *evictionsCtr_ = nullptr;
+};
+
+} // namespace gpusc::stream
+
+#endif // GPUSC_STREAM_INGEST_SERVICE_H

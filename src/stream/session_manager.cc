@@ -1,0 +1,111 @@
+#include "stream/session_manager.h"
+
+#include <algorithm>
+
+namespace gpusc::stream {
+
+SessionManager::SessionManager(const attack::SignatureModel &base,
+                               Params params)
+    : base_(base), params_(params)
+{
+}
+
+Session &
+SessionManager::getOrCreate(SessionId id)
+{
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+        it = sessions_
+                 .emplace(id, std::make_unique<Session>(
+                                  id, base_, params_.session))
+                 .first;
+        ++created_;
+    }
+    touch(*it->second);
+    reaccount(*it->second);
+    enforceBudget();
+    return *it->second;
+}
+
+Session *
+SessionManager::find(SessionId id)
+{
+    auto it = sessions_.find(id);
+    return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+const Session *
+SessionManager::find(SessionId id) const
+{
+    auto it = sessions_.find(id);
+    return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+void
+SessionManager::touch(Session &session)
+{
+    session.lastTouch = ++touchSeq_;
+}
+
+bool
+SessionManager::remove(SessionId id)
+{
+    auto it = sessions_.find(id);
+    if (it == sessions_.end())
+        return false;
+    if (evictionListener_)
+        evictionListener_(*it->second);
+    accountedTotal_ -= it->second->accountedBytes;
+    sessions_.erase(it);
+    return true;
+}
+
+void
+SessionManager::reaccount(Session &session)
+{
+    const std::size_t now = session.memoryBytes();
+    accountedTotal_ += now - session.accountedBytes;
+    session.accountedBytes = now;
+}
+
+void
+SessionManager::refreshAccounting()
+{
+    for (const auto &[id, s] : sessions_)
+        reaccount(*s);
+}
+
+std::vector<SessionId>
+SessionManager::enforceBudget()
+{
+    std::vector<SessionId> evictedIds;
+    while (sessions_.size() > 1 &&
+           (sessions_.size() > params_.maxSessions ||
+            memoryUseBytes() > params_.memoryBudgetBytes)) {
+        // Least-recently-touched; id-ordered iteration makes the
+        // lowest id win ties, so eviction order is deterministic.
+        const Session *lru = nullptr;
+        std::uint64_t newest = 0;
+        for (const auto &[id, s] : sessions_) {
+            newest = std::max(newest, s->lastTouch);
+            if (!lru || s->lastTouch < lru->lastTouch)
+                lru = s.get();
+        }
+        // The most recently touched session is the one the caller is
+        // actively offering into — never evict it, even over budget.
+        if (!lru || lru->lastTouch == newest)
+            break;
+        evictedIds.push_back(lru->id());
+        evictOne(lru->id());
+    }
+    return evictedIds;
+}
+
+void
+SessionManager::evictOne(SessionId id)
+{
+    ++evicted_;
+    remove(id);
+}
+
+} // namespace gpusc::stream

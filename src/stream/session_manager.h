@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Session table of the streaming ingest service: creation on first
+ * offer, lookup, and budget-driven LRU eviction.
+ *
+ * The manager multiplexes thousands of concurrent victim sessions
+ * under two explicit ceilings — a session-count cap and a memory
+ * budget over the sessions' accounted bytes (Session::memoryBytes).
+ * When either is exceeded, least-recently-touched sessions are
+ * reclaimed (ties break toward the lowest session id, so eviction
+ * order is fully deterministic). The most recently touched session
+ * is never evicted: the offer that triggered enforcement must land.
+ *
+ * Eviction is observable, not silent: an eviction listener runs
+ * before the session is destroyed so the service can audit the
+ * decision and fold the dying session's telemetry into the retired
+ * aggregate — evicting a session never loses decision counts.
+ */
+
+#ifndef GPUSC_STREAM_SESSION_MANAGER_H
+#define GPUSC_STREAM_SESSION_MANAGER_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "stream/session.h"
+
+namespace gpusc::stream {
+
+/** Owns the session table and enforces its budgets. */
+class SessionManager
+{
+  public:
+    struct Params
+    {
+        /** Hard cap on concurrently held sessions. */
+        std::size_t maxSessions = 4096;
+        /** Budget over the sum of Session::memoryBytes(). */
+        std::size_t memoryBudgetBytes = 256u << 20;
+        /** Construction knobs shared by every session. */
+        SessionConfig session{};
+    };
+
+    /** @param base model copied into each new session (not owned;
+     *  must outlive the manager). */
+    SessionManager(const attack::SignatureModel &base, Params params);
+
+    SessionManager(const SessionManager &) = delete;
+    SessionManager &operator=(const SessionManager &) = delete;
+
+    /**
+     * Look up @p id, creating the session on first sight; marks it
+     * most-recently-used and enforces the budgets (which may evict
+     * *other* sessions before this returns).
+     */
+    Session &getOrCreate(SessionId id);
+
+    /** Look up without creating or touching. @return null if absent. */
+    Session *find(SessionId id);
+    const Session *find(SessionId id) const;
+
+    /** Mark @p session most-recently-used. */
+    void touch(Session &session);
+
+    /** Explicitly remove a session (through the eviction listener,
+     *  so its telemetry is retired, not lost).
+     *  @return false if absent. */
+    bool remove(SessionId id);
+
+    /**
+     * Evict least-recently-touched sessions until both budgets hold.
+     * Runs automatically from getOrCreate; exposed for callers that
+     * grow sessions out-of-band (e.g. after a large drain).
+     * @return ids evicted, in eviction order.
+     */
+    std::vector<SessionId> enforceBudget();
+
+    /**
+     * Called with each session about to be evicted/removed, before
+     * destruction. The ingest service merges telemetry and audits
+     * the eviction here.
+     */
+    void setEvictionListener(std::function<void(Session &)> fn)
+    {
+        evictionListener_ = std::move(fn);
+    }
+
+    /**
+     * Re-measure every session and fold the deltas into the cached
+     * total. O(sessions); call after a bulk drain (pump does) so the
+     * budget sees backlog growth that happened out-of-band.
+     */
+    void refreshAccounting();
+
+    std::size_t size() const { return sessions_.size(); }
+    /** Cached sum of the sessions' accounted bytes. Exact for every
+     *  session as of its last touch or refreshAccounting(). */
+    std::size_t memoryUseBytes() const { return accountedTotal_; }
+    std::uint64_t sessionsCreated() const { return created_; }
+    std::uint64_t sessionsEvicted() const { return evicted_; }
+
+    const Params &params() const { return params_; }
+
+    /** Ordered session table (iteration is id-ordered — the merge
+     *  order that makes aggregates worker-count independent). */
+    const std::map<SessionId, std::unique_ptr<Session>> &all() const
+    {
+        return sessions_;
+    }
+
+  private:
+    void evictOne(SessionId id);
+    /** Fold @p session's current memoryBytes() into the cached
+     *  total (delta update, O(1)). */
+    void reaccount(Session &session);
+
+    const attack::SignatureModel &base_;
+    Params params_;
+    std::map<SessionId, std::unique_ptr<Session>> sessions_;
+    std::function<void(Session &)> evictionListener_;
+    /** Monotonic LRU clock; bumped on every touch. */
+    std::uint64_t touchSeq_ = 0;
+    std::uint64_t created_ = 0;
+    std::uint64_t evicted_ = 0;
+    /** Sum of the live sessions' accountedBytes — keeps budget
+     *  checks O(1) per offer instead of O(sessions). */
+    std::size_t accountedTotal_ = 0;
+};
+
+} // namespace gpusc::stream
+
+#endif // GPUSC_STREAM_SESSION_MANAGER_H

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Bounded lock-free single-producer/single-consumer ring.
+ *
+ * Each streaming-ingest session owns one of these, carrying sampler
+ * readings from the producer (the victim device's reading tap, or a
+ * trace-ingest loop) to the consumer (the ingest pump that runs
+ * inference). The design is the classic cache-conscious SPSC queue:
+ * two monotonically increasing cursors on their own cache lines so
+ * producer and consumer never contend on a line, plus a cached copy
+ * of the opposite cursor so the common-case push/pop touches only
+ * local state and the slot itself.
+ *
+ * Progress/ordering contract:
+ *  - exactly one producer thread calls tryPush()/shedOldest() and
+ *    exactly one consumer thread calls tryPop() at any time;
+ *  - values pop in push order (FIFO), with acquire/release pairing
+ *    on the cursors making the slot write visible before the cursor
+ *    that publishes it;
+ *  - shedOldest() moves the *consumer* cursor from the producer's
+ *    context, so it is only legal while the consumer is quiescent —
+ *    the ingest service guarantees this by phase-structuring offer
+ *    and pump (see stream::IngestService).
+ */
+
+#ifndef GPUSC_STREAM_SPSC_RING_H
+#define GPUSC_STREAM_SPSC_RING_H
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace gpusc::stream {
+
+/** Bounded wait-free SPSC FIFO. */
+template <typename T>
+class SpscRing
+{
+  public:
+    /** @param capacity max elements held; must be >= 1. */
+    explicit SpscRing(std::size_t capacity)
+        : slots_(capacity < 1 ? 2 : capacity + 1)
+    {
+    }
+
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    /** Max elements the ring can hold. */
+    std::size_t capacity() const { return slots_.size() - 1; }
+
+    /**
+     * Producer side: enqueue @p v.
+     * @return false (ring unchanged) when full.
+     */
+    bool
+    tryPush(T v)
+    {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        std::size_t next = tail + 1;
+        if (next == slots_.size())
+            next = 0;
+        if (next == headCache_) {
+            headCache_ = head_.load(std::memory_order_acquire);
+            if (next == headCache_)
+                return false;
+        }
+        slots_[tail] = std::move(v);
+        tail_.store(next, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Consumer side: dequeue into @p out.
+     * @return false (out untouched) when empty.
+     */
+    bool
+    tryPop(T &out)
+    {
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        if (head == tailCache_) {
+            tailCache_ = tail_.load(std::memory_order_acquire);
+            if (head == tailCache_)
+                return false;
+        }
+        out = std::move(slots_[head]);
+        std::size_t next = head + 1;
+        if (next == slots_.size())
+            next = 0;
+        head_.store(next, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Drop the oldest queued element to make room (the shed-oldest
+     * backpressure policy). This advances the consumer cursor from
+     * the producer's context and is therefore ONLY legal while the
+     * consumer is quiescent (no concurrent tryPop) — the ingest
+     * service's phase structure guarantees that.
+     * @return true if an element was dropped.
+     */
+    bool
+    shedOldest(T &out)
+    {
+        return tryPop(out);
+    }
+
+    /** True when no elements are queued (approximate under
+     *  concurrency, exact while the other side is quiescent). */
+    bool
+    empty() const
+    {
+        return head_.load(std::memory_order_acquire) ==
+               tail_.load(std::memory_order_acquire);
+    }
+
+    /** Elements queued (same caveat as empty()). */
+    std::size_t
+    size() const
+    {
+        const std::size_t head = head_.load(std::memory_order_acquire);
+        const std::size_t tail = tail_.load(std::memory_order_acquire);
+        return tail >= head ? tail - head
+                            : slots_.size() - head + tail;
+    }
+
+    /** Heap bytes backing the slot array (memory accounting). */
+    std::size_t
+    slotBytes() const
+    {
+        return slots_.size() * sizeof(T);
+    }
+
+  private:
+    /** Consumer cursor; next slot to pop. */
+    alignas(64) std::atomic<std::size_t> head_{0};
+    /** Producer's cached view of head_ (producer-local). */
+    alignas(64) std::size_t headCache_ = 0;
+    /** Producer cursor; next slot to fill. */
+    alignas(64) std::atomic<std::size_t> tail_{0};
+    /** Consumer's cached view of tail_ (consumer-local). */
+    alignas(64) std::size_t tailCache_ = 0;
+    std::vector<T> slots_;
+};
+
+} // namespace gpusc::stream
+
+#endif // GPUSC_STREAM_SPSC_RING_H

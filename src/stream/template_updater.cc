@@ -1,0 +1,36 @@
+#include "stream/template_updater.h"
+
+namespace gpusc::stream {
+
+void
+TemplateUpdater::setTelemetry(obs::Telemetry *tel)
+{
+    telemetry_ = tel;
+    updatesCtr_ =
+        tel ? &tel->metrics.counter("ingest.template_updates") : nullptr;
+}
+
+bool
+TemplateUpdater::onAccepted(const attack::InferredKey &key)
+{
+    if (!params_.updatePageLabels && attack::isPageLabel(key.label)) {
+        ++pageSkips_;
+        return false;
+    }
+    if (key.distance > params_.confidenceMargin * model_.threshold()) {
+        ++lowConf_;
+        return false;
+    }
+    if (!model_.updateSignature(key.label, key.delta, params_.blend))
+        return false;
+    ++applied_;
+    if (telemetry_) {
+        updatesCtr_->inc();
+        telemetry_->audit.record(key.time, obs::Stage::Ingest,
+                                 obs::Decision::TemplateUpdated,
+                                 key.label, key.distance);
+    }
+    return true;
+}
+
+} // namespace gpusc::stream

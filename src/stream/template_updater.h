@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Online template adaptation: the enrollment/match/update loop.
+ *
+ * Biometric matchers refresh their enrolled templates from
+ * high-confidence matches so the template tracks slow drift in the
+ * signal; this component does the same for the attack's signature
+ * model. Every key press that survives the full inference pipeline
+ * (classification + app-switch suppression) is offered to the
+ * updater; matches whose distance clears a confidence margin well
+ * inside C_th are folded back into that label's centroid with an
+ * exponential blend:
+ *
+ *   centroid' = round((1 - blend) * centroid + blend * delta)
+ *
+ * where delta is the *effective* matched vector (blink-subtracted or
+ * split-combined when that is what matched — see
+ * SignatureModel::classifyRobust), so the blend never ingests a
+ * cursor-blink-contaminated raw delta.
+ *
+ * The loop is deterministic: no randomness, no wall clock, and
+ * llround blending, so a given observation sequence always produces
+ * the same adapted model. Low-confidence matches are counted but
+ * never applied — adapting on borderline matches would let one
+ * misclassification drag a centroid toward a neighbouring class
+ * (template poisoning).
+ */
+
+#ifndef GPUSC_STREAM_TEMPLATE_UPDATER_H
+#define GPUSC_STREAM_TEMPLATE_UPDATER_H
+
+#include <cstdint>
+
+#include "attack/online_inference.h"
+#include "attack/signature.h"
+#include "obs/telemetry.h"
+
+namespace gpusc::stream {
+
+/** Folds high-confidence matches back into a session's model. */
+class TemplateUpdater
+{
+  public:
+    struct Params
+    {
+        /**
+         * Exponential blend weight of one new observation. Small
+         * values adapt slowly but resist poisoning; 1/8 tracks the
+         * drift rates of bench/stream_throughput's scenario while a
+         * single outlier moves a centroid by at most 12.5 %.
+         */
+        double blend = 0.125;
+        /**
+         * Update only when distance <= confidenceMargin * C_th. The
+         * margin must be < 1: matches near the acceptance threshold
+         * are exactly the ones most likely to be misclassified.
+         */
+        double confidenceMargin = 0.6;
+        /** Adapt page-switch signatures too (off: keys only). */
+        bool updatePageLabels = false;
+    };
+
+    /**
+     * @param model the session's own mutable model copy — never a
+     * shared or store-owned instance (updates are per-session).
+     */
+    TemplateUpdater(attack::SignatureModel &model, Params params)
+        : model_(model), params_(params)
+    {
+    }
+
+    TemplateUpdater(const TemplateUpdater &) = delete;
+    TemplateUpdater &operator=(const TemplateUpdater &) = delete;
+
+    /**
+     * Attach a telemetry context: an `ingest.template_updates`
+     * counter and a TemplateUpdated audit record per applied update
+     * (label + distance). Observational only.
+     */
+    void setTelemetry(obs::Telemetry *tel);
+
+    /**
+     * Offer one accepted key press (wired to
+     * attack::Eavesdropper::setAcceptListener). Applies the blend
+     * when the match clears the confidence margin.
+     * @return true if the model was updated.
+     */
+    bool onAccepted(const attack::InferredKey &key);
+
+    // Diagnostics.
+    std::uint64_t updatesApplied() const { return applied_; }
+    std::uint64_t lowConfidenceSkips() const { return lowConf_; }
+    std::uint64_t pageLabelSkips() const { return pageSkips_; }
+
+    const Params &params() const { return params_; }
+
+  private:
+    attack::SignatureModel &model_;
+    Params params_;
+    std::uint64_t applied_ = 0;
+    std::uint64_t lowConf_ = 0;
+    std::uint64_t pageSkips_ = 0;
+    obs::Telemetry *telemetry_ = nullptr;
+    obs::Counter *updatesCtr_ = nullptr;
+};
+
+} // namespace gpusc::stream
+
+#endif // GPUSC_STREAM_TEMPLATE_UPDATER_H

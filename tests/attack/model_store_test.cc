@@ -169,6 +169,82 @@ TEST(ModelStoreTest, AnyFlippedFileByteIsDetected)
     std::remove(path.c_str());
 }
 
+TEST(ModelStoreTest, InPlaceUpdatedModelSurvivesEvictionAndReload)
+{
+    // The streaming service adapts a session's model copy in place
+    // (SignatureModel::updateSignature) and a deployment persists the
+    // adapted model by putting it back into the store. Evicting that
+    // store to disk and reloading must reproduce the adapted
+    // centroids byte for byte.
+    SignatureModel m = namedModel("adapted");
+    gpu::CounterVec obs{};
+    obs.fill(500);
+    ASSERT_TRUE(m.updateSignature("a", obs, 0.25));
+    const std::int64_t adapted = m.signatures()[0].centroid[0];
+    EXPECT_NE(adapted, 123); // the update actually moved it
+
+    ModelStore store;
+    store.put(m);
+    const std::vector<std::uint8_t> pinned =
+        store.find("adapted")->serialize();
+
+    const std::string path =
+        ::testing::TempDir() + "gpusc_store_adapted.bin";
+    ASSERT_TRUE(store.saveToFile(path));
+    const ModelStore back = ModelStore::loadFromFile(path);
+    ASSERT_NE(back.find("adapted"), nullptr);
+    EXPECT_TRUE(*back.find("adapted") == m);
+    EXPECT_EQ(back.find("adapted")->signatures()[0].centroid[0],
+              adapted);
+    // CRC pin: the reloaded model re-serialises to identical bytes.
+    EXPECT_EQ(back.find("adapted")->serialize(), pinned);
+    std::remove(path.c_str());
+}
+
+TEST(ModelStoreTest, InPlaceUpdatePreservesSerialisedSize)
+{
+    // put()-back of an adapted model must never change the store's
+    // size accounting: updates move centroid values, not layout.
+    SignatureModel m = namedModel("sized");
+    ModelStore store;
+    store.put(m);
+    const std::size_t before = store.totalByteSize();
+    gpu::CounterVec obs{};
+    obs.fill(999999);
+    ASSERT_TRUE(m.updateSignature("a", obs, 1.0));
+    store.put(m);
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.totalByteSize(), before);
+}
+
+TEST(ModelStoreTest, CorruptedAdaptedStoreIsRejectedOnReload)
+{
+    // The CRC envelope protects adapted models exactly like trained
+    // ones: flip one byte of the persisted file and the reload must
+    // come back empty instead of yielding a silently damaged model.
+    SignatureModel m = namedModel("guarded");
+    gpu::CounterVec obs{};
+    obs.fill(321);
+    ASSERT_TRUE(m.updateSignature("a", obs, 0.5));
+    ModelStore store;
+    store.put(m);
+    const std::string path =
+        ::testing::TempDir() + "gpusc_store_guarded.bin";
+    ASSERT_TRUE(store.saveToFile(path));
+
+    FILE *f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 24, SEEK_SET), 0);
+    std::uint8_t byte = 0;
+    ASSERT_EQ(std::fread(&byte, 1, 1, f), 1u);
+    byte ^= 0x5a;
+    ASSERT_EQ(std::fseek(f, 24, SEEK_SET), 0);
+    ASSERT_EQ(std::fwrite(&byte, 1, 1, f), 1u);
+    std::fclose(f);
+    EXPECT_FALSE(ModelStore::tryLoadFromFile(path).has_value());
+    std::remove(path.c_str());
+}
+
 TEST(ModelStoreTest, GetOrTrainCachesByConfiguration)
 {
     ModelStore store;

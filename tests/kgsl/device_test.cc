@@ -215,6 +215,60 @@ TEST(KgslHardwareTest, ImplementedCountables)
     EXPECT_FALSE(hardwareImplementsCounter(0x77, 0));
 }
 
+TEST(KgslPolicyTelemetryTest, DenialsAreCountedAndAudited)
+{
+    EventQueue eq;
+    gpu::RenderEngine engine{eq, gpu::adrenoModel(650), 1};
+    RbacPolicy rbac;
+    KgslDevice dev{engine, rbac};
+    obs::Telemetry tel;
+    dev.setTelemetry(&tel);
+
+    // Open is allowed under RBAC; the perfcounter ioctls are not.
+    const int fd = dev.open({100, "untrusted_app"});
+    ASSERT_GE(fd, 0);
+    kgsl_perfcounter_get get;
+    get.groupid = KGSL_PERFCOUNTER_GROUP_LRZ;
+    get.countable = 18;
+    EXPECT_EQ(dev.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_GET, &get),
+              -KGSL_EPERM);
+    kgsl_perfcounter_read req;
+    req.reads = nullptr;
+    req.count = 0;
+    EXPECT_EQ(dev.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_READ, &req),
+              -KGSL_EPERM);
+
+    EXPECT_EQ(dev.policyDenialCount(), 2u);
+    EXPECT_EQ(tel.metrics.counter("kgsl.policy_denials").value(), 2u);
+    EXPECT_EQ(tel.audit.count(obs::Decision::PolicyDenied), 2u);
+    const std::vector<obs::AuditRecord> records = tel.audit.snapshot();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].stage, obs::Stage::Kgsl);
+    EXPECT_EQ(records[0].label, "perfcounter-get untrusted_app");
+    EXPECT_EQ(records[1].label, "perfcounter-read untrusted_app");
+    // Policy denials never enter the change funnel.
+    EXPECT_EQ(tel.audit.changesAudited(), 0u);
+}
+
+TEST(KgslPolicyTelemetryTest, DeniedCallsCountWithoutTelemetryToo)
+{
+    EventQueue eq;
+    gpu::RenderEngine engine{eq, gpu::adrenoModel(650), 1};
+    const RbacPolicy rbac({"gpu_profiler"});
+    KgslDevice dev{engine, rbac};
+    // RBAC never blocks open() — graphics clients keep working.
+    const int fd = dev.open({101, "shell"});
+    ASSERT_GE(fd, 0);
+    EXPECT_EQ(dev.policyDenialCount(), 0u);
+    // No telemetry attached: the plain counter still advances.
+    kgsl_perfcounter_get get;
+    get.groupid = KGSL_PERFCOUNTER_GROUP_LRZ;
+    get.countable = 18;
+    EXPECT_EQ(dev.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_GET, &get),
+              -KGSL_EPERM);
+    EXPECT_EQ(dev.policyDenialCount(), 1u);
+}
+
 TEST(KgslIoctlCodesTest, EncodingMatchesLinuxLayout)
 {
     // _IOWR('\x09', 0x38, struct kgsl_perfcounter_get)

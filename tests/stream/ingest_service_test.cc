@@ -1,0 +1,384 @@
+/**
+ * @file
+ * IngestService: the determinism pins (single-session trace ingest
+ * bit-identical to batch replay; parallel pump aggregate-equivalent
+ * to serial), backpressure policy semantics + audit, session LRU
+ * eviction under both budgets, and funnel identity with sheds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "attack/model_store.h"
+#include "eval/experiment.h"
+#include "exec/thread_pool.h"
+#include "stream/ingest_service.h"
+#include "trace/trace_replayer.h"
+#include "util/logging.h"
+
+namespace gpusc::stream {
+namespace {
+
+attack::ModelStore &
+store()
+{
+    static attack::ModelStore s;
+    return s;
+}
+
+struct RecordedRun
+{
+    std::string path;
+    attack::SignatureModel model;
+    std::vector<eval::TrialResult> live;
+};
+
+void
+recordRun(RecordedRun &run, const std::string &name,
+          std::uint64_t seed,
+          const std::vector<std::string> &credentials)
+{
+    run.path = ::testing::TempDir() + name;
+    eval::ExperimentConfig cfg;
+    cfg.seed = seed;
+    cfg.recordTracePath = run.path;
+    eval::ExperimentRunner runner(cfg, store());
+    for (const std::string &cred : credentials)
+        run.live.push_back(runner.runTrial(cred));
+    run.model = runner.model();
+    EXPECT_EQ(runner.finishRecording(), trace::TraceError::None);
+}
+
+/** Params for the deterministic baseline: lossless, no adaptation. */
+IngestService::Params
+losslessParams()
+{
+    IngestService::Params p;
+    p.backpressure = IngestService::Backpressure::Block;
+    p.sessions.session.adaptation = false;
+    return p;
+}
+
+attack::Reading
+readingAt(std::int64_t ms, std::int64_t level = 0)
+{
+    attack::Reading r;
+    r.time = SimTime::fromMs(ms);
+    r.totals.fill(std::uint64_t(level));
+    return r;
+}
+
+TEST(IngestServiceTest, SingleSessionIngestMatchesBatchReplayExactly)
+{
+    setVerbose(false);
+    RecordedRun run;
+    recordRun(run, "ingest_golden.gpct", 401,
+              {"letmein", "hunter2"});
+    if (::testing::Test::HasFatalFailure())
+        return;
+
+    trace::TraceReplayer replayer(run.model);
+    ASSERT_EQ(replayer.replayFile(run.path), trace::TraceError::None);
+
+    IngestService svc(run.model, losslessParams());
+    std::vector<IngestService::Trial> trials;
+    ASSERT_EQ(svc.ingestTraceFile(run.path, 7, &trials),
+              trace::TraceError::None);
+
+    // Trial scoring matches the batch replayer (and the live run).
+    ASSERT_EQ(trials.size(), replayer.trials().size());
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+        EXPECT_EQ(trials[i].truth, replayer.trials()[i].truth);
+        EXPECT_EQ(trials[i].inferred, replayer.trials()[i].inferred)
+            << "streaming ingest diverged from batch replay, trial "
+            << i;
+        EXPECT_EQ(trials[i].inferred, run.live[i].inferred);
+    }
+
+    // The full stolen-event stream is bit-identical, not just the
+    // per-trial text.
+    const Session *s = svc.sessions().find(7);
+    ASSERT_NE(s, nullptr);
+    const auto &streamed = s->eavesdropper().events();
+    const auto &batch = replayer.eavesdropper().events();
+    ASSERT_EQ(streamed.size(), batch.size());
+    for (std::size_t i = 0; i < streamed.size(); ++i) {
+        EXPECT_EQ(int(streamed[i].kind), int(batch[i].kind));
+        EXPECT_EQ(streamed[i].ch, batch[i].ch);
+        EXPECT_EQ(streamed[i].time.ns(), batch[i].time.ns());
+    }
+
+    // Lossless policy: nothing shed, everything drained.
+    EXPECT_EQ(svc.readingsShedOldest(), 0u);
+    EXPECT_EQ(svc.readingsShedNewest(), 0u);
+    EXPECT_EQ(s->readingsDrained(), svc.readingsOffered());
+    std::remove(run.path.c_str());
+}
+
+TEST(IngestServiceTest, ParallelPumpIsAggregateEquivalentToSerial)
+{
+    setVerbose(false);
+    RecordedRun run;
+    recordRun(run, "ingest_par.gpct", 402, {"pa55word"});
+    if (::testing::Test::HasFatalFailure())
+        return;
+
+    // Load the readings once; fan the identical stream out to many
+    // sessions, pumping serially in one service and across a pool in
+    // the other.
+    std::vector<attack::Reading> readings;
+    {
+        trace::TraceReader reader;
+        ASSERT_EQ(reader.open(run.path), trace::TraceError::None);
+        trace::TraceRecord rec;
+        bool eof = false;
+        while (reader.next(rec, eof) == trace::TraceError::None &&
+               !eof)
+            if (rec.kind == trace::RecordKind::Reading)
+                readings.push_back(rec.reading);
+    }
+    ASSERT_FALSE(readings.empty());
+
+    constexpr SessionId kSessions = 8;
+    IngestService serial(run.model, losslessParams());
+    IngestService parallel(run.model, losslessParams());
+    exec::ThreadPool pool(4);
+
+    std::size_t fed = 0;
+    for (const attack::Reading &r : readings) {
+        for (SessionId sid = 0; sid < kSessions; ++sid) {
+            serial.offer(sid, r);
+            parallel.offer(sid, r);
+        }
+        if (++fed % 64 == 0) {
+            serial.pump();
+            parallel.pump(pool);
+        }
+    }
+    serial.pump();
+    parallel.pump(pool);
+
+    // Per-session outputs are identical...
+    for (SessionId sid = 0; sid < kSessions; ++sid) {
+        const Session *a = serial.sessions().find(sid);
+        const Session *b = parallel.sessions().find(sid);
+        ASSERT_NE(a, nullptr);
+        ASSERT_NE(b, nullptr);
+        EXPECT_EQ(a->eavesdropper().inferredText(),
+                  b->eavesdropper().inferredText())
+            << "session " << sid
+            << " diverged between serial and parallel pump";
+    }
+
+    // ...and so is the aggregated decision funnel.
+    obs::Telemetry aggSerial, aggParallel;
+    serial.aggregateTelemetry(aggSerial);
+    parallel.aggregateTelemetry(aggParallel);
+    EXPECT_EQ(aggSerial.audit.funnelJson(),
+              aggParallel.audit.funnelJson());
+    EXPECT_EQ(aggSerial.audit.recorded(), aggParallel.audit.recorded());
+    std::remove(run.path.c_str());
+}
+
+TEST(IngestServiceTest, ShedOldestDropsQueueHeadAndAudits)
+{
+    IngestService::Params p;
+    p.backpressure = IngestService::Backpressure::ShedOldest;
+    p.sessions.session.ringCapacity = 4;
+    p.sessions.session.adaptation = false;
+    attack::SignatureModel model;
+    IngestService svc(model, p);
+
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(svc.offer(1, readingAt(i)));
+    EXPECT_EQ(svc.readingsShedOldest(), 6u);
+    EXPECT_EQ(svc.readingsShedNewest(), 0u);
+    EXPECT_EQ(
+        svc.serviceTelemetry().audit.count(
+            obs::Decision::ShedOldestDrop),
+        6u);
+    // The newest 4 survive.
+    EXPECT_EQ(svc.pump(), 4u);
+}
+
+TEST(IngestServiceTest, ShedNewestDropsIncomingAndKeepsQueue)
+{
+    IngestService::Params p;
+    p.backpressure = IngestService::Backpressure::ShedNewest;
+    p.sessions.session.ringCapacity = 4;
+    p.sessions.session.adaptation = false;
+    attack::SignatureModel model;
+    IngestService svc(model, p);
+
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(svc.offer(1, readingAt(i)));
+    for (int i = 4; i < 10; ++i)
+        EXPECT_FALSE(svc.offer(1, readingAt(i)))
+            << "offer should report the shed";
+    EXPECT_EQ(svc.readingsShedNewest(), 6u);
+    EXPECT_EQ(
+        svc.serviceTelemetry().audit.count(
+            obs::Decision::ShedNewestDrop),
+        6u);
+    EXPECT_EQ(svc.pump(), 4u);
+}
+
+TEST(IngestServiceTest, BlockPolicyLosesNothingOnOverflow)
+{
+    IngestService::Params p;
+    p.backpressure = IngestService::Backpressure::Block;
+    p.sessions.session.ringCapacity = 4;
+    p.sessions.session.adaptation = false;
+    attack::SignatureModel model;
+    IngestService svc(model, p);
+
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(svc.offer(1, readingAt(i)));
+    EXPECT_GT(svc.blockDrains(), 0u);
+    EXPECT_EQ(svc.readingsShedOldest(), 0u);
+    EXPECT_EQ(svc.readingsShedNewest(), 0u);
+    svc.pump();
+    const Session *s = svc.sessions().find(1);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->readingsDrained(), 100u);
+}
+
+TEST(IngestServiceTest, LruEvictionHonoursMaxSessionsAndTouchOrder)
+{
+    IngestService::Params p;
+    p.sessions.maxSessions = 2;
+    p.sessions.session.adaptation = false;
+    attack::SignatureModel model;
+    IngestService svc(model, p);
+
+    svc.offer(1, readingAt(0));
+    svc.offer(2, readingAt(1));
+    svc.offer(3, readingAt(2)); // evicts 1 (least recently touched)
+    EXPECT_EQ(svc.sessions().find(1), nullptr);
+    EXPECT_NE(svc.sessions().find(2), nullptr);
+    EXPECT_NE(svc.sessions().find(3), nullptr);
+
+    svc.offer(2, readingAt(3)); // 2 becomes most recent
+    svc.offer(4, readingAt(4)); // evicts 3
+    EXPECT_EQ(svc.sessions().find(3), nullptr);
+    EXPECT_NE(svc.sessions().find(2), nullptr);
+    EXPECT_NE(svc.sessions().find(4), nullptr);
+
+    EXPECT_EQ(svc.sessions().sessionsEvicted(), 2u);
+    EXPECT_EQ(
+        svc.serviceTelemetry().audit.count(
+            obs::Decision::SessionEvicted),
+        2u);
+}
+
+TEST(IngestServiceTest, MemoryBudgetEvictsButNeverTheActiveSession)
+{
+    IngestService::Params p;
+    p.sessions.session.adaptation = false;
+    p.sessions.session.ringCapacity = 16;
+    attack::SignatureModel model;
+    // Budget that fits roughly one session: every new session evicts
+    // the previous one, but the active offer always lands.
+    {
+        IngestService probe(model, p);
+        probe.offer(1, readingAt(0));
+        p.sessions.memoryBudgetBytes =
+            probe.sessions().memoryUseBytes() + 64;
+    }
+    IngestService svc(model, p);
+    for (SessionId sid = 1; sid <= 5; ++sid)
+        EXPECT_TRUE(svc.offer(sid, readingAt(std::int64_t(sid))));
+    EXPECT_NE(svc.sessions().find(5), nullptr);
+    EXPECT_GE(svc.sessions().sessionsEvicted(), 3u);
+    EXPECT_LE(svc.sessions().memoryUseBytes(),
+              p.sessions.memoryBudgetBytes);
+}
+
+TEST(IngestServiceTest, EvictedSessionsRetireTheirTelemetry)
+{
+    IngestService::Params p;
+    p.sessions.maxSessions = 1;
+    p.sessions.session.adaptation = false;
+    attack::SignatureModel model;
+    IngestService svc(model, p);
+
+    for (int i = 0; i < 50; ++i)
+        svc.offer(1, readingAt(i, 1000 * i));
+    svc.pump();
+    svc.offer(2, readingAt(50)); // evicts session 1
+
+    obs::Telemetry agg;
+    svc.aggregateTelemetry(agg);
+    // Session 1's per-reading counters survived its eviction.
+    EXPECT_GE(agg.metrics.counter("pipeline.readings_in").value(),
+              50u);
+}
+
+TEST(IngestServiceTest, FunnelIdentityHoldsAcrossShedsAndEvictions)
+{
+    setVerbose(false);
+    RecordedRun run;
+    recordRun(run, "ingest_funnel.gpct", 403, {"qwerty12"});
+    if (::testing::Test::HasFatalFailure())
+        return;
+
+    IngestService::Params p;
+    p.backpressure = IngestService::Backpressure::ShedOldest;
+    p.sessions.session.ringCapacity = 8;
+    p.sessions.session.adaptation = false;
+    // Large pump batch so the tiny rings actually shed.
+    p.tracePumpBatch = 256;
+    IngestService svc(run.model, p);
+    ASSERT_EQ(svc.ingestTraceFile(run.path, 1, nullptr),
+              trace::TraceError::None);
+    EXPECT_GT(svc.readingsShedOldest(), 0u)
+        << "scenario never exercised backpressure";
+
+    obs::Telemetry agg;
+    svc.aggregateTelemetry(agg);
+    const obs::AuditTrail &audit = agg.audit;
+    // Sheds drop readings *before* change detection, so the change
+    // funnel still partitions exactly.
+    const std::uint64_t funnel =
+        audit.count(obs::Decision::AcceptedKey) +
+        audit.count(obs::Decision::SplitRepaired) +
+        audit.count(obs::Decision::DuplicationDrop) +
+        audit.count(obs::Decision::NoiseRejected) +
+        audit.count(obs::Decision::SuppressedAppSwitch);
+    EXPECT_EQ(audit.changesAudited(), funnel);
+    EXPECT_EQ(audit.count(obs::Decision::ShedOldestDrop),
+              svc.readingsShedOldest());
+    std::remove(run.path.c_str());
+}
+
+TEST(IngestServiceTest, AdaptationAppliesUpdatesOnRealTraffic)
+{
+    setVerbose(false);
+    RecordedRun run;
+    recordRun(run, "ingest_adapt.gpct", 404, {"abcdefgh"});
+    if (::testing::Test::HasFatalFailure())
+        return;
+
+    IngestService::Params p;
+    p.sessions.session.adaptation = true;
+    p.sessions.session.adaptationParams.confidenceMargin = 0.9;
+    IngestService svc(run.model, p);
+    ASSERT_EQ(svc.ingestTraceFile(run.path, 1, nullptr),
+              trace::TraceError::None);
+    const Session *s = svc.sessions().find(1);
+    ASSERT_NE(s, nullptr);
+    ASSERT_NE(s->updater(), nullptr);
+    EXPECT_GT(s->updater()->updatesApplied(), 0u);
+
+    obs::Telemetry agg;
+    svc.aggregateTelemetry(agg);
+    EXPECT_EQ(agg.audit.count(obs::Decision::TemplateUpdated),
+              s->updater()->updatesApplied());
+    std::remove(run.path.c_str());
+}
+
+} // namespace
+} // namespace gpusc::stream

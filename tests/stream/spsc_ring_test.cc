@@ -1,0 +1,117 @@
+/**
+ * @file
+ * SpscRing: FIFO order, capacity bounds, wraparound, shed-oldest,
+ * and a true two-thread producer/consumer run (the case the CI
+ * thread-sanitize job watches).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "stream/spsc_ring.h"
+
+namespace gpusc::stream {
+namespace {
+
+TEST(SpscRingTest, PushPopFifoOrder)
+{
+    SpscRing<int> ring(8);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(ring.tryPush(i));
+    int v = -1;
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(ring.tryPop(v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_FALSE(ring.tryPop(v));
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRingTest, RejectsPushWhenFull)
+{
+    SpscRing<int> ring(3);
+    EXPECT_EQ(ring.capacity(), 3u);
+    EXPECT_TRUE(ring.tryPush(1));
+    EXPECT_TRUE(ring.tryPush(2));
+    EXPECT_TRUE(ring.tryPush(3));
+    EXPECT_FALSE(ring.tryPush(4));
+    EXPECT_EQ(ring.size(), 3u);
+}
+
+TEST(SpscRingTest, WrapsAroundManyTimes)
+{
+    SpscRing<int> ring(4);
+    int v = -1;
+    for (int round = 0; round < 100; ++round) {
+        EXPECT_TRUE(ring.tryPush(round));
+        EXPECT_TRUE(ring.tryPush(round + 1000));
+        ASSERT_TRUE(ring.tryPop(v));
+        EXPECT_EQ(v, round);
+        ASSERT_TRUE(ring.tryPop(v));
+        EXPECT_EQ(v, round + 1000);
+    }
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRingTest, ShedOldestMakesRoomForNewest)
+{
+    SpscRing<int> ring(3);
+    EXPECT_TRUE(ring.tryPush(1));
+    EXPECT_TRUE(ring.tryPush(2));
+    EXPECT_TRUE(ring.tryPush(3));
+    int dropped = -1;
+    ASSERT_TRUE(ring.shedOldest(dropped));
+    EXPECT_EQ(dropped, 1);
+    EXPECT_TRUE(ring.tryPush(4));
+    int v = -1;
+    ASSERT_TRUE(ring.tryPop(v));
+    EXPECT_EQ(v, 2);
+    ASSERT_TRUE(ring.tryPop(v));
+    EXPECT_EQ(v, 3);
+    ASSERT_TRUE(ring.tryPop(v));
+    EXPECT_EQ(v, 4);
+}
+
+TEST(SpscRingTest, ShedOldestOnEmptyIsFalse)
+{
+    SpscRing<int> ring(3);
+    int v = -1;
+    EXPECT_FALSE(ring.shedOldest(v));
+}
+
+TEST(SpscRingTest, SlotBytesAccountsTheBackingArray)
+{
+    SpscRing<std::uint64_t> ring(7);
+    // capacity + 1 slots (one empty slot disambiguates full/empty).
+    EXPECT_EQ(ring.slotBytes(), 8 * sizeof(std::uint64_t));
+}
+
+TEST(SpscRingTest, ConcurrentProducerConsumerDeliversEverythingInOrder)
+{
+    constexpr std::uint64_t kCount = 20000;
+    SpscRing<std::uint64_t> ring(128);
+    std::vector<std::uint64_t> received;
+    received.reserve(kCount);
+
+    std::thread consumer([&] {
+        std::uint64_t v = 0;
+        while (received.size() < kCount)
+            if (ring.tryPop(v))
+                received.push_back(v);
+    });
+    for (std::uint64_t i = 0; i < kCount;) {
+        if (ring.tryPush(i))
+            ++i;
+    }
+    consumer.join();
+
+    ASSERT_EQ(received.size(), kCount);
+    for (std::uint64_t i = 0; i < kCount; ++i)
+        ASSERT_EQ(received[i], i) << "out of order at " << i;
+}
+
+} // namespace
+} // namespace gpusc::stream

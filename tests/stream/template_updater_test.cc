@@ -1,0 +1,174 @@
+/**
+ * @file
+ * TemplateUpdater: the exponential blend's exact arithmetic, the
+ * confidence gate that prevents template poisoning, page-label
+ * policy, serialisability of adapted models, and audit wiring.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "attack/signature.h"
+#include "stream/template_updater.h"
+
+namespace gpusc::stream {
+namespace {
+
+using attack::InferredKey;
+using attack::LabelSignature;
+using attack::SignatureModel;
+
+SignatureModel
+makeModel()
+{
+    SignatureModel m;
+    m.setModelKey("test-model");
+    m.setThreshold(10.0);
+    std::array<double, gpu::kNumSelectedCounters> scale{};
+    scale.fill(1.0);
+    m.setScale(scale);
+    LabelSignature a;
+    a.label = "a";
+    a.centroid.fill(1000);
+    m.addSignature(a);
+    LabelSignature page;
+    page.label = attack::pageLabel(0);
+    page.centroid.fill(5000);
+    m.addSignature(page);
+    return m;
+}
+
+InferredKey
+keyAt(const std::string &label, double distance, std::int64_t delta)
+{
+    InferredKey k;
+    k.label = label;
+    k.time = SimTime::fromMs(10);
+    k.distance = distance;
+    k.delta.fill(delta);
+    return k;
+}
+
+TEST(TemplateUpdaterTest, BlendsExactlyPerDimension)
+{
+    SignatureModel m = makeModel();
+    TemplateUpdater::Params p;
+    p.blend = 0.25;
+    p.confidenceMargin = 0.6;
+    TemplateUpdater tu(m, p);
+
+    // centroid 1000, observation 2000, blend 1/4:
+    // 0.75*1000 + 0.25*2000 = 1250 exactly.
+    EXPECT_TRUE(tu.onAccepted(keyAt("a", 1.0, 2000)));
+    EXPECT_EQ(m.signatures()[0].centroid[0], 1250);
+    EXPECT_EQ(tu.updatesApplied(), 1u);
+
+    // Second update from the new centroid: 0.75*1250 + 0.25*2000 =
+    // 1437.5, llround -> 1438 (deterministic half-away-from-zero).
+    EXPECT_TRUE(tu.onAccepted(keyAt("a", 1.0, 2000)));
+    EXPECT_EQ(m.signatures()[0].centroid[0], 1438);
+}
+
+TEST(TemplateUpdaterTest, LowConfidenceMatchesAreNeverApplied)
+{
+    SignatureModel m = makeModel();
+    TemplateUpdater::Params p;
+    p.confidenceMargin = 0.6; // gate at distance 6.0 of C_th 10.0
+    TemplateUpdater tu(m, p);
+
+    EXPECT_FALSE(tu.onAccepted(keyAt("a", 6.5, 9999)));
+    EXPECT_EQ(m.signatures()[0].centroid[0], 1000);
+    EXPECT_EQ(tu.lowConfidenceSkips(), 1u);
+    EXPECT_EQ(tu.updatesApplied(), 0u);
+
+    // Exactly at the gate is allowed (<=).
+    EXPECT_TRUE(tu.onAccepted(keyAt("a", 6.0, 1000)));
+    EXPECT_EQ(tu.updatesApplied(), 1u);
+}
+
+TEST(TemplateUpdaterTest, PageLabelsSkippedUnlessOptedIn)
+{
+    SignatureModel m = makeModel();
+    TemplateUpdater::Params p;
+    TemplateUpdater tu(m, p);
+    EXPECT_FALSE(tu.onAccepted(keyAt(attack::pageLabel(0), 1.0, 0)));
+    EXPECT_EQ(tu.pageLabelSkips(), 1u);
+    EXPECT_EQ(m.signatures()[1].centroid[0], 5000);
+
+    TemplateUpdater::Params pOn;
+    pOn.updatePageLabels = true;
+    TemplateUpdater tuOn(m, pOn);
+    EXPECT_TRUE(tuOn.onAccepted(keyAt(attack::pageLabel(0), 1.0, 0)));
+    EXPECT_NE(m.signatures()[1].centroid[0], 5000);
+}
+
+TEST(TemplateUpdaterTest, UnknownLabelChangesNothing)
+{
+    SignatureModel m = makeModel();
+    TemplateUpdater tu(m, TemplateUpdater::Params{});
+    EXPECT_FALSE(tu.onAccepted(keyAt("z", 1.0, 2000)));
+    EXPECT_EQ(tu.updatesApplied(), 0u);
+}
+
+TEST(TemplateUpdaterTest, AdaptedModelSurvivesSerialisationRoundTrip)
+{
+    SignatureModel m = makeModel();
+    TemplateUpdater tu(m, TemplateUpdater::Params{});
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(tu.onAccepted(keyAt("a", 1.0, 1500 + i)));
+
+    const std::vector<std::uint8_t> blob = m.serialize();
+    const SignatureModel back =
+        SignatureModel::deserialize(blob.data(), blob.size());
+    EXPECT_TRUE(back == m);
+    EXPECT_EQ(back.signatures()[0].centroid,
+              m.signatures()[0].centroid);
+}
+
+TEST(TemplateUpdaterTest, BlendClampsToSerialisableRange)
+{
+    SignatureModel m = makeModel();
+    // blend=1 jumps the centroid to the observation; an extreme
+    // observation must clamp at the i32 bound serialize() stores.
+    gpu::CounterVec huge{};
+    huge.fill(std::int64_t(1) << 40);
+    EXPECT_TRUE(m.updateSignature("a", huge, 1.0));
+    EXPECT_EQ(m.signatures()[0].centroid[0], INT32_MAX);
+    const std::vector<std::uint8_t> blob = m.serialize();
+    const SignatureModel back =
+        SignatureModel::deserialize(blob.data(), blob.size());
+    EXPECT_TRUE(back == m);
+}
+
+TEST(TemplateUpdaterTest, RejectsBadBlendValues)
+{
+    SignatureModel m = makeModel();
+    gpu::CounterVec d{};
+    d.fill(2000);
+    EXPECT_FALSE(m.updateSignature("a", d, 0.0));
+    EXPECT_FALSE(m.updateSignature("a", d, -0.5));
+    EXPECT_FALSE(m.updateSignature("a", d, 1.5));
+    EXPECT_EQ(m.signatures()[0].centroid[0], 1000);
+}
+
+TEST(TemplateUpdaterTest, AppliedUpdatesAreCountedAndAudited)
+{
+    SignatureModel m = makeModel();
+    obs::Telemetry tel;
+    TemplateUpdater tu(m, TemplateUpdater::Params{});
+    tu.setTelemetry(&tel);
+    EXPECT_TRUE(tu.onAccepted(keyAt("a", 1.0, 2000)));
+    EXPECT_FALSE(tu.onAccepted(keyAt("a", 9.9, 2000))); // low conf
+    EXPECT_EQ(tel.metrics.counter("ingest.template_updates").value(),
+              1u);
+    EXPECT_EQ(tel.audit.count(obs::Decision::TemplateUpdated), 1u);
+    const std::vector<obs::AuditRecord> records =
+        tel.audit.snapshot();
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].stage, obs::Stage::Ingest);
+    EXPECT_EQ(records[0].label, "a");
+}
+
+} // namespace
+} // namespace gpusc::stream
