@@ -44,6 +44,25 @@ banner(const std::string &id, const std::string &what)
     std::fflush(stdout);
 }
 
+/**
+ * Mirror a bench's machine-readable output to a BENCH_*.json file
+ * next to the working directory (the CI artefact convention).
+ * @return true when the file was written.
+ */
+inline bool
+writeJsonMirror(const std::string &path, const std::string &json)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("bench: cannot write %s", path.c_str());
+        return false;
+    }
+    std::fputs(json.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    return true;
+}
+
 } // namespace gpusc::bench
 
 #endif // GPUSC_BENCH_BENCH_UTIL_H

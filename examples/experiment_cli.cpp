@@ -19,6 +19,12 @@
  *                  --transient-prob 0.1 --reset-at 5000 \
  *                  --registers 5:8 --competitor 7:4:30
  *
+ * Defense-arena options put a counter-degrading policy stack on the
+ * victim's driver (src/kgsl/defense.h) and pick the attacker mode:
+ *
+ *   experiment_cli --defense rate:48 --defense quant:192 \
+ *                  --attacker robust
+ *
  * Telemetry (src/obs/): --telemetry prints the decision funnel and
  * per-stage latency tables; the output flags additionally export
  * machine-readable snapshots:
@@ -34,6 +40,7 @@
 
 #include "android/keyboard.h"
 #include "android/phone.h"
+#include "arena/matrix.h"
 #include "eval/experiment.h"
 #include "exec/parallel_runner.h"
 #include "obs/telemetry.h"
@@ -77,6 +84,13 @@ usage(const char *argv0)
         "  --competitor <g:n:s>  profiler holding n registers of\n"
         "                        group g until it exits at s seconds\n"
         "  --fault-seed <n>      fault injector RNG seed\n"
+        "defense arena (src/kgsl/defense.h, src/arena/):\n"
+        "  --defense <dial>      add one defense dial (repeatable):\n"
+        "                        rbac | rbac-open | rate:<reads/s> |\n"
+        "                        rate-stale:<reads/s> | quant:<step> |\n"
+        "                        noise:<amplitude>\n"
+        "  --attacker <mode>     naive (default) or robust — the\n"
+        "                        pacing/re-estimating/voting attacker\n"
         "telemetry (src/obs/):\n"
         "  --telemetry           print funnel + stage-latency tables\n"
         "  --metrics-out <json>  write the metrics snapshot\n"
@@ -102,6 +116,41 @@ listRegistries()
     for (const auto &name : android::webAppNames())
         std::printf(" %s", name.c_str());
     std::printf(" pnc\n");
+}
+
+/** Fold one --defense dial spec into the stack. */
+void
+parseDefenseDial(kgsl::DefenseConfig &defense, const std::string &spec)
+{
+    const std::size_t colon = spec.find(':');
+    const std::string dial = spec.substr(0, colon);
+    const double arg = colon == std::string::npos
+                           ? 0.0
+                           : std::atof(spec.c_str() + colon + 1);
+    if (dial == "rbac") {
+        defense.rbac = true;
+    } else if (dial == "rbac-open") {
+        defense.rbac = true;
+        defense.restrictOpen = true;
+    } else if (dial == "rate" || dial == "rate-stale") {
+        if (arg <= 0.0)
+            fatal("--defense %s wants :<reads/s>", dial.c_str());
+        defense.readsPerSecond = arg;
+        defense.overBudget =
+            dial == "rate-stale"
+                ? kgsl::DefenseConfig::OverBudget::Stale
+                : kgsl::DefenseConfig::OverBudget::Eagain;
+    } else if (dial == "quant") {
+        if (arg < 2.0)
+            fatal("--defense quant wants :<step >= 2>");
+        defense.quantStep = std::uint64_t(arg);
+    } else if (dial == "noise") {
+        if (arg <= 0.0)
+            fatal("--defense noise wants :<amplitude>");
+        defense.noiseAmplitude = std::uint64_t(arg);
+    } else {
+        fatal("unknown defense dial '%s'", spec.c_str());
+    }
 }
 
 } // namespace
@@ -222,6 +271,13 @@ main(int argc, char **argv)
                 {group, regs, SimTime::fromSeconds(exitS)});
         } else if (arg == "--fault-seed") {
             cfg.faultPlan.seed = std::uint64_t(std::atoll(value()));
+        } else if (arg == "--defense") {
+            parseDefenseDial(cfg.defense, value());
+        } else if (arg == "--attacker") {
+            const std::string mode = value();
+            if (mode != "naive" && mode != "robust")
+                fatal("--attacker wants naive or robust");
+            arena::applyAttacker(cfg, {mode, mode == "robust"});
         } else if (arg == "--telemetry") {
             telemetryOn = true;
         } else {
@@ -239,6 +295,7 @@ main(int argc, char **argv)
     eval::AccuracyStats stats;
     attack::HealthStats health{};
     kgsl::FaultInjector::Stats faultStats{};
+    kgsl::DefenseOverhead defenseOverhead{};
     bool haveFaultStats = false;
 
     auto printModel = [](const attack::SignatureModel &m) {
@@ -262,7 +319,35 @@ main(int argc, char **argv)
         results = std::move(res.trials);
         health = res.health;
         faultStats = res.faults;
+        defenseOverhead = res.defense;
         haveFaultStats = cfg.faultPlan.any();
+    }
+
+    if (cfg.defense.any()) {
+        const kgsl::DefenseOverhead &d = defenseOverhead;
+        Table dt({"defense metric", "value"});
+        dt.addRow({"active stack", cfg.defense.label()});
+        dt.addRow(
+            {"access checks", std::to_string(d.accessChecks)});
+        dt.addRow({"reads seen", std::to_string(d.readsSeen)});
+        dt.addRow(
+            {"reads throttled", std::to_string(d.readsThrottled)});
+        dt.addRow({"stale serves", std::to_string(d.staleServes)});
+        dt.addRow(
+            {"values quantized", std::to_string(d.valuesQuantized)});
+        dt.addRow({"values noised", std::to_string(d.valuesNoised)});
+        dt.addRow({"defender cpu (modeled)",
+                   Table::num(double(d.cpuNs) * 1e-3, 1) + " us"});
+        dt.addRow({"attacker throttled reads",
+                   std::to_string(health.throttledReads)});
+        dt.addRow({"attacker pace backoffs",
+                   std::to_string(health.paceBackoffs)});
+        dt.addRow({"attacker effective interval",
+                   Table::num(double(health.effectiveIntervalNs) *
+                                  1e-6,
+                              1) +
+                       " ms"});
+        dt.print("defense overhead & attacker degradation");
     }
 
     Table table({"metric", "value"});

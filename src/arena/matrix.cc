@@ -1,0 +1,173 @@
+#include "arena/matrix.h"
+
+#include <cstdio>
+
+#include "util/table.h"
+
+namespace gpusc::arena {
+
+namespace {
+
+/** Fixed-format double for deterministic JSON (no locale, 6 dp). */
+std::string
+jnum(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f", v);
+    return buf;
+}
+
+std::string
+jstr(const std::string &s)
+{
+    // Labels here are machine-generated ([a-z0-9+-]); quote as-is.
+    return "\"" + s + "\"";
+}
+
+} // namespace
+
+void
+applyAttacker(eval::ExperimentConfig &cfg, const AttackerSpec &attacker)
+{
+    cfg.attackParams.recovery.rateLimitAware = attacker.robust;
+    cfg.attackParams.inference.noiseRobust = attacker.robust;
+}
+
+Matrix::Matrix(MatrixConfig cfg) : cfg_(std::move(cfg))
+{
+    if (cfg_.defenses.empty())
+        cfg_.defenses = defaultGrid();
+    if (cfg_.attackers.empty())
+        cfg_.attackers = defaultAttackers();
+}
+
+std::vector<Cell>
+Matrix::run(attack::ModelStore &store) const
+{
+    std::vector<Cell> cells;
+    cells.reserve(cfg_.defenses.size() * cfg_.attackers.size());
+    for (const kgsl::DefenseConfig &defense : cfg_.defenses) {
+        for (const AttackerSpec &attacker : cfg_.attackers) {
+            eval::ExperimentConfig cfg = cfg_.base;
+            cfg.defense = defense;
+            applyAttacker(cfg, attacker);
+
+            exec::ParallelRunner runner(cfg, store, cfg_.threads,
+                                        cfg_.plan);
+            exec::ParallelResult res = runner.runTrials(
+                cfg_.trials, cfg_.minLen, cfg_.maxLen);
+
+            Cell cell;
+            cell.defense = defense.label();
+            cell.attacker = attacker.name;
+            cell.stats = res.stats;
+            cell.health = res.health;
+            cell.overhead = res.defense;
+            cells.push_back(std::move(cell));
+        }
+    }
+    return cells;
+}
+
+std::vector<kgsl::DefenseConfig>
+Matrix::defaultGrid()
+{
+    std::vector<kgsl::DefenseConfig> grid;
+
+    grid.emplace_back(); // stock: the undefended reference row
+
+    kgsl::DefenseConfig rate;
+    rate.readsPerSecond = 48.0;
+    grid.push_back(rate);
+
+    kgsl::DefenseConfig stale = rate;
+    stale.overBudget = kgsl::DefenseConfig::OverBudget::Stale;
+    grid.push_back(stale);
+
+    kgsl::DefenseConfig quant;
+    quant.quantStep = 96;
+    grid.push_back(quant);
+
+    kgsl::DefenseConfig noise;
+    noise.noiseAmplitude = 24;
+    grid.push_back(noise);
+
+    kgsl::DefenseConfig combo;
+    combo.readsPerSecond = 48.0;
+    combo.quantStep = 96;
+    grid.push_back(combo);
+
+    return grid;
+}
+
+std::vector<AttackerSpec>
+Matrix::defaultAttackers()
+{
+    return {{"naive", false}, {"robust", true}};
+}
+
+std::string
+Matrix::cellsJson(const std::vector<Cell> &cells)
+{
+    std::string out = "[";
+    bool first = true;
+    for (const Cell &c : cells) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\n    {";
+        out += "\"defense\": " + jstr(c.defense);
+        out += ", \"attacker\": " + jstr(c.attacker);
+        out += ", \"trials\": " + std::to_string(c.stats.trials());
+        out += ", \"text_accuracy\": " + jnum(c.stats.textAccuracy());
+        out += ", \"key_accuracy\": " + jnum(c.stats.charAccuracy());
+        out += ", \"health\": {";
+        out += "\"throttled_reads\": " +
+               std::to_string(c.health.throttledReads);
+        out += ", \"pace_backoffs\": " +
+               std::to_string(c.health.paceBackoffs);
+        out += ", \"pace_recoveries\": " +
+               std::to_string(c.health.paceRecoveries);
+        out += ", \"missed_reads\": " +
+               std::to_string(c.health.missedReads);
+        out += ", \"effective_interval_ns\": " +
+               std::to_string(c.health.effectiveIntervalNs);
+        out += "}";
+        out += ", \"overhead\": {";
+        out += "\"access_checks\": " +
+               std::to_string(c.overhead.accessChecks);
+        out += ", \"reads_seen\": " +
+               std::to_string(c.overhead.readsSeen);
+        out += ", \"reads_throttled\": " +
+               std::to_string(c.overhead.readsThrottled);
+        out += ", \"stale_serves\": " +
+               std::to_string(c.overhead.staleServes);
+        out += ", \"values_quantized\": " +
+               std::to_string(c.overhead.valuesQuantized);
+        out += ", \"values_noised\": " +
+               std::to_string(c.overhead.valuesNoised);
+        out += ", \"cpu_ns\": " + std::to_string(c.overhead.cpuNs);
+        out += "}}";
+    }
+    out += "\n  ]";
+    return out;
+}
+
+void
+Matrix::printTable(const std::vector<Cell> &cells)
+{
+    Table t({"defense", "attacker", "text acc", "key acc",
+             "throttled", "eff. interval", "defender cpu"});
+    for (const Cell &c : cells) {
+        const double ms = double(c.health.effectiveIntervalNs) * 1e-6;
+        const double us = double(c.overhead.cpuNs) * 1e-3;
+        t.addRow({c.defense, c.attacker,
+                  Table::pct(c.stats.textAccuracy()),
+                  Table::pct(c.stats.charAccuracy()),
+                  std::to_string(c.health.throttledReads),
+                  Table::num(ms, 1) + "ms", Table::num(us, 1) + "us"});
+    }
+    t.print("attack-vs-defense matrix");
+}
+
+} // namespace gpusc::arena

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The attack-vs-defense arena: a defense-grid × attacker-mode matrix.
+ *
+ * Each cell runs one full accuracy campaign — a kgsl defense stack
+ * (kgsl::DefenseConfig) on the victim's driver against one attacker
+ * mode (naive, or the robust attacker that paces under rate limiting,
+ * re-estimates thresholds under quantization and votes under noise) —
+ * and reports residual accuracy, attacker health and defender-side
+ * overhead. The matrix is the paper-§9 question asked quantitatively:
+ * not "does the mitigation stop the attack" but "how far does each
+ * dial degrade it, against an adversary that adapts, at what cost".
+ *
+ * Determinism: every cell shares the same credential set (all cells
+ * run the same base seed through exec::ParallelRunner's index-keyed
+ * streams), cells are evaluated in grid order, and each cell's
+ * campaign is thread-count-independent — so the whole matrix is
+ * byte-identical at any worker count.
+ */
+
+#ifndef GPUSC_ARENA_MATRIX_H
+#define GPUSC_ARENA_MATRIX_H
+
+#include <string>
+#include <vector>
+
+#include "attack/model_store.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "exec/parallel_runner.h"
+#include "kgsl/defense.h"
+
+namespace gpusc::arena {
+
+/** One attacker column of the matrix. */
+struct AttackerSpec
+{
+    std::string name = "naive";
+    /**
+     * Enable the graceful-degradation machinery: rate-limit-aware
+     * sampler pacing, quantization-aware threshold re-estimation and
+     * noise-robust voting classification.
+     */
+    bool robust = false;
+};
+
+/** One evaluated (defense, attacker) cell. */
+struct Cell
+{
+    /** DefenseConfig::label() of the row ("stock" = undefended). */
+    std::string defense;
+    /** AttackerSpec::name of the column. */
+    std::string attacker;
+    eval::AccuracyStats stats;
+    attack::HealthStats health{};
+    kgsl::DefenseOverhead overhead{};
+};
+
+/** Everything a matrix run can vary. */
+struct MatrixConfig
+{
+    /** Rows; defaultGrid() when empty. */
+    std::vector<kgsl::DefenseConfig> defenses;
+    /** Columns; defaultAttackers() when empty. */
+    std::vector<AttackerSpec> attackers;
+    /**
+     * Base experiment every cell derives from (device, seed, typing
+     * behaviour). The cell overwrites `defense` and the attacker-mode
+     * knobs; everything else is shared so cells stay comparable.
+     */
+    eval::ExperimentConfig base{};
+    int trials = 12;
+    std::size_t minLen = 8;
+    std::size_t maxLen = 12;
+    /** Worker threads per cell campaign (never changes the output). */
+    std::size_t threads = 1;
+    exec::ShardPlan plan{};
+};
+
+/** Runs the defense × attacker grid. */
+class Matrix
+{
+  public:
+    explicit Matrix(MatrixConfig cfg);
+
+    /**
+     * Evaluate every cell, rows outer / columns inner, in order.
+     * Deterministic in (cfg.base.seed, grid, trials, lengths,
+     * plan.shardSize) — never in cfg.threads.
+     */
+    std::vector<Cell> run(attack::ModelStore &store) const;
+
+    const MatrixConfig &config() const { return cfg_; }
+
+    /** The arena's standard rows: stock + one row per defense dial. */
+    static std::vector<kgsl::DefenseConfig> defaultGrid();
+
+    /** The arena's standard columns: naive and robust. */
+    static std::vector<AttackerSpec> defaultAttackers();
+
+    /**
+     * Serialize cells as a deterministic JSON array (fixed key order,
+     * fixed float formatting) — the "cells" value of BENCH_arena.json.
+     */
+    static std::string cellsJson(const std::vector<Cell> &cells);
+
+    /** Render the human-readable matrix table to stdout. */
+    static void printTable(const std::vector<Cell> &cells);
+
+  private:
+    MatrixConfig cfg_;
+};
+
+/** Apply an attacker mode to an experiment's attack knobs. */
+void applyAttacker(eval::ExperimentConfig &cfg,
+                   const AttackerSpec &attacker);
+
+} // namespace gpusc::arena
+
+#endif // GPUSC_ARENA_MATRIX_H

@@ -20,8 +20,10 @@
 #ifndef GPUSC_ATTACK_CHANGE_DETECTOR_H
 #define GPUSC_ATTACK_CHANGE_DETECTOR_H
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <numeric>
 #include <optional>
 
 #include "attack/sampler.h"
@@ -107,6 +109,13 @@ class ChangeDetector
         }
         if (!any)
             return std::nullopt;
+        if (latticeOn_)
+            // Deltas here are non-negative by construction (monotone
+            // totals; wraps repaired above).
+            for (std::size_t i = 0; i < c.delta.size(); ++i)
+                if (c.delta[i] > 0)
+                    lattice_[i] = std::gcd(
+                        lattice_[i], std::uint64_t(c.delta[i]));
         if (changesOut_)
             changesOut_->inc();
         return c;
@@ -150,6 +159,24 @@ class ChangeDetector
         wrapsRepairedCtr_ = &m.counter("change.wraps_repaired");
     }
 
+    /**
+     * Quantization awareness (robust attacker): when enabled, every
+     * emitted nonzero per-counter delta folds into a running GCD —
+     * the estimate of the value lattice the stream lives on. Under a
+     * value-coarsening defense the GCD converges to the quantization
+     * step within a few changes; on an undefended (or noisy) stream
+     * it collapses to ~1 almost immediately, making the estimate a
+     * safe input for threshold re-estimation downstream.
+     */
+    void setLatticeEstimation(bool on) { latticeOn_ = on; }
+
+    /** Per-counter lattice step estimate (0 = nothing observed). */
+    const std::array<std::uint64_t, gpu::kNumSelectedCounters> &
+    latticeEstimate() const
+    {
+        return lattice_;
+    }
+
     /** Readings dropped to re-baseline (resets / power collapses). */
     std::uint64_t resetsDetected() const { return resetsDetected_; }
 
@@ -159,6 +186,8 @@ class ChangeDetector
   private:
     gpu::CounterTotals prev_{};
     bool havePrev_ = false;
+    bool latticeOn_ = false;
+    std::array<std::uint64_t, gpu::kNumSelectedCounters> lattice_{};
     std::uint64_t resetsDetected_ = 0;
     std::uint64_t wrapsRepaired_ = 0;
     std::function<void(SimTime)> onDiscontinuity_;

@@ -124,6 +124,12 @@ Eavesdropper::adoptModel(const SignatureModel &model)
     inference_ =
         std::make_unique<OnlineInference>(model, params_.inference);
     inference_->setTelemetry(params_.telemetry);
+    if (params_.inference.noiseRobust) {
+        // Quantization-aware mode: the detector's live lattice
+        // estimate feeds the inference's threshold re-estimation.
+        changes_.setLatticeEstimation(true);
+        inference_->setQuantLattice(&changes_.latticeEstimate());
+    }
     correction_ = std::make_unique<CorrectionTracker>(model);
     inference_->setNoiseListener([this](const PcChange &c) {
         if (!params_.correctionTracking || !correction_)

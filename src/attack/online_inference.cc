@@ -1,5 +1,7 @@
 #include "attack/online_inference.h"
 
+#include <cmath>
+
 namespace gpusc::attack {
 
 OnlineInference::OnlineInference(const SignatureModel &model,
@@ -23,6 +25,95 @@ OnlineInference::setTelemetry(obs::Telemetry *tel)
     dupDropsCtr_ = &m.counter("infer.dup_drops");
     splitCombinesCtr_ = &m.counter("infer.split_combines");
     noiseCtr_ = &m.counter("infer.noise");
+}
+
+double
+OnlineInference::effectiveThreshold() const
+{
+    if (!params_.noiseRobust)
+        return model_.threshold();
+    double th = model_.threshold() * params_.robustMarginScale;
+    if (lattice_) {
+        // Flooring cumulative values to a step-q lattice displaces
+        // each observed delta by up to ±q per dimension. Widen the
+        // accept radius by the normalised norm of the full-step
+        // vector — the worst-case displacement of a genuine popup
+        // delta, in the same units as C_th.
+        double s = 0.0;
+        const auto &scale = model_.scale();
+        for (std::size_t d = 0; d < scale.size(); ++d) {
+            if ((*lattice_)[d] > 1) {
+                const double e = double((*lattice_)[d]) * scale[d];
+                s += e * e;
+            }
+        }
+        th += std::sqrt(s);
+    }
+    return th;
+}
+
+SignatureModel::Match
+OnlineInference::classifyForMode(const gpu::CounterVec &delta,
+                                 gpu::CounterVec *effectiveOut) const
+{
+    const SignatureModel::Match best =
+        model_.classifyRobust(delta, effectiveOut);
+    if (!params_.noiseRobust || !lattice_)
+        return best;
+    bool anyStep = false;
+    for (std::size_t d = 0; d < lattice_->size(); ++d)
+        anyStep = anyStep || (*lattice_)[d] > 1;
+    if (!anyStep)
+        return best;
+
+    // Multi-reading voting over the lattice-displaced variants: the
+    // observed delta, and the half-step up/down shifts that undo the
+    // two worst-case flooring alignments. A label agreed by two of
+    // the three votes wins outright; failing consensus, the closest
+    // accepted variant still beats a rejected raw match (flooring
+    // rarely leaves the raw delta inside the accept radius at all).
+    gpu::CounterVec vplus{}, vminus{}, effPlus{}, effMinus{};
+    for (std::size_t d = 0; d < delta.size(); ++d) {
+        const std::int64_t half =
+            (*lattice_)[d] > 1 ? std::int64_t((*lattice_)[d] / 2) : 0;
+        vplus[d] = delta[d] + half;
+        vminus[d] = delta[d] - half;
+    }
+    const SignatureModel::Match mp =
+        model_.classifyRobust(vplus, &effPlus);
+    const SignatureModel::Match mm =
+        model_.classifyRobust(vminus, &effMinus);
+
+    const double effTh = effectiveThreshold();
+    const SignatureModel::Match *cands[3] = {&best, &mp, &mm};
+    const gpu::CounterVec *effs[3] = {effectiveOut, &effPlus,
+                                      &effMinus};
+    int winner = -1;
+    for (int i = 0; i < 3; ++i) {
+        if (!cands[i]->accepted(effTh))
+            continue;
+        int votes = 0;
+        for (int j = 0; j < 3; ++j)
+            if (cands[j]->accepted(effTh) &&
+                cands[j]->sig->label == cands[i]->sig->label)
+                ++votes;
+        if (votes < 2)
+            continue;
+        if (winner < 0 || cands[i]->distance < cands[winner]->distance)
+            winner = i;
+    }
+    if (winner < 0)
+        // No consensus: take the closest accepted variant, if any.
+        for (int i = 0; i < 3; ++i)
+            if (cands[i]->accepted(effTh) &&
+                (winner < 0 ||
+                 cands[i]->distance < cands[winner]->distance))
+                winner = i;
+    if (winner <= 0)
+        return best; // raw match won, or nothing accepted
+    if (effectiveOut && effs[winner])
+        *effectiveOut = *effs[winner];
+    return *cands[winner];
 }
 
 std::optional<InferredKey>
@@ -50,8 +141,8 @@ OnlineInference::onChange(const PcChange &change)
     // change anyway — no clock reads here.)
     gpu::CounterVec effective{};
     const SignatureModel::Match direct =
-        model_.classifyRobust(change.delta, &effective);
-    if (direct.accepted(model_.threshold())) {
+        classifyForMode(change.delta, &effective);
+    if (direct.accepted(effectiveThreshold())) {
         lastInferred_ = change.time;
         prevUnmatched_.reset();
         ++inferred_;
@@ -70,8 +161,8 @@ OnlineInference::onChange(const PcChange &change)
         const gpu::CounterVec combined =
             prevUnmatched_->delta + change.delta;
         const SignatureModel::Match m =
-            model_.classifyRobust(combined, &effective);
-        if (m.accepted(model_.threshold())) {
+            classifyForMode(combined, &effective);
+        if (m.accepted(effectiveThreshold())) {
             const SimTime at = prevUnmatched_->time;
             lastInferred_ = change.time;
             prevUnmatched_.reset();

@@ -18,6 +18,7 @@
 #ifndef GPUSC_ATTACK_ONLINE_INFERENCE_H
 #define GPUSC_ATTACK_ONLINE_INFERENCE_H
 
+#include <array>
 #include <functional>
 #include <optional>
 
@@ -55,6 +56,17 @@ class OnlineInference
         SimTime tmin = SimTime::fromMs(75);
         /** Max gap between two changes that may be one split frame. */
         SimTime combineWindow = SimTime::fromMs(25);
+        /**
+         * Noise-robust classify mode (the robust attacker): widen the
+         * accept margin by robustMarginScale plus a lattice-derived
+         * inflation term (quantization-aware C_th re-estimation, fed
+         * by ChangeDetector::latticeEstimate via setQuantLattice),
+         * and vote across lattice-displaced variants of each change
+         * before accepting a borderline match.
+         */
+        bool noiseRobust = false;
+        /** Multiplicative widening of C_th in robust mode. */
+        double robustMarginScale = 1.35;
     };
 
     OnlineInference(const SignatureModel &model, Params params);
@@ -84,6 +96,25 @@ class OnlineInference
     void setDuplicationFilterEnabled(bool on) { dupFilter_ = on; }
 
     /**
+     * Feed the live per-counter lattice estimate (owned by the
+     * ChangeDetector; must outlive this object). Only consulted in
+     * noise-robust mode.
+     */
+    void setQuantLattice(
+        const std::array<std::uint64_t, gpu::kNumSelectedCounters>
+            *lattice)
+    {
+        lattice_ = lattice;
+    }
+
+    /**
+     * The accept threshold actually in force: C_th as trained, or —
+     * in noise-robust mode — C_th widened by the margin scale plus
+     * the normalised half-step norm of the observed value lattice.
+     */
+    double effectiveThreshold() const;
+
+    /**
      * The counter stream re-baselined (reset / power collapse): a
      * pending split candidate from before the gap must not be
      * combined with changes after it.
@@ -107,10 +138,16 @@ class OnlineInference
     const SignatureModel &model() const { return model_; }
 
   private:
+    SignatureModel::Match classifyForMode(
+        const gpu::CounterVec &delta,
+        gpu::CounterVec *effectiveOut) const;
+
     const SignatureModel &model_;
     Params params_;
     bool splitRepair_ = true;
     bool dupFilter_ = true;
+    const std::array<std::uint64_t, gpu::kNumSelectedCounters>
+        *lattice_ = nullptr;
     std::function<void(const PcChange &)> noiseListener_;
     std::optional<PcChange> prevUnmatched_;
     SimTime lastInferred_ = SimTime::fromSeconds(-1e6);

@@ -55,7 +55,8 @@ PcSampler::PcSampler(kgsl::KgslDevice &dev, kgsl::ProcessContext proc,
                      EventQueue &eq, SimTime interval,
                      RecoveryParams recovery)
     : dev_(dev), proc_(proc), eq_(eq), interval_(interval),
-      recovery_(recovery), aliveToken_(std::make_shared<int>(0))
+      recovery_(recovery), paceInterval_(interval),
+      aliveToken_(std::make_shared<int>(0))
 {
 }
 
@@ -72,7 +73,8 @@ PcSampler::setTelemetry(obs::Telemetry *tel)
         tickTimer_ = obs::StageTimer();
         readsOkCtr_ = readsMissedCtr_ = transientRetriesCtr_ =
             busyRetriesCtr_ = reopensCtr_ = watchdogRecoveriesCtr_ =
-                nullptr;
+                throttledReadsCtr_ = paceBackoffsCtr_ =
+                    paceRecoveriesCtr_ = nullptr;
         countersHeldGauge_ = nullptr;
         return;
     }
@@ -84,6 +86,9 @@ PcSampler::setTelemetry(obs::Telemetry *tel)
     busyRetriesCtr_ = &m.counter("sampler.busy_retries");
     reopensCtr_ = &m.counter("sampler.reopens");
     watchdogRecoveriesCtr_ = &m.counter("sampler.watchdog_recoveries");
+    throttledReadsCtr_ = &m.counter("sampler.reads_throttled");
+    paceBackoffsCtr_ = &m.counter("sampler.pace_backoffs");
+    paceRecoveriesCtr_ = &m.counter("sampler.pace_recoveries");
     countersHeldGauge_ = &m.gauge("sampler.counters_held");
     updateHeldGauge();
 }
@@ -102,9 +107,16 @@ PcSampler::updateHeldGauge()
 int
 PcSampler::ioctlRetrying(unsigned long request, void *arg)
 {
+    // While the pacer is backing off from a rate limiter, inline
+    // EAGAIN retries are pure loss: a token bucket refills with time,
+    // not attempts, and a penalising one taxes every denied retry.
+    // EINTR (a genuinely transient signal) still retries.
+    const bool skipEagain =
+        recovery_.rateLimitAware && paceInterval_ > interval_;
     int rc = dev_.ioctl(fd_, request, arg);
     for (int attempt = 0;
-         (rc == -kgsl::KGSL_EINTR || rc == -kgsl::KGSL_EAGAIN) &&
+         (rc == -kgsl::KGSL_EINTR ||
+          (rc == -kgsl::KGSL_EAGAIN && !skipEagain)) &&
          attempt < recovery_.maxTransientRetries;
          ++attempt) {
         ++health_.transientRetries;
@@ -266,6 +278,8 @@ PcSampler::start()
         return false;
     running_ = true;
     suspended_ = false;
+    paceInterval_ = interval_;
+    consecThrottled_ = consecOk_ = 0;
     ++generation_;
     scheduleWatchdog();
     tick();
@@ -302,6 +316,7 @@ PcSampler::health() const
     h.countersHeld = 0;
     for (std::size_t i = 0; i < gpu::kNumSelectedCounters; ++i)
         h.countersHeld += held_[i] ? 1 : 0;
+    h.effectiveIntervalNs = std::uint64_t(effectiveInterval().ns());
     return h;
 }
 
@@ -321,6 +336,7 @@ PcSampler::tick()
         ++reads_;
         if (readsOkCtr_)
             readsOkCtr_->inc();
+        notePaceSuccess();
         if (tap_)
             tap_(r);
         if (listener_)
@@ -329,6 +345,8 @@ PcSampler::tick()
         ++health_.missedReads;
         if (readsMissedCtr_)
             readsMissedCtr_->inc();
+        if (rc == -kgsl::KGSL_EAGAIN)
+            notePaceThrottle();
         if (rc == -kgsl::KGSL_EPERM || rc == -kgsl::KGSL_EACCES ||
             rc == -kgsl::KGSL_ENODEV) {
             // Hard fault (policy denial, or a reset we could not
@@ -348,9 +366,53 @@ PcSampler::tick()
 }
 
 void
+PcSampler::notePaceThrottle()
+{
+    ++health_.throttledReads;
+    if (throttledReadsCtr_)
+        throttledReadsCtr_->inc();
+    consecOk_ = 0;
+    if (!recovery_.rateLimitAware)
+        return;
+    if (++consecThrottled_ < recovery_.throttleDetectTicks)
+        return;
+    consecThrottled_ = 0;
+    // Sustained EAGAIN: the driver is rate limiting, not glitching.
+    // Stretch the cadence (at least doubling it) and let successful
+    // paced ticks probe back down later.
+    const SimTime doubled = effectiveInterval() * 2;
+    const SimTime next =
+        doubled < recovery_.paceMax ? doubled : recovery_.paceMax;
+    if (next > paceInterval_) {
+        paceInterval_ = next;
+        ++health_.paceBackoffs;
+        if (paceBackoffsCtr_)
+            paceBackoffsCtr_->inc();
+    }
+}
+
+void
+PcSampler::notePaceSuccess()
+{
+    consecThrottled_ = 0;
+    if (!recovery_.rateLimitAware || paceInterval_ <= interval_)
+        return;
+    if (++consecOk_ < recovery_.paceProbeTicks)
+        return;
+    consecOk_ = 0;
+    // The paced cadence has been clean for a while: probe a faster
+    // one. If the limiter pushes back, the next backoff restores it.
+    const SimTime halved = paceInterval_ / 2;
+    paceInterval_ = halved > interval_ ? halved : interval_;
+    ++health_.paceRecoveries;
+    if (paceRecoveriesCtr_)
+        paceRecoveriesCtr_->inc();
+}
+
+void
 PcSampler::scheduleNext()
 {
-    SimTime next = interval_;
+    SimTime next = effectiveInterval();
     if (wakeupJitter_)
         next += wakeupJitter_();
     std::weak_ptr<int> alive = aliveToken_;

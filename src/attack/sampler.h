@@ -54,6 +54,21 @@ struct RecoveryParams
     SimTime watchdogInterval = SimTime::fromMs(64);
     /** Keep sampling on whatever counter subset was reservable. */
     bool allowDegraded = true;
+    /**
+     * Robust-attacker mode: detect sustained EAGAIN throttling (a
+     * rate-limiting kgsl policy) and *pace* — stretch the effective
+     * sampling interval toward the allowed cadence and stop burning
+     * inline EAGAIN retries, which a penalising token bucket taxes.
+     * Successful paced ticks probe back toward the full rate, so the
+     * sampler converges on the fastest cadence the defense serves.
+     */
+    bool rateLimitAware = false;
+    /** Consecutive throttled ticks that trigger one pace backoff. */
+    int throttleDetectTicks = 2;
+    /** Pacing ceiling (slowest cadence the pacer falls back to). */
+    SimTime paceMax = SimTime::fromMs(512);
+    /** Successful paced ticks before probing a faster cadence. */
+    int paceProbeTicks = 16;
 };
 
 /**
@@ -81,6 +96,15 @@ struct HealthStats
     std::uint64_t wrapsRepaired = 0;
     /** Counters currently reserved, of gpu::kNumSelectedCounters. */
     std::uint64_t countersHeld = 0;
+    /** Reads lost to rate-limit throttling (EAGAIN after retries). */
+    std::uint64_t throttledReads = 0;
+    /** Pace backoffs (sampling cadence stretched under throttling). */
+    std::uint64_t paceBackoffs = 0;
+    /** Pace probes back toward full rate after sustained success. */
+    std::uint64_t paceRecoveries = 0;
+    /** Effective sampling interval, ns (degraded rate surfaced to
+     *  the operator; aggregations keep the max across shards). */
+    std::uint64_t effectiveIntervalNs = 0;
 };
 
 /** Periodic PC reader over the KGSL ioctl interface. */
@@ -138,6 +162,14 @@ class PcSampler
 
     bool running() const { return running_; }
     SimTime interval() const { return interval_; }
+
+    /** Current tick cadence: interval(), stretched while the pacer
+     *  is backing off from a rate-limiting policy. */
+    SimTime effectiveInterval() const
+    {
+        return paceInterval_ > interval_ ? paceInterval_ : interval_;
+    }
+
     std::uint64_t readCount() const { return reads_; }
     int lastErrno() const { return lastErrno_; }
 
@@ -166,6 +198,8 @@ class PcSampler
     bool openAndReserve();
     bool reopenAfterReset();
     void maybeReacquire();
+    void notePaceThrottle();
+    void notePaceSuccess();
     void updateHeldGauge();
     int ioctlRetrying(unsigned long request, void *arg);
     int readHeld(gpu::CounterTotals &out);
@@ -191,6 +225,11 @@ class PcSampler
     /** Current / next-due EBUSY re-reservation backoff. */
     SimTime backoff_;
     SimTime backoffDue_;
+    /** Paced tick cadence (== interval_ when not throttled). */
+    SimTime paceInterval_;
+    /** Consecutive EAGAIN-missed / successful ticks (pacing). */
+    int consecThrottled_ = 0;
+    int consecOk_ = 0;
     HealthStats health_;
     obs::Telemetry *telemetry_ = nullptr;
     obs::StageTimer tickTimer_;
@@ -200,6 +239,9 @@ class PcSampler
     obs::Counter *busyRetriesCtr_ = nullptr;
     obs::Counter *reopensCtr_ = nullptr;
     obs::Counter *watchdogRecoveriesCtr_ = nullptr;
+    obs::Counter *throttledReadsCtr_ = nullptr;
+    obs::Counter *paceBackoffsCtr_ = nullptr;
+    obs::Counter *paceRecoveriesCtr_ = nullptr;
     obs::Gauge *countersHeldGauge_ = nullptr;
     /** Bumped by start()/stop(); pending callbacks from an older
      *  generation are no-ops, making stop/restart cycles safe. */

@@ -25,6 +25,15 @@ ExperimentRunner::ExperimentRunner(ExperimentConfig cfg,
     devCfg.seed = cfg_.seed ^ 0x76696374696dULL;
     device_ = std::make_unique<android::Device>(devCfg);
 
+    // Defense stack on the victim's driver (the lab device above
+    // trained against a stock one). Installed before boot so the very
+    // first open already meets the gate.
+    if (cfg_.defense.any()) {
+        defensePolicy_ =
+            std::make_unique<kgsl::DefendedPolicy>(cfg_.defense);
+        device_->setSecurityPolicy(*defensePolicy_);
+    }
+
     // Telemetry flows to every instrumented layer from here: the
     // attack pipeline via its Params, the driver boundary directly.
     cfg_.attackParams.telemetry = cfg_.telemetry;

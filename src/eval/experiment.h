@@ -19,6 +19,7 @@
 #include "attack/eavesdropper.h"
 #include "attack/model_store.h"
 #include "eval/metrics.h"
+#include "kgsl/defense.h"
 #include "trace/trace_recorder.h"
 #include "workload/credential.h"
 #include "workload/load.h"
@@ -50,6 +51,14 @@ struct ExperimentConfig
      * fault-free (the paper trains in the attacker's lab).
      */
     kgsl::FaultPlan faultPlan{};
+    /**
+     * Counter-degrading kgsl defense stack (kgsl::DefendedPolicy):
+     * RBAC gate, read rate limiting, value quantization, noise
+     * injection. Default-constructed = stock driver. Only the victim
+     * device defends itself; the offline trainer's lab device is
+     * always stock.
+     */
+    kgsl::DefenseConfig defense{};
     /** Use the preloaded-store + device-recognition path. */
     bool useDeviceRecognition = false;
     /**
@@ -112,6 +121,19 @@ class ExperimentRunner
     /** Active fault injector, or null when the plan is empty. */
     kgsl::FaultInjector *faultInjector() { return injector_.get(); }
 
+    /** Active defense policy, or null when cfg.defense is stock. */
+    const kgsl::DefendedPolicy *defense() const
+    {
+        return defensePolicy_.get();
+    }
+
+    /** Defender-side cost so far (all-zero when undefended). */
+    kgsl::DefenseOverhead defenseOverhead() const
+    {
+        return defensePolicy_ ? defensePolicy_->overhead()
+                              : kgsl::DefenseOverhead{};
+    }
+
     /** Pipeline fault-recovery accounting (sampler + detector). */
     attack::HealthStats health() const
     {
@@ -133,6 +155,9 @@ class ExperimentRunner
 
   private:
     ExperimentConfig cfg_;
+    /** Declared before device_: the device keeps a raw pointer to the
+     *  active policy, so the policy must be destroyed after it. */
+    std::unique_ptr<kgsl::DefendedPolicy> defensePolicy_;
     std::unique_ptr<android::Device> device_;
     std::unique_ptr<kgsl::FaultInjector> injector_;
     std::unique_ptr<trace::TraceRecorder> recorder_;

@@ -25,6 +25,12 @@ addHealth(attack::HealthStats &into, const attack::HealthStats &from)
     into.streamResets += from.streamResets;
     into.wrapsRepaired += from.wrapsRepaired;
     into.countersHeld += from.countersHeld;
+    into.throttledReads += from.throttledReads;
+    into.paceBackoffs += from.paceBackoffs;
+    into.paceRecoveries += from.paceRecoveries;
+    // Degraded-rate surface: worst cadence across shards.
+    if (from.effectiveIntervalNs > into.effectiveIntervalNs)
+        into.effectiveIntervalNs = from.effectiveIntervalNs;
 }
 
 void
@@ -85,6 +91,7 @@ ParallelRunner::runTrials(int n, std::size_t minLen,
         std::vector<eval::TrialResult> trials;
         attack::HealthStats health{};
         kgsl::FaultInjector::Stats faults{};
+        kgsl::DefenseOverhead defense{};
         std::unique_ptr<obs::Telemetry> telemetry;
     };
 
@@ -111,6 +118,7 @@ ParallelRunner::runTrials(int n, std::size_t minLen,
         for (std::size_t i = lo; i < hi; ++i)
             out.trials.push_back(runner.runTrial(creds[i]));
         out.health = runner.health();
+        out.defense = runner.defenseOverhead();
         if (const kgsl::FaultInjector *inj = runner.faultInjector())
             out.faults = inj->stats();
     });
@@ -125,6 +133,7 @@ ParallelRunner::runTrials(int n, std::size_t minLen,
         }
         addHealth(result.health, out.health);
         addFaults(result.faults, out.faults);
+        result.defense.add(out.defense);
         if (cfg_.telemetry && out.telemetry)
             cfg_.telemetry->merge(*out.telemetry);
     }

@@ -71,6 +71,9 @@ struct ParallelResult
     attack::HealthStats health{};
     /** Injected-fault accounting summed over all shards. */
     kgsl::FaultInjector::Stats faults{};
+    /** Defender-side cost summed over all shards (all-zero when the
+     *  campaign ran undefended). */
+    kgsl::DefenseOverhead defense{};
 };
 
 /** Runs experiment campaigns sharded across a thread pool. */

@@ -1,0 +1,181 @@
+#include "kgsl/defense.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/rng.h"
+
+namespace gpusc::kgsl {
+
+namespace {
+
+// Modeled per-operation defender CPU costs (ns). Fixed constants so
+// overhead accounting is deterministic (no wall-clock; lint D1) yet
+// proportional to the real work each dial implies: an RBAC set
+// lookup, a bucket refill, a cache copy, an integer floor, an RNG
+// draw.
+constexpr std::uint64_t kCheckNs = 18;
+constexpr std::uint64_t kGateNs = 32;
+constexpr std::uint64_t kThrottleNs = 12;
+constexpr std::uint64_t kStaleNs = 45;
+constexpr std::uint64_t kQuantNs = 6;
+constexpr std::uint64_t kNoiseNs = 22;
+
+} // namespace
+
+bool
+DefenseConfig::any() const
+{
+    return rbac || restrictOpen || readsPerSecond > 0.0 ||
+           quantStep > 1 || noiseAmplitude > 0;
+}
+
+std::string
+DefenseConfig::label() const
+{
+    std::string out;
+    char buf[48];
+    const auto part = [&out](const char *p) {
+        if (!out.empty())
+            out += '+';
+        out += p;
+    };
+    if (rbac)
+        part(restrictOpen ? "rbac-open" : "rbac");
+    else if (restrictOpen)
+        part("open-gate");
+    if (readsPerSecond > 0.0) {
+        std::snprintf(buf, sizeof(buf), "rate%g%s", readsPerSecond,
+                      overBudget == OverBudget::Stale ? "-stale" : "");
+        part(buf);
+    }
+    if (quantStep > 1) {
+        std::snprintf(buf, sizeof(buf), "quant%llu",
+                      (unsigned long long)quantStep);
+        part(buf);
+    }
+    if (noiseAmplitude > 0) {
+        std::snprintf(buf, sizeof(buf), "noise%llu",
+                      (unsigned long long)noiseAmplitude);
+        part(buf);
+    }
+    return out.empty() ? "stock" : out;
+}
+
+DefendedPolicy::DefendedPolicy(DefenseConfig cfg)
+    : cfg_(std::move(cfg)),
+      rbac_(cfg_.rbacRoles, cfg_.restrictOpen
+                                ? RbacPolicy::OpenMode::RestrictToRoles
+                                : RbacPolicy::OpenMode::AllowAll)
+{
+}
+
+bool
+DefendedPolicy::allowOpen(const ProcessContext &proc) const
+{
+    if (!cfg_.rbac && !cfg_.restrictOpen)
+        return true;
+    ++overhead_.accessChecks;
+    overhead_.cpuNs += kCheckNs;
+    return rbac_.allowOpen(proc);
+}
+
+bool
+DefendedPolicy::allowIoctl(const ProcessContext &proc,
+                           unsigned long request) const
+{
+    if (!cfg_.rbac)
+        return true;
+    ++overhead_.accessChecks;
+    overhead_.cpuNs += kCheckNs;
+    return rbac_.allowIoctl(proc, request);
+}
+
+DefendedPolicy::ClientState &
+DefendedPolicy::clientFor(const ProcessContext &proc, SimTime now) const
+{
+    ClientState &c = clients_[proc.pid];
+    if (!c.primed) {
+        c.tokens = cfg_.burst;
+        c.lastRefill = now;
+        c.primed = true;
+    } else if (now > c.lastRefill) {
+        const double dt = (now - c.lastRefill).seconds();
+        c.tokens = std::min(cfg_.burst,
+                            c.tokens + dt * cfg_.readsPerSecond);
+        c.lastRefill = now;
+    }
+    return c;
+}
+
+ReadVerdict
+DefendedPolicy::onCounterRead(const ProcessContext &proc,
+                              SimTime now) const
+{
+    ++overhead_.readsSeen;
+    if (cfg_.readsPerSecond <= 0.0)
+        return ReadVerdict::Allow;
+    overhead_.cpuNs += kGateNs;
+    ClientState &c = clientFor(proc, now);
+    if (c.tokens >= 1.0) {
+        c.tokens -= 1.0;
+        return ReadVerdict::Allow;
+    }
+    // Over budget. Denied attempts pay the anti-hammering tax: a
+    // client that burns inline retries digs its bucket below zero
+    // (floored at -burst so recovery stays bounded), while a paced
+    // client hovers at the refill rate.
+    c.tokens = std::max(c.tokens - cfg_.penaltyTokens, -cfg_.burst);
+    if (cfg_.overBudget == DefenseConfig::OverBudget::Stale &&
+        c.haveCache)
+        return ReadVerdict::Stale;
+    ++overhead_.readsThrottled;
+    overhead_.cpuNs += kThrottleNs;
+    return ReadVerdict::Throttle;
+}
+
+bool
+DefendedPolicy::staleTotals(const ProcessContext &proc,
+                            gpu::CounterTotals &out) const
+{
+    const auto it = clients_.find(proc.pid);
+    if (it == clients_.end() || !it->second.haveCache)
+        return false;
+    out = it->second.cache;
+    ++overhead_.staleServes;
+    overhead_.cpuNs += kStaleNs;
+    return true;
+}
+
+void
+DefendedPolicy::transformTotals(const ProcessContext &proc,
+                                gpu::CounterTotals &totals) const
+{
+    ClientState &c = clients_[proc.pid];
+    if (cfg_.quantStep > 1) {
+        for (std::uint64_t &v : totals)
+            v = v / cfg_.quantStep * cfg_.quantStep;
+        overhead_.valuesQuantized += totals.size();
+        overhead_.cpuNs += kQuantNs * totals.size();
+    }
+    if (cfg_.noiseAmplitude > 0) {
+        // One forked stream per served read: the increments are a
+        // pure function of (seed, read index), so a replay with the
+        // same read sequence is bit-identical. Increments accumulate
+        // (injected GPU work only ever adds), keeping totals
+        // monotone.
+        Rng rng(forkSeed(cfg_.noiseSeed, servedReads_));
+        for (std::size_t i = 0; i < totals.size(); ++i) {
+            c.noiseAccum[i] += std::uint64_t(rng.uniformInt(
+                0, std::int64_t(cfg_.noiseAmplitude)));
+            totals[i] += c.noiseAccum[i];
+        }
+        overhead_.valuesNoised += totals.size();
+        overhead_.cpuNs += kNoiseNs * totals.size();
+    }
+    ++servedReads_;
+    c.cache = totals;
+    c.haveCache = true;
+}
+
+} // namespace gpusc::kgsl

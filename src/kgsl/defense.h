@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Composable counter-degrading defenses over the KGSL device file.
+ *
+ * The paper's §9 sketches mitigations that remove the channel; the
+ * defenses here instead *degrade* it — the post-Spectre stance of
+ * assuming the channel exists and measuring how far coarsening and
+ * throttling push residual accuracy down, and what each dial costs
+ * the defender. A DefendedPolicy stacks, in this order:
+ *
+ *   1. RBAC front gate (optional; the §9.2 allow/deny policy,
+ *      including the open-time variant),
+ *   2. rate limiting: a token bucket per calling process; each served
+ *      PERFCOUNTER_READ costs one token, refilled at readsPerSecond.
+ *      Over-budget reads either fail with EAGAIN or are served the
+ *      last cached values ("stale"), per OverBudget. Denied attempts
+ *      pay a small token *penalty* (real limiters tax hammering:
+ *      retrying a denied read only digs the bucket deeper), so a
+ *      client that paces itself to the allowed cadence sees nearly
+ *      the full budget while a retry-storm gets far less,
+ *   3. value quantization: served values are floored to a multiple of
+ *      quantStep (cumulative counters stay monotone; observed deltas
+ *      land on the step lattice ± one step),
+ *   4. noise injection: a per-read pseudo-random *increment* drawn
+ *      from [0, noiseAmplitude] is accumulated onto every counter.
+ *      Injected work only ever adds GPU activity, so totals stay
+ *      monotone and the stream never fakes a discontinuity. Draws are
+ *      keyed on (seed, served-read index) through forkSeed — replays
+ *      are bit-identical.
+ *
+ * Defender-side cost is *modeled*, not measured (wall-clock reads are
+ * banned outside the sanctioned span path — gpusc-lint D1): each
+ * bookkeeping step adds a fixed nanosecond constant to
+ * DefenseOverhead::cpuNs, so overhead numbers are deterministic and
+ * comparable across cells.
+ *
+ * Thread-safety: policy state (buckets, caches, overhead) is mutable
+ * behind the const SecurityPolicy interface. A policy instance
+ * belongs to exactly one simulated device, and each parallel-runner
+ * shard builds its own device + policy, so access is single-threaded
+ * by construction.
+ */
+
+#ifndef GPUSC_KGSL_DEFENSE_H
+#define GPUSC_KGSL_DEFENSE_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "gpu/counters.h"
+#include "kgsl/policy.h"
+#include "util/sim_time.h"
+
+namespace gpusc::kgsl {
+
+/** Defender-side cost accounting (modeled, deterministic). */
+struct DefenseOverhead
+{
+    /** RBAC access checks evaluated (open + ioctl). */
+    std::uint64_t accessChecks = 0;
+    /** PERFCOUNTER_READs that reached the rate-limit gate. */
+    std::uint64_t readsSeen = 0;
+    /** Reads refused with EAGAIN (over budget). */
+    std::uint64_t readsThrottled = 0;
+    /** Reads served from the stale cache (over budget). */
+    std::uint64_t staleServes = 0;
+    /** Counter values floored to the quantization lattice. */
+    std::uint64_t valuesQuantized = 0;
+    /** Counter values that received a noise increment. */
+    std::uint64_t valuesNoised = 0;
+    /** Modeled defender CPU spent, nanoseconds. */
+    std::uint64_t cpuNs = 0;
+
+    bool
+    any() const
+    {
+        return accessChecks != 0 || readsSeen != 0 || cpuNs != 0;
+    }
+
+    void
+    add(const DefenseOverhead &o)
+    {
+        accessChecks += o.accessChecks;
+        readsSeen += o.readsSeen;
+        readsThrottled += o.readsThrottled;
+        staleServes += o.staleServes;
+        valuesQuantized += o.valuesQuantized;
+        valuesNoised += o.valuesNoised;
+        cpuNs += o.cpuNs;
+    }
+};
+
+/**
+ * Value-typed spec of a defense stack; a cell of the arena grid.
+ * Default-constructed == stock (no defense active).
+ */
+struct DefenseConfig
+{
+    /** What a rate limiter does with an over-budget read. */
+    enum class OverBudget : std::uint8_t
+    {
+        Eagain, ///< fail the ioctl with EAGAIN
+        Stale,  ///< serve the last cached values
+    };
+
+    // --- RBAC front gate (paper §9.2) ---
+    bool rbac = false;
+    /** Open-time enforcement too (see RbacPolicy::OpenMode). */
+    bool restrictOpen = false;
+    std::set<std::string> rbacRoles = {"gpu_profiler", "platform_app"};
+
+    // --- Rate limiting ---
+    /** Token refill rate; 0 disables the limiter. */
+    double readsPerSecond = 0.0;
+    /** Bucket capacity (burst allowance). */
+    double burst = 4.0;
+    /** Token tax per denied attempt (anti-hammering). */
+    double penaltyTokens = 0.25;
+    OverBudget overBudget = OverBudget::Eagain;
+
+    // --- Value quantization ---
+    /** Lattice step served values are floored to; 0/1 disables. */
+    std::uint64_t quantStep = 0;
+
+    // --- Noise injection ---
+    /** Max per-read additive increment per counter; 0 disables. */
+    std::uint64_t noiseAmplitude = 0;
+    /** Master seed of the noise stream (forkSeed per read). */
+    std::uint64_t noiseSeed = 0x6b67736c646566ULL;
+
+    /** @return true when any dial is active (incl. bare RBAC). */
+    bool any() const;
+
+    /** Compact cell name, e.g. "rate64+quant512" ("stock" if none). */
+    std::string label() const;
+};
+
+/** SecurityPolicy implementing the composable defense stack. */
+class DefendedPolicy : public SecurityPolicy
+{
+  public:
+    explicit DefendedPolicy(DefenseConfig cfg);
+
+    bool allowOpen(const ProcessContext &proc) const override;
+    bool allowIoctl(const ProcessContext &proc,
+                    unsigned long request) const override;
+    ReadVerdict onCounterRead(const ProcessContext &proc,
+                              SimTime now) const override;
+    bool staleTotals(const ProcessContext &proc,
+                     gpu::CounterTotals &out) const override;
+    void transformTotals(const ProcessContext &proc,
+                         gpu::CounterTotals &totals) const override;
+
+    std::string name() const override { return cfg_.label(); }
+
+    const DefenseConfig &config() const { return cfg_; }
+
+    /** Accumulated defender cost since construction. */
+    const DefenseOverhead &overhead() const { return overhead_; }
+
+  private:
+    struct ClientState
+    {
+        double tokens = 0.0;
+        SimTime lastRefill;
+        bool primed = false;
+        bool haveCache = false;
+        gpu::CounterTotals cache{};
+        /** Accumulated noise per counter (monotone running sums). */
+        gpu::CounterTotals noiseAccum{};
+    };
+
+    ClientState &clientFor(const ProcessContext &proc, SimTime now) const;
+
+    DefenseConfig cfg_;
+    RbacPolicy rbac_;
+    // Mutable under the const policy interface; see the file comment
+    // for why this is single-threaded by construction.
+    mutable std::map<int, ClientState> clients_;
+    mutable std::uint64_t servedReads_ = 0;
+    mutable DefenseOverhead overhead_;
+};
+
+} // namespace gpusc::kgsl
+
+#endif // GPUSC_KGSL_DEFENSE_H

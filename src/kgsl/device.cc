@@ -117,11 +117,32 @@ KgslDevice::doPerfcounterRead(OpenFile &file, kgsl_perfcounter_read *arg)
 {
     if (!arg || (arg->count > 0 && !arg->reads))
         return -KGSL_EFAULT;
-    // Values are the *global* cumulative hardware registers — this is
-    // the leak: the reading process sees work submitted by every app.
-    gpu::CounterTotals totals = engine_.readAll();
-    if (injector_)
-        injector_->transform(totals);
+    gpu::CounterTotals totals{};
+    const ReadVerdict verdict =
+        policy_->onCounterRead(file.proc, engine_.clock().now());
+    if (verdict == ReadVerdict::Throttle) {
+        noteDefenseIntervention(file.proc, /*stale=*/false);
+        return -KGSL_EAGAIN;
+    }
+    if (verdict == ReadVerdict::Stale) {
+        if (!policy_->staleTotals(file.proc, totals)) {
+            // Over budget before anything was ever served: there is
+            // no cache to repeat, so the read degrades to EAGAIN.
+            noteDefenseIntervention(file.proc, /*stale=*/false);
+            return -KGSL_EAGAIN;
+        }
+        noteDefenseIntervention(file.proc, /*stale=*/true);
+    } else {
+        // Values are the *global* cumulative hardware registers —
+        // this is the leak: the reading process sees work submitted
+        // by every app. The fault injector models what the hardware
+        // handed the kernel; the policy transform (quantization,
+        // noise) is the kernel-side defense applied on top.
+        totals = engine_.readAll();
+        if (injector_)
+            injector_->transform(totals);
+        policy_->transformTotals(file.proc, totals);
+    }
     for (std::uint32_t i = 0; i < arg->count; ++i) {
         kgsl_perfcounter_read_group &entry = arg->reads[i];
         if (!hardwareImplementsCounter(entry.groupid, entry.countable))
@@ -143,13 +164,29 @@ KgslDevice::setTelemetry(obs::Telemetry *tel)
     telemetry_ = tel;
     if (!tel) {
         ioctlTimer_ = obs::StageTimer();
-        ioctlCallsCtr_ = ioctlErrorsCtr_ = policyDenialsCtr_ = nullptr;
+        ioctlCallsCtr_ = ioctlErrorsCtr_ = policyDenialsCtr_ =
+            readsThrottledCtr_ = readsStaleCtr_ = nullptr;
         return;
     }
     ioctlTimer_ = obs::StageTimer(tel, "kgsl.ioctl");
     ioctlCallsCtr_ = &tel->metrics.counter("kgsl.ioctl.calls");
     ioctlErrorsCtr_ = &tel->metrics.counter("kgsl.ioctl.errors");
     policyDenialsCtr_ = &tel->metrics.counter("kgsl.policy_denials");
+    readsThrottledCtr_ = &tel->metrics.counter("kgsl.reads_throttled");
+    readsStaleCtr_ = &tel->metrics.counter("kgsl.reads_stale");
+}
+
+void
+KgslDevice::noteDefenseIntervention(const ProcessContext &proc,
+                                    bool stale)
+{
+    if (!telemetry_)
+        return;
+    (stale ? readsStaleCtr_ : readsThrottledCtr_)->inc();
+    telemetry_->audit.record(engine_.clock().now(), obs::Stage::Kgsl,
+                             stale ? obs::Decision::StaleServed
+                                   : obs::Decision::ThrottledRead,
+                             proc.seContext);
 }
 
 void

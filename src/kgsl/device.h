@@ -115,6 +115,8 @@ class KgslDevice
     int ioctlDispatch(int fd, unsigned long request, void *arg);
     void notePolicyDenial(const ProcessContext &proc,
                           const char *what);
+    void noteDefenseIntervention(const ProcessContext &proc,
+                                 bool stale);
     int doPerfcounterGet(OpenFile &file, kgsl_perfcounter_get *arg);
     int doPerfcounterPut(OpenFile &file, kgsl_perfcounter_put *arg);
     int doPerfcounterRead(OpenFile &file, kgsl_perfcounter_read *arg);
@@ -134,6 +136,8 @@ class KgslDevice
     obs::Counter *ioctlCallsCtr_ = nullptr;
     obs::Counter *ioctlErrorsCtr_ = nullptr;
     obs::Counter *policyDenialsCtr_ = nullptr;
+    obs::Counter *readsThrottledCtr_ = nullptr;
+    obs::Counter *readsStaleCtr_ = nullptr;
 };
 
 /**

@@ -16,9 +16,18 @@ SecurityPolicy::allowIoctl(const ProcessContext &, unsigned long) const
     return true;
 }
 
-RbacPolicy::RbacPolicy(std::set<std::string> allowedRoles)
-    : allowedRoles_(std::move(allowedRoles))
+RbacPolicy::RbacPolicy(std::set<std::string> allowedRoles,
+                       OpenMode openMode)
+    : allowedRoles_(std::move(allowedRoles)), openMode_(openMode)
 {
+}
+
+bool
+RbacPolicy::allowOpen(const ProcessContext &proc) const
+{
+    if (openMode_ == OpenMode::AllowAll)
+        return true;
+    return allowedRoles_.contains(proc.seContext);
 }
 
 bool

@@ -7,6 +7,15 @@
  * The default (stock Android) policy allows everything — which is the
  * vulnerability the paper exploits. The RBAC mitigation of §9.2 is an
  * alternative policy that whitelists perf-counter ioctls per role.
+ *
+ * Beyond the allow/deny gates, a policy may also *degrade* the
+ * counter channel (the §9-adjacent defenses measured by the arena):
+ * the device consults `onCounterRead` before serving each
+ * IOCTL_KGSL_PERFCOUNTER_READ and `transformTotals` on every served
+ * value set. The base class implements both as no-ops so existing
+ * policies are untouched; kgsl::DefendedPolicy (kgsl/defense.h)
+ * implements rate limiting, quantization and noise injection on top
+ * of these hooks.
  */
 
 #ifndef GPUSC_KGSL_POLICY_H
@@ -15,6 +24,9 @@
 #include <memory>
 #include <set>
 #include <string>
+
+#include "gpu/counters.h"
+#include "util/sim_time.h"
 
 namespace gpusc::kgsl {
 
@@ -25,6 +37,14 @@ struct ProcessContext
     /** SELinux domain, e.g. "untrusted_app", "platform_app",
      *  "gpu_profiler". */
     std::string seContext = "untrusted_app";
+};
+
+/** What the active policy decided about one PERFCOUNTER_READ. */
+enum class ReadVerdict : std::uint8_t
+{
+    Allow,    ///< serve fresh hardware values
+    Throttle, ///< over budget: fail the ioctl with EAGAIN
+    Stale,    ///< over budget: serve the last cached values
 };
 
 /** Access-control hook consulted by the device file. */
@@ -39,6 +59,45 @@ class SecurityPolicy
     /** May this process issue this ioctl request? */
     virtual bool allowIoctl(const ProcessContext &proc,
                             unsigned long request) const;
+
+    /**
+     * Rate-limit gate, consulted once per PERFCOUNTER_READ that
+     * passed allowIoctl. @p now is the kernel's view of sim time.
+     * Default: always Allow (no throttling).
+     */
+    virtual ReadVerdict onCounterRead(const ProcessContext &proc,
+                                      SimTime now) const
+    {
+        (void)proc;
+        (void)now;
+        return ReadVerdict::Allow;
+    }
+
+    /**
+     * Serve the caller's cached totals for a Stale verdict.
+     * @return false when nothing has been cached yet (the device
+     * then fails the read with EAGAIN instead).
+     */
+    virtual bool staleTotals(const ProcessContext &proc,
+                             gpu::CounterTotals &out) const
+    {
+        (void)proc;
+        (void)out;
+        return false;
+    }
+
+    /**
+     * Value transform applied to every *served* read (after the fault
+     * injector, i.e. on what the hardware handed the kernel):
+     * quantization, noise injection, and the stale-cache fill all
+     * live here. Default: identity.
+     */
+    virtual void transformTotals(const ProcessContext &proc,
+                                 gpu::CounterTotals &totals) const
+    {
+        (void)proc;
+        (void)totals;
+    }
 
     virtual std::string name() const { return "stock"; }
 };
@@ -58,21 +117,41 @@ class StockPolicy : public SecurityPolicy
  * Role-based access control (paper §9.2): perf-counter ioctls are only
  * allowed for whitelisted SELinux domains; everything else about the
  * device file keeps working so graphics drivers are unaffected.
+ *
+ * Open-time enforcement is a separate dial: the default keeps the
+ * device node world-openable (graphics clients need it), while
+ * OpenMode::RestrictToRoles models the stricter "profiling node"
+ * split where unprivileged domains cannot open the file at all. Both
+ * denial paths are audited identically by the device (PolicyDenied +
+ * the kgsl.policy_denials counter).
  */
 class RbacPolicy : public SecurityPolicy
 {
   public:
+    /** Who may open() the device file at all. */
+    enum class OpenMode : std::uint8_t
+    {
+        AllowAll,        ///< world-openable (graphics keeps working)
+        RestrictToRoles, ///< only whitelisted domains may open
+    };
+
     /** @param allowedRoles domains allowed global PC access. */
     explicit RbacPolicy(std::set<std::string> allowedRoles = {
-        "gpu_profiler", "platform_app"});
+        "gpu_profiler", "platform_app"},
+        OpenMode openMode = OpenMode::AllowAll);
+
+    bool allowOpen(const ProcessContext &proc) const override;
 
     bool allowIoctl(const ProcessContext &proc,
                     unsigned long request) const override;
 
     std::string name() const override { return "rbac"; }
 
+    OpenMode openMode() const { return openMode_; }
+
   private:
     std::set<std::string> allowedRoles_;
+    OpenMode openMode_;
 };
 
 } // namespace gpusc::kgsl

@@ -57,6 +57,10 @@ decisionName(Decision d)
         return "session-evicted";
       case Decision::TemplateUpdated:
         return "template-updated";
+      case Decision::ThrottledRead:
+        return "throttled-read";
+      case Decision::StaleServed:
+        return "stale-served";
     }
     return "?";
 }
@@ -184,6 +188,8 @@ AuditTrail::funnelJson() const
         {"shed_newest", Decision::ShedNewestDrop},
         {"sessions_evicted", Decision::SessionEvicted},
         {"template_updates", Decision::TemplateUpdated},
+        {"reads_throttled", Decision::ThrottledRead},
+        {"reads_stale_served", Decision::StaleServed},
     };
     for (const auto &row : rows) {
         out += ", ";

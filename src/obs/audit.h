@@ -14,12 +14,14 @@
  *               + noise + suppressed
  *
  * Reading-level events (discontinuity-dropped re-baselines), sampler
- * lifecycle events (suspended / recovered), driver policy denials and
- * streaming-ingest events (backpressure sheds, session evictions,
- * template updates) are recorded in the same trail under their own
- * stages but do not enter the change funnel — sheds drop *readings*
- * before change detection, so the funnel identity over changes is
- * preserved exactly. Decision *counts* cover the whole run; the record ring
+ * lifecycle events (suspended / recovered), driver policy denials,
+ * defense interventions (throttled reads, stale serves — the reads
+ * they degrade never become changes, or become ordinary no-change
+ * readings) and streaming-ingest events (backpressure sheds, session
+ * evictions, template updates) are recorded in the same trail under
+ * their own stages but do not enter the change funnel — sheds drop
+ * *readings* before change detection, so the funnel identity over
+ * changes is preserved exactly. Decision *counts* cover the whole run; the record ring
  * keeps the most recent `capacity` records for JSONL export.
  */
 
@@ -66,9 +68,13 @@ enum class Decision : std::uint8_t
                           ///< session to stay inside its budget
     TemplateUpdated,      ///< a high-confidence match was folded back
                           ///< into the per-key signature (adaptation)
+    ThrottledRead,        ///< rate-limiting policy refused a counter
+                          ///< read (over budget; ioctl got EAGAIN)
+    StaleServed,          ///< rate-limiting policy served cached
+                          ///< values instead of fresh hardware state
 };
 
-inline constexpr std::size_t kNumDecisions = 13;
+inline constexpr std::size_t kNumDecisions = 15;
 
 const char *stageName(Stage s);
 const char *decisionName(Decision d);

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for the attack-vs-defense arena matrix: grid shape, replay
+ * and thread-count determinism, and live policy hot-swap on a
+ * running device (the degrade-and-recover episode the arena's rate
+ * rows measure in aggregate).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arena/matrix.h"
+#include "attack/eavesdropper.h"
+#include "attack/model_store.h"
+#include "attack/trainer.h"
+#include "kgsl/defense.h"
+#include "util/logging.h"
+
+namespace gpusc::arena {
+namespace {
+
+using namespace gpusc::sim_literals;
+
+TEST(ApplyAttackerTest, RobustFlagDrivesBothKnobs)
+{
+    eval::ExperimentConfig cfg;
+    applyAttacker(cfg, {"robust", true});
+    EXPECT_TRUE(cfg.attackParams.recovery.rateLimitAware);
+    EXPECT_TRUE(cfg.attackParams.inference.noiseRobust);
+    applyAttacker(cfg, {"naive", false});
+    EXPECT_FALSE(cfg.attackParams.recovery.rateLimitAware);
+    EXPECT_FALSE(cfg.attackParams.inference.noiseRobust);
+}
+
+TEST(MatrixGridTest, DefaultGridLeadsWithStock)
+{
+    const auto grid = Matrix::defaultGrid();
+    ASSERT_GE(grid.size(), 4u);
+    EXPECT_EQ(grid[0].label(), "stock");
+    EXPECT_FALSE(grid[0].any());
+    // One row per defense family, every non-stock row active.
+    bool rate = false, stale = false, quant = false, noise = false;
+    bool combo = false;
+    for (std::size_t i = 1; i < grid.size(); ++i) {
+        EXPECT_TRUE(grid[i].any()) << "inactive row " << i;
+        const std::string label = grid[i].label();
+        rate = rate || label.rfind("rate", 0) == 0;
+        stale = stale || label.find("-stale") != std::string::npos;
+        quant = quant || label.rfind("quant", 0) == 0;
+        noise = noise || label.rfind("noise", 0) == 0;
+        combo = combo || label.find('+') != std::string::npos;
+    }
+    EXPECT_TRUE(rate);
+    EXPECT_TRUE(stale);
+    EXPECT_TRUE(quant);
+    EXPECT_TRUE(noise);
+    EXPECT_TRUE(combo);
+}
+
+TEST(MatrixGridTest, DefaultAttackersAreNaiveAndRobust)
+{
+    const auto attackers = Matrix::defaultAttackers();
+    ASSERT_EQ(attackers.size(), 2u);
+    EXPECT_EQ(attackers[0].name, "naive");
+    EXPECT_FALSE(attackers[0].robust);
+    EXPECT_EQ(attackers[1].name, "robust");
+    EXPECT_TRUE(attackers[1].robust);
+}
+
+/** Tiny matrix over every defense family, shared by the
+ *  determinism tests (ISSUE satellite: rate limit, quantize and
+ *  noise must each replay bit-identically, serial and sharded). */
+MatrixConfig
+smallConfig()
+{
+    gpusc::setVerbose(false);
+    MatrixConfig mc;
+    mc.base.seed = 777;
+    mc.trials = 2;
+    mc.minLen = 6;
+    mc.maxLen = 8;
+    kgsl::DefenseConfig rate;
+    rate.readsPerSecond = 48.0;
+    kgsl::DefenseConfig quant;
+    quant.quantStep = 96;
+    kgsl::DefenseConfig noise;
+    noise.noiseAmplitude = 24;
+    mc.defenses = {kgsl::DefenseConfig{}, rate, quant, noise};
+    return mc;
+}
+
+TEST(MatrixDeterminismTest, ReplayTwiceIsBitIdentical)
+{
+    const MatrixConfig mc = smallConfig();
+    const auto a = Matrix(mc).run(attack::ModelStore::global());
+    const auto b = Matrix(mc).run(attack::ModelStore::global());
+    ASSERT_EQ(a.size(), 8u);
+    EXPECT_EQ(Matrix::cellsJson(a), Matrix::cellsJson(b));
+}
+
+TEST(MatrixDeterminismTest, ThreadCountNeverChangesTheCells)
+{
+    MatrixConfig mc = smallConfig();
+    mc.threads = 1;
+    const auto serial = Matrix(mc).run(attack::ModelStore::global());
+    mc.threads = 4;
+    const auto sharded = Matrix(mc).run(attack::ModelStore::global());
+    EXPECT_EQ(Matrix::cellsJson(serial), Matrix::cellsJson(sharded));
+}
+
+TEST(MatrixDeterminismTest, DefendedCellsAccountOverhead)
+{
+    const auto cells =
+        Matrix(smallConfig()).run(attack::ModelStore::global());
+    ASSERT_EQ(cells.size(), 8u);
+    for (const Cell &c : cells) {
+        if (c.defense == "stock") {
+            EXPECT_EQ(c.overhead.cpuNs, 0u);
+        } else {
+            EXPECT_GT(c.overhead.readsSeen, 0u);
+            EXPECT_GT(c.overhead.cpuNs, 0u);
+        }
+    }
+}
+
+/** Live policy hot-swap on a running device (ISSUE satellite: the
+ *  per-episode view of what the arena's rate rows aggregate). */
+class PolicyHotSwapTest : public ::testing::Test
+{
+  protected:
+    static android::DeviceConfig
+    deviceConfig()
+    {
+        android::DeviceConfig cfg;
+        cfg.phone = "oneplus8pro";
+        cfg.keyboard = "gboard";
+        cfg.app = "chase";
+        cfg.notificationMeanInterval = SimTime();
+        return cfg;
+    }
+
+    static const attack::SignatureModel &
+    model()
+    {
+        gpusc::setVerbose(false);
+        return attack::ModelStore::global().getOrTrain(
+            deviceConfig(), attack::OfflineTrainer());
+    }
+};
+
+TEST_F(PolicyHotSwapTest, DegradeAndRecoverEpisode)
+{
+    android::Device dev(deviceConfig());
+    attack::Eavesdropper::Params params;
+    params.recovery.rateLimitAware = true;
+    attack::Eavesdropper spy(dev, model(), params);
+    dev.boot();
+    ASSERT_TRUE(spy.start());
+
+    // Phase 1 — stock driver: the sampler runs at full cadence.
+    dev.runFor(2_s);
+    const std::uint64_t reservations = dev.kgsl().totalReservations();
+    const std::uint64_t fullRateReads = spy.sampler().readCount();
+    EXPECT_GT(fullRateReads, 200u); // ~250 at 8 ms
+    EXPECT_EQ(spy.health().throttledReads, 0u);
+
+    // Phase 2 — hot-swap a rate limiter under the running attack.
+    kgsl::DefenseConfig dc;
+    dc.readsPerSecond = 32.0;
+    const kgsl::DefendedPolicy limited(dc);
+    dev.setSecurityPolicy(limited);
+    dev.runFor(2_s);
+    const attack::HealthStats degraded = spy.health();
+    EXPECT_GT(degraded.throttledReads, 0u);
+    EXPECT_GT(degraded.paceBackoffs, 0u);
+    // The pacer stretched the cadence instead of dying.
+    EXPECT_GT(spy.sampler().effectiveInterval(),
+              params.samplingInterval);
+    const std::uint64_t pacedReads =
+        spy.sampler().readCount() - fullRateReads;
+    EXPECT_GT(pacedReads, 0u);
+    EXPECT_LT(pacedReads, fullRateReads / 2); // ~32/s vs ~125/s
+
+    // Phase 3 — swap back to stock: the pacer probes back to the
+    // full rate; nothing was leaked across the episode.
+    const kgsl::StockPolicy stock;
+    dev.setSecurityPolicy(stock);
+    dev.runFor(4_s);
+    const attack::HealthStats recovered = spy.health();
+    EXPECT_GT(recovered.paceRecoveries, 0u);
+    EXPECT_EQ(spy.sampler().effectiveInterval(),
+              params.samplingInterval);
+    EXPECT_EQ(recovered.effectiveIntervalNs,
+              std::uint64_t(params.samplingInterval.ns()));
+    // No throttles since the swap-back settled, full read rate again.
+    const std::uint64_t recoveredReads =
+        spy.sampler().readCount() - fullRateReads - pacedReads;
+    EXPECT_GT(recoveredReads, 350u); // ~500 at 8 ms minus ramp-up
+    // Reservations survived both swaps — no leak, no re-reserve.
+    EXPECT_EQ(dev.kgsl().totalReservations(), reservations);
+    EXPECT_EQ(spy.health().countersHeld,
+              std::uint64_t(gpu::kNumSelectedCounters));
+
+    spy.stop();
+    EXPECT_EQ(dev.kgsl().totalReservations(), 0u);
+}
+
+TEST_F(PolicyHotSwapTest, SwapToStaleModeKeepsIoctlsSucceeding)
+{
+    android::Device dev(deviceConfig());
+    attack::Eavesdropper spy(dev, model());
+    dev.boot();
+    ASSERT_TRUE(spy.start());
+    dev.runFor(1_s);
+    const std::uint64_t before = spy.sampler().readCount();
+
+    // Stale mode never fails the ioctl: the naive attacker keeps
+    // "reading" at full cadence but sees frozen values.
+    kgsl::DefenseConfig dc;
+    dc.readsPerSecond = 16.0;
+    dc.overBudget = kgsl::DefenseConfig::OverBudget::Stale;
+    const kgsl::DefendedPolicy stale(dc);
+    dev.setSecurityPolicy(stale);
+    dev.runFor(1_s);
+    EXPECT_GT(spy.sampler().readCount(), before + 100);
+    EXPECT_EQ(spy.health().throttledReads, 0u);
+    EXPECT_GT(stale.overhead().staleServes, 0u);
+}
+
+} // namespace
+} // namespace gpusc::arena

@@ -1,0 +1,365 @@
+/** @file Unit + device-level tests for the kgsl defense stack. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gpu/model.h"
+#include "gpu/render_engine.h"
+#include "kgsl/defense.h"
+#include "kgsl/device.h"
+#include "kgsl/msm_kgsl.h"
+#include "obs/telemetry.h"
+#include "util/event_queue.h"
+
+namespace gpusc::kgsl {
+namespace {
+
+using namespace gpusc::sim_literals;
+
+const ProcessContext kAttacker{100, "untrusted_app"};
+
+TEST(DefenseConfigTest, LabelComposesActiveDials)
+{
+    EXPECT_EQ(DefenseConfig{}.label(), "stock");
+    EXPECT_FALSE(DefenseConfig{}.any());
+
+    DefenseConfig rate;
+    rate.readsPerSecond = 48.0;
+    EXPECT_EQ(rate.label(), "rate48");
+    EXPECT_TRUE(rate.any());
+    rate.overBudget = DefenseConfig::OverBudget::Stale;
+    EXPECT_EQ(rate.label(), "rate48-stale");
+
+    DefenseConfig stack;
+    stack.rbac = true;
+    stack.readsPerSecond = 64.0;
+    stack.quantStep = 512;
+    stack.noiseAmplitude = 32;
+    EXPECT_EQ(stack.label(), "rbac+rate64+quant512+noise32");
+    stack.restrictOpen = true;
+    EXPECT_EQ(stack.label(), "rbac-open+rate64+quant512+noise32");
+}
+
+TEST(DefendedPolicyTest, TokenBucketThrottlesThenRefills)
+{
+    DefenseConfig cfg;
+    cfg.readsPerSecond = 10.0;
+    cfg.burst = 2.0;
+    const DefendedPolicy p(cfg);
+
+    // The burst is served, then the bucket is dry.
+    SimTime t;
+    EXPECT_EQ(p.onCounterRead(kAttacker, t), ReadVerdict::Allow);
+    EXPECT_EQ(p.onCounterRead(kAttacker, t), ReadVerdict::Allow);
+    EXPECT_EQ(p.onCounterRead(kAttacker, t), ReadVerdict::Throttle);
+
+    // 150 ms at 10 tokens/s refills 1.5; the denied attempt above
+    // cost the penalty, so exactly one read fits.
+    t = t + 150_ms;
+    EXPECT_EQ(p.onCounterRead(kAttacker, t), ReadVerdict::Allow);
+    EXPECT_EQ(p.onCounterRead(kAttacker, t), ReadVerdict::Throttle);
+
+    EXPECT_EQ(p.overhead().readsSeen, 5u);
+    EXPECT_EQ(p.overhead().readsThrottled, 2u);
+    EXPECT_GT(p.overhead().cpuNs, 0u);
+}
+
+TEST(DefendedPolicyTest, HammeringDigsTheBucketDeeper)
+{
+    DefenseConfig cfg;
+    cfg.readsPerSecond = 10.0;
+    cfg.burst = 2.0;
+    const DefendedPolicy hammered(cfg);
+    const DefendedPolicy paced(cfg);
+
+    SimTime t;
+    // Both clients burn the burst...
+    for (int i = 0; i < 2; ++i) {
+        EXPECT_EQ(hammered.onCounterRead(kAttacker, t),
+                  ReadVerdict::Allow);
+        EXPECT_EQ(paced.onCounterRead(kAttacker, t),
+                  ReadVerdict::Allow);
+    }
+    // ...then one of them hammers 50 denied attempts.
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(hammered.onCounterRead(kAttacker, t),
+                  ReadVerdict::Throttle);
+
+    // After 200 ms (2 tokens refilled) the paced client reads again;
+    // the hammerer is still paying off its penalty debt.
+    t = t + 200_ms;
+    EXPECT_EQ(paced.onCounterRead(kAttacker, t), ReadVerdict::Allow);
+    EXPECT_EQ(hammered.onCounterRead(kAttacker, t),
+              ReadVerdict::Throttle);
+}
+
+TEST(DefendedPolicyTest, SeparateClientsGetSeparateBuckets)
+{
+    DefenseConfig cfg;
+    cfg.readsPerSecond = 10.0;
+    cfg.burst = 1.0;
+    const DefendedPolicy p(cfg);
+    const ProcessContext other{200, "gpu_profiler"};
+
+    const SimTime t;
+    EXPECT_EQ(p.onCounterRead(kAttacker, t), ReadVerdict::Allow);
+    EXPECT_EQ(p.onCounterRead(kAttacker, t), ReadVerdict::Throttle);
+    // A different pid still has its own full bucket.
+    EXPECT_EQ(p.onCounterRead(other, t), ReadVerdict::Allow);
+}
+
+TEST(DefendedPolicyTest, StaleModeServesTheCachedTotals)
+{
+    DefenseConfig cfg;
+    cfg.readsPerSecond = 10.0;
+    cfg.burst = 1.0;
+    cfg.overBudget = DefenseConfig::OverBudget::Stale;
+    const DefendedPolicy p(cfg);
+
+    const SimTime t;
+    // Nothing served yet: over budget degrades to Throttle (no cache
+    // to repeat). Burn the burst first.
+    EXPECT_EQ(p.onCounterRead(kAttacker, t), ReadVerdict::Allow);
+    gpu::CounterTotals served{};
+    served.fill(1234);
+    p.transformTotals(kAttacker, served);
+
+    EXPECT_EQ(p.onCounterRead(kAttacker, t), ReadVerdict::Stale);
+    gpu::CounterTotals stale{};
+    ASSERT_TRUE(p.staleTotals(kAttacker, stale));
+    EXPECT_EQ(stale, served);
+    EXPECT_GT(p.overhead().staleServes, 0u);
+}
+
+TEST(DefendedPolicyTest, StaleWithoutCacheFallsBackToThrottle)
+{
+    DefenseConfig cfg;
+    cfg.readsPerSecond = 10.0;
+    cfg.burst = 0.5; // first read is already over budget
+    cfg.overBudget = DefenseConfig::OverBudget::Stale;
+    const DefendedPolicy p(cfg);
+    EXPECT_EQ(p.onCounterRead(kAttacker, SimTime()),
+              ReadVerdict::Throttle);
+    gpu::CounterTotals out{};
+    EXPECT_FALSE(p.staleTotals(kAttacker, out));
+}
+
+TEST(DefendedPolicyTest, QuantizationFloorsToTheLattice)
+{
+    DefenseConfig cfg;
+    cfg.quantStep = 100;
+    const DefendedPolicy p(cfg);
+
+    gpu::CounterTotals totals{};
+    for (std::size_t i = 0; i < totals.size(); ++i)
+        totals[i] = 1000 + 37 * i;
+    const gpu::CounterTotals raw = totals;
+    p.transformTotals(kAttacker, totals);
+    for (std::size_t i = 0; i < totals.size(); ++i) {
+        EXPECT_EQ(totals[i] % 100, 0u);
+        EXPECT_LE(totals[i], raw[i]);
+        EXPECT_LT(raw[i] - totals[i], 100u);
+    }
+    EXPECT_EQ(p.overhead().valuesQuantized, totals.size());
+}
+
+TEST(DefendedPolicyTest, NoiseIsMonotoneAdditiveAndDeterministic)
+{
+    DefenseConfig cfg;
+    cfg.noiseAmplitude = 50;
+    const DefendedPolicy a(cfg);
+    const DefendedPolicy b(cfg);
+
+    gpu::CounterTotals prevA{};
+    for (int read = 0; read < 32; ++read) {
+        gpu::CounterTotals raw{};
+        raw.fill(std::uint64_t(1000 * read));
+        gpu::CounterTotals ta = raw, tb = raw;
+        a.transformTotals(kAttacker, ta);
+        b.transformTotals(kAttacker, tb);
+        // Same config + same read sequence -> bit-identical noise.
+        EXPECT_EQ(ta, tb);
+        for (std::size_t i = 0; i < ta.size(); ++i) {
+            // Noise only ever adds...
+            EXPECT_GE(ta[i], raw[i]);
+            // ...and the defended stream stays monotone.
+            EXPECT_GE(ta[i], prevA[i]);
+        }
+        prevA = ta;
+    }
+    EXPECT_GT(a.overhead().valuesNoised, 0u);
+}
+
+TEST(DefendedPolicyTest, BareRbacCountsAccessChecks)
+{
+    DefenseConfig cfg;
+    cfg.rbac = true;
+    const DefendedPolicy p(cfg);
+    EXPECT_FALSE(
+        p.allowIoctl(kAttacker, IOCTL_KGSL_PERFCOUNTER_READ));
+    EXPECT_TRUE(p.allowIoctl({1, "gpu_profiler"},
+                             IOCTL_KGSL_PERFCOUNTER_READ));
+    EXPECT_EQ(p.overhead().accessChecks, 2u);
+    EXPECT_GT(p.overhead().cpuNs, 0u);
+    EXPECT_TRUE(p.overhead().any());
+}
+
+/** Device-level fixture with a defended policy installed. */
+class DefendedDeviceTest : public ::testing::Test
+{
+  protected:
+    int
+    openReserved(const ProcessContext &proc = kAttacker)
+    {
+        const int fd = dev().open(proc);
+        EXPECT_GE(fd, 0);
+        kgsl_perfcounter_get get;
+        get.groupid = KGSL_PERFCOUNTER_GROUP_LRZ;
+        get.countable = 18; // VISIBLE_PIXEL
+        EXPECT_EQ(dev().ioctl(fd, IOCTL_KGSL_PERFCOUNTER_GET, &get),
+                  0);
+        return fd;
+    }
+
+    int
+    readOnce(int fd, std::uint64_t *value = nullptr)
+    {
+        kgsl_perfcounter_read_group entry;
+        entry.groupid = KGSL_PERFCOUNTER_GROUP_LRZ;
+        entry.countable = 18;
+        kgsl_perfcounter_read req;
+        req.reads = &entry;
+        req.count = 1;
+        const int rc =
+            dev().ioctl(fd, IOCTL_KGSL_PERFCOUNTER_READ, &req);
+        if (rc == 0 && value)
+            *value = entry.value;
+        return rc;
+    }
+
+    KgslDevice &
+    dev()
+    {
+        if (!dev_)
+            dev_ = std::make_unique<KgslDevice>(engine_, policy());
+        return *dev_;
+    }
+
+    DefendedPolicy &
+    policy()
+    {
+        if (!policy_)
+            policy_ = std::make_unique<DefendedPolicy>(cfg_);
+        return *policy_;
+    }
+
+    EventQueue eq_;
+    gpu::RenderEngine engine_{eq_, gpu::adrenoModel(650), 1};
+    DefenseConfig cfg_;
+    std::unique_ptr<DefendedPolicy> policy_;
+    std::unique_ptr<KgslDevice> dev_;
+};
+
+TEST_F(DefendedDeviceTest, ThrottledReadReturnsEagainAndAudits)
+{
+    cfg_.readsPerSecond = 10.0;
+    cfg_.burst = 1.0;
+    obs::Telemetry tel;
+    dev().setTelemetry(&tel);
+
+    const int fd = openReserved();
+    EXPECT_EQ(readOnce(fd), 0);
+    EXPECT_EQ(readOnce(fd), -KGSL_EAGAIN);
+
+    EXPECT_EQ(tel.metrics.counter("kgsl.reads_throttled").value(), 1u);
+    EXPECT_EQ(tel.audit.count(obs::Decision::ThrottledRead), 1u);
+    const std::vector<obs::AuditRecord> records = tel.audit.snapshot();
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].stage, obs::Stage::Kgsl);
+    EXPECT_EQ(records[0].label, "untrusted_app");
+    // Defense interventions are not funnel decisions.
+    EXPECT_EQ(tel.audit.changesAudited(), 0u);
+}
+
+TEST_F(DefendedDeviceTest, StaleReadRepeatsValuesAndAudits)
+{
+    cfg_.readsPerSecond = 10.0;
+    cfg_.burst = 1.0;
+    cfg_.overBudget = DefenseConfig::OverBudget::Stale;
+    obs::Telemetry tel;
+    dev().setTelemetry(&tel);
+
+    const int fd = openReserved();
+    std::uint64_t first = 0, second = 1;
+    EXPECT_EQ(readOnce(fd, &first), 0);
+    EXPECT_EQ(readOnce(fd, &second), 0); // over budget: stale serve
+    EXPECT_EQ(second, first);
+    EXPECT_EQ(tel.metrics.counter("kgsl.reads_stale").value(), 1u);
+    EXPECT_EQ(tel.audit.count(obs::Decision::StaleServed), 1u);
+}
+
+TEST_F(DefendedDeviceTest, OpenDenialAuditsLikeIoctlDenial)
+{
+    cfg_.rbac = true;
+    cfg_.restrictOpen = true;
+    obs::Telemetry tel;
+    dev().setTelemetry(&tel);
+
+    // The unprivileged attacker cannot even open the node...
+    EXPECT_EQ(dev().open(kAttacker), -KGSL_EACCES);
+    // ...while a whitelisted role opens and reads as usual.
+    const int fd = dev().open({50, "gpu_profiler"});
+    EXPECT_GE(fd, 0);
+
+    EXPECT_EQ(dev().policyDenialCount(), 1u);
+    EXPECT_EQ(tel.metrics.counter("kgsl.policy_denials").value(), 1u);
+    EXPECT_EQ(tel.audit.count(obs::Decision::PolicyDenied), 1u);
+    const std::vector<obs::AuditRecord> records = tel.audit.snapshot();
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].stage, obs::Stage::Kgsl);
+    EXPECT_EQ(records[0].label, "open untrusted_app");
+}
+
+TEST_F(DefendedDeviceTest, HotSwapThrottlesAndSwapBackRestores)
+{
+    // Start against the stock policy...
+    const StockPolicy stock;
+    cfg_.readsPerSecond = 10.0;
+    cfg_.burst = 1.0;
+    DefendedPolicy &limited = policy();
+    KgslDevice device{engine_, stock};
+
+    const int fd = device.open(kAttacker);
+    ASSERT_GE(fd, 0);
+    kgsl_perfcounter_get get;
+    get.groupid = KGSL_PERFCOUNTER_GROUP_LRZ;
+    get.countable = 18;
+    ASSERT_EQ(device.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_GET, &get), 0);
+    auto read = [&] {
+        kgsl_perfcounter_read_group entry;
+        entry.groupid = KGSL_PERFCOUNTER_GROUP_LRZ;
+        entry.countable = 18;
+        kgsl_perfcounter_read req;
+        req.reads = &entry;
+        req.count = 1;
+        return device.ioctl(fd, IOCTL_KGSL_PERFCOUNTER_READ, &req);
+    };
+    EXPECT_EQ(read(), 0);
+    EXPECT_EQ(read(), 0);
+
+    // ...swap in the limiter mid-run: the open fd and its
+    // reservations survive, but reads now meet the token bucket.
+    device.setPolicy(limited);
+    EXPECT_EQ(read(), 0); // burst
+    EXPECT_EQ(read(), -KGSL_EAGAIN);
+
+    // Swap back: full rate returns instantly, no re-reservation.
+    device.setPolicy(stock);
+    EXPECT_EQ(read(), 0);
+    EXPECT_EQ(read(), 0);
+    EXPECT_EQ(device.totalReservations(), 1u);
+}
+
+} // namespace
+} // namespace gpusc::kgsl

@@ -53,5 +53,50 @@ TEST(RbacPolicyTest, CustomRoleSet)
     EXPECT_EQ(p.name(), "rbac");
 }
 
+TEST(RbacPolicyTest, DefaultOpenModeIsWorldOpenable)
+{
+    const RbacPolicy p;
+    EXPECT_EQ(p.openMode(), RbacPolicy::OpenMode::AllowAll);
+    EXPECT_TRUE(p.allowOpen({100, "untrusted_app"}));
+    EXPECT_TRUE(p.allowOpen({101, "shell"}));
+}
+
+TEST(RbacPolicyTest, RestrictedOpenModeGatesByRole)
+{
+    const RbacPolicy p({"gpu_profiler", "platform_app"},
+                       RbacPolicy::OpenMode::RestrictToRoles);
+    EXPECT_EQ(p.openMode(), RbacPolicy::OpenMode::RestrictToRoles);
+    // Unprivileged domains cannot even open the node...
+    EXPECT_FALSE(p.allowOpen({100, "untrusted_app"}));
+    EXPECT_FALSE(p.allowOpen({101, "shell"}));
+    // ...while whitelisted roles open and use it as before.
+    EXPECT_TRUE(p.allowOpen({50, "gpu_profiler"}));
+    EXPECT_TRUE(p.allowOpen({51, "platform_app"}));
+    EXPECT_TRUE(p.allowIoctl({50, "gpu_profiler"},
+                             IOCTL_KGSL_PERFCOUNTER_READ));
+}
+
+TEST(RbacPolicyTest, RestrictedOpenRespectsCustomRoles)
+{
+    const RbacPolicy p({"my_special_role"},
+                       RbacPolicy::OpenMode::RestrictToRoles);
+    EXPECT_TRUE(p.allowOpen({1, "my_special_role"}));
+    EXPECT_FALSE(p.allowOpen({2, "gpu_profiler"}));
+}
+
+TEST(SecurityPolicyTest, DegradationHooksDefaultToNoOps)
+{
+    const StockPolicy p;
+    const ProcessContext proc{100, "untrusted_app"};
+    EXPECT_EQ(p.onCounterRead(proc, SimTime()), ReadVerdict::Allow);
+    gpu::CounterTotals totals{};
+    totals.fill(42);
+    const gpu::CounterTotals before = totals;
+    p.transformTotals(proc, totals);
+    EXPECT_EQ(totals, before);
+    gpu::CounterTotals out{};
+    EXPECT_FALSE(p.staleTotals(proc, out));
+}
+
 } // namespace
 } // namespace gpusc::kgsl
