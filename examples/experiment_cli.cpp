@@ -36,6 +36,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "android/keyboard.h"
@@ -43,6 +44,7 @@
 #include "arena/matrix.h"
 #include "eval/experiment.h"
 #include "exec/parallel_runner.h"
+#include "obs/live/live_plane.h"
 #include "obs/telemetry.h"
 #include "util/logging.h"
 #include "util/table.h"
@@ -97,7 +99,11 @@ usage(const char *argv0)
         "  --chrome-trace <json> write spans as Chrome trace events\n"
         "  --audit-out <jsonl>   write the decision audit trail\n"
         "  (each output flag also accepts --flag=path and implies\n"
-        "   --telemetry)\n",
+        "   --telemetry)\n"
+        "live telemetry plane (src/obs/live/, --threads 1 only):\n"
+        "  --live-metrics <sink> integer = HTTP port (0 ephemeral),\n"
+        "                        else JSONL window-record path\n"
+        "  --slo <rules>         SLO watchdog rules file\n",
         argv0);
 }
 
@@ -153,6 +159,32 @@ parseDefenseDial(kgsl::DefenseConfig &defense, const std::string &spec)
     }
 }
 
+bool
+isInteger(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s)
+        if (c < '0' || c > '9')
+            return false;
+    return true;
+}
+
+std::string
+readTextFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        fatal("cannot open '%s'", path.c_str());
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return text;
+}
+
 } // namespace
 
 int
@@ -164,6 +196,7 @@ main(int argc, char **argv)
     std::size_t threads = 1;
     bool telemetryOn = false;
     std::string metricsOut, chromeTrace, auditOut;
+    std::string liveMetrics, sloPath;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -188,7 +221,9 @@ main(int argc, char **argv)
         };
         if (pathFlag("--metrics-out", metricsOut) ||
             pathFlag("--chrome-trace", chromeTrace) ||
-            pathFlag("--audit-out", auditOut))
+            pathFlag("--audit-out", auditOut) ||
+            pathFlag("--live-metrics", liveMetrics) ||
+            pathFlag("--slo", sloPath))
             continue;
         if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
@@ -288,8 +323,46 @@ main(int argc, char **argv)
 
     obs::Telemetry telemetry;
     if (telemetryOn || !metricsOut.empty() || !chromeTrace.empty() ||
-        !auditOut.empty())
+        !auditOut.empty() || !liveMetrics.empty() || !sloPath.empty())
         cfg.telemetry = &telemetry;
+
+    // Live telemetry plane over the campaign context, ticked from the
+    // per-trial listener with trial-end sim time. Listener campaigns
+    // are inline-only (see ParallelRunner::setTrialListener), so the
+    // plane observes one shared registry that grows trial by trial.
+    std::unique_ptr<obs::live::LivePlane> plane;
+    SimTime lastTrialEnd;
+    if (!liveMetrics.empty() || !sloPath.empty()) {
+        if (threads != 1)
+            fatal("--live-metrics/--slo require --threads 1 (the "
+                  "live plane ticks from the trial listener, which "
+                  "is inline-only)");
+        obs::live::LiveConfig lc;
+        // A trial spans seconds of sim time; stretch the window
+        // geometry so a campaign yields a readable series instead of
+        // hundreds of empty 100 ms windows.
+        lc.series.fineWidth = SimTime::fromSeconds(2.0);
+        lc.series.coarsePerFine = 10;
+        if (!liveMetrics.empty()) {
+            if (isInteger(liveMetrics))
+                lc.httpPort = std::atoi(liveMetrics.c_str());
+            else
+                lc.jsonlPath = liveMetrics;
+        }
+        if (!sloPath.empty()) {
+            obs::live::SloParseError perr;
+            lc.rules = obs::live::SloEngine::parseRules(
+                readTextFile(sloPath), &perr);
+            if (!perr.message.empty())
+                fatal("--slo %s:%zu: %s", sloPath.c_str(), perr.line,
+                      perr.message.c_str());
+        }
+        plane = std::make_unique<obs::live::LivePlane>(std::move(lc),
+                                                       &telemetry);
+        if (const obs::live::HttpEndpoint *ep = plane->endpoint())
+            inform("live endpoint: http://127.0.0.1:%u/metrics",
+                   unsigned(ep->port()));
+    }
 
     std::vector<eval::TrialResult> results;
     eval::AccuracyStats stats;
@@ -313,6 +386,12 @@ main(int argc, char **argv)
         if (threads > 1)
             inform("parallel campaign: %zu threads, shard size %zu",
                    runner.threads(), runner.plan().shardSize);
+        if (plane)
+            runner.setTrialListener(
+                [&](const eval::TrialResult &, SimTime now) {
+                    lastTrialEnd = now;
+                    plane->maybeTick(now);
+                });
         exec::ParallelResult res =
             runner.runTrials(trials, minLen, maxLen);
         stats = res.stats;
@@ -321,6 +400,13 @@ main(int argc, char **argv)
         faultStats = res.faults;
         defenseOverhead = res.defense;
         haveFaultStats = cfg.faultPlan.any();
+    }
+
+    if (plane) {
+        plane->finish(lastTrialEnd);
+        inform("live plane: %llu windows closed, alerts %s",
+               (unsigned long long)plane->series().windowsClosed(),
+               plane->slo().toJson().c_str());
     }
 
     if (cfg.defense.any()) {

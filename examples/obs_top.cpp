@@ -1,0 +1,367 @@
+/**
+ * @file
+ * obs_top — a top-style console over the live telemetry plane.
+ *
+ * Two data sources, matching the plane's two sinks:
+ *
+ *   obs_top --url 127.0.0.1:9464            # scrape a HttpEndpoint
+ *   obs_top --file windows.jsonl            # tail the file sink
+ *
+ * Each refresh re-reads the source and redraws: cumulative counters,
+ * latest gauge levels, alert states and (URL mode) per-session
+ * health. `--iterations N --interval-ms M` bounds the loop so CI can
+ * run one deterministic frame; the default is a single frame.
+ *
+ * The console is a pure consumer of the exposition formats — it
+ * never links against the pipeline, so it can watch a stream_cli or
+ * experiment_cli run from a second terminal exactly like a scraper
+ * would.
+ */
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/table.h"
+
+using namespace gpusc;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s (--url HOST:PORT | --file WINDOWS.jsonl)\n"
+        "          [--iterations N] [--interval-ms MS] [--plain]\n"
+        "\n"
+        "  --url HOST:PORT   scrape a live-plane HTTP endpoint\n"
+        "  --file PATH       read a live-plane JSONL window log\n"
+        "  --iterations N    frames to draw (default 1; 0 = forever)\n"
+        "  --interval-ms MS  delay between frames (default 1000)\n"
+        "  --plain           no ANSI clear between frames\n",
+        argv0);
+}
+
+struct Options
+{
+    std::string url;
+    std::string file;
+    long iterations = 1;
+    long intervalMs = 1000;
+    bool plain = false;
+};
+
+/** Minimal HTTP/1.0 GET against a dotted-quad (or localhost) host.
+ *  Returns the body, or empty on any failure (reported via warn). */
+std::string
+httpGet(const std::string &hostPort, const std::string &path)
+{
+    const std::size_t colon = hostPort.rfind(':');
+    if (colon == std::string::npos) {
+        warn("obs_top: --url wants HOST:PORT, got '%s'",
+             hostPort.c_str());
+        return "";
+    }
+    std::string host = hostPort.substr(0, colon);
+    if (host == "localhost")
+        host = "127.0.0.1";
+    const int port = std::atoi(hostPort.c_str() + colon + 1);
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return "";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(std::uint16_t(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        warn("obs_top: cannot parse host '%s'", host.c_str());
+        ::close(fd);
+        return "";
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        warn("obs_top: cannot connect to %s", hostPort.c_str());
+        ::close(fd);
+        return "";
+    }
+    const std::string req = "GET " + path +
+                            " HTTP/1.0\r\nHost: " + host +
+                            "\r\nConnection: close\r\n\r\n";
+    std::size_t sent = 0;
+    while (sent < req.size()) {
+        const ssize_t n =
+            ::send(fd, req.data() + sent, req.size() - sent, 0);
+        if (n <= 0)
+            break;
+        sent += std::size_t(n);
+    }
+    std::string resp;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+        resp.append(buf, std::size_t(n));
+    ::close(fd);
+    const std::size_t split = resp.find("\r\n\r\n");
+    return split == std::string::npos ? std::string()
+                                      : resp.substr(split + 4);
+}
+
+/** `"key": <number>` lookup inside a JSON blob (flat enough here). */
+double
+jsonNumber(const std::string &s, const std::string &key,
+           double fallback)
+{
+    const std::string needle = "\"" + key + "\": ";
+    const std::size_t at = s.find(needle);
+    if (at == std::string::npos)
+        return fallback;
+    return std::strtod(s.c_str() + at + needle.size(), nullptr);
+}
+
+/**
+ * Parse one `"name": value, ...` JSON object body (numbers only, no
+ * nesting) into @p into, accumulating values per name.
+ */
+void
+accumulateObject(const std::string &line, const std::string &section,
+                 std::map<std::string, double> &into)
+{
+    const std::string open = "\"" + section + "\": {";
+    std::size_t at = line.find(open);
+    if (at == std::string::npos)
+        return;
+    at += open.size();
+    const std::size_t end = line.find('}', at);
+    while (at < end) {
+        const std::size_t q0 = line.find('"', at);
+        if (q0 == std::string::npos || q0 >= end)
+            break;
+        const std::size_t q1 = line.find('"', q0 + 1);
+        if (q1 == std::string::npos || q1 >= end)
+            break;
+        const std::string name = line.substr(q0 + 1, q1 - q0 - 1);
+        const std::size_t colon = line.find(':', q1);
+        if (colon == std::string::npos || colon >= end)
+            break;
+        into[name] +=
+            std::strtod(line.c_str() + colon + 1, nullptr);
+        at = line.find(',', colon);
+        if (at == std::string::npos || at > end)
+            break;
+        ++at;
+    }
+}
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f) {
+        warn("obs_top: cannot open '%s'", path.c_str());
+        return "";
+    }
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return text;
+}
+
+void
+printKeyValueTable(const std::map<std::string, double> &values,
+                   const char *title, bool integral)
+{
+    if (values.empty())
+        return;
+    Table t({"metric", "value"});
+    for (const auto &[name, value] : values)
+        t.addRow({name, integral
+                            ? std::to_string((long long)value)
+                            : Table::num(value, 4)});
+    t.print(title);
+}
+
+/** One frame from the JSONL file sink. */
+void
+frameFromFile(const Options &opt)
+{
+    const std::string text = readWholeFile(opt.file);
+    std::map<std::string, double> counters, gauges;
+    struct Row
+    {
+        double tMs, wMs, changes, accepted, alerts;
+        std::string level;
+    };
+    std::vector<Row> recent;
+    std::uint64_t windows = 0;
+
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        const std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty())
+            continue;
+        ++windows;
+        accumulateObject(line, "counters", counters);
+        // Gauges are levels, not deltas: keep the latest only.
+        std::map<std::string, double> g;
+        accumulateObject(line, "gauges", g);
+        for (const auto &[name, value] : g)
+            gauges[name] = value;
+
+        Row r;
+        r.tMs = jsonNumber(line, "t_ms", 0.0);
+        r.wMs = jsonNumber(line, "w_ms", 0.0);
+        r.changes = jsonNumber(line, "funnel.changes_in", 0.0);
+        r.accepted = jsonNumber(line, "funnel.accepted-key", 0.0);
+        r.alerts = jsonNumber(line, "alerts_active", 0.0);
+        const std::size_t lv = line.find("\"level\": \"");
+        r.level = lv == std::string::npos
+                      ? "?"
+                      : line.substr(lv + 10,
+                                    line.find('"', lv + 10) -
+                                        (lv + 10));
+        recent.push_back(r);
+        if (recent.size() > 12)
+            recent.erase(recent.begin());
+    }
+
+    std::printf("== obs_top: %s (%llu window records) ==\n",
+                opt.file.c_str(), (unsigned long long)windows);
+    Table wt({"t (ms)", "width", "level", "changes", "accepted",
+              "alerts"});
+    for (const Row &r : recent)
+        wt.addRow({Table::num(r.tMs, 0), Table::num(r.wMs, 0),
+                   r.level, Table::num(r.changes, 0),
+                   Table::num(r.accepted, 0),
+                   Table::num(r.alerts, 0)});
+    wt.print("recent windows");
+    printKeyValueTable(counters, "cumulative counters (all windows)",
+                       true);
+    printKeyValueTable(gauges, "latest gauges", false);
+}
+
+/** One frame scraped from a live endpoint. */
+void
+frameFromUrl(const Options &opt)
+{
+    const std::string prom = httpGet(opt.url, "/metrics");
+    const std::string alerts = httpGet(opt.url, "/alerts");
+    const std::string sessions = httpGet(opt.url, "/sessions");
+    if (prom.empty()) {
+        std::printf("== obs_top: %s unreachable or empty ==\n",
+                    opt.url.c_str());
+        return;
+    }
+
+    std::map<std::string, double> counters, gauges;
+    std::size_t pos = 0;
+    while (pos < prom.size()) {
+        std::size_t eol = prom.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = prom.size();
+        const std::string line = prom.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty() || line[0] == '#')
+            continue;
+        const std::size_t sp = line.find(' ');
+        if (sp == std::string::npos)
+            continue;
+        const std::string name = line.substr(0, sp);
+        const double value =
+            std::strtod(line.c_str() + sp + 1, nullptr);
+        if (name.size() > 6 &&
+            name.compare(name.size() - 6, 6, "_total") == 0)
+            counters[name] = value;
+        else
+            gauges[name] = value;
+    }
+
+    std::printf("== obs_top: scraping http://%s ==\n",
+                opt.url.c_str());
+    printKeyValueTable(counters, "counters", true);
+    printKeyValueTable(gauges, "gauges", false);
+
+    if (!alerts.empty()) {
+        std::size_t firing = 0, at = 0;
+        while ((at = alerts.find("\"firing\": true", at)) !=
+               std::string::npos) {
+            ++firing;
+            at += 14;
+        }
+        std::printf("alerts firing: %zu\n%s\n", firing,
+                    alerts.c_str());
+    }
+    if (!sessions.empty())
+        std::printf("sessions: %s\n", sessions.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--url") {
+            opt.url = value();
+        } else if (arg == "--file") {
+            opt.file = value();
+        } else if (arg == "--iterations") {
+            opt.iterations = std::atol(value());
+        } else if (arg == "--interval-ms") {
+            opt.intervalMs = std::atol(value());
+        } else if (arg == "--plain") {
+            opt.plain = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            usage(argv[0]);
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+    if (opt.url.empty() == opt.file.empty()) {
+        usage(argv[0]);
+        fatal("exactly one of --url / --file is required");
+    }
+
+    for (long frame = 0;
+         opt.iterations == 0 || frame < opt.iterations; ++frame) {
+        if (frame > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(opt.intervalMs));
+            if (!opt.plain)
+                std::printf("\x1b[2J\x1b[H");
+        }
+        if (!opt.file.empty())
+            frameFromFile(opt);
+        else
+            frameFromUrl(opt);
+        std::fflush(stdout);
+    }
+    return 0;
+}

@@ -25,14 +25,17 @@
  *       adaptation off).
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "attack/model_store.h"
 #include "eval/experiment.h"
 #include "exec/thread_pool.h"
+#include "obs/live/live_plane.h"
 #include "stream/ingest_service.h"
 #include "trace/trace_reader.h"
 #include "util/logging.h"
@@ -58,7 +61,15 @@ usage(const char *argv0)
         "  --adapt on|off        online template adaptation\n"
         "  --trials N            credential trials (live mode)\n"
         "  --seed N              simulation seed (live mode)\n"
-        "  --metrics-out FILE    write aggregated metrics JSON\n",
+        "  --metrics-out FILE    write aggregated metrics JSON\n"
+        "  --live-metrics SINK   live telemetry plane: an integer is\n"
+        "                        an HTTP port (0 = ephemeral), else a\n"
+        "                        JSONL window-record path (plus a\n"
+        "                        final SINK.prom Prometheus text)\n"
+        "  --slo FILE            SLO watchdog rules (one per line,\n"
+        "                        key=value fields; see DESIGN.md)\n"
+        "  --serve-ms N          keep the endpoint alive N ms after\n"
+        "                        the run so scrapers can connect\n",
         argv0);
 }
 
@@ -74,6 +85,9 @@ struct Options
     int trials = 3;
     std::uint64_t seed = 1;
     std::string metricsOut;
+    std::string liveMetrics;
+    std::string sloPath;
+    long serveMs = 0;
 };
 
 Options
@@ -100,6 +114,12 @@ parseOptions(int argc, char **argv)
             opt.seed = std::uint64_t(std::atoll(value()));
         else if (arg == "--metrics-out")
             opt.metricsOut = value();
+        else if (arg == "--live-metrics")
+            opt.liveMetrics = value();
+        else if (arg == "--slo")
+            opt.sloPath = value();
+        else if (arg == "--serve-ms")
+            opt.serveMs = std::atol(value());
         else if (arg == "--adapt") {
             const std::string v = value();
             opt.adapt = v == "on" || v == "1" || v == "true";
@@ -132,6 +152,140 @@ serviceParams(const Options &opt)
     p.sessions.session.ringCapacity = opt.ringCapacity;
     p.sessions.session.adaptation = opt.adapt;
     return p;
+}
+
+bool
+isInteger(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s)
+        if (c < '0' || c > '9')
+            return false;
+    return true;
+}
+
+std::string
+readTextFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        fatal("cannot open '%s'", path.c_str());
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return text;
+}
+
+/** Wire --live-metrics / --slo into the service's telemetry plane. */
+void
+maybeEnableLivePlane(stream::IngestService &svc, const Options &opt)
+{
+    if (opt.liveMetrics.empty() && opt.sloPath.empty())
+        return;
+    obs::live::LiveConfig cfg;
+    if (isInteger(opt.liveMetrics))
+        cfg.httpPort = std::atoi(opt.liveMetrics.c_str());
+    else
+        cfg.jsonlPath = opt.liveMetrics;
+    if (!opt.sloPath.empty()) {
+        obs::live::SloParseError perr;
+        cfg.rules = obs::live::SloEngine::parseRules(
+            readTextFile(opt.sloPath), &perr);
+        if (!perr.message.empty())
+            fatal("--slo %s:%zu: %s", opt.sloPath.c_str(), perr.line,
+                  perr.message.c_str());
+    }
+    obs::live::LivePlane &plane = svc.enableLivePlane(std::move(cfg));
+    if (const obs::live::HttpEndpoint *ep = plane.endpoint())
+        std::printf("live endpoint: http://127.0.0.1:%u/metrics\n",
+                    unsigned(ep->port()));
+}
+
+/**
+ * Windows-vs-snapshot reconciliation: the sum of every retained
+ * window's counter deltas must equal the end-of-run cumulative value
+ * for each service counter, and the synthetic funnel.* counters must
+ * equal the aggregated audit counts — no delta lost to roll-up or
+ * window boundaries. @return true iff every counter reconciles.
+ */
+bool
+reconcileLivePlane(const stream::IngestService &svc,
+                   const obs::AuditTrail &audit)
+{
+    const obs::live::LivePlane *plane = svc.livePlane();
+    if (plane == nullptr)
+        return true;
+    const std::map<std::string, std::uint64_t> totals =
+        plane->series().totalCounterDeltas();
+    const auto windowSum = [&](const std::string &name) {
+        const auto it = totals.find(name);
+        return it == totals.end() ? std::uint64_t(0) : it->second;
+    };
+    bool ok = true;
+    const auto &counters = svc.serviceTelemetry().metrics.counters();
+    for (const auto &[name, c] : counters) {
+        if (windowSum(name) != c->value()) {
+            ok = false;
+            std::printf("  window sum for %s: %llu != snapshot "
+                        "%llu\n",
+                        name.c_str(),
+                        (unsigned long long)windowSum(name),
+                        (unsigned long long)c->value());
+        }
+    }
+    for (std::size_t d = 0; d < obs::kNumDecisions; ++d) {
+        const obs::Decision dec = obs::Decision(d);
+        // Alert transitions recorded while the *final* window closed
+        // land after the last observe by construction; they are
+        // audited but have no window to reconcile against.
+        if (dec == obs::Decision::AlertFired ||
+            dec == obs::Decision::AlertResolved)
+            continue;
+        const std::string name =
+            std::string("funnel.") + obs::decisionName(dec);
+        if (windowSum(name) != audit.count(dec)) {
+            ok = false;
+            std::printf("  window sum for %s: %llu != audited "
+                        "%llu\n",
+                        name.c_str(),
+                        (unsigned long long)windowSum(name),
+                        (unsigned long long)audit.count(dec));
+        }
+    }
+    if (windowSum("funnel.changes_in") != audit.changesAudited()) {
+        ok = false;
+        std::printf("  window sum for funnel.changes_in: %llu != "
+                    "audited %llu\n",
+                    (unsigned long long)windowSum("funnel.changes_in"),
+                    (unsigned long long)audit.changesAudited());
+    }
+    std::printf("window reconciliation: %s (%llu windows closed, "
+                "%llu fine->coarse, %llu coarse->archive)\n",
+                ok ? "OK" : "VIOLATED",
+                (unsigned long long)plane->series().windowsClosed(),
+                (unsigned long long)plane->series().rollupsFine(),
+                (unsigned long long)plane->series().rollupsCoarse());
+    return ok;
+}
+
+/** Hold the endpoint open post-run so external scrapers (CI curl)
+ *  can connect; sim results are already final by this point. */
+void
+maybeServe(const stream::IngestService &svc, const Options &opt)
+{
+    const obs::live::LivePlane *plane = svc.livePlane();
+    if (opt.serveMs <= 0 || plane == nullptr ||
+        plane->endpoint() == nullptr)
+        return;
+    std::printf("serving http://127.0.0.1:%u for %ld ms...\n",
+                unsigned(plane->endpoint()->port()), opt.serveMs);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(opt.serveMs));
 }
 
 const char *
@@ -169,6 +323,10 @@ reportAndCheck(stream::IngestService &svc, const Options &opt)
                 (unsigned long long)svc.readingsShedNewest(),
                 (unsigned long long)svc.blockDrains());
 
+    // Close the live plane's open window before aggregating, so the
+    // windowed totals and the snapshot describe the same final state.
+    svc.finishLivePlane();
+
     obs::Telemetry agg;
     svc.aggregateTelemetry(agg);
     std::printf("funnel     : %s\n", agg.audit.funnelJson().c_str());
@@ -198,9 +356,13 @@ reportAndCheck(stream::IngestService &svc, const Options &opt)
                     (unsigned long long)shedAudited,
                     (unsigned long long)shedCounted);
 
+    const bool reconOk = reconcileLivePlane(svc, audit);
+    if (const obs::live::LivePlane *plane = svc.livePlane())
+        std::printf("alerts     : %s\n", plane->slo().toJson().c_str());
+
     if (!opt.metricsOut.empty())
         obs::Telemetry::writeFile(opt.metricsOut, agg.metricsJson());
-    return funnelOk && shedsOk;
+    return funnelOk && shedsOk && reconOk;
 }
 
 int
@@ -222,6 +384,7 @@ cmdReplay(const Options &opt)
         store.getOrTrain(header.device, attack::OfflineTrainer{});
 
     stream::IngestService svc(model, serviceParams(opt));
+    maybeEnableLivePlane(svc, opt);
     std::printf("ingesting %s (policy %s, ring %zu, adapt %s)\n",
                 opt.tracePath.c_str(), policyName(opt.policy),
                 opt.ringCapacity, opt.adapt ? "on" : "off");
@@ -279,7 +442,9 @@ cmdReplay(const Options &opt)
                     opt.sessions, pool.size());
     }
 
-    return reportAndCheck(svc, opt) ? 0 : 1;
+    const bool ok = reportAndCheck(svc, opt);
+    maybeServe(svc, opt);
+    return ok ? 0 : 1;
 }
 
 int
@@ -291,6 +456,7 @@ cmdLive(const Options &opt)
     eval::ExperimentRunner runner(cfg, store);
 
     stream::IngestService svc(runner.model(), serviceParams(opt));
+    maybeEnableLivePlane(svc, opt);
     // The sampler tap sees exactly the reading stream the live
     // pipeline consumes; the service ingests the same stream into
     // its own detached sessions.
@@ -331,6 +497,7 @@ cmdLive(const Options &opt)
                     "lossy backpressure)\n");
 
     const bool checksOk = reportAndCheck(svc, opt);
+    maybeServe(svc, opt);
     return checksOk && (match || !lossless) ? 0 : 1;
 }
 

@@ -95,6 +95,42 @@ Eavesdropper::flushTelemetry()
         return;
     readingsInCtr_->inc(readingSeq_ - readingsFlushed_);
     readingsFlushed_ = readingSeq_;
+
+    obs::Telemetry *tel = params_.telemetry;
+    const HealthStats now = health();
+    const HealthStats &was = healthFlushed_;
+    auto &m = tel->metrics;
+    const struct
+    {
+        const char *name;
+        std::uint64_t now;
+        std::uint64_t was;
+    } monotonic[] = {
+        {"health.transient_retries", now.transientRetries,
+         was.transientRetries},
+        {"health.busy_retries", now.busyRetries, was.busyRetries},
+        {"health.reopens", now.reopens, was.reopens},
+        {"health.resets_survived", now.resetsSurvived,
+         was.resetsSurvived},
+        {"health.watchdog_recoveries", now.watchdogRecoveries,
+         was.watchdogRecoveries},
+        {"health.missed_reads", now.missedReads, was.missedReads},
+        {"health.stream_resets", now.streamResets, was.streamResets},
+        {"health.wraps_repaired", now.wrapsRepaired,
+         was.wrapsRepaired},
+        {"health.throttled_reads", now.throttledReads,
+         was.throttledReads},
+        {"health.pace_backoffs", now.paceBackoffs, was.paceBackoffs},
+        {"health.pace_recoveries", now.paceRecoveries,
+         was.paceRecoveries},
+    };
+    for (const auto &row : monotonic)
+        if (row.now > row.was)
+            m.counter(row.name).inc(row.now - row.was);
+    m.gauge("health.counters_held").set(double(now.countersHeld));
+    m.gauge("health.effective_interval_ns")
+        .set(double(now.effectiveIntervalNs));
+    healthFlushed_ = now;
 }
 
 HealthStats

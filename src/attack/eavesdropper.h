@@ -126,9 +126,16 @@ class Eavesdropper
 
     /**
      * Push lazily-accumulated telemetry (the reading count, batched
-     * off the per-reading hot path) into the metric registry. Called
-     * automatically on stop() and destruction; replay tooling calls
-     * it after feeding a stream so exported metrics are exact.
+     * off the per-reading hot path) into the metric registry, and
+     * publish the pipeline's HealthStats: the monotonic fault
+     * counters become `health.*` registry counters (incremented by
+     * their growth since the previous flush, so the registry tracks
+     * the stats exactly) and the level-like fields become gauges
+     * (`health.counters_held`, `health.effective_interval_ns`). The
+     * live telemetry plane windows these like any other counter,
+     * which is what makes e.g. the pace-backoff *rate* SLO-able.
+     * Called automatically on stop() and destruction; replay tooling
+     * calls it after feeding a stream so exported metrics are exact.
      */
     void flushTelemetry();
 
@@ -236,6 +243,8 @@ class Eavesdropper
     obs::Counter *deletionsCtr_ = nullptr;
     std::uint64_t readingSeq_ = 0;
     std::uint64_t readingsFlushed_ = 0;
+    /** HealthStats as of the last flush (counter-delta baseline). */
+    HealthStats healthFlushed_;
 };
 
 } // namespace gpusc::attack

@@ -200,6 +200,8 @@ ExperimentRunner::runTrial(const std::string &credential)
     TrialResult r;
     r.truth = credential;
     r.inferred = eavesdropper_->inferredTextBetween(start, end);
+    if (trialListener_)
+        trialListener_(r, end);
     return r;
 }
 

@@ -105,6 +105,18 @@ class ExperimentRunner
     /** Type one credential and return truth + inferred text. */
     TrialResult runTrial(const std::string &credential);
 
+    /**
+     * Observe every finished trial, stamped with the device's sim
+     * time — the hook experiment_cli's --live-metrics mode uses to
+     * tick a live telemetry plane between trials. Observational:
+     * attaching a listener never changes results.
+     */
+    void
+    setTrialListener(std::function<void(const TrialResult &, SimTime)> fn)
+    {
+        trialListener_ = std::move(fn);
+    }
+
     /** Run @p n random trials with lengths in [minLen, maxLen]. */
     AccuracyStats runTrials(int n, std::size_t minLen,
                             std::size_t maxLen);
@@ -171,6 +183,7 @@ class ExperimentRunner
     Rng rng_;
     obs::StageTimer trialTimer_;
     obs::Counter *trialsCtr_ = nullptr;
+    std::function<void(const TrialResult &, SimTime)> trialListener_;
 };
 
 } // namespace gpusc::eval

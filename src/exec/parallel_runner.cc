@@ -72,6 +72,10 @@ ParallelRunner::runTrials(int n, std::size_t minLen,
     ParallelResult result;
     if (n <= 0)
         return result;
+    if (trialListener_ && pool_.size() > 1)
+        fatal("ParallelRunner: a trial listener requires --threads 1 "
+              "(listener order from pool workers would be "
+              "scheduling-dependent)");
 
     // Trial i's credential is fully determined by (seed, i): one
     // forked stream draws the length, a second (offset the same way
@@ -106,11 +110,24 @@ ParallelRunner::runTrials(int n, std::size_t minLen,
         eval::ExperimentConfig cfg = cfg_;
         cfg.seed = forkSeed(cfg_.seed, kShardStream | k);
         if (cfg_.telemetry) {
-            out.telemetry = std::make_unique<obs::Telemetry>();
-            cfg.telemetry = out.telemetry.get();
+            if (trialListener_) {
+                // Listener campaigns are inline-only (enforced
+                // above), so shards run sequentially and can record
+                // straight into the campaign context — the listener
+                // (e.g. a live telemetry plane) then observes
+                // counters as they grow instead of one final lump
+                // after the merge. The fold below is order-identical
+                // to this, so exported snapshots do not change.
+                cfg.telemetry = cfg_.telemetry;
+            } else {
+                out.telemetry = std::make_unique<obs::Telemetry>();
+                cfg.telemetry = out.telemetry.get();
+            }
         }
 
         eval::ExperimentRunner runner(cfg, store_);
+        if (trialListener_)
+            runner.setTrialListener(trialListener_);
         const std::size_t lo = k * shardSize;
         const std::size_t hi =
             std::min(lo + shardSize, creds.size());

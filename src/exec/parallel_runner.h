@@ -104,6 +104,21 @@ class ParallelRunner
     /** The signature model the campaign attacks with. */
     const attack::SignatureModel &model() const { return *model_; }
 
+    /**
+     * Observe every finished trial with its sim timestamp (see
+     * eval::ExperimentRunner::setTrialListener). Forwarded only when
+     * the campaign runs inline (threads == 1): a listener firing
+     * from pool workers would interleave scheduling-dependently,
+     * which is exactly what this class exists to prevent. A
+     * multi-thread campaign with a listener attached fails fast.
+     */
+    void
+    setTrialListener(
+        std::function<void(const eval::TrialResult &, SimTime)> fn)
+    {
+        trialListener_ = std::move(fn);
+    }
+
     std::size_t threads() const { return pool_.size(); }
     const ShardPlan &plan() const { return plan_; }
 
@@ -119,6 +134,8 @@ class ParallelRunner
     ShardPlan plan_;
     ThreadPool pool_;
     const attack::SignatureModel *model_;
+    std::function<void(const eval::TrialResult &, SimTime)>
+        trialListener_;
 };
 
 /** Outcome of replaying one trace file. */

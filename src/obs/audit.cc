@@ -23,6 +23,8 @@ stageName(Stage s)
         return "kgsl";
       case Stage::Ingest:
         return "ingest";
+      case Stage::LiveObs:
+        return "live-obs";
     }
     return "?";
 }
@@ -61,6 +63,10 @@ decisionName(Decision d)
         return "throttled-read";
       case Decision::StaleServed:
         return "stale-served";
+      case Decision::AlertFired:
+        return "alert-fired";
+      case Decision::AlertResolved:
+        return "alert-resolved";
     }
     return "?";
 }
@@ -190,6 +196,8 @@ AuditTrail::funnelJson() const
         {"template_updates", Decision::TemplateUpdated},
         {"reads_throttled", Decision::ThrottledRead},
         {"reads_stale_served", Decision::StaleServed},
+        {"alerts_fired", Decision::AlertFired},
+        {"alerts_resolved", Decision::AlertResolved},
     };
     for (const auto &row : rows) {
         out += ", ";

@@ -46,6 +46,7 @@ enum class Stage : std::uint8_t
     Eavesdropper,   ///< attack::Eavesdropper (post-inference)
     Kgsl,           ///< kgsl::KgslDevice (driver boundary)
     Ingest,         ///< stream::IngestService (streaming service)
+    LiveObs,        ///< obs::live (SLO watchdogs, telemetry plane)
 };
 
 /** What happened to the observed event. */
@@ -72,9 +73,12 @@ enum class Decision : std::uint8_t
                           ///< read (over budget; ioctl got EAGAIN)
     StaleServed,          ///< rate-limiting policy served cached
                           ///< values instead of fresh hardware state
+    AlertFired,           ///< an SLO watchdog crossed its fire
+                          ///< hysteresis (obs::live::SloEngine)
+    AlertResolved,        ///< a firing SLO watchdog recovered
 };
 
-inline constexpr std::size_t kNumDecisions = 15;
+inline constexpr std::size_t kNumDecisions = 17;
 
 const char *stageName(Stage s);
 const char *decisionName(Decision d);

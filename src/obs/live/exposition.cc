@@ -1,0 +1,116 @@
+#include "obs/live/exposition.h"
+
+#include <cstdio>
+
+namespace gpusc::obs::live {
+
+std::string
+SessionHealth::toJson() const
+{
+    std::string out = "{\"id\": ";
+    appendJsonNumber(out, double(id));
+    out += ", \"ring_depth\": ";
+    appendJsonNumber(out, double(ringDepth));
+    out += ", \"ring_capacity\": ";
+    appendJsonNumber(out, double(ringCapacity));
+    out += ", \"readings_drained\": ";
+    appendJsonNumber(out, double(readingsDrained));
+    out += ", \"shed_oldest\": ";
+    appendJsonNumber(out, double(shedOldest));
+    out += ", \"shed_newest\": ";
+    appendJsonNumber(out, double(shedNewest));
+    out += ", \"template_updates\": ";
+    appendJsonNumber(out, double(templateUpdates));
+    out += ", \"accepted_keys\": ";
+    appendJsonNumber(out, double(acceptedKeys));
+    out += ", \"memory_bytes\": ";
+    appendJsonNumber(out, double(memoryBytes));
+    out += ", \"last_touch_ms\": ";
+    appendJsonNumber(out, lastTouch.millis());
+    out += '}';
+    return out;
+}
+
+std::string
+Exposition::promName(const std::string &name)
+{
+    std::string out = "gpusc_";
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+std::string
+Exposition::prometheusText(const TimeSeries &series,
+                           const SloEngine *slo)
+{
+    std::string out;
+    char buf[64];
+    for (const auto &[name, value] : series.cumulative()) {
+        const std::string prom = promName(name) + "_total";
+        out += "# TYPE " + prom + " counter\n";
+        std::snprintf(buf, sizeof(buf), " %llu\n",
+                      (unsigned long long)value);
+        out += prom;
+        out += buf;
+    }
+    for (const auto &[name, value] : series.latestGauges()) {
+        const std::string prom = promName(name);
+        out += "# TYPE " + prom + " gauge\n";
+        std::snprintf(buf, sizeof(buf), " %.9g\n", value);
+        out += prom;
+        out += buf;
+    }
+    if (slo != nullptr) {
+        out += "# TYPE gpusc_obs_alert_firing gauge\n";
+        for (const AlertState &state : slo->alerts()) {
+            std::string label;
+            appendJsonString(label, state.rule.name);
+            out += "gpusc_obs_alert_firing{rule=" + label + "} ";
+            out += state.firing ? '1' : '0';
+            out += '\n';
+        }
+        out += "# TYPE gpusc_obs_alerts_active gauge\n";
+        std::snprintf(buf, sizeof(buf),
+                      "gpusc_obs_alerts_active %zu\n",
+                      slo->activeAlerts());
+        out += buf;
+    }
+    return out;
+}
+
+std::string
+Exposition::windowJsonl(const TsWindow &w,
+                        const MetricRegistry *unitSource,
+                        std::size_t alertsActive)
+{
+    std::string out = w.toJson(unitSource);
+    // Splice the alert count into the window record so a JSONL tail
+    // (obs_top --file) can plot alert activity without /alerts.
+    out.pop_back(); // trailing '}'
+    out += ", \"alerts_active\": ";
+    appendJsonNumber(out, double(alertsActive));
+    out += "}\n";
+    return out;
+}
+
+std::string
+Exposition::sessionsJson(const std::vector<SessionHealth> &sessions)
+{
+    std::string out = "{\"sessions\": [";
+    bool first = true;
+    for (const SessionHealth &s : sessions) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += s.toJson();
+    }
+    out += "]}";
+    return out;
+}
+
+} // namespace gpusc::obs::live

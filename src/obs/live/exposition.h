@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Exposition layer of the live telemetry plane: renders the latest
+ * cumulative state as Prometheus-style text, closed windows as JSONL
+ * records, and per-session health views as the /sessions body.
+ *
+ * Rendering always happens over immutable snapshots pulled at a
+ * window boundary — the HTTP endpoint and the file sink consume the
+ * same pre-rendered strings, so serving a scrape never touches
+ * pipeline state and the file-sink CI mode exercises the exact bytes
+ * a scraper would see.
+ */
+
+#ifndef GPUSC_OBS_LIVE_EXPOSITION_H
+#define GPUSC_OBS_LIVE_EXPOSITION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/live/slo.h"
+#include "obs/live/time_series.h"
+
+namespace gpusc::obs::live {
+
+/**
+ * One streaming session's health, as exposed through /sessions and
+ * obs_top. Lives in obs::live (not src/stream/) so the stream layer
+ * depends on the plane's vocabulary rather than the other way round.
+ */
+struct SessionHealth
+{
+    std::uint64_t id = 0;
+    std::size_t ringDepth = 0;
+    std::size_t ringCapacity = 0;
+    std::uint64_t readingsDrained = 0;
+    std::uint64_t shedOldest = 0;
+    std::uint64_t shedNewest = 0;
+    std::uint64_t templateUpdates = 0;
+    std::uint64_t acceptedKeys = 0;
+    std::size_t memoryBytes = 0;
+    SimTime lastTouch;
+
+    std::string toJson() const;
+};
+
+/** Renders plane state into scrape-ready text formats. */
+class Exposition
+{
+  public:
+    /**
+     * Prometheus text format over the latest cumulative counters,
+     * gauges and alert states: metric names are sanitized
+     * (dots/hyphens to underscores) and prefixed `gpusc_`, counters
+     * get a `_total` suffix, and each family carries a `# TYPE`
+     * comment. @p series supplies cumulative counters and gauges;
+     * @p slo (nullable) contributes `gpusc_obs_alert_firing{rule=..}`.
+     */
+    static std::string prometheusText(const TimeSeries &series,
+                                      const SloEngine *slo);
+
+    /** One JSONL line (newline-terminated) for a closed window. */
+    static std::string windowJsonl(const TsWindow &w,
+                                   const MetricRegistry *unitSource,
+                                   std::size_t alertsActive);
+
+    /** The /sessions body: a JSON array of health views. */
+    static std::string
+    sessionsJson(const std::vector<SessionHealth> &sessions);
+
+    /** Sanitize a dotted metric name into a Prometheus identifier. */
+    static std::string promName(const std::string &name);
+};
+
+} // namespace gpusc::obs::live
+
+#endif // GPUSC_OBS_LIVE_EXPOSITION_H

@@ -1,0 +1,199 @@
+#include "obs/live/http_endpoint.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/logging.h"
+
+namespace gpusc::obs::live {
+
+HttpEndpoint::~HttpEndpoint()
+{
+    stop();
+}
+
+bool
+HttpEndpoint::start(std::uint16_t port)
+{
+    if (running_.load())
+        return true;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        warn("HttpEndpoint: socket() failed: %s",
+             std::strerror(errno));
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        warn("HttpEndpoint: bind(127.0.0.1:%u) failed: %s",
+             unsigned(port), std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+    if (::listen(fd, 16) != 0) {
+        warn("HttpEndpoint: listen() failed: %s",
+             std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                      &len) == 0)
+        port_ = ntohs(bound.sin_port);
+    else
+        port_ = port;
+    listenFd_ = fd;
+    running_.store(true);
+    thread_ = std::thread([this] { serveLoop(); });
+    return true;
+}
+
+void
+HttpEndpoint::stop()
+{
+    if (!running_.exchange(false)) {
+        if (thread_.joinable())
+            thread_.join();
+        return;
+    }
+    // shutdown() unblocks the accept() so the serve thread notices
+    // running_ turned false; close() alone can leave it parked.
+    ::shutdown(listenFd_, SHUT_RDWR);
+    ::close(listenFd_);
+    listenFd_ = -1;
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+HttpEndpoint::publish(std::shared_ptr<const EndpointSnapshot> snap)
+{
+    const std::lock_guard<std::mutex> lock(snapMutex_);
+    snapshot_ = std::move(snap);
+}
+
+std::shared_ptr<const EndpointSnapshot>
+HttpEndpoint::currentSnapshot()
+{
+    const std::lock_guard<std::mutex> lock(snapMutex_);
+    return snapshot_;
+}
+
+void
+HttpEndpoint::serveLoop()
+{
+    while (running_.load()) {
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (!running_.load())
+                break;
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            break;
+        }
+        handleConnection(fd);
+        ::close(fd);
+    }
+}
+
+namespace {
+
+void
+sendAll(int fd, const std::string &data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n =
+            ::send(fd, data.data() + sent, data.size() - sent, 0);
+        if (n <= 0)
+            return;
+        sent += std::size_t(n);
+    }
+}
+
+std::string
+makeResponse(const char *status, const char *contentType,
+             const std::string &body)
+{
+    std::string out = "HTTP/1.0 ";
+    out += status;
+    out += "\r\nContent-Type: ";
+    out += contentType;
+    out += "\r\nContent-Length: " + std::to_string(body.size());
+    out += "\r\nConnection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+} // namespace
+
+void
+HttpEndpoint::handleConnection(int fd)
+{
+    char buf[2048];
+    std::string request;
+    // Read until the header terminator (or the client stops); one
+    // request per connection, HTTP/1.0 style.
+    while (request.find("\r\n\r\n") == std::string::npos &&
+           request.size() < 16384) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        request.append(buf, std::size_t(n));
+    }
+    const std::size_t sp1 = request.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : request.find(' ', sp1 + 1);
+    std::string path;
+    if (sp2 != std::string::npos)
+        path = request.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::size_t query = path.find('?');
+    if (query != std::string::npos)
+        path.resize(query);
+
+    requestsServed_.fetch_add(1);
+    const std::shared_ptr<const EndpointSnapshot> snap =
+        currentSnapshot();
+    if (path == "/healthz") {
+        sendAll(fd, makeResponse("200 OK", "text/plain", "ok\n"));
+        return;
+    }
+    if (snap == nullptr) {
+        sendAll(fd, makeResponse("503 Service Unavailable",
+                                 "text/plain",
+                                 "no snapshot published yet\n"));
+        return;
+    }
+    if (path == "/metrics") {
+        sendAll(fd, makeResponse("200 OK",
+                                 "text/plain; version=0.0.4",
+                                 snap->metricsText));
+    } else if (path == "/metrics.json") {
+        sendAll(fd, makeResponse("200 OK", "application/json",
+                                 snap->metricsJson));
+    } else if (path == "/sessions") {
+        sendAll(fd, makeResponse("200 OK", "application/json",
+                                 snap->sessionsJson));
+    } else if (path == "/alerts") {
+        sendAll(fd, makeResponse("200 OK", "application/json",
+                                 snap->alertsJson));
+    } else {
+        sendAll(fd, makeResponse("404 Not Found", "text/plain",
+                                 "unknown route\n"));
+    }
+}
+
+} // namespace gpusc::obs::live

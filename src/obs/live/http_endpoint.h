@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Minimal self-contained HTTP exposition endpoint for the live
+ * telemetry plane — a blocking accept loop on a dedicated thread
+ * serving pre-rendered snapshot strings over 127.0.0.1.
+ *
+ * The endpoint never touches pipeline state: the plane publishes an
+ * immutable Snapshot (shared_ptr swap under a mutex) at each window
+ * boundary, and every request is answered entirely from the snapshot
+ * it grabbed. That keeps the serving thread off the determinism
+ * surface — the pipeline's output is byte-identical whether anyone
+ * is scraping or not — and means a slow or stuck scraper can never
+ * backpressure ingest.
+ *
+ * Routes: /metrics (Prometheus text), /metrics.json (registry-style
+ * snapshot of the plane), /healthz, /sessions, /alerts; anything
+ * else is 404. HTTP/1.0, connection-close per request — deliberately
+ * dumb, it exists for curl/Prometheus scrapes and the CI smoke job,
+ * not as a web server.
+ */
+
+#ifndef GPUSC_OBS_LIVE_HTTP_ENDPOINT_H
+#define GPUSC_OBS_LIVE_HTTP_ENDPOINT_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace gpusc::obs::live {
+
+/** Immutable pre-rendered response bodies for every route. */
+struct EndpointSnapshot
+{
+    std::string metricsText;  ///< /metrics (Prometheus text)
+    std::string metricsJson;  ///< /metrics.json
+    std::string sessionsJson; ///< /sessions
+    std::string alertsJson;   ///< /alerts
+};
+
+/** Loopback HTTP server over published EndpointSnapshots. */
+class HttpEndpoint
+{
+  public:
+    HttpEndpoint() = default;
+    ~HttpEndpoint();
+
+    HttpEndpoint(const HttpEndpoint &) = delete;
+    HttpEndpoint &operator=(const HttpEndpoint &) = delete;
+
+    /**
+     * Bind 127.0.0.1:@p port (0 picks an ephemeral port), start the
+     * accept thread. False (with a warn) when the bind fails; the
+     * plane then degrades to file-sink-only.
+     */
+    bool start(std::uint16_t port);
+
+    /** Close the listener and join the accept thread (idempotent). */
+    void stop();
+
+    bool running() const { return running_.load(); }
+
+    /** Actual bound port (after start with port 0). */
+    std::uint16_t port() const { return port_; }
+
+    /** Swap in a new snapshot; in-flight requests keep the old one. */
+    void publish(std::shared_ptr<const EndpointSnapshot> snap);
+
+    /** Requests answered since start (any route, including 404s). */
+    std::uint64_t requestsServed() const
+    {
+        return requestsServed_.load();
+    }
+
+  private:
+    void serveLoop();
+    void handleConnection(int fd);
+    std::shared_ptr<const EndpointSnapshot> currentSnapshot();
+
+    int listenFd_ = -1;
+    std::uint16_t port_ = 0;
+    std::thread thread_;
+    std::atomic<bool> running_{false};
+    std::atomic<std::uint64_t> requestsServed_{0};
+    std::mutex snapMutex_;
+    std::shared_ptr<const EndpointSnapshot> snapshot_;
+};
+
+} // namespace gpusc::obs::live
+
+#endif // GPUSC_OBS_LIVE_HTTP_ENDPOINT_H

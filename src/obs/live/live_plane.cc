@@ -1,0 +1,121 @@
+#include "obs/live/live_plane.h"
+
+#include "obs/telemetry.h"
+#include "util/logging.h"
+
+namespace gpusc::obs::live {
+
+LivePlane::LivePlane(LiveConfig config, Telemetry *telemetry)
+    : config_(std::move(config)), telemetry_(telemetry),
+      series_(config_.series), slo_(config_.rules)
+{
+    if (telemetry_ == nullptr)
+        panic("LivePlane: telemetry context is required");
+    series_.setWindowListener(
+        [this](const TsWindow &w) { onWindowClosed(w); });
+    if (!config_.jsonlPath.empty()) {
+        jsonl_ = std::fopen(config_.jsonlPath.c_str(), "w");
+        if (jsonl_ == nullptr)
+            warn("LivePlane: cannot open JSONL sink '%s'",
+                 config_.jsonlPath.c_str());
+    }
+    if (config_.httpPort >= 0)
+        endpointRunning_ =
+            endpoint_.start(std::uint16_t(config_.httpPort));
+}
+
+LivePlane::~LivePlane()
+{
+    if (!finished_)
+        finish(ticked_ ? nextBoundary_ : SimTime());
+}
+
+void
+LivePlane::maybeTick(SimTime now)
+{
+    if (finished_)
+        return;
+    if (ticked_ && now < nextBoundary_)
+        return;
+    observeNow(now);
+}
+
+void
+LivePlane::tick(SimTime now)
+{
+    if (finished_)
+        return;
+    observeNow(now);
+}
+
+void
+LivePlane::observeNow(SimTime now)
+{
+    DecisionCounts decisions;
+    if (decisionProvider_)
+        decisions = decisionProvider_();
+    else
+        decisions.add(telemetry_->audit);
+    const std::uint64_t closedBefore = series_.windowsClosed();
+    series_.observe(now, telemetry_->metrics, &decisions);
+    ticked_ = true;
+    const TsWindow *open = series_.openWindow();
+    nextBoundary_ = open ? open->end() : now;
+    if (series_.windowsClosed() != closedBefore)
+        publishSnapshot();
+}
+
+void
+LivePlane::onWindowClosed(const TsWindow &w)
+{
+    slo_.evaluate(w, telemetry_);
+    if (jsonl_ != nullptr) {
+        const std::string line = Exposition::windowJsonl(
+            w, &telemetry_->metrics, slo_.activeAlerts());
+        std::fwrite(line.data(), 1, line.size(), jsonl_);
+    }
+    ++windowsEmitted_;
+}
+
+void
+LivePlane::publishSnapshot()
+{
+    if (!endpointRunning_)
+        return;
+    auto snap = std::make_shared<EndpointSnapshot>();
+    snap->metricsText = Exposition::prometheusText(series_, &slo_);
+    snap->metricsJson = telemetry_->metrics.toJson();
+    snap->sessionsJson = Exposition::sessionsJson(
+        sessionHealthProvider_ ? sessionHealthProvider_()
+                               : std::vector<SessionHealth>{});
+    snap->alertsJson = slo_.toJson();
+    endpoint_.publish(std::move(snap));
+}
+
+void
+LivePlane::finish(SimTime now)
+{
+    if (finished_)
+        return;
+    if (ticked_) {
+        observeNow(now);
+        series_.finish();
+    }
+    publishSnapshot();
+    if (jsonl_ != nullptr) {
+        std::fflush(jsonl_);
+        std::fclose(jsonl_);
+        jsonl_ = nullptr;
+        Telemetry::writeFile(config_.jsonlPath + ".prom",
+                             prometheusText());
+    }
+    finished_ = true;
+}
+
+std::string
+LivePlane::prometheusText() const
+{
+    return Exposition::prometheusText(series_, &slo_);
+}
+
+} // namespace gpusc::obs::live

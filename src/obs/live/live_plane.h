@@ -1,0 +1,140 @@
+/**
+ * @file
+ * LivePlane: the assembled live telemetry plane — a TimeSeries fed
+ * from a Telemetry context, an SloEngine evaluating each closed
+ * window, and exposition through an HTTP endpoint and/or a JSONL
+ * file sink.
+ *
+ * The plane is layered strictly *on top of* the existing Telemetry:
+ * it only reads the MetricRegistry / AuditTrail at tick time and
+ * writes back nothing but its own audit records (alert transitions,
+ * Stage::LiveObs) and the `obs.alerts_active` gauge — none of which
+ * enter the change funnel or influence inference. A pipeline run
+ * with the plane enabled therefore produces byte-identical inferred
+ * output to one without it (enforced by tests at 1 and 4 threads).
+ *
+ * Ticking is driven by the host (IngestService::pump, the trial
+ * listener) with *sim* timestamps; inside a window a tick is an O(1)
+ * boundary check, and crossing a boundary does the windowing, SLO
+ * evaluation, snapshot render and publish.
+ */
+
+#ifndef GPUSC_OBS_LIVE_LIVE_PLANE_H
+#define GPUSC_OBS_LIVE_LIVE_PLANE_H
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/live/exposition.h"
+#include "obs/live/http_endpoint.h"
+#include "obs/live/slo.h"
+#include "obs/live/time_series.h"
+
+namespace gpusc::obs {
+class Telemetry;
+} // namespace gpusc::obs
+
+namespace gpusc::obs::live {
+
+/** Plane wiring: window geometry, rules, sinks. */
+struct LiveConfig
+{
+    TimeSeries::Params series;
+    std::vector<SloRule> rules;
+    /** JSONL window-record sink; empty disables the file sink. */
+    std::string jsonlPath;
+    /** HTTP port: <0 disables the endpoint, 0 picks ephemeral. */
+    int httpPort = -1;
+};
+
+class LivePlane
+{
+  public:
+    /**
+     * @p telemetry is the service-level context the plane observes
+     * and writes alert transitions into; it must outlive the plane.
+     */
+    LivePlane(LiveConfig config, Telemetry *telemetry);
+    ~LivePlane();
+
+    LivePlane(const LivePlane &) = delete;
+    LivePlane &operator=(const LivePlane &) = delete;
+
+    /**
+     * Cheap per-batch tick: no-op while @p now stays inside the
+     * current window, full observe/evaluate/publish when a fine
+     * boundary was crossed (or on the very first call).
+     */
+    void maybeTick(SimTime now);
+
+    /** Force an observe at @p now regardless of boundaries. */
+    void tick(SimTime now);
+
+    /** Final flush: close the open window, publish, close the sink.
+     *  Idempotent; also runs from the destructor. */
+    void finish(SimTime now);
+
+    /**
+     * Cumulative decision counts to window (default: the telemetry
+     * context's own audit trail). The ingest service installs a
+     * provider that also folds in per-session trails.
+     */
+    void setDecisionProvider(std::function<DecisionCounts()> fn)
+    {
+        decisionProvider_ = std::move(fn);
+    }
+
+    /** Session health views for /sessions (default: none). */
+    void
+    setSessionHealthProvider(
+        std::function<std::vector<SessionHealth>()> fn)
+    {
+        sessionHealthProvider_ = std::move(fn);
+    }
+
+    const TimeSeries &series() const { return series_; }
+    const SloEngine &slo() const { return slo_; }
+    SloEngine &slo() { return slo_; }
+
+    /** The endpoint, when one was started (else null). */
+    const HttpEndpoint *endpoint() const
+    {
+        return endpointRunning_ ? &endpoint_ : nullptr;
+    }
+
+    /** Windows written to the JSONL sink so far. */
+    std::uint64_t windowsEmitted() const { return windowsEmitted_; }
+
+    /**
+     * Final Prometheus text (also written to `<jsonlPath>.prom` by
+     * finish() when the file sink is active — the CI scrape-less
+     * validation path).
+     */
+    std::string prometheusText() const;
+
+  private:
+    void observeNow(SimTime now);
+    void onWindowClosed(const TsWindow &w);
+    void publishSnapshot();
+
+    LiveConfig config_;
+    Telemetry *telemetry_;
+    TimeSeries series_;
+    SloEngine slo_;
+    HttpEndpoint endpoint_;
+    bool endpointRunning_ = false;
+    std::FILE *jsonl_ = nullptr;
+    bool finished_ = false;
+    bool ticked_ = false;
+    SimTime nextBoundary_;
+    std::uint64_t windowsEmitted_ = 0;
+    std::function<DecisionCounts()> decisionProvider_;
+    std::function<std::vector<SessionHealth>()> sessionHealthProvider_;
+};
+
+} // namespace gpusc::obs::live
+
+#endif // GPUSC_OBS_LIVE_LIVE_PLANE_H

@@ -1,0 +1,364 @@
+#include "obs/live/slo.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "obs/telemetry.h"
+
+namespace gpusc::obs::live {
+
+const char *
+sloKindName(SloRule::Kind kind)
+{
+    switch (kind) {
+      case SloRule::Kind::CounterRate:
+        return "counter_rate";
+      case SloRule::Kind::GaugeLevel:
+        return "gauge_level";
+      case SloRule::Kind::FunnelResidual:
+        return "funnel_residual";
+      case SloRule::Kind::RatioDrop:
+        return "ratio_drop";
+    }
+    return "?";
+}
+
+const char *
+sloCmpName(SloRule::Cmp cmp)
+{
+    switch (cmp) {
+      case SloRule::Cmp::Gt:
+        return "gt";
+      case SloRule::Cmp::Lt:
+        return "lt";
+      case SloRule::Cmp::Ne:
+        return "ne";
+    }
+    return "?";
+}
+
+namespace {
+
+std::uint64_t
+sumDeltas(const TsWindow &w, const std::vector<std::string> &names)
+{
+    std::uint64_t total = 0;
+    for (const std::string &name : names)
+        total += w.counterDelta(name);
+    return total;
+}
+
+bool
+breaches(SloRule::Cmp cmp, double observed, double threshold)
+{
+    switch (cmp) {
+      case SloRule::Cmp::Gt:
+        return observed > threshold;
+      case SloRule::Cmp::Lt:
+        return observed < threshold;
+      case SloRule::Cmp::Ne:
+        // Exact compare is intended: Ne exists for integral signals
+        // (the funnel residual); approximate rules use Gt/Lt.
+        return observed != threshold;
+    }
+    return false;
+}
+
+} // namespace
+
+SloEngine::SloEngine(std::vector<SloRule> rules)
+{
+    for (SloRule &rule : rules)
+        addRule(std::move(rule));
+}
+
+void
+SloEngine::addRule(SloRule rule)
+{
+    AlertState state;
+    state.rule = std::move(rule);
+    alerts_.push_back(std::move(state));
+}
+
+double
+SloEngine::observedValue(const SloRule &rule, const TsWindow &w,
+                         const AlertState &state)
+{
+    switch (rule.kind) {
+      case SloRule::Kind::CounterRate: {
+        const double secs = w.width.seconds();
+        const double total = double(sumDeltas(w, rule.counters));
+        return secs > 0.0 ? total / secs : total;
+      }
+      case SloRule::Kind::GaugeLevel: {
+        const auto it = w.gauges.find(rule.gauge);
+        return it == w.gauges.end() ? 0.0 : it->second;
+      }
+      case SloRule::Kind::FunnelResidual: {
+        const std::uint64_t in = w.counterDelta("funnel.changes_in");
+        std::uint64_t out = 0;
+        const Decision outcomes[] = {
+            Decision::AcceptedKey,        Decision::SplitRepaired,
+            Decision::DuplicationDrop,    Decision::NoiseRejected,
+            Decision::SuppressedAppSwitch,
+        };
+        for (Decision d : outcomes)
+            out += w.counterDelta(std::string("funnel.") +
+                                  decisionName(d));
+        return double(in) - double(out);
+      }
+      case SloRule::Kind::RatioDrop: {
+        const std::uint64_t denom = sumDeltas(w, rule.denomCounters);
+        if (denom == 0)
+            return state.ewmaSeeded ? state.ewma : 0.0;
+        const double ratio =
+            double(sumDeltas(w, rule.counters)) / double(denom);
+        if (!state.ewmaSeeded)
+            return ratio;
+        return state.ewma +
+               rule.ewmaAlpha * (ratio - state.ewma);
+      }
+    }
+    return 0.0;
+}
+
+void
+SloEngine::evaluate(const TsWindow &w, Telemetry *telemetry)
+{
+    for (AlertState &state : alerts_) {
+        const SloRule &rule = state.rule;
+        const double observed = observedValue(rule, w, state);
+        state.lastValue = observed;
+        if (rule.kind == SloRule::Kind::RatioDrop) {
+            // observedValue already folded this window into the EWMA
+            // (or passed the held value through on an empty
+            // denominator); commit it as the new accumulator.
+            const bool hadSamples =
+                sumDeltas(w, rule.denomCounters) != 0;
+            if (hadSamples) {
+                state.ewma = observed;
+                state.ewmaSeeded = true;
+            }
+            if (!state.ewmaSeeded)
+                continue; // nothing observed yet: neither breach nor ok
+        }
+        if (breaches(rule.cmp, observed, rule.threshold)) {
+            ++state.breachStreak;
+            state.okStreak = 0;
+            if (!state.firing &&
+                state.breachStreak >= rule.fireAfter) {
+                state.firing = true;
+                ++state.timesFired;
+                state.lastTransition = w.end();
+                if (telemetry != nullptr)
+                    telemetry->audit.record(
+                        w.end(), Stage::LiveObs,
+                        Decision::AlertFired, rule.name, observed);
+            }
+        } else {
+            ++state.okStreak;
+            state.breachStreak = 0;
+            if (state.firing &&
+                state.okStreak >= rule.resolveAfter) {
+                state.firing = false;
+                ++state.timesResolved;
+                state.lastTransition = w.end();
+                if (telemetry != nullptr)
+                    telemetry->audit.record(
+                        w.end(), Stage::LiveObs,
+                        Decision::AlertResolved, rule.name, observed);
+            }
+        }
+    }
+    if (telemetry != nullptr)
+        telemetry->metrics.gauge("obs.alerts_active")
+            .set(double(activeAlerts()));
+}
+
+std::size_t
+SloEngine::activeAlerts() const
+{
+    std::size_t n = 0;
+    for (const AlertState &state : alerts_)
+        if (state.firing)
+            ++n;
+    return n;
+}
+
+std::string
+SloEngine::toJson() const
+{
+    std::string out = "{\"active\": ";
+    appendJsonNumber(out, double(activeAlerts()));
+    out += ", \"alerts\": [";
+    bool first = true;
+    for (const AlertState &state : alerts_) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += "{\"name\": ";
+        appendJsonString(out, state.rule.name);
+        out += ", \"kind\": ";
+        appendJsonString(out, sloKindName(state.rule.kind));
+        out += ", \"cmp\": ";
+        appendJsonString(out, sloCmpName(state.rule.cmp));
+        out += ", \"threshold\": ";
+        appendJsonNumber(out, state.rule.threshold);
+        out += ", \"firing\": ";
+        out += state.firing ? "true" : "false";
+        out += ", \"last_value\": ";
+        appendJsonNumber(out, state.lastValue);
+        out += ", \"times_fired\": ";
+        appendJsonNumber(out, double(state.timesFired));
+        out += ", \"times_resolved\": ";
+        appendJsonNumber(out, double(state.timesResolved));
+        out += ", \"last_transition_ms\": ";
+        appendJsonNumber(out, state.lastTransition.millis());
+        out += '}';
+    }
+    out += "]}";
+    return out;
+}
+
+namespace {
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t at = 0;
+    while (at <= s.size()) {
+        const std::size_t comma = s.find(',', at);
+        const std::size_t end =
+            comma == std::string::npos ? s.size() : comma;
+        if (end > at)
+            out.push_back(s.substr(at, end - at));
+        if (comma == std::string::npos)
+            break;
+        at = comma + 1;
+    }
+    return out;
+}
+
+bool
+parseField(SloRule &rule, const std::string &key,
+           const std::string &value, std::string &error)
+{
+    if (key == "name") {
+        rule.name = value;
+    } else if (key == "kind") {
+        if (value == "counter_rate")
+            rule.kind = SloRule::Kind::CounterRate;
+        else if (value == "gauge_level")
+            rule.kind = SloRule::Kind::GaugeLevel;
+        else if (value == "funnel_residual")
+            rule.kind = SloRule::Kind::FunnelResidual;
+        else if (value == "ratio_drop")
+            rule.kind = SloRule::Kind::RatioDrop;
+        else {
+            error = "unknown kind '" + value + "'";
+            return false;
+        }
+    } else if (key == "cmp") {
+        if (value == "gt")
+            rule.cmp = SloRule::Cmp::Gt;
+        else if (value == "lt")
+            rule.cmp = SloRule::Cmp::Lt;
+        else if (value == "ne")
+            rule.cmp = SloRule::Cmp::Ne;
+        else {
+            error = "unknown cmp '" + value + "'";
+            return false;
+        }
+    } else if (key == "counters") {
+        rule.counters = splitList(value);
+    } else if (key == "denom") {
+        rule.denomCounters = splitList(value);
+    } else if (key == "gauge") {
+        rule.gauge = value;
+    } else if (key == "threshold") {
+        rule.threshold = std::strtod(value.c_str(), nullptr);
+    } else if (key == "ewma_alpha") {
+        rule.ewmaAlpha = std::strtod(value.c_str(), nullptr);
+    } else if (key == "fire_after") {
+        rule.fireAfter =
+            std::uint32_t(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (key == "resolve_after") {
+        rule.resolveAfter =
+            std::uint32_t(std::strtoul(value.c_str(), nullptr, 10));
+    } else {
+        error = "unknown field '" + key + "'";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::vector<SloRule>
+SloEngine::parseRules(const std::string &text, SloParseError *error)
+{
+    std::vector<SloRule> rules;
+    std::size_t lineNo = 0;
+    std::size_t at = 0;
+    while (at <= text.size()) {
+        const std::size_t nl = text.find('\n', at);
+        const std::size_t end =
+            nl == std::string::npos ? text.size() : nl;
+        std::string line = text.substr(at, end - at);
+        ++lineNo;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        SloRule rule;
+        bool sawField = false;
+        bool bad = false;
+        std::size_t tok = 0;
+        while (tok < line.size() && !bad) {
+            while (tok < line.size() &&
+                   (line[tok] == ' ' || line[tok] == '\t'))
+                ++tok;
+            if (tok >= line.size())
+                break;
+            std::size_t stop = tok;
+            while (stop < line.size() && line[stop] != ' ' &&
+                   line[stop] != '\t')
+                ++stop;
+            const std::string field = line.substr(tok, stop - tok);
+            tok = stop;
+            const std::size_t eq = field.find('=');
+            std::string fieldError;
+            if (eq == std::string::npos) {
+                fieldError = "expected key=value, got '" + field + "'";
+                bad = true;
+            } else if (!parseField(rule, field.substr(0, eq),
+                                   field.substr(eq + 1), fieldError)) {
+                bad = true;
+            } else {
+                sawField = true;
+            }
+            if (bad && error != nullptr) {
+                error->line = lineNo;
+                error->message = fieldError;
+            }
+        }
+        if (bad)
+            return rules;
+        if (sawField) {
+            if (rule.name.empty()) {
+                if (error != nullptr) {
+                    error->line = lineNo;
+                    error->message = "rule is missing name=";
+                }
+                return rules;
+            }
+            rules.push_back(std::move(rule));
+        }
+        if (nl == std::string::npos)
+            break;
+        at = nl + 1;
+    }
+    return rules;
+}
+
+} // namespace gpusc::obs::live

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Declarative SLO watchdogs evaluated per time-series window.
+ *
+ * An SloRule describes one health condition over the windowed metric
+ * stream — a counter rate crossing a threshold (shed rate, pace
+ * backoffs), a gauge level (memory headroom), the funnel residual
+ * deviating from zero, or a ratio (accuracy proxy) whose EWMA drops
+ * below a floor. The SloEngine evaluates every rule against each
+ * closed window with consecutive-window hysteresis (`fireAfter`
+ * breaching windows to fire, `resolveAfter` healthy windows to
+ * resolve), records AlertFired / AlertResolved into the run's
+ * AuditTrail under Stage::LiveObs — *outside* the change funnel, so
+ * the funnel identity is untouched — and mirrors the firing count
+ * into the `obs.alerts_active` gauge.
+ *
+ * Rules are plain data: built in code, or parsed from a rules file
+ * (one rule per line, `key=value` fields) for the `--slo` CLI flag.
+ */
+
+#ifndef GPUSC_OBS_LIVE_SLO_H
+#define GPUSC_OBS_LIVE_SLO_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/live/time_series.h"
+
+namespace gpusc::obs {
+class Telemetry;
+} // namespace gpusc::obs
+
+namespace gpusc::obs::live {
+
+/** One declarative health condition over the window stream. */
+struct SloRule
+{
+    enum class Kind : std::uint8_t
+    {
+        /** Sum of `counters` deltas per second vs threshold. */
+        CounterRate,
+        /** Latest value of `gauge` vs threshold. */
+        GaugeLevel,
+        /** |funnel.changes_in - sum of funnel outcome deltas| — the
+         *  funnel residual; healthy runs hold it at exactly 0. */
+        FunnelResidual,
+        /** EWMA of sum(counters)/sum(denomCounters) vs threshold
+         *  (windows with an empty denominator don't update the
+         *  EWMA). The accuracy-drop watchdog shape. */
+        RatioDrop,
+    };
+
+    enum class Cmp : std::uint8_t
+    {
+        Gt, ///< breach when observed > threshold
+        Lt, ///< breach when observed < threshold
+        Ne, ///< breach when observed != threshold (exact compare)
+    };
+
+    std::string name;
+    Kind kind = Kind::CounterRate;
+    Cmp cmp = Cmp::Gt;
+    /** Numerator counters (summed); CounterRate / RatioDrop. */
+    std::vector<std::string> counters;
+    /** Denominator counters (summed); RatioDrop only. */
+    std::vector<std::string> denomCounters;
+    /** Gauge name; GaugeLevel only. */
+    std::string gauge;
+    double threshold = 0.0;
+    /** EWMA smoothing for RatioDrop (1.0 = no smoothing). */
+    double ewmaAlpha = 0.3;
+    /** Consecutive breaching windows before the alert fires. */
+    std::uint32_t fireAfter = 1;
+    /** Consecutive healthy windows before a firing alert resolves. */
+    std::uint32_t resolveAfter = 2;
+};
+
+const char *sloKindName(SloRule::Kind kind);
+const char *sloCmpName(SloRule::Cmp cmp);
+
+/** Live evaluation state of one rule. */
+struct AlertState
+{
+    SloRule rule;
+    bool firing = false;
+    std::uint32_t breachStreak = 0;
+    std::uint32_t okStreak = 0;
+    /** Observed value in the last evaluated window. */
+    double lastValue = 0.0;
+    /** EWMA accumulator (RatioDrop). */
+    double ewma = 0.0;
+    bool ewmaSeeded = false;
+    std::uint64_t timesFired = 0;
+    std::uint64_t timesResolved = 0;
+    SimTime lastTransition;
+};
+
+/** Typed description of why a rules-file line failed to parse. */
+struct SloParseError
+{
+    std::size_t line = 0;
+    std::string message;
+};
+
+/** Evaluates a rule set against each closed window. */
+class SloEngine
+{
+  public:
+    explicit SloEngine(std::vector<SloRule> rules = {});
+
+    void addRule(SloRule rule);
+
+    /**
+     * Evaluate every rule against the closed window @p w. Fire /
+     * resolve transitions are recorded into @p telemetry's audit
+     * trail (Stage::LiveObs) and the `obs.alerts_active` gauge is
+     * refreshed. Null telemetry evaluates silently (tests).
+     */
+    void evaluate(const TsWindow &w, Telemetry *telemetry);
+
+    std::size_t activeAlerts() const;
+    const std::vector<AlertState> &alerts() const { return alerts_; }
+
+    /** The /alerts endpoint body: one JSON object per rule. */
+    std::string toJson() const;
+
+    /**
+     * Observed value of @p rule in window @p w (pre-hysteresis; the
+     * quantity the rule's Cmp compares against its threshold).
+     */
+    static double observedValue(const SloRule &rule, const TsWindow &w,
+                                const AlertState &state);
+
+    /**
+     * Parse a rules file: one rule per line as space-separated
+     * `key=value` fields (name=, kind=, cmp=, threshold=, counters=
+     * a,b,c, denom=, gauge=, ewma_alpha=, fire_after=,
+     * resolve_after=); `#` starts a comment. Returns the rules, or
+     * reports the first malformed line through @p error (non-null)
+     * and returns what parsed before it.
+     */
+    static std::vector<SloRule> parseRules(const std::string &text,
+                                           SloParseError *error);
+
+  private:
+    std::vector<AlertState> alerts_;
+};
+
+} // namespace gpusc::obs::live
+
+#endif // GPUSC_OBS_LIVE_SLO_H

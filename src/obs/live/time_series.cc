@@ -1,0 +1,263 @@
+#include "obs/live/time_series.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace gpusc::obs::live {
+
+const char *
+windowLevelName(WindowLevel level)
+{
+    switch (level) {
+      case WindowLevel::Fine:
+        return "fine";
+      case WindowLevel::Coarse:
+        return "coarse";
+      case WindowLevel::Archive:
+        return "archive";
+      case WindowLevel::Open:
+        return "open";
+    }
+    return "?";
+}
+
+void
+TsWindow::absorb(const TsWindow &other)
+{
+    for (const auto &[name, delta] : other.counters)
+        counters[name] += delta;
+    for (const auto &[name, value] : other.gauges)
+        gauges[name] = value;
+    for (const auto &[name, hist] : other.histograms)
+        histograms[name].merge(hist);
+    const SimTime newStart = std::min(start, other.start);
+    const SimTime newEnd = std::max(end(), other.end());
+    start = newStart;
+    width = newEnd - newStart;
+}
+
+std::uint64_t
+TsWindow::counterDelta(const std::string &name) const
+{
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+}
+
+std::string
+TsWindow::toJson(const MetricRegistry *unitSource) const
+{
+    std::string out = "{\"t_ms\": ";
+    appendJsonNumber(out, start.millis());
+    out += ", \"w_ms\": ";
+    appendJsonNumber(out, width.millis());
+    out += ", \"level\": ";
+    appendJsonString(out, windowLevelName(level));
+    out += ", \"counters\": {";
+    bool first = true;
+    for (const auto &[name, delta] : counters) {
+        if (!first)
+            out += ", ";
+        first = false;
+        appendJsonString(out, name);
+        out += ": ";
+        appendJsonNumber(out, double(delta));
+    }
+    out += "}, \"gauges\": {";
+    first = true;
+    for (const auto &[name, value] : gauges) {
+        if (!first)
+            out += ", ";
+        first = false;
+        appendJsonString(out, name);
+        out += ": ";
+        appendJsonNumber(out, value);
+    }
+    out += "}, \"histograms\": {";
+    first = true;
+    for (const auto &[name, hist] : histograms) {
+        if (!first)
+            out += ", ";
+        first = false;
+        appendJsonString(out, name);
+        out += ": ";
+        appendHistogramJson(out, hist,
+                            unitSource ? unitSource->histogramUnit(name)
+                                       : std::string());
+    }
+    out += "}}";
+    return out;
+}
+
+TimeSeries::TimeSeries() : TimeSeries(Params{}) {}
+
+TimeSeries::TimeSeries(Params params) : params_(params)
+{
+    if (params_.fineWidth.ns() <= 0)
+        panic("TimeSeries: fineWidth must be positive (got %lldns)",
+              (long long)params_.fineWidth.ns());
+    if (params_.fineCapacity == 0 || params_.coarsePerFine == 0 ||
+        params_.coarseCapacity == 0)
+        panic("TimeSeries: capacities and coarsePerFine must be "
+              "non-zero");
+}
+
+void
+TimeSeries::observe(SimTime now, const MetricRegistry &reg,
+                    const DecisionCounts *decisions)
+{
+    if (!haveOpen_) {
+        const std::int64_t slot = now.ns() / params_.fineWidth.ns();
+        open_ = TsWindow{};
+        open_.start = SimTime::fromNs(slot * params_.fineWidth.ns());
+        open_.width = params_.fineWidth;
+        open_.level = WindowLevel::Open;
+        haveOpen_ = true;
+    }
+    if (now < open_.start)
+        panic("TimeSeries::observe: non-monotone tick (%lldns into a "
+              "window starting at %lldns)",
+              (long long)now.ns(), (long long)open_.start.ns());
+    while (now >= open_.end()) {
+        const SimTime nextStart = open_.end();
+        closeOpenWindow();
+        open_ = TsWindow{};
+        open_.start = nextStart;
+        open_.width = params_.fineWidth;
+        open_.level = WindowLevel::Open;
+        // Gauges are levels, not deltas: a window nobody ticked
+        // inside still reports the last-known levels at its end.
+        open_.gauges = lastGauges_;
+    }
+
+    for (const auto &[name, c] : reg.counters()) {
+        const std::uint64_t value = c->value();
+        std::uint64_t &last = lastCounters_[name];
+        if (value > last)
+            open_.counters[name] += value - last;
+        last = value;
+    }
+    if (decisions != nullptr) {
+        // The synthetic funnel.* names are per-instance constants;
+        // building them once keeps the per-tick cost to map lookups.
+        if (funnelNames_.empty()) {
+            funnelNames_.reserve(kNumDecisions + 1);
+            for (std::size_t d = 0; d < kNumDecisions; ++d)
+                funnelNames_.push_back(std::string("funnel.") +
+                                       decisionName(Decision(d)));
+            funnelNames_.push_back("funnel.changes_in");
+        }
+        for (std::size_t d = 0; d < kNumDecisions; ++d) {
+            const std::uint64_t value = decisions->counts[d];
+            std::uint64_t &last = lastCounters_[funnelNames_[d]];
+            if (value > last)
+                open_.counters[funnelNames_[d]] += value - last;
+            last = value;
+        }
+        std::uint64_t &lastIn =
+            lastCounters_[funnelNames_[kNumDecisions]];
+        if (decisions->changesIn > lastIn)
+            open_.counters[funnelNames_[kNumDecisions]] +=
+                decisions->changesIn - lastIn;
+        lastIn = decisions->changesIn;
+    }
+    for (const auto &[name, g] : reg.gauges()) {
+        open_.gauges[name] = g->value();
+        lastGauges_[name] = g->value();
+    }
+    for (const auto &[name, h] : reg.histograms()) {
+        LogHistogram &last = lastHistograms_[name];
+        if (h->count() == last.count())
+            continue; // no new samples: skip the two array copies
+        const LogHistogram delta = h->deltaSince(last);
+        if (!delta.empty())
+            open_.histograms[name].merge(delta);
+        last = *h;
+    }
+}
+
+void
+TimeSeries::finish()
+{
+    if (!haveOpen_)
+        return;
+    closeOpenWindow();
+    haveOpen_ = false;
+}
+
+void
+TimeSeries::closeOpenWindow()
+{
+    open_.level = WindowLevel::Fine;
+    ++closed_;
+    if (windowListener_)
+        windowListener_(open_);
+    // Every caller re-initialises open_ right after, so the maps can
+    // move into the ring instead of deep-copying ~40 nodes per close.
+    fine_.push_back(std::move(open_));
+    rollUp();
+}
+
+void
+TimeSeries::rollUp()
+{
+    const SimTime coarseW = coarseWidth();
+    while (fine_.size() > params_.fineCapacity) {
+        const TsWindow &oldest = fine_.front();
+        const std::int64_t slot = oldest.start.ns() / coarseW.ns();
+        const SimTime bucketStart =
+            SimTime::fromNs(slot * coarseW.ns());
+        if (coarse_.empty() || coarse_.back().start != bucketStart) {
+            TsWindow bucket;
+            bucket.start = bucketStart;
+            bucket.width = coarseW;
+            bucket.level = WindowLevel::Coarse;
+            coarse_.push_back(std::move(bucket));
+        }
+        coarse_.back().absorb(oldest);
+        coarse_.back().level = WindowLevel::Coarse;
+        fine_.pop_front();
+        ++rollupsFine_;
+    }
+    while (coarse_.size() > params_.coarseCapacity) {
+        if (!haveArchive_) {
+            archive_ = coarse_.front();
+            archive_.level = WindowLevel::Archive;
+            haveArchive_ = true;
+        } else {
+            archive_.absorb(coarse_.front());
+            archive_.level = WindowLevel::Archive;
+        }
+        coarse_.pop_front();
+        ++rollupsCoarse_;
+    }
+}
+
+std::vector<const TsWindow *>
+TimeSeries::windows() const
+{
+    std::vector<const TsWindow *> out;
+    out.reserve((haveArchive_ ? 1 : 0) + coarse_.size() + fine_.size());
+    if (haveArchive_)
+        out.push_back(&archive_);
+    for (const TsWindow &w : coarse_)
+        out.push_back(&w);
+    for (const TsWindow &w : fine_)
+        out.push_back(&w);
+    return out;
+}
+
+std::map<std::string, std::uint64_t>
+TimeSeries::totalCounterDeltas() const
+{
+    std::map<std::string, std::uint64_t> totals;
+    for (const TsWindow *w : windows())
+        for (const auto &[name, delta] : w->counters)
+            totals[name] += delta;
+    if (haveOpen_)
+        for (const auto &[name, delta] : open_.counters)
+            totals[name] += delta;
+    return totals;
+}
+
+} // namespace gpusc::obs::live

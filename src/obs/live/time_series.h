@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Windowed time-series aggregation over a MetricRegistry / AuditTrail
+ * — the storage layer of the live telemetry plane.
+ *
+ * A TimeSeries slices the run into fixed-width windows keyed on
+ * *sim-time* (never the host clock — lint D1 applies here exactly as
+ * it does to the pipeline): each closed window holds the counter
+ * *deltas* that accrued inside it, the *last* value of every gauge,
+ * and mergeable LogHistogram deltas. Fine windows (default 100 ms)
+ * roll up losslessly into coarse windows (fine x coarsePerFine,
+ * default 10 s) once the fine ring is full, and coarse windows roll
+ * into a single unbounded archive window once their ring is full —
+ * so a daemon that runs for hours keeps bounded memory while *no
+ * delta is ever dropped*: the sum of every retained window (archive +
+ * coarse + fine + open) equals the cumulative snapshot, exactly, for
+ * every tracked counter. That reconciliation identity is what
+ * stream_cli's self-check and the live-obs CI job gate.
+ *
+ * Decision counts from an AuditTrail are windowed through the same
+ * mechanism as synthetic `funnel.<decision>` counters (plus
+ * `funnel.changes_in`), so SLO rules can watch the change funnel
+ * per-window without the trail growing a second bookkeeping path.
+ */
+
+#ifndef GPUSC_OBS_LIVE_TIME_SERIES_H
+#define GPUSC_OBS_LIVE_TIME_SERIES_H
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "obs/audit.h"
+#include "obs/log_histogram.h"
+#include "obs/metric_registry.h"
+#include "util/sim_time.h"
+
+namespace gpusc::obs::live {
+
+/** Cumulative decision counts observed at one tick (a funnel
+ *  snapshot; aggregators sum several AuditTrails into one). */
+struct DecisionCounts
+{
+    std::array<std::uint64_t, kNumDecisions> counts{};
+    std::uint64_t changesIn = 0;
+
+    void
+    add(const AuditTrail &audit)
+    {
+        for (std::size_t d = 0; d < kNumDecisions; ++d)
+            counts[d] += audit.count(Decision(d));
+        changesIn += audit.changesAudited();
+    }
+};
+
+/** Resolution level a window was aggregated at. */
+enum class WindowLevel : std::uint8_t
+{
+    Fine,    ///< one fine-width slice
+    Coarse,  ///< coarsePerFine fine slices merged
+    Archive, ///< everything older than the coarse ring
+    Open,    ///< the in-progress slice (not yet closed)
+};
+
+const char *windowLevelName(WindowLevel level);
+
+/** One closed (or in-progress) aggregation window. */
+struct TsWindow
+{
+    SimTime start;
+    SimTime width; ///< archive windows: start..start+width covered
+    WindowLevel level = WindowLevel::Fine;
+    /** Counter growth inside the window, by metric name. */
+    std::map<std::string, std::uint64_t> counters;
+    /** Last-set gauge values as of the window's end. */
+    std::map<std::string, double> gauges;
+    /** Histogram growth inside the window (mergeable deltas). */
+    std::map<std::string, LogHistogram> histograms;
+
+    /** Fold @p other (the newer window) into this one: counters and
+     *  histograms add, gauges take the newer value, the covered
+     *  interval extends. The roll-up primitive. */
+    void absorb(const TsWindow &other);
+
+    /** Delta of @p name in this window (0 when absent). */
+    std::uint64_t counterDelta(const std::string &name) const;
+
+    /** Window end (start + width). */
+    SimTime end() const { return start + width; }
+
+    /** One JSONL record (the file-sink / /windows format). */
+    std::string toJson(const MetricRegistry *unitSource) const;
+};
+
+/** Ring-of-windows aggregation with lossless multi-level roll-up. */
+class TimeSeries
+{
+  public:
+    struct Params
+    {
+        /** Fine window width, sim time. */
+        SimTime fineWidth = SimTime::fromMs(100);
+        /** Fine windows retained before rolling up. */
+        std::size_t fineCapacity = 128;
+        /** Fine windows per coarse window (coarse width multiple). */
+        std::size_t coarsePerFine = 100;
+        /** Coarse windows retained before archiving. */
+        std::size_t coarseCapacity = 64;
+    };
+
+    TimeSeries();
+    explicit TimeSeries(Params params);
+
+    /**
+     * Observe cumulative state at sim time @p now: growth since the
+     * previous observe is attributed to the window containing @p now,
+     * and every fine boundary crossed since the last tick closes the
+     * window it ends (notifying the window listener). @p decisions,
+     * when non-null, contributes the synthetic funnel counters.
+     * Ticks must be monotone in @p now.
+     */
+    void observe(SimTime now, const MetricRegistry &reg,
+                 const DecisionCounts *decisions = nullptr);
+
+    /** Close the in-progress window (end of run / final flush). */
+    void finish();
+
+    /** Called with each window the moment it closes (always at Fine
+     *  level — roll-ups reshape retention, not the event stream). */
+    void setWindowListener(std::function<void(const TsWindow &)> fn)
+    {
+        windowListener_ = std::move(fn);
+    }
+
+    /** Retained windows oldest-first: archive, coarse, fine. */
+    std::vector<const TsWindow *> windows() const;
+
+    /** The in-progress window (null before the first observe). */
+    const TsWindow *openWindow() const
+    {
+        return haveOpen_ ? &open_ : nullptr;
+    }
+
+    /** Windows closed over the series' lifetime (pre-roll-up). */
+    std::uint64_t windowsClosed() const { return closed_; }
+    std::uint64_t rollupsFine() const { return rollupsFine_; }
+    std::uint64_t rollupsCoarse() const { return rollupsCoarse_; }
+
+    /**
+     * Sum of every retained window's deltas plus the open window —
+     * the reconciliation total. Equals the cumulative value of every
+     * tracked counter at the last observe, exactly; stream_cli and
+     * the live-obs CI job assert this against the end-of-run
+     * snapshot.
+     */
+    std::map<std::string, std::uint64_t> totalCounterDeltas() const;
+
+    /** Latest cumulative counter values as of the last observe (the
+     *  Prometheus exposition source). */
+    const std::map<std::string, std::uint64_t> &cumulative() const
+    {
+        return lastCounters_;
+    }
+    /** Latest gauge values as of the last observe. */
+    const std::map<std::string, double> &latestGauges() const
+    {
+        return lastGauges_;
+    }
+
+    const Params &params() const { return params_; }
+    SimTime coarseWidth() const
+    {
+        return params_.fineWidth *
+               std::int64_t(params_.coarsePerFine);
+    }
+
+  private:
+    void closeOpenWindow();
+    void rollUp();
+
+    Params params_;
+    TsWindow open_;
+    bool haveOpen_ = false;
+    std::deque<TsWindow> fine_;
+    std::deque<TsWindow> coarse_;
+    TsWindow archive_;
+    bool haveArchive_ = false;
+    std::uint64_t closed_ = 0;
+    std::uint64_t rollupsFine_ = 0;
+    std::uint64_t rollupsCoarse_ = 0;
+    /** Cumulative values at the previous observe (delta baselines). */
+    std::map<std::string, std::uint64_t> lastCounters_;
+    std::map<std::string, double> lastGauges_;
+    std::map<std::string, LogHistogram> lastHistograms_;
+    /** Lazily-built "funnel.<decision>" names (+ changes_in last). */
+    std::vector<std::string> funnelNames_;
+    std::function<void(const TsWindow &)> windowListener_;
+};
+
+} // namespace gpusc::obs::live
+
+#endif // GPUSC_OBS_LIVE_TIME_SERIES_H

@@ -78,6 +78,33 @@ LogHistogram::merge(const LogHistogram &other)
     sum_ += other.sum_;
 }
 
+LogHistogram
+LogHistogram::deltaSince(const LogHistogram &prev) const
+{
+    LogHistogram d;
+    bool any = false;
+    std::size_t first = 0, last = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        const std::uint64_t was = prev.counts_[i];
+        const std::uint64_t now = counts_[i];
+        d.counts_[i] = now >= was ? now - was : 0;
+        if (d.counts_[i] == 0)
+            continue;
+        if (!any)
+            first = i;
+        last = i;
+        any = true;
+    }
+    if (!any)
+        return d;
+    d.count_ = count_ - prev.count_;
+    d.sum_ = sum_ - prev.sum_;
+    // Bucket-derived extrema: deterministic from the delta alone.
+    d.min_ = bucketLow(first);
+    d.max_ = bucketHigh(last) - 1;
+    return d;
+}
+
 std::uint64_t
 LogHistogram::quantile(double q) const
 {

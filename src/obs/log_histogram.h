@@ -45,6 +45,19 @@ class LogHistogram
     /** Fold @p other into this histogram (bucket-wise addition). */
     void merge(const LogHistogram &other);
 
+    /**
+     * The growth of this histogram since the @p prev snapshot, as a
+     * histogram of its own (bucket-wise subtraction; @p prev must be
+     * an earlier snapshot of the same histogram, i.e. no bucket may
+     * shrink). The delta's min/max are re-derived from its non-empty
+     * bucket bounds — a pure function of the delta buckets, so
+     * merging consecutive deltas is bit-identical to taking one
+     * delta over the combined interval (the live-plane window
+     * roll-up invariant). Sums subtract in floating point and are
+     * therefore near-, not bit-, lossless under re-association.
+     */
+    LogHistogram deltaSince(const LogHistogram &prev) const;
+
     std::uint64_t count() const { return count_; }
     bool empty() const { return count_ == 0; }
     double sum() const { return sum_; }

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "util/logging.h"
+
 namespace gpusc::obs {
 
 void
@@ -92,9 +94,25 @@ MetricRegistry::histogramUnit(const std::string &name) const
     return it == units_.end() ? empty : it->second;
 }
 
+std::optional<MetricRegistry::UnitMismatch>
+MetricRegistry::checkMergeUnits(const MetricRegistry &other) const
+{
+    for (const auto &[name, unit] : other.units_) {
+        const auto it = units_.find(name);
+        if (it != units_.end() && it->second != unit)
+            return UnitMismatch{name, it->second, unit};
+    }
+    return std::nullopt;
+}
+
 void
 MetricRegistry::merge(const MetricRegistry &other)
 {
+    if (const auto bad = checkMergeUnits(other))
+        panic("MetricRegistry::merge: unit mismatch for '%s': "
+              "have '%s', merging '%s'",
+              bad->metric.c_str(), bad->haveUnit.c_str(),
+              bad->otherUnit.c_str());
     for (const auto &[name, c] : other.counters_)
         counter(name).inc(c->value());
     for (const auto &[name, g] : other.gauges_)
@@ -113,11 +131,9 @@ MetricRegistry::mergedLatency() const
     return all;
 }
 
-namespace {
-
 void
-appendHistogram(std::string &out, const LogHistogram &h,
-                const std::string &unit)
+appendHistogramJson(std::string &out, const LogHistogram &h,
+                    const std::string &unit)
 {
     out += "{\"count\": ";
     appendJsonNumber(out, double(h.count()));
@@ -139,8 +155,6 @@ appendHistogram(std::string &out, const LogHistogram &h,
     appendJsonString(out, unit);
     out += '}';
 }
-
-} // namespace
 
 std::string
 MetricRegistry::toJson() const
@@ -173,7 +187,7 @@ MetricRegistry::toJson() const
         first = false;
         appendJsonString(out, name);
         out += ": ";
-        appendHistogram(out, *h, histogramUnit(name));
+        appendHistogramJson(out, *h, histogramUnit(name));
     }
     const LogHistogram all = mergedLatency();
     if (!all.empty()) {
@@ -181,7 +195,7 @@ MetricRegistry::toJson() const
             out += ", ";
         appendJsonString(out, "latency.all_stages");
         out += ": ";
-        appendHistogram(out, all, "ns");
+        appendHistogramJson(out, all, "ns");
     }
     out += "}}";
     return out;

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "obs/log_histogram.h"
@@ -64,9 +65,30 @@ class MetricRegistry
     const std::string &histogramUnit(const std::string &name) const;
 
     /**
+     * One metric name registered with two different unit strings —
+     * the typed description of why a merge() hard-failed.
+     */
+    struct UnitMismatch
+    {
+        std::string metric;
+        std::string haveUnit; ///< unit already registered here
+        std::string otherUnit; ///< unit the other registry carries
+    };
+
+    /**
+     * First unit-string conflict a merge of @p other would hit, or
+     * nullopt when the registries are merge-compatible.
+     */
+    std::optional<UnitMismatch>
+    checkMergeUnits(const MetricRegistry &other) const;
+
+    /**
      * Fold @p other into this registry: counters add, histograms
      * merge bucket-wise, gauges take the other's latest value.
      * Used to aggregate per-run registries into one snapshot.
+     * Hard-fails (panic, carrying the UnitMismatch detail) when the
+     * same histogram name was registered with different units —
+     * silently keeping one unit would mislabel every merged sample.
      */
     void merge(const MetricRegistry &other);
 
@@ -109,6 +131,15 @@ class MetricRegistry
 void appendJsonString(std::string &out, const std::string &s);
 /** Append @p v with enough precision to round-trip. */
 void appendJsonNumber(std::string &out, double v);
+/**
+ * Append @p h as the JSON object the registry snapshot exports
+ * (count/sum/mean/min/p50/p90/p99/max/unit, quantiles from the
+ * midpoint-of-bucket estimator). Shared by the end-of-run snapshot
+ * and the live-plane window exposition so both describe histograms
+ * identically.
+ */
+void appendHistogramJson(std::string &out, const LogHistogram &h,
+                         const std::string &unit);
 
 } // namespace gpusc::obs
 

@@ -32,6 +32,7 @@ IngestService::offer(SessionId id, const attack::Reading &reading)
     offeredCtr_->inc();
     offerTime_ = reading.time;
     Session &session = manager_.getOrCreate(id);
+    session.noteOffer(reading.time);
     return enqueue(session, reading);
 }
 
@@ -57,6 +58,7 @@ IngestService::enqueue(Session &session,
         if (session.ring().shedOldest(dropped)) {
             ++shedOldest_;
             shedOldestCtr_->inc();
+            session.noteShedOldest();
             tel_.audit.record(reading.time, obs::Stage::Ingest,
                               obs::Decision::ShedOldestDrop,
                               std::to_string(session.id()));
@@ -68,6 +70,7 @@ IngestService::enqueue(Session &session,
       case Backpressure::ShedNewest:
         ++shedNewest_;
         shedNewestCtr_->inc();
+        session.noteShedNewest();
         tel_.audit.record(reading.time, obs::Stage::Ingest,
                           obs::Decision::ShedNewestDrop,
                           std::to_string(session.id()));
@@ -85,6 +88,7 @@ IngestService::pump()
     // Budget accounting is O(1) per offer; the backlog growth from
     // this bulk drain is folded back in one pass here.
     manager_.refreshAccounting();
+    tickLivePlane();
     return n;
 }
 
@@ -105,6 +109,7 @@ IngestService::pump(exec::ThreadPool &pool)
     for (const std::size_t d : drained)
         n += d;
     manager_.refreshAccounting();
+    tickLivePlane();
     return n;
 }
 
@@ -171,6 +176,58 @@ IngestService::ingestTrace(trace::TraceReader &reader, SessionId id,
     if (Session *s = manager_.find(id))
         s->eavesdropper().flushTelemetry();
     return err;
+}
+
+obs::live::LivePlane &
+IngestService::enableLivePlane(obs::live::LiveConfig config)
+{
+    if (plane_)
+        return *plane_;
+    sessionsGauge_ = &tel_.metrics.gauge("stream.sessions_active");
+    memUsedGauge_ = &tel_.metrics.gauge("stream.memory_used_bytes");
+    memBudgetGauge_ =
+        &tel_.metrics.gauge("stream.memory_budget_bytes");
+    headroomGauge_ = &tel_.metrics.gauge("stream.memory_headroom");
+    plane_ = std::make_unique<obs::live::LivePlane>(std::move(config),
+                                                    &tel_);
+    plane_->setDecisionProvider([this] {
+        obs::live::DecisionCounts d;
+        // The service trail already folded in every *evicted*
+        // session's records; adding the live sessions makes the
+        // windowed funnel the complete one aggregateTelemetry()
+        // exports — which is what the reconciliation check compares.
+        d.add(tel_.audit);
+        for (const auto &[id, session] : manager_.all())
+            d.add(session->telemetry().audit);
+        return d;
+    });
+    plane_->setSessionHealthProvider(
+        [this] { return manager_.healthViews(); });
+    return *plane_;
+}
+
+void
+IngestService::tickLivePlane()
+{
+    if (!plane_)
+        return;
+    const std::size_t budget = params_.sessions.memoryBudgetBytes;
+    const std::size_t used = manager_.memoryUseBytes();
+    sessionsGauge_->set(double(manager_.size()));
+    memUsedGauge_->set(double(used));
+    memBudgetGauge_->set(double(budget));
+    headroomGauge_->set(
+        budget > 0 ? 1.0 - double(used) / double(budget) : 0.0);
+    plane_->maybeTick(offerTime_);
+}
+
+void
+IngestService::finishLivePlane()
+{
+    if (!plane_)
+        return;
+    tickLivePlane();
+    plane_->finish(offerTime_);
 }
 
 void

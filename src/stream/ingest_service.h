@@ -36,10 +36,12 @@
 #define GPUSC_STREAM_INGEST_SERVICE_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "exec/thread_pool.h"
+#include "obs/live/live_plane.h"
 #include "stream/session_manager.h"
 #include "trace/trace_reader.h"
 
@@ -141,6 +143,33 @@ class IngestService
      */
     void aggregateTelemetry(obs::Telemetry &into);
 
+    /**
+     * Attach a live telemetry plane over the service's telemetry:
+     * pump() then ticks it at the current offer sim-time, with a
+     * decision provider covering the *whole* funnel (service trail,
+     * which already holds every evicted session's records, plus each
+     * live session's trail) and a session-health provider backed by
+     * SessionManager::healthViews(). Also publishes the service
+     * gauges `stream.sessions_active`, `stream.memory_used_bytes`,
+     * `stream.memory_budget_bytes` and `stream.memory_headroom` at
+     * each tick. Strictly observational: enabling the plane changes
+     * no inferred output (pinned by tests/stream/live_plane_test).
+     * @return the plane, for SLO/endpoint inspection.
+     */
+    obs::live::LivePlane &
+    enableLivePlane(obs::live::LiveConfig config);
+
+    /** Final plane flush: close the open window, publish, write the
+     *  sink trailers. No-op without enableLivePlane. */
+    void finishLivePlane();
+
+    /** The attached plane, or null. */
+    obs::live::LivePlane *livePlane() { return plane_.get(); }
+    const obs::live::LivePlane *livePlane() const
+    {
+        return plane_.get();
+    }
+
     // Diagnostics.
     std::uint64_t readingsOffered() const { return offered_; }
     std::uint64_t readingsShedOldest() const { return shedOldest_; }
@@ -152,6 +181,7 @@ class IngestService
 
   private:
     bool enqueue(Session &session, const attack::Reading &reading);
+    void tickLivePlane();
 
     Params params_;
     obs::Telemetry tel_;
@@ -167,6 +197,15 @@ class IngestService
     obs::Counter *shedOldestCtr_ = nullptr;
     obs::Counter *shedNewestCtr_ = nullptr;
     obs::Counter *evictionsCtr_ = nullptr;
+    /** Live telemetry plane; null until enableLivePlane(). The
+     *  service gauges below are resolved when the plane attaches so
+     *  a plane-less run's metrics snapshot stays byte-identical to
+     *  the seed's. */
+    std::unique_ptr<obs::live::LivePlane> plane_;
+    obs::Gauge *sessionsGauge_ = nullptr;
+    obs::Gauge *memUsedGauge_ = nullptr;
+    obs::Gauge *memBudgetGauge_ = nullptr;
+    obs::Gauge *headroomGauge_ = nullptr;
 };
 
 } // namespace gpusc::stream

@@ -38,6 +38,24 @@ Session::drain()
     return n;
 }
 
+obs::live::SessionHealth
+Session::healthView() const
+{
+    obs::live::SessionHealth h;
+    h.id = id_;
+    h.ringDepth = ring_.size();
+    h.ringCapacity = ring_.capacity();
+    h.readingsDrained = drained_;
+    h.shedOldest = shedOldest_;
+    h.shedNewest = shedNewest_;
+    h.templateUpdates = updater_ ? updater_->updatesApplied() : 0;
+    h.acceptedKeys =
+        telemetry_.audit.count(obs::Decision::AcceptedKey);
+    h.memoryBytes = memoryBytes();
+    h.lastTouch = lastSeen_;
+    return h;
+}
+
 std::size_t
 Session::memoryBytes() const
 {

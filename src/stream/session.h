@@ -28,6 +28,7 @@
 #include <memory>
 
 #include "attack/eavesdropper.h"
+#include "obs/live/exposition.h"
 #include "obs/telemetry.h"
 #include "stream/spsc_ring.h"
 #include "stream/template_updater.h"
@@ -113,6 +114,26 @@ class Session
     /** Total readings ever drained into the pipeline. */
     std::uint64_t readingsDrained() const { return drained_; }
 
+    /** Backpressure bookkeeping, called by the ingest service when
+     *  it sheds on this session's behalf (the service's aggregate
+     *  counters can't say *which* session was overloaded). */
+    void noteShedOldest() { ++shedOldest_; }
+    void noteShedNewest() { ++shedNewest_; }
+    /** Sim time of the most recent reading offered to this session
+     *  (stamps the health view). */
+    void noteOffer(SimTime t) { lastSeen_ = t; }
+
+    std::uint64_t shedOldest() const { return shedOldest_; }
+    std::uint64_t shedNewest() const { return shedNewest_; }
+
+    /**
+     * This session's health as the live telemetry plane exposes it
+     * through /sessions and obs_top: queue depth, drain/shed
+     * counts, adaptation activity, accepted keys, accounted memory.
+     * A pure read — building a view perturbs nothing.
+     */
+    obs::live::SessionHealth healthView() const;
+
     /** LRU bookkeeping, owned by the SessionManager. */
     std::uint64_t lastTouch = 0;
     /** memoryBytes() as last folded into the manager's cached total;
@@ -127,6 +148,9 @@ class Session
     SpscRing<attack::Reading> ring_;
     std::size_t telemetryRingBytes_;
     std::uint64_t drained_ = 0;
+    std::uint64_t shedOldest_ = 0;
+    std::uint64_t shedNewest_ = 0;
+    SimTime lastSeen_{};
     /** Declared after telemetry_ (its dtor flushes into it). */
     std::unique_ptr<attack::Eavesdropper> eavesdropper_;
     std::unique_ptr<TemplateUpdater> updater_;

@@ -108,4 +108,14 @@ SessionManager::evictOne(SessionId id)
     remove(id);
 }
 
+std::vector<obs::live::SessionHealth>
+SessionManager::healthViews() const
+{
+    std::vector<obs::live::SessionHealth> views;
+    views.reserve(sessions_.size());
+    for (const auto &[id, session] : sessions_)
+        views.push_back(session->healthView());
+    return views;
+}
+
 } // namespace gpusc::stream

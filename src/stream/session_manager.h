@@ -111,6 +111,10 @@ class SessionManager
         return sessions_;
     }
 
+    /** Health views of every live session, in id order — the
+     *  /sessions payload of the live telemetry plane. */
+    std::vector<obs::live::SessionHealth> healthViews() const;
+
   private:
     void evictOne(SessionId id);
     /** Fold @p session's current memoryBytes() into the cached

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the exposition layer: Prometheus text rendering,
+ * the JSONL window record (with the spliced alert count), session
+ * health views, and metric-name sanitization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/live/exposition.h"
+
+namespace gpusc::obs::live {
+namespace {
+
+TEST(ExpositionTest, PromNameSanitizesDotsAndHyphens)
+{
+    EXPECT_EQ(Exposition::promName("stream.shed_oldest"),
+              "gpusc_stream_shed_oldest");
+    EXPECT_EQ(Exposition::promName("funnel.accepted-key"),
+              "gpusc_funnel_accepted_key");
+    EXPECT_EQ(Exposition::promName("Ab9_z"), "gpusc_Ab9_z");
+}
+
+TEST(ExpositionTest, PrometheusTextRendersCountersGaugesAndAlerts)
+{
+    TimeSeries ts;
+    MetricRegistry reg;
+    reg.counter("stream.readings_offered").inc(17);
+    reg.gauge("stream.memory_headroom").set(0.25);
+    ts.observe(SimTime::fromMs(10), reg);
+
+    SloRule r;
+    r.name = "shed-rate";
+    r.counters = {"stream.shed_oldest"};
+    r.threshold = 5.0;
+    SloEngine slo({r});
+
+    const std::string text = Exposition::prometheusText(ts, &slo);
+    EXPECT_NE(
+        text.find(
+            "# TYPE gpusc_stream_readings_offered_total counter\n"
+            "gpusc_stream_readings_offered_total 17\n"),
+        std::string::npos);
+    EXPECT_NE(text.find("# TYPE gpusc_stream_memory_headroom gauge\n"
+                        "gpusc_stream_memory_headroom 0.25\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("gpusc_obs_alert_firing{rule=\"shed-rate\"} 0"),
+              std::string::npos);
+    EXPECT_NE(text.find("gpusc_obs_alerts_active 0\n"),
+              std::string::npos);
+
+    // Without an SLO engine the alert families are absent entirely.
+    const std::string bare = Exposition::prometheusText(ts, nullptr);
+    EXPECT_EQ(bare.find("alert"), std::string::npos);
+}
+
+TEST(ExpositionTest, WindowJsonlSplicesTheAlertCount)
+{
+    TsWindow w;
+    w.start = SimTime::fromMs(200);
+    w.width = SimTime::fromMs(100);
+    w.counters["stream.readings_offered"] = 3;
+    const std::string line = Exposition::windowJsonl(w, nullptr, 2);
+    EXPECT_EQ(line.back(), '\n');
+    EXPECT_NE(line.find("\"t_ms\": 200"), std::string::npos);
+    EXPECT_NE(line.find("\"w_ms\": 100"), std::string::npos);
+    EXPECT_NE(line.find("\"level\": \"fine\""), std::string::npos);
+    EXPECT_NE(line.find("\"stream.readings_offered\": 3"),
+              std::string::npos);
+    EXPECT_NE(line.find("\"alerts_active\": 2"), std::string::npos);
+    // The splice must keep the record a single well-formed object:
+    // one trailing '}' before the newline, none dangling after it.
+    EXPECT_EQ(line.find('\n'), line.size() - 1);
+    EXPECT_EQ(line[line.size() - 2], '}');
+}
+
+TEST(ExpositionTest, SessionsJsonListsEveryView)
+{
+    SessionHealth a;
+    a.id = 3;
+    a.ringDepth = 2;
+    a.ringCapacity = 64;
+    a.readingsDrained = 100;
+    a.acceptedKeys = 5;
+    a.memoryBytes = 4096;
+    a.lastTouch = SimTime::fromMs(1234);
+    SessionHealth b;
+    b.id = 9;
+    const std::string json = Exposition::sessionsJson({a, b});
+    EXPECT_NE(json.find("\"sessions\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"id\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"ring_capacity\": 64"), std::string::npos);
+    EXPECT_NE(json.find("\"accepted_keys\": 5"), std::string::npos);
+    EXPECT_NE(json.find("\"last_touch_ms\": 1234"), std::string::npos);
+    EXPECT_NE(json.find("\"id\": 9"), std::string::npos);
+
+    EXPECT_EQ(Exposition::sessionsJson({}), "{\"sessions\": []}");
+}
+
+TEST(ExpositionTest, WindowLevelNamesAreStable)
+{
+    // The JSONL schema exposes these strings; renames break scrapers.
+    EXPECT_STREQ(windowLevelName(WindowLevel::Fine), "fine");
+    EXPECT_STREQ(windowLevelName(WindowLevel::Coarse), "coarse");
+    EXPECT_STREQ(windowLevelName(WindowLevel::Archive), "archive");
+    EXPECT_STREQ(windowLevelName(WindowLevel::Open), "open");
+}
+
+} // namespace
+} // namespace gpusc::obs::live

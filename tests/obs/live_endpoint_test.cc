@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Smoke tests for the live plane's HTTP exposition endpoint, driven
+ * through a raw loopback socket exactly the way curl or a Prometheus
+ * scraper would hit it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+
+#include "obs/live/http_endpoint.h"
+
+namespace gpusc::obs::live {
+namespace {
+
+/** Blocking HTTP/1.0 GET of @p path; returns the raw response. */
+std::string
+httpGet(std::uint16_t port, const std::string &path)
+{
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return {};
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                sizeof(addr)) != 0) {
+        close(fd);
+        return {};
+    }
+    const std::string req =
+        "GET " + path + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+    (void)!write(fd, req.data(), req.size());
+    std::string out;
+    char buf[4096];
+    ssize_t n;
+    while ((n = read(fd, buf, sizeof(buf))) > 0)
+        out.append(buf, std::size_t(n));
+    close(fd);
+    return out;
+}
+
+TEST(HttpEndpointTest, ServesSnapshotsOverEveryRoute)
+{
+    HttpEndpoint ep;
+    ASSERT_TRUE(ep.start(0)); // 0: ephemeral port
+    ASSERT_TRUE(ep.running());
+    ASSERT_NE(ep.port(), 0);
+
+    // /healthz answers even before a snapshot is published...
+    EXPECT_NE(httpGet(ep.port(), "/healthz").find("200 OK"),
+              std::string::npos);
+    // ...while data routes answer 503 until the first publish.
+    EXPECT_NE(httpGet(ep.port(), "/metrics").find("503"),
+              std::string::npos);
+
+    auto snap = std::make_shared<EndpointSnapshot>();
+    snap->metricsText = "gpusc_stream_readings_offered_total 17\n";
+    snap->metricsJson = "{\"counters\": {}}";
+    snap->sessionsJson = "{\"sessions\": []}";
+    snap->alertsJson = "{\"active\": 0, \"alerts\": []}";
+    ep.publish(snap);
+
+    const std::string metrics = httpGet(ep.port(), "/metrics");
+    EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+    EXPECT_NE(metrics.find("gpusc_stream_readings_offered_total 17"),
+              std::string::npos);
+    EXPECT_NE(httpGet(ep.port(), "/metrics.json")
+                  .find("{\"counters\": {}}"),
+              std::string::npos);
+    EXPECT_NE(httpGet(ep.port(), "/sessions")
+                  .find("{\"sessions\": []}"),
+              std::string::npos);
+    EXPECT_NE(httpGet(ep.port(), "/alerts").find("\"active\": 0"),
+              std::string::npos);
+    EXPECT_NE(httpGet(ep.port(), "/nope").find("404"),
+              std::string::npos);
+    EXPECT_GE(ep.requestsServed(), 7u);
+
+    // Publishing a newer snapshot swaps what scrapers see.
+    auto snap2 = std::make_shared<EndpointSnapshot>();
+    snap2->metricsText = "gpusc_stream_readings_offered_total 40\n";
+    ep.publish(snap2);
+    EXPECT_NE(httpGet(ep.port(), "/metrics")
+                  .find("gpusc_stream_readings_offered_total 40"),
+              std::string::npos);
+
+    ep.stop();
+    EXPECT_FALSE(ep.running());
+    ep.stop(); // idempotent
+}
+
+TEST(HttpEndpointTest, StopWithoutStartIsHarmless)
+{
+    HttpEndpoint ep;
+    EXPECT_FALSE(ep.running());
+    ep.stop();
+}
+
+} // namespace
+} // namespace gpusc::obs::live

@@ -145,6 +145,33 @@ TEST(LogHistogramTest, MergeWithEmptyIsIdentity)
     EXPECT_EQ(c.max(), 99u);
 }
 
+TEST(LogHistogramTest, DeltaSinceIsTheMergeableComplement)
+{
+    LogHistogram h;
+    h.add(10);
+    h.add(1000);
+    const LogHistogram before = h;
+    h.add(20);
+    h.add(2000);
+
+    const LogHistogram delta = h.deltaSince(before);
+    EXPECT_EQ(delta.count(), 2u);
+    EXPECT_EQ(delta.sum(), 2020.0);
+
+    // Re-merging the delta onto the snapshot reconstructs the full
+    // histogram bucket for bucket — the live plane's window identity.
+    LogHistogram rebuilt = before;
+    rebuilt.merge(delta);
+    EXPECT_EQ(rebuilt.count(), h.count());
+    EXPECT_EQ(rebuilt.sum(), h.sum());
+    for (std::size_t i = 0; i < LogHistogram::kBuckets; ++i)
+        EXPECT_EQ(rebuilt.bucketCount(i), h.bucketCount(i))
+            << "bucket " << i;
+
+    // No growth: an empty, mergeable-as-no-op delta.
+    EXPECT_TRUE(h.deltaSince(h).empty());
+}
+
 TEST(LogHistogramTest, RenderListsNonEmptyBuckets)
 {
     LogHistogram h;

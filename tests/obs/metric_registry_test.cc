@@ -114,5 +114,35 @@ TEST(MetricRegistryTest, JsonNumbersRoundTrip)
     EXPECT_EQ(std::stod(out), 1234567.0);
 }
 
+TEST(MetricRegistryTest, CheckMergeUnitsReportsTheFirstConflict)
+{
+    MetricRegistry a, b;
+    a.histogram("latency.classify", "ns").add(1);
+    b.histogram("latency.classify", "ns").add(2);
+    EXPECT_FALSE(a.checkMergeUnits(b).has_value());
+
+    MetricRegistry c;
+    c.histogram("latency.classify", "us").add(3);
+    const std::optional<MetricRegistry::UnitMismatch> clash =
+        a.checkMergeUnits(c);
+    ASSERT_TRUE(clash.has_value());
+    EXPECT_EQ(clash->metric, "latency.classify");
+    EXPECT_EQ(clash->haveUnit, "ns");
+    EXPECT_EQ(clash->otherUnit, "us");
+
+    // Disjoint names never conflict, whatever their units.
+    MetricRegistry d;
+    d.histogram("latency.other", "us").add(4);
+    EXPECT_FALSE(a.checkMergeUnits(d).has_value());
+}
+
+TEST(MetricRegistryDeathTest, MergeHardFailsOnUnitMismatch)
+{
+    MetricRegistry a, b;
+    a.histogram("latency.classify", "ns").add(1);
+    b.histogram("latency.classify", "us").add(2);
+    EXPECT_DEATH(a.merge(b), "latency.classify");
+}
+
 } // namespace
 } // namespace gpusc::obs

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Unit tests for the SLO watchdog engine: hysteresis fire/resolve,
+ * audit + gauge side effects, every rule kind's observed value, and
+ * the rules-file parser (including its typed errors).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/live/slo.h"
+#include "obs/telemetry.h"
+
+namespace gpusc::obs::live {
+namespace {
+
+TsWindow
+window(double startMs, std::uint64_t shedDelta)
+{
+    TsWindow w;
+    w.start = SimTime::fromMs(std::int64_t(startMs));
+    w.width = SimTime::fromSeconds(1.0);
+    if (shedDelta > 0)
+        w.counters["stream.shed_oldest"] = shedDelta;
+    return w;
+}
+
+SloRule
+shedRule()
+{
+    SloRule r;
+    r.name = "shed-rate";
+    r.kind = SloRule::Kind::CounterRate;
+    r.cmp = SloRule::Cmp::Gt;
+    r.counters = {"stream.shed_oldest"};
+    r.threshold = 5.0;
+    r.fireAfter = 2;
+    r.resolveAfter = 2;
+    return r;
+}
+
+TEST(SloEngineTest, HysteresisFiresAndResolvesWithAuditAndGauge)
+{
+    Telemetry tel;
+    SloEngine slo({shedRule()});
+
+    // One breaching window is below fireAfter=2: still healthy.
+    slo.evaluate(window(0, 10), &tel);
+    EXPECT_EQ(slo.activeAlerts(), 0u);
+    EXPECT_EQ(tel.audit.count(Decision::AlertFired), 0u);
+
+    // Second consecutive breach fires: audit record + gauge flip.
+    slo.evaluate(window(1000, 10), &tel);
+    EXPECT_EQ(slo.activeAlerts(), 1u);
+    EXPECT_TRUE(slo.alerts()[0].firing);
+    EXPECT_EQ(slo.alerts()[0].timesFired, 1u);
+    EXPECT_EQ(tel.audit.count(Decision::AlertFired), 1u);
+    EXPECT_DOUBLE_EQ(tel.metrics.gauge("obs.alerts_active").value(),
+                     1.0);
+
+    // One healthy window is below resolveAfter=2: still firing.
+    slo.evaluate(window(2000, 0), &tel);
+    EXPECT_EQ(slo.activeAlerts(), 1u);
+    EXPECT_EQ(tel.audit.count(Decision::AlertResolved), 0u);
+
+    // Second consecutive healthy window resolves.
+    slo.evaluate(window(3000, 0), &tel);
+    EXPECT_EQ(slo.activeAlerts(), 0u);
+    EXPECT_EQ(slo.alerts()[0].timesResolved, 1u);
+    EXPECT_EQ(tel.audit.count(Decision::AlertResolved), 1u);
+    EXPECT_DOUBLE_EQ(tel.metrics.gauge("obs.alerts_active").value(),
+                     0.0);
+
+    // The transitions recorded under Stage::LiveObs carry the rule
+    // name and never enter the change funnel.
+    const std::vector<AuditRecord> records = tel.audit.snapshot();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].stage, Stage::LiveObs);
+    EXPECT_EQ(records[0].label, "shed-rate");
+    EXPECT_EQ(tel.audit.changesAudited(), 0u);
+}
+
+TEST(SloEngineTest, BreachStreakResetsOnAHealthyWindow)
+{
+    SloEngine slo({shedRule()});
+    slo.evaluate(window(0, 10), nullptr);
+    slo.evaluate(window(1000, 0), nullptr); // streak broken
+    slo.evaluate(window(2000, 10), nullptr);
+    // Two non-consecutive breaches never fire a fireAfter=2 rule.
+    EXPECT_EQ(slo.activeAlerts(), 0u);
+}
+
+TEST(SloEngineTest, CounterRateDividesByWindowSeconds)
+{
+    TsWindow w = window(0, 12);
+    w.width = SimTime::fromSeconds(2.0);
+    AlertState state;
+    state.rule = shedRule();
+    EXPECT_DOUBLE_EQ(
+        SloEngine::observedValue(state.rule, w, state), 6.0);
+}
+
+TEST(SloEngineTest, GaugeLevelReadsTheWindowLevel)
+{
+    SloRule r;
+    r.name = "headroom";
+    r.kind = SloRule::Kind::GaugeLevel;
+    r.cmp = SloRule::Cmp::Lt;
+    r.gauge = "stream.memory_headroom";
+    r.threshold = 0.1;
+    TsWindow w = window(0, 0);
+    w.gauges["stream.memory_headroom"] = 0.05;
+    AlertState state;
+    state.rule = r;
+    EXPECT_DOUBLE_EQ(SloEngine::observedValue(r, w, state), 0.05);
+
+    SloEngine slo({r}); // default fireAfter=1: fires immediately
+    slo.evaluate(w, nullptr);
+    EXPECT_EQ(slo.activeAlerts(), 1u);
+}
+
+TEST(SloEngineTest, FunnelResidualIsZeroWhenTheFunnelPartitions)
+{
+    SloRule r;
+    r.name = "funnel";
+    r.kind = SloRule::Kind::FunnelResidual;
+    r.cmp = SloRule::Cmp::Ne;
+    r.threshold = 0.0;
+    TsWindow w = window(0, 0);
+    w.counters["funnel.changes_in"] = 9;
+    w.counters["funnel.accepted-key"] = 4;
+    w.counters["funnel.noise-rejected"] = 3;
+    w.counters["funnel.duplication-drop"] = 2;
+    AlertState state;
+    state.rule = r;
+    EXPECT_DOUBLE_EQ(SloEngine::observedValue(r, w, state), 0.0);
+
+    // A change that lost its outcome shows as a non-zero residual.
+    w.counters["funnel.changes_in"] = 10;
+    EXPECT_DOUBLE_EQ(SloEngine::observedValue(r, w, state), 1.0);
+    SloEngine slo({r});
+    slo.evaluate(w, nullptr);
+    EXPECT_EQ(slo.activeAlerts(), 1u);
+}
+
+TEST(SloEngineTest, RatioDropEwmaSmoothsAndHoldsOnEmptyDenominator)
+{
+    SloRule r;
+    r.name = "accept-rate";
+    r.kind = SloRule::Kind::RatioDrop;
+    r.cmp = SloRule::Cmp::Lt;
+    r.counters = {"funnel.accepted-key"};
+    r.denomCounters = {"funnel.changes_in"};
+    r.threshold = 0.5;
+    r.ewmaAlpha = 0.5;
+    r.fireAfter = 1;
+    SloEngine slo({r});
+
+    // Seed at ratio 1.0 (healthy for a Lt 0.5 rule).
+    TsWindow w1 = window(0, 0);
+    w1.counters["funnel.changes_in"] = 4;
+    w1.counters["funnel.accepted-key"] = 4;
+    slo.evaluate(w1, nullptr);
+    EXPECT_DOUBLE_EQ(slo.alerts()[0].lastValue, 1.0);
+    EXPECT_EQ(slo.activeAlerts(), 0u);
+
+    // A 0.0 window moves the EWMA to 0.5, not to 0: smoothing damps
+    // the single-window spike (0.5 does not breach a Lt rule).
+    TsWindow w2 = window(1000, 0);
+    w2.counters["funnel.changes_in"] = 4;
+    slo.evaluate(w2, nullptr);
+    EXPECT_DOUBLE_EQ(slo.alerts()[0].lastValue, 0.5);
+    EXPECT_EQ(slo.activeAlerts(), 0u);
+
+    // An empty-denominator window holds the accumulator unchanged.
+    slo.evaluate(window(2000, 0), nullptr);
+    EXPECT_DOUBLE_EQ(slo.alerts()[0].lastValue, 0.5);
+
+    // Another bad window drops the EWMA to 0.25: the alert fires.
+    TsWindow w3 = window(3000, 0);
+    w3.counters["funnel.changes_in"] = 4;
+    slo.evaluate(w3, nullptr);
+    EXPECT_DOUBLE_EQ(slo.alerts()[0].lastValue, 0.25);
+    EXPECT_EQ(slo.activeAlerts(), 1u);
+}
+
+TEST(SloEngineTest, RatioDropNeverFiresBeforeTheFirstSample)
+{
+    SloRule r;
+    r.name = "accept-rate";
+    r.kind = SloRule::Kind::RatioDrop;
+    r.cmp = SloRule::Cmp::Lt;
+    r.counters = {"funnel.accepted-key"};
+    r.denomCounters = {"funnel.changes_in"};
+    r.threshold = 0.5;
+    r.fireAfter = 1;
+    SloEngine slo({r});
+    // Empty windows before any denominator sample: 0.0 < 0.5 would
+    // breach, but an unseeded EWMA must not count as an observation.
+    slo.evaluate(window(0, 0), nullptr);
+    slo.evaluate(window(1000, 0), nullptr);
+    EXPECT_EQ(slo.activeAlerts(), 0u);
+}
+
+TEST(SloEngineTest, ToJsonListsEveryRuleWithItsState)
+{
+    Telemetry tel;
+    SloRule r = shedRule();
+    r.fireAfter = 1;
+    SloEngine slo({r});
+    slo.evaluate(window(0, 10), &tel);
+    const std::string json = slo.toJson();
+    EXPECT_NE(json.find("\"active\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"shed-rate\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"counter_rate\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"firing\": true"), std::string::npos);
+}
+
+TEST(SloParseTest, ParsesRulesCommentsAndBlankLines)
+{
+    SloParseError err;
+    const std::vector<SloRule> rules = SloEngine::parseRules(
+        "# watchdogs for the streaming service\n"
+        "\n"
+        "name=shed kind=counter_rate cmp=gt "
+        "counters=stream.shed_oldest,stream.shed_newest threshold=100 "
+        "fire_after=3 resolve_after=5\n"
+        "name=headroom kind=gauge_level cmp=lt "
+        "gauge=stream.memory_headroom threshold=0.1\n"
+        "name=acc kind=ratio_drop cmp=lt counters=funnel.accepted-key "
+        "denom=funnel.changes_in threshold=0.2 ewma_alpha=0.4\n",
+        &err);
+    ASSERT_EQ(rules.size(), 3u);
+    EXPECT_TRUE(err.message.empty());
+    EXPECT_EQ(rules[0].name, "shed");
+    EXPECT_EQ(rules[0].kind, SloRule::Kind::CounterRate);
+    ASSERT_EQ(rules[0].counters.size(), 2u);
+    EXPECT_EQ(rules[0].counters[1], "stream.shed_newest");
+    EXPECT_DOUBLE_EQ(rules[0].threshold, 100.0);
+    EXPECT_EQ(rules[0].fireAfter, 3u);
+    EXPECT_EQ(rules[0].resolveAfter, 5u);
+    EXPECT_EQ(rules[1].kind, SloRule::Kind::GaugeLevel);
+    EXPECT_EQ(rules[1].gauge, "stream.memory_headroom");
+    EXPECT_EQ(rules[2].kind, SloRule::Kind::RatioDrop);
+    ASSERT_EQ(rules[2].denomCounters.size(), 1u);
+    EXPECT_DOUBLE_EQ(rules[2].ewmaAlpha, 0.4);
+}
+
+TEST(SloParseTest, ReportsUnknownKindWithItsLine)
+{
+    SloParseError err;
+    const std::vector<SloRule> rules = SloEngine::parseRules(
+        "name=ok kind=counter_rate threshold=1\n"
+        "name=bad kind=warp_drive threshold=1\n",
+        &err);
+    EXPECT_EQ(rules.size(), 1u);
+    EXPECT_EQ(err.line, 2u);
+    EXPECT_NE(err.message.find("unknown kind"), std::string::npos);
+}
+
+TEST(SloParseTest, ReportsMissingNameAndMalformedFields)
+{
+    SloParseError err;
+    EXPECT_TRUE(
+        SloEngine::parseRules("kind=counter_rate threshold=1\n", &err)
+            .empty());
+    EXPECT_NE(err.message.find("missing name"), std::string::npos);
+
+    SloParseError err2;
+    EXPECT_TRUE(SloEngine::parseRules("justaword\n", &err2).empty());
+    EXPECT_EQ(err2.line, 1u);
+    EXPECT_NE(err2.message.find("key=value"), std::string::npos);
+
+    SloParseError err3;
+    EXPECT_TRUE(
+        SloEngine::parseRules("name=x froob=1\n", &err3).empty());
+    EXPECT_NE(err3.message.find("unknown field"), std::string::npos);
+}
+
+} // namespace
+} // namespace gpusc::obs::live

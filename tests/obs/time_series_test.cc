@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit tests for the live plane's TimeSeries: delta attribution into
+ * fine windows, gauge level semantics, lossless multi-level roll-up
+ * (the reconciliation identity), and bounded retention.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/live/time_series.h"
+
+namespace gpusc::obs::live {
+namespace {
+
+TimeSeries::Params
+smallParams()
+{
+    TimeSeries::Params p;
+    p.fineWidth = SimTime::fromMs(100);
+    p.fineCapacity = 4;
+    p.coarsePerFine = 2;
+    p.coarseCapacity = 2;
+    return p;
+}
+
+TEST(TimeSeriesTest, DeltasAttributeToTheWindowContainingTheTick)
+{
+    TimeSeries ts(smallParams());
+    MetricRegistry reg;
+    reg.counter("a").inc(3);
+    ts.observe(SimTime::fromMs(10), reg);
+    reg.counter("a").inc(4);
+    ts.observe(SimTime::fromMs(50), reg);
+
+    ASSERT_NE(ts.openWindow(), nullptr);
+    EXPECT_EQ(ts.openWindow()->start, SimTime::fromMs(0));
+    EXPECT_EQ(ts.openWindow()->counterDelta("a"), 7u);
+    EXPECT_EQ(ts.windowsClosed(), 0u);
+
+    // Crossing the boundary closes window [0,100) and opens [100,200);
+    // growth since the last tick lands in the window containing `now`.
+    reg.counter("a").inc(5);
+    ts.observe(SimTime::fromMs(150), reg);
+    EXPECT_EQ(ts.windowsClosed(), 1u);
+    ASSERT_EQ(ts.windows().size(), 1u);
+    EXPECT_EQ(ts.windows()[0]->counterDelta("a"), 7u);
+    EXPECT_EQ(ts.windows()[0]->level, WindowLevel::Fine);
+    EXPECT_EQ(ts.openWindow()->counterDelta("a"), 5u);
+}
+
+TEST(TimeSeriesTest, SkippedWindowsCloseEmptyButCarryGaugeLevels)
+{
+    TimeSeries ts(smallParams());
+    MetricRegistry reg;
+    reg.gauge("level").set(42.0);
+    reg.counter("a").inc(1);
+    ts.observe(SimTime::fromMs(10), reg);
+    // Jump three windows ahead: [0,100) closes with the delta, the
+    // two skipped windows close empty but still report the gauge.
+    ts.observe(SimTime::fromMs(310), reg);
+    EXPECT_EQ(ts.windowsClosed(), 3u);
+    const std::vector<const TsWindow *> ws = ts.windows();
+    ASSERT_EQ(ws.size(), 3u);
+    EXPECT_EQ(ws[0]->counterDelta("a"), 1u);
+    EXPECT_EQ(ws[1]->counterDelta("a"), 0u);
+    ASSERT_EQ(ws[1]->gauges.count("level"), 1u);
+    EXPECT_DOUBLE_EQ(ws[1]->gauges.at("level"), 42.0);
+}
+
+TEST(TimeSeriesTest, WindowListenerSeesEveryCloseAtFineLevel)
+{
+    TimeSeries ts(smallParams());
+    MetricRegistry reg;
+    std::vector<SimTime> starts;
+    ts.setWindowListener([&](const TsWindow &w) {
+        EXPECT_EQ(w.level, WindowLevel::Fine);
+        starts.push_back(w.start);
+    });
+    ts.observe(SimTime::fromMs(0), reg);
+    ts.observe(SimTime::fromMs(250), reg);
+    ts.finish();
+    ASSERT_EQ(starts.size(), 3u);
+    EXPECT_EQ(starts[0], SimTime::fromMs(0));
+    EXPECT_EQ(starts[1], SimTime::fromMs(100));
+    EXPECT_EQ(starts[2], SimTime::fromMs(200));
+}
+
+TEST(TimeSeriesTest, RollUpIsLosslessAndRetentionIsBounded)
+{
+    // Drive far past both ring capacities; the reconciliation
+    // identity must hold exactly: sum over every retained window
+    // (archive + coarse + fine + open) == the cumulative value.
+    TimeSeries ts(smallParams());
+    MetricRegistry reg;
+    std::uint64_t expected = 0;
+    for (int i = 0; i < 100; ++i) {
+        reg.counter("a").inc(std::uint64_t(i % 7));
+        expected += std::uint64_t(i % 7);
+        reg.counter("b").inc(1);
+        ts.observe(SimTime::fromMs(100 * i + 10), reg);
+    }
+    EXPECT_GT(ts.rollupsFine(), 0u);
+    EXPECT_GT(ts.rollupsCoarse(), 0u);
+    // Retention: one archive + bounded coarse ring + bounded fine ring.
+    const TimeSeries::Params &p = ts.params();
+    EXPECT_LE(ts.windows().size(),
+              1 + p.coarseCapacity + p.fineCapacity);
+
+    const std::map<std::string, std::uint64_t> totals =
+        ts.totalCounterDeltas();
+    EXPECT_EQ(totals.at("a"), expected);
+    EXPECT_EQ(totals.at("b"), 100u); // first tick baselines at zero
+    EXPECT_EQ(totals.at("a"), ts.cumulative().at("a"));
+    EXPECT_EQ(totals.at("b"), ts.cumulative().at("b"));
+
+    // Levels appear oldest-first: archive, then coarse, then fine.
+    const std::vector<const TsWindow *> ws = ts.windows();
+    EXPECT_EQ(ws.front()->level, WindowLevel::Archive);
+    EXPECT_EQ(ws.back()->level, WindowLevel::Fine);
+}
+
+TEST(TimeSeriesTest, CoarseWindowEqualsTheSumOfItsFineWindows)
+{
+    // Two series over the same input: one that rolls up aggressively
+    // and one with capacity to keep everything fine. Every coarse
+    // window in the first must equal the sum of the fine windows it
+    // absorbed in the second.
+    TimeSeries rolled(smallParams());
+    TimeSeries::Params wide = smallParams();
+    wide.fineCapacity = 1024;
+    TimeSeries flat(wide);
+    MetricRegistry regA, regB;
+    for (int i = 0; i < 40; ++i) {
+        regA.counter("a").inc(std::uint64_t(i));
+        regB.counter("a").inc(std::uint64_t(i));
+        const SimTime now = SimTime::fromMs(100 * i + 50);
+        rolled.observe(now, regA);
+        flat.observe(now, regB);
+    }
+    rolled.finish();
+    flat.finish();
+    for (const TsWindow *cw : rolled.windows()) {
+        std::uint64_t fineSum = 0;
+        for (const TsWindow *fw : flat.windows())
+            if (fw->start >= cw->start && fw->end() <= cw->end())
+                fineSum += fw->counterDelta("a");
+        EXPECT_EQ(cw->counterDelta("a"), fineSum)
+            << "window at " << cw->start.millis() << "ms";
+    }
+}
+
+TEST(TimeSeriesTest, HistogramDeltasWindowLikeCounters)
+{
+    TimeSeries ts(smallParams());
+    MetricRegistry reg;
+    reg.histogram("latency.stage", "ns").add(100);
+    reg.histogram("latency.stage", "ns").add(200);
+    ts.observe(SimTime::fromMs(10), reg);
+    reg.histogram("latency.stage", "ns").add(300);
+    ts.observe(SimTime::fromMs(150), reg);
+    ts.finish();
+    const std::vector<const TsWindow *> ws = ts.windows();
+    ASSERT_EQ(ws.size(), 2u);
+    EXPECT_EQ(ws[0]->histograms.at("latency.stage").count(), 2u);
+    EXPECT_EQ(ws[1]->histograms.at("latency.stage").count(), 1u);
+}
+
+TEST(TimeSeriesTest, FunnelCountsWindowAsSyntheticCounters)
+{
+    TimeSeries ts(smallParams());
+    MetricRegistry reg;
+    DecisionCounts d;
+    d.counts[std::size_t(Decision::AcceptedKey)] = 2;
+    d.changesIn = 3;
+    ts.observe(SimTime::fromMs(10), reg, &d);
+    d.counts[std::size_t(Decision::AcceptedKey)] = 5;
+    d.changesIn = 7;
+    ts.observe(SimTime::fromMs(150), reg, &d);
+    ts.finish();
+    const std::vector<const TsWindow *> ws = ts.windows();
+    ASSERT_EQ(ws.size(), 2u);
+    EXPECT_EQ(ws[0]->counterDelta("funnel.accepted-key"), 2u);
+    EXPECT_EQ(ws[0]->counterDelta("funnel.changes_in"), 3u);
+    EXPECT_EQ(ws[1]->counterDelta("funnel.accepted-key"), 3u);
+    EXPECT_EQ(ws[1]->counterDelta("funnel.changes_in"), 4u);
+}
+
+TEST(TimeSeriesDeathTest, NonMonotoneTickPanics)
+{
+    TimeSeries ts(smallParams());
+    MetricRegistry reg;
+    ts.observe(SimTime::fromMs(500), reg);
+    EXPECT_DEATH(ts.observe(SimTime::fromMs(100), reg),
+                 "non-monotone");
+}
+
+TEST(TimeSeriesDeathTest, ZeroFineWidthPanics)
+{
+    TimeSeries::Params p;
+    p.fineWidth = SimTime();
+    EXPECT_DEATH(TimeSeries{p}, "fineWidth");
+}
+
+} // namespace
+} // namespace gpusc::obs::live

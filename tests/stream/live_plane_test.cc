@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Integration tests for the live telemetry plane over the streaming
+ * service: enabling the plane never changes inferred output (serial
+ * and pooled pumps), the windowed series reconciles exactly with the
+ * cumulative snapshot (and the funnel identity holds per-window), an
+ * SLO watchdog fires AND resolves under a shed burst, and the JSONL
+ * sink emits one well-formed record per closed window plus the .prom
+ * trailer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "stream/ingest_service.h"
+#include "util/logging.h"
+
+namespace gpusc::stream {
+namespace {
+
+/** Minimal synthetic model: 4 distinguishable key signatures. */
+attack::SignatureModel
+testModel()
+{
+    attack::SignatureModel m;
+    m.setModelKey("test/live-plane");
+    std::array<double, gpu::kNumSelectedCounters> scale{};
+    scale.fill(1.0 / 1000.0);
+    m.setScale(scale);
+    for (char ch : {'a', 'b', 'c', 'd'}) {
+        attack::LabelSignature sig;
+        sig.label = attack::Label(1, ch);
+        for (std::size_t d = 0; d < sig.centroid.size(); ++d)
+            sig.centroid[d] = 8000 + 600 * (ch - 'a') + 37 * long(d);
+        m.addSignature(sig);
+    }
+    m.setThreshold(3.0);
+    return m;
+}
+
+/** @p n readings at 8 ms cadence; every 16th carries a keypress. */
+std::vector<attack::Reading>
+synthesizeReadings(std::size_t n)
+{
+    std::vector<attack::Reading> out;
+    out.reserve(n);
+    attack::Reading r;
+    gpu::CounterTotals totals{};
+    for (std::size_t i = 0; i < n; ++i) {
+        r.time = SimTime::fromMs(std::int64_t(8 * i));
+        if (i % 16 == 15) {
+            const int key = int(i / 16) % 4;
+            for (std::size_t d = 0; d < totals.size(); ++d)
+                totals[d] +=
+                    std::uint64_t(8000 + 600 * key + 37 * int(d));
+        }
+        r.totals = totals;
+        out.push_back(r);
+    }
+    return out;
+}
+
+IngestService::Params
+baseParams()
+{
+    IngestService::Params p;
+    p.backpressure = IngestService::Backpressure::Block;
+    p.sessions.session.adaptation = false;
+    return p;
+}
+
+obs::live::LiveConfig
+smallWindowConfig()
+{
+    obs::live::LiveConfig cfg;
+    cfg.series.fineWidth = SimTime::fromMs(100);
+    cfg.series.fineCapacity = 8;
+    cfg.series.coarsePerFine = 4;
+    cfg.series.coarseCapacity = 4;
+    return cfg;
+}
+
+/** Ingest @p readings into @p fleet sessions; pooled when workers>1. */
+std::vector<std::string>
+runService(IngestService &svc,
+           const std::vector<attack::Reading> &readings,
+           SessionId fleet, int workers)
+{
+    std::unique_ptr<exec::ThreadPool> pool;
+    if (workers > 1)
+        pool = std::make_unique<exec::ThreadPool>(workers);
+    std::size_t sincePump = 0;
+    for (const attack::Reading &r : readings) {
+        for (SessionId id = 0; id < fleet; ++id)
+            svc.offer(id, r);
+        if (++sincePump == 32) {
+            if (pool)
+                svc.pump(*pool);
+            else
+                svc.pump();
+            sincePump = 0;
+        }
+    }
+    if (pool)
+        svc.pump(*pool);
+    else
+        svc.pump();
+    svc.finishLivePlane();
+    std::vector<std::string> inferred;
+    for (SessionId id = 0; id < fleet; ++id) {
+        const Session *s = svc.sessions().find(id);
+        EXPECT_NE(s, nullptr) << "session " << id;
+        inferred.push_back(
+            s != nullptr ? s->eavesdropper().inferredText() : "");
+    }
+    return inferred;
+}
+
+TEST(LivePlaneStreamTest, PlaneNeverChangesInferredOutputAnyWorkers)
+{
+    setVerbose(false);
+    const attack::SignatureModel model = testModel();
+    const std::vector<attack::Reading> readings =
+        synthesizeReadings(640);
+    const SessionId fleet = 5;
+
+    std::map<std::string, std::vector<std::string>> results;
+    for (const bool plane : {false, true})
+        for (const int workers : {1, 4}) {
+            IngestService svc(model, baseParams());
+            if (plane)
+                svc.enableLivePlane(smallWindowConfig());
+            const std::string key = (plane ? "on" : "off") +
+                                    std::string("/w") +
+                                    std::to_string(workers);
+            results[key] = runService(svc, readings, fleet, workers);
+        }
+
+    const std::vector<std::string> &golden = results["off/w1"];
+    ASSERT_EQ(golden.size(), std::size_t(fleet));
+    EXPECT_FALSE(golden[0].empty()) << "pipeline inferred nothing — "
+                                       "the comparison is vacuous";
+    for (const auto &[key, inferred] : results)
+        for (SessionId id = 0; id < fleet; ++id)
+            EXPECT_EQ(inferred[id], golden[id])
+                << "config " << key << ", session " << id;
+}
+
+TEST(LivePlaneStreamTest, WindowsReconcileExactlyWithTheSnapshot)
+{
+    setVerbose(false);
+    const attack::SignatureModel model = testModel();
+    IngestService svc(model, baseParams());
+    svc.enableLivePlane(smallWindowConfig());
+    runService(svc, synthesizeReadings(1280), 3, 1);
+
+    const obs::live::LivePlane *plane = svc.livePlane();
+    ASSERT_NE(plane, nullptr);
+    const obs::live::TimeSeries &ts = plane->series();
+    // Enough windows to exercise fine->coarse->archive roll-up.
+    EXPECT_GT(ts.windowsClosed(), 40u);
+    EXPECT_GT(ts.rollupsFine(), 0u);
+    EXPECT_GT(ts.rollupsCoarse(), 0u);
+
+    // The reconciliation identity: windowed deltas sum exactly to
+    // the cumulative snapshot for every tracked counter. (Counters
+    // that never moved have a cumulative baseline of 0 but no window
+    // entries, so the comparison is value-wise, not map-wise.)
+    const std::map<std::string, std::uint64_t> totals =
+        ts.totalCounterDeltas();
+    const auto total = [&](const std::string &name) {
+        const auto it = totals.find(name);
+        return it == totals.end() ? std::uint64_t(0) : it->second;
+    };
+    const std::map<std::string, std::uint64_t> &cum = ts.cumulative();
+    for (const auto &[name, value] : cum)
+        EXPECT_EQ(total(name), value) << "counter " << name;
+    for (const auto &entry : totals)
+        EXPECT_EQ(cum.count(entry.first), 1u)
+            << "windowed counter " << entry.first
+            << " missing from the snapshot";
+
+    // The service's own counters were tracked and are non-trivial.
+    ASSERT_EQ(cum.count("ingest.readings_offered"), 1u);
+    EXPECT_EQ(cum.at("ingest.readings_offered"),
+              svc.readingsOffered());
+
+    // Funnel identity over the windowed synthetic counters.
+    const std::uint64_t changesIn = total("funnel.changes_in");
+    EXPECT_GT(changesIn, 0u);
+    EXPECT_EQ(changesIn, total("funnel.accepted-key") +
+                             total("funnel.split-repaired") +
+                             total("funnel.duplication-drop") +
+                             total("funnel.noise-rejected") +
+                             total("funnel.suppressed-app-switch"));
+}
+
+TEST(LivePlaneStreamTest, ShedBurstFiresAndResolvesTheWatchdog)
+{
+    setVerbose(false);
+    IngestService::Params params = baseParams();
+    params.backpressure = IngestService::Backpressure::ShedOldest;
+    params.sessions.session.ringCapacity = 8;
+    const attack::SignatureModel model = testModel();
+    IngestService svc(model, params);
+
+    obs::live::LiveConfig cfg = smallWindowConfig();
+    obs::live::SloRule rule;
+    rule.name = "shed-burst";
+    rule.kind = obs::live::SloRule::Kind::CounterRate;
+    rule.cmp = obs::live::SloRule::Cmp::Gt;
+    rule.counters = {"ingest.shed_oldest"};
+    rule.threshold = 0.0; // any shedding in a window breaches
+    rule.fireAfter = 1;
+    rule.resolveAfter = 2;
+    cfg.rules.push_back(rule);
+    svc.enableLivePlane(std::move(cfg));
+
+    const std::vector<attack::Reading> readings =
+        synthesizeReadings(1600);
+    // Burst phase: a full window of offers between pumps overflows
+    // the 8-deep ring and sheds; quiet phase: pump every reading, so
+    // the ring never fills and windows close shed-free.
+    std::size_t at = 0;
+    for (; at < 800; ++at) {
+        svc.offer(0, readings[at]);
+        if (at % 64 == 63)
+            svc.pump();
+    }
+    svc.pump(); // drain the burst remnants before the quiet phase
+    const std::uint64_t shedsAfterBurst = svc.readingsShedOldest();
+    EXPECT_GT(shedsAfterBurst, 0u);
+    for (; at < readings.size(); ++at) {
+        svc.offer(0, readings[at]);
+        svc.pump();
+    }
+    svc.finishLivePlane();
+    EXPECT_EQ(svc.readingsShedOldest(), shedsAfterBurst)
+        << "quiet phase unexpectedly shed — the resolve leg is "
+           "untested";
+
+    const obs::live::SloEngine &slo = svc.livePlane()->slo();
+    ASSERT_EQ(slo.alerts().size(), 1u);
+    const obs::live::AlertState &state = slo.alerts()[0];
+    EXPECT_GE(state.timesFired, 1u);
+    EXPECT_GE(state.timesResolved, 1u);
+    EXPECT_FALSE(state.firing);
+
+    // Transitions were audited under LiveObs, outside the funnel.
+    const obs::AuditTrail &audit = svc.serviceTelemetry().audit;
+    EXPECT_GE(audit.count(obs::Decision::AlertFired), 1u);
+    EXPECT_GE(audit.count(obs::Decision::AlertResolved), 1u);
+
+    // The plane published the service gauges at tick time.
+    const obs::MetricRegistry &m = svc.serviceTelemetry().metrics;
+    ASSERT_EQ(m.gauges().count("stream.sessions_active"), 1u);
+    EXPECT_DOUBLE_EQ(m.gauges().at("stream.sessions_active")->value(),
+                     1.0);
+    EXPECT_GT(m.gauges().at("stream.memory_used_bytes")->value(), 0.0);
+}
+
+TEST(LivePlaneStreamTest, JsonlSinkWritesWindowsAndPromTrailer)
+{
+    setVerbose(false);
+    const std::string path =
+        ::testing::TempDir() + "live_plane_windows.jsonl";
+    const attack::SignatureModel model = testModel();
+    IngestService svc(model, baseParams());
+    obs::live::LiveConfig cfg = smallWindowConfig();
+    cfg.jsonlPath = path;
+    svc.enableLivePlane(std::move(cfg));
+    runService(svc, synthesizeReadings(640), 2, 1);
+
+    const std::uint64_t emitted = svc.livePlane()->windowsEmitted();
+    EXPECT_GT(emitted, 0u);
+    EXPECT_EQ(emitted, svc.livePlane()->series().windowsClosed());
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    std::uint64_t lines = 0;
+    while (std::getline(in, line)) {
+        ++lines;
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        EXPECT_NE(line.find("\"t_ms\": "), std::string::npos);
+        EXPECT_NE(line.find("\"alerts_active\": "), std::string::npos);
+    }
+    EXPECT_EQ(lines, emitted);
+
+    // finish() leaves the final Prometheus text next to the JSONL.
+    std::ifstream prom(path + ".prom");
+    ASSERT_TRUE(prom.good());
+    std::stringstream buf;
+    buf << prom.rdbuf();
+    EXPECT_NE(buf.str().find("gpusc_ingest_readings_offered_total"),
+              std::string::npos);
+    std::remove(path.c_str());
+    std::remove((path + ".prom").c_str());
+}
+
+} // namespace
+} // namespace gpusc::stream
