@@ -2,18 +2,31 @@
  * @file
  * End-to-end pipeline throughput: the same experiment campaign run
  * serially and across the parallel evaluation engine (src/exec/),
- * plus a micro-timing of the SignatureModel::classify hot path.
- * Reports JSON on stdout and mirrors it to BENCH_pipeline.json:
+ * plus micro-timings of the SignatureModel classify hot path in
+ * every shape the pipeline exercises it — single-call vs batched,
+ * active SIMD backend vs forced scalar. Reports JSON on stdout and
+ * mirrors it to BENCH_pipeline.json:
  *
  *   {"bench": "pipeline_throughput", "trials": ...,
- *    "classify_ns_per_op": ...,
+ *    "simd_backend": "avx2",
+ *    "classify_ns_per_op": ...,          // batched, active backend
+ *    "classify_single_ns_per_op": ...,   // per-call, active backend
+ *    "classify_scalar_ns_per_op": ...,   // batched, scalar backend
+ *    "pr5_baseline_ns_per_op": 860.0,
+ *    "simd_speedup": ..., "speedup_vs_pr5": ..., "speedup_ok": true,
+ *    "batch_equals_single": true,
  *    "serial": {"seconds": ..., "trials_per_sec": ...},
  *    "parallel": [{"threads": 2, "seconds": ..., "trials_per_sec":
  *                  ..., "speedup": ..., "deterministic": true}, ...]}
  *
  * "deterministic" asserts the parallel run's (truth, inferred) trial
  * sequence is byte-identical to the single-thread run — the core
- * contract of exec::ParallelRunner.
+ * contract of exec::ParallelRunner. "batch_equals_single" asserts
+ * classifyBatch returns bit-identical matches (same signature, same
+ * distance) as per-call classify over the whole query mix.
+ * "speedup_ok" is the perf gate: on a vector-capable host the
+ * batched classify must beat the PR-5 scalar baseline (~860 ns/op,
+ * see ROADMAP.md) by >= 4x; scalar-only hosts pass vacuously.
  */
 
 #include <chrono>
@@ -23,8 +36,10 @@
 #include <vector>
 
 #include "attack/model_store.h"
+#include "bench_util.h"
 #include "eval/experiment.h"
 #include "exec/parallel_runner.h"
+#include "simd/kernels.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -33,6 +48,9 @@ using namespace gpusc;
 namespace {
 
 constexpr std::uint64_t kSeed = 20260807;
+
+/** PR-5 classify cost (scalar early-exit rewrites, ROADMAP.md). */
+constexpr double kPr5BaselineNs = 860.0;
 
 eval::ExperimentConfig
 campaignConfig()
@@ -75,17 +93,11 @@ sameTrials(const std::vector<eval::TrialResult> &a,
     return true;
 }
 
-/** Nanoseconds per SignatureModel::classify on the trained model. */
-double
-classifyNsPerOp()
+/** Query mix: real centroids plus perturbations, so both the
+ *  early-exit and the full-sum kernel paths are represented. */
+std::vector<gpu::CounterVec>
+queryMix(const attack::SignatureModel &model)
 {
-    const attack::OfflineTrainer trainer;
-    const attack::SignatureModel &model =
-        attack::ModelStore::global().getOrTrain(
-            android::DeviceConfig{}, trainer);
-
-    // Query mix: real centroids plus perturbations, so both the
-    // early-exit and the full-sum paths are represented.
     Rng rng(kSeed);
     std::vector<gpu::CounterVec> queries;
     for (int i = 0; i < 256; ++i) {
@@ -96,7 +108,14 @@ classifyNsPerOp()
             v += rng.uniformInt(-50, 50);
         queries.push_back(q);
     }
+    return queries;
+}
 
+/** Nanoseconds per classify, one call per query. */
+double
+classifySingleNs(const attack::SignatureModel &model,
+                 const std::vector<gpu::CounterVec> &queries)
+{
     const int iters = 200000;
     double checksum = 0.0;
     const auto t0 = std::chrono::steady_clock::now();
@@ -111,6 +130,43 @@ classifyNsPerOp()
            double(iters);
 }
 
+/** Nanoseconds per classify through the batch entry point. */
+double
+classifyBatchNs(const attack::SignatureModel &model,
+                const std::vector<gpu::CounterVec> &queries)
+{
+    const int rounds = 800;
+    std::vector<attack::SignatureModel::Match> matches(queries.size());
+    double checksum = 0.0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < rounds; ++r) {
+        model.classifyBatch(queries, matches);
+        checksum += matches[std::size_t(r) % matches.size()].distance;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    if (checksum < 0.0)
+        std::printf("# %f\n", checksum);
+    return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+           double(rounds) / double(queries.size());
+}
+
+/** classifyBatch must be bit-identical to per-call classify. */
+bool
+batchEqualsSingle(const attack::SignatureModel &model,
+                  const std::vector<gpu::CounterVec> &queries)
+{
+    std::vector<attack::SignatureModel::Match> matches(queries.size());
+    model.classifyBatch(queries, matches);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+        const attack::SignatureModel::Match one =
+            model.classify(queries[i]);
+        if (one.sig != matches[i].sig ||
+            one.distance != matches[i].distance)
+            return false;
+    }
+    return true;
+}
+
 } // namespace
 
 int
@@ -122,29 +178,61 @@ main(int argc, char **argv)
 
     // Train the model once up front so no timing includes it.
     const attack::OfflineTrainer trainer;
-    attack::ModelStore::global().getOrTrain(android::DeviceConfig{},
-                                            trainer);
+    const attack::SignatureModel &model =
+        attack::ModelStore::global().getOrTrain(android::DeviceConfig{},
+                                                trainer);
+    const std::vector<gpu::CounterVec> queries = queryMix(model);
 
-    const double classifyNs = classifyNsPerOp();
+    const simd::Backend active = simd::activeBackend();
+    const double classifyNs = classifyBatchNs(model, queries);
+    const double classifySingleNs_ = classifySingleNs(model, queries);
+    const bool batchOk = batchEqualsSingle(model, queries);
+
+    // Same measurements with the kernel layer pinned to the scalar
+    // reference backend — the in-process control for the SIMD win.
+    simd::forceBackend(simd::Backend::Scalar);
+    const double scalarNs = classifyBatchNs(model, queries);
+    const double scalarSingleNs = classifySingleNs(model, queries);
+    const bool scalarBatchOk = batchEqualsSingle(model, queries);
+    simd::forceBackend(active);
+
+    const double speedupVsPr5 = kPr5BaselineNs / classifyNs;
+    // Vector hosts must clear >= 4x vs the PR-5 scalar baseline; on
+    // a scalar-only host there is no vector win to gate.
+    const bool speedupOk =
+        active == simd::Backend::Scalar || speedupVsPr5 >= 4.0;
+
     const CampaignTiming serial = timeCampaign(1, trials);
 
     std::string json = "{\"bench\": \"pipeline_throughput\", ";
-    char buf[256];
-    std::snprintf(buf, sizeof buf,
-                  "\"trials\": %d, \"classify_ns_per_op\": %.1f, "
-                  "\"serial\": {\"seconds\": %.3f, "
-                  "\"trials_per_sec\": %.2f}, \"parallel\": [",
-                  trials, classifyNs, serial.seconds,
-                  serial.seconds > 0
-                      ? double(trials) / serial.seconds
-                      : 0.0);
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "\"trials\": %d, \"simd_backend\": \"%s\", "
+        "\"classify_ns_per_op\": %.1f, "
+        "\"classify_single_ns_per_op\": %.1f, "
+        "\"classify_scalar_ns_per_op\": %.1f, "
+        "\"classify_scalar_single_ns_per_op\": %.1f, "
+        "\"pr5_baseline_ns_per_op\": %.1f, "
+        "\"simd_speedup\": %.2f, \"speedup_vs_pr5\": %.2f, "
+        "\"speedup_ok\": %s, \"batch_equals_single\": %s, "
+        "\"serial\": {\"seconds\": %.3f, \"trials_per_sec\": %.2f}, "
+        "\"parallel\": [",
+        trials, simd::backendName(active).c_str(), classifyNs,
+        classifySingleNs_, scalarNs, scalarSingleNs, kPr5BaselineNs,
+        scalarNs / classifyNs, speedupVsPr5,
+        speedupOk ? "true" : "false",
+        batchOk && scalarBatchOk ? "true" : "false", serial.seconds,
+        serial.seconds > 0 ? double(trials) / serial.seconds : 0.0);
     json += buf;
 
+    bool allDeterministic = true;
     bool first = true;
     for (const std::size_t threads : {2u, 4u, 8u}) {
         const CampaignTiming par = timeCampaign(threads, trials);
         const bool deterministic =
             sameTrials(serial.trials, par.trials);
+        allDeterministic = allDeterministic && deterministic;
         std::snprintf(
             buf, sizeof buf,
             "%s{\"threads\": %zu, \"seconds\": %.3f, "
@@ -160,12 +248,18 @@ main(int argc, char **argv)
     json += "]}";
 
     std::printf("%s\n", json.c_str());
-    std::FILE *f = std::fopen("BENCH_pipeline.json", "w");
-    if (f) {
-        std::fprintf(f, "%s\n", json.c_str());
-        std::fclose(f);
-    } else {
-        warn("pipeline_throughput: cannot write BENCH_pipeline.json");
-    }
-    return 0;
+    bench::writeJsonMirror("BENCH_pipeline.json", json);
+
+    // Exit non-zero on any gate so CI can run this binary directly.
+    if (!batchOk || !scalarBatchOk)
+        warn("pipeline_throughput: batch != single classify");
+    if (!speedupOk)
+        warn("pipeline_throughput: classify %.1f ns/op misses the "
+             ">=4x gate vs the %.0f ns/op PR-5 baseline",
+             classifyNs, kPr5BaselineNs);
+    if (!allDeterministic)
+        warn("pipeline_throughput: thread-count determinism violated");
+    return batchOk && scalarBatchOk && speedupOk && allDeterministic
+               ? 0
+               : 1;
 }

@@ -72,6 +72,9 @@ usage(const char *argv0)
         "  --min-len/--max-len credential lengths (default 8/16)\n"
         "  --typo-prob <f>     correction behaviour (default 0)\n"
         "  --seed <n>          RNG seed (default 1)\n"
+        "  --batch <n>         classify/feed batch size for bulk\n"
+        "                      pipeline consumers (default auto);\n"
+        "                      results are bit-identical for any N\n"
         "  --threads <n>       worker threads for the trial campaign\n"
         "                      (default 1 = serial; >1 shards trials\n"
         "                      across src/exec/, deterministically)\n"
@@ -272,6 +275,11 @@ main(int argc, char **argv)
             cfg.typoProb = std::atof(value());
         } else if (arg == "--seed") {
             cfg.seed = std::uint64_t(std::atoll(value()));
+        } else if (arg == "--batch") {
+            const int n = std::atoi(value());
+            if (n < 1)
+                fatal("--batch wants a positive count");
+            cfg.attackParams.readingBatch = std::size_t(n);
         } else if (arg == "--threads") {
             const int n = std::atoi(value());
             if (n < 1)
@@ -541,6 +549,17 @@ main(int argc, char **argv)
                 latRow(name.substr(8), *h);
         latRow("all stages", telemetry.metrics.mergedLatency());
         lat.print("stage latency (host time)");
+
+        // Effective per-classification cost through the batched SIMD
+        // path — the number bench/pipeline_throughput gates on, here
+        // measured in situ over this campaign's classify lane.
+        const auto &hists = telemetry.metrics.histograms();
+        if (const auto it = hists.find("latency.attack.classify");
+            it != hists.end() && it->second->count() > 0)
+            inform("effective classify: %.1f ns/op over %llu "
+                   "classifications",
+                   it->second->mean(),
+                   (unsigned long long)it->second->count());
 
         if (!metricsOut.empty() &&
             obs::Telemetry::writeFile(metricsOut,

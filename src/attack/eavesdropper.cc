@@ -239,6 +239,14 @@ Eavesdropper::feedReading(const Reading &r)
 }
 
 void
+Eavesdropper::feedReadings(std::span<const Reading> rs)
+{
+    readsFed_ += rs.size();
+    for (const Reading &r : rs)
+        onReading(r);
+}
+
+void
 Eavesdropper::onReading(const Reading &r)
 {
     if (device_)
@@ -274,13 +282,20 @@ Eavesdropper::tryRecognize(const PcChange &c)
     recognitionBuffer_.push_back(c);
     if (recognitionBuffer_.size() < 6)
         return false;
+    // One batch of deltas, classified against every store model via
+    // the batch path (identical matches to per-change classify()).
+    std::vector<gpu::CounterVec> deltas;
+    deltas.reserve(recognitionBuffer_.size());
+    for (const PcChange &b : recognitionBuffer_)
+        deltas.push_back(b.delta);
+    std::vector<SignatureModel::Match> matches(deltas.size());
     const SignatureModel *best = nullptr;
     double bestScore = 0.0;
     for (const auto &[key, m] : store_->all()) {
+        m.classifyBatch(deltas, matches);
         double score = 0.0;
         int accepted = 0;
-        for (const PcChange &b : recognitionBuffer_) {
-            const auto match = m.classify(b.delta);
+        for (const SignatureModel::Match &match : matches) {
             if (match.accepted(m.threshold())) {
                 ++accepted;
                 score += 1.0 / (1.0 + match.distance);

@@ -6,10 +6,30 @@
 #include <cstring>
 #include <limits>
 
+#include "simd/kernels.h"
 #include "util/binary_io.h"
 #include "util/logging.h"
 
 namespace gpusc::attack {
+
+namespace {
+
+/**
+ * Widen an int64 counter delta to doubles for the kernels. Counter
+ * deltas are per-frame differences that sit far below 2^53, so the
+ * conversion is exact and (a - b) computed in int64 equals
+ * double(a) - double(b) bit-for-bit — which is what lets the panel
+ * store pre-converted centroids without changing a single distance.
+ */
+void
+widen(const gpu::CounterVec &v,
+      double (&out)[gpu::kNumSelectedCounters])
+{
+    for (std::size_t d = 0; d < v.size(); ++d)
+        out[d] = double(v[d]);
+}
+
+} // namespace
 
 Label
 pageLabel(int page)
@@ -30,37 +50,66 @@ void
 SignatureModel::addSignature(LabelSignature sig)
 {
     sigs_.push_back(std::move(sig));
+    rebuildPanel();
+}
+
+void
+SignatureModel::rebuildPanel()
+{
+    std::vector<double> rows(sigs_.size() *
+                             gpu::kNumSelectedCounters);
+    for (std::size_t i = 0; i < sigs_.size(); ++i)
+        for (std::size_t d = 0; d < gpu::kNumSelectedCounters; ++d)
+            rows[i * gpu::kNumSelectedCounters + d] =
+                double(sigs_[i].centroid[d]);
+    panel_.packContiguous(rows.data(), sigs_.size(),
+                          gpu::kNumSelectedCounters,
+                          gpu::kNumSelectedCounters);
 }
 
 SignatureModel::Match
 SignatureModel::classify(const gpu::CounterVec &delta) const
 {
-    // Hot path (one call per sampled counter change): compare squared
-    // distances and abandon a partial sum once it reaches the current
-    // best — sqrt only the winner. sqrt is monotone and partial sums
-    // of squares never decrease, so the winner (and its tie-break on
-    // declaration order) is identical to the naive scan.
+    // Hot path (one call per sampled counter change): the weighted
+    // argmin kernel compares squared distances, abandons losers via
+    // bound-pruned early exit and takes one sqrt for the winner.
+    // sqrt is monotone and partial sums of squares never decrease, so
+    // the winner (and its tie-break on declaration order) is
+    // identical to the naive scan.
     Match best;
-    double bestSq = std::numeric_limits<double>::infinity();
-    for (const LabelSignature &sig : sigs_) {
-        double s = 0.0;
-        std::size_t d = 0;
-        for (; d < delta.size(); ++d) {
-            const double diff =
-                double(delta[d] - sig.centroid[d]) * scale_[d];
-            s += diff * diff;
-            if (s >= bestSq)
-                break;
-        }
-        if (d < delta.size())
-            continue;
-        if (s < bestSq) {
-            bestSq = s;
-            best.sig = &sig;
-        }
+    if (sigs_.empty()) {
+        best.distance = std::numeric_limits<double>::infinity();
+        return best;
     }
-    best.distance = std::sqrt(bestSq);
+    double q[gpu::kNumSelectedCounters];
+    widen(delta, q);
+    const simd::Argmin a =
+        simd::kernels().argminWL2(q, scale_.data(), panel_);
+    best.sig = &sigs_[a.index];
+    best.distance = std::sqrt(a.sq);
     return best;
+}
+
+void
+SignatureModel::classifyBatch(std::span<const gpu::CounterVec> deltas,
+                              std::span<Match> out) const
+{
+    if (out.size() < deltas.size())
+        panic("classifyBatch: %zu outputs for %zu deltas", out.size(),
+              deltas.size());
+    for (std::size_t i = 0; i < deltas.size(); ++i)
+        out[i] = classify(deltas[i]);
+}
+
+void
+SignatureModel::classifyRobustBatch(
+    std::span<const gpu::CounterVec> deltas, std::span<Match> out) const
+{
+    if (out.size() < deltas.size())
+        panic("classifyRobustBatch: %zu outputs for %zu deltas",
+              out.size(), deltas.size());
+    for (std::size_t i = 0; i < deltas.size(); ++i)
+        out[i] = classifyRobust(deltas[i]);
 }
 
 SignatureModel::Match
@@ -91,7 +140,8 @@ SignatureModel::updateSignature(const Label &label,
 {
     if (!(blend > 0.0) || blend > 1.0)
         return false;
-    for (LabelSignature &sig : sigs_) {
+    for (std::size_t i = 0; i < sigs_.size(); ++i) {
+        LabelSignature &sig = sigs_[i];
         if (sig.label != label)
             continue;
         for (std::size_t d = 0; d < sig.centroid.size(); ++d) {
@@ -104,6 +154,10 @@ SignatureModel::updateSignature(const Label &label,
             v = std::clamp<std::int64_t>(v, INT32_MIN, INT32_MAX);
             sig.centroid[d] = v;
         }
+        // Refresh just the adapted row of the packed panel.
+        double row[gpu::kNumSelectedCounters];
+        widen(sig.centroid, row);
+        panel_.setRow(i, row);
         return true;
     }
     return false;
@@ -288,6 +342,7 @@ SignatureModel::tryDeserialize(const std::uint8_t *data,
     // frame a model of this version.
     if (!r.ok() || !r.atEnd())
         return std::nullopt;
+    m.rebuildPanel();
     return m;
 }
 

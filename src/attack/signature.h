@@ -18,11 +18,12 @@
 #include <array>
 #include <cstdint>
 #include <optional>
-#include <vector>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "gpu/counters.h"
+#include "simd/panel.h"
 
 namespace gpusc::attack {
 
@@ -59,6 +60,19 @@ class SignatureModel
 
     /** Nearest centroid in normalised space. */
     Match classify(const gpu::CounterVec &delta) const;
+
+    /**
+     * Classify every delta of a batch (out.size() >= deltas.size()).
+     * Identical results to looping classify(); the centroid panel and
+     * per-query int64-to-double conversion are reused across the
+     * batch.
+     */
+    void classifyBatch(std::span<const gpu::CounterVec> deltas,
+                       std::span<Match> out) const;
+
+    /** Batched classifyRobust (no effective-delta reporting). */
+    void classifyRobustBatch(std::span<const gpu::CounterVec> deltas,
+                             std::span<Match> out) const;
 
     /**
      * Nearest centroid allowing for a merged cursor-blink frame: also
@@ -178,8 +192,19 @@ class SignatureModel
     bool operator==(const SignatureModel &other) const;
 
   private:
+    /**
+     * Repack the SIMD centroid panel. Called eagerly on every
+     * signature mutation (never lazily from classify(): classify is
+     * const and runs concurrently from replay/stream workers, so the
+     * panel must be immutable while classification is in flight).
+     */
+    void rebuildPanel();
+
     std::string modelKey_;
     std::vector<LabelSignature> sigs_;
+    /** sigs_ centroids as doubles, transposed for the argmin kernel.
+     *  Derived state — never serialised, never compared. */
+    simd::Panel panel_;
     double threshold_ = 0.0;
     double echoCutoff_ = 0.0;
     gpu::CounterVec echoBase_{};

@@ -15,6 +15,31 @@ TraceInference::infer(const std::vector<PcChange> &changes) const
 {
     const std::size_t n = changes.size();
 
+    // Pre-classify every candidate once through the batch path: all
+    // single-change deltas, plus the combined delta of every pair
+    // that falls inside the combine window (the pairing condition
+    // depends only on timestamps, so it is known up front). The DP
+    // and the decision walk below then reuse these matches instead
+    // of re-running classifyRobust — same matches, computed once.
+    std::vector<gpu::CounterVec> singleDeltas(n);
+    for (std::size_t i = 0; i < n; ++i)
+        singleDeltas[i] = changes[i].delta;
+    std::vector<SignatureModel::Match> single(n);
+    model_.classifyRobustBatch(singleDeltas, single);
+
+    std::vector<std::size_t> pairSlot(n, std::size_t(-1));
+    std::vector<gpu::CounterVec> pairDeltas;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        if (changes[i + 1].time - changes[i].time >
+            params_.combineWindow)
+            continue;
+        using gpu::operator+;
+        pairSlot[i] = pairDeltas.size();
+        pairDeltas.push_back(changes[i].delta + changes[i + 1].delta);
+    }
+    std::vector<SignatureModel::Match> pairMatch(pairDeltas.size());
+    model_.classifyRobustBatch(pairDeltas, pairMatch);
+
     // dp[i]: best (keys, totalDistance) for the suffix starting at i,
     // with choice[i] recording the decision (0 = noise, 1 = single,
     // 2 = pair with i+1).
@@ -37,22 +62,18 @@ TraceInference::infer(const std::vector<PcChange> &changes) const
         Cell best{dp[idx + 1].keys, dp[idx + 1].dist, 0};
 
         // Option 1: a key press by itself.
-        const SignatureModel::Match single =
-            model_.classifyRobust(changes[idx].delta);
-        if (single.accepted(model_.threshold())) {
+        if (single[idx].accepted(model_.threshold())) {
             const int keys = 1 + dp[idx + 1].keys;
-            const double dist = single.distance + dp[idx + 1].dist;
+            const double dist =
+                single[idx].distance + dp[idx + 1].dist;
             if (better(keys, dist, best.keys, best.dist))
                 best = Cell{keys, dist, 1};
         }
 
         // Option 2: the left half of a split pair.
-        if (idx + 1 < n &&
-            changes[idx + 1].time - changes[idx].time <=
-                params_.combineWindow) {
-            using gpu::operator+;
-            const SignatureModel::Match pair = model_.classifyRobust(
-                changes[idx].delta + changes[idx + 1].delta);
+        if (pairSlot[idx] != std::size_t(-1)) {
+            const SignatureModel::Match &pair =
+                pairMatch[pairSlot[idx]];
             if (pair.accepted(model_.threshold())) {
                 const int keys = 1 + dp[idx + 2].keys;
                 const double dist = pair.distance + dp[idx + 2].dist;
@@ -74,14 +95,8 @@ TraceInference::infer(const std::vector<PcChange> &changes) const
             ++i;
             continue;
         }
-        SignatureModel::Match match;
-        if (choice == 1) {
-            match = model_.classifyRobust(changes[i].delta);
-        } else {
-            using gpu::operator+;
-            match = model_.classifyRobust(changes[i].delta +
-                                          changes[i + 1].delta);
-        }
+        const SignatureModel::Match &match =
+            choice == 1 ? single[i] : pairMatch[pairSlot[i]];
         const SimTime at = changes[i].time;
         if (at - lastAccepted >= params_.tmin) {
             keys.push_back(

@@ -6,6 +6,7 @@
 #ifndef GPUSC_ML_CLASSIFIER_H
 #define GPUSC_ML_CLASSIFIER_H
 
+#include <span>
 #include <string>
 
 #include "ml/dataset.h"
@@ -22,7 +23,25 @@ class Classifier
     virtual void fit(const Dataset &data) = 0;
 
     /** @return the predicted class label for @p features. */
-    virtual int predict(const FeatureVec &features) const = 0;
+    virtual int predict(std::span<const double> features) const = 0;
+
+    /** Adapter so vector-of-doubles call sites (and braced literals)
+     *  keep working; derived classes re-expose it with a
+     *  using-declaration. */
+    int
+    predict(const FeatureVec &features) const
+    {
+        return predict(std::span<const double>(features));
+    }
+
+    /**
+     * Classify every row of @p queries into @p out (out.size() >=
+     * queries.rows()). The base implementation loops predict();
+     * classifiers with a cheaper bulk path override it. Predictions
+     * are always identical to the looped single-query path.
+     */
+    virtual void predictBatch(const FeatureMatrix &queries,
+                              std::span<int> out) const;
 
     virtual std::string name() const = 0;
 

@@ -7,29 +7,36 @@
 #define GPUSC_ML_DATASET_H
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
-namespace gpusc::ml {
+#include "ml/feature_matrix.h"
 
-/** A feature vector (counter deltas cast to doubles, typically). */
-using FeatureVec = std::vector<double>;
+namespace gpusc::ml {
 
 /** Labelled samples for training/evaluating a classifier. */
 struct Dataset
 {
-    std::vector<FeatureVec> x;
+    FeatureMatrix x;
     std::vector<int> y;
 
-    std::size_t size() const { return x.size(); }
-    std::size_t dims() const { return x.empty() ? 0 : x[0].size(); }
+    std::size_t size() const { return x.rows(); }
+    std::size_t dims() const { return x.dims(); }
     /** One past the largest label. */
     int numClasses() const;
 
+    /** @throws DimensionError when @p features disagrees with dims(). */
     void
-    add(FeatureVec features, int label)
+    add(std::span<const double> features, int label)
     {
-        x.push_back(std::move(features));
+        x.addRow(features);
         y.push_back(label);
+    }
+
+    void
+    add(const FeatureVec &features, int label)
+    {
+        add(std::span<const double>(features), label);
     }
 };
 

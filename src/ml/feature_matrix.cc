@@ -1,0 +1,37 @@
+#include "ml/feature_matrix.h"
+
+#include <string>
+
+namespace gpusc::ml {
+
+DimensionError::DimensionError(std::size_t expected, std::size_t got)
+    : std::runtime_error("feature dimension mismatch: expected " +
+                         std::to_string(expected) + ", got " +
+                         std::to_string(got)),
+      expected_(expected), got_(got)
+{
+}
+
+FeatureMatrix
+FeatureMatrix::fromRows(const std::vector<FeatureVec> &rows)
+{
+    FeatureMatrix m;
+    if (!rows.empty())
+        m.data_.reserve(rows.size() * rows.front().size());
+    for (const FeatureVec &r : rows)
+        m.addRow(r);
+    return m;
+}
+
+void
+FeatureMatrix::addRow(std::span<const double> row)
+{
+    if (rows_ == 0)
+        dims_ = row.size();
+    else if (row.size() != dims_)
+        throw DimensionError(dims_, row.size());
+    data_.insert(data_.end(), row.begin(), row.end());
+    ++rows_;
+}
+
+} // namespace gpusc::ml

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Contiguous row-major feature storage (structure-of-arrays).
+ *
+ * The classifiers used to hold features as vector<vector<double>>,
+ * one heap allocation per sample; every hot loop then chased a
+ * pointer per row. FeatureMatrix keeps all rows in one contiguous
+ * block with a fixed dimension stride, so bulk consumers iterate a
+ * flat array and the SIMD panel kernels can repack it with a single
+ * strided pass (Panel::packContiguous).
+ *
+ * Row views are cheap std::span<const double>, which also lets the
+ * historical `data.x[i][d]` indexing keep compiling unchanged.
+ */
+
+#ifndef GPUSC_ML_FEATURE_MATRIX_H
+#define GPUSC_ML_FEATURE_MATRIX_H
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace gpusc::ml {
+
+/** A feature vector (counter deltas cast to doubles, typically). */
+using FeatureVec = std::vector<double>;
+
+/**
+ * Thrown when a row's dimensionality disagrees with the matrix it is
+ * added to. A typed exception (rather than panic()) so callers
+ * assembling datasets from untrusted traces can reject one bad
+ * record without killing the process.
+ */
+class DimensionError : public std::runtime_error
+{
+  public:
+    DimensionError(std::size_t expected, std::size_t got);
+
+    std::size_t expected() const { return expected_; }
+    std::size_t got() const { return got_; }
+
+  private:
+    std::size_t expected_;
+    std::size_t got_;
+};
+
+/** Row-major contiguous matrix of feature rows. */
+class FeatureMatrix
+{
+  public:
+    FeatureMatrix() = default;
+
+    /** Build from row vectors. @throws DimensionError when ragged. */
+    static FeatureMatrix fromRows(const std::vector<FeatureVec> &rows);
+
+    /**
+     * Append one row. The first row fixes dims(); every later row
+     * must match it. @throws DimensionError on mismatch.
+     */
+    void addRow(std::span<const double> row);
+
+    std::span<const double>
+    operator[](std::size_t r) const
+    {
+        return {data_.data() + r * dims_, dims_};
+    }
+    std::span<const double> row(std::size_t r) const { return (*this)[r]; }
+    /** Writable view of row @p r (in-place centroid updates). */
+    std::span<double>
+    mutableRow(std::size_t r)
+    {
+        return {data_.data() + r * dims_, dims_};
+    }
+
+    /** Forward iterator over row views (range-for compatibility
+     *  with the old vector-of-rows storage). */
+    class RowIterator
+    {
+      public:
+        RowIterator(const FeatureMatrix *m, std::size_t r)
+            : m_(m), r_(r)
+        {
+        }
+        std::span<const double> operator*() const { return (*m_)[r_]; }
+        RowIterator &
+        operator++()
+        {
+            ++r_;
+            return *this;
+        }
+        bool operator==(const RowIterator &o) const = default;
+
+      private:
+        const FeatureMatrix *m_;
+        std::size_t r_;
+    };
+    RowIterator begin() const { return {this, 0}; }
+    RowIterator end() const { return {this, rows_}; }
+
+    std::size_t rows() const { return rows_; }
+    /** Alias so row-count checks read like the old vector-of-rows. */
+    std::size_t size() const { return rows_; }
+    std::size_t dims() const { return dims_; }
+    bool empty() const { return rows_ == 0; }
+
+    /** The contiguous block: rows() x dims(), row-major, no gaps. */
+    const double *data() const { return data_.data(); }
+
+    void
+    clear()
+    {
+        rows_ = 0;
+        dims_ = 0;
+        data_.clear();
+    }
+
+    void reserveRows(std::size_t n) { data_.reserve(n * dims_); }
+
+    bool
+    operator==(const FeatureMatrix &o) const
+    {
+        return rows_ == o.rows_ && dims_ == o.dims_ && data_ == o.data_;
+    }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t dims_ = 0;
+    std::vector<double> data_;
+};
+
+} // namespace gpusc::ml
+
+#endif // GPUSC_ML_FEATURE_MATRIX_H

@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "simd/kernels.h"
 #include "util/logging.h"
 
 namespace gpusc::ml {
@@ -19,31 +20,30 @@ void
 Knn::fit(const Dataset &data)
 {
     train_ = data;
+    const simd::Kernels &kn = simd::kernels();
     norms_.resize(train_.size());
-    for (std::size_t i = 0; i < train_.size(); ++i) {
-        double s = 0.0;
-        for (double v : train_.x[i])
-            s += v * v;
-        norms_[i] = std::sqrt(s);
-    }
+    for (std::size_t i = 0; i < train_.size(); ++i)
+        norms_[i] = std::sqrt(
+            kn.sumSquares(train_.x[i].data(), train_.dims()));
 }
 
 int
-Knn::predict(const FeatureVec &features) const
+Knn::predict(std::span<const double> features) const
 {
     if (train_.size() == 0)
         panic("Knn: predict() before fit()");
 
+    const simd::Kernels &kn = simd::kernels();
     const std::size_t k = std::min(k_, train_.size());
     // Pruning is only sound when the query lives in the training
     // space (norms cover the same dimensions the distance sums).
     const bool prune = features.size() == train_.dims();
+    const std::size_t nd =
+        std::min(features.size(), train_.dims());
     double queryNorm = 0.0;
-    if (prune) {
-        for (double v : features)
-            queryNorm += v * v;
-        queryNorm = std::sqrt(queryNorm);
-    }
+    if (prune)
+        queryNorm =
+            std::sqrt(kn.sumSquares(features.data(), features.size()));
 
     // The k best (squared distance, label) pairs, kept sorted
     // ascending by pair order — the same total order the reference
@@ -60,16 +60,10 @@ Knn::predict(const FeatureVec &features) const
             if (gap * gap > worst)
                 continue;
         }
-        double s = 0.0;
-        std::size_t d = 0;
-        for (; d < features.size(); ++d) {
-            const double diff = features[d] - train_.x[i][d];
-            s += diff * diff;
-            if (s > worst)
-                break; // partial sum already past the k-th best
-        }
-        if (d < features.size())
-            continue;
+        const double s = kn.l2sqEarlyExitGt(
+            features.data(), train_.x[i].data(), nd, worst);
+        if (s > worst)
+            continue; // partial sum already past the k-th best
         const std::pair<double, int> cand(s, train_.y[i]);
         if (full) {
             if (!(cand < best.back()))

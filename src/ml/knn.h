@@ -6,6 +6,8 @@
 #ifndef GPUSC_ML_KNN_H
 #define GPUSC_ML_KNN_H
 
+#include <span>
+
 #include "ml/classifier.h"
 
 namespace gpusc::ml {
@@ -17,10 +19,11 @@ namespace gpusc::ml {
  * label) pairs instead of materialising and sorting every training
  * distance, prunes whole points via precomputed norms (triangle
  * inequality against the current k-th distance) and abandons a
- * partial distance sum as soon as it exceeds that bound. Predictions
- * are identical to the sort-everything reference: pruning only skips
- * candidates whose full (distance, label) pair orders strictly after
- * the current k-th.
+ * partial distance sum as soon as it exceeds that bound (the
+ * simd-layer early-exit kernel). Predictions are identical to the
+ * sort-everything reference: pruning only skips candidates whose
+ * full (distance, label) pair orders strictly after the current
+ * k-th.
  */
 class Knn : public Classifier
 {
@@ -28,7 +31,8 @@ class Knn : public Classifier
     explicit Knn(std::size_t k = 3);
 
     void fit(const Dataset &data) override;
-    int predict(const FeatureVec &features) const override;
+    int predict(std::span<const double> features) const override;
+    using Classifier::predict;
     std::string
     name() const override
     {

@@ -47,7 +47,7 @@ GaussianNaiveBayes::fit(const Dataset &data)
 }
 
 int
-GaussianNaiveBayes::predict(const FeatureVec &features) const
+GaussianNaiveBayes::predict(std::span<const double> features) const
 {
     if (classes_.empty())
         panic("GaussianNaiveBayes: predict() before fit()");

@@ -7,6 +7,7 @@
 #ifndef GPUSC_ML_NAIVE_BAYES_H
 #define GPUSC_ML_NAIVE_BAYES_H
 
+#include <span>
 #include <vector>
 
 #include "ml/classifier.h"
@@ -18,7 +19,8 @@ class GaussianNaiveBayes : public Classifier
 {
   public:
     void fit(const Dataset &data) override;
-    int predict(const FeatureVec &features) const override;
+    int predict(std::span<const double> features) const override;
+    using Classifier::predict;
     std::string name() const override { return "NaiveBayes"; }
 
   private:

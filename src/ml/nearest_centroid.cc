@@ -1,5 +1,6 @@
 #include "ml/nearest_centroid.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <map>
@@ -26,60 +27,42 @@ NearestCentroid::fit(const Dataset &data)
         auto &[sum, n] = entry;
         for (double &v : sum)
             v /= double(n);
-        centroids_.push_back(std::move(sum));
+        centroids_.addRow(sum);
         labels_.push_back(label);
     }
-    rebuildNorms();
+    rebuildPanel();
 }
 
 void
-NearestCentroid::rebuildNorms()
+NearestCentroid::rebuildPanel()
 {
-    norms_.resize(centroids_.size());
-    for (std::size_t c = 0; c < centroids_.size(); ++c) {
-        double s = 0.0;
-        for (double v : centroids_[c])
-            s += v * v;
-        norms_[c] = std::sqrt(s);
-    }
+    panel_.packContiguous(centroids_.data(), centroids_.rows(),
+                          centroids_.dims(), centroids_.dims());
 }
 
 NearestCentroid::Match
-NearestCentroid::match(const FeatureVec &features) const
+NearestCentroid::match(std::span<const double> features) const
 {
     if (centroids_.empty())
         panic("NearestCentroid: match() before fit()");
-    // Hot path: track the best *squared* distance (one sqrt at the
-    // end), skip whole centroids via the triangle inequality against
-    // the precomputed norms, and abandon a partial sum as soon as it
-    // reaches the current best.
-    const bool prune =
-        !centroids_.empty() && features.size() == centroids_[0].size();
-    double queryNorm = 0.0;
-    if (prune) {
-        for (double v : features)
-            queryNorm += v * v;
-        queryNorm = std::sqrt(queryNorm);
-    }
-
+    const simd::Kernels &k = simd::kernels();
     Match best;
+    if (features.size() == centroids_.dims()) {
+        // Hot path: vector argmin over the packed panel (one sqrt at
+        // the end; losers are abandoned via bound-pruned early exit).
+        const simd::Argmin a = k.argminL2(features.data(), panel_);
+        best.label = labels_[a.index];
+        best.distance = std::sqrt(a.sq);
+        return best;
+    }
+    // Dimension-mismatched query: per-centroid scan over the query's
+    // dimensions only, with the same early-exit semantics.
+    const std::size_t nd =
+        std::min(features.size(), centroids_.dims());
     double bestSq = std::numeric_limits<double>::infinity();
-    for (std::size_t c = 0; c < centroids_.size(); ++c) {
-        if (prune && best.label >= 0) {
-            const double gap = queryNorm - norms_[c];
-            if (gap * gap > bestSq)
-                continue;
-        }
-        double s = 0.0;
-        std::size_t d = 0;
-        for (; d < features.size(); ++d) {
-            const double diff = features[d] - centroids_[c][d];
-            s += diff * diff;
-            if (s >= bestSq)
-                break;
-        }
-        if (d < features.size())
-            continue;
+    for (std::size_t c = 0; c < centroids_.rows(); ++c) {
+        const double s = k.l2sqEarlyExitGe(
+            features.data(), centroids_[c].data(), nd, bestSq);
         if (s < bestSq) {
             bestSq = s;
             best.label = labels_[c];
@@ -90,21 +73,56 @@ NearestCentroid::match(const FeatureVec &features) const
 }
 
 int
-NearestCentroid::predict(const FeatureVec &features) const
+NearestCentroid::predict(std::span<const double> features) const
 {
+    if (centroids_.empty())
+        panic("NearestCentroid: match() before fit()");
+    // predict() needs no distance, so the sqrt is skipped; sqrt is
+    // monotone, so ranking on squared distances picks the same winner.
+    if (features.size() == centroids_.dims())
+        return labels_[simd::kernels()
+                           .argminL2(features.data(), panel_)
+                           .index];
     return match(features).label;
 }
 
 void
-NearestCentroid::load(std::vector<FeatureVec> centroids,
-                      std::vector<int> labels)
+NearestCentroid::predictBatch(const FeatureMatrix &queries,
+                              std::span<int> out) const
 {
-    if (centroids.size() != labels.size())
+    if (out.size() < queries.rows())
+        panic("predictBatch: %zu outputs for %zu queries", out.size(),
+              queries.rows());
+    if (centroids_.empty())
+        panic("NearestCentroid: match() before fit()");
+    if (queries.rows() == 0)
+        return;
+    if (queries.dims() != centroids_.dims()) {
+        Classifier::predictBatch(queries, out);
+        return;
+    }
+    const simd::Kernels &k = simd::kernels();
+    for (std::size_t i = 0; i < queries.rows(); ++i)
+        out[i] =
+            labels_[k.argminL2(queries[i].data(), panel_).index];
+}
+
+void
+NearestCentroid::load(FeatureMatrix centroids, std::vector<int> labels)
+{
+    if (centroids.rows() != labels.size())
         panic("NearestCentroid::load: %zu centroids vs %zu labels",
-              centroids.size(), labels.size());
+              centroids.rows(), labels.size());
     centroids_ = std::move(centroids);
     labels_ = std::move(labels);
-    rebuildNorms();
+    rebuildPanel();
+}
+
+void
+NearestCentroid::load(const std::vector<FeatureVec> &centroids,
+                      std::vector<int> labels)
+{
+    load(FeatureMatrix::fromRows(centroids), std::move(labels));
 }
 
 } // namespace gpusc::ml

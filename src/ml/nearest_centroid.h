@@ -12,9 +12,11 @@
 #ifndef GPUSC_ML_NEAREST_CENTROID_H
 #define GPUSC_ML_NEAREST_CENTROID_H
 
+#include <span>
 #include <vector>
 
 #include "ml/classifier.h"
+#include "simd/kernels.h"
 
 namespace gpusc::ml {
 
@@ -23,7 +25,10 @@ class NearestCentroid : public Classifier
 {
   public:
     void fit(const Dataset &data) override;
-    int predict(const FeatureVec &features) const override;
+    int predict(std::span<const double> features) const override;
+    using Classifier::predict;
+    void predictBatch(const FeatureMatrix &queries,
+                      std::span<int> out) const override;
     std::string name() const override { return "NearestCentroid"; }
 
     /** Prediction plus the distance to the winning centroid. */
@@ -32,22 +37,29 @@ class NearestCentroid : public Classifier
         int label = -1;
         double distance = 0.0;
     };
-    Match match(const FeatureVec &features) const;
+    Match match(std::span<const double> features) const;
+    /** Adapter so braced-init feature lists keep working. */
+    Match match(const FeatureVec &features) const
+    {
+        return match(std::span<const double>(features));
+    }
 
-    const std::vector<FeatureVec> &centroids() const { return centroids_; }
+    const FeatureMatrix &centroids() const { return centroids_; }
     const std::vector<int> &labels() const { return labels_; }
 
     /** Replace the fitted state directly (model deserialisation). */
-    void load(std::vector<FeatureVec> centroids, std::vector<int> labels);
+    void load(FeatureMatrix centroids, std::vector<int> labels);
+    void load(const std::vector<FeatureVec> &centroids,
+              std::vector<int> labels);
 
   private:
-    /** Refresh the precomputed centroid norms after a state change. */
-    void rebuildNorms();
+    /** Repack the SIMD panel after any centroid state change. */
+    void rebuildPanel();
 
-    std::vector<FeatureVec> centroids_;
+    FeatureMatrix centroids_;
     std::vector<int> labels_;
-    /** ||c|| per centroid: triangle-inequality pruning in match(). */
-    std::vector<double> norms_;
+    /** Centroids transposed for the vector argmin kernel. */
+    simd::Panel panel_;
 };
 
 } // namespace gpusc::ml

@@ -143,7 +143,7 @@ DecisionTree::fit(const Dataset &data)
 }
 
 int
-DecisionTree::predict(const FeatureVec &features) const
+DecisionTree::predict(std::span<const double> features) const
 {
     if (root_ < 0)
         panic("DecisionTree: predict() before fit()");
@@ -225,7 +225,7 @@ RandomForest::fit(const Dataset &data)
 }
 
 int
-RandomForest::predict(const FeatureVec &features) const
+RandomForest::predict(std::span<const double> features) const
 {
     if (trees_.empty())
         panic("RandomForest: predict() before fit()");

@@ -8,6 +8,7 @@
 #define GPUSC_ML_RANDOM_FOREST_H
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "ml/classifier.h"
@@ -32,7 +33,8 @@ class DecisionTree : public Classifier
     explicit DecisionTree(Params params);
 
     void fit(const Dataset &data) override;
-    int predict(const FeatureVec &features) const override;
+    int predict(std::span<const double> features) const override;
+    using Classifier::predict;
     std::string name() const override { return "DecisionTree"; }
 
     /** Depth of the learned tree (diagnostics / tests). */
@@ -76,7 +78,8 @@ class RandomForest : public Classifier
     explicit RandomForest(Params params);
 
     void fit(const Dataset &data) override;
-    int predict(const FeatureVec &features) const override;
+    int predict(std::span<const double> features) const override;
+    using Classifier::predict;
     std::string name() const override { return "RandomForest"; }
 
     /** The underlying trees (diagnostics / regression tests). */

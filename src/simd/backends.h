@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Internal backend registration hooks (only the dispatcher and the
+ * backend TUs include this; user code goes through simd/kernels.h).
+ */
+
+#ifndef GPUSC_SIMD_BACKENDS_H
+#define GPUSC_SIMD_BACKENDS_H
+
+#include "simd/kernels.h"
+
+namespace gpusc::simd::detail {
+
+#if defined(GPUSC_SIMD_HAVE_AVX2)
+/** Dispatch table of the AVX2 backend (kernels_avx2.cc). */
+const Kernels &avx2Table();
+/** Runtime cpuid check: the build may carry AVX2 code the deployment
+ *  host cannot execute. */
+bool avx2CpuSupported();
+#endif
+
+#if defined(GPUSC_SIMD_HAVE_NEON)
+/** Dispatch table of the NEON backend (kernels_neon.cc). */
+const Kernels &neonTable();
+#endif
+
+} // namespace gpusc::simd::detail
+
+#endif // GPUSC_SIMD_BACKENDS_H

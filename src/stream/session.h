@@ -44,6 +44,12 @@ struct SessionConfig
     /** Ingest queue depth, readings. */
     std::size_t ringCapacity = 256;
     /**
+     * Readings popped from the ring per feedReadings() call when
+     * draining (clamped to >= 1). Batching amortises the per-call
+     * pipeline entry; results are bit-identical for any batch size.
+     */
+    std::size_t drainBatch = 64;
+    /**
      * Pipeline knobs for the per-session eavesdropper. The telemetry
      * field is ignored — each session gets its own context.
      */
@@ -147,6 +153,9 @@ class Session
     obs::Telemetry telemetry_;
     SpscRing<attack::Reading> ring_;
     std::size_t telemetryRingBytes_;
+    std::size_t drainBatch_;
+    /** Drain scratch: readings popped this round, fed as one batch. */
+    std::vector<attack::Reading> scratch_;
     std::uint64_t drained_ = 0;
     std::uint64_t shedOldest_ = 0;
     std::uint64_t shedNewest_ = 0;

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * FeatureMatrix contract tests: contiguous SoA layout, span row
+ * views, and — the part the old vector-of-vectors storage silently
+ * got wrong — hard failure with a typed DimensionError whenever a
+ * ragged row is added, through both the matrix itself and the legacy
+ * Dataset::add adapter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/feature_matrix.h"
+
+namespace gpusc::ml {
+namespace {
+
+TEST(FeatureMatrixTest, FirstRowFixesDimensions)
+{
+    FeatureMatrix m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.rows(), 0u);
+    EXPECT_EQ(m.dims(), 0u);
+
+    m.addRow(FeatureVec{1.0, 2.0, 3.0});
+    EXPECT_EQ(m.rows(), 1u);
+    EXPECT_EQ(m.size(), 1u);
+    EXPECT_EQ(m.dims(), 3u);
+
+    m.addRow(FeatureVec{4.0, 5.0, 6.0});
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m[1][0], 4.0);
+    EXPECT_EQ(m.row(1)[2], 6.0);
+}
+
+TEST(FeatureMatrixTest, StorageIsContiguousRowMajor)
+{
+    FeatureMatrix m;
+    m.addRow(FeatureVec{1.0, 2.0});
+    m.addRow(FeatureVec{3.0, 4.0});
+    m.addRow(FeatureVec{5.0, 6.0});
+    const double *p = m.data();
+    for (int i = 0; i < 6; ++i)
+        EXPECT_EQ(p[i], double(i + 1));
+    // Row views alias the block directly — no per-row allocation.
+    EXPECT_EQ(m[2].data(), p + 4);
+}
+
+TEST(FeatureMatrixTest, RaggedRowThrowsTypedError)
+{
+    FeatureMatrix m;
+    m.addRow(FeatureVec{1.0, 2.0, 3.0});
+    EXPECT_THROW(m.addRow(FeatureVec{1.0, 2.0}), DimensionError);
+    try {
+        m.addRow(FeatureVec{1.0});
+        FAIL() << "expected DimensionError";
+    } catch (const DimensionError &e) {
+        EXPECT_EQ(e.expected(), 3u);
+        EXPECT_EQ(e.got(), 1u);
+        EXPECT_NE(std::string(e.what()).find("expected 3"),
+                  std::string::npos);
+    }
+    // The failed adds changed nothing.
+    EXPECT_EQ(m.rows(), 1u);
+    EXPECT_EQ(m.dims(), 3u);
+}
+
+TEST(FeatureMatrixTest, FromRowsRejectsRaggedInput)
+{
+    const FeatureMatrix m = FeatureMatrix::fromRows(
+        {{1.0, 2.0}, {3.0, 4.0}});
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.dims(), 2u);
+    EXPECT_THROW(FeatureMatrix::fromRows({{1.0, 2.0}, {3.0}}),
+                 DimensionError);
+}
+
+TEST(FeatureMatrixTest, EqualityAndClear)
+{
+    FeatureMatrix a;
+    a.addRow(FeatureVec{1.0, 2.0});
+    FeatureMatrix b;
+    b.addRow(FeatureVec{1.0, 2.0});
+    EXPECT_EQ(a, b);
+    b.addRow(FeatureVec{3.0, 4.0});
+    EXPECT_FALSE(a == b);
+    b.clear();
+    EXPECT_TRUE(b.empty());
+    EXPECT_EQ(b.dims(), 0u);
+    // Cleared matrices accept a fresh dimensionality.
+    b.addRow(FeatureVec{9.0});
+    EXPECT_EQ(b.dims(), 1u);
+}
+
+TEST(FeatureMatrixTest, MutableRowWritesThrough)
+{
+    FeatureMatrix m;
+    m.addRow(FeatureVec{1.0, 2.0});
+    m.mutableRow(0)[1] = 7.5;
+    EXPECT_EQ(m[0][1], 7.5);
+}
+
+TEST(FeatureMatrixTest, DatasetAddValidatesDimensions)
+{
+    Dataset d;
+    d.add({1.0, 2.0, 3.0}, 0);
+    d.add({4.0, 5.0, 6.0}, 1);
+    EXPECT_EQ(d.size(), 2u);
+    EXPECT_EQ(d.dims(), 3u);
+
+    // The legacy per-vector adapter goes through the same check.
+    EXPECT_THROW(d.add(FeatureVec{1.0, 2.0}, 2), DimensionError);
+    EXPECT_EQ(d.size(), 2u);
+    EXPECT_EQ(d.y.size(), 2u) << "failed add must not leave a label";
+}
+
+} // namespace
+} // namespace gpusc::ml

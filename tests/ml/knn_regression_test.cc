@@ -16,13 +16,17 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "attack/signature.h"
 #include "ml/knn.h"
+#include "ml/naive_bayes.h"
 #include "ml/nearest_centroid.h"
 #include "ml/random_forest.h"
+#include "simd/kernels.h"
 #include "util/rng.h"
 
 namespace gpusc::ml {
@@ -32,7 +36,7 @@ namespace {
  *  vote over an ordered map with strict-> tie-break. */
 int
 refKnnPredict(const Dataset &train, std::size_t k,
-              const FeatureVec &q)
+              std::span<const double> q)
 {
     std::vector<std::pair<double, int>> dists;
     dists.reserve(train.size());
@@ -66,12 +70,13 @@ refKnnPredict(const Dataset &train, std::size_t k,
 /** The old NearestCentroid::match: full sqrt distance per centroid,
  *  strict-< winner. */
 NearestCentroid::Match
-refCentroidMatch(const std::vector<FeatureVec> &centroids,
-                 const std::vector<int> &labels, const FeatureVec &q)
+refCentroidMatch(const FeatureMatrix &centroids,
+                 const std::vector<int> &labels,
+                 std::span<const double> q)
 {
     NearestCentroid::Match best;
     best.distance = std::numeric_limits<double>::infinity();
-    for (std::size_t c = 0; c < centroids.size(); ++c) {
+    for (std::size_t c = 0; c < centroids.rows(); ++c) {
         double s = 0.0;
         for (std::size_t d = 0; d < q.size(); ++d) {
             const double diff = q[d] - centroids[c][d];
@@ -274,6 +279,205 @@ TEST(SignatureRegressionTest, ClassifyMatchesNaiveScan)
         const SignatureModel::Match got = model.classify(delta);
         EXPECT_EQ(got.sig, wantSig) << "query " << t;
         EXPECT_EQ(got.distance, wantDist) << "query " << t;
+    }
+}
+
+/** Pin one SIMD backend for a scope; restores the previous on exit. */
+class BackendGuard
+{
+  public:
+    explicit BackendGuard(simd::Backend b)
+        : prev_(simd::activeBackend()), ok_(simd::forceBackend(b))
+    {
+    }
+    ~BackendGuard() { simd::forceBackend(prev_); }
+    BackendGuard(const BackendGuard &) = delete;
+    BackendGuard &operator=(const BackendGuard &) = delete;
+    bool ok() const { return ok_; }
+
+  private:
+    simd::Backend prev_;
+    bool ok_;
+};
+
+std::vector<simd::Backend>
+availableBackends()
+{
+    std::vector<simd::Backend> v;
+    for (const simd::Backend b :
+         {simd::Backend::Scalar, simd::Backend::Avx2,
+          simd::Backend::Neon})
+        if (simd::backendAvailable(b))
+            v.push_back(b);
+    return v;
+}
+
+/** A seeded SignatureModel with blink variants (robust path live). */
+attack::SignatureModel
+randomSignatureModel(Rng &rng, int classes)
+{
+    attack::SignatureModel model;
+    std::array<double, gpu::kNumSelectedCounters> scale{};
+    for (double &s : scale)
+        s = rng.uniform(0.001, 0.01);
+    model.setScale(scale);
+    model.setThreshold(1.5);
+    for (int i = 0; i < classes; ++i) {
+        attack::LabelSignature sig;
+        sig.label = std::string(1, char('a' + i % 26));
+        for (std::int64_t &v : sig.centroid)
+            v = rng.uniformInt(0, 400);
+        model.addSignature(sig);
+    }
+    std::vector<gpu::CounterVec> blinks(2);
+    for (gpu::CounterVec &b : blinks)
+        for (std::int64_t &v : b)
+            v = rng.uniformInt(0, 40);
+    model.setBlinkVariants(std::move(blinks));
+    return model;
+}
+
+TEST(BatchConformanceTest, PredictBatchMatchesLoopedPredict)
+{
+    Rng rng(90216);
+    const Dataset data = randomDataset(rng, 80, 5, 4);
+    FeatureMatrix queries;
+    for (int t = 0; t < 64; ++t)
+        queries.addRow(randomQuery(rng, data.dims(), false));
+
+    std::vector<std::unique_ptr<Classifier>> classifiers;
+    classifiers.push_back(std::make_unique<Knn>(3));
+    classifiers.push_back(std::make_unique<NearestCentroid>());
+    classifiers.push_back(std::make_unique<RandomForest>());
+    classifiers.push_back(std::make_unique<GaussianNaiveBayes>());
+    for (const auto &c : classifiers) {
+        c->fit(data);
+        std::vector<int> batch(queries.rows());
+        c->predictBatch(queries, batch);
+        for (std::size_t i = 0; i < queries.rows(); ++i)
+            EXPECT_EQ(batch[i], c->predict(queries[i]))
+                << c->name() << " query " << i;
+
+        // Degenerate batches: empty and single-row.
+        const FeatureMatrix none;
+        std::vector<int> noOut;
+        c->predictBatch(none, noOut);
+        EXPECT_TRUE(noOut.empty()) << c->name();
+
+        FeatureMatrix one;
+        one.addRow(queries[0]);
+        std::vector<int> oneOut(1, -2);
+        c->predictBatch(one, oneOut);
+        EXPECT_EQ(oneOut[0], c->predict(queries[0])) << c->name();
+    }
+}
+
+TEST(BatchConformanceTest, SignatureClassifyBatchMatchesSingle)
+{
+    Rng rng(90217);
+    const attack::SignatureModel model = randomSignatureModel(rng, 40);
+
+    std::vector<gpu::CounterVec> deltas(96);
+    for (gpu::CounterVec &d : deltas)
+        for (std::int64_t &v : d)
+            v = rng.uniformInt(0, 400);
+
+    std::vector<attack::SignatureModel::Match> batch(deltas.size());
+    model.classifyBatch(deltas, batch);
+    for (std::size_t i = 0; i < deltas.size(); ++i) {
+        const attack::SignatureModel::Match one =
+            model.classify(deltas[i]);
+        EXPECT_EQ(batch[i].sig, one.sig) << "query " << i;
+        EXPECT_EQ(batch[i].distance, one.distance) << "query " << i;
+    }
+
+    model.classifyRobustBatch(deltas, batch);
+    for (std::size_t i = 0; i < deltas.size(); ++i) {
+        const attack::SignatureModel::Match one =
+            model.classifyRobust(deltas[i]);
+        EXPECT_EQ(batch[i].sig, one.sig) << "robust query " << i;
+        EXPECT_EQ(batch[i].distance, one.distance)
+            << "robust query " << i;
+    }
+
+    // Empty batch is a no-op.
+    model.classifyBatch({}, {});
+    model.classifyRobustBatch({}, {});
+}
+
+TEST(BackendConformanceTest, CentroidMatchesIdenticalAcrossBackends)
+{
+    Rng rng(90218);
+    // Odd dims and dims below the vector width stress the padded
+    // panel lanes and the block-exit tails.
+    for (const std::size_t dims : {1u, 2u, 3u, 5u, 7u, 11u, 16u}) {
+        const Dataset data =
+            randomDataset(rng, 30, dims, int(dims) + 2);
+        NearestCentroid nc;
+        nc.fit(data);
+        std::vector<FeatureVec> queries;
+        for (int t = 0; t < 40; ++t)
+            queries.push_back(randomQuery(rng, dims, false));
+
+        // Scalar is the pinned bit-exactness anchor.
+        std::vector<NearestCentroid::Match> want;
+        {
+            const BackendGuard guard(simd::Backend::Scalar);
+            ASSERT_TRUE(guard.ok());
+            for (const FeatureVec &q : queries)
+                want.push_back(nc.match(q));
+        }
+        for (const simd::Backend b : availableBackends()) {
+            const BackendGuard guard(b);
+            ASSERT_TRUE(guard.ok());
+            for (std::size_t i = 0; i < queries.size(); ++i) {
+                const NearestCentroid::Match got =
+                    nc.match(queries[i]);
+                EXPECT_EQ(got.label, want[i].label)
+                    << simd::backendName(b) << " dims=" << dims
+                    << " query " << i;
+                EXPECT_EQ(got.distance, want[i].distance)
+                    << simd::backendName(b) << " dims=" << dims
+                    << " query " << i;
+            }
+        }
+    }
+}
+
+TEST(BackendConformanceTest, SignatureClassifyIdenticalAcrossBackends)
+{
+    Rng rng(90219);
+    // Sweep class counts around the lane width so partially filled
+    // panels (rows % lanes != 0) and single-row panels are covered.
+    for (const int classes : {1, 3, 4, 5, 26, 40}) {
+        const attack::SignatureModel model =
+            randomSignatureModel(rng, classes);
+        std::vector<gpu::CounterVec> deltas(64);
+        for (gpu::CounterVec &d : deltas)
+            for (std::int64_t &v : d)
+                v = rng.uniformInt(0, 400);
+
+        std::vector<attack::SignatureModel::Match> want(deltas.size());
+        {
+            const BackendGuard guard(simd::Backend::Scalar);
+            ASSERT_TRUE(guard.ok());
+            model.classifyBatch(deltas, want);
+        }
+        for (const simd::Backend b : availableBackends()) {
+            const BackendGuard guard(b);
+            ASSERT_TRUE(guard.ok());
+            std::vector<attack::SignatureModel::Match> got(
+                deltas.size());
+            model.classifyBatch(deltas, got);
+            for (std::size_t i = 0; i < deltas.size(); ++i) {
+                EXPECT_EQ(got[i].sig, want[i].sig)
+                    << simd::backendName(b) << " classes=" << classes
+                    << " query " << i;
+                EXPECT_EQ(got[i].distance, want[i].distance)
+                    << simd::backendName(b) << " classes=" << classes
+                    << " query " << i;
+            }
+        }
     }
 }
 

@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include <unistd.h>
+
 #include "attack/model_store.h"
 #include "eval/experiment.h"
 #include "trace/trace_corpus.h"
@@ -42,8 +44,12 @@ class TraceCorpusTest : public ::testing::Test
     SetUpTestSuite()
     {
         setVerbose(false);
-        dir_ = new std::string(::testing::TempDir() +
-                               "gpusc_corpus");
+        // Unique per process: ctest runs each TEST_F as its own
+        // process, possibly in parallel, and a shared path would let
+        // one process's teardown delete the corpus another process
+        // is scanning.
+        dir_ = new std::string(::testing::TempDir() + "gpusc_corpus." +
+                               std::to_string(::getpid()));
         fs::remove_all(*dir_);
         fs::create_directories(*dir_);
         recordTrace(*dir_ + "/a.gpct", 401, 2);
